@@ -1,0 +1,172 @@
+//! Banded Smith-Waterman around a seed diagonal.
+//!
+//! Both heuristics rescore promising regions with dynamic programming
+//! restricted to a diagonal band: FASTA's `opt` score and our stand-in
+//! for BLAST's gapped extension. Restricting columns `j` to
+//! `i + diag - width ..= i + diag + width` makes the cost
+//! `O(len(a) · (2·width+1))` instead of `O(len(a) · len(b))`.
+
+use sapa_bioseq::matrix::GapPenalties;
+use sapa_bioseq::{AminoAcid, SubstitutionMatrix};
+
+use crate::sw::NEG;
+
+/// Computes the best local alignment score restricted to the band of
+/// half-width `width` around `diag`, where a cell `(i, j)` (0-based
+/// residue indices) lies on diagonal `j - i`.
+///
+/// The result is a lower bound on the unrestricted [`crate::sw::score`]
+/// and equals it when the band covers the whole matrix.
+///
+/// # Panics
+///
+/// Panics if `width` is zero (an empty band is almost certainly a bug
+/// at the call site).
+pub fn score(
+    a: &[AminoAcid],
+    b: &[AminoAcid],
+    matrix: &SubstitutionMatrix,
+    gaps: GapPenalties,
+    diag: isize,
+    width: usize,
+) -> i32 {
+    assert!(width > 0, "band width must be positive");
+    if a.is_empty() || b.is_empty() {
+        return 0;
+    }
+    let open_ext = gaps.open + gaps.extend;
+    let ext = gaps.extend;
+    let n = b.len() as isize;
+    let w = width as isize;
+
+    // Band-local storage indexed by offset = j - (i + diag) + width,
+    // so offsets 0..=2*width. h/f hold the previous row.
+    let band = 2 * width + 1;
+    let mut h = vec![0i32; band];
+    let mut f = vec![NEG; band];
+    let mut best = 0;
+
+    for (i, &ai) in a.iter().enumerate() {
+        let i = i as isize;
+        // Row i of the band covers columns j in [i+diag-w, i+diag+w].
+        // Relative to row i-1 the window shifts right by one: the
+        // previous row's offset for column j is (offset + 1).
+        let mut h_left = 0i32; // H[i][j-1]: left neighbour, NEG outside band
+        let mut e_left = NEG;
+        let mut new_h = vec![NEG; band];
+        let mut new_f = vec![NEG; band];
+        for off in 0..band as isize {
+            let j = i + diag - w + off;
+            if j < 0 || j >= n {
+                h_left = NEG;
+                e_left = NEG;
+                continue;
+            }
+            // Previous row, same column: offset+1 in the old arrays.
+            let (h_up, f_up) = if (off + 1) < band as isize {
+                (h[(off + 1) as usize], f[(off + 1) as usize])
+            } else {
+                (NEG, NEG)
+            };
+            // Previous row, previous column: same offset in old arrays.
+            let h_diag_val = if i == 0 || j == 0 {
+                0 // matrix boundary: alignments may start fresh
+            } else {
+                h[off as usize]
+            };
+            let h_up = if i == 0 { 0 } else { h_up };
+            let h_left_eff = if j == 0 { 0 } else { h_left };
+
+            let e_ij = (e_left - ext).max(h_left_eff - open_ext);
+            let f_ij = (f_up - ext).max(h_up - open_ext);
+            let diag_score = h_diag_val + matrix.score(ai, b[j as usize]);
+            let h_ij = 0.max(diag_score).max(e_ij).max(f_ij);
+
+            new_h[off as usize] = h_ij;
+            new_f[off as usize] = f_ij;
+            h_left = h_ij;
+            e_left = e_ij;
+            if h_ij > best {
+                best = h_ij;
+            }
+        }
+        h = new_h;
+        f = new_f;
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sapa_bioseq::Sequence;
+
+    fn seq(s: &str) -> Vec<AminoAcid> {
+        Sequence::from_str("t", s).unwrap().residues().to_vec()
+    }
+
+    fn bl62() -> SubstitutionMatrix {
+        SubstitutionMatrix::blosum62()
+    }
+
+    #[test]
+    fn full_band_equals_unrestricted() {
+        let m = bl62();
+        let g = GapPenalties::paper();
+        let a = seq("HEAGAWGHEE");
+        let b = seq("PAWHEAE");
+        let full = crate::sw::score(&a, &b, &m, g);
+        let banded = score(&a, &b, &m, g, 0, a.len() + b.len());
+        assert_eq!(banded, full);
+    }
+
+    #[test]
+    fn band_is_lower_bound() {
+        let m = bl62();
+        let g = GapPenalties::paper();
+        let a = seq("MKVLAAGWWYHEMKVL");
+        let b = seq("AAGWMKVLWYHE");
+        let full = crate::sw::score(&a, &b, &m, g);
+        for diag in -3isize..=3 {
+            for width in [1usize, 2, 4, 8] {
+                assert!(score(&a, &b, &m, g, diag, width) <= full);
+            }
+        }
+    }
+
+    #[test]
+    fn identity_on_diagonal_zero() {
+        let m = bl62();
+        let g = GapPenalties::paper();
+        let a = seq("MKWVTFISLL");
+        let expected: i32 = a.iter().map(|&x| m.score(x, x)).sum();
+        assert_eq!(score(&a, &a, &m, g, 0, 2), expected);
+    }
+
+    #[test]
+    fn shifted_match_needs_matching_diag() {
+        let m = bl62();
+        let g = GapPenalties::paper();
+        // b = 5 junk + a: the true alignment lies on diagonal +5.
+        let a = seq("MKWVTFWWYHE");
+        let b = seq("PGPGP MKWVTFWWYHE".replace(' ', "").as_str());
+        let expected: i32 = a.iter().map(|&x| m.score(x, x)).sum();
+        assert_eq!(score(&a, &b, &m, g, 5, 2), expected);
+        assert!(score(&a, &b, &m, g, 0, 1) < expected);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let m = bl62();
+        let g = GapPenalties::paper();
+        assert_eq!(score(&[], &seq("AA"), &m, g, 0, 2), 0);
+        assert_eq!(score(&seq("AA"), &[], &m, g, 0, 2), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "band width")]
+    fn zero_width_rejected() {
+        let m = bl62();
+        let _ = score(&seq("A"), &seq("A"), &m, GapPenalties::paper(), 0, 0);
+    }
+}

@@ -1,0 +1,331 @@
+//! Needleman-Wunsch global alignment with affine gaps (Gotoh).
+//!
+//! Provided as the classical dynamic-programming baseline the paper's
+//! Section I describes (reference 19 of its bibliography); used by tests and the
+//! ablation benches as a second oracle for the gap machinery.
+
+use sapa_bioseq::matrix::GapPenalties;
+use sapa_bioseq::{AminoAcid, SubstitutionMatrix};
+
+use crate::sw::NEG;
+
+/// Computes the optimal *global* alignment score of `a` vs `b`
+/// (end-to-end, gaps charged everywhere), linear memory.
+///
+/// Empty-vs-non-empty inputs score as one long gap; two empty inputs
+/// score 0.
+pub fn score(
+    a: &[AminoAcid],
+    b: &[AminoAcid],
+    matrix: &SubstitutionMatrix,
+    gaps: GapPenalties,
+) -> i32 {
+    let n = b.len();
+    let open_ext = gaps.open + gaps.extend;
+    let ext = gaps.extend;
+
+    if a.is_empty() {
+        return -gaps.gap_cost(n as u32);
+    }
+    if b.is_empty() {
+        return -gaps.gap_cost(a.len() as u32);
+    }
+
+    // h[j] = H[i-1][j], f[j] = F[i-1][j]; E carried in registers.
+    let mut h = vec![0i32; n + 1];
+    let mut f = vec![NEG; n + 1];
+    for j in 1..=n {
+        h[j] = -gaps.gap_cost(j as u32);
+    }
+
+    for (i, &ai) in a.iter().enumerate() {
+        let mut h_diag = h[0];
+        h[0] = -gaps.gap_cost((i + 1) as u32);
+        let mut h_left = h[0];
+        let mut e_left = NEG;
+        for j in 1..=n {
+            let e_ij = (e_left - ext).max(h_left - open_ext);
+            let f_ij = (f[j] - ext).max(h[j] - open_ext);
+            let diag = h_diag + matrix.score(ai, b[j - 1]);
+            let h_ij = diag.max(e_ij).max(f_ij);
+
+            h_diag = h[j];
+            h[j] = h_ij;
+            f[j] = f_ij;
+            h_left = h_ij;
+            e_left = e_ij;
+        }
+    }
+    h[n]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sapa_bioseq::Sequence;
+
+    fn seq(s: &str) -> Vec<AminoAcid> {
+        Sequence::from_str("t", s).unwrap().residues().to_vec()
+    }
+
+    fn bl62() -> SubstitutionMatrix {
+        SubstitutionMatrix::blosum62()
+    }
+
+    #[test]
+    fn both_empty_scores_zero() {
+        assert_eq!(score(&[], &[], &bl62(), GapPenalties::paper()), 0);
+    }
+
+    #[test]
+    fn one_empty_is_one_gap() {
+        let a = seq("MKVL");
+        let g = GapPenalties::paper();
+        assert_eq!(score(&a, &[], &bl62(), g), -14);
+        assert_eq!(score(&[], &a, &bl62(), g), -14);
+    }
+
+    #[test]
+    fn identity_alignment() {
+        let a = seq("MKWVTFISLL");
+        let m = bl62();
+        let expected: i32 = a.iter().map(|&x| m.score(x, x)).sum();
+        assert_eq!(score(&a, &a, &m, GapPenalties::paper()), expected);
+    }
+
+    #[test]
+    fn single_insertion() {
+        // Global alignment of X vs X+1 residue must pay one gap.
+        let a = seq("MKWVTFISLL");
+        let b = seq("MKWVTAFISLL");
+        let m = bl62();
+        let g = GapPenalties::paper();
+        let self_score: i32 = a.iter().map(|&x| m.score(x, x)).sum();
+        assert_eq!(score(&a, &b, &m, g), self_score - g.gap_cost(1));
+    }
+
+    #[test]
+    fn global_is_at_most_local() {
+        let m = bl62();
+        let g = GapPenalties::paper();
+        let a = seq("MKVLAAGWWYHE");
+        let b = seq("PPPMKVLPPP");
+        assert!(score(&a, &b, &m, g) <= crate::sw::score(&a, &b, &m, g));
+    }
+
+    #[test]
+    fn symmetric() {
+        let m = bl62();
+        let g = GapPenalties::paper();
+        let a = seq("ACDEFGHIKL");
+        let b = seq("ACDFGHIKL");
+        assert_eq!(score(&a, &b, &m, g), score(&b, &a, &m, g));
+    }
+}
+
+/// An explicit global alignment produced by [`align`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GlobalAlignment {
+    /// End-to-end score.
+    pub score: i32,
+    /// Edit operations covering both sequences completely.
+    pub ops: Vec<crate::sw::AlignOp>,
+}
+
+/// Computes the optimal global alignment with traceback
+/// (`O(len(a)·len(b))` memory).
+pub fn align(
+    a: &[AminoAcid],
+    b: &[AminoAcid],
+    matrix: &SubstitutionMatrix,
+    gaps: GapPenalties,
+) -> GlobalAlignment {
+    use crate::sw::AlignOp;
+
+    let m = a.len();
+    let n = b.len();
+    let open_ext = gaps.open + gaps.extend;
+    let ext = gaps.extend;
+    let idx = |i: usize, j: usize| i * (n + 1) + j;
+
+    let mut h = vec![NEG; (m + 1) * (n + 1)];
+    let mut e = vec![NEG; (m + 1) * (n + 1)];
+    let mut f = vec![NEG; (m + 1) * (n + 1)];
+    h[idx(0, 0)] = 0;
+    for j in 1..=n {
+        e[idx(0, j)] = -gaps.gap_cost(j as u32);
+        h[idx(0, j)] = e[idx(0, j)];
+    }
+    for i in 1..=m {
+        f[idx(i, 0)] = -gaps.gap_cost(i as u32);
+        h[idx(i, 0)] = f[idx(i, 0)];
+    }
+    for i in 1..=m {
+        for j in 1..=n {
+            e[idx(i, j)] = (e[idx(i, j - 1)] - ext).max(h[idx(i, j - 1)] - open_ext);
+            f[idx(i, j)] = (f[idx(i - 1, j)] - ext).max(h[idx(i - 1, j)] - open_ext);
+            let diag = h[idx(i - 1, j - 1)] + matrix.score(a[i - 1], b[j - 1]);
+            h[idx(i, j)] = diag.max(e[idx(i, j)]).max(f[idx(i, j)]);
+        }
+    }
+
+    // Traceback from the corner.
+    let mut ops = Vec::new();
+    let (mut i, mut j) = (m, n);
+    #[derive(Clone, Copy, PartialEq)]
+    enum State {
+        H,
+        E,
+        F,
+    }
+    let mut state = State::H;
+    while i > 0 || j > 0 {
+        match state {
+            State::H => {
+                let v = h[idx(i, j)];
+                if i > 0 && j > 0 && v == h[idx(i - 1, j - 1)] + matrix.score(a[i - 1], b[j - 1])
+                {
+                    ops.push(AlignOp::Subst);
+                    i -= 1;
+                    j -= 1;
+                } else if j > 0 && v == e[idx(i, j)] {
+                    state = State::E;
+                } else {
+                    state = State::F;
+                }
+            }
+            State::E => {
+                ops.push(AlignOp::Insert);
+                if e[idx(i, j)] == h[idx(i, j - 1)] - open_ext {
+                    state = State::H;
+                }
+                j -= 1;
+            }
+            State::F => {
+                ops.push(AlignOp::Delete);
+                if f[idx(i, j)] == h[idx(i - 1, j)] - open_ext {
+                    state = State::H;
+                }
+                i -= 1;
+            }
+        }
+    }
+    ops.reverse();
+    GlobalAlignment {
+        score: h[idx(m, n)],
+        ops,
+    }
+}
+
+/// Computes the optimal *semi-global* ("glocal") score: `a` must align
+/// end-to-end, but leading and trailing residues of `b` are free —
+/// the natural scoring for finding a short query inside a long
+/// subject. Linear memory.
+pub fn semiglobal_score(
+    a: &[AminoAcid],
+    b: &[AminoAcid],
+    matrix: &SubstitutionMatrix,
+    gaps: GapPenalties,
+) -> i32 {
+    let n = b.len();
+    if a.is_empty() {
+        return 0;
+    }
+    if b.is_empty() {
+        return -gaps.gap_cost(a.len() as u32);
+    }
+    let open_ext = gaps.open + gaps.extend;
+    let ext = gaps.extend;
+
+    // Row 0 is free (leading b residues unpenalized).
+    let mut h = vec![0i32; n + 1];
+    let mut f = vec![NEG; n + 1];
+    for (i, &ai) in a.iter().enumerate() {
+        let mut h_diag = h[0];
+        h[0] = -gaps.gap_cost((i + 1) as u32);
+        let mut h_left = h[0];
+        let mut e_left = NEG;
+        for j in 1..=n {
+            let e_ij = (e_left - ext).max(h_left - open_ext);
+            let f_ij = (f[j] - ext).max(h[j] - open_ext);
+            let diag = h_diag + matrix.score(ai, b[j - 1]);
+            let h_ij = diag.max(e_ij).max(f_ij);
+            h_diag = h[j];
+            h[j] = h_ij;
+            f[j] = f_ij;
+            h_left = h_ij;
+            e_left = e_ij;
+        }
+    }
+    // Trailing b residues are free: best over the last row.
+    h.iter().skip(1).copied().max().unwrap_or(h[n]).max(h[0])
+}
+
+#[cfg(test)]
+mod global_align_tests {
+    use super::*;
+    use crate::sw::AlignOp;
+    use sapa_bioseq::Sequence;
+
+    fn seq(s: &str) -> Vec<AminoAcid> {
+        Sequence::from_str("t", s).unwrap().residues().to_vec()
+    }
+
+    fn bl62() -> SubstitutionMatrix {
+        SubstitutionMatrix::blosum62()
+    }
+
+    #[test]
+    fn traceback_score_matches_linear_score() {
+        let m = bl62();
+        let g = GapPenalties::paper();
+        let cases = [
+            ("MKWVTFISLL", "MKWVTAFISLL"),
+            ("HEAGAWGHEE", "PAWHEAE"),
+            ("ACD", "ACD"),
+            ("A", "WWWW"),
+        ];
+        for (x, y) in cases {
+            let a = seq(x);
+            let b = seq(y);
+            let al = align(&a, &b, &m, g);
+            assert_eq!(al.score, score(&a, &b, &m, g), "{x} vs {y}");
+            // Ops must consume both sequences exactly.
+            let consumed_a = al.ops.iter().filter(|o| **o != AlignOp::Insert).count();
+            let consumed_b = al.ops.iter().filter(|o| **o != AlignOp::Delete).count();
+            assert_eq!(consumed_a, a.len());
+            assert_eq!(consumed_b, b.len());
+        }
+    }
+
+    #[test]
+    fn semiglobal_finds_embedded_query() {
+        let m = bl62();
+        let g = GapPenalties::paper();
+        let query = seq("MKWVTFWWYHE");
+        let subject = seq(&format!("{}{}{}", "PGPGPG", "MKWVTFWWYHE", "NDNDND"));
+        let self_score: i32 = query.iter().map(|&x| m.score(x, x)).sum();
+        assert_eq!(semiglobal_score(&query, &subject, &m, g), self_score);
+        // Global alignment must pay for the flanks; semi-global not.
+        assert!(score(&query, &subject, &m, g) < self_score);
+    }
+
+    #[test]
+    fn semiglobal_bounded_by_local() {
+        let m = bl62();
+        let g = GapPenalties::paper();
+        let a = seq("MKVLAAGWWY");
+        let b = seq("GGGKVLGWWGGG");
+        let semi = semiglobal_score(&a, &b, &m, g);
+        let local = crate::sw::score(&a, &b, &m, g);
+        assert!(semi <= local, "semi {semi} > local {local}");
+    }
+
+    #[test]
+    fn semiglobal_empty_inputs() {
+        let m = bl62();
+        let g = GapPenalties::paper();
+        assert_eq!(semiglobal_score(&[], &seq("AC"), &m, g), 0);
+        assert_eq!(semiglobal_score(&seq("ACD"), &[], &m, g), -13);
+    }
+}

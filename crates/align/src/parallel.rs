@@ -1,0 +1,163 @@
+//! Multi-threaded database scoring.
+//!
+//! Database search is embarrassingly parallel across subjects — the
+//! paper's related-work section notes that most prior art studies
+//! exactly this axis (cluster/SMP scaling) while the paper itself
+//! studies the single processor. This module provides the simple
+//! subject-parallel driver a downstream user expects: deterministic
+//! results regardless of thread count, work-stealing over an atomic
+//! cursor, no dependencies beyond `std`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::result::{Hit, SearchResults};
+
+/// Scores every subject with `score_fn` using `threads` worker
+/// threads, returning per-subject scores in subject order (independent
+/// of the thread count).
+///
+/// `score_fn` is called once per subject index and must be pure.
+///
+/// # Panics
+///
+/// Panics if `threads` is 0, or propagates a panic from `score_fn`.
+pub fn par_scores<F>(subject_count: usize, threads: usize, score_fn: F) -> Vec<i32>
+where
+    F: Fn(usize) -> i32 + Sync,
+{
+    assert!(threads > 0, "need at least one thread");
+    let mut scores = vec![0i32; subject_count];
+    if subject_count == 0 {
+        return scores;
+    }
+    let threads = threads.min(subject_count);
+    let cursor = AtomicUsize::new(0);
+
+    // Hand each worker a disjoint set of result slots via a mutable
+    // pointer-free channel: collect (index, score) pairs per worker and
+    // merge afterwards — simpler than slot slicing and still O(n).
+    let mut partials: Vec<Vec<(usize, i32)>> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let cursor = &cursor;
+            let score_fn = &score_fn;
+            handles.push(scope.spawn(move || {
+                let mut local = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= subject_count {
+                        break;
+                    }
+                    local.push((i, score_fn(i)));
+                }
+                local
+            }));
+        }
+        for h in handles {
+            partials.push(h.join().expect("worker panicked"));
+        }
+    });
+    for part in partials {
+        for (i, s) in part {
+            scores[i] = s;
+        }
+    }
+    scores
+}
+
+/// Parallel ranked search: scores every subject with `score_fn` on
+/// `threads` threads and returns the best `keep` hits with scores of at
+/// least `min_score`.
+///
+/// # Panics
+///
+/// Panics if `threads` or `keep` is 0.
+pub fn par_search<F>(
+    subject_count: usize,
+    threads: usize,
+    keep: usize,
+    min_score: i32,
+    score_fn: F,
+) -> SearchResults
+where
+    F: Fn(usize) -> i32 + Sync,
+{
+    let scores = par_scores(subject_count, threads, score_fn);
+    let mut results = SearchResults::new(keep);
+    for (seq_index, score) in scores.into_iter().enumerate() {
+        if score >= min_score {
+            results.push(Hit { seq_index, score });
+        }
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sw;
+    use sapa_bioseq::db::DatabaseBuilder;
+    use sapa_bioseq::matrix::GapPenalties;
+    use sapa_bioseq::queries::QuerySet;
+    use sapa_bioseq::SubstitutionMatrix;
+
+    #[test]
+    fn scores_are_deterministic_across_thread_counts() {
+        let queries = QuerySet::paper();
+        let query = queries.by_accession("P02232").unwrap().clone();
+        let db = DatabaseBuilder::new()
+            .seed(3)
+            .sequences(30)
+            .median_length(80.0)
+            .homolog_template(query.clone())
+            .build();
+        let m = SubstitutionMatrix::blosum62();
+        let g = GapPenalties::paper();
+
+        let run = |threads: usize| {
+            par_scores(db.len(), threads, |i| {
+                sw::score(query.residues(), db.sequences()[i].residues(), &m, g)
+            })
+        };
+        let one = run(1);
+        let four = run(4);
+        let nine = run(9);
+        assert_eq!(one, four);
+        assert_eq!(one, nine);
+        // And they equal the serial computation.
+        for (i, s) in db.iter().enumerate() {
+            assert_eq!(one[i], sw::score(query.residues(), s.residues(), &m, g));
+        }
+    }
+
+    #[test]
+    fn ranked_search_matches_serial_filtering() {
+        let scores = [5, 40, 12, 40, 3, 99];
+        let mut r = par_search(scores.len(), 3, 4, 10, |i| scores[i]);
+        let hits = r.hits();
+        assert_eq!(hits[0].score, 99);
+        assert_eq!(hits[1].score, 40);
+        assert_eq!(hits[1].seq_index, 1); // tie broken by index
+        assert_eq!(hits[2].seq_index, 3);
+        assert_eq!(hits[3].score, 12);
+        assert_eq!(hits.len(), 4);
+    }
+
+    #[test]
+    fn empty_database_is_fine() {
+        assert!(par_scores(0, 4, |_| 0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        let _ = par_scores(3, 0, |_| 0);
+    }
+
+    #[test]
+    fn more_threads_than_subjects_is_fine() {
+        let v = par_scores(2, 16, |i| i as i32);
+        assert_eq!(v, vec![0, 1]);
+    }
+}

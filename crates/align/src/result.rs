@@ -1,0 +1,147 @@
+//! Search-result containers shared by the database-search front ends.
+
+/// One database hit: a sequence index and its alignment score.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Hit {
+    /// Index of the sequence in the searched database.
+    pub seq_index: usize,
+    /// Alignment score (raw, matrix units).
+    pub score: i32,
+}
+
+/// A ranked list of database hits.
+///
+/// Mirrors the `-b 500` behaviour of the paper's command lines: the list
+/// keeps the best `capacity` hits, ordered by descending score with ties
+/// broken by ascending sequence index (deterministic output).
+///
+/// ```
+/// use sapa_align::{Hit, SearchResults};
+///
+/// let mut r = SearchResults::new(2);
+/// r.push(Hit { seq_index: 0, score: 10 });
+/// r.push(Hit { seq_index: 1, score: 30 });
+/// r.push(Hit { seq_index: 2, score: 20 });
+/// let best: Vec<i32> = r.hits().iter().map(|h| h.score).collect();
+/// assert_eq!(best, vec![30, 20]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SearchResults {
+    capacity: usize,
+    hits: Vec<Hit>,
+    sorted: bool,
+}
+
+impl SearchResults {
+    /// Creates an empty result list that retains the best `capacity`
+    /// hits (the paper's runs use 500).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        SearchResults {
+            capacity,
+            hits: Vec::new(),
+            sorted: true,
+        }
+    }
+
+    /// Records a hit.
+    pub fn push(&mut self, hit: Hit) {
+        self.hits.push(hit);
+        self.sorted = false;
+        // Compact lazily: only when we exceed twice the capacity, to
+        // keep push O(1) amortized.
+        if self.hits.len() > self.capacity * 2 {
+            self.compact();
+        }
+    }
+
+    /// The ranked hits (best first), truncated to capacity.
+    pub fn hits(&mut self) -> &[Hit] {
+        self.compact();
+        &self.hits
+    }
+
+    /// The best score, if any hits were recorded.
+    pub fn best_score(&mut self) -> Option<i32> {
+        self.hits().first().map(|h| h.score)
+    }
+
+    /// Number of retained hits (≤ capacity once compacted).
+    pub fn len(&mut self) -> usize {
+        self.hits().len()
+    }
+
+    /// Whether no hits were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.hits.is_empty()
+    }
+
+    fn compact(&mut self) {
+        if !self.sorted {
+            self.hits
+                .sort_by(|a, b| b.score.cmp(&a.score).then(a.seq_index.cmp(&b.seq_index)));
+            self.sorted = true;
+        }
+        self.hits.truncate(self.capacity);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranked_and_truncated() {
+        let mut r = SearchResults::new(3);
+        for (i, s) in [5, 1, 9, 7, 3].iter().enumerate() {
+            r.push(Hit {
+                seq_index: i,
+                score: *s,
+            });
+        }
+        let scores: Vec<i32> = r.hits().iter().map(|h| h.score).collect();
+        assert_eq!(scores, vec![9, 7, 5]);
+        assert_eq!(r.best_score(), Some(9));
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn ties_break_by_index() {
+        let mut r = SearchResults::new(4);
+        r.push(Hit { seq_index: 2, score: 5 });
+        r.push(Hit { seq_index: 0, score: 5 });
+        r.push(Hit { seq_index: 1, score: 5 });
+        let idx: Vec<usize> = r.hits().iter().map(|h| h.seq_index).collect();
+        assert_eq!(idx, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_list() {
+        let mut r = SearchResults::new(1);
+        assert!(r.is_empty());
+        assert_eq!(r.best_score(), None);
+    }
+
+    #[test]
+    fn many_pushes_stay_bounded() {
+        let mut r = SearchResults::new(10);
+        for i in 0..10_000 {
+            r.push(Hit {
+                seq_index: i,
+                score: (i % 100) as i32,
+            });
+        }
+        assert_eq!(r.len(), 10);
+        assert!(r.hits().iter().all(|h| h.score == 99));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = SearchResults::new(0);
+    }
+}

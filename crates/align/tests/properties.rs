@@ -1,0 +1,216 @@
+//! Property-based tests for the alignment algorithms.
+//!
+//! The single most important invariant of the whole reproduction is that
+//! the three Smith-Waterman implementations (textbook Gotoh, SSEARCH-
+//! style lazy-F, anti-diagonal SIMD at both lane widths) compute the
+//! same score on arbitrary inputs — the paper's workloads are different
+//! *machines* running the same *math*.
+
+use proptest::prelude::*;
+use sapa_align::{banded, blast, fasta, nw, simd_sw, sw, xdrop};
+use sapa_bioseq::matrix::GapPenalties;
+use sapa_bioseq::{AminoAcid, SubstitutionMatrix};
+
+fn residue() -> impl Strategy<Value = AminoAcid> {
+    // Standard residues only: ambiguity codes are exercised by unit
+    // tests; heuristics skip them by design.
+    (0usize..AminoAcid::STANDARD_COUNT).prop_map(|i| AminoAcid::from_index(i).unwrap())
+}
+
+fn protein(max_len: usize) -> impl Strategy<Value = Vec<AminoAcid>> {
+    proptest::collection::vec(residue(), 0..max_len)
+}
+
+fn gap_penalties() -> impl Strategy<Value = GapPenalties> {
+    (1i32..=14, 1i32..=4).prop_map(|(open, ext)| GapPenalties::new(open, ext))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn simd_sw_matches_scalar(
+        a in protein(48),
+        b in protein(48),
+        g in gap_penalties(),
+    ) {
+        let m = SubstitutionMatrix::blosum62();
+        let expect = sw::score(&a, &b, &m, g);
+        prop_assert_eq!(simd_sw::score::<8>(&a, &b, &m, g), expect);
+        prop_assert_eq!(simd_sw::score::<16>(&a, &b, &m, g), expect);
+    }
+
+    #[test]
+    fn byte_precision_simd_matches_scalar(
+        a in protein(40),
+        b in protein(40),
+        g in gap_penalties(),
+    ) {
+        let m = SubstitutionMatrix::blosum62();
+        let expect = sw::score(&a, &b, &m, g);
+        // The byte pass either agrees exactly or reports overflow.
+        if let Some(s) = simd_sw::score_bytes::<16>(&a, &b, &m, g) {
+            prop_assert_eq!(s, expect);
+        }
+        // The adaptive wrapper always agrees.
+        prop_assert_eq!(simd_sw::score_adaptive::<16, 8>(&a, &b, &m, g), expect);
+        prop_assert_eq!(simd_sw::score_adaptive::<32, 16>(&a, &b, &m, g), expect);
+    }
+
+    #[test]
+    fn lazy_f_matches_scalar(
+        a in protein(48),
+        b in protein(48),
+        g in gap_penalties(),
+    ) {
+        let m = SubstitutionMatrix::blosum62();
+        prop_assert_eq!(
+            sw::score_lazy_f(&a, &b, &m, g),
+            sw::score(&a, &b, &m, g)
+        );
+    }
+
+    #[test]
+    fn sw_score_is_symmetric(a in protein(32), b in protein(32)) {
+        let m = SubstitutionMatrix::blosum62();
+        let g = GapPenalties::paper();
+        prop_assert_eq!(sw::score(&a, &b, &m, g), sw::score(&b, &a, &m, g));
+    }
+
+    #[test]
+    fn sw_score_nonnegative_and_bounded(a in protein(32), b in protein(32)) {
+        let m = SubstitutionMatrix::blosum62();
+        let g = GapPenalties::paper();
+        let s = sw::score(&a, &b, &m, g);
+        prop_assert!(s >= 0);
+        // Upper bound: the shorter sequence matched perfectly at the
+        // matrix maximum.
+        let bound = (a.len().min(b.len()) as i32) * m.max_score();
+        prop_assert!(s <= bound);
+    }
+
+    #[test]
+    fn sw_self_score_is_diagonal_sum(a in protein(32)) {
+        let m = SubstitutionMatrix::blosum62();
+        let g = GapPenalties::paper();
+        let expected: i32 = a.iter().map(|&x| m.score(x, x)).sum();
+        prop_assert_eq!(sw::score(&a, &a, &m, g), expected.max(0));
+    }
+
+    #[test]
+    fn banded_never_exceeds_full(
+        a in protein(32),
+        b in protein(32),
+        diag in -8isize..8,
+        width in 1usize..6,
+    ) {
+        let m = SubstitutionMatrix::blosum62();
+        let g = GapPenalties::paper();
+        prop_assert!(banded::score(&a, &b, &m, g, diag, width) <= sw::score(&a, &b, &m, g));
+    }
+
+    #[test]
+    fn banded_full_width_equals_full(a in protein(24), b in protein(24)) {
+        prop_assume!(!a.is_empty() && !b.is_empty());
+        let m = SubstitutionMatrix::blosum62();
+        let g = GapPenalties::paper();
+        prop_assert_eq!(
+            banded::score(&a, &b, &m, g, 0, a.len() + b.len()),
+            sw::score(&a, &b, &m, g)
+        );
+    }
+
+    #[test]
+    fn global_at_most_local(a in protein(24), b in protein(24)) {
+        let m = SubstitutionMatrix::blosum62();
+        let g = GapPenalties::paper();
+        prop_assert!(nw::score(&a, &b, &m, g) <= sw::score(&a, &b, &m, g));
+    }
+
+    #[test]
+    fn alignment_hierarchy_global_semiglobal_local(
+        a in protein(24),
+        b in protein(24),
+    ) {
+        // global ≤ semi-global ≤ local: each relaxes more constraints.
+        let m = SubstitutionMatrix::blosum62();
+        let g = GapPenalties::paper();
+        let global = nw::score(&a, &b, &m, g);
+        let semi = nw::semiglobal_score(&a, &b, &m, g);
+        let local = sw::score(&a, &b, &m, g);
+        prop_assert!(global <= semi, "global {} > semi {}", global, semi);
+        prop_assert!(semi <= local, "semi {} > local {}", semi, local);
+    }
+
+    #[test]
+    fn global_traceback_matches_score(a in protein(16), b in protein(16)) {
+        let m = SubstitutionMatrix::blosum62();
+        let g = GapPenalties::paper();
+        let al = nw::align(&a, &b, &m, g);
+        prop_assert_eq!(al.score, nw::score(&a, &b, &m, g));
+    }
+
+    #[test]
+    fn traceback_score_matches(a in protein(20), b in protein(20)) {
+        let m = SubstitutionMatrix::blosum62();
+        let g = GapPenalties::paper();
+        let al = sw::align(&a, &b, &m, g);
+        prop_assert_eq!(al.score, sw::score(&a, &b, &m, g));
+    }
+
+    #[test]
+    fn heuristic_scores_never_exceed_sw(a in protein(40), b in protein(40)) {
+        prop_assume!(a.len() >= 3 && b.len() >= 3);
+        let m = SubstitutionMatrix::blosum62();
+        let g = GapPenalties::paper();
+        let full = sw::score(&a, &b, &m, g);
+
+        // FASTA's opt is a banded SW — a lower bound on full SW.
+        let idx = fasta::KtupIndex::build(&a, 2);
+        let fs = fasta::score_subject(&idx, &b, &m, g, &fasta::FastaParams::default());
+        prop_assert!(fs.opt <= full, "opt {} > sw {}", fs.opt, full);
+
+        // BLAST's reported score (banded or ungapped) is also ≤ full SW.
+        let widx = blast::WordIndex::build(&a, &m, 11);
+        let db: Vec<&[AminoAcid]> = vec![&b];
+        let mut res = blast::search(&widx, db, &m, g, &blast::BlastParams::default(), 5);
+        if let Some(best) = res.best_score() {
+            prop_assert!(best <= full, "blast {} > sw {}", best, full);
+        }
+    }
+
+    #[test]
+    fn xdrop_monotone_in_x_and_bounded_by_local(
+        a in protein(24),
+        b in protein(24),
+        x_small in 2i32..8,
+    ) {
+        let m = SubstitutionMatrix::blosum62();
+        let g = GapPenalties::paper();
+        let tight = xdrop::extend_right(&a, &b, &m, g, x_small);
+        let loose = xdrop::extend_right(&a, &b, &m, g, 10_000);
+        prop_assert!(tight <= loose, "tight {} > loose {}", tight, loose);
+        // An origin-anchored extension can never beat the free local
+        // alignment.
+        prop_assert!(loose <= sw::score(&a, &b, &m, g).max(0) + 0,
+            "xdrop {} > sw", loose);
+        prop_assert!(loose >= 0);
+    }
+
+    #[test]
+    fn word_index_entries_meet_threshold(a in protein(24), t in 8i32..14) {
+        prop_assume!(a.len() >= 3);
+        let m = SubstitutionMatrix::blosum62();
+        let idx = blast::WordIndex::build(&a, &m, t);
+        for word in 0..blast::WORD_TABLE_SIZE {
+            for &qi in idx.lookup(word) {
+                let q = &a[qi as usize..qi as usize + 3];
+                let c = [word / 400, (word / 20) % 20, word % 20];
+                let score: i32 = (0..3)
+                    .map(|k| m.score_by_index(q[k].index(), c[k]))
+                    .sum();
+                prop_assert!(score >= t);
+            }
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Design-choice ablations called out in DESIGN.md: lazy-F on/off,
+//! one-hit vs two-hit BLAST, FASTA ktup 1 vs 2, SIMD lane width, and
+//! scoring-matrix scaling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sapa_bench::{bench_db, bench_query, slices};
+use sapa_core::align::{banded, blast, blastn, fasta, simd_sw, sw, xdrop};
+use sapa_core::bioseq::dna::random_dna;
+use sapa_core::bioseq::matrix::GapPenalties;
+use sapa_core::bioseq::SubstitutionMatrix;
+
+fn lazy_f_ablation(c: &mut Criterion) {
+    let matrix = SubstitutionMatrix::blosum62();
+    let gaps = GapPenalties::paper();
+    let query = bench_query();
+    let db = bench_db(4);
+    let subject = db[0].residues();
+
+    let mut group = c.benchmark_group("ablation_lazy_f");
+    group.bench_function("textbook_gotoh", |b| {
+        b.iter(|| sw::score(query.residues(), subject, &matrix, gaps))
+    });
+    group.bench_function("lazy_f", |b| {
+        b.iter(|| sw::score_lazy_f(query.residues(), subject, &matrix, gaps))
+    });
+    group.finish();
+}
+
+fn blast_seeding_ablation(c: &mut Criterion) {
+    let matrix = SubstitutionMatrix::blosum62();
+    let gaps = GapPenalties::paper();
+    let query = bench_query();
+    let db = bench_db(60);
+    let widx = blast::WordIndex::build(query.residues(), &matrix, 11);
+
+    let mut group = c.benchmark_group("ablation_blast_seeding");
+    for (name, one_hit) in [("two_hit", false), ("one_hit", true)] {
+        let params = blast::BlastParams {
+            one_hit,
+            ..blast::BlastParams::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(name), &params, |b, p| {
+            b.iter(|| blast::search(&widx, slices(&db), &matrix, gaps, p, 500))
+        });
+    }
+    // Threshold sweep: index size vs scan cost.
+    for t in [10, 11, 12, 13] {
+        let idx = blast::WordIndex::build(query.residues(), &matrix, t);
+        group.bench_with_input(BenchmarkId::new("threshold", t), &idx, |b, idx| {
+            b.iter(|| {
+                blast::search(
+                    idx,
+                    slices(&db),
+                    &matrix,
+                    gaps,
+                    &blast::BlastParams::default(),
+                    500,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn fasta_ktup_ablation(c: &mut Criterion) {
+    let matrix = SubstitutionMatrix::blosum62();
+    let gaps = GapPenalties::paper();
+    let query = bench_query();
+    let db = bench_db(60);
+
+    let mut group = c.benchmark_group("ablation_fasta_ktup");
+    for ktup in [1usize, 2] {
+        let idx = fasta::KtupIndex::build(query.residues(), ktup);
+        let params = fasta::FastaParams {
+            ktup,
+            ..fasta::FastaParams::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(ktup), &idx, |b, idx| {
+            b.iter(|| fasta::search(idx, slices(&db), &matrix, gaps, &params, 500))
+        });
+    }
+    group.finish();
+}
+
+fn simd_width_ablation(c: &mut Criterion) {
+    let matrix = SubstitutionMatrix::blosum62();
+    let gaps = GapPenalties::paper();
+    let query = bench_query();
+    let db = bench_db(4);
+    let subject = db[0].residues();
+
+    let mut group = c.benchmark_group("ablation_simd_lane_width");
+    group.bench_function("lanes_4", |b| {
+        b.iter(|| simd_sw::score::<4>(query.residues(), subject, &matrix, gaps))
+    });
+    group.bench_function("lanes_8_vmx128", |b| {
+        b.iter(|| simd_sw::score::<8>(query.residues(), subject, &matrix, gaps))
+    });
+    group.bench_function("lanes_16_vmx256", |b| {
+        b.iter(|| simd_sw::score::<16>(query.residues(), subject, &matrix, gaps))
+    });
+    group.bench_function("lanes_32", |b| {
+        b.iter(|| simd_sw::score::<32>(query.residues(), subject, &matrix, gaps))
+    });
+    group.finish();
+}
+
+fn matrix_ablation(c: &mut Criterion) {
+    let gaps = GapPenalties::paper();
+    let query = bench_query();
+    let db = bench_db(4);
+    let subject = db[0].residues();
+
+    let mut group = c.benchmark_group("ablation_matrix");
+    for (name, matrix) in [
+        ("blosum62", SubstitutionMatrix::blosum62()),
+        ("blosum62_x2", SubstitutionMatrix::blosum62_scaled(2, 1)),
+        ("uniform_5_-4", SubstitutionMatrix::uniform(5, -4)),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &matrix, |b, m| {
+            b.iter(|| sw::score_lazy_f(query.residues(), subject, m, gaps))
+        });
+    }
+    group.finish();
+}
+
+fn gapped_rescoring_ablation(c: &mut Criterion) {
+    // BLAST's gapped stage: fixed-band rescoring (our default) vs the
+    // adaptive X-drop extension real NCBI BLAST uses.
+    let matrix = SubstitutionMatrix::blosum62();
+    let gaps = GapPenalties::paper();
+    let query = bench_query();
+    let db = bench_db(4);
+    let subject = db[0].residues();
+
+    let mut group = c.benchmark_group("ablation_gapped_rescoring");
+    group.bench_function("banded_w24", |b| {
+        b.iter(|| banded::score(query.residues(), subject, &matrix, gaps, 0, 24))
+    });
+    group.bench_function("xdrop_38", |b| {
+        b.iter(|| xdrop::extend_seed(query.residues(), subject, &matrix, gaps, 0, 0, 3, 38))
+    });
+    group.finish();
+}
+
+fn blastn_search(c: &mut Criterion) {
+    // The nucleotide pipeline of the paper's Listing 1.
+    let q = random_dna("q", 200, 1);
+    let mut subjects = Vec::new();
+    for k in 0..50u64 {
+        subjects.push(random_dna("s", 2_000, 50 + k).pack());
+    }
+    // Plant the query into one subject for a realistic hit path.
+    let mut hit = random_dna("h", 2_000, 999).bases().to_vec();
+    hit[500..700].copy_from_slice(q.bases());
+    subjects.push(sapa_core::bioseq::dna::DnaSequence::new("hit", hit).pack());
+
+    let idx = blastn::NtWordIndex::build(&q, 11);
+    let mut group = c.benchmark_group("blastn");
+    group.bench_function("search_51x2kb", |b| {
+        b.iter(|| blastn::search(&idx, subjects.iter(), &blastn::BlastnParams::default(), 50))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = lazy_f_ablation, blast_seeding_ablation, fasta_ktup_ablation,
+        simd_width_ablation, matrix_ablation, gapped_rescoring_ablation, blastn_search
+}
+criterion_main!(benches);

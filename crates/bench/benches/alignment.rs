@@ -1,0 +1,63 @@
+//! Alignment-kernel throughput: the four Smith-Waterman machines plus
+//! global and banded alignment. Complements Table III (relative work
+//! per aligned cell).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sapa_bench::{bench_db, bench_query};
+use sapa_core::align::{banded, nw, simd_sw, sw};
+use sapa_core::bioseq::matrix::GapPenalties;
+use sapa_core::bioseq::SubstitutionMatrix;
+
+fn sw_variants(c: &mut Criterion) {
+    let matrix = SubstitutionMatrix::blosum62();
+    let gaps = GapPenalties::paper();
+    let query = bench_query();
+    let db = bench_db(4);
+    let subject = db[0].residues();
+    let cells = (query.len() * subject.len()) as u64;
+
+    let mut group = c.benchmark_group("smith_waterman");
+    group.throughput(Throughput::Elements(cells));
+    group.bench_function("scalar_gotoh", |b| {
+        b.iter(|| sw::score(query.residues(), subject, &matrix, gaps))
+    });
+    group.bench_function("lazy_f_ssearch", |b| {
+        b.iter(|| sw::score_lazy_f(query.residues(), subject, &matrix, gaps))
+    });
+    group.bench_function("simd_vmx128", |b| {
+        b.iter(|| simd_sw::score::<8>(query.residues(), subject, &matrix, gaps))
+    });
+    group.bench_function("simd_vmx256", |b| {
+        b.iter(|| simd_sw::score::<16>(query.residues(), subject, &matrix, gaps))
+    });
+    group.finish();
+}
+
+fn other_kernels(c: &mut Criterion) {
+    let matrix = SubstitutionMatrix::blosum62();
+    let gaps = GapPenalties::paper();
+    let query = bench_query();
+    let db = bench_db(4);
+    let subject = db[0].residues();
+
+    let mut group = c.benchmark_group("other_kernels");
+    group.bench_function("needleman_wunsch", |b| {
+        b.iter(|| nw::score(query.residues(), subject, &matrix, gaps))
+    });
+    for width in [8usize, 16, 32] {
+        group.bench_with_input(BenchmarkId::new("banded_sw", width), &width, |b, &w| {
+            b.iter(|| banded::score(query.residues(), subject, &matrix, gaps, 0, w))
+        });
+    }
+    group.bench_function("traceback_alignment", |b| {
+        b.iter(|| sw::align(&query.residues()[..64], &subject[..64.min(subject.len())], &matrix, gaps))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = sw_variants, other_kernels
+}
+criterion_main!(benches);

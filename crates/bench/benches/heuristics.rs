@@ -1,0 +1,68 @@
+//! Heuristic database-search throughput (BLAST and FASTA end-to-end,
+//! plus index construction). Complements Table III's BLAST/FASTA rows.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sapa_bench::{bench_db, bench_query, slices};
+use sapa_core::align::{blast, fasta};
+use sapa_core::bioseq::matrix::GapPenalties;
+use sapa_core::bioseq::SubstitutionMatrix;
+
+fn index_construction(c: &mut Criterion) {
+    let matrix = SubstitutionMatrix::blosum62();
+    let query = bench_query();
+
+    let mut group = c.benchmark_group("index_build");
+    group.bench_function("blast_word_index_t11", |b| {
+        b.iter(|| blast::WordIndex::build(query.residues(), &matrix, 11))
+    });
+    group.bench_function("fasta_ktup2_index", |b| {
+        b.iter(|| fasta::KtupIndex::build(query.residues(), 2))
+    });
+    group.finish();
+}
+
+fn database_search(c: &mut Criterion) {
+    let matrix = SubstitutionMatrix::blosum62();
+    let gaps = GapPenalties::paper();
+    let query = bench_query();
+    let db = bench_db(100);
+    let residues: u64 = db.iter().map(|s| s.len() as u64).sum();
+
+    let widx = blast::WordIndex::build(query.residues(), &matrix, 11);
+    let kidx = fasta::KtupIndex::build(query.residues(), 2);
+
+    let mut group = c.benchmark_group("database_search_100seqs");
+    group.throughput(Throughput::Elements(residues));
+    group.bench_function("blast", |b| {
+        b.iter(|| {
+            blast::search(
+                &widx,
+                slices(&db),
+                &matrix,
+                gaps,
+                &blast::BlastParams::default(),
+                500,
+            )
+        })
+    });
+    group.bench_function("fasta", |b| {
+        b.iter(|| {
+            fasta::search(
+                &kidx,
+                slices(&db),
+                &matrix,
+                gaps,
+                &fasta::FastaParams::default(),
+                500,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = index_construction, database_search
+}
+criterion_main!(benches);

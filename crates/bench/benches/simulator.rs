@@ -1,0 +1,101 @@
+//! Cycle-accurate-simulator throughput: trace generation per workload
+//! and simulated instructions per second for the configurations the
+//! figures sweep. One entry per paper artifact family (Figs. 2–10 all
+//! reduce to these pipelines).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sapa_core::cpu::config::{BranchConfig, CpuConfig, MemConfig, SimConfig};
+use sapa_core::cpu::Simulator;
+use sapa_core::workloads::{StandardInputs, Workload};
+
+fn trace_generation(c: &mut Criterion) {
+    let inputs = StandardInputs::with_db_size(60, 2);
+    let mut group = c.benchmark_group("trace_generation");
+    for w in Workload::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(w.label()), &w, |b, &w| {
+            b.iter(|| w.trace(&inputs))
+        });
+    }
+    group.finish();
+}
+
+fn simulation_throughput(c: &mut Criterion) {
+    let inputs = StandardInputs::with_db_size(60, 2);
+    let mut group = c.benchmark_group("simulate_4way_me1");
+    for w in Workload::ALL {
+        let bundle = w.trace(&inputs);
+        group.throughput(Throughput::Elements(bundle.trace.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(w.label()), &bundle, |b, bundle| {
+            b.iter(|| Simulator::new(SimConfig::four_way()).run(&bundle.trace))
+        });
+    }
+    group.finish();
+}
+
+fn simulation_configs(c: &mut Criterion) {
+    // The config families the figures sweep, run on one mid-size trace.
+    let inputs = StandardInputs::with_db_size(60, 2);
+    let bundle = Workload::Fasta34.trace(&inputs);
+
+    let mut group = c.benchmark_group("simulate_config_sweeps");
+    group.throughput(Throughput::Elements(bundle.trace.len() as u64));
+    for (name, cpu) in [
+        ("fig3_4way", CpuConfig::four_way()),
+        ("fig3_8way", CpuConfig::eight_way()),
+        ("fig3_16way", CpuConfig::sixteen_way()),
+    ] {
+        let cfg = SimConfig {
+            cpu,
+            mem: MemConfig::me1(),
+            branch: BranchConfig::table_vi(),
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| Simulator::new(cfg.clone()).run(&bundle.trace))
+        });
+    }
+    for (name, mem) in [("fig5_tiny_dl1", MemConfig::me1()), ("fig5_ideal", MemConfig::meinf())] {
+        let cfg = SimConfig {
+            cpu: CpuConfig::four_way(),
+            mem,
+            branch: BranchConfig::table_vi(),
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| Simulator::new(cfg.clone()).run(&bundle.trace))
+        });
+    }
+    let perfect = SimConfig {
+        cpu: CpuConfig::four_way(),
+        mem: MemConfig::me1(),
+        branch: BranchConfig::perfect(),
+    };
+    group.bench_with_input(BenchmarkId::from_parameter("fig9_perfect_bp"), &perfect, |b, cfg| {
+        b.iter(|| Simulator::new(cfg.clone()).run(&bundle.trace))
+    });
+    group.finish();
+}
+
+fn standalone_predictors(c: &mut Criterion) {
+    // Figure 11's pipeline: predictor-only replay of a trace.
+    use sapa_core::cpu::branch::standalone_accuracy;
+    use sapa_core::cpu::config::PredictorKind;
+    let inputs = StandardInputs::with_db_size(60, 2);
+    let bundle = Workload::Ssearch34.trace(&inputs);
+
+    let mut group = c.benchmark_group("fig11_standalone_bp");
+    group.throughput(Throughput::Elements(bundle.trace.len() as u64));
+    for kind in [PredictorKind::Bimodal, PredictorKind::Gshare, PredictorKind::Gp] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{kind:?}")),
+            &kind,
+            |b, &kind| b.iter(|| standalone_accuracy(bundle.trace.insts(), kind, 16 * 1024)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = trace_generation, simulation_throughput, simulation_configs, standalone_predictors
+}
+criterion_main!(benches);

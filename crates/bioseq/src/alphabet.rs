@@ -1,0 +1,272 @@
+//! The 24-symbol NCBI protein alphabet.
+//!
+//! The twenty standard amino acids plus the ambiguity codes `B`
+//! (Asx = Asn/Asp), `Z` (Glx = Gln/Glu), `X` (any) and the stop/gap
+//! sentinel `*`. The numeric encoding (0..=23) matches the row/column
+//! order of the embedded BLOSUM matrices.
+
+/// One residue of a protein sequence.
+///
+/// The discriminant values are stable and are used directly as indices
+/// into [`crate::matrix::SubstitutionMatrix`] rows, database word hashes,
+/// and the BLAST neighborhood index.
+///
+/// ```
+/// use sapa_bioseq::AminoAcid;
+/// assert_eq!(AminoAcid::from_char('A'), Some(AminoAcid::Ala));
+/// assert_eq!(AminoAcid::Ala.to_char(), 'A');
+/// assert_eq!(AminoAcid::Ala.index(), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum AminoAcid {
+    /// Alanine (A)
+    Ala = 0,
+    /// Arginine (R)
+    Arg = 1,
+    /// Asparagine (N)
+    Asn = 2,
+    /// Aspartate (D)
+    Asp = 3,
+    /// Cysteine (C)
+    Cys = 4,
+    /// Glutamine (Q)
+    Gln = 5,
+    /// Glutamate (E)
+    Glu = 6,
+    /// Glycine (G)
+    Gly = 7,
+    /// Histidine (H)
+    His = 8,
+    /// Isoleucine (I)
+    Ile = 9,
+    /// Leucine (L)
+    Leu = 10,
+    /// Lysine (K)
+    Lys = 11,
+    /// Methionine (M)
+    Met = 12,
+    /// Phenylalanine (F)
+    Phe = 13,
+    /// Proline (P)
+    Pro = 14,
+    /// Serine (S)
+    Ser = 15,
+    /// Threonine (T)
+    Thr = 16,
+    /// Tryptophan (W)
+    Trp = 17,
+    /// Tyrosine (Y)
+    Tyr = 18,
+    /// Valine (V)
+    Val = 19,
+    /// Asx: asparagine or aspartate (B)
+    Asx = 20,
+    /// Glx: glutamine or glutamate (Z)
+    Glx = 21,
+    /// Any / unknown residue (X)
+    Xaa = 22,
+    /// Translation stop (*)
+    Stop = 23,
+}
+
+impl AminoAcid {
+    /// Number of symbols in the alphabet.
+    pub const COUNT: usize = 24;
+
+    /// Number of standard (unambiguous) amino acids.
+    pub const STANDARD_COUNT: usize = 20;
+
+    /// All 24 symbols in index order.
+    pub const ALL: [AminoAcid; Self::COUNT] = [
+        AminoAcid::Ala,
+        AminoAcid::Arg,
+        AminoAcid::Asn,
+        AminoAcid::Asp,
+        AminoAcid::Cys,
+        AminoAcid::Gln,
+        AminoAcid::Glu,
+        AminoAcid::Gly,
+        AminoAcid::His,
+        AminoAcid::Ile,
+        AminoAcid::Leu,
+        AminoAcid::Lys,
+        AminoAcid::Met,
+        AminoAcid::Phe,
+        AminoAcid::Pro,
+        AminoAcid::Ser,
+        AminoAcid::Thr,
+        AminoAcid::Trp,
+        AminoAcid::Tyr,
+        AminoAcid::Val,
+        AminoAcid::Asx,
+        AminoAcid::Glx,
+        AminoAcid::Xaa,
+        AminoAcid::Stop,
+    ];
+
+    /// The twenty standard amino acids in index order.
+    pub const STANDARD: [AminoAcid; Self::STANDARD_COUNT] = {
+        let mut out = [AminoAcid::Ala; Self::STANDARD_COUNT];
+        let mut i = 0;
+        while i < Self::STANDARD_COUNT {
+            out[i] = Self::ALL[i];
+            i += 1;
+        }
+        out
+    };
+
+    const CHARS: [u8; Self::COUNT] = *b"ARNDCQEGHILKMFPSTWYVBZX*";
+
+    /// Numeric index of this residue (0..=23), stable across versions.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Reconstructs a residue from its numeric index.
+    ///
+    /// Returns `None` if `index >= AminoAcid::COUNT`.
+    ///
+    /// ```
+    /// use sapa_bioseq::AminoAcid;
+    /// assert_eq!(AminoAcid::from_index(4), Some(AminoAcid::Cys));
+    /// assert_eq!(AminoAcid::from_index(99), None);
+    /// ```
+    #[inline]
+    pub const fn from_index(index: usize) -> Option<AminoAcid> {
+        if index < Self::COUNT {
+            Some(Self::ALL[index])
+        } else {
+            None
+        }
+    }
+
+    /// The single-letter IUPAC code.
+    #[inline]
+    pub const fn to_char(self) -> char {
+        Self::CHARS[self as usize] as char
+    }
+
+    /// Parses a single-letter IUPAC code (case-insensitive).
+    ///
+    /// `J`, `U` (selenocysteine) and `O` (pyrrolysine) are mapped to `X`
+    /// as NCBI tools commonly do.
+    pub fn from_char(c: char) -> Option<AminoAcid> {
+        Self::from_byte(c as u8)
+    }
+
+    /// Parses a single-letter code from a raw ASCII byte.
+    pub fn from_byte(b: u8) -> Option<AminoAcid> {
+        let up = b.to_ascii_uppercase();
+        let aa = match up {
+            b'A' => AminoAcid::Ala,
+            b'R' => AminoAcid::Arg,
+            b'N' => AminoAcid::Asn,
+            b'D' => AminoAcid::Asp,
+            b'C' => AminoAcid::Cys,
+            b'Q' => AminoAcid::Gln,
+            b'E' => AminoAcid::Glu,
+            b'G' => AminoAcid::Gly,
+            b'H' => AminoAcid::His,
+            b'I' => AminoAcid::Ile,
+            b'L' => AminoAcid::Leu,
+            b'K' => AminoAcid::Lys,
+            b'M' => AminoAcid::Met,
+            b'F' => AminoAcid::Phe,
+            b'P' => AminoAcid::Pro,
+            b'S' => AminoAcid::Ser,
+            b'T' => AminoAcid::Thr,
+            b'W' => AminoAcid::Trp,
+            b'Y' => AminoAcid::Tyr,
+            b'V' => AminoAcid::Val,
+            b'B' => AminoAcid::Asx,
+            b'Z' => AminoAcid::Glx,
+            b'X' | b'J' | b'U' | b'O' => AminoAcid::Xaa,
+            b'*' => AminoAcid::Stop,
+            _ => return None,
+        };
+        Some(aa)
+    }
+
+    /// Whether this is one of the twenty standard amino acids.
+    #[inline]
+    pub const fn is_standard(self) -> bool {
+        (self as usize) < Self::STANDARD_COUNT
+    }
+}
+
+impl std::fmt::Display for AminoAcid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.to_char())
+    }
+}
+
+impl From<AminoAcid> for u8 {
+    fn from(aa: AminoAcid) -> u8 {
+        aa as u8
+    }
+}
+
+impl TryFrom<u8> for AminoAcid {
+    type Error = crate::Error;
+
+    /// Interprets `value` as an ASCII single-letter code.
+    fn try_from(value: u8) -> Result<Self, Self::Error> {
+        AminoAcid::from_byte(value).ok_or(crate::Error::InvalidResidue {
+            byte: value,
+            position: 0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_symbols() {
+        for aa in AminoAcid::ALL {
+            assert_eq!(AminoAcid::from_char(aa.to_char()), Some(aa));
+            assert_eq!(AminoAcid::from_index(aa.index()), Some(aa));
+        }
+    }
+
+    #[test]
+    fn case_insensitive_parse() {
+        assert_eq!(AminoAcid::from_char('a'), Some(AminoAcid::Ala));
+        assert_eq!(AminoAcid::from_char('w'), Some(AminoAcid::Trp));
+    }
+
+    #[test]
+    fn rare_residues_map_to_x() {
+        for c in ['J', 'U', 'O', 'j', 'u', 'o'] {
+            assert_eq!(AminoAcid::from_char(c), Some(AminoAcid::Xaa));
+        }
+    }
+
+    #[test]
+    fn invalid_bytes_rejected() {
+        for c in ['1', ' ', '-', '?', '\n'] {
+            assert_eq!(AminoAcid::from_char(c), None);
+        }
+    }
+
+    #[test]
+    fn standard_flag() {
+        assert!(AminoAcid::Ala.is_standard());
+        assert!(AminoAcid::Val.is_standard());
+        assert!(!AminoAcid::Asx.is_standard());
+        assert!(!AminoAcid::Stop.is_standard());
+    }
+
+    #[test]
+    fn indices_are_dense_and_unique() {
+        let mut seen = [false; AminoAcid::COUNT];
+        for aa in AminoAcid::ALL {
+            assert!(!seen[aa.index()]);
+            seen[aa.index()] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+}

@@ -1,0 +1,84 @@
+//! Background amino-acid composition of SwissProt.
+//!
+//! The synthetic database generator draws residues from the overall
+//! amino-acid frequencies observed in UniProtKB/Swiss-Prot (values in
+//! percent, as published in the Swiss-Prot release statistics; they have
+//! been stable to the first decimal for decades). Using the real
+//! background composition matters for this reproduction: it determines
+//! the fan-out of BLAST's neighborhood word index and the hit rates of
+//! FASTA's k-tuple lookup, which in turn drive the memory-system and
+//! branch behaviour the paper characterizes.
+
+use crate::alphabet::AminoAcid;
+
+/// Swiss-Prot amino-acid frequencies (fraction of residues), indexed by
+/// [`AminoAcid::index`] over the twenty standard residues.
+pub const SWISSPROT_FREQUENCIES: [f64; AminoAcid::STANDARD_COUNT] = [
+    0.0826, // A
+    0.0553, // R
+    0.0406, // N
+    0.0546, // D
+    0.0137, // C
+    0.0393, // Q
+    0.0674, // E
+    0.0708, // G
+    0.0227, // H
+    0.0593, // I
+    0.0966, // L
+    0.0582, // K
+    0.0241, // M
+    0.0386, // F
+    0.0472, // P
+    0.0660, // S
+    0.0535, // T
+    0.0110, // W
+    0.0292, // Y
+    0.0687, // V
+];
+
+/// Returns the cumulative distribution over the standard residues,
+/// normalized so the final entry is exactly `1.0`.
+pub fn swissprot_cdf() -> [f64; AminoAcid::STANDARD_COUNT] {
+    let total: f64 = SWISSPROT_FREQUENCIES.iter().sum();
+    let mut cdf = [0.0; AminoAcid::STANDARD_COUNT];
+    let mut acc = 0.0;
+    for (i, f) in SWISSPROT_FREQUENCIES.iter().enumerate() {
+        acc += f / total;
+        cdf[i] = acc;
+    }
+    cdf[AminoAcid::STANDARD_COUNT - 1] = 1.0;
+    cdf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frequencies_sum_to_one() {
+        let total: f64 = SWISSPROT_FREQUENCIES.iter().sum();
+        assert!((total - 1.0).abs() < 0.01, "sum {total}");
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_complete() {
+        let cdf = swissprot_cdf();
+        let mut prev = 0.0;
+        for &c in &cdf {
+            assert!(c >= prev);
+            prev = c;
+        }
+        assert_eq!(cdf[AminoAcid::STANDARD_COUNT - 1], 1.0);
+    }
+
+    #[test]
+    fn leucine_is_most_common() {
+        let max = SWISSPROT_FREQUENCIES
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(AminoAcid::from_index(max), Some(AminoAcid::Leu));
+    }
+}

@@ -1,0 +1,331 @@
+//! Nucleotide sequences and the 2-bit packed database format.
+//!
+//! The paper's Listing 1 is NCBI blastn's hot loop: the nucleotide
+//! database is stored four bases per byte, and the word finder unpacks
+//! bases with the `READDB_UNPACK_BASE_{1..4}` macros while extending
+//! hits. This module provides that representation — [`Nucleotide`],
+//! [`DnaSequence`], and the packed [`PackedDna`] with the same
+//! byte-layout and unpack accessors — plus a deterministic synthetic
+//! DNA generator mirroring [`crate::db`].
+
+use crate::rng::Xoshiro256;
+
+/// One DNA base.
+///
+/// The 2-bit encoding (A=0, C=1, G=2, T=3) matches the NCBI packed
+/// database format that the paper's Listing 1 unpacks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Nucleotide {
+    /// Adenine.
+    A = 0,
+    /// Cytosine.
+    C = 1,
+    /// Guanine.
+    G = 2,
+    /// Thymine.
+    T = 3,
+}
+
+impl Nucleotide {
+    /// All four bases in encoding order.
+    pub const ALL: [Nucleotide; 4] = [
+        Nucleotide::A,
+        Nucleotide::C,
+        Nucleotide::G,
+        Nucleotide::T,
+    ];
+
+    /// The 2-bit code.
+    #[inline]
+    pub const fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Reconstructs a base from its 2-bit code (masking to 2 bits).
+    #[inline]
+    pub const fn from_code(code: u8) -> Nucleotide {
+        match code & 3 {
+            0 => Nucleotide::A,
+            1 => Nucleotide::C,
+            2 => Nucleotide::G,
+            _ => Nucleotide::T,
+        }
+    }
+
+    /// Parses an IUPAC base letter (case-insensitive; `U` maps to `T`).
+    pub fn from_char(c: char) -> Option<Nucleotide> {
+        match c.to_ascii_uppercase() {
+            'A' => Some(Nucleotide::A),
+            'C' => Some(Nucleotide::C),
+            'G' => Some(Nucleotide::G),
+            'T' | 'U' => Some(Nucleotide::T),
+            _ => None,
+        }
+    }
+
+    /// The single-letter code.
+    pub const fn to_char(self) -> char {
+        match self {
+            Nucleotide::A => 'A',
+            Nucleotide::C => 'C',
+            Nucleotide::G => 'G',
+            Nucleotide::T => 'T',
+        }
+    }
+
+    /// Watson-Crick complement.
+    pub const fn complement(self) -> Nucleotide {
+        match self {
+            Nucleotide::A => Nucleotide::T,
+            Nucleotide::T => Nucleotide::A,
+            Nucleotide::C => Nucleotide::G,
+            Nucleotide::G => Nucleotide::C,
+        }
+    }
+}
+
+impl std::fmt::Display for Nucleotide {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.to_char())
+    }
+}
+
+/// An identified DNA sequence.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DnaSequence {
+    id: String,
+    bases: Vec<Nucleotide>,
+}
+
+impl DnaSequence {
+    /// Creates a sequence from bases.
+    pub fn new(id: impl Into<String>, bases: Vec<Nucleotide>) -> Self {
+        DnaSequence {
+            id: id.into(),
+            bases,
+        }
+    }
+
+    /// Parses a base string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Error::InvalidResidue`] at the first byte that
+    /// is not an IUPAC base.
+    pub fn from_str(id: impl Into<String>, text: &str) -> crate::Result<Self> {
+        let mut bases = Vec::with_capacity(text.len());
+        for (position, c) in text.chars().enumerate() {
+            match Nucleotide::from_char(c) {
+                Some(b) => bases.push(b),
+                None => {
+                    return Err(crate::Error::InvalidResidue {
+                        byte: c as u8,
+                        position,
+                    })
+                }
+            }
+        }
+        Ok(DnaSequence::new(id, bases))
+    }
+
+    /// Stable identifier.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// The bases.
+    pub fn bases(&self) -> &[Nucleotide] {
+        &self.bases
+    }
+
+    /// Number of bases.
+    pub fn len(&self) -> usize {
+        self.bases.len()
+    }
+
+    /// Whether the sequence is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bases.is_empty()
+    }
+
+    /// The reverse complement.
+    pub fn reverse_complement(&self) -> DnaSequence {
+        DnaSequence {
+            id: format!("{}|rc", self.id),
+            bases: self
+                .bases
+                .iter()
+                .rev()
+                .map(|b| b.complement())
+                .collect(),
+        }
+    }
+
+    /// Packs into the NCBI 4-bases-per-byte representation.
+    pub fn pack(&self) -> PackedDna {
+        PackedDna::from_bases(&self.bases)
+    }
+}
+
+impl std::fmt::Display for DnaSequence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for b in &self.bases {
+            write!(f, "{b}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A 2-bit packed DNA sequence: four bases per byte, first base in the
+/// two most significant bits — NCBI's `ncbi2na` layout, the structure
+/// the paper's Listing 1 walks with `READDB_UNPACK_BASE_{1..4}`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PackedDna {
+    bytes: Vec<u8>,
+    len: usize,
+}
+
+impl PackedDna {
+    /// Packs a base slice.
+    pub fn from_bases(bases: &[Nucleotide]) -> Self {
+        let mut bytes = vec![0u8; bases.len().div_ceil(4)];
+        for (i, b) in bases.iter().enumerate() {
+            bytes[i / 4] |= b.code() << (2 * (3 - (i % 4)));
+        }
+        PackedDna {
+            bytes,
+            len: bases.len(),
+        }
+    }
+
+    /// Number of bases.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the sequence is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The packed bytes (the simulated database image the traced
+    /// scanner loads from).
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Base `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn get(&self, i: usize) -> Nucleotide {
+        assert!(i < self.len, "base index {i} out of range {}", self.len);
+        let byte = self.bytes[i / 4];
+        Nucleotide::from_code(unpack_base(byte, 4 - (i % 4) as u8))
+    }
+
+    /// Unpacks all bases.
+    pub fn unpack(&self) -> Vec<Nucleotide> {
+        (0..self.len).map(|i| self.get(i)).collect()
+    }
+}
+
+/// `READDB_UNPACK_BASE_k(byte)` of the paper's Listing 1: extracts base
+/// `k` (4 = most significant pair, 1 = least) from a packed byte.
+///
+/// # Panics
+///
+/// Panics if `k` is not in `1..=4`.
+#[inline]
+pub fn unpack_base(byte: u8, k: u8) -> u8 {
+    assert!((1..=4).contains(&k), "base position must be 1..=4");
+    (byte >> (2 * (k - 1))) & 3
+}
+
+/// Generates a deterministic random DNA sequence of `len` bases
+/// (uniform composition).
+pub fn random_dna(id: impl Into<String>, len: usize, seed: u64) -> DnaSequence {
+    let mut rng = Xoshiro256::new(seed ^ 0xD7A);
+    let bases = (0..len)
+        .map(|_| Nucleotide::from_code(rng.next_u64() as u8))
+        .collect();
+    DnaSequence::new(id, bases)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display() {
+        let s = DnaSequence::from_str("d", "ACGTacgtU").unwrap();
+        assert_eq!(s.to_string(), "ACGTACGTT");
+        assert!(DnaSequence::from_str("d", "ACGX").is_err());
+    }
+
+    #[test]
+    fn complement_and_reverse_complement() {
+        assert_eq!(Nucleotide::A.complement(), Nucleotide::T);
+        assert_eq!(Nucleotide::G.complement(), Nucleotide::C);
+        let s = DnaSequence::from_str("d", "AACGT").unwrap();
+        assert_eq!(s.reverse_complement().to_string(), "ACGTT");
+    }
+
+    #[test]
+    fn packing_round_trips() {
+        for text in ["", "A", "ACG", "ACGT", "ACGTTGCA", "ACGTTGCAT"] {
+            let s = DnaSequence::from_str("d", text).unwrap();
+            let packed = s.pack();
+            assert_eq!(packed.len(), s.len());
+            assert_eq!(packed.unpack(), s.bases());
+            for (i, &b) in s.bases().iter().enumerate() {
+                assert_eq!(packed.get(i), b, "{text} base {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn packed_layout_matches_ncbi2na() {
+        // "ACGT" => A(00) C(01) G(10) T(11) => 0b00011011.
+        let s = DnaSequence::from_str("d", "ACGT").unwrap();
+        assert_eq!(s.pack().bytes(), &[0b0001_1011]);
+    }
+
+    #[test]
+    fn unpack_base_macros() {
+        let byte = 0b0001_1011; // ACGT
+        assert_eq!(unpack_base(byte, 4), 0); // A
+        assert_eq!(unpack_base(byte, 3), 1); // C
+        assert_eq!(unpack_base(byte, 2), 2); // G
+        assert_eq!(unpack_base(byte, 1), 3); // T
+    }
+
+    #[test]
+    #[should_panic(expected = "base position")]
+    fn unpack_base_bounds() {
+        let _ = unpack_base(0, 5);
+    }
+
+    #[test]
+    fn random_dna_is_deterministic_and_balanced() {
+        let a = random_dna("r", 4000, 9);
+        assert_eq!(a, random_dna("r", 4000, 9));
+        let mut counts = [0usize; 4];
+        for &b in a.bases() {
+            counts[b.code() as usize] += 1;
+        }
+        for c in counts {
+            assert!((700..1300).contains(&c), "skewed composition {counts:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn packed_get_bounds_checked() {
+        let s = DnaSequence::from_str("d", "ACG").unwrap();
+        let _ = s.pack().get(3);
+    }
+}

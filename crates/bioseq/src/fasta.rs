@@ -1,0 +1,236 @@
+//! Streaming FASTA reading and writing.
+//!
+//! ```
+//! use sapa_bioseq::fasta::{read_fasta, write_fasta};
+//! use sapa_bioseq::Sequence;
+//!
+//! # fn main() -> sapa_bioseq::Result<()> {
+//! let input = ">sp|P1|TEST first test protein\nMKVL\nAAGG\n>sp|P2|OTHER\nWYV\n";
+//! let seqs = read_fasta(input.as_bytes())?;
+//! assert_eq!(seqs.len(), 2);
+//! assert_eq!(seqs[0].id(), "sp|P1|TEST");
+//! assert_eq!(seqs[0].to_string(), "MKVLAAGG");
+//!
+//! let mut out = Vec::new();
+//! write_fasta(&mut out, &seqs)?;
+//! let again = read_fasta(&out[..])?;
+//! assert_eq!(again, seqs);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::io::{BufRead, BufReader, Read, Write};
+
+use crate::alphabet::AminoAcid;
+use crate::seq::Sequence;
+use crate::{Error, Result};
+
+/// Reads all records from a FASTA stream.
+///
+/// Accepts `\n` and `\r\n` line endings; blank lines are ignored; the
+/// header is split at the first whitespace into id and description.
+///
+/// A `&mut R` can be passed for readers you want to keep using afterwards.
+///
+/// # Errors
+///
+/// [`Error::MalformedFasta`] if the stream does not begin with a `>`
+/// header or a record has an empty id; [`Error::InvalidResidue`] for
+/// non-amino-acid sequence bytes; [`Error::Io`] for underlying I/O
+/// failures.
+pub fn read_fasta<R: Read>(reader: R) -> Result<Vec<Sequence>> {
+    let mut out = Vec::new();
+    let mut current: Option<(String, String, Vec<AminoAcid>)> = None;
+
+    for (line_no, line) in BufReader::new(reader).lines().enumerate() {
+        let line = line?;
+        let line = line.trim_end_matches('\r');
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('>') {
+            if let Some((id, desc, residues)) = current.take() {
+                out.push(Sequence::new(id, desc, residues));
+            }
+            let mut parts = header.splitn(2, char::is_whitespace);
+            let id = parts.next().unwrap_or("").to_string();
+            if id.is_empty() {
+                return Err(Error::MalformedFasta {
+                    reason: "record header has an empty id".into(),
+                    line: Some(line_no + 1),
+                });
+            }
+            let desc = parts.next().unwrap_or("").trim().to_string();
+            current = Some((id, desc, Vec::new()));
+        } else {
+            let Some((_, _, residues)) = current.as_mut() else {
+                return Err(Error::MalformedFasta {
+                    reason: "sequence data before any '>' header".into(),
+                    line: Some(line_no + 1),
+                });
+            };
+            for (col, b) in line.bytes().enumerate() {
+                if b.is_ascii_whitespace() {
+                    continue;
+                }
+                match AminoAcid::from_byte(b) {
+                    Some(aa) => residues.push(aa),
+                    None => {
+                        return Err(Error::InvalidResidue {
+                            byte: b,
+                            position: col,
+                        })
+                    }
+                }
+            }
+        }
+    }
+    if let Some((id, desc, residues)) = current.take() {
+        out.push(Sequence::new(id, desc, residues));
+    }
+    Ok(out)
+}
+
+/// Line width used by [`write_fasta`].
+pub const FASTA_LINE_WIDTH: usize = 60;
+
+/// Writes records in FASTA format, wrapping sequence lines at
+/// [`FASTA_LINE_WIDTH`] columns.
+///
+/// A `&mut W` can be passed for writers you want to keep using
+/// afterwards.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_fasta<'a, W, I>(mut writer: W, sequences: I) -> Result<()>
+where
+    W: Write,
+    I: IntoIterator<Item = &'a Sequence>,
+{
+    for seq in sequences {
+        if seq.description().is_empty() {
+            writeln!(writer, ">{}", seq.id())?;
+        } else {
+            writeln!(writer, ">{} {}", seq.id(), seq.description())?;
+        }
+        let text = seq.to_string();
+        let bytes = text.as_bytes();
+        for chunk in bytes.chunks(FASTA_LINE_WIDTH) {
+            writer.write_all(chunk)?;
+            writer.write_all(b"\n")?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input_yields_no_records() {
+        assert_eq!(read_fasta("".as_bytes()).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn crlf_and_blank_lines() {
+        let input = ">a one\r\nMK\r\n\r\nVL\r\n";
+        let seqs = read_fasta(input.as_bytes()).unwrap();
+        assert_eq!(seqs[0].to_string(), "MKVL");
+        assert_eq!(seqs[0].description(), "one");
+    }
+
+    #[test]
+    fn record_with_no_residues_is_kept() {
+        let seqs = read_fasta(">a\n>b\nMK\n".as_bytes()).unwrap();
+        assert_eq!(seqs.len(), 2);
+        assert!(seqs[0].is_empty());
+        assert_eq!(seqs[1].to_string(), "MK");
+    }
+
+    #[test]
+    fn data_before_header_is_an_error() {
+        let err = read_fasta("MKVL\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, Error::MalformedFasta { .. }));
+    }
+
+    #[test]
+    fn empty_id_is_an_error() {
+        let err = read_fasta("> description only\nMK\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, Error::MalformedFasta { .. }));
+    }
+
+    #[test]
+    fn invalid_residue_is_reported() {
+        let err = read_fasta(">a\nMK9\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, Error::InvalidResidue { byte: b'9', .. }));
+    }
+
+    #[test]
+    fn long_sequences_wrap_on_write() {
+        let long = "A".repeat(150);
+        let seq = Sequence::from_str("long", &long).unwrap();
+        let mut out = Vec::new();
+        write_fasta(&mut out, [&seq]).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 1 + 3); // header + ceil(150/60)
+        assert_eq!(lines[1].len(), 60);
+        assert_eq!(lines[3].len(), 30);
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let seqs = vec![
+            Sequence::new(
+                "sp|Q1",
+                "alpha beta",
+                "MKWYV*XBZ".bytes().map(|b| AminoAcid::from_byte(b).unwrap()).collect(),
+            ),
+            Sequence::from_str("plain", "ACDEFG").unwrap(),
+        ];
+        let mut out = Vec::new();
+        write_fasta(&mut out, &seqs).unwrap();
+        assert_eq!(read_fasta(&out[..]).unwrap(), seqs);
+    }
+}
+
+#[cfg(test)]
+mod file_tests {
+    use super::*;
+    use crate::db::DatabaseBuilder;
+
+    #[test]
+    fn database_round_trips_through_a_real_file() {
+        let db = DatabaseBuilder::new().seed(77).sequences(25).build();
+        let dir = std::env::temp_dir().join("sapa_fasta_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("db.fasta");
+
+        let f = std::fs::File::create(&path).unwrap();
+        write_fasta(std::io::BufWriter::new(f), db.sequences()).unwrap();
+
+        let f = std::fs::File::open(&path).unwrap();
+        let back = read_fasta(std::io::BufReader::new(f)).unwrap();
+        assert_eq!(back, db.sequences());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn large_record_survives_wrapping() {
+        let long = Sequence::new(
+            "big",
+            "one very long protein",
+            std::iter::repeat(crate::AminoAcid::Leu).take(10_000).collect(),
+        );
+        let mut buf = Vec::new();
+        write_fasta(&mut buf, [&long]).unwrap();
+        // Every sequence line must respect the wrap width.
+        let text = String::from_utf8(buf.clone()).unwrap();
+        for line in text.lines().skip(1) {
+            assert!(line.len() <= FASTA_LINE_WIDTH);
+        }
+        assert_eq!(read_fasta(&buf[..]).unwrap()[0], long);
+    }
+}

@@ -1,0 +1,185 @@
+//! Small deterministic PRNGs used by the synthetic data generators.
+//!
+//! We keep generation independent of the `rand` crate's algorithm choices
+//! so that a given seed produces the *same* database and queries forever;
+//! the experiment tables in `EXPERIMENTS.md` depend on that stability.
+
+/// SplitMix64 — used for seeding and for cheap one-shot streams.
+///
+/// ```
+/// use sapa_bioseq::rng::SplitMix64;
+/// let mut a = SplitMix64::new(7);
+/// let mut b = SplitMix64::new(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a 64-bit seed.
+    pub const fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256** — the workhorse generator for database synthesis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    /// Creates a generator, expanding `seed` through SplitMix64 as the
+    /// xoshiro authors recommend.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        Xoshiro256 {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
+    }
+
+    /// Next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 high bits give a uniform double in [0,1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, bound)` using Lemire rejection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "next_below bound must be positive");
+        // Widening-multiply method; bias negligible for our bounds but we
+        // reject to stay exact.
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (bound as u128);
+            if (m as u64) >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Standard normal variate (Box–Muller, one value per call).
+    pub fn next_gaussian(&mut self) -> f64 {
+        loop {
+            let u = self.next_f64();
+            if u > 0.0 {
+                let v = self.next_f64();
+                return (-2.0 * u.ln()).sqrt() * (std::f64::consts::TAU * v).cos();
+            }
+        }
+    }
+}
+
+/// Samples an index from a cumulative distribution table.
+///
+/// `cdf` must be non-decreasing with `cdf.last() ≈ 1.0`. Returns the
+/// smallest `i` with `u < cdf[i]`, clamped to the final index.
+pub fn sample_cdf(cdf: &[f64], u: f64) -> usize {
+    match cdf.binary_search_by(|p| p.partial_cmp(&u).expect("NaN in cdf")) {
+        Ok(i) => (i + 1).min(cdf.len() - 1),
+        Err(i) => i.min(cdf.len() - 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xoshiro_is_deterministic() {
+        let mut a = Xoshiro256::new(123);
+        let mut b = Xoshiro256::new(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Xoshiro256::new(1);
+        let mut b = Xoshiro256::new(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn next_below_in_range() {
+        let mut r = Xoshiro256::new(99);
+        for bound in [1u64, 2, 3, 10, 1000, u32::MAX as u64] {
+            for _ in 0..200 {
+                assert!(r.next_below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut r = Xoshiro256::new(5);
+        for _ in 0..1000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gaussian_moments_plausible() {
+        let mut r = Xoshiro256::new(7);
+        let n = 20_000;
+        let mut sum = 0.0;
+        let mut sum2 = 0.0;
+        for _ in 0..n {
+            let g = r.next_gaussian();
+            sum += g;
+            sum2 += g * g;
+        }
+        let mean = sum / n as f64;
+        let var = sum2 / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn sample_cdf_boundaries() {
+        let cdf = [0.25, 0.5, 0.75, 1.0];
+        assert_eq!(sample_cdf(&cdf, 0.0), 0);
+        assert_eq!(sample_cdf(&cdf, 0.3), 1);
+        assert_eq!(sample_cdf(&cdf, 0.74), 2);
+        assert_eq!(sample_cdf(&cdf, 0.99), 3);
+        // u exactly on a boundary steps to the next bucket
+        assert_eq!(sample_cdf(&cdf, 0.25), 1);
+        // pathological u ≥ 1 clamps to the last index
+        assert_eq!(sample_cdf(&cdf, 1.5), 3);
+    }
+}

@@ -1,0 +1,150 @@
+//! Owned protein sequences.
+
+use crate::alphabet::AminoAcid;
+use crate::{Error, Result};
+
+/// An identified protein sequence.
+///
+/// ```
+/// use sapa_bioseq::Sequence;
+/// let s = Sequence::from_str("sp|TEST", "MKVLAA").unwrap();
+/// assert_eq!(s.len(), 6);
+/// assert_eq!(s.to_string(), "MKVLAA");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Sequence {
+    id: String,
+    description: String,
+    residues: Vec<AminoAcid>,
+}
+
+impl Sequence {
+    /// Creates a sequence from already-validated residues.
+    pub fn new(
+        id: impl Into<String>,
+        description: impl Into<String>,
+        residues: Vec<AminoAcid>,
+    ) -> Self {
+        Sequence {
+            id: id.into(),
+            description: description.into(),
+            residues,
+        }
+    }
+
+    /// Parses the residue string `text` (single-letter codes, whitespace
+    /// not allowed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidResidue`] at the first non-amino-acid byte.
+    pub fn from_str(id: impl Into<String>, text: &str) -> Result<Self> {
+        let mut residues = Vec::with_capacity(text.len());
+        for (position, b) in text.bytes().enumerate() {
+            match AminoAcid::from_byte(b) {
+                Some(aa) => residues.push(aa),
+                None => return Err(Error::InvalidResidue { byte: b, position }),
+            }
+        }
+        Ok(Sequence::new(id, String::new(), residues))
+    }
+
+    /// Stable identifier (e.g. an accession).
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// Free-form description from the FASTA header.
+    pub fn description(&self) -> &str {
+        &self.description
+    }
+
+    /// The residues.
+    pub fn residues(&self) -> &[AminoAcid] {
+        &self.residues
+    }
+
+    /// Number of residues.
+    pub fn len(&self) -> usize {
+        self.residues.len()
+    }
+
+    /// Whether the sequence has no residues.
+    pub fn is_empty(&self) -> bool {
+        self.residues.is_empty()
+    }
+
+    /// Residue indices (0..=23) as a byte vector; the layout used by the
+    /// instrumented workloads when placing the sequence in the simulated
+    /// address space.
+    pub fn to_index_bytes(&self) -> Vec<u8> {
+        self.residues.iter().map(|aa| aa.index() as u8).collect()
+    }
+
+    /// Iterates over residues.
+    pub fn iter(&self) -> std::iter::Copied<std::slice::Iter<'_, AminoAcid>> {
+        self.residues.iter().copied()
+    }
+}
+
+impl std::fmt::Display for Sequence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for aa in &self.residues {
+            write!(f, "{}", aa.to_char())?;
+        }
+        Ok(())
+    }
+}
+
+impl AsRef<[AminoAcid]> for Sequence {
+    fn as_ref(&self) -> &[AminoAcid] {
+        &self.residues
+    }
+}
+
+impl<'a> IntoIterator for &'a Sequence {
+    type Item = AminoAcid;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, AminoAcid>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        let text = "ACDEFGHIKLMNPQRSTVWYBZX*";
+        let s = Sequence::from_str("t", text).unwrap();
+        assert_eq!(s.to_string(), text);
+        assert_eq!(s.len(), text.len());
+    }
+
+    #[test]
+    fn parse_error_carries_position() {
+        let err = Sequence::from_str("t", "AC1DE").unwrap_err();
+        match err {
+            Error::InvalidResidue { byte, position } => {
+                assert_eq!(byte, b'1');
+                assert_eq!(position, 2);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_sequence() {
+        let s = Sequence::from_str("t", "").unwrap();
+        assert!(s.is_empty());
+        assert_eq!(s.to_string(), "");
+    }
+
+    #[test]
+    fn index_bytes_match_alphabet() {
+        let s = Sequence::from_str("t", "AR").unwrap();
+        assert_eq!(s.to_index_bytes(), vec![0, 1]);
+    }
+}

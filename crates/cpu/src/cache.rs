@@ -1,0 +1,579 @@
+//! Set-associative caches and the two-level memory hierarchy.
+
+use crate::config::{CacheConfig, MemConfig, PrefetchConfig};
+
+/// Where a memory access was finally served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ServedBy {
+    /// Hit in the L1 (or the level itself for single-level users).
+    L1,
+    /// L1 miss, L2 hit.
+    L2,
+    /// Missed both; served by main memory.
+    Memory,
+}
+
+/// Hit/miss counters for one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Total accesses.
+    pub accesses: u64,
+    /// Misses.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Miss rate in `[0, 1]` (0 for no accesses).
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// One set-associative, write-allocate cache level with LRU replacement.
+///
+/// Tag storage only (contents are irrelevant to timing). A `size` of
+/// `None` in the config models the paper's infinite ("Inf") caches:
+/// every access hits.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    sets: usize,
+    line_shift: u32,
+    /// `ways[set * assoc + way]` = tag, `u64::MAX` when invalid.
+    tags: Vec<u64>,
+    /// LRU stamps parallel to `tags` (higher = more recent).
+    stamps: Vec<u64>,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Builds a cache; `None`-sized configs yield an always-hit cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`CacheConfig::validate`].
+    pub fn new(cfg: CacheConfig) -> Self {
+        cfg.validate().expect("invalid cache configuration");
+        let (sets, ways) = match cfg.size {
+            Some(size) => {
+                let sets = (size / (cfg.line as u64 * cfg.assoc as u64)) as usize;
+                (sets.max(1), cfg.assoc as usize)
+            }
+            None => (0, 0),
+        };
+        Cache {
+            line_shift: cfg.line.trailing_zeros(),
+            cfg,
+            sets,
+            tags: vec![u64::MAX; sets * ways],
+            stamps: vec![0; sets * ways],
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Whether this is an always-hit (infinite) cache.
+    pub fn is_infinite(&self) -> bool {
+        self.cfg.size.is_none()
+    }
+
+    /// Hit latency in cycles.
+    pub fn latency(&self) -> u32 {
+        self.cfg.latency
+    }
+
+    /// Accesses the line containing `addr`; returns `true` on hit.
+    /// On a miss the line is allocated (write-allocate for stores too).
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.stats.accesses += 1;
+        if self.is_infinite() {
+            return true;
+        }
+        let line = addr >> self.line_shift;
+        let set = (line as usize) % self.sets;
+        let assoc = self.cfg.assoc as usize;
+        let base = set * assoc;
+        self.clock += 1;
+
+        // Hit path.
+        for w in 0..assoc {
+            if self.tags[base + w] == line {
+                self.stamps[base + w] = self.clock;
+                return true;
+            }
+        }
+        // Miss: replace LRU way.
+        self.stats.misses += 1;
+        let mut victim = 0;
+        let mut oldest = u64::MAX;
+        for w in 0..assoc {
+            if self.tags[base + w] == u64::MAX {
+                victim = w;
+                break;
+            }
+            if self.stamps[base + w] < oldest {
+                oldest = self.stamps[base + w];
+                victim = w;
+            }
+        }
+        self.tags[base + victim] = line;
+        self.stamps[base + victim] = self.clock;
+        false
+    }
+
+    /// Installs the line containing `addr` without touching the
+    /// demand statistics (prefetch fills).
+    pub fn install(&mut self, addr: u64) {
+        let before = self.stats;
+        self.access(addr);
+        self.stats = before;
+    }
+
+    /// Probes for `addr` without updating state or statistics.
+    pub fn probe(&self, addr: u64) -> bool {
+        if self.is_infinite() {
+            return true;
+        }
+        let line = addr >> self.line_shift;
+        let set = (line as usize) % self.sets;
+        let assoc = self.cfg.assoc as usize;
+        self.tags[set * assoc..set * assoc + assoc].contains(&line)
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+/// Result of a hierarchy access: total latency and the level that
+/// served it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessResult {
+    /// Cycles from issue to data available.
+    pub latency: u32,
+    /// Serving level, for trauma attribution.
+    pub served_by: ServedBy,
+    /// Whether the access missed in the TLB (page-walk penalty
+    /// included in `latency`).
+    pub tlb_miss: bool,
+}
+
+/// A translation-lookaside buffer over 4 KB pages (LRU, set-assoc).
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    sets: usize,
+    assoc: usize,
+    tags: Vec<u64>,
+    stamps: Vec<u64>,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl Tlb {
+    const PAGE_SHIFT: u32 = 12;
+
+    /// Builds a TLB with `entries` total entries and `assoc` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a positive multiple of `assoc`.
+    pub fn new(entries: u32, assoc: u32) -> Self {
+        assert!(assoc > 0 && entries > 0 && entries.is_multiple_of(assoc));
+        Tlb {
+            sets: (entries / assoc) as usize,
+            assoc: assoc as usize,
+            tags: vec![u64::MAX; entries as usize],
+            stamps: vec![0; entries as usize],
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Translates the page containing `addr`; returns `true` on hit.
+    /// A miss walks the page table and installs the entry.
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.stats.accesses += 1;
+        let page = addr >> Self::PAGE_SHIFT;
+        let set = (page as usize) % self.sets;
+        let base = set * self.assoc;
+        self.clock += 1;
+        for w in 0..self.assoc {
+            if self.tags[base + w] == page {
+                self.stamps[base + w] = self.clock;
+                return true;
+            }
+        }
+        self.stats.misses += 1;
+        let mut victim = 0;
+        let mut oldest = u64::MAX;
+        for w in 0..self.assoc {
+            if self.tags[base + w] == u64::MAX {
+                victim = w;
+                break;
+            }
+            if self.stamps[base + w] < oldest {
+                oldest = self.stamps[base + w];
+                victim = w;
+            }
+        }
+        self.tags[base + victim] = page;
+        self.stamps[base + victim] = self.clock;
+        false
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+/// The data-side memory hierarchy: DL1 → shared L2 → memory, with
+/// optional TLBs and an optional next-line prefetcher.
+#[derive(Debug, Clone)]
+pub struct MemoryHierarchy {
+    dl1: Cache,
+    il1: Cache,
+    l2: Cache,
+    mem_latency: u32,
+    dtlb: Option<Tlb>,
+    itlb: Option<Tlb>,
+    tlb_penalty: u32,
+    prefetch: PrefetchConfig,
+    line: u64,
+    /// Recent miss lines, for stream detection (ring buffer).
+    recent_misses: [u64; 8],
+    recent_head: usize,
+}
+
+impl MemoryHierarchy {
+    /// Builds the hierarchy from a Table V preset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`MemConfig::validate`].
+    pub fn new(cfg: &MemConfig) -> Self {
+        cfg.validate().expect("invalid memory configuration");
+        MemoryHierarchy {
+            dl1: Cache::new(cfg.dl1),
+            il1: Cache::new(cfg.il1),
+            l2: Cache::new(cfg.l2),
+            mem_latency: cfg.mem_latency,
+            dtlb: cfg.tlb.map(|t| Tlb::new(t.dtlb_entries, t.dtlb_assoc)),
+            itlb: cfg.tlb.map(|t| Tlb::new(t.itlb_entries, t.itlb_assoc)),
+            tlb_penalty: cfg.tlb.map(|t| t.miss_penalty).unwrap_or(0),
+            prefetch: cfg.prefetch,
+            line: cfg.dl1.line as u64,
+            recent_misses: [u64::MAX; 8],
+            recent_head: 0,
+        }
+    }
+
+    /// A data access (load or store) to `addr`.
+    pub fn data_access(&mut self, addr: u64) -> AccessResult {
+        let tlb_miss = match self.dtlb.as_mut() {
+            Some(tlb) => !tlb.access(addr),
+            None => false,
+        };
+        let walk = if tlb_miss { self.tlb_penalty } else { 0 };
+        let result = if self.dl1.access(addr) {
+            AccessResult {
+                latency: self.dl1.latency() + walk,
+                served_by: ServedBy::L1,
+                tlb_miss,
+            }
+        } else if self.l2.access(addr) {
+            AccessResult {
+                latency: self.dl1.latency() + self.l2.latency() + walk,
+                served_by: ServedBy::L2,
+                tlb_miss,
+            }
+        } else {
+            AccessResult {
+                latency: self.dl1.latency() + self.l2.latency() + self.mem_latency + walk,
+                served_by: ServedBy::Memory,
+                tlb_miss,
+            }
+        };
+        if result.served_by != ServedBy::L1 && self.prefetch.degree > 0 {
+            // Stream prefetcher: only prefetch when the miss continues
+            // a sequential pattern (a miss to the previous line is in
+            // the recent-miss window). Blind next-line prefetching
+            // pollutes the cache on random-access misses — exactly
+            // BLAST's word-table pattern.
+            let miss_line = addr / self.line.max(1);
+            let streaming = self
+                .recent_misses
+                .iter()
+                .any(|&l| l != u64::MAX && l + 1 == miss_line);
+            self.recent_misses[self.recent_head] = miss_line;
+            self.recent_head = (self.recent_head + 1) % self.recent_misses.len();
+            if streaming {
+                for k in 1..=self.prefetch.degree as u64 {
+                    let next = addr + k * self.line;
+                    if !self.dl1.probe(next) {
+                        // Installed off the books: prefetch traffic
+                        // must not pollute the demand-miss statistics.
+                        self.dl1.install(next);
+                        self.l2.install(next);
+                    }
+                    // Keep the stream alive past the prefetched span.
+                    self.recent_misses[self.recent_head] = miss_line + k;
+                    self.recent_head = (self.recent_head + 1) % self.recent_misses.len();
+                }
+            }
+        }
+        result
+    }
+
+    /// An instruction-fetch access to `addr`.
+    pub fn inst_access(&mut self, addr: u64) -> AccessResult {
+        let tlb_miss = match self.itlb.as_mut() {
+            Some(tlb) => !tlb.access(addr),
+            None => false,
+        };
+        let walk = if tlb_miss { self.tlb_penalty } else { 0 };
+        if self.il1.access(addr) {
+            AccessResult {
+                latency: self.il1.latency() + walk,
+                served_by: ServedBy::L1,
+                tlb_miss,
+            }
+        } else if self.l2.access(addr) {
+            AccessResult {
+                latency: self.il1.latency() + self.l2.latency() + walk,
+                served_by: ServedBy::L2,
+                tlb_miss,
+            }
+        } else {
+            AccessResult {
+                latency: self.il1.latency() + self.l2.latency() + self.mem_latency + walk,
+                served_by: ServedBy::Memory,
+                tlb_miss,
+            }
+        }
+    }
+
+    /// DTLB statistics (zeroes without a TLB).
+    pub fn dtlb_stats(&self) -> CacheStats {
+        self.dtlb.as_ref().map(Tlb::stats).unwrap_or_default()
+    }
+
+    /// ITLB statistics (zeroes without a TLB).
+    pub fn itlb_stats(&self) -> CacheStats {
+        self.itlb.as_ref().map(Tlb::stats).unwrap_or_default()
+    }
+
+    /// Probes the DL1 without side effects (used by the MSHR check:
+    /// a load that would miss may not issue when all MSHRs are busy).
+    pub fn probe_dl1(&self, addr: u64) -> bool {
+        self.dl1.probe(addr)
+    }
+
+    /// DL1 statistics.
+    pub fn dl1_stats(&self) -> CacheStats {
+        self.dl1.stats()
+    }
+
+    /// IL1 statistics.
+    pub fn il1_stats(&self) -> CacheStats {
+        self.il1.stats()
+    }
+
+    /// L2 statistics.
+    pub fn l2_stats(&self) -> CacheStats {
+        self.l2.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(size: u64, assoc: u32, line: u32) -> Cache {
+        Cache::new(CacheConfig {
+            size: Some(size),
+            assoc,
+            line,
+            latency: 1,
+        })
+    }
+
+    #[test]
+    fn first_touch_misses_second_hits() {
+        let mut c = small(1024, 2, 64);
+        assert!(!c.access(0x1000));
+        assert!(c.access(0x1000));
+        assert!(c.access(0x1004)); // same line
+        assert_eq!(c.stats().misses, 1);
+        assert_eq!(c.stats().accesses, 3);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        // 2 sets x 2 ways x 64B lines = 256B cache.
+        let mut c = small(256, 2, 64);
+        // Three lines mapping to set 0: line numbers 0, 2, 4 (even).
+        assert!(!c.access(0 * 64));
+        assert!(!c.access(2 * 64));
+        assert!(c.access(0 * 64)); // refresh line 0
+        assert!(!c.access(4 * 64)); // evicts line 2 (LRU)
+        assert!(c.access(0 * 64));
+        assert!(!c.access(2 * 64)); // line 2 was evicted
+    }
+
+    #[test]
+    fn direct_mapped_conflicts() {
+        let mut c = small(128, 1, 64); // 2 sets, 1 way
+        assert!(!c.access(0));
+        assert!(!c.access(128)); // same set, evicts
+        assert!(!c.access(0));
+    }
+
+    #[test]
+    fn infinite_cache_always_hits() {
+        let mut c = Cache::new(CacheConfig::infinite(1));
+        for i in 0..1000u64 {
+            assert!(c.access(i * 4096));
+        }
+        assert_eq!(c.stats().misses, 0);
+    }
+
+    #[test]
+    fn probe_does_not_mutate() {
+        let mut c = small(1024, 2, 64);
+        assert!(!c.probe(0x40));
+        assert_eq!(c.stats().accesses, 0);
+        c.access(0x40);
+        assert!(c.probe(0x40));
+    }
+
+    #[test]
+    fn hierarchy_latencies_stack() {
+        let mut h = MemoryHierarchy::new(&MemConfig::me1());
+        let first = h.data_access(0x2000_0000);
+        assert_eq!(first.served_by, ServedBy::Memory);
+        assert!(first.tlb_miss);
+        // 1 (L1) + 12 (L2) + 300 (memory) + 30 (cold TLB walk).
+        assert_eq!(first.latency, 1 + 12 + 300 + 30);
+        let second = h.data_access(0x2000_0000);
+        assert_eq!(second.served_by, ServedBy::L1);
+        assert!(!second.tlb_miss);
+        assert_eq!(second.latency, 1);
+    }
+
+    #[test]
+    fn l2_serves_after_dl1_eviction() {
+        // Small DL1 (direct-mapped-ish) with big L2: revisit after
+        // eviction should be an L2 hit.
+        let cfg = MemConfig {
+            name: "tiny".into(),
+            dl1: CacheConfig {
+                size: Some(256),
+                assoc: 1,
+                line: 64,
+                latency: 1,
+            },
+            il1: CacheConfig::infinite(1),
+            l2: CacheConfig {
+                size: Some(1 << 20),
+                assoc: 8,
+                line: 64,
+                latency: 12,
+            },
+            mem_latency: 300,
+            tlb: None,
+            prefetch: PrefetchConfig::default(),
+        };
+        let mut h = MemoryHierarchy::new(&cfg);
+        h.data_access(0); // miss everywhere
+        for i in 1..8u64 {
+            h.data_access(i * 256); // conflict-evict line 0 from DL1
+        }
+        let back = h.data_access(0);
+        assert_eq!(back.served_by, ServedBy::L2);
+        assert_eq!(back.latency, 13);
+    }
+
+    #[test]
+    fn miss_rate_computation() {
+        let s = CacheStats {
+            accesses: 10,
+            misses: 3,
+        };
+        assert!((s.miss_rate() - 0.3).abs() < 1e-12);
+        assert_eq!(CacheStats::default().miss_rate(), 0.0);
+    }
+}
+
+#[cfg(test)]
+mod tlb_tests {
+    use super::*;
+    use crate::config::TlbConfig;
+
+    #[test]
+    fn tlb_hits_within_a_page() {
+        let mut t = Tlb::new(64, 4);
+        assert!(!t.access(0x1000));
+        assert!(t.access(0x1FFF)); // same 4K page
+        assert!(!t.access(0x2000)); // next page
+        assert_eq!(t.stats().misses, 2);
+    }
+
+    #[test]
+    fn tlb_capacity_evicts_lru() {
+        let mut t = Tlb::new(4, 1); // 4 sets, direct-mapped
+        assert!(!t.access(0x0000));
+        assert!(!t.access(0x4000)); // page 4 -> set 0, evicts page 0
+        assert!(!t.access(0x0000));
+    }
+
+    #[test]
+    fn hierarchy_without_tlb_reports_no_misses() {
+        let mut cfg = MemConfig::me1();
+        cfg.tlb = None;
+        let mut h = MemoryHierarchy::new(&cfg);
+        let r = h.data_access(0x5000_0000);
+        assert!(!r.tlb_miss);
+        assert_eq!(h.dtlb_stats().accesses, 0);
+    }
+
+    #[test]
+    fn tlb_walk_penalty_configurable() {
+        let mut cfg = MemConfig::meinf(); // all caches hit
+        cfg.tlb = Some(TlbConfig {
+            miss_penalty: 50,
+            ..TlbConfig::default()
+        });
+        let mut h = MemoryHierarchy::new(&cfg);
+        let first = h.data_access(0x9000_0000);
+        assert_eq!(first.latency, 1 + 50);
+        let second = h.data_access(0x9000_0000);
+        assert_eq!(second.latency, 1);
+    }
+
+    #[test]
+    fn prefetcher_hides_streaming_misses() {
+        let mut base = MemConfig::me1();
+        base.name = "nopf".into();
+        let mut pf = MemConfig::me1();
+        pf.name = "pf".into();
+        pf.prefetch = PrefetchConfig { degree: 2 };
+
+        let miss_count = |cfg: &MemConfig| {
+            let mut h = MemoryHierarchy::new(cfg);
+            for i in 0..1000u64 {
+                h.data_access(0x2000_0000 + i * 64); // sequential stream
+            }
+            h.dl1_stats().misses
+        };
+        let without = miss_count(&base);
+        let with = miss_count(&pf);
+        assert!(with < without / 2, "prefetch {with} vs demand {without}");
+    }
+}

@@ -1,0 +1,630 @@
+//! Simulator configuration: the paper's Tables IV (processor), V
+//! (memory) and VI (branch prediction) as validated Rust types.
+
+/// Functional-unit / issue-queue classes (Table IV's unit mix).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum UnitClass {
+    /// Load/store units.
+    Mem = 0,
+    /// Integer (fixed-point) units.
+    Fix = 1,
+    /// Scalar floating-point units.
+    Fpu = 2,
+    /// Branch units.
+    Br = 3,
+    /// Vector integer (simple) units.
+    Vi = 4,
+    /// Vector permute units.
+    Vper = 5,
+    /// Vector complex-integer units.
+    Vcmplx = 6,
+    /// Vector floating-point units.
+    Vfpu = 7,
+}
+
+impl UnitClass {
+    /// Number of unit classes.
+    pub const COUNT: usize = 8;
+
+    /// All classes in index order.
+    pub const ALL: [UnitClass; Self::COUNT] = [
+        UnitClass::Mem,
+        UnitClass::Fix,
+        UnitClass::Fpu,
+        UnitClass::Br,
+        UnitClass::Vi,
+        UnitClass::Vper,
+        UnitClass::Vcmplx,
+        UnitClass::Vfpu,
+    ];
+
+    /// Stable index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Short label (matches the paper's queue names).
+    pub const fn label(self) -> &'static str {
+        match self {
+            UnitClass::Mem => "MEM",
+            UnitClass::Fix => "FIX",
+            UnitClass::Fpu => "FP",
+            UnitClass::Br => "BR",
+            UnitClass::Vi => "VI",
+            UnitClass::Vper => "VPER",
+            UnitClass::Vcmplx => "VCMPLX",
+            UnitClass::Vfpu => "VFP",
+        }
+    }
+}
+
+/// Core pipeline configuration (one column of Table IV).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CpuConfig {
+    /// Human-readable name ("4-way", …).
+    pub name: String,
+    /// Instructions fetched per cycle.
+    pub fetch_width: u32,
+    /// Instructions renamed per cycle.
+    pub rename_width: u32,
+    /// Instructions dispatched to issue queues per cycle.
+    pub dispatch_width: u32,
+    /// Instructions retired per cycle.
+    pub retire_width: u32,
+    /// Maximum instructions in flight.
+    pub inflight: u32,
+    /// Physical general-purpose registers.
+    pub gpr: u32,
+    /// Physical vector registers.
+    pub vpr: u32,
+    /// Physical floating-point registers.
+    pub fpr: u32,
+    /// Functional units per class, indexed by [`UnitClass::index`].
+    pub units: [u32; UnitClass::COUNT],
+    /// Issue-queue entries per class.
+    pub issue_queue: [u32; UnitClass::COUNT],
+    /// Fetch (instruction) buffer entries.
+    pub ibuffer: u32,
+    /// Retire queue (reorder buffer) entries.
+    pub retire_queue: u32,
+    /// Maximum outstanding D-cache misses (MSHRs).
+    pub max_outstanding_misses: u32,
+    /// Execution latency per class, cycles (memory ops add cache time).
+    pub unit_latency: [u32; UnitClass::COUNT],
+    /// Extra cycles added to vector loads/stores wider than 16 bytes
+    /// (the paper's Fig. 8 "+1 lat" ablation for 256-bit accesses).
+    pub wide_load_extra_latency: u32,
+    /// Frontend pipeline depth in cycles (fetch → dispatch), which sets
+    /// the refill cost after a misprediction together with
+    /// [`crate::config::BranchConfig::mispredict_recovery`].
+    pub frontend_depth: u32,
+}
+
+/// Default execution latencies (cycles) per unit class. Not specified
+/// in the paper; values follow the PowerPC 970's published pipelines
+/// (single-cycle integer/branch, 2-cycle VALU/VPERM, longer FP/complex).
+pub const DEFAULT_LATENCY: [u32; UnitClass::COUNT] = [1, 1, 4, 1, 2, 2, 4, 4];
+
+impl CpuConfig {
+    fn base(
+        name: &str,
+        width: u32,
+        retire: u32,
+        inflight: u32,
+        regs: u32,
+        units: [u32; UnitClass::COUNT],
+        iq: u32,
+        ibuffer: u32,
+        retire_queue: u32,
+        mshrs: u32,
+    ) -> Self {
+        CpuConfig {
+            name: name.to_string(),
+            fetch_width: width,
+            rename_width: width,
+            dispatch_width: width,
+            retire_width: retire,
+            inflight,
+            gpr: regs,
+            vpr: regs,
+            fpr: regs,
+            units,
+            issue_queue: [iq; UnitClass::COUNT],
+            ibuffer,
+            retire_queue,
+            max_outstanding_misses: mshrs,
+            unit_latency: DEFAULT_LATENCY,
+            wide_load_extra_latency: 0,
+            frontend_depth: 6,
+        }
+    }
+
+    /// Table IV's 4-way column (mainstream superscalar: PowerPC 970 /
+    /// Alpha 21264 class).
+    pub fn four_way() -> Self {
+        Self::base("4-way", 4, 6, 160, 96, [2, 3, 2, 2, 1, 1, 1, 1], 20, 18, 128, 4)
+    }
+
+    /// Table IV's 8-way column (aggressive design: possible Power6 /
+    /// Alpha 21464 class).
+    pub fn eight_way() -> Self {
+        Self::base("8-way", 8, 12, 255, 128, [4, 6, 4, 3, 2, 2, 2, 2], 40, 36, 180, 8)
+    }
+
+    /// Table IV's 16-way column (ILP limit study).
+    pub fn sixteen_way() -> Self {
+        Self::base(
+            "16-way",
+            16,
+            20,
+            255,
+            128,
+            [8, 10, 8, 7, 6, 4, 4, 4],
+            80,
+            72,
+            180,
+            16,
+        )
+    }
+
+    /// A 12-way interpolation used by the paper's Figure 8 sweep
+    /// (widths 4W/8W/12W/16W).
+    pub fn twelve_way() -> Self {
+        Self::base(
+            "12-way",
+            12,
+            16,
+            255,
+            128,
+            [6, 8, 6, 5, 4, 3, 3, 3],
+            60,
+            54,
+            180,
+            12,
+        )
+    }
+
+    /// Validates structural invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message naming the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.fetch_width == 0 || self.dispatch_width == 0 || self.retire_width == 0 {
+            return Err("pipeline widths must be positive".into());
+        }
+        if self.inflight == 0 || self.retire_queue == 0 {
+            return Err("in-flight and retire-queue limits must be positive".into());
+        }
+        if self.gpr < 32 || self.fpr < 32 || self.vpr < 64 {
+            return Err(
+                "physical register files must cover the architectural state (32 GPR/FPR, 64 VR)"
+                    .into(),
+            );
+        }
+        if self.units.contains(&0) {
+            return Err("every unit class needs at least one unit".into());
+        }
+        if self.issue_queue.contains(&0) {
+            return Err("every issue queue needs at least one entry".into());
+        }
+        if self.ibuffer == 0 {
+            return Err("instruction buffer must be positive".into());
+        }
+        if self.max_outstanding_misses == 0 {
+            return Err("need at least one MSHR".into());
+        }
+        Ok(())
+    }
+}
+
+/// One cache level's parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total size in bytes; `None` models the paper's "Inf" (ideal)
+    /// configuration where every access hits.
+    pub size: Option<u64>,
+    /// Associativity (ways).
+    pub assoc: u32,
+    /// Line size in bytes.
+    pub line: u32,
+    /// Hit latency in cycles.
+    pub latency: u32,
+}
+
+impl CacheConfig {
+    /// An always-hit (infinite) cache with the given latency.
+    pub const fn infinite(latency: u32) -> Self {
+        CacheConfig {
+            size: None,
+            assoc: 1,
+            line: 128,
+            latency,
+        }
+    }
+
+    /// Validates the geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.assoc == 0 {
+            return Err("associativity must be positive".into());
+        }
+        if !self.line.is_power_of_two() {
+            return Err("line size must be a power of two".into());
+        }
+        if let Some(size) = self.size {
+            let set_bytes = self.line as u64 * self.assoc as u64;
+            if size == 0 || size % set_bytes != 0 {
+                return Err(format!(
+                    "cache size {size} not divisible into {}B x {}-way sets",
+                    self.line, self.assoc
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Translation-lookaside-buffer configuration (4 KB pages).
+///
+/// The paper's trauma taxonomy includes TLB classes (`mm_tlb1/2`,
+/// `if_tlb1/2`) which are near-zero for these workloads; the default
+/// geometry (PowerPC-970-like) reproduces that.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbConfig {
+    /// Data-TLB entries (power of two).
+    pub dtlb_entries: u32,
+    /// Data-TLB associativity.
+    pub dtlb_assoc: u32,
+    /// Instruction-TLB entries (power of two).
+    pub itlb_entries: u32,
+    /// Instruction-TLB associativity.
+    pub itlb_assoc: u32,
+    /// Page-walk penalty in cycles on a TLB miss.
+    pub miss_penalty: u32,
+}
+
+impl Default for TlbConfig {
+    fn default() -> Self {
+        TlbConfig {
+            dtlb_entries: 512,
+            dtlb_assoc: 4,
+            itlb_entries: 256,
+            itlb_assoc: 4,
+            miss_penalty: 30,
+        }
+    }
+}
+
+impl TlbConfig {
+    /// Validates the geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns the violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        for (entries, assoc) in [
+            (self.dtlb_entries, self.dtlb_assoc),
+            (self.itlb_entries, self.itlb_assoc),
+        ] {
+            if !entries.is_power_of_two() || assoc == 0 || entries % assoc != 0 {
+                return Err("TLB entries must be a power of two divisible by associativity".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Hardware-prefetcher configuration (an extension beyond the paper;
+/// disabled by default so the baseline matches the paper's machine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PrefetchConfig {
+    /// Next-line prefetch into the DL1 on every DL1 miss; `degree`
+    /// consecutive lines are fetched (0 = disabled).
+    pub degree: u32,
+}
+
+/// Memory-hierarchy configuration (one column of Table V).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemConfig {
+    /// Preset name ("me1" … "meinf").
+    pub name: String,
+    /// L1 instruction cache.
+    pub il1: CacheConfig,
+    /// L1 data cache.
+    pub dl1: CacheConfig,
+    /// Shared L2.
+    pub l2: CacheConfig,
+    /// Main-memory latency in cycles.
+    pub mem_latency: u32,
+    /// TLBs (`None` = perfect translation).
+    pub tlb: Option<TlbConfig>,
+    /// Hardware prefetcher (extension; default off).
+    pub prefetch: PrefetchConfig,
+}
+
+impl MemConfig {
+    fn preset(name: &str, l1_kb: Option<u64>, l2: Option<u64>) -> Self {
+        MemConfig {
+            name: name.to_string(),
+            il1: CacheConfig {
+                size: l1_kb.map(|k| k * 1024),
+                assoc: 1,
+                line: 128,
+                latency: 1,
+            },
+            dl1: CacheConfig {
+                size: l1_kb.map(|k| k * 1024),
+                assoc: 2,
+                line: 128,
+                latency: 1,
+            },
+            l2: CacheConfig {
+                size: l2,
+                assoc: 8,
+                line: 128,
+                latency: 12,
+            },
+            mem_latency: 300,
+            tlb: Some(TlbConfig::default()),
+            prefetch: PrefetchConfig::default(),
+        }
+    }
+
+    /// Table V `me1`: 32K/32K L1, 1M L2.
+    pub fn me1() -> Self {
+        Self::preset("me1", Some(32), Some(1 << 20))
+    }
+
+    /// Table V `me2`: 64K/64K L1, 2M L2.
+    pub fn me2() -> Self {
+        Self::preset("me2", Some(64), Some(2 << 20))
+    }
+
+    /// Table V `me3`: 128K/128K L1, 4M L2.
+    pub fn me3() -> Self {
+        Self::preset("me3", Some(128), Some(4 << 20))
+    }
+
+    /// Table V `me4`: 128K/128K L1, infinite L2.
+    pub fn me4() -> Self {
+        Self::preset("me4", Some(128), None)
+    }
+
+    /// Table V `meinf`: everything infinite (ideal memory).
+    pub fn meinf() -> Self {
+        Self::preset("meinf", None, None)
+    }
+
+    /// All five Table V presets in order.
+    pub fn table_v() -> Vec<MemConfig> {
+        vec![
+            Self::me1(),
+            Self::me2(),
+            Self::me3(),
+            Self::me4(),
+            Self::meinf(),
+        ]
+    }
+
+    /// Validates all levels.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        self.il1.validate()?;
+        self.dl1.validate()?;
+        self.l2.validate()?;
+        if let Some(tlb) = &self.tlb {
+            tlb.validate()?;
+        }
+        Ok(())
+    }
+}
+
+/// Branch-predictor strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PredictorKind {
+    /// 2-bit counters indexed by PC.
+    Bimodal,
+    /// Global history XOR PC into 2-bit counters.
+    Gshare,
+    /// Combined predictor (bimodal + gshare with a meta chooser) — the
+    /// paper's "GP".
+    Gp,
+    /// Oracle: every branch predicted correctly (Fig. 9's Perfect-BP).
+    Perfect,
+}
+
+/// Branch-prediction configuration (Table VI).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BranchConfig {
+    /// Strategy.
+    pub kind: PredictorKind,
+    /// Predictor table entries (power of two).
+    pub table_size: u32,
+    /// NFA/BTB entries.
+    pub nfa_size: u32,
+    /// NFA/BTB associativity.
+    pub nfa_assoc: u32,
+    /// Fetch bubble on an NFA (BTB) miss for a taken branch.
+    pub nfa_miss_penalty: u32,
+    /// Cycles to restart fetch after a resolved misprediction.
+    pub mispredict_recovery: u32,
+    /// Maximum predicted (unresolved) conditional branches in flight.
+    pub max_pred_branches: u32,
+}
+
+impl BranchConfig {
+    /// Table VI's configuration: combined GP predictor, 16K-entry
+    /// table, 4K-entry 4-way NFA, 2-cycle NFA miss, 3-cycle recovery,
+    /// 12 predicted branches.
+    pub fn table_vi() -> Self {
+        BranchConfig {
+            kind: PredictorKind::Gp,
+            table_size: 16 * 1024,
+            nfa_size: 4 * 1024,
+            nfa_assoc: 4,
+            nfa_miss_penalty: 2,
+            mispredict_recovery: 3,
+            max_pred_branches: 12,
+        }
+    }
+
+    /// The oracle predictor (Fig. 9's Perfect-BP).
+    pub fn perfect() -> Self {
+        BranchConfig {
+            kind: PredictorKind::Perfect,
+            ..Self::table_vi()
+        }
+    }
+
+    /// Validates sizes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.table_size.is_power_of_two() {
+            return Err("predictor table size must be a power of two".into());
+        }
+        if !self.nfa_size.is_power_of_two() || self.nfa_assoc == 0 {
+            return Err("NFA size must be a power of two with positive associativity".into());
+        }
+        if self.max_pred_branches == 0 {
+            return Err("must allow at least one predicted branch".into());
+        }
+        Ok(())
+    }
+}
+
+/// Complete simulator configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Pipeline parameters.
+    pub cpu: CpuConfig,
+    /// Memory hierarchy.
+    pub mem: MemConfig,
+    /// Branch prediction.
+    pub branch: BranchConfig,
+}
+
+impl SimConfig {
+    /// The paper's default measurement point: 4-way core, `me1` memory
+    /// (32K/32K/1M), Table VI branch predictor.
+    pub fn four_way() -> Self {
+        SimConfig {
+            cpu: CpuConfig::four_way(),
+            mem: MemConfig::me1(),
+            branch: BranchConfig::table_vi(),
+        }
+    }
+
+    /// 8-way core with `me1` memory.
+    pub fn eight_way() -> Self {
+        SimConfig {
+            cpu: CpuConfig::eight_way(),
+            mem: MemConfig::me1(),
+            branch: BranchConfig::table_vi(),
+        }
+    }
+
+    /// 16-way core with `me1` memory.
+    pub fn sixteen_way() -> Self {
+        SimConfig {
+            cpu: CpuConfig::sixteen_way(),
+            mem: MemConfig::me1(),
+            branch: BranchConfig::table_vi(),
+        }
+    }
+
+    /// Validates every component.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        self.cpu.validate()?;
+        self.mem.validate()?;
+        self.branch.validate()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        for cfg in [
+            SimConfig::four_way(),
+            SimConfig::eight_way(),
+            SimConfig::sixteen_way(),
+        ] {
+            cfg.validate().unwrap();
+        }
+        for mem in MemConfig::table_v() {
+            mem.validate().unwrap();
+        }
+        CpuConfig::twelve_way().validate().unwrap();
+        BranchConfig::perfect().validate().unwrap();
+    }
+
+    #[test]
+    fn table_iv_unit_mix_4way() {
+        let c = CpuConfig::four_way();
+        assert_eq!(c.units[UnitClass::Mem.index()], 2);
+        assert_eq!(c.units[UnitClass::Fix.index()], 3);
+        assert_eq!(c.units[UnitClass::Vi.index()], 1);
+        assert_eq!(c.retire_width, 6);
+        assert_eq!(c.inflight, 160);
+        assert_eq!(c.issue_queue[0], 20);
+        assert_eq!(c.ibuffer, 18);
+        assert_eq!(c.retire_queue, 128);
+    }
+
+    #[test]
+    fn table_v_me1_geometry() {
+        let m = MemConfig::me1();
+        assert_eq!(m.dl1.size, Some(32 * 1024));
+        assert_eq!(m.dl1.assoc, 2);
+        assert_eq!(m.il1.assoc, 1);
+        assert_eq!(m.l2.size, Some(1 << 20));
+        assert_eq!(m.l2.latency, 12);
+        assert_eq!(m.mem_latency, 300);
+        assert!(MemConfig::meinf().dl1.size.is_none());
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut c = CpuConfig::four_way();
+        c.fetch_width = 0;
+        assert!(c.validate().is_err());
+
+        let mut m = MemConfig::me1();
+        m.dl1.line = 100; // not a power of two
+        assert!(m.validate().is_err());
+
+        let mut b = BranchConfig::table_vi();
+        b.table_size = 1000; // not a power of two
+        assert!(b.validate().is_err());
+    }
+
+    #[test]
+    fn cache_size_must_tile_into_sets() {
+        let c = CacheConfig {
+            size: Some(1000),
+            assoc: 2,
+            line: 128,
+            latency: 1,
+        };
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,1059 @@
+//! The cycle-driven out-of-order pipeline model.
+//!
+//! Stage order within a cycle is retire → issue → dispatch → fetch, so
+//! an instruction needs at least one cycle per stage (no same-cycle
+//! pass-through), matching the multi-stage pipes of the machines the
+//! paper models.
+//!
+//! ## Trauma attribution
+//!
+//! On every cycle in which no instruction retires, one cycle is charged
+//! to the stall reason of the oldest in-flight instruction — or, when
+//! the window is empty, to the reason instruction fetch is not
+//! delivering (branch-misprediction recovery, I-cache miss, NFA
+//! redirect, …). This is the Moreno et al. accounting that produces the
+//! paper's Figure 2 histograms.
+
+use std::collections::VecDeque;
+
+use sapa_isa::inst::{Inst, OpClass};
+use sapa_isa::reg::RegFile;
+use sapa_isa::trace::Trace;
+
+use crate::branch::{NfaTable, Predictor};
+use crate::cache::{MemoryHierarchy, ServedBy};
+use crate::config::{SimConfig, UnitClass};
+use crate::stats::{OccupancyHistogram, SimReport};
+use crate::trauma::{Trauma, TraumaCounts};
+
+/// Maps an instruction class to the functional-unit class that executes
+/// it (Table IV's unit mix).
+#[inline]
+pub fn unit_for(op: OpClass) -> UnitClass {
+    match op {
+        OpClass::IAlu | OpClass::Other => UnitClass::Fix,
+        OpClass::ILoad | OpClass::IStore | OpClass::VLoad | OpClass::VStore => UnitClass::Mem,
+        OpClass::Branch => UnitClass::Br,
+        OpClass::Fpu => UnitClass::Fpu,
+        OpClass::VSimple => UnitClass::Vi,
+        OpClass::VPerm => UnitClass::Vper,
+        OpClass::VCmplx => UnitClass::Vcmplx,
+        OpClass::VFpu => UnitClass::Vfpu,
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    /// Dispatched, waiting in an issue queue.
+    Waiting,
+    /// Issued; result available at `done_at`.
+    Executing,
+    /// Completed.
+    Done,
+}
+
+#[derive(Debug, Clone)]
+struct RobEntry {
+    inst: Inst,
+    state: State,
+    queue: UnitClass,
+    done_at: u64,
+    dispatch_cycle: u64,
+    deps: [u64; 4],
+    ndeps: u8,
+    served: Option<ServedBy>,
+    tlb_miss: bool,
+    mispredicted: bool,
+    is_cond_branch: bool,
+    /// Set when the only thing stopping issue was a full MSHR file.
+    mshr_blocked: bool,
+}
+
+/// The trace-driven simulator.
+///
+/// Construct once per configuration; [`Simulator::run`] may be called
+/// repeatedly (each run uses fresh microarchitectural state).
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    cfg: SimConfig,
+}
+
+impl Simulator {
+    /// Creates a simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`SimConfig::validate`].
+    pub fn new(cfg: SimConfig) -> Self {
+        if let Err(msg) = cfg.validate() {
+            panic!("invalid simulator configuration: {msg}");
+        }
+        Simulator { cfg }
+    }
+
+    /// The configuration this simulator models.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Simulates `trace` to completion and returns the measurements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation exceeds an internal watchdog of
+    /// `1000 × len + 10^6` cycles, which would indicate a scheduling
+    /// deadlock (an internal bug, not a configuration problem).
+    pub fn run(&self, trace: &Trace) -> SimReport {
+        Engine::new(&self.cfg, trace.insts()).run()
+    }
+}
+
+const FETCH_FREE: u64 = 0;
+
+struct Engine<'a> {
+    cfg: &'a SimConfig,
+    insts: &'a [Inst],
+    cycle: u64,
+
+    // Frontend.
+    next_fetch: usize,
+    fetch_stall_until: u64,
+    fetch_stall_reason: Trauma,
+    /// Sequence number of a fetched mispredicted branch that has not
+    /// yet scheduled its recovery; fetch is blocked while this is set.
+    mispredict_blocker: Option<u64>,
+    ibuffer: VecDeque<(usize, u64)>, // (trace index, fetch cycle)
+    cur_fetch_line: u64,
+    pending_branches: u32,
+    branch_resolutions: Vec<u64>,
+
+    // Backend.
+    rob: VecDeque<RobEntry>,
+    head_seq: u64,
+    queues: Vec<VecDeque<u64>>, // per UnitClass, entry = seq
+    free_regs: [u32; 3],        // spare physical registers per file
+    reg_writer: [u64; 128],     // seq of latest dispatched writer, or NO_WRITER
+    store_queue: VecDeque<(u64, u32)>, // in-flight stores: (seq, addr granule)
+    mshr: Vec<u64>,             // completion cycles of outstanding DL1 misses
+    hierarchy: MemoryHierarchy,
+    predictor: Predictor,
+    nfa: NfaTable,
+
+    // Dispatch-stall bookkeeping for trauma attribution.
+    dispatch_stall: Option<Trauma>,
+
+    // Statistics.
+    traumas: TraumaCounts,
+    store_forwards: u64,
+    retired: u64,
+    queue_occ: Vec<OccupancyHistogram>,
+    inflight_occ: OccupancyHistogram,
+    retireq_occ: OccupancyHistogram,
+}
+
+const NO_WRITER: u64 = u64::MAX;
+
+impl<'a> Engine<'a> {
+    fn new(cfg: &'a SimConfig, insts: &'a [Inst]) -> Self {
+        let queue_occ = UnitClass::ALL
+            .iter()
+            .map(|&c| OccupancyHistogram::new(cfg.cpu.issue_queue[c.index()] as usize))
+            .collect();
+        Engine {
+            cfg,
+            insts,
+            cycle: 0,
+            next_fetch: 0,
+            fetch_stall_until: FETCH_FREE,
+            fetch_stall_reason: Trauma::Other,
+            mispredict_blocker: None,
+            ibuffer: VecDeque::with_capacity(cfg.cpu.ibuffer as usize),
+            cur_fetch_line: u64::MAX,
+            pending_branches: 0,
+            branch_resolutions: Vec::new(),
+            rob: VecDeque::with_capacity(cfg.cpu.retire_queue as usize),
+            head_seq: 0,
+            queues: vec![VecDeque::new(); UnitClass::COUNT],
+            free_regs: [
+                cfg.cpu.gpr.saturating_sub(32),
+                cfg.cpu.fpr.saturating_sub(32),
+                cfg.cpu.vpr.saturating_sub(64),
+            ],
+            reg_writer: [NO_WRITER; 128],
+            store_queue: VecDeque::new(),
+            mshr: Vec::new(),
+            hierarchy: MemoryHierarchy::new(&cfg.mem),
+            predictor: Predictor::from_config(&cfg.branch),
+            nfa: NfaTable::new(cfg.branch.nfa_size, cfg.branch.nfa_assoc),
+            dispatch_stall: None,
+            traumas: TraumaCounts::new(),
+            store_forwards: 0,
+            retired: 0,
+            queue_occ,
+            inflight_occ: OccupancyHistogram::new(cfg.cpu.inflight as usize),
+            retireq_occ: OccupancyHistogram::new(cfg.cpu.retire_queue as usize),
+        }
+    }
+
+    fn run(mut self) -> SimReport {
+        let watchdog = self.insts.len() as u64 * 1000 + 1_000_000;
+        while self.next_fetch < self.insts.len()
+            || !self.ibuffer.is_empty()
+            || !self.rob.is_empty()
+        {
+            self.cycle += 1;
+            assert!(
+                self.cycle < watchdog,
+                "simulator watchdog tripped at cycle {} ({} of {} instructions retired): \
+                 scheduling deadlock",
+                self.cycle,
+                self.retired,
+                self.insts.len()
+            );
+
+            self.expire_resolutions();
+            let retired = self.retire();
+            self.issue();
+            self.dispatch_stall = None;
+            self.dispatch();
+            self.fetch();
+            self.record_occupancy();
+            // Moreno-style accounting: any cycle that retires fewer
+            // instructions than the machine width is charged to the
+            // stall reason of the oldest non-retiring operation.
+            if retired < self.cfg.cpu.retire_width {
+                let blame = self.blame();
+                self.traumas.charge(blame, 1);
+            }
+        }
+
+        SimReport {
+            cycles: self.cycle,
+            instructions: self.retired,
+            traumas: self.traumas,
+            store_forwards: self.store_forwards,
+            dl1: self.hierarchy.dl1_stats(),
+            il1: self.hierarchy.il1_stats(),
+            l2: self.hierarchy.l2_stats(),
+            dtlb: self.hierarchy.dtlb_stats(),
+            itlb: self.hierarchy.itlb_stats(),
+            bp_predictions: self.predictor.predictions(),
+            bp_mispredictions: self.predictor.mispredictions(),
+            queue_occupancy: self.queue_occ,
+            inflight_occupancy: self.inflight_occ,
+            retireq_occupancy: self.retireq_occ,
+        }
+    }
+
+    #[inline]
+    fn entry(&self, seq: u64) -> Option<&RobEntry> {
+        if seq < self.head_seq {
+            return None; // already retired
+        }
+        self.rob.get((seq - self.head_seq) as usize)
+    }
+
+    #[inline]
+    fn entry_mut(&mut self, seq: u64) -> Option<&mut RobEntry> {
+        if seq < self.head_seq {
+            return None;
+        }
+        self.rob.get_mut((seq - self.head_seq) as usize)
+    }
+
+    /// A dependency is satisfied when its producer has left the window
+    /// or has completed execution.
+    #[inline]
+    fn dep_ready(&self, seq: u64) -> bool {
+        match self.entry(seq) {
+            None => true,
+            Some(e) => e.state == State::Done || (e.state == State::Executing && e.done_at <= self.cycle),
+        }
+    }
+
+    fn expire_resolutions(&mut self) {
+        let now = self.cycle;
+        let before = self.branch_resolutions.len();
+        self.branch_resolutions.retain(|&t| t > now);
+        self.pending_branches -= (before - self.branch_resolutions.len()) as u32;
+        self.mshr.retain(|&t| t > now);
+    }
+
+    fn retire(&mut self) -> u32 {
+        let mut n = 0;
+        while n < self.cfg.cpu.retire_width {
+            let Some(head) = self.rob.front() else { break };
+            let complete = match head.state {
+                State::Done => true,
+                State::Executing => head.done_at <= self.cycle,
+                State::Waiting => false,
+            };
+            if !complete {
+                break;
+            }
+            let entry = self.rob.pop_front().expect("head exists");
+            if entry.inst.op.is_store() {
+                let popped = self.store_queue.pop_front();
+                debug_assert_eq!(popped.map(|(s, _)| s), Some(self.head_seq));
+            }
+            self.head_seq += 1;
+            if entry.inst.dst.is_some() {
+                let file = file_index(entry.inst.dst.file());
+                self.free_regs[file] += 1;
+            }
+            self.retired += 1;
+            n += 1;
+        }
+        n
+    }
+
+    fn issue(&mut self) {
+        for &class in &UnitClass::ALL {
+            let units = self.cfg.cpu.units[class.index()];
+            let mut issued = 0;
+            let mut examined = 0;
+            let mut qi = 0;
+            // Limited-window oldest-first select, like real issue logic.
+            while issued < units && qi < self.queues[class.index()].len() && examined < 24 {
+                examined += 1;
+                let seq = self.queues[class.index()][qi];
+                if !self.try_issue(seq) {
+                    qi += 1;
+                    continue;
+                }
+                self.queues[class.index()].remove(qi);
+                issued += 1;
+            }
+        }
+    }
+
+    /// Attempts to issue the instruction `seq`; returns `true` on
+    /// success.
+    fn try_issue(&mut self, seq: u64) -> bool {
+        let now = self.cycle;
+        let Some(e) = self.entry(seq) else {
+            return false;
+        };
+        if e.state != State::Waiting || e.dispatch_cycle >= now {
+            return false;
+        }
+        for k in 0..e.ndeps as usize {
+            if !self.dep_ready(e.deps[k]) {
+                return false;
+            }
+        }
+        let inst = e.inst;
+        let class = e.queue;
+        let base_lat = self.cfg.cpu.unit_latency[class.index()];
+
+        let (done_at, served, tlb_miss, mshr_used) = if inst.op.is_mem() {
+            // Memory operation: consult the hierarchy.
+            let addr = inst.ea as u64;
+            let will_hit = self.hierarchy_probe(addr);
+            if !will_hit
+                && inst.op.is_load()
+                && self.mshr.len() >= self.cfg.cpu.max_outstanding_misses as usize
+            {
+                // No MSHR for a new miss: mark and retry later.
+                if let Some(em) = self.entry_mut(seq) {
+                    em.mshr_blocked = true;
+                }
+                return false;
+            }
+            let access = self.hierarchy.data_access(addr);
+            let mut lat = access.latency;
+            if inst.width() > 16 {
+                lat += self.cfg.cpu.wide_load_extra_latency;
+            }
+            if inst.op.is_store() {
+                // Stores drain through the store queue off the critical
+                // path; completion is immediate for dependents.
+                (now + base_lat as u64, Some(access.served_by), access.tlb_miss, false)
+            } else {
+                (
+                    now + lat.max(base_lat) as u64,
+                    Some(access.served_by),
+                    access.tlb_miss,
+                    access.served_by != ServedBy::L1,
+                )
+            }
+        } else {
+            (now + base_lat as u64, None, false, false)
+        };
+
+        if mshr_used {
+            self.mshr.push(done_at);
+        }
+
+        let is_cond = {
+            let e = self.entry_mut(seq).expect("entry exists");
+            e.state = State::Executing;
+            e.done_at = done_at;
+            e.served = served;
+            e.tlb_miss = tlb_miss;
+            e.mshr_blocked = false;
+            e.is_cond_branch
+        };
+
+        if is_cond {
+            self.branch_resolutions.push(done_at);
+            // A mispredicted branch schedules the fetch restart.
+            let mispredicted = self.entry(seq).map(|e| e.mispredicted).unwrap_or(false);
+            if mispredicted && self.mispredict_blocker == Some(seq) {
+                self.mispredict_blocker = None;
+                self.fetch_stall_until =
+                    done_at + self.cfg.branch.mispredict_recovery as u64;
+                self.fetch_stall_reason = Trauma::IfPred;
+            }
+        }
+        true
+    }
+
+    fn hierarchy_probe(&self, _addr: u64) -> bool {
+        // The MSHR limit only matters for DL1 misses; infinite caches
+        // always hit. A precise probe would need &self access to the
+        // DL1 — exposed via MemoryHierarchy::probe_dl1.
+        self.hierarchy.probe_dl1(_addr)
+    }
+
+    fn dispatch(&mut self) {
+        let mut n = 0;
+        while n < self.cfg.cpu.dispatch_width {
+            let Some(&(idx, fetch_cycle)) = self.ibuffer.front() else {
+                break;
+            };
+            // Frontend pipeline depth: decode/rename take a few cycles.
+            if fetch_cycle + self.cfg.cpu.frontend_depth as u64 > self.cycle {
+                self.dispatch_stall = Some(Trauma::Decode);
+                break;
+            }
+            if self.rob.len() >= self.cfg.cpu.retire_queue as usize {
+                self.dispatch_stall = Some(Trauma::MmRoqf);
+                break;
+            }
+            let inst = self.insts[idx];
+            let class = unit_for(inst.op);
+            if self.queues[class.index()].len()
+                >= self.cfg.cpu.issue_queue[class.index()] as usize
+            {
+                self.dispatch_stall = Some(diq_trauma(class));
+                break;
+            }
+            if inst.dst.is_some() {
+                let file = file_index(inst.dst.file());
+                if self.free_regs[file] == 0 {
+                    self.dispatch_stall = Some(Trauma::Rename);
+                    break;
+                }
+                self.free_regs[file] -= 1;
+            }
+
+            // Record dependencies on in-flight producers.
+            let mut deps = [0u64; 4];
+            let mut ndeps = 0u8;
+            for src in inst.sources() {
+                let w = self.reg_writer[src.id() as usize];
+                if w != NO_WRITER && w >= self.head_seq {
+                    deps[ndeps as usize] = w;
+                    ndeps += 1;
+                }
+            }
+            let seq = self.head_seq + self.rob.len() as u64;
+            // Memory disambiguation: a load after an in-flight store to
+            // the same 16-byte granule waits for that store (store-queue
+            // forwarding, no speculative bypass).
+            if inst.op.is_load() {
+                let granule = inst.ea >> 4;
+                if let Some(&(sseq, _)) = self
+                    .store_queue
+                    .iter()
+                    .rev()
+                    .find(|&&(_, g)| g == granule)
+                {
+                    deps[ndeps as usize] = sseq;
+                    ndeps += 1;
+                    self.store_forwards += 1;
+                }
+            } else if inst.op.is_store() {
+                self.store_queue.push_back((seq, inst.ea >> 4));
+            }
+            if inst.dst.is_some() {
+                self.reg_writer[inst.dst.id() as usize] = seq;
+            }
+
+            let is_cond = inst.is_cond_branch();
+            let mispredicted = is_cond && {
+                // Prediction already happened at fetch; the outcome was
+                // recorded in the ibuffer companion entry via the
+                // blocker mechanism. Recompute from the blocker seq.
+                self.mispredict_blocker == Some(seq)
+            };
+
+            self.rob.push_back(RobEntry {
+                inst,
+                state: State::Waiting,
+                queue: class,
+                done_at: 0,
+                dispatch_cycle: self.cycle,
+                deps,
+                ndeps,
+                served: None,
+                tlb_miss: false,
+                mispredicted,
+                is_cond_branch: is_cond,
+                mshr_blocked: false,
+            });
+            self.queues[class.index()].push_back(seq);
+            self.ibuffer.pop_front();
+            n += 1;
+        }
+    }
+
+    fn fetch(&mut self) {
+        if self.cycle < self.fetch_stall_until {
+            return;
+        }
+        // While a mispredicted branch is unresolved, the frontend only
+        // holds correct-path instructions that were already buffered;
+        // no new fetch happens.
+        if self.mispredict_blocker.is_some() {
+            return;
+        }
+        // The last disruption reason stays sticky so that refill
+        // (decode-depth) cycles after a redirect are charged to the
+        // redirect's cause, as the paper's accounting does.
+
+        let line_mask = !(self.cfg.mem.il1.line as u64 - 1);
+        let mut n = 0;
+        while n < self.cfg.cpu.fetch_width {
+            if self.next_fetch >= self.insts.len() {
+                break;
+            }
+            if self.ibuffer.len() >= self.cfg.cpu.ibuffer as usize
+                || self.rob.len() + self.ibuffer.len() >= self.cfg.cpu.inflight as usize
+            {
+                // Instruction buffer full, or the machine-wide in-flight
+                // limit reached: fetch must wait for retirement.
+                self.fetch_stall_reason = Trauma::IfFull;
+                break;
+            }
+            if self.pending_branches >= self.cfg.branch.max_pred_branches {
+                self.fetch_stall_reason = Trauma::IfBrch;
+                break;
+            }
+            let inst = self.insts[self.next_fetch];
+
+            // I-cache: accessing a new line may miss.
+            let line = inst.pc as u64 & line_mask;
+            if line != self.cur_fetch_line {
+                let access = self.hierarchy.inst_access(line);
+                self.cur_fetch_line = line;
+                if access.served_by != ServedBy::L1 || access.tlb_miss {
+                    self.fetch_stall_until = self.cycle + access.latency as u64;
+                    self.fetch_stall_reason = if access.tlb_miss
+                        && access.served_by == ServedBy::L1
+                    {
+                        Trauma::IfTlb1
+                    } else {
+                        match access.served_by {
+                            ServedBy::L2 => Trauma::IfL1,
+                            _ => Trauma::IfL2,
+                        }
+                    };
+                    break;
+                }
+            }
+
+            let seq_if_dispatched =
+                self.head_seq + (self.rob.len() + self.ibuffer.len()) as u64;
+            self.ibuffer.push_back((self.next_fetch, self.cycle));
+            self.next_fetch += 1;
+            n += 1;
+
+            if inst.op.is_branch() {
+                if inst.is_cond_branch() {
+                    self.pending_branches += 1;
+                    let correct = self.predictor.predict_and_update(inst.pc, inst.taken());
+                    if !correct {
+                        // Fetch stops until this branch resolves.
+                        self.mispredict_blocker = Some(seq_if_dispatched);
+                        break;
+                    }
+                }
+                if inst.taken() {
+                    // Redirect through the NFA/BTB.
+                    if !self.nfa.lookup_insert(inst.pc) {
+                        self.fetch_stall_until =
+                            self.cycle + self.cfg.branch.nfa_miss_penalty as u64;
+                        self.fetch_stall_reason = Trauma::IfNfa;
+                    }
+                    break; // taken branches end the fetch group
+                }
+            }
+        }
+    }
+
+    fn record_occupancy(&mut self) {
+        for &class in &UnitClass::ALL {
+            let len = self.queues[class.index()].len();
+            self.queue_occ[class.index()].record(len);
+        }
+        self.inflight_occ
+            .record(self.rob.len() + self.ibuffer.len());
+        self.retireq_occ.record(self.rob.len());
+    }
+
+    /// Stall-reason attribution for a zero-retire cycle.
+    fn blame(&self) -> Trauma {
+        if let Some(head) = self.rob.front() {
+            match head.state {
+                State::Executing | State::Done => {
+                    // Multi-cycle execution at the head: charge the
+                    // resource it occupies.
+                    if head.tlb_miss && head.served == Some(ServedBy::L1) {
+                        // The page walk, not the cache, is the delay.
+                        Trauma::MmTlb1
+                    } else {
+                        match head.served {
+                            Some(ServedBy::L2) => Trauma::MmDl1,
+                            Some(ServedBy::Memory) => Trauma::MmDl2,
+                            _ => rg_trauma_for(head.inst.op, head.served),
+                        }
+                    }
+                }
+                State::Waiting => {
+                    if head.mshr_blocked {
+                        return Trauma::MmDmqf;
+                    }
+                    // First unready dependency decides the blame.
+                    for k in 0..head.ndeps as usize {
+                        let dep = head.deps[k];
+                        if !self.dep_ready(dep) {
+                            if let Some(p) = self.entry(dep) {
+                                return rg_trauma_for(p.inst.op, p.served);
+                            }
+                        }
+                    }
+                    // Ready but not issued: all units busy.
+                    ful_trauma(head.queue)
+                }
+            }
+        } else if self.mispredict_blocker.is_some()
+            || self.fetch_stall_reason == Trauma::IfPred
+        {
+            Trauma::IfPred
+        } else if self.cycle < self.fetch_stall_until {
+            self.fetch_stall_reason
+        } else if self.dispatch_stall == Some(Trauma::Decode)
+            && matches!(
+                self.fetch_stall_reason,
+                Trauma::IfPred | Trauma::IfNfa | Trauma::IfL1 | Trauma::IfL2
+            )
+        {
+            // Pipeline-refill cycles after a frontend disruption belong
+            // to the disruption, not to "decode".
+            self.fetch_stall_reason
+        } else if let Some(t) = self.dispatch_stall {
+            t
+        } else if self.next_fetch >= self.insts.len() {
+            Trauma::Other
+        } else {
+            Trauma::Decode
+        }
+    }
+}
+
+#[inline]
+fn file_index(file: RegFile) -> usize {
+    match file {
+        RegFile::Gpr => 0,
+        RegFile::Fpr => 1,
+        RegFile::Vr => 2,
+    }
+}
+
+/// Register-dependency trauma for a producer of class `op`.
+fn rg_trauma_for(op: OpClass, served: Option<ServedBy>) -> Trauma {
+    match op {
+        OpClass::IAlu | OpClass::Other => Trauma::RgFix,
+        OpClass::ILoad | OpClass::VLoad => match served {
+            Some(ServedBy::L2) => Trauma::MmDl1,
+            Some(ServedBy::Memory) => Trauma::MmDl2,
+            _ => Trauma::RgMem,
+        },
+        OpClass::IStore | OpClass::VStore => Trauma::StData,
+        OpClass::Branch => Trauma::RgBr,
+        OpClass::Fpu => Trauma::RgFpu,
+        OpClass::VSimple => Trauma::RgVi,
+        OpClass::VPerm => Trauma::RgVper,
+        OpClass::VCmplx => Trauma::RgVcmplx,
+        OpClass::VFpu => Trauma::RgVfpu,
+    }
+}
+
+fn ful_trauma(class: UnitClass) -> Trauma {
+    match class {
+        UnitClass::Mem => Trauma::FulMem,
+        UnitClass::Fix => Trauma::FulFix,
+        UnitClass::Fpu => Trauma::FulFpu,
+        UnitClass::Br => Trauma::FulBr,
+        UnitClass::Vi => Trauma::FulVi,
+        UnitClass::Vper => Trauma::FulVper,
+        UnitClass::Vcmplx => Trauma::FulVcmplx,
+        UnitClass::Vfpu => Trauma::FulVfpu,
+    }
+}
+
+fn diq_trauma(class: UnitClass) -> Trauma {
+    match class {
+        UnitClass::Mem => Trauma::DiqMem,
+        UnitClass::Fix => Trauma::DiqFix,
+        UnitClass::Fpu => Trauma::DiqFpu,
+        UnitClass::Br => Trauma::DiqBr,
+        UnitClass::Vi => Trauma::DiqVi,
+        UnitClass::Vper => Trauma::DiqVper,
+        UnitClass::Vcmplx => Trauma::DiqVcmplx,
+        UnitClass::Vfpu => Trauma::DiqVfpu,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sapa_isa::reg;
+    use sapa_isa::trace::Tracer;
+
+    fn run(cfg: SimConfig, build: impl FnOnce(&mut Tracer)) -> SimReport {
+        let mut t = Tracer::new();
+        build(&mut t);
+        Simulator::new(cfg).run(&t.finish())
+    }
+
+    #[test]
+    fn empty_trace_finishes_instantly() {
+        let r = run(SimConfig::four_way(), |_| {});
+        assert_eq!(r.instructions, 0);
+        assert_eq!(r.cycles, 0);
+    }
+
+    #[test]
+    fn independent_alu_ops_reach_high_ipc() {
+        let r = run(SimConfig::four_way(), |t| {
+            for i in 0..20_000u32 {
+                // Rotate destination registers so ops are independent.
+                t.ialu(i % 8, reg::gpr((i % 16) as u8), &[]);
+            }
+        });
+        assert_eq!(r.instructions, 20_000);
+        // 3 FX units on the 4-way core bound throughput at 3/cycle.
+        assert!(r.ipc() > 2.5, "ipc {}", r.ipc());
+        assert!(r.ipc() <= 3.1, "ipc {}", r.ipc());
+    }
+
+    #[test]
+    fn serial_chain_is_one_per_cycle_at_best() {
+        let r = run(SimConfig::four_way(), |t| {
+            for i in 0..5_000u32 {
+                t.ialu(i % 8, reg::gpr(1), &[reg::gpr(1)]);
+            }
+        });
+        assert!(r.ipc() <= 1.01, "ipc {}", r.ipc());
+    }
+
+    #[test]
+    fn slow_integer_chain_blames_rg_fix() {
+        // With 3-cycle FX latency a serial chain leaves two zero-retire
+        // cycles per instruction, all charged to the integer dependency.
+        let mut cfg = SimConfig::four_way();
+        cfg.cpu.unit_latency[UnitClass::Fix.index()] = 3;
+        let r = run(cfg, |t| {
+            for i in 0..5_000u32 {
+                t.ialu(i % 8, reg::gpr(1), &[reg::gpr(1)]);
+            }
+        });
+        assert!(r.ipc() < 0.45, "ipc {}", r.ipc());
+        let top = r.traumas.top(1);
+        assert_eq!(top[0].0, Trauma::RgFix);
+    }
+
+    #[test]
+    fn vector_chain_blames_vi() {
+        let r = run(SimConfig::four_way(), |t| {
+            for i in 0..5_000u32 {
+                t.vsimple(i % 4, reg::vr(1), &[reg::vr(1)]);
+            }
+        });
+        let top = r.traumas.top(1);
+        assert_eq!(top[0].0, Trauma::RgVi);
+        // 2-cycle VI latency on a serial chain: IPC ≈ 0.5.
+        assert!(r.ipc() < 0.6, "ipc {}", r.ipc());
+    }
+
+    #[test]
+    fn cold_misses_show_up_in_dl1_stats() {
+        let r = run(SimConfig::four_way(), |t| {
+            for i in 0..1_000u32 {
+                // Stride of a line: every access is a cold miss.
+                t.iload(0, reg::gpr(1), 0x2000_0000 + i * 128, 4, &[]);
+                t.ialu(1, reg::gpr(2), &[reg::gpr(1)]);
+            }
+        });
+        assert!(r.dl1.misses >= 999, "misses {}", r.dl1.misses);
+        // Cold misses go all the way to memory; blame lands on the
+        // memory-subsystem traumas.
+        assert!(r.traumas.get(Trauma::MmDl1) + r.traumas.get(Trauma::MmDl2) > 0);
+    }
+
+    #[test]
+    fn mispredicted_branches_charge_if_pred() {
+        let r = run(SimConfig::four_way(), |t| {
+            let mut x = 0x9E3779B9u32;
+            for i in 0..4_000u32 {
+                t.ialu(0, reg::gpr(1), &[]);
+                x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+                t.branch(1 + (i % 3), (x >> 17) & 1 == 1, 0, &[reg::gpr(1)]);
+            }
+        });
+        assert!(r.bp_predictions >= 4_000);
+        assert!(r.bp_accuracy() < 0.75, "accuracy {}", r.bp_accuracy());
+        assert!(
+            r.traumas.get(Trauma::IfPred) > r.cycles / 10,
+            "if_pred {} of {}",
+            r.traumas.get(Trauma::IfPred),
+            r.cycles
+        );
+    }
+
+    #[test]
+    fn perfect_bp_removes_if_pred() {
+        let mut cfg = SimConfig::four_way();
+        cfg.branch = crate::config::BranchConfig::perfect();
+        let r = run(cfg, |t| {
+            let mut x = 1u32;
+            for i in 0..2_000u32 {
+                x = x.wrapping_mul(48271);
+                t.ialu(0, reg::gpr(1), &[]);
+                t.branch(1 + (i % 3), x & 1 == 1, 0, &[reg::gpr(1)]);
+            }
+        });
+        assert_eq!(r.bp_mispredictions, 0);
+        assert_eq!(r.traumas.get(Trauma::IfPred), 0);
+    }
+
+    #[test]
+    fn wider_core_helps_parallel_code() {
+        let build = |t: &mut Tracer| {
+            for i in 0..10_000u32 {
+                t.ialu(i % 8, reg::gpr((i % 24) as u8), &[]);
+            }
+        };
+        let r4 = run(SimConfig::four_way(), build);
+        let r16 = run(SimConfig::sixteen_way(), build);
+        assert!(
+            r16.cycles < r4.cycles,
+            "16-way {} !< 4-way {}",
+            r16.cycles,
+            r4.cycles
+        );
+    }
+
+    #[test]
+    fn memory_latency_dominates_pointer_chase() {
+        // A dependent-load chain touching a new line each time on a
+        // 300-cycle-memory hierarchy: IPC must collapse.
+        let r = run(SimConfig::four_way(), |t| {
+            for i in 0..500u32 {
+                t.iload(0, reg::gpr(1), 0x3000_0000 + (i * 40_037) % 0x0400_0000, 4, &[reg::gpr(1)]);
+            }
+        });
+        assert!(r.ipc() < 0.05, "ipc {}", r.ipc());
+        assert!(r.traumas.get(Trauma::MmDl2) > 0);
+    }
+
+    #[test]
+    fn determinism() {
+        let build = |t: &mut Tracer| {
+            let mut x = 7u32;
+            for _ in 0..3_000u32 {
+                x = x.wrapping_mul(48271).wrapping_add(11);
+                t.iload(0, reg::gpr(1), 0x2000_0000 + (x % 65536), 4, &[]);
+                t.ialu(1, reg::gpr(2), &[reg::gpr(1), reg::gpr(2)]);
+                t.branch(2, x & 3 == 0, 0, &[reg::gpr(2)]);
+            }
+        };
+        let a = run(SimConfig::four_way(), build);
+        let b = run(SimConfig::four_way(), build);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.instructions, b.instructions);
+    }
+
+    #[test]
+    fn occupancy_histograms_cover_all_cycles() {
+        let r = run(SimConfig::four_way(), |t| {
+            for i in 0..1_000u32 {
+                t.ialu(i % 4, reg::gpr(1), &[reg::gpr(1)]);
+            }
+        });
+        let total: u64 = r.inflight_occupancy.as_slice().iter().sum();
+        assert_eq!(total, r.cycles);
+        let fixq: u64 = r.queue(UnitClass::Fix).as_slice().iter().sum();
+        assert_eq!(fixq, r.cycles);
+    }
+}
+
+#[cfg(test)]
+mod stall_tests {
+    use super::*;
+    use crate::config::UnitClass;
+    use sapa_isa::reg;
+    use sapa_isa::trace::Tracer;
+
+    fn run(cfg: SimConfig, build: impl FnOnce(&mut Tracer)) -> SimReport {
+        let mut t = Tracer::new();
+        build(&mut t);
+        Simulator::new(cfg).run(&t.finish())
+    }
+
+    #[test]
+    fn mshr_limit_throttles_independent_misses() {
+        // Independent cold-missing loads: more MSHRs = more overlap.
+        let build = |t: &mut Tracer| {
+            for i in 0..2_000u32 {
+                t.iload(i % 4, reg::gpr((i % 8) as u8), 0x2000_0000 + i * 128, 4, &[]);
+            }
+        };
+        let mut few = SimConfig::four_way();
+        few.cpu.max_outstanding_misses = 1;
+        let mut many = SimConfig::four_way();
+        many.cpu.max_outstanding_misses = 16;
+        let r_few = run(few, build);
+        let r_many = run(many, build);
+        assert!(
+            (r_many.cycles as f64) * 1.5 < r_few.cycles as f64,
+            "16 MSHRs {} vs 1 MSHR {}",
+            r_many.cycles,
+            r_few.cycles
+        );
+    }
+
+    #[test]
+    fn rename_stall_with_tiny_register_file() {
+        // Barely more physical than architectural registers: long
+        // dependence-free bursts stall on renaming.
+        let mut cfg = SimConfig::four_way();
+        cfg.cpu.gpr = 34; // 2 spare rename registers
+        let build = |t: &mut Tracer| {
+            // A load at the head keeps the window from draining while
+            // younger ALU ops request new registers.
+            for i in 0..500u32 {
+                t.iload(0, reg::gpr(1), 0x2000_0000 + i * 128, 4, &[]);
+                for k in 0..6u32 {
+                    t.ialu(1 + k, reg::gpr((2 + k % 6) as u8), &[]);
+                }
+            }
+        };
+        let r_tiny = run(cfg, build);
+        let r_full = run(SimConfig::four_way(), build);
+        // The rename bottleneck slows the whole run: fewer ALU ops can
+        // slip past the in-flight loads.
+        assert!(
+            r_tiny.cycles > r_full.cycles * 11 / 10,
+            "tiny {} vs full {}",
+            r_tiny.cycles,
+            r_full.cycles
+        );
+    }
+
+    #[test]
+    fn issue_queue_full_charges_diq() {
+        // One VI unit, tiny VI queue, long independent VI burst: the
+        // queue fills and dispatch blocks.
+        let mut cfg = SimConfig::four_way();
+        cfg.cpu.issue_queue[UnitClass::Vi.index()] = 2;
+        let r = run(cfg, |t| {
+            t.iload(0, reg::gpr(1), 0x2000_0000, 4, &[]);
+            for i in 0..2_000u32 {
+                // All depend on the initial slow load, so they pile up
+                // in the VI queue.
+                t.vsimple(1 + (i % 4), reg::vr((i % 16) as u8), &[reg::gpr(1)]);
+            }
+        });
+        // The 2-entry queue runs pinned at capacity while the load is
+        // outstanding and the VI unit drains it afterwards.
+        let hist = r.queue(UnitClass::Vi);
+        assert!(
+            hist.cycles_at(2) > r.cycles / 4,
+            "queue never filled: {:?} of {}",
+            hist.as_slice(),
+            r.cycles
+        );
+    }
+
+    #[test]
+    fn retire_queue_full_charges_roqf() {
+        let mut cfg = SimConfig::four_way();
+        cfg.cpu.retire_queue = 8;
+        cfg.cpu.inflight = 16;
+        let build = |t: &mut Tracer| {
+            // Slow head (memory) + many fast followers.
+            for i in 0..300u32 {
+                t.iload(0, reg::gpr(1), 0x2000_0000 + i * 128, 4, &[]);
+                for k in 0..12u32 {
+                    t.ialu(1 + k, reg::gpr(2), &[]);
+                }
+            }
+        };
+        let r_small = run(cfg, build);
+        let r_big = run(SimConfig::four_way(), build);
+        // A tiny window cannot overlap the independent misses: memory-
+        // level parallelism collapses and the run slows dramatically.
+        assert!(
+            r_small.cycles > r_big.cycles * 2,
+            "small window {} vs big {}",
+            r_small.cycles,
+            r_big.cycles
+        );
+        // The window sits pinned at its 8-entry capacity.
+        assert!(r_small.retireq_occupancy.cycles_at(8) > r_small.cycles / 2);
+    }
+
+    #[test]
+    fn store_forward_counts_are_reported() {
+        let r = run(SimConfig::four_way(), |t| {
+            for i in 0..100u32 {
+                let a = 0x2000_0000 + (i % 4) * 16;
+                t.istore(0, a, 4, &[reg::gpr(1)]);
+                t.iload(1, reg::gpr(2), a, 4, &[]);
+                t.ialu(2, reg::gpr(1), &[reg::gpr(2)]);
+            }
+        });
+        assert!(r.store_forwards > 50, "forwards {}", r.store_forwards);
+    }
+
+    #[test]
+    fn nfa_misses_charge_if_nfa_on_first_encounters() {
+        // Many distinct taken-branch sites: each first encounter is an
+        // NFA miss with a redirect bubble.
+        let r = run(SimConfig::four_way(), |t| {
+            for i in 0..2_000u32 {
+                t.ialu(4 * i, reg::gpr(1), &[]);
+                t.jump(4 * i + 1, 4 * i + 2);
+            }
+        });
+        assert!(r.traumas.get(Trauma::IfNfa) > 0, "no if_nfa recorded");
+    }
+
+    #[test]
+    fn icache_misses_charge_if_l_traumas() {
+        // Walk a huge code footprint: every line crossing misses.
+        let r = run(SimConfig::four_way(), |t| {
+            for i in 0..30_000u32 {
+                t.ialu(i, reg::gpr(1), &[]);
+            }
+        });
+        assert!(r.il1.misses > 100, "il1 misses {}", r.il1.misses);
+        let if_cycles =
+            r.traumas.get(Trauma::IfL1) + r.traumas.get(Trauma::IfL2);
+        assert!(if_cycles > 0, "no fetch-miss stall cycles");
+    }
+}

@@ -1,0 +1,196 @@
+//! Simulation statistics and the report returned by a run.
+
+use crate::cache::CacheStats;
+use crate::config::UnitClass;
+use crate::trauma::TraumaCounts;
+
+/// Cycles spent at each occupancy level of a queue: `hist[k]` is the
+/// number of cycles the queue held exactly `k` entries (paper Fig. 10).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct OccupancyHistogram {
+    hist: Vec<u64>,
+}
+
+impl OccupancyHistogram {
+    /// Creates a histogram for occupancies `0..=capacity`.
+    pub fn new(capacity: usize) -> Self {
+        OccupancyHistogram {
+            hist: vec![0; capacity + 1],
+        }
+    }
+
+    /// Records one cycle at `occupancy` (clamped to capacity).
+    #[inline]
+    pub fn record(&mut self, occupancy: usize) {
+        let i = occupancy.min(self.hist.len() - 1);
+        self.hist[i] += 1;
+    }
+
+    /// Cycles spent at exactly `occupancy` entries.
+    pub fn cycles_at(&self, occupancy: usize) -> u64 {
+        self.hist.get(occupancy).copied().unwrap_or(0)
+    }
+
+    /// The raw histogram (`len = capacity + 1`).
+    pub fn as_slice(&self) -> &[u64] {
+        &self.hist
+    }
+
+    /// Mean occupancy over all recorded cycles (0 if none).
+    pub fn mean(&self) -> f64 {
+        let cycles: u64 = self.hist.iter().sum();
+        if cycles == 0 {
+            return 0.0;
+        }
+        let weighted: u64 = self
+            .hist
+            .iter()
+            .enumerate()
+            .map(|(k, &c)| k as u64 * c)
+            .sum();
+        weighted as f64 / cycles as f64
+    }
+}
+
+/// Everything a simulation run measured.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Stall-cycle attribution (paper Fig. 2).
+    pub traumas: TraumaCounts,
+    /// L1 data-cache counters.
+    pub dl1: CacheStats,
+    /// L1 instruction-cache counters.
+    pub il1: CacheStats,
+    /// Unified L2 counters.
+    pub l2: CacheStats,
+    /// Data-TLB counters (zero when translation is perfect).
+    pub dtlb: CacheStats,
+    /// Instruction-TLB counters.
+    pub itlb: CacheStats,
+    /// Loads that took a store-queue dependency on an in-flight store.
+    pub store_forwards: u64,
+    /// Conditional branches predicted.
+    pub bp_predictions: u64,
+    /// Conditional branches mispredicted.
+    pub bp_mispredictions: u64,
+    /// Per-class issue-queue occupancy (paper Fig. 10a/b).
+    pub queue_occupancy: Vec<OccupancyHistogram>,
+    /// In-flight instruction count per cycle (paper Fig. 10c/d).
+    pub inflight_occupancy: OccupancyHistogram,
+    /// Retire-queue (ROB) occupancy per cycle.
+    pub retireq_occupancy: OccupancyHistogram,
+}
+
+impl SimReport {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Branch prediction accuracy in `[0, 1]` (1.0 with no branches).
+    pub fn bp_accuracy(&self) -> f64 {
+        if self.bp_predictions == 0 {
+            1.0
+        } else {
+            1.0 - self.bp_mispredictions as f64 / self.bp_predictions as f64
+        }
+    }
+
+    /// Occupancy histogram of one issue queue.
+    pub fn queue(&self, class: UnitClass) -> &OccupancyHistogram {
+        &self.queue_occupancy[class.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_records_and_clamps() {
+        let mut h = OccupancyHistogram::new(4);
+        h.record(0);
+        h.record(2);
+        h.record(2);
+        h.record(99); // clamped to 4
+        assert_eq!(h.cycles_at(0), 1);
+        assert_eq!(h.cycles_at(2), 2);
+        assert_eq!(h.cycles_at(4), 1);
+        assert_eq!(h.cycles_at(10), 0);
+    }
+
+    #[test]
+    fn histogram_mean() {
+        let mut h = OccupancyHistogram::new(10);
+        h.record(2);
+        h.record(4);
+        assert!((h.mean() - 3.0).abs() < 1e-12);
+        assert_eq!(OccupancyHistogram::new(3).mean(), 0.0);
+    }
+}
+
+impl std::fmt::Display for SimReport {
+    /// One-paragraph human summary (the `repro simulate` output shape).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "instructions {}  cycles {}  IPC {:.2}",
+            self.instructions,
+            self.cycles,
+            self.ipc()
+        )?;
+        writeln!(
+            f,
+            "dl1 {:.2}% miss ({} / {})  il1 {:.2}%  l2 {:.2}%",
+            self.dl1.miss_rate() * 100.0,
+            self.dl1.misses,
+            self.dl1.accesses,
+            self.il1.miss_rate() * 100.0,
+            self.l2.miss_rate() * 100.0
+        )?;
+        writeln!(
+            f,
+            "branches {} predicted, {:.1}% accuracy",
+            self.bp_predictions,
+            self.bp_accuracy() * 100.0
+        )?;
+        write!(f, "top stalls:")?;
+        for (t, c) in self.traumas.top(5) {
+            if c > 0 {
+                write!(f, " {}={}", t.label(), c)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod display_tests {
+    use crate::config::SimConfig;
+    use crate::Simulator;
+    use sapa_isa::reg;
+    use sapa_isa::trace::Tracer;
+
+    #[test]
+    fn report_display_is_informative() {
+        let mut t = Tracer::new();
+        for i in 0..200u32 {
+            t.ialu(i % 5, reg::gpr(1), &[reg::gpr(1)]);
+            t.branch(5 + (i % 3), i % 2 == 0, 0, &[reg::gpr(1)]);
+        }
+        let r = Simulator::new(SimConfig::four_way()).run(&t.finish());
+        let text = r.to_string();
+        assert!(text.contains("instructions 400"));
+        assert!(text.contains("IPC"));
+        assert!(text.contains("accuracy"));
+        assert!(!text.trim().is_empty());
+    }
+}

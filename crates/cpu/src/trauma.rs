@@ -1,0 +1,326 @@
+//! Trauma (stall-reason) taxonomy.
+//!
+//! Turandot records, for every operation that fails to make forward
+//! progress, a *trauma* — the reason for the stall (Moreno et al.,
+//! IBM RC 20962). The paper groups them into 56 classes; its Figure 2
+//! plots the cycles charged to each class, and Table VII describes the
+//! important ones. This module defines every class that appears on the
+//! Figure 2 x-axis, in the same order, so the reproduction's histograms
+//! line up column-for-column with the paper's.
+
+/// One stall-reason class.
+///
+/// Naming follows the paper's Figure 2 x-axis labels. Prefixes:
+/// `St` store-related, `Rg` register-dependency (waiting on a result
+/// from the named unit), `Mm` memory subsystem, `Ful` all functional
+/// units of a class busy, `Diq` dispatch blocked on a full issue queue,
+/// `If` instruction fetch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+#[allow(missing_docs)] // variants are documented collectively above
+pub enum Trauma {
+    StData = 0,
+    RgVfpu,
+    RgVcmplx,
+    RgVper,
+    RgVi,
+    RgCmplx,
+    RgLog,
+    RgBr,
+    RgMem,
+    RgFpu,
+    RgFix,
+    MmDl1,
+    MmDl2,
+    MmTlb2,
+    MmTlb1,
+    MmStnd,
+    MmDcqf,
+    MmDmqf,
+    MmRoqf,
+    MmStqc,
+    MmStqf,
+    FulVfpu,
+    FulVcmplx,
+    FulVper,
+    FulVi,
+    FulCmplx,
+    FulLog,
+    FulBr,
+    FulMem,
+    FulFpu,
+    FulFix,
+    DiqVfpu,
+    DiqVcmplx,
+    DiqVper,
+    DiqVi,
+    DiqCmplx,
+    DiqLog,
+    DiqBr,
+    DiqMem,
+    DiqFpu,
+    DiqFix,
+    Rename,
+    Decode,
+    IfLdst,
+    IfBrch,
+    IfFlit,
+    IfFull,
+    IfPred,
+    IfPref,
+    IfL1,
+    IfL15,
+    IfL2,
+    IfTlb2,
+    IfTlb1,
+    IfNfa,
+    Other,
+}
+
+impl Trauma {
+    /// Number of trauma classes.
+    pub const COUNT: usize = 56;
+
+    /// All classes in Figure 2 x-axis order.
+    pub const ALL: [Trauma; Self::COUNT] = [
+        Trauma::StData,
+        Trauma::RgVfpu,
+        Trauma::RgVcmplx,
+        Trauma::RgVper,
+        Trauma::RgVi,
+        Trauma::RgCmplx,
+        Trauma::RgLog,
+        Trauma::RgBr,
+        Trauma::RgMem,
+        Trauma::RgFpu,
+        Trauma::RgFix,
+        Trauma::MmDl1,
+        Trauma::MmDl2,
+        Trauma::MmTlb2,
+        Trauma::MmTlb1,
+        Trauma::MmStnd,
+        Trauma::MmDcqf,
+        Trauma::MmDmqf,
+        Trauma::MmRoqf,
+        Trauma::MmStqc,
+        Trauma::MmStqf,
+        Trauma::FulVfpu,
+        Trauma::FulVcmplx,
+        Trauma::FulVper,
+        Trauma::FulVi,
+        Trauma::FulCmplx,
+        Trauma::FulLog,
+        Trauma::FulBr,
+        Trauma::FulMem,
+        Trauma::FulFpu,
+        Trauma::FulFix,
+        Trauma::DiqVfpu,
+        Trauma::DiqVcmplx,
+        Trauma::DiqVper,
+        Trauma::DiqVi,
+        Trauma::DiqCmplx,
+        Trauma::DiqLog,
+        Trauma::DiqBr,
+        Trauma::DiqMem,
+        Trauma::DiqFpu,
+        Trauma::DiqFix,
+        Trauma::Rename,
+        Trauma::Decode,
+        Trauma::IfLdst,
+        Trauma::IfBrch,
+        Trauma::IfFlit,
+        Trauma::IfFull,
+        Trauma::IfPred,
+        Trauma::IfPref,
+        Trauma::IfL1,
+        Trauma::IfL15,
+        Trauma::IfL2,
+        Trauma::IfTlb2,
+        Trauma::IfTlb1,
+        Trauma::IfNfa,
+        Trauma::Other,
+    ];
+
+    /// Stable index (Figure 2 x-axis position).
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The Figure 2 x-axis label.
+    pub const fn label(self) -> &'static str {
+        match self {
+            Trauma::StData => "st_data",
+            Trauma::RgVfpu => "rg_vfpu",
+            Trauma::RgVcmplx => "rg_vcmplx",
+            Trauma::RgVper => "rg_vper",
+            Trauma::RgVi => "rg_vi",
+            Trauma::RgCmplx => "rg_cmplx",
+            Trauma::RgLog => "rg_log",
+            Trauma::RgBr => "rg_br",
+            Trauma::RgMem => "rg_mem",
+            Trauma::RgFpu => "rg_fpu",
+            Trauma::RgFix => "rg_fix",
+            Trauma::MmDl1 => "mm_dl1",
+            Trauma::MmDl2 => "mm_dl2",
+            Trauma::MmTlb2 => "mm_tlb2",
+            Trauma::MmTlb1 => "mm_tlb1",
+            Trauma::MmStnd => "mm_stnd",
+            Trauma::MmDcqf => "mm_dcqf",
+            Trauma::MmDmqf => "mm_dmqf",
+            Trauma::MmRoqf => "mm_roqf",
+            Trauma::MmStqc => "mm_stqc",
+            Trauma::MmStqf => "mm_stqf",
+            Trauma::FulVfpu => "ful_vfpu",
+            Trauma::FulVcmplx => "ful_vcmplx",
+            Trauma::FulVper => "ful_vper",
+            Trauma::FulVi => "ful_vi",
+            Trauma::FulCmplx => "ful_cmplx",
+            Trauma::FulLog => "ful_log",
+            Trauma::FulBr => "ful_br",
+            Trauma::FulMem => "ful_mem",
+            Trauma::FulFpu => "ful_fpu",
+            Trauma::FulFix => "ful_fix",
+            Trauma::DiqVfpu => "diq_vfpu",
+            Trauma::DiqVcmplx => "diq_vcmplx",
+            Trauma::DiqVper => "diq_vper",
+            Trauma::DiqVi => "diq_vi",
+            Trauma::DiqCmplx => "diq_cmplx",
+            Trauma::DiqLog => "diq_log",
+            Trauma::DiqBr => "diq_br",
+            Trauma::DiqMem => "diq_mem",
+            Trauma::DiqFpu => "diq_fpu",
+            Trauma::DiqFix => "diq_fix",
+            Trauma::Rename => "rename",
+            Trauma::Decode => "decode",
+            Trauma::IfLdst => "if_ldst",
+            Trauma::IfBrch => "if_brch",
+            Trauma::IfFlit => "if_flit",
+            Trauma::IfFull => "if_full",
+            Trauma::IfPred => "if_pred",
+            Trauma::IfPref => "if_pref",
+            Trauma::IfL1 => "if_l1",
+            Trauma::IfL15 => "if_l15",
+            Trauma::IfL2 => "if_l2",
+            Trauma::IfTlb2 => "if_tlb2",
+            Trauma::IfTlb1 => "if_tlb1",
+            Trauma::IfNfa => "if_nfa",
+            Trauma::Other => "other",
+        }
+    }
+
+    /// Table VII's one-line description for the classes the paper calls
+    /// out as important (empty for the rest).
+    pub const fn description(self) -> &'static str {
+        match self {
+            Trauma::IfNfa => "Next Fetch Address miss-prediction",
+            Trauma::IfPred => "Branch miss-prediction",
+            Trauma::IfFull => "Instruction buffer full",
+            Trauma::FulMem => "Too many memory instructions ready",
+            Trauma::MmDl2 => "L2 cache data miss",
+            Trauma::MmDl1 => "L1 D-cache miss",
+            Trauma::RgFix => "Result dependency on INT units",
+            Trauma::RgMem => "Result dependency on MEM units",
+            Trauma::RgVi => "Result dependency on SIMD-int units",
+            Trauma::RgVper => "Result dependency on SIMD-perm units",
+            Trauma::Other => "Miscellaneous reasons",
+            _ => "",
+        }
+    }
+}
+
+impl std::fmt::Display for Trauma {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Cycle counts per trauma class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraumaCounts {
+    cycles: [u64; Trauma::COUNT],
+}
+
+impl TraumaCounts {
+    /// An all-zero histogram.
+    pub fn new() -> Self {
+        TraumaCounts {
+            cycles: [0; Trauma::COUNT],
+        }
+    }
+
+    /// Charges `n` cycles to `trauma`.
+    #[inline]
+    pub fn charge(&mut self, trauma: Trauma, n: u64) {
+        self.cycles[trauma.index()] += n;
+    }
+
+    /// Cycles charged to `trauma`.
+    pub fn get(&self, trauma: Trauma) -> u64 {
+        self.cycles[trauma.index()]
+    }
+
+    /// Total stall cycles across all classes.
+    pub fn total(&self) -> u64 {
+        self.cycles.iter().sum()
+    }
+
+    /// `(trauma, cycles)` rows in Figure 2 order.
+    pub fn rows(&self) -> impl Iterator<Item = (Trauma, u64)> + '_ {
+        Trauma::ALL.iter().map(move |&t| (t, self.get(t)))
+    }
+
+    /// The `k` classes with the most charged cycles (descending).
+    pub fn top(&self, k: usize) -> Vec<(Trauma, u64)> {
+        let mut rows: Vec<(Trauma, u64)> = self.rows().collect();
+        rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.index().cmp(&b.0.index())));
+        rows.truncate(k);
+        rows
+    }
+}
+
+impl Default for TraumaCounts {
+    fn default() -> Self {
+        TraumaCounts::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_has_count_entries_in_order() {
+        assert_eq!(Trauma::ALL.len(), Trauma::COUNT);
+        for (i, t) in Trauma::ALL.iter().enumerate() {
+            assert_eq!(t.index(), i);
+        }
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut labels: Vec<&str> = Trauma::ALL.iter().map(|t| t.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), Trauma::COUNT);
+    }
+
+    #[test]
+    fn table_vii_descriptions_present() {
+        assert!(!Trauma::MmDl1.description().is_empty());
+        assert!(!Trauma::RgVper.description().is_empty());
+        assert!(Trauma::DiqFix.description().is_empty());
+    }
+
+    #[test]
+    fn counts_accumulate() {
+        let mut c = TraumaCounts::new();
+        c.charge(Trauma::RgFix, 5);
+        c.charge(Trauma::RgFix, 2);
+        c.charge(Trauma::MmDl2, 1);
+        assert_eq!(c.get(Trauma::RgFix), 7);
+        assert_eq!(c.total(), 8);
+        let top = c.top(1);
+        assert_eq!(top, vec![(Trauma::RgFix, 7)]);
+    }
+}

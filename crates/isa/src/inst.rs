@@ -1,0 +1,259 @@
+//! The compact trace instruction record.
+
+use crate::reg::Reg;
+
+/// Dynamic instruction class, following the grouping of the paper's
+/// Figure 1 (instruction breakdown) and the Turandot functional-unit
+/// mix of Table IV.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum OpClass {
+    /// Integer ALU operation (`ialu` in Fig. 1), executed on the FX units.
+    IAlu = 0,
+    /// Scalar load (`iload`), executed on the LD/ST units.
+    ILoad = 1,
+    /// Scalar store (`istore`), executed on the LD/ST units.
+    IStore = 2,
+    /// Control transfer (`ctrl`): conditional branch or jump, BR units.
+    Branch = 3,
+    /// Scalar floating point (grouped under `other` in Fig. 1), FP units.
+    Fpu = 4,
+    /// Vector load (`vload`), LD/ST units.
+    VLoad = 5,
+    /// Vector store (`vstore`), LD/ST units.
+    VStore = 6,
+    /// Simple vector integer op (`vsimple`): add/sub/max/compare, VI units.
+    VSimple = 7,
+    /// Vector permute/shift/merge (`vperm`), VPER units.
+    VPerm = 8,
+    /// Complex vector integer op (multiply, sum-across), VCMPLX units.
+    VCmplx = 9,
+    /// Vector floating point, VFP units.
+    VFpu = 10,
+    /// Anything else (system, sync, nop) — `other` in Fig. 1.
+    Other = 11,
+}
+
+impl OpClass {
+    /// Number of distinct classes.
+    pub const COUNT: usize = 12;
+
+    /// All classes in discriminant order.
+    pub const ALL: [OpClass; Self::COUNT] = [
+        OpClass::IAlu,
+        OpClass::ILoad,
+        OpClass::IStore,
+        OpClass::Branch,
+        OpClass::Fpu,
+        OpClass::VLoad,
+        OpClass::VStore,
+        OpClass::VSimple,
+        OpClass::VPerm,
+        OpClass::VCmplx,
+        OpClass::VFpu,
+        OpClass::Other,
+    ];
+
+    /// Stable index (0..COUNT).
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Reconstructs a class from its index.
+    pub const fn from_index(index: usize) -> Option<OpClass> {
+        if index < Self::COUNT {
+            Some(Self::ALL[index])
+        } else {
+            None
+        }
+    }
+
+    /// Short lower-case label matching the paper's Figure 1 legend.
+    pub const fn label(self) -> &'static str {
+        match self {
+            OpClass::IAlu => "ialu",
+            OpClass::ILoad => "iload",
+            OpClass::IStore => "istore",
+            OpClass::Branch => "ctrl",
+            OpClass::Fpu => "fpu",
+            OpClass::VLoad => "vload",
+            OpClass::VStore => "vstore",
+            OpClass::VSimple => "vsimple",
+            OpClass::VPerm => "vperm",
+            OpClass::VCmplx => "vcmplx",
+            OpClass::VFpu => "vfpu",
+            OpClass::Other => "other",
+        }
+    }
+
+    /// Whether the instruction accesses data memory.
+    #[inline]
+    pub const fn is_mem(self) -> bool {
+        matches!(
+            self,
+            OpClass::ILoad | OpClass::IStore | OpClass::VLoad | OpClass::VStore
+        )
+    }
+
+    /// Whether the instruction reads data memory.
+    #[inline]
+    pub const fn is_load(self) -> bool {
+        matches!(self, OpClass::ILoad | OpClass::VLoad)
+    }
+
+    /// Whether the instruction writes data memory.
+    #[inline]
+    pub const fn is_store(self) -> bool {
+        matches!(self, OpClass::IStore | OpClass::VStore)
+    }
+
+    /// Whether the instruction is a control transfer.
+    #[inline]
+    pub const fn is_branch(self) -> bool {
+        matches!(self, OpClass::Branch)
+    }
+
+    /// Whether the instruction executes on a vector functional unit.
+    #[inline]
+    pub const fn is_vector(self) -> bool {
+        matches!(
+            self,
+            OpClass::VLoad
+                | OpClass::VStore
+                | OpClass::VSimple
+                | OpClass::VPerm
+                | OpClass::VCmplx
+                | OpClass::VFpu
+        )
+    }
+}
+
+impl std::fmt::Display for OpClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Flag bits packed into [`Inst::flags`].
+pub mod flags {
+    /// The branch was taken.
+    pub const TAKEN: u8 = 1 << 0;
+    /// The branch is conditional (predictable); unset means an
+    /// unconditional jump.
+    pub const COND: u8 = 1 << 1;
+    /// Bits 4..=7 hold `log2(access width in bytes)` for memory ops.
+    pub const WIDTH_SHIFT: u32 = 4;
+}
+
+/// One dynamic instruction of a trace.
+///
+/// The record is deliberately compact (20 bytes) because traces run to
+/// millions of instructions. All layout decisions are private to the
+/// constructors on [`crate::trace::Tracer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Inst {
+    /// Byte address of the instruction (4-byte aligned, RISC-style).
+    pub pc: u32,
+    /// Effective address for memory ops; branch target for taken
+    /// branches; 0 otherwise.
+    pub ea: u32,
+    /// Instruction class.
+    pub op: OpClass,
+    /// Destination register ([`Reg::NONE`] if none).
+    pub dst: Reg,
+    /// Source registers, padded with [`Reg::NONE`].
+    pub srcs: [Reg; 3],
+    /// Flag bits, see [`flags`].
+    pub flags: u8,
+}
+
+impl Inst {
+    /// Whether a conditional branch was taken (also true for jumps).
+    #[inline]
+    pub fn taken(&self) -> bool {
+        self.flags & flags::TAKEN != 0
+    }
+
+    /// Whether this is a conditional branch.
+    #[inline]
+    pub fn is_cond_branch(&self) -> bool {
+        self.op.is_branch() && self.flags & flags::COND != 0
+    }
+
+    /// Memory access width in bytes (1 for non-memory ops).
+    #[inline]
+    pub fn width(&self) -> u32 {
+        1 << (self.flags >> flags::WIDTH_SHIFT)
+    }
+
+    /// Iterates over the real (non-NONE) source registers.
+    pub fn sources(&self) -> impl Iterator<Item = Reg> + '_ {
+        self.srcs.iter().copied().filter(|r| r.is_some())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg;
+
+    #[test]
+    fn class_indices_round_trip() {
+        for c in OpClass::ALL {
+            assert_eq!(OpClass::from_index(c.index()), Some(c));
+        }
+        assert_eq!(OpClass::from_index(OpClass::COUNT), None);
+    }
+
+    #[test]
+    fn class_predicates() {
+        assert!(OpClass::ILoad.is_mem() && OpClass::ILoad.is_load());
+        assert!(OpClass::VStore.is_mem() && OpClass::VStore.is_store());
+        assert!(!OpClass::IAlu.is_mem());
+        assert!(OpClass::Branch.is_branch());
+        assert!(OpClass::VPerm.is_vector());
+        assert!(!OpClass::IAlu.is_vector());
+    }
+
+    #[test]
+    fn labels_match_figure_1() {
+        assert_eq!(OpClass::Branch.label(), "ctrl");
+        assert_eq!(OpClass::VSimple.label(), "vsimple");
+        assert_eq!(OpClass::IAlu.to_string(), "ialu");
+    }
+
+    #[test]
+    fn width_encoding() {
+        let mut i = Inst {
+            pc: 0,
+            ea: 0,
+            op: OpClass::VLoad,
+            dst: reg::vr(0),
+            srcs: [Reg::NONE; 3],
+            flags: (4 << flags::WIDTH_SHIFT), // 16-byte access
+        };
+        assert_eq!(i.width(), 16);
+        i.flags = 5 << flags::WIDTH_SHIFT;
+        assert_eq!(i.width(), 32);
+    }
+
+    #[test]
+    fn sources_skips_none() {
+        let i = Inst {
+            pc: 0,
+            ea: 0,
+            op: OpClass::IAlu,
+            dst: reg::gpr(0),
+            srcs: [reg::gpr(1), Reg::NONE, reg::gpr(2)],
+            flags: 0,
+        };
+        let srcs: Vec<Reg> = i.sources().collect();
+        assert_eq!(srcs, vec![reg::gpr(1), reg::gpr(2)]);
+    }
+
+    #[test]
+    fn record_is_compact() {
+        assert!(std::mem::size_of::<Inst>() <= 20);
+    }
+}

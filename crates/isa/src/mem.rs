@@ -1,0 +1,211 @@
+//! Virtual address space layout for instrumented workloads.
+//!
+//! Each workload lays its data structures (database residues, query
+//! profile, H/E row buffers, BLAST word index, …) out in a simulated
+//! 32-bit virtual address space. Loads and stores in the trace then
+//! carry effective addresses with the same locality structure as the
+//! original application's heap, which is what makes the cache studies
+//! (Figs. 5–7) meaningful.
+
+use crate::{Error, Result};
+
+/// Base of the data segment. The low 1 MiB is reserved for the code
+/// segment (PCs), mirroring a classic text-below-heap layout.
+pub const DATA_BASE: u32 = 0x1000_0000;
+
+/// A named region of the simulated address space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Region {
+    name: String,
+    base: u32,
+    size: u32,
+}
+
+impl Region {
+    /// Region name (for diagnostics).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// First byte address of the region.
+    pub fn base(&self) -> u32 {
+        self.base
+    }
+
+    /// Size in bytes.
+    pub fn size(&self) -> u32 {
+        self.size
+    }
+
+    /// Address of byte `offset` within the region.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `offset >= size` (regions are meant to
+    /// be addressed within bounds; the release build trades the check
+    /// for trace-generation speed).
+    #[inline]
+    pub fn addr(&self, offset: u32) -> u32 {
+        debug_assert!(
+            offset < self.size,
+            "offset {offset} out of bounds for region {} (size {})",
+            self.name,
+            self.size
+        );
+        self.base + offset
+    }
+
+    /// Whether `addr` falls inside this region.
+    pub fn contains(&self, addr: u32) -> bool {
+        addr >= self.base && (addr - self.base) < self.size
+    }
+}
+
+/// Bump allocator over the simulated data segment.
+///
+/// ```
+/// use sapa_isa::mem::AddressSpace;
+///
+/// # fn main() -> sapa_isa::Result<()> {
+/// let mut space = AddressSpace::new();
+/// let db = space.alloc("db_residues", 70_000, 128)?;
+/// let profile = space.alloc("query_profile", 222 * 24, 128)?;
+/// assert!(profile.base() >= db.base() + db.size());
+/// assert_eq!(db.base() % 128, 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct AddressSpace {
+    next: u32,
+    regions: Vec<Region>,
+}
+
+impl AddressSpace {
+    /// Creates an empty address space starting at [`DATA_BASE`].
+    pub fn new() -> Self {
+        AddressSpace {
+            next: DATA_BASE,
+            regions: Vec::new(),
+        }
+    }
+
+    /// Allocates `size` bytes aligned to `align` (a power of two), with a
+    /// small guard gap after each region so distinct structures never
+    /// share a cache line by accident.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::OutOfAddressSpace`] if the 32-bit space is
+    /// exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is zero or not a power of two.
+    pub fn alloc(&mut self, name: impl Into<String>, size: u64, align: u32) -> Result<Region> {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        if size > u32::MAX as u64 {
+            return Err(Error::OutOfAddressSpace { requested: size });
+        }
+        let size = (size as u32).max(1);
+        let base = self
+            .next
+            .checked_add(align - 1)
+            .map(|v| v & !(align - 1))
+            .ok_or(Error::OutOfAddressSpace {
+                requested: size as u64,
+            })?;
+        const GUARD: u32 = 256;
+        let end = base
+            .checked_add(size)
+            .and_then(|v| v.checked_add(GUARD))
+            .ok_or(Error::OutOfAddressSpace {
+                requested: size as u64,
+            })?;
+        self.next = end;
+        let region = Region {
+            name: name.into(),
+            base,
+            size,
+        };
+        self.regions.push(region.clone());
+        Ok(region)
+    }
+
+    /// All regions allocated so far, in allocation order.
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+
+    /// Total bytes allocated (excluding guard gaps and alignment).
+    pub fn allocated_bytes(&self) -> u64 {
+        self.regions.iter().map(|r| r.size as u64).sum()
+    }
+}
+
+impl Default for AddressSpace {
+    fn default() -> Self {
+        AddressSpace::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocations_are_disjoint_and_aligned() {
+        let mut s = AddressSpace::new();
+        let a = s.alloc("a", 100, 64).unwrap();
+        let b = s.alloc("b", 1000, 128).unwrap();
+        let c = s.alloc("c", 1, 1).unwrap();
+        assert_eq!(a.base() % 64, 0);
+        assert_eq!(b.base() % 128, 0);
+        assert!(b.base() >= a.base() + a.size());
+        assert!(c.base() >= b.base() + b.size());
+    }
+
+    #[test]
+    fn contains_and_addr() {
+        let mut s = AddressSpace::new();
+        let r = s.alloc("r", 10, 1).unwrap();
+        assert!(r.contains(r.addr(0)));
+        assert!(r.contains(r.addr(9)));
+        assert!(!r.contains(r.base() + 10));
+    }
+
+    #[test]
+    fn zero_sized_alloc_rounds_up() {
+        let mut s = AddressSpace::new();
+        let r = s.alloc("z", 0, 1).unwrap();
+        assert_eq!(r.size(), 1);
+    }
+
+    #[test]
+    fn exhaustion_is_an_error() {
+        let mut s = AddressSpace::new();
+        let big = u32::MAX as u64 - DATA_BASE as u64 - 1024;
+        let _ = s.alloc("big", big, 1).unwrap();
+        assert!(matches!(
+            s.alloc("more", 1 << 20, 1),
+            Err(Error::OutOfAddressSpace { .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_request_rejected() {
+        let mut s = AddressSpace::new();
+        assert!(matches!(
+            s.alloc("huge", u64::MAX, 1),
+            Err(Error::OutOfAddressSpace { .. })
+        ));
+    }
+
+    #[test]
+    fn allocated_bytes_accumulates() {
+        let mut s = AddressSpace::new();
+        s.alloc("a", 10, 1).unwrap();
+        s.alloc("b", 20, 1).unwrap();
+        assert_eq!(s.allocated_bytes(), 30);
+    }
+}

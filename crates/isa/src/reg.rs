@@ -1,0 +1,150 @@
+//! Architectural register name space.
+//!
+//! A flat `u8` id space modeled on the PowerPC+Altivec architectural
+//! state the paper's traces reference:
+//!
+//! | ids        | file                      | constructor |
+//! |------------|---------------------------|-------------|
+//! | `0..=31`   | general purpose (GPR)     | [`gpr`]     |
+//! | `32..=63`  | floating point (FPR)      | [`fpr`]     |
+//! | `64..=127` | Altivec vector (VR 0..63) | [`vr`]      |
+//! | `255`      | "no register"             | [`Reg::NONE`] |
+//!
+//! The vector file has 64 names (twice Altivec's 32) so the futuristic
+//! 256-bit workload can address wide registers without aliasing.
+
+/// An architectural register name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Sentinel for "no register" (e.g. a store has no destination).
+    pub const NONE: Reg = Reg(255);
+
+    /// Total number of real architectural registers (excludes NONE).
+    pub const COUNT: usize = 128;
+
+    /// Raw id.
+    #[inline]
+    pub const fn id(self) -> u8 {
+        self.0
+    }
+
+    /// Whether this is a real register (not [`Reg::NONE`]).
+    #[inline]
+    pub const fn is_some(self) -> bool {
+        self.0 != 255
+    }
+
+    /// The register file this name belongs to.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on [`Reg::NONE`].
+    pub fn file(self) -> RegFile {
+        assert!(self.is_some(), "Reg::NONE has no register file");
+        match self.0 {
+            0..=31 => RegFile::Gpr,
+            32..=63 => RegFile::Fpr,
+            _ => RegFile::Vr,
+        }
+    }
+}
+
+impl std::fmt::Display for Reg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if !self.is_some() {
+            return write!(f, "-");
+        }
+        match self.file() {
+            RegFile::Gpr => write!(f, "r{}", self.0),
+            RegFile::Fpr => write!(f, "f{}", self.0 - 32),
+            RegFile::Vr => write!(f, "v{}", self.0 - 64),
+        }
+    }
+}
+
+/// The three architectural register files.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegFile {
+    /// General-purpose (integer) registers.
+    Gpr,
+    /// Floating-point registers.
+    Fpr,
+    /// Altivec vector registers.
+    Vr,
+}
+
+/// General-purpose register `n`.
+///
+/// # Panics
+///
+/// Panics if `n >= 32`.
+#[inline]
+pub const fn gpr(n: u8) -> Reg {
+    assert!(n < 32, "GPR index out of range");
+    Reg(n)
+}
+
+/// Floating-point register `n`.
+///
+/// # Panics
+///
+/// Panics if `n >= 32`.
+#[inline]
+pub const fn fpr(n: u8) -> Reg {
+    assert!(n < 32, "FPR index out of range");
+    Reg(32 + n)
+}
+
+/// Vector register `n`.
+///
+/// # Panics
+///
+/// Panics if `n >= 64`.
+#[inline]
+pub const fn vr(n: u8) -> Reg {
+    assert!(n < 64, "VR index out of range");
+    Reg(64 + n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn files_partition_the_space() {
+        assert_eq!(gpr(0).file(), RegFile::Gpr);
+        assert_eq!(gpr(31).file(), RegFile::Gpr);
+        assert_eq!(fpr(0).file(), RegFile::Fpr);
+        assert_eq!(fpr(31).file(), RegFile::Fpr);
+        assert_eq!(vr(0).file(), RegFile::Vr);
+        assert_eq!(vr(63).file(), RegFile::Vr);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(gpr(3).to_string(), "r3");
+        assert_eq!(fpr(1).to_string(), "f1");
+        assert_eq!(vr(9).to_string(), "v9");
+        assert_eq!(Reg::NONE.to_string(), "-");
+    }
+
+    #[test]
+    fn none_is_not_some() {
+        assert!(!Reg::NONE.is_some());
+        assert!(gpr(0).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "GPR index")]
+    fn gpr_bounds_checked() {
+        let _ = gpr(32);
+    }
+
+    #[test]
+    #[should_panic(expected = "no register file")]
+    fn none_has_no_file() {
+        let _ = Reg::NONE.file();
+    }
+}

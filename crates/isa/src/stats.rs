@@ -1,0 +1,281 @@
+//! Instruction-mix statistics (paper Figure 1 and Table III).
+
+use crate::inst::{Inst, OpClass};
+
+/// Instruction-class breakdown of a trace.
+///
+/// ```
+/// use sapa_isa::{OpClass, TraceStats};
+/// use sapa_isa::trace::Tracer;
+/// use sapa_isa::reg;
+///
+/// let mut t = Tracer::new();
+/// t.ialu(0, reg::gpr(0), &[]);
+/// t.ialu(1, reg::gpr(0), &[]);
+/// t.branch(2, true, 0, &[]);
+/// let stats = t.finish().stats();
+/// assert_eq!(stats.total(), 3);
+/// assert_eq!(stats.count(OpClass::IAlu), 2);
+/// assert!((stats.fraction(OpClass::Branch) - 1.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceStats {
+    counts: [u64; OpClass::COUNT],
+}
+
+impl TraceStats {
+    /// Computes the breakdown of `insts`.
+    pub fn from_insts(insts: &[Inst]) -> Self {
+        let mut counts = [0u64; OpClass::COUNT];
+        for inst in insts {
+            counts[inst.op.index()] += 1;
+        }
+        TraceStats { counts }
+    }
+
+    /// Total dynamic instruction count (Table III's "trace size").
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Dynamic count of one class.
+    pub fn count(&self, op: OpClass) -> u64 {
+        self.counts[op.index()]
+    }
+
+    /// Fraction of the trace in one class (0 if the trace is empty).
+    pub fn fraction(&self, op: OpClass) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.count(op) as f64 / total as f64
+        }
+    }
+
+    /// Count of control-transfer instructions.
+    pub fn branches(&self) -> u64 {
+        self.count(OpClass::Branch)
+    }
+
+    /// Count of data-memory instructions (loads + stores, scalar + vector).
+    pub fn mem_ops(&self) -> u64 {
+        OpClass::ALL
+            .iter()
+            .filter(|c| c.is_mem())
+            .map(|&c| self.count(c))
+            .sum()
+    }
+
+    /// Count of vector-unit instructions.
+    pub fn vector_ops(&self) -> u64 {
+        OpClass::ALL
+            .iter()
+            .filter(|c| c.is_vector())
+            .map(|&c| self.count(c))
+            .sum()
+    }
+
+    /// Merges another breakdown into this one.
+    pub fn merge(&mut self, other: &TraceStats) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Rows `(class, count, fraction)` ordered as in the paper's Fig. 1
+    /// legend (other, ctrl, vperm, vsimple, vload, vstore, iload,
+    /// istore, ialu), for pretty-printing.
+    pub fn figure1_rows(&self) -> Vec<(OpClass, u64, f64)> {
+        const ORDER: [OpClass; 9] = [
+            OpClass::Other,
+            OpClass::Branch,
+            OpClass::VPerm,
+            OpClass::VSimple,
+            OpClass::VLoad,
+            OpClass::VStore,
+            OpClass::ILoad,
+            OpClass::IStore,
+            OpClass::IAlu,
+        ];
+        // Classes not in the paper's legend (fpu, vcmplx, vfpu) fold into
+        // "other", matching the paper's grouping of negligible classes.
+        let mut rows: Vec<(OpClass, u64, f64)> = ORDER
+            .iter()
+            .map(|&c| (c, self.count(c), self.fraction(c)))
+            .collect();
+        let folded = self.count(OpClass::Fpu)
+            + self.count(OpClass::VCmplx)
+            + self.count(OpClass::VFpu);
+        rows[0].1 += folded;
+        let total = self.total();
+        if total > 0 {
+            rows[0].2 = rows[0].1 as f64 / total as f64;
+        }
+        rows
+    }
+}
+
+impl std::fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "total instructions: {}", self.total())?;
+        for (op, count, frac) in self.figure1_rows() {
+            writeln!(f, "  {:<8} {:>12}  {:5.1}%", op.label(), count, frac * 100.0)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg;
+    use crate::trace::Tracer;
+
+    fn stats_of(build: impl FnOnce(&mut Tracer)) -> TraceStats {
+        let mut t = Tracer::new();
+        build(&mut t);
+        t.finish().stats()
+    }
+
+    #[test]
+    fn empty_trace() {
+        let s = TraceStats::from_insts(&[]);
+        assert_eq!(s.total(), 0);
+        assert_eq!(s.fraction(OpClass::IAlu), 0.0);
+    }
+
+    #[test]
+    fn aggregate_queries() {
+        let s = stats_of(|t| {
+            t.iload(0, reg::gpr(0), 0x1000_0000, 4, &[]);
+            t.istore(1, 0x1000_0000, 4, &[reg::gpr(0)]);
+            t.vload(2, reg::vr(0), 0x1000_0000, 16, &[]);
+            t.vsimple(3, reg::vr(0), &[]);
+            t.branch(4, true, 0, &[]);
+        });
+        assert_eq!(s.total(), 5);
+        assert_eq!(s.mem_ops(), 3);
+        assert_eq!(s.vector_ops(), 2);
+        assert_eq!(s.branches(), 1);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = stats_of(|t| t.ialu(0, reg::gpr(0), &[]));
+        let b = stats_of(|t| {
+            t.ialu(0, reg::gpr(0), &[]);
+            t.branch(1, true, 0, &[]);
+        });
+        a.merge(&b);
+        assert_eq!(a.total(), 3);
+        assert_eq!(a.count(OpClass::IAlu), 2);
+    }
+
+    #[test]
+    fn figure1_folds_rare_classes_into_other() {
+        let s = stats_of(|t| {
+            t.fpu(0, reg::fpr(0), &[]);
+            t.vcmplx(1, reg::vr(0), &[]);
+            t.vfpu(2, reg::vr(0), &[]);
+            t.other(3, reg::gpr(0), &[]);
+        });
+        let rows = s.figure1_rows();
+        assert_eq!(rows[0].0, OpClass::Other);
+        assert_eq!(rows[0].1, 4);
+        assert!((rows[0].2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let s = stats_of(|t| {
+            for i in 0..10 {
+                t.ialu(i, reg::gpr(0), &[]);
+            }
+            t.branch(10, false, 0, &[]);
+            t.iload(11, reg::gpr(1), 0x1000_0000, 4, &[]);
+        });
+        let sum: f64 = s.figure1_rows().iter().map(|r| r.2).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+}
+
+/// Per-PC execution profile: how often each static instruction site
+/// executed. The workload modules use this to verify their loop
+/// structure; it is also handy for finding a trace's hot loops.
+#[derive(Debug, Clone, Default)]
+pub struct SiteProfile {
+    counts: std::collections::HashMap<u32, u64>,
+}
+
+impl SiteProfile {
+    /// Profiles `insts`.
+    pub fn from_insts(insts: &[Inst]) -> Self {
+        let mut counts = std::collections::HashMap::new();
+        for inst in insts {
+            *counts.entry(inst.pc).or_insert(0u64) += 1;
+        }
+        SiteProfile { counts }
+    }
+
+    /// Number of distinct static sites.
+    pub fn site_count(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Execution count of the instruction at `pc`.
+    pub fn count(&self, pc: u32) -> u64 {
+        self.counts.get(&pc).copied().unwrap_or(0)
+    }
+
+    /// The `k` hottest sites, `(pc, count)`, descending.
+    pub fn hottest(&self, k: usize) -> Vec<(u32, u64)> {
+        let mut rows: Vec<(u32, u64)> = self.counts.iter().map(|(&pc, &c)| (pc, c)).collect();
+        rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        rows.truncate(k);
+        rows
+    }
+
+    /// Fraction of dynamic instructions covered by the `k` hottest
+    /// sites — a code-footprint locality measure (the workloads in
+    /// this suite concentrate >90% of execution in tiny inner loops,
+    /// which is why their I-cache behaviour is so benign).
+    pub fn coverage(&self, k: usize) -> f64 {
+        let total: u64 = self.counts.values().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let top: u64 = self.hottest(k).iter().map(|r| r.1).sum();
+        top as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod site_tests {
+    use super::*;
+    use crate::reg;
+    use crate::trace::Tracer;
+
+    #[test]
+    fn profile_counts_sites() {
+        let mut t = Tracer::new();
+        for _ in 0..10 {
+            t.ialu(5, reg::gpr(0), &[]);
+        }
+        t.ialu(9, reg::gpr(0), &[]);
+        let tr = t.finish();
+        let p = SiteProfile::from_insts(tr.insts());
+        assert_eq!(p.site_count(), 2);
+        assert_eq!(p.count(tr.insts()[0].pc), 10);
+        let hot = p.hottest(1);
+        assert_eq!(hot[0].1, 10);
+        assert!((p.coverage(1) - 10.0 / 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_profile() {
+        let p = SiteProfile::from_insts(&[]);
+        assert_eq!(p.site_count(), 0);
+        assert_eq!(p.coverage(3), 0.0);
+    }
+}

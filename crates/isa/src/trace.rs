@@ -1,0 +1,427 @@
+//! Trace container and the emitting [`Tracer`].
+
+use std::io::{Read, Write};
+
+use crate::inst::{flags, Inst, OpClass};
+use crate::reg::Reg;
+use crate::stats::TraceStats;
+use crate::{Error, Result};
+
+/// Base of the simulated code segment. Site ids map to PCs as
+/// `CODE_BASE + 4 * site`, giving every static emission point a stable,
+/// 4-byte-aligned instruction address.
+pub const CODE_BASE: u32 = 0x0010_0000;
+
+/// A *site* identifies one static instruction in an instrumented
+/// workload; dynamic instances of the same site share a PC, which is
+/// what gives branch predictors and the I-cache realistic behaviour.
+pub type Site = u32;
+
+/// An immutable instruction trace.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Trace {
+    insts: Vec<Inst>,
+}
+
+impl Trace {
+    /// Wraps a raw instruction vector.
+    pub fn from_insts(insts: Vec<Inst>) -> Self {
+        Trace { insts }
+    }
+
+    /// The instructions in program order.
+    pub fn insts(&self) -> &[Inst] {
+        &self.insts
+    }
+
+    /// Number of dynamic instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Computes the instruction-class breakdown (paper Fig. 1).
+    pub fn stats(&self) -> TraceStats {
+        TraceStats::from_insts(&self.insts)
+    }
+
+    /// Serializes the trace to a compact binary stream.
+    ///
+    /// A `&mut W` can be passed for writers you want to keep using
+    /// afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_to<W: Write>(&self, mut w: W) -> Result<()> {
+        w.write_all(MAGIC)?;
+        w.write_all(&(self.insts.len() as u64).to_le_bytes())?;
+        let mut buf = [0u8; RECORD_LEN];
+        for inst in &self.insts {
+            buf[0..4].copy_from_slice(&inst.pc.to_le_bytes());
+            buf[4..8].copy_from_slice(&inst.ea.to_le_bytes());
+            buf[8] = inst.op.index() as u8;
+            buf[9] = inst.dst.id();
+            buf[10] = inst.srcs[0].id();
+            buf[11] = inst.srcs[1].id();
+            buf[12] = inst.srcs[2].id();
+            buf[13] = inst.flags;
+            w.write_all(&buf)?;
+        }
+        Ok(())
+    }
+
+    /// Deserializes a trace previously written by [`Trace::write_to`].
+    ///
+    /// # Errors
+    ///
+    /// [`Error::MalformedTrace`] on a bad magic number, a truncated
+    /// body, or invalid field encodings; [`Error::Io`] on read failures.
+    pub fn read_from<R: Read>(mut r: R) -> Result<Self> {
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)
+            .map_err(|_| malformed("missing header"))?;
+        if &magic != MAGIC {
+            return Err(malformed("bad magic number"));
+        }
+        let mut lenb = [0u8; 8];
+        r.read_exact(&mut lenb)
+            .map_err(|_| malformed("missing length"))?;
+        let len = u64::from_le_bytes(lenb);
+        if len > (1 << 31) {
+            return Err(malformed("implausible instruction count"));
+        }
+        // Never trust the header for preallocation: a corrupted length
+        // must fail at read time, not abort on a huge allocation.
+        let mut insts = Vec::with_capacity(len.min(1 << 20) as usize);
+        let mut buf = [0u8; RECORD_LEN];
+        for i in 0..len {
+            r.read_exact(&mut buf)
+                .map_err(|_| malformed(&format!("truncated at instruction {i}")))?;
+            let op = OpClass::from_index(buf[8] as usize)
+                .ok_or_else(|| malformed(&format!("invalid op class {}", buf[8])))?;
+            insts.push(Inst {
+                pc: u32::from_le_bytes(buf[0..4].try_into().expect("slice len")),
+                ea: u32::from_le_bytes(buf[4..8].try_into().expect("slice len")),
+                op,
+                dst: raw_reg(buf[9])?,
+                srcs: [raw_reg(buf[10])?, raw_reg(buf[11])?, raw_reg(buf[12])?],
+                flags: buf[13],
+            });
+        }
+        Ok(Trace { insts })
+    }
+}
+
+const MAGIC: &[u8; 8] = b"SAPATRC1";
+const RECORD_LEN: usize = 14;
+
+fn malformed(reason: &str) -> Error {
+    Error::MalformedTrace {
+        reason: reason.to_string(),
+    }
+}
+
+fn raw_reg(id: u8) -> Result<Reg> {
+    // All ids < Reg::COUNT plus the NONE sentinel are valid encodings.
+    if id == Reg::NONE.id() || (id as usize) < Reg::COUNT {
+        // Safety of representation: Reg is a plain newtype over u8; we
+        // reconstruct through the public constructors to stay honest.
+        Ok(decode_reg(id))
+    } else {
+        Err(malformed(&format!("invalid register id {id}")))
+    }
+}
+
+fn decode_reg(id: u8) -> Reg {
+    use crate::reg::{fpr, gpr, vr};
+    match id {
+        255 => Reg::NONE,
+        0..=31 => gpr(id),
+        32..=63 => fpr(id - 32),
+        _ => vr(id - 64),
+    }
+}
+
+impl AsRef<[Inst]> for Trace {
+    fn as_ref(&self) -> &[Inst] {
+        &self.insts
+    }
+}
+
+/// Builds a [`Trace`] while an instrumented kernel runs.
+///
+/// Every emit method takes a [`Site`] (static instruction id); the PC is
+/// derived as `CODE_BASE + 4 * site`. Branch targets are likewise given
+/// as sites.
+///
+/// ```
+/// use sapa_isa::reg;
+/// use sapa_isa::trace::Tracer;
+///
+/// let mut t = Tracer::new();
+/// let sum = reg::gpr(3);
+/// let ptr = reg::gpr(4);
+/// t.iload(0, reg::gpr(5), 0x1000_0000, 4, &[ptr]);
+/// t.ialu(1, sum, &[sum, reg::gpr(5)]);
+/// t.branch(2, true, 0, &[sum]);
+/// assert_eq!(t.len(), 3);
+/// ```
+#[derive(Debug, Default)]
+pub struct Tracer {
+    insts: Vec<Inst>,
+}
+
+impl Tracer {
+    /// Creates an empty tracer.
+    pub fn new() -> Self {
+        Tracer { insts: Vec::new() }
+    }
+
+    /// Creates a tracer with pre-allocated capacity for `n` instructions.
+    pub fn with_capacity(n: usize) -> Self {
+        Tracer {
+            insts: Vec::with_capacity(n),
+        }
+    }
+
+    /// Instructions emitted so far.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether nothing has been emitted yet.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Finishes tracing and returns the trace.
+    pub fn finish(self) -> Trace {
+        Trace { insts: self.insts }
+    }
+
+    #[inline]
+    fn push(&mut self, site: Site, op: OpClass, dst: Reg, srcs: &[Reg], ea: u32, fl: u8) {
+        debug_assert!(srcs.len() <= 3, "at most 3 sources per instruction");
+        let mut s = [Reg::NONE; 3];
+        s[..srcs.len()].copy_from_slice(srcs);
+        self.insts.push(Inst {
+            pc: CODE_BASE + 4 * site,
+            ea,
+            op,
+            dst,
+            srcs: s,
+            flags: fl,
+        });
+    }
+
+    /// Emits an integer ALU instruction `dst <- op(srcs)`.
+    #[inline]
+    pub fn ialu(&mut self, site: Site, dst: Reg, srcs: &[Reg]) {
+        self.push(site, OpClass::IAlu, dst, srcs, 0, 0);
+    }
+
+    /// Emits a scalar load of `width` bytes from `addr` into `dst`;
+    /// `srcs` are the address-generation registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `width` is not a power of two ≤ 32.
+    #[inline]
+    pub fn iload(&mut self, site: Site, dst: Reg, addr: u32, width: u32, srcs: &[Reg]) {
+        self.push(site, OpClass::ILoad, dst, srcs, addr, width_flag(width));
+    }
+
+    /// Emits a scalar store of `width` bytes to `addr`; `srcs` carry both
+    /// the data and address registers.
+    #[inline]
+    pub fn istore(&mut self, site: Site, addr: u32, width: u32, srcs: &[Reg]) {
+        self.push(site, OpClass::IStore, Reg::NONE, srcs, addr, width_flag(width));
+    }
+
+    /// Emits a conditional branch at `site` with actual outcome `taken`
+    /// and (taken-path) target site `target`.
+    #[inline]
+    pub fn branch(&mut self, site: Site, taken: bool, target: Site, srcs: &[Reg]) {
+        let fl = flags::COND | if taken { flags::TAKEN } else { 0 };
+        self.push(site, OpClass::Branch, Reg::NONE, srcs, CODE_BASE + 4 * target, fl);
+    }
+
+    /// Emits an unconditional jump to `target`.
+    #[inline]
+    pub fn jump(&mut self, site: Site, target: Site) {
+        self.push(
+            site,
+            OpClass::Branch,
+            Reg::NONE,
+            &[],
+            CODE_BASE + 4 * target,
+            flags::TAKEN,
+        );
+    }
+
+    /// Emits a scalar floating-point instruction.
+    #[inline]
+    pub fn fpu(&mut self, site: Site, dst: Reg, srcs: &[Reg]) {
+        self.push(site, OpClass::Fpu, dst, srcs, 0, 0);
+    }
+
+    /// Emits a vector load of `width` bytes (16 for Altivec-128, 32 for
+    /// the futuristic 256-bit extension).
+    #[inline]
+    pub fn vload(&mut self, site: Site, dst: Reg, addr: u32, width: u32, srcs: &[Reg]) {
+        self.push(site, OpClass::VLoad, dst, srcs, addr, width_flag(width));
+    }
+
+    /// Emits a vector store of `width` bytes.
+    #[inline]
+    pub fn vstore(&mut self, site: Site, addr: u32, width: u32, srcs: &[Reg]) {
+        self.push(site, OpClass::VStore, Reg::NONE, srcs, addr, width_flag(width));
+    }
+
+    /// Emits a simple vector-integer instruction (add/sub/max/cmp).
+    #[inline]
+    pub fn vsimple(&mut self, site: Site, dst: Reg, srcs: &[Reg]) {
+        self.push(site, OpClass::VSimple, dst, srcs, 0, 0);
+    }
+
+    /// Emits a vector permute/shift/merge instruction.
+    #[inline]
+    pub fn vperm(&mut self, site: Site, dst: Reg, srcs: &[Reg]) {
+        self.push(site, OpClass::VPerm, dst, srcs, 0, 0);
+    }
+
+    /// Emits a complex vector-integer instruction (multiply, sum-across).
+    #[inline]
+    pub fn vcmplx(&mut self, site: Site, dst: Reg, srcs: &[Reg]) {
+        self.push(site, OpClass::VCmplx, dst, srcs, 0, 0);
+    }
+
+    /// Emits a vector floating-point instruction.
+    #[inline]
+    pub fn vfpu(&mut self, site: Site, dst: Reg, srcs: &[Reg]) {
+        self.push(site, OpClass::VFpu, dst, srcs, 0, 0);
+    }
+
+    /// Emits an uncategorized instruction (sync, system, …).
+    #[inline]
+    pub fn other(&mut self, site: Site, dst: Reg, srcs: &[Reg]) {
+        self.push(site, OpClass::Other, dst, srcs, 0, 0);
+    }
+}
+
+#[inline]
+fn width_flag(width: u32) -> u8 {
+    debug_assert!(
+        width.is_power_of_two() && width <= 32,
+        "memory access width must be a power of two ≤ 32, got {width}"
+    );
+    (width.trailing_zeros() as u8) << flags::WIDTH_SHIFT
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::{self, Reg};
+
+    fn sample_trace() -> Trace {
+        let mut t = Tracer::new();
+        t.iload(0, reg::gpr(1), 0x1000_0040, 4, &[reg::gpr(2)]);
+        t.ialu(1, reg::gpr(3), &[reg::gpr(1), reg::gpr(3)]);
+        t.branch(2, false, 0, &[reg::gpr(3)]);
+        t.vload(3, reg::vr(0), 0x1000_0100, 16, &[reg::gpr(2)]);
+        t.vsimple(4, reg::vr(1), &[reg::vr(0), reg::vr(1)]);
+        t.vperm(5, reg::vr(2), &[reg::vr(1)]);
+        t.istore(6, 0x1000_0200, 4, &[reg::gpr(3), reg::gpr(2)]);
+        t.jump(7, 0);
+        t.finish()
+    }
+
+    #[test]
+    fn pc_derivation() {
+        let tr = sample_trace();
+        assert_eq!(tr.insts()[0].pc, CODE_BASE);
+        assert_eq!(tr.insts()[1].pc, CODE_BASE + 4);
+        // jump target encodes site 0
+        assert_eq!(tr.insts()[7].ea, CODE_BASE);
+    }
+
+    #[test]
+    fn branch_flags() {
+        let tr = sample_trace();
+        let br = tr.insts()[2];
+        assert!(br.is_cond_branch());
+        assert!(!br.taken());
+        let jmp = tr.insts()[7];
+        assert!(!jmp.is_cond_branch());
+        assert!(jmp.taken());
+    }
+
+    #[test]
+    fn widths_round_trip() {
+        let tr = sample_trace();
+        assert_eq!(tr.insts()[0].width(), 4);
+        assert_eq!(tr.insts()[3].width(), 16);
+    }
+
+    #[test]
+    fn serialization_round_trip() {
+        let tr = sample_trace();
+        let mut buf = Vec::new();
+        tr.write_to(&mut buf).unwrap();
+        let rt = Trace::read_from(&buf[..]).unwrap();
+        assert_eq!(rt, tr);
+    }
+
+    #[test]
+    fn read_rejects_bad_magic() {
+        let err = Trace::read_from(&b"NOTATRACE........."[..]).unwrap_err();
+        assert!(matches!(err, Error::MalformedTrace { .. }));
+    }
+
+    #[test]
+    fn read_rejects_truncation() {
+        let tr = sample_trace();
+        let mut buf = Vec::new();
+        tr.write_to(&mut buf).unwrap();
+        buf.truncate(buf.len() - 5);
+        assert!(matches!(
+            Trace::read_from(&buf[..]),
+            Err(Error::MalformedTrace { .. })
+        ));
+    }
+
+    #[test]
+    fn read_rejects_bad_register() {
+        let tr = sample_trace();
+        let mut buf = Vec::new();
+        tr.write_to(&mut buf).unwrap();
+        buf[16 + 9] = 200; // dst of first record -> invalid id
+        assert!(matches!(
+            Trace::read_from(&buf[..]),
+            Err(Error::MalformedTrace { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let tr = Tracer::new().finish();
+        let mut buf = Vec::new();
+        tr.write_to(&mut buf).unwrap();
+        assert_eq!(Trace::read_from(&buf[..]).unwrap(), tr);
+    }
+
+    #[test]
+    fn none_register_survives_round_trip() {
+        let mut t = Tracer::new();
+        t.istore(0, 0x1000_0000, 4, &[Reg::NONE]);
+        let tr = t.finish();
+        let mut buf = Vec::new();
+        tr.write_to(&mut buf).unwrap();
+        assert_eq!(Trace::read_from(&buf[..]).unwrap(), tr);
+    }
+}

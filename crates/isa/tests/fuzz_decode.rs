@@ -1,0 +1,39 @@
+//! Fuzz-style robustness tests for the trace decoder: arbitrary bytes
+//! must produce an error or a valid trace, never a panic.
+
+use proptest::prelude::*;
+use sapa_isa::Trace;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..600)) {
+        let _ = Trace::read_from(&bytes[..]);
+    }
+
+    #[test]
+    fn corrupted_valid_traces_never_panic(
+        flips in proptest::collection::vec((0usize..1000, any::<u8>()), 1..8),
+    ) {
+        use sapa_isa::trace::Tracer;
+        use sapa_isa::reg;
+        let mut t = Tracer::new();
+        for i in 0..20u32 {
+            t.iload(i, reg::gpr(1), 0x1000_0000 + i, 4, &[reg::gpr(2)]);
+            t.branch(i + 100, i % 2 == 0, 0, &[reg::gpr(1)]);
+        }
+        let mut buf = Vec::new();
+        t.finish().write_to(&mut buf).unwrap();
+        for (pos, val) in flips {
+            let idx = pos % buf.len();
+            buf[idx] = val;
+        }
+        // Decoding may fail or succeed; it must never panic, and a
+        // successful decode must re-serialize cleanly.
+        if let Ok(trace) = Trace::read_from(&buf[..]) {
+            let mut out = Vec::new();
+            trace.write_to(&mut out).unwrap();
+        }
+    }
+}

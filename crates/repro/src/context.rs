@@ -1,0 +1,142 @@
+//! Shared experiment state: inputs, cached traces, cached simulations.
+
+use std::collections::HashMap;
+
+use sapa_cpu::config::{BranchConfig, MemConfig, SimConfig};
+use sapa_cpu::{SimReport, Simulator};
+use sapa_isa::trace::Trace;
+use sapa_workloads::{StandardInputs, Workload};
+
+/// Experiment scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scale {
+    /// Minimal inputs for unit tests (seconds for the whole suite).
+    Tiny,
+    /// Reduced inputs for a quick look.
+    Small,
+    /// The suite's standard scale (the numbers in EXPERIMENTS.md).
+    Paper,
+}
+
+impl Scale {
+    fn inputs(self) -> StandardInputs {
+        match self {
+            Scale::Tiny => StandardInputs::with_db_size(12, 1),
+            Scale::Small => StandardInputs::with_db_size(100, 2),
+            Scale::Paper => StandardInputs::paper_scale(),
+        }
+    }
+}
+
+/// Key identifying a cached simulation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct SimKey {
+    workload: Workload,
+    tag: String,
+}
+
+/// Shared state across experiments: one set of inputs, lazily generated
+/// traces, and memoized simulator runs (figures 3 and 4 share a grid,
+/// figure 2 and 10 share the baseline run, …).
+pub struct Context {
+    /// The evaluation inputs.
+    pub inputs: StandardInputs,
+    scale: Scale,
+    traces: HashMap<Workload, Trace>,
+    sims: HashMap<SimKey, SimReport>,
+}
+
+impl Context {
+    /// Creates a context at the given scale.
+    pub fn new(scale: Scale) -> Self {
+        Context {
+            inputs: scale.inputs(),
+            scale,
+            traces: HashMap::new(),
+            sims: HashMap::new(),
+        }
+    }
+
+    /// The context's scale.
+    pub fn scale(&self) -> Scale {
+        self.scale
+    }
+
+    /// The trace of `workload`, generated on first use.
+    pub fn trace(&mut self, workload: Workload) -> &Trace {
+        if !self.traces.contains_key(&workload) {
+            let bundle = workload.trace(&self.inputs);
+            self.traces.insert(workload, bundle.trace);
+        }
+        &self.traces[&workload]
+    }
+
+    /// Simulates `workload` under `cfg`, memoized by `tag` (callers
+    /// pass a string that uniquely identifies the configuration, e.g.
+    /// `"4-way/me1/real"`).
+    pub fn sim(&mut self, workload: Workload, tag: &str, cfg: &SimConfig) -> &SimReport {
+        let key = SimKey {
+            workload,
+            tag: tag.to_string(),
+        };
+        if !self.sims.contains_key(&key) {
+            // Generate the trace first (separate borrow scope).
+            self.trace(workload);
+            let trace = &self.traces[&workload];
+            let report = Simulator::new(cfg.clone()).run(trace);
+            self.sims.insert(key.clone(), report);
+        }
+        &self.sims[&key]
+    }
+
+    /// The paper's baseline measurement configuration: 4-way, `me1`
+    /// memory, Table VI (real) branch predictor.
+    pub fn baseline(&mut self, workload: Workload) -> &SimReport {
+        let cfg = SimConfig::four_way();
+        self.sim(workload, "4-way/me1/real", &cfg)
+    }
+
+    /// Builds a [`SimConfig`] from named width and memory preset.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown width or memory name (internal use only).
+    pub fn config(width: &str, mem: &MemConfig, branch: BranchConfig) -> SimConfig {
+        let cpu = match width {
+            "4-way" => sapa_cpu::config::CpuConfig::four_way(),
+            "8-way" => sapa_cpu::config::CpuConfig::eight_way(),
+            "12-way" => sapa_cpu::config::CpuConfig::twelve_way(),
+            "16-way" => sapa_cpu::config::CpuConfig::sixteen_way(),
+            other => panic!("unknown width preset {other}"),
+        };
+        SimConfig {
+            cpu,
+            mem: mem.clone(),
+            branch,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traces_are_cached() {
+        let mut ctx = Context::new(Scale::Tiny);
+        let a = ctx.trace(Workload::Blast).len();
+        let b = ctx.trace(Workload::Blast).len();
+        assert_eq!(a, b);
+        assert_eq!(ctx.traces.len(), 1);
+    }
+
+    #[test]
+    fn sims_are_memoized() {
+        let mut ctx = Context::new(Scale::Tiny);
+        let cfg = SimConfig::four_way();
+        let c1 = ctx.sim(Workload::Blast, "t", &cfg).cycles;
+        let c2 = ctx.sim(Workload::Blast, "t", &cfg).cycles;
+        assert_eq!(c1, c2);
+        assert_eq!(ctx.sims.len(), 1);
+    }
+}

@@ -1,0 +1,73 @@
+//! Extension experiment: characterize the nucleotide pipeline.
+//!
+//! The paper's Listing 1 shows blastn's packed-database hot loop but
+//! the evaluation covers the protein tools only; its future-work
+//! section calls for characterizing more applications. This experiment
+//! does that for blastn: the 2-bit packed scan loads one byte per four
+//! positions (load fraction drops), spends its time in shift/mask
+//! unpacking (ialu fraction rises), and keeps the cascaded compare
+//! branches — a profile between BLAST's and SSEARCH's.
+
+use crate::context::{Context, Scale};
+use crate::format::{f2, heading, pct, Table};
+use sapa_cpu::{SimConfig, Simulator};
+use sapa_isa::OpClass;
+use sapa_workloads::blastn;
+use sapa_align::blastn::BlastnParams;
+use sapa_bioseq::dna::{random_dna, DnaSequence, PackedDna};
+
+/// Renders the blastn characterization (instruction mix + baseline
+/// simulation), scaled by the context scale.
+pub fn run(ctx: &mut Context) -> String {
+    let (subjects, subject_len) = match ctx.scale() {
+        Scale::Tiny => (6, 400),
+        Scale::Small => (30, 1_000),
+        Scale::Paper => (120, 2_000),
+    };
+
+    let query = random_dna("q", 200, 2006);
+    let mut db: Vec<PackedDna> = (0..subjects as u64)
+        .map(|k| random_dna("s", subject_len, 3000 + k).pack())
+        .collect();
+    // Plant the query so hit paths execute.
+    let mut hit = random_dna("h", subject_len, 9001).bases().to_vec();
+    hit[37..237].copy_from_slice(query.bases());
+    db.push(DnaSequence::new("hit", hit).pack());
+
+    let traced = blastn::run(&query, &db, &BlastnParams::default(), 50);
+    let stats = traced.trace.stats();
+    let report = Simulator::new(SimConfig::four_way()).run(&traced.trace);
+
+    let mut out = heading("Extension — BLASTN characterization (packed DNA, 4-way/me1)");
+    let mut t = Table::new(&["metric", "value"]);
+    t.row_owned(vec!["instructions".into(), stats.total().to_string()]);
+    t.row_owned(vec!["ialu".into(), pct(stats.fraction(OpClass::IAlu))]);
+    t.row_owned(vec!["iload".into(), pct(stats.fraction(OpClass::ILoad))]);
+    t.row_owned(vec!["ctrl".into(), pct(stats.fraction(OpClass::Branch))]);
+    t.row_owned(vec!["IPC".into(), f2(report.ipc())]);
+    t.row_owned(vec!["bp accuracy".into(), pct(report.bp_accuracy())]);
+    t.row_owned(vec!["dl1 miss".into(), pct(report.dl1.miss_rate())]);
+    t.row_owned(vec!["hits found".into(), traced.hits.len().to_string()]);
+    out.push_str(&t.render());
+    out.push_str(
+        "\nCompared to blastp: fewer loads (one packed byte per four \n\
+         positions), more shift/mask ialu, exact-word table instead of \n\
+         a neighborhood — so the working set is small and the profile \n\
+         is compute/branch-bound rather than memory-bound.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blastn_experiment_runs_and_finds_the_plant() {
+        let out = run(&mut Context::new(Scale::Tiny));
+        assert!(out.contains("instructions"));
+        assert!(out.contains("hits found"));
+        // The planted 200-base identity must be found.
+        assert!(!out.contains("hits found   0"), "{out}");
+    }
+}

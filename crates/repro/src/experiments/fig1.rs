@@ -1,0 +1,34 @@
+//! Figure 1: instruction breakdown per workload.
+
+use crate::context::Context;
+use crate::format::{heading, pct, Table};
+use sapa_workloads::Workload;
+
+/// Renders Figure 1's stacked-bar data as one row per class.
+pub fn run(ctx: &mut Context) -> String {
+    let mut out = heading("Figure 1 — instruction breakdown");
+    for w in Workload::ALL {
+        let stats = ctx.trace(w).stats();
+        let mut t = Table::new(&["class", "count", "fraction"]);
+        for (class, count, frac) in stats.figure1_rows() {
+            t.row_owned(vec![class.label().to_string(), count.to_string(), pct(frac)]);
+        }
+        out.push_str(&format!("\n{} (total {}):\n{}", w.label(), stats.total(), t.render()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Scale;
+
+    #[test]
+    fn covers_all_classes_and_workloads() {
+        let out = run(&mut Context::new(Scale::Tiny));
+        for label in ["ialu", "ctrl", "vperm", "vsimple", "iload", "istore"] {
+            assert!(out.contains(label), "{label} missing");
+        }
+        assert!(out.contains("SW_vmx256"));
+    }
+}

@@ -1,0 +1,74 @@
+//! Figure 2: histogram of traumas (stall cycles per class) on the
+//! 4-way / 32K / 32K / 1M configuration with the real branch predictor.
+
+use crate::context::Context;
+use crate::format::{heading, Table};
+use sapa_cpu::Trauma;
+use sapa_workloads::Workload;
+
+/// Renders the per-workload trauma histograms (all 56 classes, Figure 2
+/// x-axis order), plus a top-5 summary line per workload.
+pub fn run(ctx: &mut Context) -> String {
+    let mut out = heading("Figure 2 — stall cycles per trauma (4-way, 32K/32K/1M, real BP)");
+    for w in Workload::ALL {
+        let report = ctx.baseline(w).clone();
+        let mut t = Table::new(&["trauma", "cycles"]);
+        for (trauma, cycles) in report.traumas.rows() {
+            t.row_owned(vec![trauma.label().to_string(), cycles.to_string()]);
+        }
+        let top: Vec<String> = report
+            .traumas
+            .top(5)
+            .into_iter()
+            .filter(|&(_, c)| c > 0)
+            .map(|(tr, c)| format!("{}={}", tr.label(), c))
+            .collect();
+        out.push_str(&format!(
+            "\nSTALL CYCLES in {} (total cycles {}, top: {}):\n{}",
+            w.label(),
+            report.cycles,
+            top.join(", "),
+            t.render()
+        ));
+    }
+    out
+}
+
+/// The dominant trauma of one workload at the baseline configuration —
+/// used by tests and EXPERIMENTS.md to check the paper's headline
+/// claims (RG_FIX/MM for BLAST, IF_PRED for SSEARCH/FASTA, RG_VI/
+/// RG_VPER for the SIMD codes).
+pub fn dominant(ctx: &mut Context, w: Workload) -> Trauma {
+    ctx.baseline(w).traumas.top(1)[0].0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Scale;
+
+    // These assertions need warmed-up caches, so they run at Small
+    // scale (Tiny traces are dominated by cold misses).
+
+    #[test]
+    fn simd_codes_blame_vector_dependencies() {
+        let mut ctx = Context::new(Scale::Small);
+        let d = dominant(&mut ctx, Workload::SwVmx128);
+        assert!(
+            matches!(d, Trauma::RgVi | Trauma::RgVper | Trauma::RgMem),
+            "vmx128 dominant trauma {d}"
+        );
+    }
+
+    #[test]
+    fn branchy_codes_blame_the_frontend_or_int_deps() {
+        let mut ctx = Context::new(Scale::Small);
+        for w in [Workload::Ssearch34, Workload::Fasta34] {
+            let d = dominant(&mut ctx, w);
+            assert!(
+                matches!(d, Trauma::IfPred | Trauma::RgFix | Trauma::RgMem | Trauma::Decode),
+                "{w} dominant trauma {d}"
+            );
+        }
+    }
+}

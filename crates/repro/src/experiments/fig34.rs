@@ -1,0 +1,98 @@
+//! Figures 3 and 4: execution cycles and IPC across pipeline widths
+//! (4/8/16-way) and memory configurations (me1 … meinf).
+
+use crate::context::Context;
+use crate::format::{f2, heading, Table};
+use sapa_cpu::config::{BranchConfig, MemConfig};
+use sapa_workloads::Workload;
+
+const WIDTHS: [&str; 3] = ["4-way", "8-way", "16-way"];
+
+fn mem_label(m: &MemConfig) -> String {
+    let kb = |s: Option<u64>| match s {
+        Some(b) if b >= 1 << 20 => format!("{}M", b >> 20),
+        Some(b) => format!("{}k", b >> 10),
+        None => "INF".to_string(),
+    };
+    format!("{}/{}/{}", kb(m.il1.size), kb(m.dl1.size), kb(m.l2.size))
+}
+
+fn grid(ctx: &mut Context) -> Vec<(Workload, String, String, u64, f64)> {
+    let mut rows = Vec::new();
+    for w in Workload::ALL {
+        for width in WIDTHS {
+            for mem in MemConfig::table_v() {
+                let tag = format!("{width}/{}/real", mem.name);
+                let cfg = Context::config(width, &mem, BranchConfig::table_vi());
+                let r = ctx.sim(w, &tag, &cfg);
+                rows.push((w, width.to_string(), mem_label(&mem), r.cycles, r.ipc()));
+            }
+        }
+    }
+    rows
+}
+
+/// Renders Figure 3 (cycles vs memory configuration).
+pub fn run_fig3(ctx: &mut Context) -> String {
+    let mut out = heading("Figure 3 — cycles vs memory configuration");
+    let rows = grid(ctx);
+    let mut t = Table::new(&["workload", "width", "mem (I1/D1/L2)", "cycles"]);
+    for (w, width, mem, cycles, _) in &rows {
+        t.row_owned(vec![
+            w.label().to_string(),
+            width.clone(),
+            mem.clone(),
+            cycles.to_string(),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+/// Renders Figure 4 (IPC vs memory configuration).
+pub fn run_fig4(ctx: &mut Context) -> String {
+    let mut out = heading("Figure 4 — IPC vs memory configuration");
+    let rows = grid(ctx);
+    let mut t = Table::new(&["workload", "width", "mem (I1/D1/L2)", "IPC"]);
+    for (w, width, mem, _, ipc) in &rows {
+        t.row_owned(vec![
+            w.label().to_string(),
+            width.clone(),
+            mem.clone(),
+            f2(*ipc),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Scale;
+
+    #[test]
+    fn blast_is_memory_sensitive_fasta_is_not() {
+        // Small scale so the working sets are warm; point sims only
+        // (the full grid is exercised by the binary, not unit tests).
+        let mut ctx = Context::new(Scale::Small);
+        let mut cycles = |w: Workload, mem: MemConfig| {
+            let tag = format!("4-way/{}/real", mem.name);
+            let cfg = Context::config("4-way", &mem, BranchConfig::table_vi());
+            ctx.sim(w, &tag, &cfg).cycles
+        };
+        // BLAST: 32k caches must cost noticeably more than ideal memory.
+        let blast_me1 = cycles(Workload::Blast, MemConfig::me1());
+        let blast_inf = cycles(Workload::Blast, MemConfig::meinf());
+        assert!(
+            blast_me1 as f64 > blast_inf as f64 * 1.10,
+            "{blast_me1} vs {blast_inf}"
+        );
+        // FASTA: much less memory-sensitive than BLAST.
+        let fasta_me1 = cycles(Workload::Fasta34, MemConfig::me1()) as f64;
+        let fasta_inf = cycles(Workload::Fasta34, MemConfig::meinf()) as f64;
+        let fasta_ratio = fasta_me1 / fasta_inf;
+        let blast_ratio = blast_me1 as f64 / blast_inf as f64;
+        assert!(fasta_ratio < blast_ratio, "{fasta_ratio} !< {blast_ratio}");
+    }
+}

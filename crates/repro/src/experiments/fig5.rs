@@ -1,0 +1,95 @@
+//! Figure 5: DL1 miss rate and IPC vs DL1 cache size (1K … 2M),
+//! 4-way core, 2M L2.
+
+use crate::context::Context;
+use crate::format::{f2, heading, pct, Table};
+use sapa_cpu::config::{BranchConfig, MemConfig, SimConfig};
+use sapa_cpu::config::CacheConfig;
+use sapa_workloads::Workload;
+
+/// The swept DL1 sizes in bytes (1K … 2M, powers of two).
+pub const SIZES: [u64; 12] = [
+    1 << 10,
+    2 << 10,
+    4 << 10,
+    8 << 10,
+    16 << 10,
+    32 << 10,
+    64 << 10,
+    128 << 10,
+    256 << 10,
+    512 << 10,
+    1 << 20,
+    2 << 20,
+];
+
+fn config_for(size: u64) -> SimConfig {
+    let mut mem = MemConfig::me1();
+    mem.name = format!("dl1-{size}");
+    mem.dl1 = CacheConfig {
+        size: Some(size),
+        assoc: 2,
+        line: 128,
+        latency: 1,
+    };
+    mem.il1 = CacheConfig {
+        size: Some(32 << 10),
+        assoc: 1,
+        line: 128,
+        latency: 1,
+    };
+    mem.l2.size = Some(2 << 20);
+    SimConfig {
+        cpu: sapa_cpu::config::CpuConfig::four_way(),
+        mem,
+        branch: BranchConfig::table_vi(),
+    }
+}
+
+/// One measured point of the sweep.
+pub fn point(ctx: &mut Context, w: Workload, size: u64) -> (f64, f64) {
+    let cfg = config_for(size);
+    let tag = format!("4-way/dl1-{size}/real");
+    let r = ctx.sim(w, &tag, &cfg);
+    (r.dl1.miss_rate(), r.ipc())
+}
+
+/// Renders Figure 5 (miss rate and IPC vs DL1 size).
+pub fn run(ctx: &mut Context) -> String {
+    let mut out = heading("Figure 5 — DL1 miss rate and IPC vs cache size (4-way, 2M L2)");
+    let mut t = Table::new(&["workload", "dl1 size", "miss rate", "IPC"]);
+    for w in Workload::ALL {
+        for size in SIZES {
+            let (miss, ipc) = point(ctx, w, size);
+            let label = if size >= 1 << 20 {
+                format!("{}M", size >> 20)
+            } else {
+                format!("{}K", size >> 10)
+            };
+            t.row_owned(vec![w.label().to_string(), label, pct(miss), f2(ipc)]);
+        }
+    }
+    out.push_str(&t.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Scale;
+
+    #[test]
+    fn miss_rate_never_increases_with_size_for_blast() {
+        let mut ctx = Context::new(Scale::Tiny);
+        let small = point(&mut ctx, Workload::Blast, 4 << 10).0;
+        let large = point(&mut ctx, Workload::Blast, 1 << 20).0;
+        assert!(large <= small + 1e-9, "{large} > {small}");
+    }
+
+    #[test]
+    fn ssearch_fits_small_caches() {
+        let mut ctx = Context::new(Scale::Tiny);
+        let (miss, _) = point(&mut ctx, Workload::Ssearch34, 4 << 10);
+        assert!(miss < 0.05, "miss {miss}");
+    }
+}

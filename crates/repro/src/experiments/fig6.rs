@@ -1,0 +1,63 @@
+//! Figure 6: DL1 miss rate and IPC vs associativity (1/2/4/8-way
+//! set-associative 32K DL1, 4-way core).
+
+use crate::context::Context;
+use crate::format::{f2, heading, pct, Table};
+use sapa_cpu::config::{BranchConfig, CacheConfig, MemConfig, SimConfig};
+use sapa_workloads::Workload;
+
+/// Swept associativities.
+pub const ASSOCS: [u32; 4] = [1, 2, 4, 8];
+
+/// One measured point.
+pub fn point(ctx: &mut Context, w: Workload, assoc: u32) -> (f64, f64) {
+    let mut mem = MemConfig::me1();
+    mem.name = format!("assoc-{assoc}");
+    mem.dl1 = CacheConfig {
+        size: Some(32 << 10),
+        assoc,
+        line: 128,
+        latency: 1,
+    };
+    let cfg = SimConfig {
+        cpu: sapa_cpu::config::CpuConfig::four_way(),
+        mem,
+        branch: BranchConfig::table_vi(),
+    };
+    let tag = format!("4-way/assoc-{assoc}/real");
+    let r = ctx.sim(w, &tag, &cfg);
+    (r.dl1.miss_rate(), r.ipc())
+}
+
+/// Renders Figure 6.
+pub fn run(ctx: &mut Context) -> String {
+    let mut out = heading("Figure 6 — DL1 miss rate and IPC vs associativity (32K DL1)");
+    let mut t = Table::new(&["workload", "assoc", "miss rate", "IPC"]);
+    for w in Workload::ALL {
+        for assoc in ASSOCS {
+            let (miss, ipc) = point(ctx, w, assoc);
+            t.row_owned(vec![
+                w.label().to_string(),
+                assoc.to_string(),
+                pct(miss),
+                f2(ipc),
+            ]);
+        }
+    }
+    out.push_str(&t.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Scale;
+
+    #[test]
+    fn associativity_helps_or_is_neutral_for_blast_misses() {
+        let mut ctx = Context::new(Scale::Tiny);
+        let direct = point(&mut ctx, Workload::Blast, 1).0;
+        let eight = point(&mut ctx, Workload::Blast, 8).0;
+        assert!(eight <= direct + 0.02, "{eight} vs {direct}");
+    }
+}

@@ -1,0 +1,70 @@
+//! Figure 7: IPC vs L1 hit latency (1 … 10 cycles, 32K/32K/1M, 4-way).
+
+use crate::context::Context;
+use crate::format::{f2, heading, Table};
+use sapa_cpu::config::{BranchConfig, MemConfig, SimConfig};
+use sapa_workloads::Workload;
+
+/// Swept L1 hit latencies.
+pub const LATENCIES: [u32; 6] = [1, 2, 4, 6, 8, 10];
+
+/// One measured point.
+pub fn point(ctx: &mut Context, w: Workload, latency: u32) -> f64 {
+    let mut mem = MemConfig::me1();
+    mem.name = format!("l1lat-{latency}");
+    mem.dl1.latency = latency;
+    mem.il1.latency = latency;
+    let cfg = SimConfig {
+        cpu: sapa_cpu::config::CpuConfig::four_way(),
+        mem,
+        branch: BranchConfig::table_vi(),
+    };
+    let tag = format!("4-way/l1lat-{latency}/real");
+    ctx.sim(w, &tag, &cfg).ipc()
+}
+
+/// Renders Figure 7.
+pub fn run(ctx: &mut Context) -> String {
+    let mut out = heading("Figure 7 — IPC vs L1 hit latency (4-way, 32K/32K/1M)");
+    let mut t = Table::new(&["workload", "L1 latency", "IPC"]);
+    for w in Workload::ALL {
+        for lat in LATENCIES {
+            t.row_owned(vec![
+                w.label().to_string(),
+                lat.to_string(),
+                f2(point(ctx, w, lat)),
+            ]);
+        }
+    }
+    out.push_str(&t.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Scale;
+
+    #[test]
+    fn higher_latency_never_helps() {
+        let mut ctx = Context::new(Scale::Tiny);
+        for w in [Workload::SwVmx128, Workload::Blast] {
+            let fast = point(&mut ctx, w, 1);
+            let slow = point(&mut ctx, w, 10);
+            assert!(slow <= fast + 1e-9, "{w}: {slow} > {fast}");
+        }
+    }
+
+    #[test]
+    fn simd_is_most_latency_sensitive() {
+        let mut ctx = Context::new(Scale::Small);
+        let mut rel = |w: Workload| {
+            let f = point(&mut ctx, w, 1);
+            let s = point(&mut ctx, w, 10);
+            s / f
+        };
+        let simd = rel(Workload::SwVmx128);
+        let fasta = rel(Workload::Fasta34);
+        assert!(simd < fasta + 0.05, "simd {simd} vs fasta {fasta}");
+    }
+}

@@ -1,0 +1,52 @@
+//! Figure 8: SIMD speed-up vs pipeline width, with the "+1 cycle on
+//! wide loads" ablation that equalizes load/store bandwidth between the
+//! 128- and 256-bit machines.
+
+use crate::context::Context;
+use crate::format::{f2, heading, Table};
+use sapa_cpu::config::{BranchConfig, MemConfig};
+use sapa_workloads::Workload;
+
+/// Swept widths (the paper's 4W/8W/12W/16W).
+pub const WIDTHS: [&str; 4] = ["4-way", "8-way", "12-way", "16-way"];
+
+fn cycles(ctx: &mut Context, w: Workload, width: &str, extra_wide_lat: u32) -> u64 {
+    let mut cfg = Context::config(width, &MemConfig::me1(), BranchConfig::table_vi());
+    cfg.cpu.wide_load_extra_latency = extra_wide_lat;
+    let tag = format!("{width}/me1/real/wlat{extra_wide_lat}");
+    ctx.sim(w, &tag, &cfg).cycles
+}
+
+/// Speed-up of each variant relative to `SW_vmx128` at the same width.
+pub fn speedups(ctx: &mut Context, width: &str) -> (f64, f64, f64) {
+    let base = cycles(ctx, Workload::SwVmx128, width, 0) as f64;
+    let v256 = cycles(ctx, Workload::SwVmx256, width, 0) as f64;
+    let v256_lat = cycles(ctx, Workload::SwVmx256, width, 1) as f64;
+    (1.0, base / v256, base / v256_lat)
+}
+
+/// Renders Figure 8.
+pub fn run(ctx: &mut Context) -> String {
+    let mut out = heading("Figure 8 — SIMD speed-up vs width (relative to SW_vmx128)");
+    let mut t = Table::new(&["width", "SW_vmx128", "SW_vmx256", "SW_vmx256 + 1 lat"]);
+    for width in WIDTHS {
+        let (a, b, c) = speedups(ctx, width);
+        t.row_owned(vec![width.to_string(), f2(a), f2(b), f2(c)]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Scale;
+
+    #[test]
+    fn vmx256_wins_and_extra_latency_shrinks_the_margin() {
+        let mut ctx = Context::new(Scale::Tiny);
+        let (_, v256, v256_lat) = speedups(&mut ctx, "4-way");
+        assert!(v256 > 1.0, "vmx256 speedup {v256}");
+        assert!(v256_lat <= v256 + 1e-9, "{v256_lat} > {v256}");
+    }
+}

@@ -1,0 +1,60 @@
+//! Figure 9: IPC with the real (Table VI) vs a perfect branch
+//! predictor, across widths.
+
+use crate::context::Context;
+use crate::format::{f2, heading, Table};
+use sapa_cpu::config::{BranchConfig, MemConfig};
+use sapa_workloads::Workload;
+
+const WIDTHS: [&str; 3] = ["4-way", "8-way", "16-way"];
+
+/// IPC of one point.
+pub fn point(ctx: &mut Context, w: Workload, width: &str, perfect: bool) -> f64 {
+    let branch = if perfect {
+        BranchConfig::perfect()
+    } else {
+        BranchConfig::table_vi()
+    };
+    let cfg = Context::config(width, &MemConfig::me1(), branch);
+    let tag = format!("{width}/me1/{}", if perfect { "perfect" } else { "real" });
+    ctx.sim(w, &tag, &cfg).ipc()
+}
+
+/// Renders Figure 9.
+pub fn run(ctx: &mut Context) -> String {
+    let mut out = heading("Figure 9 — perfect vs real branch predictor (IPC)");
+    let mut t = Table::new(&["workload", "width", "Real-BP", "Perfect-BP"]);
+    for w in Workload::ALL {
+        for width in WIDTHS {
+            let real = point(ctx, w, width, false);
+            let perfect = point(ctx, w, width, true);
+            t.row_owned(vec![
+                w.label().to_string(),
+                width.to_string(),
+                f2(real),
+                f2(perfect),
+            ]);
+        }
+    }
+    out.push_str(&t.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Scale;
+
+    #[test]
+    fn perfect_bp_helps_branchy_codes_not_simd() {
+        let mut ctx = Context::new(Scale::Tiny);
+        let mut gain = |w: Workload| {
+            point(&mut ctx, w, "4-way", true) / point(&mut ctx, w, "4-way", false)
+        };
+        let ssearch = gain(Workload::Ssearch34);
+        let simd = gain(Workload::SwVmx128);
+        assert!(ssearch > 1.05, "ssearch gain {ssearch}");
+        assert!(simd < ssearch, "simd {simd} vs ssearch {ssearch}");
+        assert!(simd < 1.10, "simd gain {simd}");
+    }
+}

@@ -1,0 +1,62 @@
+//! One module per paper artifact. Every module exposes
+//! `run(&mut Context) -> String` returning the rendered rows/series of
+//! the corresponding table or figure.
+
+pub mod ext_blastn;
+pub mod ext_prefetch;
+pub mod ext_queries;
+pub mod fig1;
+pub mod fig10;
+pub mod fig11;
+pub mod fig2;
+pub mod fig34;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table7;
+pub mod tables456;
+
+use crate::context::Context;
+
+/// All experiment ids in presentation order.
+pub const ALL_IDS: [&str; 19] = [
+    "table1", "table2", "table3", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+    "fig8", "fig9", "fig10", "fig11", "tables456", "table7", "ext_queries", "ext_prefetch",
+    "ext_blastn",
+];
+
+/// Runs one experiment by id.
+///
+/// # Errors
+///
+/// Returns an error message for unknown ids.
+pub fn run_by_id(ctx: &mut Context, id: &str) -> Result<String, String> {
+    let out = match id {
+        "table1" => table1::run(ctx),
+        "table2" => table2::run(ctx),
+        "table3" => table3::run(ctx),
+        "fig1" => fig1::run(ctx),
+        "fig2" => fig2::run(ctx),
+        "fig3" => fig34::run_fig3(ctx),
+        "fig4" => fig34::run_fig4(ctx),
+        "fig5" => fig5::run(ctx),
+        "fig6" => fig6::run(ctx),
+        "fig7" => fig7::run(ctx),
+        "fig8" => fig8::run(ctx),
+        "fig9" => fig9::run(ctx),
+        "fig10" => fig10::run(ctx),
+        "fig11" => fig11::run(ctx),
+        "tables456" => tables456::run(ctx),
+        "table7" => table7::run(ctx),
+        "ext_queries" => ext_queries::run(ctx),
+        "ext_prefetch" => ext_prefetch::run(ctx),
+        "ext_blastn" => ext_blastn::run(ctx),
+        other => return Err(format!("unknown experiment id: {other}")),
+    };
+    Ok(out)
+}

@@ -1,0 +1,29 @@
+//! Table I: selected workload description.
+
+use crate::context::Context;
+use crate::format::{heading, Table};
+use sapa_workloads::Workload;
+
+/// Renders Table I.
+pub fn run(_ctx: &mut Context) -> String {
+    let mut t = Table::new(&["Application", "Description", "Input parameters"]);
+    for w in Workload::ALL {
+        t.row(&[w.label(), w.description(), w.input_parameters()]);
+    }
+    format!("{}{}", heading("Table I — selected workload description"), t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Scale;
+
+    #[test]
+    fn lists_all_five_workloads() {
+        let out = run(&mut Context::new(Scale::Tiny));
+        for w in Workload::ALL {
+            assert!(out.contains(w.label()), "{w} missing");
+        }
+        assert!(out.contains("blastp"));
+    }
+}

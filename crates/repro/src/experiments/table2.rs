@@ -1,0 +1,36 @@
+//! Table II: the query set.
+
+use crate::context::Context;
+use crate::format::{heading, Table};
+use sapa_bioseq::queries::PAPER_QUERIES;
+
+/// Renders Table II.
+pub fn run(_ctx: &mut Context) -> String {
+    let mut t = Table::new(&["Protein family", "Accession (ID)", "Length (symbols)"]);
+    for q in &PAPER_QUERIES {
+        t.row_owned(vec![
+            q.family.to_string(),
+            q.accession.to_string(),
+            q.length.to_string(),
+        ]);
+    }
+    format!(
+        "{}{}",
+        heading("Table II — query sequences used in the evaluations"),
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Scale;
+
+    #[test]
+    fn table_matches_paper_rows() {
+        let out = run(&mut Context::new(Scale::Tiny));
+        assert!(out.contains("Globin"));
+        assert!(out.contains("P14942"));
+        assert!(out.contains("567"));
+    }
+}

@@ -1,0 +1,36 @@
+//! Table III: trace sizes (dynamic instruction counts).
+//!
+//! Absolute counts differ from the paper's (the paper samples partial
+//! traces of full-SwissProt runs with Aria; we trace complete runs on
+//! the scaled synthetic database), but the ordering —
+//! SSEARCH ≫ SW_vmx128 > SW_vmx256 > FASTA > BLAST on a common
+//! workload — is the property the paper's Table III documents.
+
+use crate::context::Context;
+use crate::format::{heading, Table};
+use sapa_workloads::Workload;
+
+/// Renders Table III.
+pub fn run(ctx: &mut Context) -> String {
+    let mut t = Table::new(&["APPLICATION", "Instruction count"]);
+    for w in Workload::ALL {
+        let len = ctx.trace(w).len();
+        t.row_owned(vec![w.label().to_string(), len.to_string()]);
+    }
+    format!("{}{}", heading("Table III — trace size"), t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Scale;
+
+    #[test]
+    fn ssearch_dominates() {
+        let mut ctx = Context::new(Scale::Tiny);
+        let _ = run(&mut ctx);
+        let ss = ctx.trace(Workload::Ssearch34).len();
+        let v256 = ctx.trace(Workload::SwVmx256).len();
+        assert!(ss > v256);
+    }
+}

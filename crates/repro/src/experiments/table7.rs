@@ -1,0 +1,42 @@
+//! Table VII: the important trauma classes.
+
+use crate::context::Context;
+use crate::format::{heading, Table};
+use sapa_cpu::Trauma;
+
+/// Renders Table VII (the classes the paper describes) plus the full
+/// 56-class taxonomy list.
+pub fn run(_ctx: &mut Context) -> String {
+    let mut out = heading("Table VII — important traumas");
+    let mut t = Table::new(&["Name", "Description"]);
+    for tr in Trauma::ALL {
+        if !tr.description().is_empty() {
+            t.row(&[tr.label(), tr.description()]);
+        }
+    }
+    out.push_str(&t.render());
+    out.push_str(&format!(
+        "\nFull taxonomy ({} classes): {}\n",
+        Trauma::COUNT,
+        Trauma::ALL
+            .iter()
+            .map(|t| t.label())
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{Context, Scale};
+
+    #[test]
+    fn lists_the_paper_classes() {
+        let out = run(&mut Context::new(Scale::Tiny));
+        for name in ["if_nfa", "if_pred", "mm_dl2", "rg_vper", "rg_fix"] {
+            assert!(out.contains(name), "{name} missing");
+        }
+    }
+}

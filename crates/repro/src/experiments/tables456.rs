@@ -1,0 +1,112 @@
+//! Tables IV, V and VI: the evaluated processor, memory and branch
+//! predictor configurations, pretty-printed from the live presets (so
+//! the documentation can never drift from the code).
+
+use crate::context::Context;
+use crate::format::{heading, Table};
+use sapa_cpu::config::{BranchConfig, CpuConfig, MemConfig, UnitClass};
+
+fn size_label(s: Option<u64>) -> String {
+    match s {
+        None => "Inf".into(),
+        Some(b) if b >= 1 << 20 => format!("{}M", b >> 20),
+        Some(b) => format!("{}K", b >> 10),
+    }
+}
+
+/// Renders Tables IV–VI.
+pub fn run(_ctx: &mut Context) -> String {
+    let mut out = heading("Table IV — evaluated processor configurations");
+    let cfgs = [
+        CpuConfig::four_way(),
+        CpuConfig::eight_way(),
+        CpuConfig::sixteen_way(),
+    ];
+    let mut t = Table::new(&["Parameter", "4-way", "8-way", "16-way"]);
+    let row = |t: &mut Table, name: &str, f: &dyn Fn(&CpuConfig) -> String| {
+        t.row_owned(vec![
+            name.to_string(),
+            f(&cfgs[0]),
+            f(&cfgs[1]),
+            f(&cfgs[2]),
+        ]);
+    };
+    row(&mut t, "Fetch", &|c| c.fetch_width.to_string());
+    row(&mut t, "Rename", &|c| c.rename_width.to_string());
+    row(&mut t, "Dispatch", &|c| c.dispatch_width.to_string());
+    row(&mut t, "Retire", &|c| c.retire_width.to_string());
+    row(&mut t, "Inflight instrs", &|c| c.inflight.to_string());
+    row(&mut t, "GPR", &|c| c.gpr.to_string());
+    row(&mut t, "VPR", &|c| c.vpr.to_string());
+    row(&mut t, "FPR", &|c| c.fpr.to_string());
+    for u in UnitClass::ALL {
+        let label = format!("{} units", u.label());
+        t.row_owned(vec![
+            label,
+            cfgs[0].units[u.index()].to_string(),
+            cfgs[1].units[u.index()].to_string(),
+            cfgs[2].units[u.index()].to_string(),
+        ]);
+    }
+    row(&mut t, "Issue queue (each)", &|c| c.issue_queue[0].to_string());
+    row(&mut t, "Ibuffer", &|c| c.ibuffer.to_string());
+    row(&mut t, "Retire queue", &|c| c.retire_queue.to_string());
+    row(&mut t, "Max outstanding misses", &|c| {
+        c.max_outstanding_misses.to_string()
+    });
+    out.push_str(&t.render());
+
+    out.push_str(&heading("Table V — evaluated memory configurations"));
+    let mut t = Table::new(&["Parameter", "me1", "me2", "me3", "me4", "meinf"]);
+    let mems = MemConfig::table_v();
+    let mrow = |t: &mut Table, name: &str, f: &dyn Fn(&MemConfig) -> String| {
+        let mut cells = vec![name.to_string()];
+        cells.extend(mems.iter().map(f));
+        t.row_owned(cells);
+    };
+    mrow(&mut t, "I-L1 size", &|m| size_label(m.il1.size));
+    mrow(&mut t, "I-L1 assoc", &|m| m.il1.assoc.to_string());
+    mrow(&mut t, "D-L1 size", &|m| size_label(m.dl1.size));
+    mrow(&mut t, "D-L1 assoc", &|m| m.dl1.assoc.to_string());
+    mrow(&mut t, "Line [B]", &|m| m.dl1.line.to_string());
+    mrow(&mut t, "L1 latency", &|m| m.dl1.latency.to_string());
+    mrow(&mut t, "L2 size", &|m| size_label(m.l2.size));
+    mrow(&mut t, "L2 assoc", &|m| m.l2.assoc.to_string());
+    mrow(&mut t, "L2 latency", &|m| m.l2.latency.to_string());
+    mrow(&mut t, "Memory latency", &|m| m.mem_latency.to_string());
+    out.push_str(&t.render());
+
+    out.push_str(&heading("Table VI — branch predictor configuration"));
+    let b = BranchConfig::table_vi();
+    let mut t = Table::new(&["Parameter", "Value"]);
+    t.row_owned(vec!["Strategy".into(), format!("{:?} (combined gshare + bimodal)", b.kind)]);
+    t.row_owned(vec!["Predictor table size".into(), b.table_size.to_string()]);
+    t.row_owned(vec!["NFA table size".into(), b.nfa_size.to_string()]);
+    t.row_owned(vec!["NFA associativity".into(), b.nfa_assoc.to_string()]);
+    t.row_owned(vec!["NFA miss penalty".into(), format!("{} cycles", b.nfa_miss_penalty)]);
+    t.row_owned(vec![
+        "Max predicted conditional branches".into(),
+        b.max_pred_branches.to_string(),
+    ]);
+    t.row_owned(vec![
+        "Mispredict recovery".into(),
+        format!("{} cycles", b.mispredict_recovery),
+    ]);
+    out.push_str(&t.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{Context, Scale};
+
+    #[test]
+    fn tables_render_paper_values() {
+        let out = run(&mut Context::new(Scale::Tiny));
+        assert!(out.contains("16K") || out.contains("16384"));
+        assert!(out.contains("meinf"));
+        assert!(out.contains("300"));
+        assert!(out.contains("VPER"));
+    }
+}

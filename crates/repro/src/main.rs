@@ -1,0 +1,283 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro [--scale tiny|small|paper] [--out DIR] <experiment>...
+//! repro all                 # everything, in paper order
+//! repro table3 fig1 fig9    # a subset
+//! repro --list              # available experiment ids
+//! repro sweep workload=BLAST width=4-way,8-way mem=me1,meinf bp=real
+//! repro trace --workload BLAST --file blast.trc     # save a trace
+//! repro dbgen --out db.fasta --sequences 400         # export the synthetic db
+//! repro simulate --file blast.trc [width=8-way mem=meinf bp=perfect]
+//! ```
+
+use std::io::Write;
+use std::time::Instant;
+
+use sapa_repro::context::{Context, Scale};
+use sapa_repro::experiments::{self, ALL_IDS};
+use sapa_repro::sweep::{parse_workload, SweepSpec};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro [--scale tiny|small|paper] [--out DIR] <experiment>... | all | --list\n\
+         \x20      repro sweep [workload=..] [width=..] [mem=..] [bp=..]\n\
+         \x20      repro trace --workload NAME --file PATH\n\
+         \x20      repro simulate --file PATH [width=..] [mem=..] [bp=..]\n\
+         experiments: {}",
+        ALL_IDS.join(", ")
+    );
+    std::process::exit(2);
+}
+
+fn run_sweep(scale: Scale, args: &[String]) {
+    let mut spec = SweepSpec::default();
+    for a in args {
+        if let Err(msg) = spec.apply(a) {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    }
+    let mut ctx = Context::new(scale);
+    print!("{}", spec.run(&mut ctx));
+}
+
+fn run_trace(scale: Scale, args: &[String]) {
+    let mut workload = None;
+    let mut file = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--workload" => {
+                i += 1;
+                workload = args.get(i).cloned();
+            }
+            "--file" => {
+                i += 1;
+                file = args.get(i).cloned();
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let (Some(wname), Some(path)) = (workload, file) else {
+        usage()
+    };
+    let w = parse_workload(&wname).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    let mut ctx = Context::new(scale);
+    let trace = ctx.trace(w);
+    let f = std::fs::File::create(&path).expect("create trace file");
+    trace
+        .write_to(std::io::BufWriter::new(f))
+        .expect("write trace");
+    println!(
+        "wrote {} instructions of {} to {path}",
+        trace.len(),
+        w.label()
+    );
+}
+
+fn run_simulate(args: &[String]) {
+    let mut file = None;
+    let mut spec = SweepSpec::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--file" => {
+                i += 1;
+                file = args.get(i).cloned();
+            }
+            kv => {
+                if let Err(msg) = spec.apply(kv) {
+                    eprintln!("error: {msg}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        i += 1;
+    }
+    let Some(path) = file else { usage() };
+    let f = std::fs::File::open(&path).unwrap_or_else(|e| {
+        eprintln!("error: cannot open {path}: {e}");
+        std::process::exit(2);
+    });
+    let trace = sapa_core::isa::Trace::read_from(std::io::BufReader::new(f))
+        .unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        });
+    use sapa_core::cpu::config::BranchConfig;
+    use sapa_core::cpu::Simulator;
+    let mem = match spec.mems[0].as_str() {
+        "me1" => sapa_core::cpu::config::MemConfig::me1(),
+        "me2" => sapa_core::cpu::config::MemConfig::me2(),
+        "me3" => sapa_core::cpu::config::MemConfig::me3(),
+        "me4" => sapa_core::cpu::config::MemConfig::me4(),
+        _ => sapa_core::cpu::config::MemConfig::meinf(),
+    };
+    let branch = if spec.predictors[0] == "perfect" {
+        BranchConfig::perfect()
+    } else {
+        BranchConfig::table_vi()
+    };
+    let cfg = Context::config(&spec.widths[0], &mem, branch);
+    let r = Simulator::new(cfg).run(&trace);
+    println!("{r}");
+}
+
+fn run_dbgen(args: &[String]) {
+    let mut out = None;
+    let mut sequences = 400usize;
+    let mut seed = 2006u64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                out = args.get(i).cloned();
+            }
+            "--sequences" => {
+                i += 1;
+                sequences = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--seed" => {
+                i += 1;
+                seed = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let Some(path) = out else { usage() };
+    use sapa_core::bioseq::db::DatabaseBuilder;
+    use sapa_core::bioseq::fasta::write_fasta;
+    use sapa_core::bioseq::queries::QuerySet;
+    let queries = QuerySet::paper();
+    let db = DatabaseBuilder::new()
+        .seed(seed)
+        .sequences(sequences)
+        .homolog_template(queries.default_query().clone())
+        .build();
+    let f = std::fs::File::create(&path).expect("create FASTA file");
+    write_fasta(std::io::BufWriter::new(f), db.sequences()).expect("write FASTA");
+    println!(
+        "wrote {} sequences ({} residues) to {path}",
+        db.len(),
+        db.total_residues()
+    );
+}
+
+/// Extracts a leading `--scale X` pair from subcommand arguments.
+fn split_scale(args: &[String]) -> (Scale, Vec<String>) {
+    let mut scale = Scale::Paper;
+    let mut rest = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--scale" {
+            i += 1;
+            scale = match args.get(i).map(String::as_str) {
+                Some("tiny") => Scale::Tiny,
+                Some("small") => Scale::Small,
+                Some("paper") => Scale::Paper,
+                _ => usage(),
+            };
+        } else {
+            rest.push(args[i].clone());
+        }
+        i += 1;
+    }
+    (scale, rest)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Paper;
+    let mut out_dir: Option<String> = None;
+    let mut ids: Vec<String> = Vec::new();
+
+    // Subcommands with their own argument grammars.
+    match args.first().map(String::as_str) {
+        Some("sweep") => {
+            let (scale, rest) = split_scale(&args[1..]);
+            run_sweep(scale, &rest);
+            return;
+        }
+        Some("trace") => {
+            let (scale, rest) = split_scale(&args[1..]);
+            run_trace(scale, &rest);
+            return;
+        }
+        Some("simulate") => {
+            run_simulate(&args[1..]);
+            return;
+        }
+        Some("dbgen") => {
+            run_dbgen(&args[1..]);
+            return;
+        }
+        _ => {}
+    }
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--list" => {
+                println!("{}", ALL_IDS.join("\n"));
+                return;
+            }
+            "--scale" => {
+                i += 1;
+                scale = match args.get(i).map(String::as_str) {
+                    Some("tiny") => Scale::Tiny,
+                    Some("small") => Scale::Small,
+                    Some("paper") => Scale::Paper,
+                    _ => usage(),
+                };
+            }
+            "--out" => {
+                i += 1;
+                out_dir = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "all" => ids.extend(ALL_IDS.iter().map(|s| s.to_string())),
+            flag if flag.starts_with('-') => usage(),
+            id => ids.push(id.to_string()),
+        }
+        i += 1;
+    }
+    if ids.is_empty() {
+        usage();
+    }
+
+    let mut ctx = Context::new(scale);
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir).expect("create output directory");
+    }
+
+    for id in &ids {
+        let t0 = Instant::now();
+        match experiments::run_by_id(&mut ctx, id) {
+            Ok(text) => {
+                print!("{text}");
+                eprintln!("[{id} done in {:.1?}]", t0.elapsed());
+                if let Some(dir) = &out_dir {
+                    let path = format!("{dir}/{id}.txt");
+                    let mut f = std::fs::File::create(&path).expect("create result file");
+                    f.write_all(text.as_bytes()).expect("write result file");
+                }
+            }
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

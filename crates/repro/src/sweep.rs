@@ -1,0 +1,175 @@
+//! Free-form parameter sweeps: any combination of workload × width ×
+//! memory preset × predictor, beyond the fixed figures.
+
+use crate::context::Context;
+use crate::format::{f2, pct, Table};
+use sapa_cpu::config::{BranchConfig, MemConfig};
+use sapa_workloads::Workload;
+
+/// A parsed sweep specification.
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    /// Workloads to run.
+    pub workloads: Vec<Workload>,
+    /// Width presets ("4-way", "8-way", "12-way", "16-way").
+    pub widths: Vec<String>,
+    /// Memory presets ("me1" … "meinf").
+    pub mems: Vec<String>,
+    /// Predictors ("real", "perfect").
+    pub predictors: Vec<String>,
+}
+
+impl Default for SweepSpec {
+    fn default() -> Self {
+        SweepSpec {
+            workloads: Workload::ALL.to_vec(),
+            widths: vec!["4-way".into()],
+            mems: vec!["me1".into()],
+            predictors: vec!["real".into()],
+        }
+    }
+}
+
+impl SweepSpec {
+    /// Parses one `key=value[,value…]` argument into the spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the unknown key or value.
+    pub fn apply(&mut self, arg: &str) -> Result<(), String> {
+        let (key, values) = arg
+            .split_once('=')
+            .ok_or_else(|| format!("expected key=value, got {arg}"))?;
+        let values: Vec<&str> = values.split(',').collect();
+        match key {
+            "workload" => {
+                self.workloads = values
+                    .iter()
+                    .map(|v| parse_workload(v))
+                    .collect::<Result<_, _>>()?;
+            }
+            "width" => {
+                for v in &values {
+                    if !["4-way", "8-way", "12-way", "16-way"].contains(v) {
+                        return Err(format!("unknown width {v}"));
+                    }
+                }
+                self.widths = values.iter().map(|v| v.to_string()).collect();
+            }
+            "mem" => {
+                for v in &values {
+                    if !["me1", "me2", "me3", "me4", "meinf"].contains(v) {
+                        return Err(format!("unknown memory preset {v}"));
+                    }
+                }
+                self.mems = values.iter().map(|v| v.to_string()).collect();
+            }
+            "bp" => {
+                for v in &values {
+                    if !["real", "perfect"].contains(v) {
+                        return Err(format!("unknown predictor {v}"));
+                    }
+                }
+                self.predictors = values.iter().map(|v| v.to_string()).collect();
+            }
+            other => return Err(format!("unknown sweep key {other}")),
+        }
+        Ok(())
+    }
+
+    /// Runs the sweep and renders a table.
+    pub fn run(&self, ctx: &mut Context) -> String {
+        let mut t = Table::new(&[
+            "workload", "width", "mem", "bp", "cycles", "IPC", "dl1 miss", "bp acc",
+        ]);
+        for &w in &self.workloads {
+            for width in &self.widths {
+                for mem_name in &self.mems {
+                    let mem = mem_by_name(mem_name);
+                    for bp in &self.predictors {
+                        let branch = if bp == "perfect" {
+                            BranchConfig::perfect()
+                        } else {
+                            BranchConfig::table_vi()
+                        };
+                        let cfg = Context::config(width, &mem, branch);
+                        let tag = format!("{width}/{mem_name}/{bp}");
+                        let r = ctx.sim(w, &tag, &cfg);
+                        t.row_owned(vec![
+                            w.label().to_string(),
+                            width.clone(),
+                            mem_name.clone(),
+                            bp.clone(),
+                            r.cycles.to_string(),
+                            f2(r.ipc()),
+                            pct(r.dl1.miss_rate()),
+                            pct(r.bp_accuracy()),
+                        ]);
+                    }
+                }
+            }
+        }
+        t.render()
+    }
+}
+
+/// Parses a workload name (paper label, case-insensitive).
+pub fn parse_workload(name: &str) -> Result<Workload, String> {
+    let lower = name.to_ascii_lowercase();
+    Workload::ALL
+        .into_iter()
+        .find(|w| w.label().to_ascii_lowercase() == lower)
+        .ok_or_else(|| {
+            format!(
+                "unknown workload {name}; valid: {}",
+                Workload::ALL.map(|w| w.label()).join(", ")
+            )
+        })
+}
+
+fn mem_by_name(name: &str) -> MemConfig {
+    match name {
+        "me1" => MemConfig::me1(),
+        "me2" => MemConfig::me2(),
+        "me3" => MemConfig::me3(),
+        "me4" => MemConfig::me4(),
+        _ => MemConfig::meinf(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Scale;
+
+    #[test]
+    fn parses_keys_and_rejects_garbage() {
+        let mut spec = SweepSpec::default();
+        spec.apply("workload=BLAST,FASTA34").unwrap();
+        assert_eq!(spec.workloads, vec![Workload::Blast, Workload::Fasta34]);
+        spec.apply("width=8-way").unwrap();
+        spec.apply("mem=me1,meinf").unwrap();
+        spec.apply("bp=perfect").unwrap();
+        assert!(spec.apply("width=32-way").is_err());
+        assert!(spec.apply("nonsense=1").is_err());
+        assert!(spec.apply("noequals").is_err());
+    }
+
+    #[test]
+    fn runs_a_tiny_grid() {
+        let mut ctx = Context::new(Scale::Tiny);
+        let mut spec = SweepSpec::default();
+        spec.apply("workload=BLAST").unwrap();
+        spec.apply("mem=me1,meinf").unwrap();
+        let out = spec.run(&mut ctx);
+        assert_eq!(out.lines().count(), 2 + 2); // header + rule + 2 rows
+        assert!(out.contains("meinf"));
+    }
+
+    #[test]
+    fn workload_parse_is_case_insensitive() {
+        assert_eq!(parse_workload("blast").unwrap(), Workload::Blast);
+        assert_eq!(parse_workload("sw_VMX128").unwrap(), Workload::SwVmx128);
+        assert!(parse_workload("mummer").is_err());
+    }
+}

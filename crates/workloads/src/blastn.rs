@@ -1,0 +1,319 @@
+//! `BLASTN` (extension workload): the traced nucleotide word search
+//! over a 2-bit packed database.
+//!
+//! The paper's Listing 1 is this code's hot loop — `BlastNtWordFinder`
+//! walking a four-bases-per-byte database with `READDB_UNPACK_BASE`
+//! macros. The characterization contrast with blastp is interesting
+//! and falls out naturally here: the packed scan loads **one byte per
+//! four positions** (so the load fraction drops and shift/mask `ialu`
+//! work rises), the word table is an exact-match hash (no neighborhood
+//! fan-out), and the byte-cascade extension is pure compare-and-branch.
+//! The paper's future-work section calls for characterizing more
+//! applications; this module is that extension, runnable through
+//! `repro ext_blastn`.
+
+use sapa_align::blastn::{match_left_in_byte, BlastnParams, NtWordIndex};
+use sapa_align::result::{Hit, SearchResults};
+use sapa_bioseq::dna::{DnaSequence, PackedDna};
+use sapa_isa::mem::AddressSpace;
+use sapa_isa::reg::{self, Reg};
+use sapa_isa::trace::{Trace, Tracer};
+
+/// Result of a traced BLASTN run.
+#[derive(Debug, Clone)]
+pub struct BlastnRun {
+    /// The instruction trace of the whole search.
+    pub trace: Trace,
+    /// Best score per subject (0 when below the report threshold).
+    pub scores: Vec<i32>,
+    /// Ranked hit list.
+    pub hits: Vec<Hit>,
+}
+
+mod site {
+    pub const LD_BYTE: u32 = 0; // one packed byte, four positions
+    pub const UNPACK1: u32 = 1; // shift/mask per base
+    pub const UNPACK2: u32 = 2;
+    pub const WORD_SHIFT: u32 = 3;
+    pub const WORD_MASK: u32 = 4;
+    pub const HASH: u32 = 5;
+    pub const LD_BUCKET: u32 = 6; // hash-table probe
+    pub const CMP_EMPTY: u32 = 7;
+    pub const B_EMPTY: u32 = 8;
+    pub const LD_POS: u32 = 9;
+    pub const DIAG: u32 = 10;
+    pub const LD_EXTEND_P: u32 = 11; // packed byte in the extension
+    pub const EXT_UNPACK: u32 = 12;
+    pub const EXT_CMP: u32 = 13;
+    pub const EXT_B: u32 = 14; // the Listing 1 cascade branch
+    pub const EXT_ADD: u32 = 15;
+    pub const B_XDROP: u32 = 16;
+    pub const ST_BEST: u32 = 17;
+    pub const INC: u32 = 18;
+    pub const B_SCAN: u32 = 19;
+    pub const TOP: u32 = 0;
+}
+
+const R_BYTE: Reg = reg::gpr(3);
+const R_WORD: Reg = reg::gpr(4);
+const R_HASH: Reg = reg::gpr(5);
+const R_BUCKET: Reg = reg::gpr(6);
+const R_POS: Reg = reg::gpr(7);
+const R_DIAG: Reg = reg::gpr(8);
+const R_CMP: Reg = reg::gpr(12);
+const R_PTR: Reg = reg::gpr(13);
+const R_Q: Reg = reg::gpr(14);
+const R_SCORE: Reg = reg::gpr(15);
+
+/// Runs the traced BLASTN search of `query` against packed `db`.
+pub fn run(
+    query: &DnaSequence,
+    db: &[PackedDna],
+    params: &BlastnParams,
+    keep: usize,
+) -> BlastnRun {
+    let index = NtWordIndex::build(query, params.word_len);
+    let w = params.word_len;
+    let qbases = index.query();
+    let m = qbases.len();
+
+    let mut space = AddressSpace::new();
+    let total_bytes: usize = db.iter().map(|s| s.bytes().len()).sum();
+    let db_region = space
+        .alloc("packed_db", total_bytes.max(1) as u64, 128)
+        .expect("db fits");
+    // The word hash table: open-addressed, 4x the distinct words.
+    let table_slots = (index.distinct_words() * 4).next_power_of_two().max(64);
+    let table_region = space
+        .alloc("nt_word_table", 8 * table_slots as u64, 128)
+        .expect("table fits");
+    let query_region = space
+        .alloc("query_bases", m.max(1) as u64, 128)
+        .expect("query fits");
+
+    let mut t = Tracer::with_capacity(1024);
+    let mut scores = Vec::with_capacity(db.len());
+    let mut results = SearchResults::new(keep.max(1));
+
+    let mut subj_byte_base = 0u32;
+    for (seq_index, subject) in db.iter().enumerate() {
+        let n = subject.len();
+        if n < w || m < w {
+            scores.push(0);
+            subj_byte_base += subject.bytes().len() as u32;
+            continue;
+        }
+        let ndiag = m + n;
+        let mut ext_end = vec![i32::MIN / 2; ndiag];
+        let mut best_score = 0i32;
+
+        let mask = if w >= 16 {
+            u32::MAX
+        } else {
+            (1u32 << (2 * w)) - 1
+        };
+        let mut word = 0u32;
+        for j in 0..n {
+            // One byte load covers four scan positions (Listing 1's
+            // packed walk); unpack shift/mask work happens every
+            // position.
+            if j % 4 == 0 {
+                t.iload(
+                    site::LD_BYTE,
+                    R_BYTE,
+                    db_region.addr(subj_byte_base + (j / 4) as u32),
+                    1,
+                    &[R_PTR],
+                );
+            }
+            t.ialu(site::UNPACK1, R_WORD, &[R_BYTE, R_WORD]);
+            t.ialu(site::UNPACK2, R_WORD, &[R_WORD]);
+            t.ialu(site::WORD_SHIFT, R_WORD, &[R_WORD]);
+            t.ialu(site::WORD_MASK, R_WORD, &[R_WORD]);
+
+            word = ((word << 2) | subject.get(j).code() as u32) & mask;
+            if j + 1 < w {
+                continue;
+            }
+            let start = j + 1 - w;
+
+            // Hash probe into the word table.
+            t.ialu(site::HASH, R_HASH, &[R_WORD]);
+            let slot = (word as usize * 0x9E37) % table_slots;
+            t.iload(site::LD_BUCKET, R_BUCKET, table_region.addr(8 * slot as u32), 8, &[R_HASH]);
+            let bucket = index.lookup(word);
+            t.ialu(site::CMP_EMPTY, R_CMP, &[R_BUCKET]);
+            t.branch(site::B_EMPTY, bucket.is_empty(), site::TOP, &[R_CMP]);
+
+            for &qi in bucket {
+                let i = qi as usize;
+                let diag = start + m - i;
+                t.iload(site::LD_POS, R_POS, table_region.addr((8 * slot as u32 + 4) % table_region.size()), 4, &[R_BUCKET]);
+                t.ialu(site::DIAG, R_DIAG, &[R_POS]);
+                if (start as i32) <= ext_end[diag] {
+                    continue;
+                }
+                let score =
+                    traced_extend(&mut t, &db_region, subj_byte_base, &query_region, qbases, subject, params, i, start);
+                ext_end[diag] = (start + w) as i32;
+                if score > best_score {
+                    best_score = score;
+                    t.istore(site::ST_BEST, query_region.addr(0), 4, &[R_SCORE]);
+                }
+            }
+            t.ialu(site::INC, R_PTR, &[R_PTR]);
+            t.branch(site::B_SCAN, j + 1 < n, site::TOP, &[R_PTR]);
+        }
+
+        scores.push(if best_score >= params.min_report_score {
+            best_score
+        } else {
+            0
+        });
+        if best_score >= params.min_report_score {
+            results.push(Hit {
+                seq_index,
+                score: best_score,
+            });
+        }
+        subj_byte_base += subject.bytes().len() as u32;
+    }
+
+    let hits = results.hits().to_vec();
+    BlastnRun {
+        trace: t.finish(),
+        scores,
+        hits,
+    }
+}
+
+/// The traced Listing 1 extension: byte loads + cascaded unpack
+/// compares leftward, per-base unpack compares rightward, with the
+/// real arithmetic delegated to [`sapa_align::blastn::ungapped_extend`].
+#[allow(clippy::too_many_arguments)]
+fn traced_extend(
+    t: &mut Tracer,
+    db_region: &sapa_isa::mem::Region,
+    subj_byte_base: u32,
+    query_region: &sapa_isa::mem::Region,
+    qbases: &[sapa_bioseq::dna::Nucleotide],
+    subject: &PackedDna,
+    params: &BlastnParams,
+    qi: usize,
+    sj: usize,
+) -> i32 {
+    let w = params.word_len;
+
+    // Rightwards: one byte load per four bases, unpack + compare each.
+    {
+        let (mut i, mut j) = (qi + w, sj + w);
+        let mut score = (w as i32) * params.reward;
+        let mut best = score;
+        while i < qbases.len() && j < subject.len() {
+            if j % 4 == 0 {
+                t.iload(site::LD_EXTEND_P, R_BYTE, db_region.addr(subj_byte_base + (j / 4) as u32), 1, &[R_PTR]);
+            }
+            t.iload(site::LD_EXTEND_P, R_Q, query_region.addr(i as u32), 1, &[R_PTR]);
+            t.ialu(site::EXT_UNPACK, R_SCORE, &[R_BYTE]);
+            t.ialu(site::EXT_CMP, R_CMP, &[R_SCORE, R_Q]);
+            let matched = subject.get(j) == qbases[i];
+            t.branch(site::EXT_B, matched, site::TOP, &[R_CMP]);
+            t.ialu(site::EXT_ADD, R_SCORE, &[R_SCORE]);
+            score += if matched { params.reward } else { params.penalty };
+            if score > best {
+                best = score;
+            }
+            let stop = best - score > params.xdrop;
+            t.branch(site::B_XDROP, stop, site::TOP, &[R_SCORE]);
+            if stop {
+                break;
+            }
+            i += 1;
+            j += 1;
+        }
+    }
+
+    // Leftwards: the byte cascade — one load, up to four unpack
+    // compares and the cascaded branches of Listing 1.
+    {
+        let (mut i, mut j) = (qi, sj);
+        while i > 0 && j > 0 && j % 4 == 0 && i >= 4 && j >= 4 {
+            let byte = subject.bytes()[(j / 4 - 1) as usize];
+            t.iload(site::LD_EXTEND_P, R_BYTE, db_region.addr(subj_byte_base + (j / 4 - 1) as u32), 1, &[R_PTR]);
+            let left = match_left_in_byte(byte, qbases, i);
+            for k in 0..=left.min(3) {
+                t.ialu(site::EXT_UNPACK, R_SCORE, &[R_BYTE]);
+                t.ialu(site::EXT_CMP, R_CMP, &[R_SCORE]);
+                t.branch(site::EXT_B, k < left, site::TOP, &[R_CMP]);
+            }
+            if left < 4 {
+                break;
+            }
+            i -= 4;
+            j -= 4;
+        }
+    }
+
+    sapa_align::blastn::ungapped_extend(qbases, subject, params, qi, sj)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sapa_align::blastn as ref_blastn;
+    use sapa_bioseq::dna::random_dna;
+    use sapa_isa::OpClass;
+
+    fn inputs() -> (DnaSequence, Vec<PackedDna>) {
+        let q = random_dna("q", 80, 11);
+        let mut with_hit = random_dna("s1", 400, 12).bases().to_vec();
+        with_hit[100..180].copy_from_slice(q.bases());
+        let db = vec![
+            random_dna("s0", 400, 13).pack(),
+            DnaSequence::new("s1", with_hit).pack(),
+            random_dna("s2", 400, 14).pack(),
+        ];
+        (q, db)
+    }
+
+    #[test]
+    fn hits_match_reference_blastn() {
+        let (q, db) = inputs();
+        let params = BlastnParams::default();
+        let traced = run(&q, &db, &params, 10);
+        let idx = ref_blastn::NtWordIndex::build(&q, params.word_len);
+        let mut reference = ref_blastn::search(&idx, db.iter(), &params, 10);
+        assert_eq!(traced.hits, reference.hits().to_vec());
+        assert_eq!(traced.hits[0].seq_index, 1);
+    }
+
+    #[test]
+    fn packed_scan_loads_less_computes_more_than_blastp() {
+        // One byte per four positions: load fraction well below the
+        // protein scanner's, ialu fraction higher.
+        let (q, db) = inputs();
+        let traced = run(&q, &db, &BlastnParams::default(), 10);
+        let s = traced.trace.stats();
+        let iload = s.fraction(OpClass::ILoad);
+        let ialu = s.fraction(OpClass::IAlu);
+        assert!(iload < 0.20, "iload {iload}");
+        assert!(ialu > 0.50, "ialu {ialu}");
+        assert_eq!(s.vector_ops(), 0);
+    }
+
+    #[test]
+    fn trace_is_well_formed() {
+        let (q, db) = inputs();
+        let traced = run(&q, &db, &BlastnParams::default(), 10);
+        let violations = sapa_isa::validate::validate(&traced.trace, 5);
+        assert!(violations.is_empty(), "first: {}", violations[0]);
+    }
+
+    #[test]
+    fn empty_database() {
+        let q = random_dna("q", 40, 1);
+        let traced = run(&q, &[], &BlastnParams::default(), 5);
+        assert!(traced.trace.is_empty());
+        assert!(traced.hits.is_empty());
+    }
+}

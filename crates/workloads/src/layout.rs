@@ -1,0 +1,122 @@
+//! Shared data-structure layout for the instrumented workloads.
+//!
+//! All five applications read the database sequences from one
+//! contiguous byte region (one byte per residue, as the FASTA/BLAST
+//! tool family stores unpacked protein data), so the streaming access
+//! pattern of the scan loops is realistic. Each workload then lays its
+//! own private structures (query profile, H/E arrays, word index, …)
+//! behind it in the simulated address space.
+
+use sapa_bioseq::{AminoAcid, Sequence};
+use sapa_isa::mem::{AddressSpace, Region};
+
+/// The database image: residue bytes of every subject laid out
+/// back-to-back, plus per-sequence offsets.
+#[derive(Debug, Clone)]
+pub struct DbImage {
+    /// Region holding the residue bytes.
+    pub region: Region,
+    /// Byte offset of each sequence within the region.
+    pub offsets: Vec<u32>,
+    /// Length of each sequence.
+    pub lengths: Vec<u32>,
+    /// Residues of every sequence, concatenated (index space matches
+    /// `offsets`/`lengths`).
+    pub residues: Vec<AminoAcid>,
+}
+
+impl DbImage {
+    /// Lays `subjects` out in `space`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address space is exhausted (the suite's databases
+    /// are far below the 32-bit limit).
+    pub fn build(space: &mut AddressSpace, subjects: &[Sequence]) -> Self {
+        let total: usize = subjects.iter().map(Sequence::len).sum();
+        let region = space
+            .alloc("db_residues", total.max(1) as u64, 128)
+            .expect("database fits the simulated address space");
+        let mut offsets = Vec::with_capacity(subjects.len());
+        let mut lengths = Vec::with_capacity(subjects.len());
+        let mut residues = Vec::with_capacity(total);
+        let mut off = 0u32;
+        for s in subjects {
+            offsets.push(off);
+            lengths.push(s.len() as u32);
+            residues.extend(s.iter());
+            off += s.len() as u32;
+        }
+        DbImage {
+            region,
+            offsets,
+            lengths,
+            residues,
+        }
+    }
+
+    /// Number of sequences.
+    pub fn len(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// Whether the image holds no sequences.
+    pub fn is_empty(&self) -> bool {
+        self.offsets.is_empty()
+    }
+
+    /// The residues of sequence `i`.
+    pub fn subject(&self, i: usize) -> &[AminoAcid] {
+        let off = self.offsets[i] as usize;
+        let len = self.lengths[i] as usize;
+        &self.residues[off..off + len]
+    }
+
+    /// Simulated address of residue `j` of sequence `i`.
+    #[inline]
+    pub fn residue_addr(&self, i: usize, j: usize) -> u32 {
+        self.region.addr(self.offsets[i] + j as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sapa_bioseq::Sequence;
+
+    fn seqs() -> Vec<Sequence> {
+        vec![
+            Sequence::from_str("a", "MKVL").unwrap(),
+            Sequence::from_str("b", "WW").unwrap(),
+            Sequence::from_str("c", "ACDEFG").unwrap(),
+        ]
+    }
+
+    #[test]
+    fn offsets_and_subjects() {
+        let mut space = AddressSpace::new();
+        let img = DbImage::build(&mut space, &seqs());
+        assert_eq!(img.len(), 3);
+        assert_eq!(img.offsets, vec![0, 4, 6]);
+        assert_eq!(img.subject(1).len(), 2);
+        assert_eq!(
+            img.subject(2),
+            Sequence::from_str("c", "ACDEFG").unwrap().residues()
+        );
+    }
+
+    #[test]
+    fn residue_addresses_are_contiguous() {
+        let mut space = AddressSpace::new();
+        let img = DbImage::build(&mut space, &seqs());
+        assert_eq!(img.residue_addr(0, 1), img.residue_addr(0, 0) + 1);
+        assert_eq!(img.residue_addr(1, 0), img.residue_addr(0, 0) + 4);
+    }
+
+    #[test]
+    fn empty_database_is_safe() {
+        let mut space = AddressSpace::new();
+        let img = DbImage::build(&mut space, &[]);
+        assert!(img.is_empty());
+    }
+}

@@ -1,0 +1,283 @@
+//! The workload registry: Table I of the paper as a Rust enum, plus the
+//! standard inputs every experiment runs on.
+
+use sapa_align::blast::BlastParams;
+use sapa_align::fasta::FastaParams;
+use sapa_align::result::Hit;
+use sapa_bioseq::db::DatabaseBuilder;
+use sapa_bioseq::matrix::GapPenalties;
+use sapa_bioseq::queries::QuerySet;
+use sapa_bioseq::{Sequence, SubstitutionMatrix};
+use sapa_isa::trace::Trace;
+
+/// One of the paper's five applications (Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Workload {
+    /// Scalar Smith-Waterman (`SSEARCH34`).
+    Ssearch34,
+    /// 128-bit Altivec Smith-Waterman (`SW_vmx128`).
+    SwVmx128,
+    /// 256-bit Altivec Smith-Waterman (`SW_vmx256`).
+    SwVmx256,
+    /// FASTA heuristic (`FASTA34`).
+    Fasta34,
+    /// BLAST heuristic (NCBI blastp).
+    Blast,
+}
+
+impl Workload {
+    /// All workloads in the paper's Table I / Figure order.
+    pub const ALL: [Workload; 5] = [
+        Workload::Ssearch34,
+        Workload::SwVmx128,
+        Workload::SwVmx256,
+        Workload::Fasta34,
+        Workload::Blast,
+    ];
+
+    /// The paper's label for this workload.
+    pub const fn label(self) -> &'static str {
+        match self {
+            Workload::Ssearch34 => "SSEARCH34",
+            Workload::SwVmx128 => "SW_vmx128",
+            Workload::SwVmx256 => "SW_vmx256",
+            Workload::Fasta34 => "FASTA34",
+            Workload::Blast => "BLAST",
+        }
+    }
+
+    /// Table I's description of the workload.
+    pub const fn description(self) -> &'static str {
+        match self {
+            Workload::Ssearch34 => {
+                "Best known scalar implementation of the SW algorithm (SSEARCH program)"
+            }
+            Workload::SwVmx128 => {
+                "Data-parallel SSEARCH using the Altivec SIMD extension (128-bit)"
+            }
+            Workload::SwVmx256 => {
+                "Data-parallel SSEARCH using a futuristic 256-bit Altivec extension"
+            }
+            Workload::Fasta34 => "FASTA program; heuristic strategies",
+            Workload::Blast => "NCBI BLAST program (blastp); heuristic strategies",
+        }
+    }
+
+    /// Table I's command-line parameters for the original program.
+    pub const fn input_parameters(self) -> &'static str {
+        match self {
+            Workload::Blast => "blastp -d <db> -G 10 -E 1 -b 0",
+            _ => "-q -H -p -b 500 -d 0 -s BL62 -f 11 -g 1",
+        }
+    }
+
+    /// Whether the workload uses the vector (Altivec) unit.
+    pub const fn is_simd(self) -> bool {
+        matches!(self, Workload::SwVmx128 | Workload::SwVmx256)
+    }
+
+    /// Runs the workload on `inputs`, producing the trace and results.
+    pub fn trace(self, inputs: &StandardInputs) -> TraceBundle {
+        let q = inputs.query.residues();
+        let matrix = &inputs.matrix;
+        let gaps = inputs.gaps;
+        let keep = inputs.keep;
+        match self {
+            Workload::Ssearch34 => {
+                let r = crate::ssearch::run(q, inputs.sw_db(), matrix, gaps, keep);
+                TraceBundle::new(self, r.trace, r.hits)
+            }
+            Workload::SwVmx128 => {
+                let r = crate::sw_simd::run::<8>(q, inputs.sw_db(), matrix, gaps, keep);
+                TraceBundle::new(self, r.trace, r.hits)
+            }
+            Workload::SwVmx256 => {
+                let r = crate::sw_simd::run::<16>(q, inputs.sw_db(), matrix, gaps, keep);
+                TraceBundle::new(self, r.trace, r.hits)
+            }
+            Workload::Fasta34 => {
+                let r = crate::fasta::run(q, &inputs.db, matrix, gaps, &inputs.fasta, keep);
+                TraceBundle::new(self, r.trace, r.hits)
+            }
+            Workload::Blast => {
+                let r = crate::blast::run(q, &inputs.db, matrix, gaps, &inputs.blast, keep);
+                TraceBundle::new(self, r.trace, r.hits)
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A workload's trace plus its search results.
+#[derive(Debug, Clone)]
+pub struct TraceBundle {
+    /// Which workload produced this.
+    pub workload: Workload,
+    /// The instruction trace.
+    pub trace: Trace,
+    /// Ranked hits the search reported.
+    pub hits: Vec<Hit>,
+}
+
+impl TraceBundle {
+    fn new(workload: Workload, trace: Trace, hits: Vec<Hit>) -> Self {
+        TraceBundle {
+            workload,
+            trace,
+            hits,
+        }
+    }
+}
+
+/// The standard evaluation inputs: the Table II Glutathione
+/// S-transferase stand-in query against the synthetic SwissProt-like
+/// database, with the paper's matrix (BLOSUM62) and gap penalties
+/// (10/1).
+///
+/// The heuristics scan the whole database; the Smith-Waterman codes run
+/// on the first [`StandardInputs::sw_subset`] sequences — the same role
+/// the paper's Aria trace sampling plays in keeping the SW traces
+/// simulable (Table III).
+#[derive(Debug, Clone)]
+pub struct StandardInputs {
+    /// The query sequence.
+    pub query: Sequence,
+    /// The database.
+    pub db: Vec<Sequence>,
+    /// How many database sequences the SW workloads process.
+    pub sw_subset: usize,
+    /// Scoring matrix (BLOSUM62).
+    pub matrix: SubstitutionMatrix,
+    /// Gap penalties (10/1).
+    pub gaps: GapPenalties,
+    /// Hit-list bound (`-b 500`).
+    pub keep: usize,
+    /// BLAST parameters.
+    pub blast: BlastParams,
+    /// FASTA parameters.
+    pub fasta: FastaParams,
+}
+
+impl StandardInputs {
+    /// The suite's default experiment scale: 400-sequence database
+    /// (~140 k residues), SW subset of 4 sequences. Produces traces of
+    /// roughly 0.5–4 M instructions per workload — large enough for
+    /// realistic cache/predictor behaviour, small enough that the full
+    /// figure sweeps finish in minutes.
+    pub fn paper_scale() -> Self {
+        Self::with_db_size(400, 4)
+    }
+
+    /// Tiny inputs for unit tests and doc examples.
+    pub fn small() -> Self {
+        Self::with_db_size(12, 2)
+    }
+
+    /// Custom database size (`sequences`) and SW subset.
+    pub fn with_db_size(sequences: usize, sw_subset: usize) -> Self {
+        let queries = QuerySet::paper();
+        let query = queries.default_query().clone();
+        let db = DatabaseBuilder::new()
+            .seed(2006)
+            .sequences(sequences)
+            .homolog_template(query.clone())
+            .build();
+        StandardInputs {
+            query,
+            db: db.sequences().to_vec(),
+            sw_subset,
+            matrix: SubstitutionMatrix::blosum62(),
+            gaps: GapPenalties::paper(),
+            keep: 500,
+            blast: BlastParams::default(),
+            fasta: FastaParams::default(),
+        }
+    }
+
+    /// The database slice the Smith-Waterman workloads process.
+    pub fn sw_db(&self) -> &[Sequence] {
+        &self.db[..self.sw_subset.min(self.db.len())]
+    }
+
+    /// Total residues in the full database.
+    pub fn total_residues(&self) -> usize {
+        self.db.iter().map(Sequence::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sapa_isa::OpClass;
+
+    #[test]
+    fn all_workloads_trace_on_small_inputs() {
+        let inputs = StandardInputs::small();
+        for w in Workload::ALL {
+            let bundle = w.trace(&inputs);
+            assert!(!bundle.trace.is_empty(), "{w} produced no trace");
+            assert_eq!(bundle.workload, w);
+        }
+    }
+
+    #[test]
+    fn table_iii_ordering_holds() {
+        // SSEARCH > vmx128 > vmx256 and FASTA > BLAST, as in Table III.
+        let inputs = StandardInputs::small();
+        let len = |w: Workload| w.trace(&inputs).trace.len();
+        let ss = len(Workload::Ssearch34);
+        let v128 = len(Workload::SwVmx128);
+        let v256 = len(Workload::SwVmx256);
+        let fasta = len(Workload::Fasta34);
+        let blast = len(Workload::Blast);
+        assert!(ss > v128, "ssearch {ss} !> vmx128 {v128}");
+        assert!(v128 > v256, "vmx128 {v128} !> vmx256 {v256}");
+        assert!(fasta > blast, "fasta {fasta} !> blast {blast}");
+    }
+
+    #[test]
+    fn simd_workloads_emit_vector_ops_scalar_ones_do_not() {
+        let inputs = StandardInputs::small();
+        for w in Workload::ALL {
+            let stats = w.trace(&inputs).trace.stats();
+            if w.is_simd() {
+                assert!(stats.vector_ops() > 0, "{w}");
+            } else {
+                assert_eq!(stats.vector_ops(), 0, "{w}");
+            }
+        }
+    }
+
+    #[test]
+    fn sw_workloads_agree_on_hits() {
+        let inputs = StandardInputs::small();
+        let ss = Workload::Ssearch34.trace(&inputs);
+        let v128 = Workload::SwVmx128.trace(&inputs);
+        let v256 = Workload::SwVmx256.trace(&inputs);
+        assert_eq!(ss.hits, v128.hits);
+        assert_eq!(ss.hits, v256.hits);
+    }
+
+    #[test]
+    fn branch_fractions_discriminate_simd_from_scalar() {
+        let inputs = StandardInputs::small();
+        let ctrl = |w: Workload| {
+            let s = w.trace(&inputs).trace.stats();
+            s.fraction(OpClass::Branch)
+        };
+        assert!(ctrl(Workload::SwVmx128) < 0.06);
+        assert!(ctrl(Workload::Ssearch34) > 0.18);
+    }
+
+    #[test]
+    fn labels_and_metadata() {
+        assert_eq!(Workload::Blast.label(), "BLAST");
+        assert!(Workload::Ssearch34.description().contains("SW"));
+        assert!(Workload::Blast.input_parameters().contains("blastp"));
+    }
+}

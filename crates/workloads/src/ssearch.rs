@@ -1,0 +1,305 @@
+//! `SSEARCH34`: the traced scalar Smith-Waterman.
+//!
+//! Mirrors the inner loop of the FASTA toolkit's `ssearch` (paper
+//! Listing 2): the database is scanned residue by residue; for each
+//! database residue the code walks a query-position array of `{H, E}`
+//! structs (`ssj`) and a query-profile row (`pwaa`), carrying the
+//! previous column's `H` in a register (`p`) and keeping the gap states
+//! only while they can still win (the data-dependent
+//! computation-avoidance that makes this workload branch-bound).
+//!
+//! Every emitted instruction corresponds to work the real code does,
+//! with real effective addresses (profile row walks, `ss` struct
+//! walks) and real branch outcomes (taken from the actual Smith-
+//! Waterman recurrence values). Scores are identical to
+//! [`sapa_align::sw::score`] — the test suite enforces it.
+
+use sapa_align::result::{Hit, SearchResults};
+use sapa_bioseq::matrix::GapPenalties;
+use sapa_bioseq::{AminoAcid, Sequence, SubstitutionMatrix};
+use sapa_isa::mem::AddressSpace;
+use sapa_isa::reg::{self, Reg};
+use sapa_isa::trace::{Trace, Tracer};
+
+use crate::layout::DbImage;
+
+/// Result of a traced SSEARCH run.
+#[derive(Debug, Clone)]
+pub struct SsearchRun {
+    /// The instruction trace of the whole search.
+    pub trace: Trace,
+    /// Best local-alignment score per subject.
+    pub scores: Vec<i32>,
+    /// Ranked hit list (top `keep`).
+    pub hits: Vec<Hit>,
+}
+
+// Static instruction sites (PCs) of the inner loop.
+mod site {
+    pub const OUTER_LD_DB: u32 = 0; // load database residue byte
+    pub const OUTER_ROW: u32 = 1; // compute profile row base
+    pub const LD_SS: u32 = 2; // load ssj->{H,E}
+    pub const LD_PWAA: u32 = 3; // load profile score
+    pub const MV_P: u32 = 4; // p = ssj->H
+    pub const ADD_H: u32 = 5; // h = p + *pwaa++
+    pub const CMP_E: u32 = 6;
+    pub const B_E: u32 = 7; // if (e > 0)
+    pub const CMP_HE: u32 = 8;
+    pub const B_HE: u32 = 9; // if (h < e)
+    pub const MV_HE: u32 = 10; // h = e
+    pub const CMP_H: u32 = 11;
+    pub const B_H: u32 = 12; // if (h > 0)
+    pub const CMP_BEST: u32 = 13;
+    pub const B_BEST: u32 = 14; // if (h > best)
+    pub const MV_BEST: u32 = 15;
+    pub const E_DECAY: u32 = 16; // e = max(e, h - q) - r bookkeeping
+    pub const CMP_EN: u32 = 17;
+    pub const B_EN: u32 = 18; // if (e' > 0) keep E alive
+    pub const ST_E: u32 = 19; // ssj->E = e'
+    pub const F_DECAY: u32 = 20;
+    pub const CMP_FN: u32 = 21;
+    pub const B_FN: u32 = 22; // if (f' > 0) keep F alive
+    pub const CMP_HF: u32 = 23;
+    pub const B_HF: u32 = 24; // if (h < f)
+    pub const MV_HF: u32 = 25; // h = f
+    pub const ST_H: u32 = 26; // ssj->H = h
+    pub const INC: u32 = 27; // ssj++, pwaa++
+    pub const B_LOOP: u32 = 28; // inner-loop backedge
+    pub const B_OUTER: u32 = 29; // outer-loop backedge
+    pub const TOP: u32 = 2; // inner-loop entry target
+}
+
+// Register roles, mirroring the listing's variables.
+const R_H: Reg = reg::gpr(3); // h
+const R_SS: Reg = reg::gpr(4); // last ss load ({H, E})
+const R_P: Reg = reg::gpr(5); // p (H of the previous column)
+const R_F: Reg = reg::gpr(6); // f (horizontal gap state)
+const R_SCORE: Reg = reg::gpr(7); // *pwaa
+const R_PWAA: Reg = reg::gpr(8); // pwaa pointer
+const R_SSP: Reg = reg::gpr(9); // ssj pointer
+const R_BEST: Reg = reg::gpr(10); // best
+const R_CMP: Reg = reg::gpr(12); // condition codes
+const R_DB: Reg = reg::gpr(20); // database residue
+const R_ROW: Reg = reg::gpr(21); // profile row base
+
+/// Runs the traced search of `query` against `db`.
+///
+/// `keep` bounds the reported hit list (the paper uses `-b 500`).
+pub fn run(
+    query: &[AminoAcid],
+    db: &[Sequence],
+    matrix: &SubstitutionMatrix,
+    gaps: GapPenalties,
+    keep: usize,
+) -> SsearchRun {
+    let m = query.len();
+    let mut space = AddressSpace::new();
+    let img = DbImage::build(&mut space, db);
+    // Profile: 24 rows (one per residue class) × m bytes, row-major —
+    // the layout `pwaa` walks in the real code.
+    let profile = space
+        .alloc("query_profile", (AminoAcid::COUNT * m.max(1)) as u64, 128)
+        .expect("profile fits");
+    // ss array: one {H:i32, E:i32} struct per query position.
+    let ss = space
+        .alloc("ss_array", (8 * m.max(1)) as u64, 128)
+        .expect("ss fits");
+
+    let open_ext = gaps.open + gaps.extend;
+    let ext = gaps.extend;
+
+    let mut t = Tracer::with_capacity(1024);
+    let mut scores = Vec::with_capacity(db.len());
+    let mut results = SearchResults::new(keep.max(1));
+
+    let mut col_h = vec![0i32; m];
+    let mut col_e = vec![0i32; m];
+
+    for si in 0..img.len() {
+        let subject = img.subject(si);
+        col_h.iter_mut().for_each(|v| *v = 0);
+        col_e.iter_mut().for_each(|v| *v = 0);
+        let mut best = 0i32;
+
+        for (bi, &bres) in subject.iter().enumerate() {
+            // Outer loop: load the database residue, compute the
+            // profile row pointer.
+            t.iload(site::OUTER_LD_DB, R_DB, img.residue_addr(si, bi), 1, &[R_SSP]);
+            t.ialu(site::OUTER_ROW, R_ROW, &[R_DB]);
+            let row = bres.index() as u32 * m as u32;
+
+            let mut h_diag = 0i32;
+            let mut f = 0i32;
+            for j in 0..m {
+                let ss_addr = ss.addr(8 * j as u32);
+                // ssj->{H,E} comes in with one 8-byte load.
+                t.iload(site::LD_SS, R_SS, ss_addr, 8, &[R_SSP]);
+                t.iload(site::LD_PWAA, R_SCORE, profile.addr(row + j as u32), 1, &[R_PWAA]);
+                // p = ssj->H (next cell's diagonal), h = p + score.
+                t.ialu(site::MV_P, R_P, &[R_SS]);
+                t.ialu(site::ADD_H, R_H, &[R_P, R_SCORE]);
+
+                let mut h = h_diag + matrix.score(query[j], bres);
+                h_diag = col_h[j];
+                let e = col_e[j];
+
+                t.ialu(site::CMP_E, R_CMP, &[R_SS]);
+                t.branch(site::B_E, e > 0, site::TOP, &[R_CMP]);
+                if e > 0 {
+                    t.ialu(site::CMP_HE, R_CMP, &[R_H, R_SS]);
+                    t.branch(site::B_HE, h < e, site::TOP, &[R_CMP]);
+                    if h < e {
+                        t.ialu(site::MV_HE, R_H, &[R_SS]);
+                        h = e;
+                    }
+                }
+                if f > 0 {
+                    t.ialu(site::CMP_HF, R_CMP, &[R_H, R_F]);
+                    t.branch(site::B_HF, h < f, site::TOP, &[R_CMP]);
+                    if h < f {
+                        t.ialu(site::MV_HF, R_H, &[R_F]);
+                        h = f;
+                    }
+                }
+                if h < 0 {
+                    h = 0;
+                }
+
+                t.ialu(site::CMP_H, R_CMP, &[R_H]);
+                t.branch(site::B_H, h > 0, site::TOP, &[R_CMP]);
+                if h > 0 {
+                    t.ialu(site::CMP_BEST, R_CMP, &[R_H, R_BEST]);
+                    t.branch(site::B_BEST, h > best, site::TOP, &[R_CMP]);
+                    if h > best {
+                        t.ialu(site::MV_BEST, R_BEST, &[R_H]);
+                        best = h;
+                    }
+                }
+
+                // Gap-state bookkeeping, kept only while alive — the
+                // short-circuit that produces SSEARCH's branchy profile.
+                let e_next = (e - ext).max(h - open_ext);
+                let e_next = if e_next > 0 { e_next } else { 0 };
+                t.ialu(site::E_DECAY, R_SS, &[R_SS, R_H]);
+                t.ialu(site::CMP_EN, R_CMP, &[R_SS]);
+                t.branch(site::B_EN, e_next > 0, site::TOP, &[R_CMP]);
+
+                let f_next = (f - ext).max(h - open_ext);
+                let f_next = if f_next > 0 { f_next } else { 0 };
+                if f > 0 || h > open_ext {
+                    t.ialu(site::F_DECAY, R_F, &[R_F, R_H]);
+                    t.ialu(site::CMP_FN, R_CMP, &[R_F]);
+                    t.branch(site::B_FN, f_next > 0, site::TOP, &[R_CMP]);
+                }
+
+                // Store the struct back only when the cell is live
+                // (dead cells keep their zeroes, sparing the store).
+                if h > 0 || col_h[j] > 0 {
+                    t.istore(site::ST_H, ss_addr, 8, &[R_H, R_SSP]);
+                }
+                if e_next > 0 || col_e[j] > 0 {
+                    t.istore(site::ST_E, ss_addr + 4, 4, &[R_SS, R_SSP]);
+                }
+                col_h[j] = h;
+                col_e[j] = e_next;
+                f = f_next;
+
+                t.ialu(site::INC, R_SSP, &[R_SSP]);
+                t.branch(site::B_LOOP, j + 1 < m, site::TOP, &[R_SSP]);
+            }
+            t.branch(site::B_OUTER, bi + 1 < subject.len(), site::OUTER_LD_DB, &[R_DB]);
+        }
+
+        scores.push(best);
+        if best > 0 {
+            results.push(Hit {
+                seq_index: si,
+                score: best,
+            });
+        }
+    }
+
+    let hits = results.hits().to_vec();
+    SsearchRun {
+        trace: t.finish(),
+        scores,
+        hits,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sapa_isa::OpClass;
+
+    fn seq(id: &str, s: &str) -> Sequence {
+        Sequence::from_str(id, s).unwrap()
+    }
+
+    fn inputs() -> (Vec<AminoAcid>, Vec<Sequence>) {
+        let q = seq("q", "MKWVTFISLLFLFSSAYSRGVF").residues().to_vec();
+        let db = vec![
+            seq("s0", "GGPGGNDNDNPPGGAA"),
+            seq("s1", "MKWVTFISLLFLFSSAYSRGVF"),
+            seq("s2", "AAWWYYHHEEKKRRDD"),
+        ];
+        (q, db)
+    }
+
+    #[test]
+    fn scores_match_reference_sw() {
+        let (q, db) = inputs();
+        let m = SubstitutionMatrix::blosum62();
+        let g = GapPenalties::paper();
+        let run = run(&q, &db, &m, g, 10);
+        for (i, s) in db.iter().enumerate() {
+            let expect = sapa_align::sw::score(&q, s.residues(), &m, g);
+            assert_eq!(run.scores[i], expect, "subject {i}");
+        }
+    }
+
+    #[test]
+    fn homolog_is_top_hit() {
+        let (q, db) = inputs();
+        let m = SubstitutionMatrix::blosum62();
+        let run = run(&q, &db, &m, GapPenalties::paper(), 10);
+        assert_eq!(run.hits[0].seq_index, 1);
+    }
+
+    #[test]
+    fn instruction_mix_matches_figure_1_shape() {
+        let (q, db) = inputs();
+        let m = SubstitutionMatrix::blosum62();
+        let run = run(&q, &db, &m, GapPenalties::paper(), 10);
+        let stats = run.trace.stats();
+        let ctrl = stats.fraction(OpClass::Branch);
+        let ialu = stats.fraction(OpClass::IAlu);
+        let iload = stats.fraction(OpClass::ILoad);
+        let istore = stats.fraction(OpClass::IStore);
+        // Paper Fig. 1: ~25% ctrl, ~44% ialu, ~22% iload, small istore.
+        assert!((0.18..0.36).contains(&ctrl), "ctrl {ctrl}");
+        assert!((0.33..0.55).contains(&ialu), "ialu {ialu}");
+        assert!((0.12..0.30).contains(&iload), "iload {iload}");
+        assert!(istore < 0.12, "istore {istore}");
+        assert_eq!(stats.vector_ops(), 0);
+    }
+
+    #[test]
+    fn trace_scales_with_problem_size() {
+        let m = SubstitutionMatrix::blosum62();
+        let g = GapPenalties::paper();
+        let q = seq("q", "MKWVTFISLL").residues().to_vec();
+        let small = run(&q, &[seq("s", "MKWVTF")], &m, g, 5);
+        let large = run(&q, &[seq("s", &"MKWVTF".repeat(4))], &m, g, 5);
+        assert!(large.trace.len() > 3 * small.trace.len());
+    }
+
+    #[test]
+    fn empty_database_yields_empty_trace() {
+        let m = SubstitutionMatrix::blosum62();
+        let q = seq("q", "MKWVTF").residues().to_vec();
+        let run = run(&q, &[], &m, GapPenalties::paper(), 5);
+        assert!(run.trace.is_empty());
+        assert!(run.hits.is_empty());
+    }
+}

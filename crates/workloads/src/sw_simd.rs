@@ -1,0 +1,467 @@
+//! `SW_vmx128` / `SW_vmx256`: the traced anti-diagonal SIMD
+//! Smith-Waterman.
+//!
+//! The computation is the Wozniak-style algorithm of
+//! [`sapa_align::simd_sw`], executed for real on the emulated Altivec
+//! vectors while the corresponding instruction stream is emitted: one
+//! block of `vsimple`/`vperm` recurrence work per anti-diagonal step,
+//! the scalar boundary loads/stores that carry values between query
+//! strips, and the small amount of loop-control scalar code — which is
+//! why these workloads show ~2% branches and long vector dependence
+//! chains (the paper's `RG_VI`/`RG_VPER` traumas).
+//!
+//! With `L = 16` (`SW_vmx256`) each step covers twice the cells, but
+//! the boundary gather/scatter work per step grows (wider registers
+//! need more permute/merge steps and extra score-gather loads), so the
+//! total instruction reduction is well below 2× — reproducing the
+//! paper's observation that 256-bit registers cut instructions by only
+//! ~18% on average.
+
+use sapa_align::result::{Hit, SearchResults};
+use sapa_bioseq::matrix::GapPenalties;
+use sapa_bioseq::{AminoAcid, Sequence, SubstitutionMatrix};
+use sapa_isa::mem::AddressSpace;
+use sapa_isa::reg::{self, Reg};
+use sapa_isa::trace::{Trace, Tracer};
+use sapa_vsimd::Vector;
+
+use crate::layout::DbImage;
+
+/// Result of a traced SIMD Smith-Waterman run.
+#[derive(Debug, Clone)]
+pub struct SimdSwRun {
+    /// The instruction trace of the whole search.
+    pub trace: Trace,
+    /// Best local-alignment score per subject.
+    pub scores: Vec<i32>,
+    /// Ranked hit list.
+    pub hits: Vec<Hit>,
+}
+
+mod site {
+    pub const STRIP_SETUP: u32 = 0;
+    pub const LD_DB: u32 = 1; // scalar load of db residues for the step
+    pub const ADDR1: u32 = 2;
+    pub const ADDR2: u32 = 3;
+    pub const LD_BH: u32 = 4; // boundary H scalar load
+    pub const LD_BF: u32 = 5; // boundary F scalar load
+    pub const VLD_SCORE: u32 = 6; // score-column vector load
+    pub const VLD_SCORE2: u32 = 7; // second gather load (wide registers)
+    pub const VPERM_SCORE: u32 = 8; // align gathered scores
+    pub const VE_SUB1: u32 = 9;
+    pub const VE_SUB2: u32 = 10;
+    pub const VE_MAX: u32 = 11;
+    pub const VF_SHIFT: u32 = 12; // vperm: shift F diagonal
+    pub const VH_SHIFT: u32 = 13; // vperm: shift H diagonal
+    pub const VF_SUB1: u32 = 14;
+    pub const VF_SUB2: u32 = 15;
+    pub const VF_MAX: u32 = 16;
+    pub const VD_SHIFT: u32 = 17; // vperm: shift H(d-2)
+    pub const VH_ADD: u32 = 18;
+    pub const VH_MAX_E: u32 = 19;
+    pub const VH_MAX_F: u32 = 20;
+    pub const VH_MAX_0: u32 = 21;
+    pub const VBEST: u32 = 22;
+    pub const VEXTRACT: u32 = 23; // vperm: move last lane for carry-out
+    pub const ST_CARRY: u32 = 24;
+    pub const VPERM_MERGE: u32 = 25; // extra merges for 256-bit halves
+    pub const VLD_EXTRA: u32 = 26; // extra wide-gather load
+    pub const INC: u32 = 27;
+    pub const B_STEP: u32 = 28; // inner-loop backedge
+    pub const ST_HROW: u32 = 31; // spill this step's H vector
+    pub const LD_HROW: u32 = 32; // reload the previous step's H vector
+    pub const ST_EROW: u32 = 33; // spill E
+    pub const LD_EROW: u32 = 34; // reload E
+    pub const ST_HROW2: u32 = 35; // second half (256-bit machine)
+    pub const LD_HROW2: u32 = 36;
+    pub const VPERM_HMERGE: u32 = 37; // cross-half merge of reloaded H
+    pub const VPERM_HALIGN: u32 = 38; // alignment of the merged halves
+    pub const VPERM_XFIX1: u32 = 39; // cross-half shift fix-up (F path)
+    pub const VPERM_XFIX2: u32 = 40; // cross-half shift fix-up (H path)
+    pub const ADDR3: u32 = 41;
+    pub const VPERM_BINS1: u32 = 42; // wide boundary insert, stage 1
+    pub const VPERM_BINS2: u32 = 43; // wide boundary insert, stage 2
+    pub const B_STRIP: u32 = 29; // strip-loop backedge
+    pub const B_SEQ: u32 = 30; // per-subject loop
+    pub const TOP: u32 = 1;
+}
+
+// Vector register roles.
+const V_HD1: Reg = reg::vr(1); // H at diagonal d-1
+const V_HD2: Reg = reg::vr(2); // H at diagonal d-2
+const V_E: Reg = reg::vr(3);
+const V_F: Reg = reg::vr(4);
+const V_S: Reg = reg::vr(5); // gathered scores
+const V_T1: Reg = reg::vr(6);
+const V_T2: Reg = reg::vr(7);
+const V_SH: Reg = reg::vr(8); // shifted H
+const V_SF: Reg = reg::vr(9); // shifted F
+const V_BEST: Reg = reg::vr(10);
+const V_CONST: Reg = reg::vr(11); // gap-penalty splats
+const V_LDH: Reg = reg::vr(12); // H row reloaded from the spill buffer
+const V_LDE: Reg = reg::vr(13); // E row reloaded from the spill buffer
+
+const R_PTR: Reg = reg::gpr(8);
+const R_CARRY: Reg = reg::gpr(9);
+const R_BH: Reg = reg::gpr(20);
+const R_BF: Reg = reg::gpr(21);
+const R_ADDR: Reg = reg::gpr(12);
+const R_EXT: Reg = reg::gpr(13);
+
+/// "Minus infinity" for 16-bit lanes (matches `sapa_align::simd_sw`).
+const NEG16: i16 = -25000;
+
+/// Runs the traced SIMD search with `L` lanes (8 → `SW_vmx128`,
+/// 16 → `SW_vmx256`).
+pub fn run<const L: usize>(
+    query: &[AminoAcid],
+    db: &[Sequence],
+    matrix: &SubstitutionMatrix,
+    gaps: GapPenalties,
+    keep: usize,
+) -> SimdSwRun {
+    let m = query.len();
+    let mut space = AddressSpace::new();
+    let img = DbImage::build(&mut space, db);
+    // Strip profile: per strip, 24 residue columns × L lanes of i16.
+    let profile = space
+        .alloc(
+            "strip_profile",
+            (AminoAcid::COUNT * 2 * L * m.div_ceil(L).max(1)) as u64,
+            128,
+        )
+        .expect("profile fits");
+    // Carry rows: H and F of each strip's last row, 2 bytes per column.
+    let max_n: usize = db.iter().map(Sequence::len).max().unwrap_or(0);
+    let carry = space
+        .alloc("carry_rows", (4 * max_n.max(1)) as u64, 128)
+        .expect("carry rows fit");
+    // Spill ring for the H/E diagonal vectors: with only 32 Altivec
+    // registers the real kernel round-trips the previous diagonals
+    // through memory every step, which puts the L1 hit latency inside
+    // the recurrence (the paper's Fig. 7 observation).
+    let spill = space
+        .alloc("diag_spill", (4 * 2 * 2 * 2 * L) as u64, 128)
+        .expect("spill ring fits");
+
+    let vwidth = (2 * L) as u32; // register width in bytes
+    let wide = L > 8;
+
+    let open_ext_v = Vector::<L>::splat((gaps.open + gaps.extend) as i16);
+    let ext_v = Vector::<L>::splat(gaps.extend as i16);
+    let zero = Vector::<L>::zero();
+    let neg = Vector::<L>::splat(NEG16);
+
+    let mut t = Tracer::with_capacity(1024);
+    let mut scores = Vec::with_capacity(db.len());
+    let mut results = SearchResults::new(keep.max(1));
+
+    for si in 0..img.len() {
+        let subject = img.subject(si);
+        let n = subject.len();
+        if m == 0 || n == 0 {
+            scores.push(0);
+            continue;
+        }
+
+        let mut carry_h = vec![0i16; n];
+        let mut carry_f = vec![NEG16; n];
+        let mut vbest = zero;
+
+        let mut i0 = 0usize;
+        let mut strip = 0u32;
+        while i0 < m {
+            t.ialu(site::STRIP_SETUP, R_PTR, &[R_PTR]);
+            let mut next_h = vec![0i16; n];
+            let mut next_f = vec![NEG16; n];
+
+            let mut h_dm1 = neg;
+            let mut h_dm2 = neg;
+            let mut e_dm1 = neg;
+            let mut f_dm1 = neg;
+
+            let diag_count = n + L - 1;
+            for d in 0..diag_count {
+                // --- Scalar framing: addresses, db residue, boundary.
+                t.ialu(site::ADDR1, R_ADDR, &[R_PTR]);
+                if d < n {
+                    t.iload(site::LD_DB, R_EXT, img.residue_addr(si, d), 1, &[R_ADDR]);
+                }
+                let bidx = (d.min(n - 1)) as u32;
+                t.iload(site::LD_BH, R_BH, carry.addr(4 * bidx), 2, &[R_CARRY]);
+                t.iload(site::LD_BF, R_BF, carry.addr(4 * bidx + 2), 2, &[R_CARRY]);
+
+                // --- Score gather: vector load(s) of the profile
+                // column plus alignment permute(s).
+                let col = (strip * AminoAcid::COUNT as u32 * vwidth
+                    + (d as u32 % AminoAcid::COUNT as u32) * vwidth)
+                    % (profile.size() - vwidth);
+                t.vload(site::VLD_SCORE, V_S, profile.addr(col), vwidth, &[R_ADDR]);
+                if wide {
+                    // A 256-bit gather is assembled from two half-width
+                    // loads plus merge permutes, and the boundary
+                    // insertion crosses the halves — the extra work
+                    // that keeps the 256-bit instruction reduction well
+                    // below 2× (paper Section VI).
+                    t.vload(site::VLD_SCORE2, V_T1, profile.addr(col), vwidth, &[R_ADDR]);
+                    t.vperm(site::VPERM_MERGE, V_S, &[V_S, V_T1]);
+                    t.ialu(site::ADDR2, R_ADDR, &[R_ADDR]);
+                    t.vload(site::VLD_EXTRA, V_T2, profile.addr(col), vwidth, &[R_ADDR]);
+                    t.vperm(site::VPERM_MERGE, V_S, &[V_S, V_T2]);
+                    t.ialu(site::ADDR2, R_ADDR, &[R_ADDR]);
+                    t.iload(site::LD_DB, R_EXT, img.residue_addr(si, d.min(n - 1)), 1, &[R_ADDR]);
+                }
+                t.vperm(site::VPERM_SCORE, V_S, &[V_S, V_E]);
+
+                // --- Real computation of this diagonal step.
+                let b_h = boundary(&carry_h, d as isize, n);
+                let b_f = boundary(&carry_f, d as isize, n);
+                let b_hd = boundary(&carry_h, d as isize - 1, n);
+
+                let e_d = e_dm1.subs(ext_v).max(h_dm1.subs(open_ext_v));
+                t.vsimple(site::VE_SUB1, V_T1, &[V_E, V_CONST]);
+                t.vsimple(site::VE_SUB2, V_T2, &[V_HD1, V_CONST]);
+                t.vsimple(site::VE_MAX, V_E, &[V_T1, V_T2]);
+
+                // Reload the previous step's spilled H/E rows; the
+                // store below wrote them one step ago, so the load's
+                // store-queue dependency puts the L1 latency on the
+                // recurrence's critical path.
+                let slot = (d % 4) as u32 * 2 * vwidth;
+                let prev_slot = ((d + 3) % 4) as u32 * 2 * vwidth;
+                t.vload(site::LD_HROW, V_LDH, spill.addr(prev_slot), vwidth, &[R_CARRY]);
+                if wide {
+                    // The 256-bit row round-trips as two 128-bit
+                    // halves that must be merged and re-aligned —
+                    // serial permute work the 128-bit machine does not
+                    // pay. This is the dependency-chain cost behind the
+                    // paper's ~9%-not-2x observation (Section VI).
+                    t.ialu(site::ADDR3, R_ADDR, &[R_ADDR]);
+                    t.vload(site::LD_HROW2, V_T2, spill.addr(prev_slot + 16), 16, &[R_ADDR]);
+                    t.vperm(site::VPERM_HMERGE, V_LDH, &[V_LDH, V_T2]);
+                    t.vperm(site::VPERM_HALIGN, V_LDH, &[V_LDH, V_CONST]);
+                }
+                t.vload(site::LD_EROW, V_LDE, spill.addr(prev_slot + vwidth), vwidth, &[R_CARRY]);
+
+                let f_shift = f_dm1.shift_in_first(b_f);
+                let h_shift = h_dm1.shift_in_first(b_h);
+                t.vperm(site::VF_SHIFT, V_SF, &[V_LDE, R_BF]);
+                t.vperm(site::VH_SHIFT, V_SH, &[V_LDH, R_BH]);
+                if wide {
+                    // Lane shifts across the 128-bit boundary need an
+                    // extra fix-up permute per operand, and inserting
+                    // the scalar strip boundary into a 256-bit register
+                    // is a two-stage permute of its own.
+                    t.vperm(site::VPERM_XFIX1, V_SF, &[V_SF, V_LDE]);
+                    t.vperm(site::VPERM_XFIX2, V_SH, &[V_SH, V_LDH]);
+                    t.vperm(site::VPERM_BINS1, V_SH, &[V_SH, R_BH]);
+                    t.vperm(site::VPERM_BINS2, V_SH, &[V_SH, V_CONST]);
+                }
+                let f_d = f_shift.subs(ext_v).max(h_shift.subs(open_ext_v));
+                t.vsimple(site::VF_SUB1, V_T1, &[V_SF, V_CONST]);
+                t.vsimple(site::VF_SUB2, V_T2, &[V_SH, V_CONST]);
+                t.vsimple(site::VF_MAX, V_F, &[V_T1, V_T2]);
+
+                let mut h_diag = h_dm2.shift_in_first(b_hd);
+                if d < L {
+                    h_diag = h_diag.insert(d, 0);
+                }
+                t.vperm(site::VD_SHIFT, V_SH, &[V_HD2, V_CONST]);
+
+                let s_d = gather_scores::<L>(query, subject, matrix, i0, d);
+                let h_d = h_diag.adds(s_d).max(e_d).max(f_d).max(zero);
+                t.vsimple(site::VH_ADD, V_T1, &[V_SH, V_S]);
+                t.vsimple(site::VH_MAX_E, V_T1, &[V_T1, V_E]);
+                t.vsimple(site::VH_MAX_F, V_T1, &[V_T1, V_F]);
+                t.vsimple(site::VH_MAX_0, V_HD1, &[V_T1, V_CONST]);
+
+                vbest = vbest.max(h_d);
+                t.vsimple(site::VBEST, V_BEST, &[V_BEST, V_HD1]);
+
+                // Spill this step's H and E for the next step's reload.
+                if wide {
+                    t.vstore(site::ST_HROW, spill.addr(slot), 16, &[V_HD1, R_CARRY]);
+                    t.vstore(site::ST_HROW2, spill.addr(slot + 16), 16, &[V_HD1, R_CARRY]);
+                } else {
+                    t.vstore(site::ST_HROW, spill.addr(slot), vwidth, &[V_HD1, R_CARRY]);
+                }
+                t.vstore(site::ST_EROW, spill.addr(slot + vwidth), vwidth, &[V_E, R_CARRY]);
+
+                // --- Carry out the strip's last row.
+                if d + 1 >= L {
+                    let col_out = d + 1 - L;
+                    if col_out < n {
+                        next_h[col_out] = h_d.extract(L - 1);
+                        next_f[col_out] = f_d.extract(L - 1);
+                        t.vperm(site::VEXTRACT, V_T2, &[V_HD1, V_F]);
+                        t.istore(site::ST_CARRY, carry.addr(4 * col_out as u32), 4, &[V_T2, R_CARRY]);
+                    }
+                }
+
+                h_dm2 = h_dm1;
+                h_dm1 = h_d;
+                e_dm1 = e_d;
+                f_dm1 = f_d;
+
+                // Loop control: the real kernel is unrolled 2×, so the
+                // backedge appears every other step.
+                if d % 2 == 1 {
+                    t.ialu(site::INC, R_PTR, &[R_PTR]);
+                    t.branch(site::B_STEP, d + 1 < diag_count, site::TOP, &[R_PTR]);
+                }
+            }
+
+            carry_h = next_h;
+            carry_f = next_f;
+            i0 += L;
+            strip += 1;
+            t.branch(site::B_STRIP, i0 < m, site::STRIP_SETUP, &[R_PTR]);
+        }
+
+        let best = i32::from(vbest.horizontal_max()).max(0);
+        scores.push(best);
+        if best > 0 {
+            results.push(Hit {
+                seq_index: si,
+                score: best,
+            });
+        }
+        t.branch(site::B_SEQ, si + 1 < img.len(), site::STRIP_SETUP, &[R_PTR]);
+    }
+
+    let hits = results.hits().to_vec();
+    SimdSwRun {
+        trace: t.finish(),
+        scores,
+        hits,
+    }
+}
+
+#[inline]
+fn boundary(row: &[i16], j: isize, n: usize) -> i16 {
+    if j >= 0 && (j as usize) < n {
+        row[j as usize]
+    } else {
+        NEG16
+    }
+}
+
+#[inline]
+fn gather_scores<const L: usize>(
+    query: &[AminoAcid],
+    subject: &[AminoAcid],
+    matrix: &SubstitutionMatrix,
+    i0: usize,
+    d: usize,
+) -> Vector<L> {
+    let mut v = Vector::<L>::splat(NEG16);
+    let m = query.len();
+    let n = subject.len();
+    for k in 0..L {
+        let i = i0 + k;
+        if i >= m || d < k {
+            continue;
+        }
+        let j = d - k;
+        if j < n {
+            v = v.insert(k, matrix.score(query[i], subject[j]) as i16);
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sapa_isa::OpClass;
+
+    fn seq(id: &str, s: &str) -> Sequence {
+        Sequence::from_str(id, s).unwrap()
+    }
+
+    fn inputs() -> (Vec<AminoAcid>, Vec<Sequence>) {
+        let q = seq("q", &"MKWVTFISLLFLFSSAYSRGVFRRDAHKSEVAHRFK".repeat(2))
+            .residues()
+            .to_vec();
+        let db = vec![
+            seq("s0", "GGPGGNDNDNPPGGAAGGPGGNDNDNPPGGAA"),
+            seq("s1", &"MKWVTFISLLFLFSSAYSRGVFRRDAHKSEVAHRFK".repeat(2)),
+            seq("s2", "AAWWYYHHEEKKRRDDAAWWYYHHEEKKRRDD"),
+        ];
+        (q, db)
+    }
+
+    #[test]
+    fn scores_match_reference_both_widths() {
+        let (q, db) = inputs();
+        let m = SubstitutionMatrix::blosum62();
+        let g = GapPenalties::paper();
+        let r128 = run::<8>(&q, &db, &m, g, 10);
+        let r256 = run::<16>(&q, &db, &m, g, 10);
+        for (i, s) in db.iter().enumerate() {
+            let expect = sapa_align::sw::score(&q, s.residues(), &m, g);
+            assert_eq!(r128.scores[i], expect, "vmx128 subject {i}");
+            assert_eq!(r256.scores[i], expect, "vmx256 subject {i}");
+        }
+    }
+
+    #[test]
+    fn wide_registers_cut_instructions_but_less_than_2x() {
+        // Use a query long enough for several strips at both widths
+        // (the reduction comes from halving the strip count; the
+        // per-step overhead grows with register width).
+        let q = seq("q", &"MKWVTFISLLFLFSSAYSRGVFRRDAHKSEVAHRFK".repeat(4))
+            .residues()
+            .to_vec();
+        let db = vec![seq("s", &"MKWVTFISLLFLFSSAYSRGVFRRDAHKSEVAHRFK".repeat(3))];
+        let m = SubstitutionMatrix::blosum62();
+        let g = GapPenalties::paper();
+        let n128 = run::<8>(&q, &db, &m, g, 10).trace.len() as f64;
+        let n256 = run::<16>(&q, &db, &m, g, 10).trace.len() as f64;
+        let ratio = n256 / n128;
+        // Paper: ~18% fewer instructions (ratio ≈ 0.82), definitely not
+        // the naive 0.5.
+        assert!(ratio < 0.97, "ratio {ratio}");
+        assert!(ratio > 0.6, "ratio {ratio}");
+    }
+
+    #[test]
+    fn instruction_mix_matches_figure_1_shape() {
+        let (q, db) = inputs();
+        let m = SubstitutionMatrix::blosum62();
+        let g = GapPenalties::paper();
+        let stats = run::<8>(&q, &db, &m, g, 10).trace.stats();
+        let ctrl = stats.fraction(OpClass::Branch);
+        let vsimple = stats.fraction(OpClass::VSimple);
+        let vperm = stats.fraction(OpClass::VPerm);
+        let loads = stats.fraction(OpClass::ILoad) + stats.fraction(OpClass::VLoad);
+        // Paper: ~2% branches, big vector-integer component, loads
+        // around 16%, permutes significant.
+        assert!(ctrl < 0.06, "ctrl {ctrl}");
+        assert!(vsimple > 0.25, "vsimple {vsimple}");
+        assert!(vperm > 0.10, "vperm {vperm}");
+        assert!((0.08..0.30).contains(&loads), "loads {loads}");
+    }
+
+    #[test]
+    fn vmx256_has_higher_scalar_fraction() {
+        let (q, db) = inputs();
+        let m = SubstitutionMatrix::blosum62();
+        let g = GapPenalties::paper();
+        let s128 = run::<8>(&q, &db, &m, g, 10).trace.stats();
+        let s256 = run::<16>(&q, &db, &m, g, 10).trace.stats();
+        let scalar128 = s128.fraction(OpClass::IAlu) + s128.fraction(OpClass::ILoad);
+        let scalar256 = s256.fraction(OpClass::IAlu) + s256.fraction(OpClass::ILoad);
+        assert!(scalar256 > scalar128, "{scalar256} !> {scalar128}");
+        // And the vsimple share falls (paper: 21% → 14%).
+        assert!(s256.fraction(OpClass::VSimple) < s128.fraction(OpClass::VSimple));
+    }
+
+    #[test]
+    fn empty_inputs_are_safe() {
+        let m = SubstitutionMatrix::blosum62();
+        let g = GapPenalties::paper();
+        let r = run::<8>(&[], &[seq("s", "MK")], &m, g, 5);
+        assert_eq!(r.scores, vec![0]);
+    }
+}

@@ -1,0 +1,51 @@
+//! Every workload's trace must satisfy the structural invariants of
+//! the virtual ISA (PCs in code, addresses in data, loads with
+//! destinations, …) — regression protection against emission bugs
+//! that would silently skew the microarchitecture studies.
+
+use sapa_isa::validate::validate;
+use sapa_workloads::{StandardInputs, Workload};
+
+#[test]
+fn all_workload_traces_are_well_formed() {
+    let inputs = StandardInputs::small();
+    for w in Workload::ALL {
+        let bundle = w.trace(&inputs);
+        let violations = validate(&bundle.trace, 5);
+        assert!(
+            violations.is_empty(),
+            "{w}: {} violations, first: {}",
+            violations.len(),
+            violations[0]
+        );
+    }
+}
+
+#[test]
+fn branch_fraction_sane_for_all_workloads() {
+    // Defense against emission drift: branch fraction must stay in the
+    // band each workload's characterization depends on.
+    use sapa_isa::OpClass;
+    let inputs = StandardInputs::small();
+    for w in Workload::ALL {
+        let stats = w.trace(&inputs).trace.stats();
+        let ctrl = stats.fraction(OpClass::Branch);
+        if w.is_simd() {
+            assert!(ctrl < 0.06, "{w} ctrl {ctrl}");
+        } else {
+            assert!((0.10..0.40).contains(&ctrl), "{w} ctrl {ctrl}");
+        }
+    }
+}
+
+#[test]
+fn loads_dominate_stores_everywhere() {
+    use sapa_isa::OpClass;
+    let inputs = StandardInputs::small();
+    for w in Workload::ALL {
+        let s = w.trace(&inputs).trace.stats();
+        let loads = s.count(OpClass::ILoad) + s.count(OpClass::VLoad);
+        let stores = s.count(OpClass::IStore) + s.count(OpClass::VStore);
+        assert!(loads > stores, "{w}: loads {loads} !> stores {stores}");
+    }
+}

@@ -1,0 +1,51 @@
+//! Explore processor design points: how much does each application gain
+//! from a wider pipeline, and from a perfect branch predictor? (A
+//! miniature of the paper's Figures 3 and 9, on all five workloads.)
+//!
+//! ```text
+//! cargo run --release --example design_explorer
+//! ```
+
+use sapa_core::cpu::config::{BranchConfig, CpuConfig, SimConfig};
+use sapa_core::cpu::Simulator;
+use sapa_core::workloads::{StandardInputs, Workload};
+
+fn main() {
+    let inputs = StandardInputs::with_db_size(150, 2);
+    println!("workload    4-way   8-way  16-way  perfect-BP(4w)  bp-accuracy");
+    println!("----------------------------------------------------------------");
+
+    for w in Workload::ALL {
+        let bundle = w.trace(&inputs);
+
+        let ipc = |cpu: CpuConfig, branch: BranchConfig| {
+            let cfg = SimConfig {
+                cpu,
+                mem: sapa_core::cpu::config::MemConfig::me1(),
+                branch,
+            };
+            Simulator::new(cfg).run(&bundle.trace)
+        };
+
+        let r4 = ipc(CpuConfig::four_way(), BranchConfig::table_vi());
+        let r8 = ipc(CpuConfig::eight_way(), BranchConfig::table_vi());
+        let r16 = ipc(CpuConfig::sixteen_way(), BranchConfig::table_vi());
+        let rp = ipc(CpuConfig::four_way(), BranchConfig::perfect());
+
+        println!(
+            "{:<10}  {:>5.2}  {:>5.2}  {:>5.2}        {:>5.2}        {:>5.1}%",
+            w.label(),
+            r4.ipc(),
+            r8.ipc(),
+            r16.ipc(),
+            rp.ipc(),
+            r4.bp_accuracy() * 100.0,
+        );
+    }
+
+    println!(
+        "\nReading guide: the SIMD codes barely react to the predictor\n\
+         (≈2% branches) but scale with width; the heuristics are pinned\n\
+         by data-dependent branches, exactly as IISWC 2006 reports."
+    );
+}

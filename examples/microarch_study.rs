@@ -1,0 +1,59 @@
+//! A custom microarchitecture study built on the public API: how does
+//! BLAST's performance respond to the data-cache size, and where do its
+//! cycles go? (A miniature version of the paper's Figures 2 and 5.)
+//!
+//! ```text
+//! cargo run --release --example microarch_study
+//! ```
+
+use sapa_core::cpu::config::{CacheConfig, SimConfig};
+use sapa_core::cpu::Simulator;
+use sapa_core::workloads::{StandardInputs, Workload};
+
+fn main() {
+    // Trace BLAST once on the standard inputs (scaled down a little so
+    // the example finishes in seconds).
+    let inputs = StandardInputs::with_db_size(200, 2);
+    let bundle = Workload::Blast.trace(&inputs);
+    println!(
+        "BLAST trace: {} instructions, {} reported hits\n",
+        bundle.trace.len(),
+        bundle.hits.len()
+    );
+
+    // Sweep the D-L1 size.
+    println!("DL1 size   miss rate   IPC    cycles");
+    println!("--------------------------------------");
+    for kb in [4u64, 8, 16, 32, 64, 128, 256] {
+        let mut cfg = SimConfig::four_way();
+        cfg.mem.dl1 = CacheConfig {
+            size: Some(kb * 1024),
+            assoc: 2,
+            line: 128,
+            latency: 1,
+        };
+        let report = Simulator::new(cfg).run(&bundle.trace);
+        println!(
+            "{:>5}K    {:>6.2}%    {:>4.2}   {}",
+            kb,
+            report.dl1.miss_rate() * 100.0,
+            report.ipc(),
+            report.cycles
+        );
+    }
+
+    // Where do the stall cycles go at 32K?
+    let report = Simulator::new(SimConfig::four_way()).run(&bundle.trace);
+    println!("\ntop stall reasons (4-way, 32K/32K/1M):");
+    for (trauma, cycles) in report.traumas.top(8) {
+        if cycles == 0 {
+            continue;
+        }
+        println!(
+            "  {:<10} {:>9} cycles  {}",
+            trauma.label(),
+            cycles,
+            trauma.description()
+        );
+    }
+}

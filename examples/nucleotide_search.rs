@@ -1,0 +1,60 @@
+//! Nucleotide search over a 2-bit packed database — the data layout of
+//! the paper's Listing 1 (`READDB_UNPACK_BASE`, four bases per byte).
+//!
+//! ```text
+//! cargo run --release --example nucleotide_search
+//! ```
+
+use sapa_core::align::blastn::{self, BlastnParams, NtWordIndex};
+use sapa_core::bioseq::dna::{random_dna, DnaSequence, PackedDna};
+
+fn main() {
+    // A 120-base query and a small packed database with the query
+    // planted into one subject (plus its reverse complement in
+    // another — found via the standard both-strands trick).
+    let query = random_dna("query", 120, 42);
+
+    let mut subjects: Vec<PackedDna> = Vec::new();
+    let mut names: Vec<String> = Vec::new();
+    for k in 0..8u64 {
+        subjects.push(random_dna(format!("bg{k}"), 3_000, 100 + k).pack());
+        names.push(format!("bg{k}"));
+    }
+    let mut forward = random_dna("fwd", 3_000, 900).bases().to_vec();
+    forward[1000..1120].copy_from_slice(query.bases());
+    subjects.push(DnaSequence::new("fwd", forward).pack());
+    names.push("fwd (query planted)".into());
+
+    let rc = query.reverse_complement();
+    let mut reverse = random_dna("rev", 3_000, 901).bases().to_vec();
+    reverse[2000..2120].copy_from_slice(rc.bases());
+    subjects.push(DnaSequence::new("rev", reverse).pack());
+    names.push("rev (reverse-complement planted)".into());
+
+    let total_bases: usize = subjects.iter().map(PackedDna::len).sum();
+    let packed_bytes: usize = subjects.iter().map(|s| s.bytes().len()).sum();
+    println!(
+        "database: {} subjects, {} bases packed into {} bytes (4 bases/byte)\n",
+        subjects.len(),
+        total_bases,
+        packed_bytes
+    );
+
+    let params = BlastnParams::default();
+
+    // Forward strand.
+    let idx = NtWordIndex::build(&query, params.word_len);
+    let mut fwd_hits = blastn::search(&idx, subjects.iter(), &params, 10);
+    println!("forward-strand hits:");
+    for hit in fwd_hits.hits() {
+        println!("  {:<30} score {}", names[hit.seq_index], hit.score);
+    }
+
+    // Reverse strand: search with the query's reverse complement.
+    let idx_rc = NtWordIndex::build(&query.reverse_complement(), params.word_len);
+    let mut rev_hits = blastn::search(&idx_rc, subjects.iter(), &params, 10);
+    println!("reverse-strand hits:");
+    for hit in rev_hits.hits() {
+        println!("  {:<30} score {}", names[hit.seq_index], hit.score);
+    }
+}

@@ -1,0 +1,67 @@
+//! Quickstart: align two protein sequences and run a small database
+//! search with every engine.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use sapa_core::align::{blast, fasta, simd_sw, sw};
+use sapa_core::bioseq::matrix::GapPenalties;
+use sapa_core::bioseq::{AminoAcid, Sequence, SubstitutionMatrix};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let matrix = SubstitutionMatrix::blosum62();
+    let gaps = GapPenalties::paper(); // open 10, extend 1
+
+    // --- 1. Pairwise local alignment with traceback.
+    let a = Sequence::from_str("demo|A", "HEAGAWGHEEMKWVTFISLL")?;
+    let b = Sequence::from_str("demo|B", "PAWHEAEMKWVTFWSLL")?;
+    let alignment = sw::align(a.residues(), b.residues(), &matrix, gaps);
+    println!("Smith-Waterman score: {}", alignment.score);
+    println!("{}\n", alignment.pretty(a.residues(), b.residues()));
+
+    // --- 2. The same score from every Smith-Waterman machine.
+    let scalar = sw::score(a.residues(), b.residues(), &matrix, gaps);
+    let lazy = sw::score_lazy_f(a.residues(), b.residues(), &matrix, gaps);
+    let v128 = simd_sw::score::<8>(a.residues(), b.residues(), &matrix, gaps);
+    let v256 = simd_sw::score::<16>(a.residues(), b.residues(), &matrix, gaps);
+    assert!(scalar == lazy && lazy == v128 && v128 == v256);
+    println!("scalar == lazy-F == vmx128 == vmx256 == {scalar}\n");
+
+    // --- 3. A miniature database search with the two heuristics.
+    let db: Vec<Sequence> = vec![
+        Sequence::from_str("junk1", "PGPGPGPGPGPGPGPGPGPGPGPGPG")?,
+        Sequence::from_str("hit", "XXXMKWVTFISLLXXXHEAGAWGHEE")?,
+        Sequence::from_str("junk2", "NDNDNDNDNDNDNDNDNDNDNDNDND")?,
+    ];
+    let slices: Vec<&[AminoAcid]> = db.iter().map(|s| s.residues()).collect();
+
+    let widx = blast::WordIndex::build(a.residues(), &matrix, 11);
+    let mut blast_hits = blast::search(
+        &widx,
+        slices.clone(),
+        &matrix,
+        gaps,
+        &blast::BlastParams::default(),
+        10,
+    );
+    println!("BLAST hits:");
+    for hit in blast_hits.hits() {
+        println!("  {} score {}", db[hit.seq_index].id(), hit.score);
+    }
+
+    let kidx = fasta::KtupIndex::build(a.residues(), 2);
+    let mut fasta_hits = fasta::search(
+        &kidx,
+        slices,
+        &matrix,
+        gaps,
+        &fasta::FastaParams::default(),
+        10,
+    );
+    println!("FASTA hits:");
+    for hit in fasta_hits.hits() {
+        println!("  {} score {}", db[hit.seq_index].id(), hit.score);
+    }
+    Ok(())
+}

@@ -1,0 +1,125 @@
+//! Sensitivity study: the speed/sensitivity trade-off the paper's
+//! introduction describes (Shpaer et al.'s comparison, its reference
+//! [28]). Full Smith-Waterman must find remote homologs the heuristics
+//! miss, while everyone finds close homologs.
+
+use sapa_core::align::{blast, fasta, sw};
+use sapa_core::bioseq::db::DatabaseBuilder;
+use sapa_core::bioseq::matrix::GapPenalties;
+use sapa_core::bioseq::queries::QuerySet;
+use sapa_core::bioseq::{AminoAcid, Sequence};
+use sapa_core::bioseq::SubstitutionMatrix;
+
+struct Recall {
+    sw: usize,
+    blast: usize,
+    fasta: usize,
+    planted: usize,
+}
+
+fn measure(identity: f64, seed: u64) -> Recall {
+    let queries = QuerySet::paper();
+    let query = queries.default_query();
+    let db = DatabaseBuilder::new()
+        .seed(seed)
+        .sequences(120)
+        .homolog_fraction(0.1)
+        .homolog_identity(identity)
+        .homolog_template(query.clone())
+        .build();
+    let truth: Vec<usize> = db
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.description().contains("homolog"))
+        .map(|(i, _)| i)
+        .collect();
+
+    let m = SubstitutionMatrix::blosum62();
+    let g = GapPenalties::paper();
+    let slices: Vec<&[AminoAcid]> = db.iter().map(Sequence::residues).collect();
+
+    // A score threshold calibrated to the search space (roughly E≈1e-3).
+    let ka = sapa_core::align::stats::KarlinAltschul::for_gaps(g);
+    let threshold = ka.score_for_evalue(1e-3, query.len(), db.total_residues());
+
+    let sw_found: Vec<usize> = slices
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| sw::score(query.residues(), s, &m, g) >= threshold)
+        .map(|(i, _)| i)
+        .collect();
+
+    let widx = blast::WordIndex::build(query.residues(), &m, 11);
+    let mut blast_res = blast::search(
+        &widx,
+        slices.iter().copied(),
+        &m,
+        g,
+        &blast::BlastParams::default(),
+        500,
+    );
+    let blast_found: Vec<usize> = blast_res
+        .hits()
+        .iter()
+        .filter(|h| h.score >= threshold)
+        .map(|h| h.seq_index)
+        .collect();
+
+    let kidx = fasta::KtupIndex::build(query.residues(), 2);
+    let mut fasta_res = fasta::search(
+        &kidx,
+        slices.iter().copied(),
+        &m,
+        g,
+        &fasta::FastaParams::default(),
+        500,
+    );
+    let fasta_found: Vec<usize> = fasta_res
+        .hits()
+        .iter()
+        .filter(|h| h.score >= threshold)
+        .map(|h| h.seq_index)
+        .collect();
+
+    let hit = |found: &[usize]| truth.iter().filter(|t| found.contains(t)).count();
+    Recall {
+        sw: hit(&sw_found),
+        blast: hit(&blast_found),
+        fasta: hit(&fasta_found),
+        planted: truth.len(),
+    }
+}
+
+#[test]
+fn everyone_finds_close_homologs() {
+    let r = measure(0.8, 31);
+    assert!(r.planted > 0);
+    assert_eq!(r.sw, r.planted, "SW missed close homologs");
+    assert_eq!(r.blast, r.planted, "BLAST missed close homologs");
+    assert_eq!(r.fasta, r.planted, "FASTA missed close homologs");
+}
+
+#[test]
+fn smith_waterman_is_most_sensitive_on_remote_homologs() {
+    // At ~40% identity the heuristics start losing hits; SW (the
+    // rigorous algorithm) must dominate both.
+    let mut sw_total = 0usize;
+    let mut blast_total = 0usize;
+    let mut fasta_total = 0usize;
+    let mut planted = 0usize;
+    for seed in [41, 42, 43] {
+        let r = measure(0.4, seed);
+        sw_total += r.sw;
+        blast_total += r.blast;
+        fasta_total += r.fasta;
+        planted += r.planted;
+    }
+    assert!(planted >= 10, "too few homologs planted: {planted}");
+    assert!(sw_total >= blast_total, "SW {sw_total} < BLAST {blast_total}");
+    assert!(sw_total >= fasta_total, "SW {sw_total} < FASTA {fasta_total}");
+    // And SW still finds a sizable fraction at 40% identity.
+    assert!(
+        sw_total * 2 >= planted,
+        "SW recall too low: {sw_total}/{planted}"
+    );
+}

@@ -1,0 +1,149 @@
+//! Property-based tests of the cycle-accurate simulator: for random
+//! (but well-formed) traces, structural invariants must hold under any
+//! preset configuration.
+
+use proptest::prelude::*;
+use sapa_core::cpu::config::{BranchConfig, SimConfig};
+use sapa_core::cpu::Simulator;
+use sapa_core::isa::reg;
+use sapa_core::isa::trace::{Trace, Tracer};
+
+/// A tiny random "program": a list of abstract ops turned into a trace.
+#[derive(Debug, Clone)]
+enum Op {
+    Alu(u8, u8),
+    Load(u8, u32),
+    Store(u8, u32),
+    Branch(bool),
+    Vec(u8, u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..16, 0u8..16).prop_map(|(d, s)| Op::Alu(d, s)),
+        (0u8..16, 0u32..0x4000).prop_map(|(d, a)| Op::Load(d, a)),
+        (0u8..16, 0u32..0x4000).prop_map(|(s, a)| Op::Store(s, a)),
+        any::<bool>().prop_map(Op::Branch),
+        (0u8..16, 0u8..16).prop_map(|(d, s)| Op::Vec(d, s)),
+    ]
+}
+
+fn build_trace(ops: &[Op]) -> Trace {
+    let mut t = Tracer::new();
+    for (i, op) in ops.iter().enumerate() {
+        let site = (i % 37) as u32;
+        match *op {
+            Op::Alu(d, s) => t.ialu(site, reg::gpr(d), &[reg::gpr(s)]),
+            Op::Load(d, a) => t.iload(site, reg::gpr(d), 0x1000_0000 + a, 4, &[reg::gpr(1)]),
+            Op::Store(s, a) => t.istore(site, 0x1000_0000 + a, 4, &[reg::gpr(s)]),
+            Op::Branch(taken) => t.branch(site, taken, 0, &[reg::gpr(2)]),
+            Op::Vec(d, s) => t.vsimple(site, reg::vr(d), &[reg::vr(s)]),
+        }
+    }
+    t.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_instruction_retires_exactly_once(
+        ops in proptest::collection::vec(op_strategy(), 0..400),
+    ) {
+        let trace = build_trace(&ops);
+        for cfg in [SimConfig::four_way(), SimConfig::eight_way(), SimConfig::sixteen_way()] {
+            let r = Simulator::new(cfg).run(&trace);
+            prop_assert_eq!(r.instructions as usize, ops.len());
+        }
+    }
+
+    #[test]
+    fn cycles_bound_below_by_width_and_above_by_worst_case(
+        ops in proptest::collection::vec(op_strategy(), 1..400),
+    ) {
+        let trace = build_trace(&ops);
+        let cfg = SimConfig::four_way();
+        let retire_width = cfg.cpu.retire_width as u64;
+        let r = Simulator::new(cfg).run(&trace);
+        let n = ops.len() as u64;
+        prop_assert!(r.cycles >= n / retire_width);
+        // Worst case: every instruction serial through memory.
+        prop_assert!(r.cycles <= n * 400 + 10_000, "cycles {}", r.cycles);
+    }
+
+    #[test]
+    fn stall_cycles_never_exceed_total_cycles(
+        ops in proptest::collection::vec(op_strategy(), 0..300),
+    ) {
+        let trace = build_trace(&ops);
+        let r = Simulator::new(SimConfig::four_way()).run(&trace);
+        prop_assert!(r.traumas.total() <= r.cycles);
+    }
+
+    #[test]
+    fn perfect_bp_never_slower(
+        ops in proptest::collection::vec(op_strategy(), 1..300),
+    ) {
+        let trace = build_trace(&ops);
+        let real = Simulator::new(SimConfig::four_way()).run(&trace);
+        let mut cfg = SimConfig::four_way();
+        cfg.branch = BranchConfig::perfect();
+        let perfect = Simulator::new(cfg).run(&trace);
+        prop_assert!(perfect.cycles <= real.cycles,
+            "perfect {} > real {}", perfect.cycles, real.cycles);
+    }
+
+    #[test]
+    fn wider_machines_never_lose_much(
+        ops in proptest::collection::vec(op_strategy(), 1..300),
+    ) {
+        // Wider presets have strictly more of every resource; allow a
+        // small tolerance for scheduling-order artifacts.
+        let trace = build_trace(&ops);
+        let four = Simulator::new(SimConfig::four_way()).run(&trace);
+        let sixteen = Simulator::new(SimConfig::sixteen_way()).run(&trace);
+        prop_assert!(
+            sixteen.cycles as f64 <= four.cycles as f64 * 1.10 + 50.0,
+            "16-way {} vs 4-way {}", sixteen.cycles, four.cycles
+        );
+    }
+
+    #[test]
+    fn cache_stats_are_consistent(
+        ops in proptest::collection::vec(op_strategy(), 0..300),
+    ) {
+        let trace = build_trace(&ops);
+        let mem_ops = trace.stats().mem_ops();
+        let r = Simulator::new(SimConfig::four_way()).run(&trace);
+        prop_assert_eq!(r.dl1.accesses, mem_ops);
+        prop_assert!(r.dl1.misses <= r.dl1.accesses);
+        prop_assert!(r.l2.misses <= r.l2.accesses);
+    }
+
+    #[test]
+    fn branch_stats_match_trace(
+        ops in proptest::collection::vec(op_strategy(), 0..300),
+    ) {
+        let trace = build_trace(&ops);
+        let cond = trace
+            .insts()
+            .iter()
+            .filter(|i| i.is_cond_branch())
+            .count() as u64;
+        let r = Simulator::new(SimConfig::four_way()).run(&trace);
+        prop_assert_eq!(r.bp_predictions, cond);
+        prop_assert!(r.bp_mispredictions <= r.bp_predictions);
+    }
+
+    #[test]
+    fn occupancy_histograms_account_every_cycle(
+        ops in proptest::collection::vec(op_strategy(), 0..300),
+    ) {
+        let trace = build_trace(&ops);
+        let r = Simulator::new(SimConfig::four_way()).run(&trace);
+        let inflight: u64 = r.inflight_occupancy.as_slice().iter().sum();
+        prop_assert_eq!(inflight, r.cycles);
+        let retq: u64 = r.retireq_occupancy.as_slice().iter().sum();
+        prop_assert_eq!(retq, r.cycles);
+    }
+}
