@@ -352,6 +352,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::erasing_op, clippy::identity_op)] // spelled-out base-20 packing
     fn pack_word_basics() {
         let s = seq("ARN");
         assert_eq!(pack_word(&s, 0), Some((0 * 20 + 1) * 20 + 2));

@@ -233,6 +233,7 @@ pub fn score_subject(
     for r in regions.iter_mut() {
         let mut score = 0i32;
         let mut best = 0i32;
+        #[allow(clippy::needless_range_loop)] // index pairs with the diagonal offset
         for j in r.start..=r.end {
             let i = j as isize - r.diag;
             if i < 0 || i as usize >= m {

@@ -55,6 +55,7 @@ pub mod parallel;
 pub mod result;
 pub mod simd_sw;
 pub mod stats;
+pub mod striped;
 pub mod sw;
 pub mod xdrop;
 

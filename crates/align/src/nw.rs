@@ -34,8 +34,8 @@ pub fn score(
     // h[j] = H[i-1][j], f[j] = F[i-1][j]; E carried in registers.
     let mut h = vec![0i32; n + 1];
     let mut f = vec![NEG; n + 1];
-    for j in 1..=n {
-        h[j] = -gaps.gap_cost(j as u32);
+    for (j, hj) in h.iter_mut().enumerate().skip(1) {
+        *hj = -gaps.gap_cost(j as u32);
     }
 
     for (i, &ai) in a.iter().enumerate() {

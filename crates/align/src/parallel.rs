@@ -3,20 +3,51 @@
 //! Database search is embarrassingly parallel across subjects — the
 //! paper's related-work section notes that most prior art studies
 //! exactly this axis (cluster/SMP scaling) while the paper itself
-//! studies the single processor. This module provides the simple
-//! subject-parallel driver a downstream user expects: deterministic
-//! results regardless of thread count, work-stealing over an atomic
-//! cursor, no dependencies beyond `std`.
+//! studies the single processor. This module provides two layers:
+//!
+//! * [`par_scores`] / [`par_search`] — a generic subject-parallel
+//!   driver for any pure scoring function, with **chunked** work
+//!   claiming (workers grab batches of subjects per atomic `fetch_add`
+//!   instead of one, cutting cursor contention on short subjects);
+//! * [`search_striped`] / [`striped_scores`] — the batched striped
+//!   Smith-Waterman pipeline: one shared [`QueryProfile`] threaded
+//!   through all workers, per-worker reusable row buffers (zero
+//!   per-subject allocation), adaptive 8-bit scoring with 16-bit
+//!   rescore of overflowing subjects, and deterministic,
+//!   thread-count-independent results.
+//!
+//! No dependencies beyond `std`; determinism is enforced by tests that
+//! compare thread counts {1, 2, 8}.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use sapa_bioseq::matrix::GapPenalties;
+use sapa_bioseq::profile::QueryProfile;
+use sapa_bioseq::{AminoAcid, SubstitutionMatrix};
+
 use crate::result::{Hit, SearchResults};
+use crate::striped::{self, ByteWorkspace, Workspace};
+
+/// Subjects claimed per `fetch_add` when the caller does not choose:
+/// large enough that the shared cursor is touched ~1/16th as often,
+/// small enough that tail imbalance stays negligible for real database
+/// sizes.
+pub const DEFAULT_CHUNK: usize = 16;
+
+/// Picks a claim-chunk size: [`DEFAULT_CHUNK`], shrunk so that every
+/// thread still gets several claims (keeps small inputs balanced).
+fn auto_chunk(subject_count: usize, threads: usize) -> usize {
+    let fair = (subject_count / (threads * 4)).max(1);
+    fair.min(DEFAULT_CHUNK)
+}
 
 /// Scores every subject with `score_fn` using `threads` worker
 /// threads, returning per-subject scores in subject order (independent
 /// of the thread count).
 ///
 /// `score_fn` is called once per subject index and must be pure.
+/// Work is claimed in chunks chosen automatically; use
+/// [`par_scores_chunked`] to pin the chunk size.
 ///
 /// # Panics
 ///
@@ -25,17 +56,38 @@ pub fn par_scores<F>(subject_count: usize, threads: usize, score_fn: F) -> Vec<i
 where
     F: Fn(usize) -> i32 + Sync,
 {
+    let chunk = auto_chunk(subject_count, threads.max(1));
+    par_scores_chunked(subject_count, threads, chunk, score_fn)
+}
+
+/// [`par_scores`] with an explicit claim-chunk size: each worker grabs
+/// `chunk` consecutive subjects per `fetch_add` on the shared cursor.
+///
+/// # Panics
+///
+/// Panics if `threads` or `chunk` is 0, or propagates a panic from
+/// `score_fn`.
+pub fn par_scores_chunked<F>(
+    subject_count: usize,
+    threads: usize,
+    chunk: usize,
+    score_fn: F,
+) -> Vec<i32>
+where
+    F: Fn(usize) -> i32 + Sync,
+{
     assert!(threads > 0, "need at least one thread");
+    assert!(chunk > 0, "need a positive chunk size");
     let mut scores = vec![0i32; subject_count];
     if subject_count == 0 {
         return scores;
     }
-    let threads = threads.min(subject_count);
+    let threads = threads.min(subject_count.div_ceil(chunk));
     let cursor = AtomicUsize::new(0);
 
-    // Hand each worker a disjoint set of result slots via a mutable
-    // pointer-free channel: collect (index, score) pairs per worker and
-    // merge afterwards — simpler than slot slicing and still O(n).
+    // Each worker records (index, score) pairs for the chunks it
+    // claimed; the merge below restores subject order, so the output is
+    // identical no matter how the chunks were interleaved.
     let mut partials: Vec<Vec<(usize, i32)>> = Vec::new();
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
@@ -45,11 +97,14 @@ where
             handles.push(scope.spawn(move || {
                 let mut local = Vec::new();
                 loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= subject_count {
+                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= subject_count {
                         break;
                     }
-                    local.push((i, score_fn(i)));
+                    let end = (start + chunk).min(subject_count);
+                    for i in start..end {
+                        local.push((i, score_fn(i)));
+                    }
                 }
                 local
             }));
@@ -84,6 +139,10 @@ where
     F: Fn(usize) -> i32 + Sync,
 {
     let scores = par_scores(subject_count, threads, score_fn);
+    collect_hits(scores, keep, min_score)
+}
+
+fn collect_hits(scores: Vec<i32>, keep: usize, min_score: i32) -> SearchResults {
     let mut results = SearchResults::new(keep);
     for (seq_index, score) in scores.into_iter().enumerate() {
         if score >= min_score {
@@ -91,6 +150,145 @@ where
         }
     }
     results
+}
+
+/// Counters from a striped database scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StripedStats {
+    /// Subjects scored.
+    pub subjects: usize,
+    /// Subjects whose byte pass overflowed and were rescored in 16-bit
+    /// (the SSW recovery path; normally a small fraction).
+    pub rescored: usize,
+}
+
+/// Scores every subject against a shared striped [`QueryProfile`] on
+/// `threads` worker threads.
+///
+/// This is the database-search hot path: workers claim subjects in
+/// chunks, keep one reusable byte + word workspace each (no per-subject
+/// allocation — buffer sizes depend only on the query), run the 8-bit
+/// kernel first and rescore overflowing subjects in 16-bit. Scores come
+/// back in subject order regardless of thread count.
+///
+/// `LB`/`LW` are the byte/word lane counts of one register width:
+/// `<16, 8>` for the 128-bit Altivec model, `<32, 16>` for the paper's
+/// 256-bit extension.
+///
+/// # Panics
+///
+/// Panics if `threads` is 0 or the profile's lane counts don't match
+/// `LB`/`LW`.
+pub fn striped_scores<const LB: usize, const LW: usize>(
+    profile: &QueryProfile,
+    subjects: &[&[AminoAcid]],
+    gaps: GapPenalties,
+    threads: usize,
+) -> (Vec<i32>, StripedStats) {
+    assert!(threads > 0, "need at least one thread");
+    let subject_count = subjects.len();
+    let mut scores = vec![0i32; subject_count];
+    if subject_count == 0 {
+        return (scores, StripedStats::default());
+    }
+    let chunk = auto_chunk(subject_count, threads);
+    let threads = threads.min(subject_count.div_ceil(chunk));
+    let cursor = AtomicUsize::new(0);
+    let rescored = AtomicUsize::new(0);
+
+    let mut partials: Vec<Vec<(usize, i32)>> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let cursor = &cursor;
+            let rescored = &rescored;
+            handles.push(scope.spawn(move || {
+                // Reused across every subject this worker scores.
+                let mut bws = ByteWorkspace::<LB>::new();
+                let mut ws = Workspace::<LW>::new();
+                let mut local = Vec::new();
+                let mut local_rescored = 0usize;
+                loop {
+                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= subject_count {
+                        break;
+                    }
+                    let end = (start + chunk).min(subject_count);
+                    for (i, subject) in subjects[start..end].iter().enumerate() {
+                        let s = match striped::score_bytes_with_profile::<LB>(
+                            profile, subject, gaps, &mut bws,
+                        ) {
+                            Some(s) => s,
+                            None => {
+                                local_rescored += 1;
+                                striped::score_with_profile::<LW>(
+                                    profile, subject, gaps, &mut ws,
+                                )
+                            }
+                        };
+                        local.push((start + i, s));
+                    }
+                }
+                rescored.fetch_add(local_rescored, Ordering::Relaxed);
+                local
+            }));
+        }
+        for h in handles {
+            partials.push(h.join().expect("worker panicked"));
+        }
+    });
+    for part in partials {
+        for (i, s) in part {
+            scores[i] = s;
+        }
+    }
+    let stats = StripedStats {
+        subjects: subject_count,
+        rescored: rescored.load(Ordering::Relaxed),
+    };
+    (scores, stats)
+}
+
+/// Ranked striped database search against a prebuilt profile: the entry
+/// point for callers that amortize one [`QueryProfile`] (possibly from
+/// a [`sapa_bioseq::profile::ProfileCache`]) over many scans.
+///
+/// Hit ordering is deterministic and thread-count independent:
+/// descending score, ties broken by ascending subject index.
+///
+/// # Panics
+///
+/// Panics if `threads` or `keep` is 0.
+pub fn search_striped_with_profile<const LB: usize, const LW: usize>(
+    profile: &QueryProfile,
+    subjects: &[&[AminoAcid]],
+    gaps: GapPenalties,
+    threads: usize,
+    keep: usize,
+    min_score: i32,
+) -> (SearchResults, StripedStats) {
+    let (scores, stats) = striped_scores::<LB, LW>(profile, subjects, gaps, threads);
+    (collect_hits(scores, keep, min_score), stats)
+}
+
+/// Ranked striped database search: builds the query profile once,
+/// shares it across all workers, and returns the best `keep` hits with
+/// scores of at least `min_score` plus scan statistics.
+///
+/// # Panics
+///
+/// Panics if `threads` or `keep` is 0.
+pub fn search_striped<const LB: usize, const LW: usize>(
+    query: &[AminoAcid],
+    subjects: &[&[AminoAcid]],
+    matrix: &SubstitutionMatrix,
+    gaps: GapPenalties,
+    threads: usize,
+    keep: usize,
+    min_score: i32,
+) -> (SearchResults, StripedStats) {
+    let profile = QueryProfile::build(query, matrix, LW);
+    search_striped_with_profile::<LB, LW>(&profile, subjects, gaps, threads, keep, min_score)
 }
 
 #[cfg(test)]
@@ -132,6 +330,21 @@ mod tests {
     }
 
     #[test]
+    fn chunked_claiming_is_thread_count_invariant() {
+        // The satellite regression: chunked claiming must return
+        // identical results for threads ∈ {1, 2, 8}, at several chunk
+        // sizes including ones that don't divide the subject count.
+        let n = 103;
+        let expect: Vec<i32> = (0..n).map(|i| (i * i % 97) as i32).collect();
+        for chunk in [1usize, 3, 16, 64, 200] {
+            for threads in [1usize, 2, 8] {
+                let got = par_scores_chunked(n, threads, chunk, |i| (i * i % 97) as i32);
+                assert_eq!(got, expect, "chunk {chunk} threads {threads}");
+            }
+        }
+    }
+
+    #[test]
     fn ranked_search_matches_serial_filtering() {
         let scores = [5, 40, 12, 40, 3, 99];
         let mut r = par_search(scores.len(), 3, 4, 10, |i| scores[i]);
@@ -147,6 +360,12 @@ mod tests {
     #[test]
     fn empty_database_is_fine() {
         assert!(par_scores(0, 4, |_| 0).is_empty());
+        let m = SubstitutionMatrix::blosum62();
+        let profile = QueryProfile::build(&[], &m, 8);
+        let (scores, stats) =
+            striped_scores::<16, 8>(&profile, &[], GapPenalties::paper(), 4);
+        assert!(scores.is_empty());
+        assert_eq!(stats.subjects, 0);
     }
 
     #[test]
@@ -156,8 +375,127 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "positive chunk")]
+    fn zero_chunk_rejected() {
+        let _ = par_scores_chunked(3, 1, 0, |_| 0);
+    }
+
+    #[test]
     fn more_threads_than_subjects_is_fine() {
         let v = par_scores(2, 16, |i| i as i32);
         assert_eq!(v, vec![0, 1]);
+    }
+
+    #[test]
+    fn striped_scores_match_scalar_oracle() {
+        let queries = QuerySet::paper();
+        let query = queries.by_accession("P02232").unwrap().clone();
+        let db = DatabaseBuilder::new()
+            .seed(11)
+            .sequences(40)
+            .median_length(90.0)
+            .homolog_template(query.clone())
+            .homolog_fraction(0.2) // high-identity subjects overflow u8
+            .build();
+        let m = SubstitutionMatrix::blosum62();
+        let g = GapPenalties::paper();
+        let slices: Vec<&[sapa_bioseq::AminoAcid]> =
+            db.iter().map(|s| s.residues()).collect();
+
+        let profile = QueryProfile::build(query.residues(), &m, 8);
+        let (scores, stats) = striped_scores::<16, 8>(&profile, &slices, g, 4);
+        assert_eq!(stats.subjects, db.len());
+        for (i, s) in db.iter().enumerate() {
+            assert_eq!(
+                scores[i],
+                sw::score(query.residues(), s.residues(), &m, g),
+                "subject {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn striped_scores_are_thread_count_invariant() {
+        let queries = QuerySet::paper();
+        let query = queries.by_accession("P02232").unwrap().clone();
+        let db = DatabaseBuilder::new()
+            .seed(5)
+            .sequences(25)
+            .median_length(70.0)
+            .homolog_template(query.clone())
+            .build();
+        let m = SubstitutionMatrix::blosum62();
+        let g = GapPenalties::paper();
+        let slices: Vec<&[sapa_bioseq::AminoAcid]> =
+            db.iter().map(|s| s.residues()).collect();
+        let profile = QueryProfile::build(query.residues(), &m, 8);
+
+        let (one, s1) = striped_scores::<16, 8>(&profile, &slices, g, 1);
+        let (two, s2) = striped_scores::<16, 8>(&profile, &slices, g, 2);
+        let (eight, s8) = striped_scores::<16, 8>(&profile, &slices, g, 8);
+        assert_eq!(one, two);
+        assert_eq!(one, eight);
+        // The rescore count is a property of the data, not the threads.
+        assert_eq!(s1.rescored, s2.rescored);
+        assert_eq!(s1.rescored, s8.rescored);
+    }
+
+    #[test]
+    fn striped_search_finds_planted_homolog_and_counts_rescores() {
+        let queries = QuerySet::paper();
+        let query = queries.by_accession("P02232").unwrap().clone();
+        let db = DatabaseBuilder::new()
+            .seed(9)
+            .sequences(50)
+            .median_length(100.0)
+            .homolog_template(query.clone())
+            .homolog_fraction(0.1)
+            .build();
+        let m = SubstitutionMatrix::blosum62();
+        let g = GapPenalties::paper();
+        let slices: Vec<&[sapa_bioseq::AminoAcid]> =
+            db.iter().map(|s| s.residues()).collect();
+
+        // A self-match subject guarantees at least one byte overflow.
+        let mut with_self = slices.clone();
+        with_self.push(query.residues());
+
+        let (mut results, stats) = search_striped::<16, 8>(
+            query.residues(),
+            &with_self,
+            &m,
+            g,
+            4,
+            10,
+            50,
+        );
+        assert!(stats.rescored >= 1, "self-match must overflow the byte pass");
+        let best = results.hits()[0];
+        assert_eq!(best.seq_index, with_self.len() - 1, "self-match ranks first");
+        assert_eq!(
+            best.score,
+            sw::score(query.residues(), query.residues(), &m, g)
+        );
+    }
+
+    #[test]
+    fn both_register_widths_agree() {
+        let queries = QuerySet::paper();
+        let query = queries.by_accession("P02232").unwrap().clone();
+        let db = DatabaseBuilder::new()
+            .seed(13)
+            .sequences(20)
+            .homolog_template(query.clone())
+            .build();
+        let m = SubstitutionMatrix::blosum62();
+        let g = GapPenalties::paper();
+        let slices: Vec<&[sapa_bioseq::AminoAcid]> =
+            db.iter().map(|s| s.residues()).collect();
+
+        let p128 = QueryProfile::build(query.residues(), &m, 8);
+        let p256 = QueryProfile::build(query.residues(), &m, 16);
+        let (a, _) = striped_scores::<16, 8>(&p128, &slices, g, 3);
+        let (b, _) = striped_scores::<32, 16>(&p256, &slices, g, 3);
+        assert_eq!(a, b);
     }
 }

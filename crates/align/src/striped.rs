@@ -1,0 +1,471 @@
+//! Farrar striped SIMD Smith-Waterman — the database-search fast path.
+//!
+//! The paper's `SW_vmx128`/`SW_vmx256` workloads use the Wozniak
+//! anti-diagonal formulation ([`crate::simd_sw`]), which pays two taxes
+//! every cell: a per-diagonal lane shuffle (`vperm`, the dominant trauma
+//! in the paper's Fig. 9) and a scalar gather of substitution scores.
+//! Farrar's *striped* layout (Bioinformatics 2007), as productionized by
+//! the SSW library (Zhao et al.) and refined by Snytsar's lazy-F
+//! analysis, removes both:
+//!
+//! * the query is pre-laid-out in a [`QueryProfile`] so the inner loop
+//!   loads a whole vector of substitution scores with one load, and
+//! * vertical-gap (`F`) propagation across lane boundaries is deferred
+//!   to a rare *lazy-F* correction loop that usually exits after one
+//!   check.
+//!
+//! Two precisions share the machinery:
+//!
+//! * [`score_with_profile`] — 16-bit signed lanes (`Vector<L>`), exact
+//!   for every score below `i16::MAX`;
+//! * [`score_bytes_with_profile`] — biased 8-bit unsigned lanes
+//!   (`ByteVector<L>`, twice the lanes per register) with saturation
+//!   detection; [`score_adaptive_with_profile`] runs bytes first and
+//!   rescores the rare overflowing subject in 16-bit — the SSW
+//!   overflow-recovery scheme.
+//!
+//! Every variant is score-identical to the scalar Gotoh oracle
+//! ([`crate::sw::score`]); the property suite in `tests/properties.rs`
+//! enforces that at both lane widths, both precisions, and across the
+//! overflow boundary.
+//!
+//! ```
+//! use sapa_align::striped;
+//! use sapa_bioseq::{Sequence, SubstitutionMatrix};
+//! use sapa_bioseq::matrix::GapPenalties;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let a = Sequence::from_str("a", "HEAGAWGHEE")?;
+//! let b = Sequence::from_str("b", "PAWHEAE")?;
+//! let m = SubstitutionMatrix::blosum62();
+//! let g = GapPenalties::paper();
+//! assert_eq!(striped::score::<8>(a.residues(), b.residues(), &m, g), 17);
+//! assert_eq!(striped::score_adaptive::<16, 8>(a.residues(), b.residues(), &m, g), 17);
+//! # Ok(())
+//! # }
+//! ```
+
+use sapa_bioseq::matrix::GapPenalties;
+use sapa_bioseq::profile::{QueryProfile, WORD_PAD};
+use sapa_bioseq::{AminoAcid, SubstitutionMatrix};
+use sapa_vsimd::{ByteVector, Vector};
+
+/// Reusable 16-bit row state for the striped kernel: three arrays of
+/// `segments` vectors (H current, H previous, E). A database-search
+/// worker allocates one workspace and reuses it for every subject —
+/// the buffers are sized by the *query*, which is fixed for the scan.
+#[derive(Debug, Clone, Default)]
+pub struct Workspace<const L: usize> {
+    h_store: Vec<Vector<L>>,
+    h_load: Vec<Vector<L>>,
+    e: Vec<Vector<L>>,
+}
+
+impl<const L: usize> Workspace<L> {
+    /// An empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sizes the buffers for `segments` and resets per-subject state.
+    fn reset(&mut self, segments: usize) {
+        let neg = Vector::<L>::splat(WORD_PAD);
+        self.h_store.clear();
+        self.h_store.resize(segments, Vector::zero());
+        self.h_load.clear();
+        self.h_load.resize(segments, Vector::zero());
+        self.e.clear();
+        self.e.resize(segments, neg);
+    }
+}
+
+/// Reusable 8-bit row state, the byte-precision sibling of
+/// [`Workspace`].
+#[derive(Debug, Clone, Default)]
+pub struct ByteWorkspace<const L: usize> {
+    h_store: Vec<ByteVector<L>>,
+    h_load: Vec<ByteVector<L>>,
+    e: Vec<ByteVector<L>>,
+}
+
+impl<const L: usize> ByteWorkspace<L> {
+    /// An empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn reset(&mut self, segments: usize) {
+        self.h_store.clear();
+        self.h_store.resize(segments, ByteVector::zero());
+        self.h_load.clear();
+        self.h_load.resize(segments, ByteVector::zero());
+        self.e.clear();
+        self.e.resize(segments, ByteVector::zero());
+    }
+}
+
+/// Striped Smith-Waterman in 16-bit lanes against a prebuilt profile.
+///
+/// Exact as long as the true score stays below `i16::MAX` (the same
+/// contract as [`crate::simd_sw::score`]). `ws` is per-subject scratch
+/// that callers reuse across a database scan.
+///
+/// # Panics
+///
+/// Panics if the profile was built for a different word lane count.
+pub fn score_with_profile<const L: usize>(
+    profile: &QueryProfile,
+    b: &[AminoAcid],
+    gaps: GapPenalties,
+    ws: &mut Workspace<L>,
+) -> i32 {
+    assert_eq!(
+        profile.word_lanes(),
+        L,
+        "profile built for {} word lanes, kernel instantiated for {L}",
+        profile.word_lanes()
+    );
+    if profile.query_len() == 0 || b.is_empty() {
+        return 0;
+    }
+    let segs = profile.word_segments();
+    let open_ext = Vector::<L>::splat((gaps.open + gaps.extend) as i16);
+    let ext = Vector::<L>::splat(gaps.extend as i16);
+    let zero = Vector::<L>::zero();
+    let neg = Vector::<L>::splat(WORD_PAD);
+
+    ws.reset(segs);
+    let mut vmax = zero;
+
+    for &bj in b {
+        let row = profile.word_row(bj);
+        // F starts dead: within-column chains that cross a lane
+        // boundary are repaired by the lazy-F loop below.
+        let mut vf = neg;
+        // The diagonal input of segment 0 is the previous column's last
+        // segment shifted one lane up; lane 0 gets the H[0][j-1] = 0
+        // local-alignment boundary.
+        let mut vh = ws.h_store[segs - 1].shift_in_first(0);
+        std::mem::swap(&mut ws.h_store, &mut ws.h_load);
+
+        for s in 0..segs {
+            // One aligned load replaces the anti-diagonal kernel's
+            // per-cell score gather.
+            let p = Vector::<L>::from_slice(&row[s * L..]);
+            vh = vh.adds(p);
+            let e = ws.e[s];
+            vh = vh.max(e).max(vf).max(zero);
+            vmax = vmax.max(vh);
+            ws.h_store[s] = vh;
+
+            let h_open = vh.subs(open_ext);
+            ws.e[s] = e.subs(ext).max(h_open);
+            vf = vf.subs(ext).max(h_open);
+
+            vh = ws.h_load[s];
+        }
+
+        // Lazy-F: propagate the column's F across lane boundaries until
+        // it can no longer raise any H (Farrar's termination test). At
+        // most L wraps — each shift advances the chain one lane.
+        'lazy: for _ in 0..L {
+            vf = vf.shift_in_first(WORD_PAD);
+            for s in 0..segs {
+                let h = ws.h_store[s].max(vf);
+                ws.h_store[s] = h;
+                vmax = vmax.max(h);
+                let h_open = h.subs(open_ext);
+                // A raised H can also feed next column's E.
+                ws.e[s] = ws.e[s].max(h_open);
+                vf = vf.subs(ext);
+                if !vf.any_gt(h_open) {
+                    break 'lazy;
+                }
+            }
+        }
+    }
+
+    i32::from(vmax.horizontal_max()).max(0)
+}
+
+/// Byte-precision striped Smith-Waterman against a prebuilt profile:
+/// twice the lanes of the word kernel, `None` on (potential) overflow.
+///
+/// Scores are biased by `profile.bias()` during the profile add, and the
+/// kernel bails out as soon as any cell comes within one matrix-maximum
+/// of the `u8` ceiling — a `Some` result is always exact.
+///
+/// # Panics
+///
+/// Panics if the profile was built for a different byte lane count.
+pub fn score_bytes_with_profile<const L: usize>(
+    profile: &QueryProfile,
+    b: &[AminoAcid],
+    gaps: GapPenalties,
+    ws: &mut ByteWorkspace<L>,
+) -> Option<i32> {
+    assert_eq!(
+        profile.byte_lanes(),
+        L,
+        "profile built for {} byte lanes, kernel instantiated for {L}",
+        profile.byte_lanes()
+    );
+    if profile.query_len() == 0 || b.is_empty() {
+        return Some(0);
+    }
+    if !profile.has_bytes() {
+        return None; // matrix range too wide for biased u8
+    }
+    // Saturation guard: while every H stays below this, no saturating
+    // add in the next column can clip (H + bias + max_score < 255).
+    let guard = 255 - profile.bias() - profile.max_score();
+    if guard <= 0 {
+        return None;
+    }
+    let segs = profile.byte_segments();
+    let bias_v = ByteVector::<L>::splat(profile.bias() as u8);
+    let open_ext = ByteVector::<L>::splat((gaps.open + gaps.extend).min(255) as u8);
+    let ext = ByteVector::<L>::splat(gaps.extend.min(255) as u8);
+
+    ws.reset(segs);
+    let mut best = 0u8;
+
+    for &bj in b {
+        let row = profile.byte_row(bj).expect("byte layout checked above");
+        // Unsigned saturating subtraction floors at 0 — exactly the
+        // local-alignment zero floor, so F/E start dead at 0.
+        let mut vf = ByteVector::<L>::zero();
+        let mut vh = ws.h_store[segs - 1].shift_in_first(0);
+        std::mem::swap(&mut ws.h_store, &mut ws.h_load);
+        let mut colmax = ByteVector::<L>::zero();
+
+        for s in 0..segs {
+            let p = ByteVector::<L>::from_slice(&row[s * L..]);
+            vh = vh.adds(p).subs(bias_v);
+            let e = ws.e[s];
+            vh = vh.max(e).max(vf);
+            colmax = colmax.max(vh);
+            ws.h_store[s] = vh;
+
+            let h_open = vh.subs(open_ext);
+            ws.e[s] = e.subs(ext).max(h_open);
+            vf = vf.subs(ext).max(h_open);
+
+            vh = ws.h_load[s];
+        }
+
+        'lazy: for _ in 0..L {
+            vf = vf.shift_in_first(0);
+            for s in 0..segs {
+                let h = ws.h_store[s].max(vf);
+                ws.h_store[s] = h;
+                colmax = colmax.max(h);
+                let h_open = h.subs(open_ext);
+                ws.e[s] = ws.e[s].max(h_open);
+                vf = vf.subs(ext);
+                if !vf.any_gt(h_open) {
+                    break 'lazy;
+                }
+            }
+        }
+
+        let cm = colmax.horizontal_max();
+        if cm > best {
+            best = cm;
+        }
+        if i32::from(best) >= guard {
+            return None; // next column could clip — rescore in 16-bit
+        }
+    }
+
+    Some(i32::from(best))
+}
+
+/// Adaptive-precision striped search step: byte pass first (double the
+/// lanes), exact 16-bit rescore on overflow. `LB` is the byte lane
+/// count and `LW` the word lane count of the same register width
+/// (16/8 for the 128-bit model, 32/16 for the 256-bit extension).
+pub fn score_adaptive_with_profile<const LB: usize, const LW: usize>(
+    profile: &QueryProfile,
+    b: &[AminoAcid],
+    gaps: GapPenalties,
+    bws: &mut ByteWorkspace<LB>,
+    ws: &mut Workspace<LW>,
+) -> i32 {
+    match score_bytes_with_profile::<LB>(profile, b, gaps, bws) {
+        Some(s) => s,
+        None => score_with_profile::<LW>(profile, b, gaps, ws),
+    }
+}
+
+/// One-shot 16-bit striped score: builds the profile and workspace
+/// internally. For database scans, build a [`QueryProfile`] once and
+/// use [`score_with_profile`] (or the batched driver in
+/// [`crate::parallel`]) instead.
+pub fn score<const L: usize>(
+    a: &[AminoAcid],
+    b: &[AminoAcid],
+    matrix: &SubstitutionMatrix,
+    gaps: GapPenalties,
+) -> i32 {
+    let profile = QueryProfile::build(a, matrix, L);
+    let mut ws = Workspace::<L>::new();
+    score_with_profile::<L>(&profile, b, gaps, &mut ws)
+}
+
+/// One-shot byte-precision striped score (`None` on overflow).
+///
+/// `L` is the byte lane count; the profile is built for `L / 2` word
+/// lanes, matching [`score_adaptive`].
+///
+/// # Panics
+///
+/// Panics if `L` is odd.
+pub fn score_bytes<const L: usize>(
+    a: &[AminoAcid],
+    b: &[AminoAcid],
+    matrix: &SubstitutionMatrix,
+    gaps: GapPenalties,
+) -> Option<i32> {
+    assert!(L.is_multiple_of(2), "byte lane count must be even");
+    let profile = QueryProfile::build(a, matrix, L / 2);
+    let mut ws = ByteWorkspace::<L>::new();
+    score_bytes_with_profile::<L>(&profile, b, gaps, &mut ws)
+}
+
+/// One-shot adaptive striped score (byte pass + 16-bit rescore).
+pub fn score_adaptive<const LB: usize, const LW: usize>(
+    a: &[AminoAcid],
+    b: &[AminoAcid],
+    matrix: &SubstitutionMatrix,
+    gaps: GapPenalties,
+) -> i32 {
+    let profile = QueryProfile::build(a, matrix, LW);
+    let mut bws = ByteWorkspace::<LB>::new();
+    let mut ws = Workspace::<LW>::new();
+    score_adaptive_with_profile::<LB, LW>(&profile, b, gaps, &mut bws, &mut ws)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sw;
+    use sapa_bioseq::Sequence;
+
+    fn seq(s: &str) -> Vec<AminoAcid> {
+        Sequence::from_str("t", s).unwrap().residues().to_vec()
+    }
+
+    fn bl62() -> SubstitutionMatrix {
+        SubstitutionMatrix::blosum62()
+    }
+
+    #[test]
+    fn matches_scalar_on_small_cases() {
+        let m = bl62();
+        let g = GapPenalties::paper();
+        let cases = [
+            ("A", "A"),
+            ("A", "W"),
+            ("HEAGAWGHEE", "PAWHEAE"),
+            ("MKVLAA", "MKVLAA"),
+            ("ACDEFGHIKLMNPQRSTVWY", "YWVTSRQPNMLKIHGFEDCA"),
+            ("MKWVTFISLLFLFSSAYS", "MKWVTFISLL"),
+            ("WW", "WWWWWWWWWWWWWWWWWWWWWWWW"),
+        ];
+        for (x, y) in cases {
+            let a = seq(x);
+            let b = seq(y);
+            let expect = sw::score(&a, &b, &m, g);
+            assert_eq!(score::<8>(&a, &b, &m, g), expect, "striped-128 {x} vs {y}");
+            assert_eq!(score::<16>(&a, &b, &m, g), expect, "striped-256 {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn lane_boundary_gaps_need_lazy_f() {
+        // A deletion spanning several query rows forces F chains across
+        // lane boundaries — the exact case the lazy-F loop repairs.
+        let m = bl62();
+        let g = GapPenalties::new(2, 1);
+        let a = seq("ACDEFGHIKLMNPQRSTVWYACDEFGHIKL");
+        let b = seq("ACDEFGPQRSTVWYACDEFGHIKL");
+        let expect = sw::score(&a, &b, &m, g);
+        assert_eq!(score::<8>(&a, &b, &m, g), expect);
+        assert_eq!(score::<16>(&a, &b, &m, g), expect);
+    }
+
+    #[test]
+    fn query_shorter_than_one_stripe() {
+        let m = bl62();
+        let g = GapPenalties::paper();
+        let a = seq("AW");
+        let b = seq("HEAGAWGHEE");
+        let expect = sw::score(&a, &b, &m, g);
+        assert_eq!(score::<8>(&a, &b, &m, g), expect);
+        assert_eq!(score::<16>(&a, &b, &m, g), expect);
+        assert_eq!(score_bytes::<16>(&a, &b, &m, g), Some(expect));
+    }
+
+    #[test]
+    fn empty_inputs_score_zero() {
+        let m = bl62();
+        let g = GapPenalties::paper();
+        assert_eq!(score::<8>(&[], &seq("AC"), &m, g), 0);
+        assert_eq!(score::<8>(&seq("AC"), &[], &m, g), 0);
+        assert_eq!(score_bytes::<16>(&[], &seq("AC"), &m, g), Some(0));
+        assert_eq!(score_adaptive::<16, 8>(&seq("AC"), &[], &m, g), 0);
+    }
+
+    #[test]
+    fn byte_pass_overflow_recovers_exactly() {
+        let m = bl62();
+        let g = GapPenalties::paper();
+        let a = seq(&"MKWVTFISLL".repeat(8));
+        assert_eq!(score_bytes::<16>(&a, &a, &m, g), None);
+        let expect = sw::score(&a, &a, &m, g);
+        assert_eq!(score_adaptive::<16, 8>(&a, &a, &m, g), expect);
+        assert_eq!(score_adaptive::<32, 16>(&a, &a, &m, g), expect);
+    }
+
+    #[test]
+    fn workspace_reuse_is_clean_across_subjects() {
+        // Scoring a high-scoring subject then a dissimilar one must not
+        // leak state through the reused buffers.
+        let m = bl62();
+        let g = GapPenalties::paper();
+        let q = seq("MKWVTFISLLFLFSSAYSRGVFRR");
+        let profile = QueryProfile::build(&q, &m, 8);
+        let mut ws = Workspace::<8>::new();
+        let hot = seq("MKWVTFISLLFLFSSAYSRGVFRR");
+        let cold = seq("GGGGG");
+        let s1 = score_with_profile::<8>(&profile, &hot, g, &mut ws);
+        let s2 = score_with_profile::<8>(&profile, &cold, g, &mut ws);
+        let s3 = score_with_profile::<8>(&profile, &hot, g, &mut ws);
+        assert_eq!(s1, sw::score(&q, &hot, &m, g));
+        assert_eq!(s2, sw::score(&q, &cold, &m, g));
+        assert_eq!(s1, s3);
+    }
+
+    #[test]
+    #[should_panic(expected = "word lanes")]
+    fn wrong_lane_width_is_rejected() {
+        let m = bl62();
+        let profile = QueryProfile::build(&seq("ACD"), &m, 8);
+        let mut ws = Workspace::<16>::new();
+        let _ = score_with_profile::<16>(&profile, &seq("ACD"), GapPenalties::paper(), &mut ws);
+    }
+
+    #[test]
+    fn wide_matrix_falls_back_to_words() {
+        // uniform(120, -120) cannot be biased into u8; adaptive must
+        // still return the exact word-precision score.
+        let m = SubstitutionMatrix::uniform(120, -120);
+        let g = GapPenalties::paper();
+        let a = seq("ACDEFG");
+        let b = seq("ACDEFG");
+        assert_eq!(score_bytes::<16>(&a, &b, &m, g), None);
+        let expect = sw::score(&a, &b, &m, g);
+        assert_eq!(score_adaptive::<16, 8>(&a, &b, &m, g), expect);
+    }
+}

@@ -1,206 +1,423 @@
 //! Property-based tests for the alignment algorithms.
 //!
 //! The single most important invariant of the whole reproduction is that
-//! the three Smith-Waterman implementations (textbook Gotoh, SSEARCH-
-//! style lazy-F, anti-diagonal SIMD at both lane widths) compute the
-//! same score on arbitrary inputs — the paper's workloads are different
-//! *machines* running the same *math*.
+//! the Smith-Waterman implementations (textbook Gotoh, SSEARCH-style
+//! lazy-F, anti-diagonal SIMD, striped SIMD, at both lane widths and
+//! both precisions) compute the same score on arbitrary inputs — the
+//! paper's workloads are different *machines* running the same *math*.
+//!
+//! The random cases are generated with the repo's own deterministic
+//! xoshiro generator (the container has no registry access, so external
+//! property-test frameworks are unavailable); every run tests the same
+//! corpus, and a failing case prints its case index for replay.
 
-use proptest::prelude::*;
-use sapa_align::{banded, blast, fasta, nw, simd_sw, sw, xdrop};
+use sapa_align::{banded, blast, fasta, nw, simd_sw, striped, sw, xdrop};
 use sapa_bioseq::matrix::GapPenalties;
+use sapa_bioseq::profile::QueryProfile;
+use sapa_bioseq::rng::Xoshiro256;
 use sapa_bioseq::{AminoAcid, SubstitutionMatrix};
 
-fn residue() -> impl Strategy<Value = AminoAcid> {
-    // Standard residues only: ambiguity codes are exercised by unit
-    // tests; heuristics skip them by design.
-    (0usize..AminoAcid::STANDARD_COUNT).prop_map(|i| AminoAcid::from_index(i).unwrap())
+const CASES: usize = 96;
+
+/// Uniformly random standard residue (ambiguity codes are exercised by
+/// unit tests; heuristics skip them by design).
+fn residue(rng: &mut Xoshiro256) -> AminoAcid {
+    let i = rng.next_below(AminoAcid::STANDARD_COUNT as u64) as usize;
+    AminoAcid::from_index(i).unwrap()
 }
 
-fn protein(max_len: usize) -> impl Strategy<Value = Vec<AminoAcid>> {
-    proptest::collection::vec(residue(), 0..max_len)
+/// Random protein of length `0..max_len`.
+fn protein(rng: &mut Xoshiro256, max_len: usize) -> Vec<AminoAcid> {
+    let len = rng.next_below(max_len as u64) as usize;
+    (0..len).map(|_| residue(rng)).collect()
 }
 
-fn gap_penalties() -> impl Strategy<Value = GapPenalties> {
-    (1i32..=14, 1i32..=4).prop_map(|(open, ext)| GapPenalties::new(open, ext))
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    #[test]
-    fn simd_sw_matches_scalar(
-        a in protein(48),
-        b in protein(48),
-        g in gap_penalties(),
-    ) {
-        let m = SubstitutionMatrix::blosum62();
-        let expect = sw::score(&a, &b, &m, g);
-        prop_assert_eq!(simd_sw::score::<8>(&a, &b, &m, g), expect);
-        prop_assert_eq!(simd_sw::score::<16>(&a, &b, &m, g), expect);
+/// Gap-heavy protein: long runs of one residue interleaved with noise,
+/// which makes optimal alignments open and extend gaps aggressively.
+fn gappy_protein(rng: &mut Xoshiro256, max_len: usize) -> Vec<AminoAcid> {
+    let len = rng.next_below(max_len as u64) as usize;
+    let mut out = Vec::with_capacity(len);
+    while out.len() < len {
+        let run = 1 + rng.next_below(6) as usize;
+        let r = residue(rng);
+        for _ in 0..run.min(len - out.len()) {
+            out.push(r);
+        }
+        if rng.next_below(3) == 0 && out.len() < len {
+            out.push(residue(rng));
+        }
     }
+    out
+}
 
-    #[test]
-    fn byte_precision_simd_matches_scalar(
-        a in protein(40),
-        b in protein(40),
-        g in gap_penalties(),
-    ) {
-        let m = SubstitutionMatrix::blosum62();
+fn gap_penalties(rng: &mut Xoshiro256) -> GapPenalties {
+    GapPenalties::new(1 + rng.next_below(14) as i32, 1 + rng.next_below(4) as i32)
+}
+
+#[test]
+fn simd_sw_matches_scalar() {
+    let m = SubstitutionMatrix::blosum62();
+    let mut rng = Xoshiro256::new(0x51AD);
+    for case in 0..CASES {
+        let a = protein(&mut rng, 48);
+        let b = protein(&mut rng, 48);
+        let g = gap_penalties(&mut rng);
+        let expect = sw::score(&a, &b, &m, g);
+        assert_eq!(simd_sw::score::<8>(&a, &b, &m, g), expect, "case {case}");
+        assert_eq!(simd_sw::score::<16>(&a, &b, &m, g), expect, "case {case}");
+    }
+}
+
+#[test]
+fn byte_precision_simd_matches_scalar() {
+    let m = SubstitutionMatrix::blosum62();
+    let mut rng = Xoshiro256::new(0xB17E);
+    for case in 0..CASES {
+        let a = protein(&mut rng, 40);
+        let b = protein(&mut rng, 40);
+        let g = gap_penalties(&mut rng);
         let expect = sw::score(&a, &b, &m, g);
         // The byte pass either agrees exactly or reports overflow.
         if let Some(s) = simd_sw::score_bytes::<16>(&a, &b, &m, g) {
-            prop_assert_eq!(s, expect);
+            assert_eq!(s, expect, "case {case}");
         }
         // The adaptive wrapper always agrees.
-        prop_assert_eq!(simd_sw::score_adaptive::<16, 8>(&a, &b, &m, g), expect);
-        prop_assert_eq!(simd_sw::score_adaptive::<32, 16>(&a, &b, &m, g), expect);
+        assert_eq!(simd_sw::score_adaptive::<16, 8>(&a, &b, &m, g), expect, "case {case}");
+        assert_eq!(simd_sw::score_adaptive::<32, 16>(&a, &b, &m, g), expect, "case {case}");
     }
+}
 
-    #[test]
-    fn lazy_f_matches_scalar(
-        a in protein(48),
-        b in protein(48),
-        g in gap_penalties(),
-    ) {
-        let m = SubstitutionMatrix::blosum62();
-        prop_assert_eq!(
-            sw::score_lazy_f(&a, &b, &m, g),
-            sw::score(&a, &b, &m, g)
+/// The tentpole invariant: the Farrar striped kernel is score-identical
+/// to the scalar Gotoh oracle at both lane widths and both precisions,
+/// across random, gap-heavy, and all-identical inputs.
+#[test]
+fn striped_matches_scalar() {
+    let m = SubstitutionMatrix::blosum62();
+    let mut rng = Xoshiro256::new(0x57A1);
+    for case in 0..CASES {
+        let a = protein(&mut rng, 64);
+        let b = protein(&mut rng, 64);
+        let g = gap_penalties(&mut rng);
+        let expect = sw::score(&a, &b, &m, g);
+        assert_eq!(striped::score::<8>(&a, &b, &m, g), expect, "L=8 case {case}");
+        assert_eq!(striped::score::<16>(&a, &b, &m, g), expect, "L=16 case {case}");
+        assert_eq!(
+            striped::score_adaptive::<16, 8>(&a, &b, &m, g),
+            expect,
+            "adaptive 128-bit case {case}"
+        );
+        assert_eq!(
+            striped::score_adaptive::<32, 16>(&a, &b, &m, g),
+            expect,
+            "adaptive 256-bit case {case}"
         );
     }
+}
 
-    #[test]
-    fn sw_score_is_symmetric(a in protein(32), b in protein(32)) {
-        let m = SubstitutionMatrix::blosum62();
-        let g = GapPenalties::paper();
-        prop_assert_eq!(sw::score(&a, &b, &m, g), sw::score(&b, &a, &m, g));
+#[test]
+fn striped_matches_scalar_on_gap_heavy_inputs() {
+    let m = SubstitutionMatrix::blosum62();
+    let mut rng = Xoshiro256::new(0x6A99);
+    for case in 0..CASES {
+        let a = gappy_protein(&mut rng, 72);
+        let b = gappy_protein(&mut rng, 72);
+        // Cheap gaps so optimal alignments actually use them.
+        let g = GapPenalties::new(1 + rng.next_below(4) as i32, 1);
+        let expect = sw::score(&a, &b, &m, g);
+        assert_eq!(striped::score::<8>(&a, &b, &m, g), expect, "L=8 case {case}");
+        assert_eq!(striped::score::<16>(&a, &b, &m, g), expect, "L=16 case {case}");
+        assert_eq!(
+            striped::score_adaptive::<16, 8>(&a, &b, &m, g),
+            expect,
+            "adaptive case {case}"
+        );
     }
+}
 
-    #[test]
-    fn sw_score_nonnegative_and_bounded(a in protein(32), b in protein(32)) {
-        let m = SubstitutionMatrix::blosum62();
-        let g = GapPenalties::paper();
+#[test]
+fn striped_matches_scalar_on_all_identical_inputs() {
+    // All-identical sequences maximize score growth per cell — the
+    // worst case for the lazy-F early exit and for byte saturation.
+    let m = SubstitutionMatrix::blosum62();
+    let g = GapPenalties::paper();
+    for len in [1usize, 7, 8, 9, 16, 17, 33, 64, 120] {
+        let a = vec![AminoAcid::Trp; len];
+        let expect = sw::score(&a, &a, &m, g);
+        assert_eq!(striped::score::<8>(&a, &a, &m, g), expect, "len {len}");
+        assert_eq!(striped::score::<16>(&a, &a, &m, g), expect, "len {len}");
+        assert_eq!(
+            striped::score_adaptive::<16, 8>(&a, &a, &m, g),
+            expect,
+            "adaptive len {len}"
+        );
+    }
+}
+
+#[test]
+fn striped_byte_pass_agrees_or_overflows() {
+    let m = SubstitutionMatrix::blosum62();
+    let mut rng = Xoshiro256::new(0xB0B5);
+    for case in 0..CASES {
+        let a = protein(&mut rng, 48);
+        let b = protein(&mut rng, 48);
+        let g = gap_penalties(&mut rng);
+        let expect = sw::score(&a, &b, &m, g);
+        if let Some(s) = striped::score_bytes::<16>(&a, &b, &m, g) {
+            assert_eq!(s, expect, "LB=16 case {case}");
+        }
+        if let Some(s) = striped::score_bytes::<32>(&a, &b, &m, g) {
+            assert_eq!(s, expect, "LB=32 case {case}");
+        }
+    }
+}
+
+/// An overflow-forcing case: a long near-identical pair whose true score
+/// exceeds the byte kernel's headroom must take the 8→16-bit rescore
+/// path and still produce the exact score.
+#[test]
+fn striped_overflow_forces_word_rescore() {
+    let m = SubstitutionMatrix::blosum62();
+    let g = GapPenalties::paper();
+    let a = vec![AminoAcid::Trp; 64]; // self-score 64 × 11 = 704 >> u8 range
+    assert_eq!(striped::score_bytes::<16>(&a, &a, &m, g), None);
+    assert_eq!(striped::score_bytes::<32>(&a, &a, &m, g), None);
+    let expect = sw::score(&a, &a, &m, g);
+    assert_eq!(striped::score_adaptive::<16, 8>(&a, &a, &m, g), expect);
+    assert_eq!(striped::score_adaptive::<32, 16>(&a, &a, &m, g), expect);
+}
+
+/// Profile reuse across subjects must be score-equivalent to building
+/// the profile per pair (what the batched search driver relies on).
+#[test]
+fn striped_profile_reuse_is_pure() {
+    let m = SubstitutionMatrix::blosum62();
+    let g = GapPenalties::paper();
+    let mut rng = Xoshiro256::new(0xCAFE);
+    let query = protein(&mut rng, 80);
+    let profile = QueryProfile::build(&query, &m, 8);
+    let mut ws = striped::Workspace::<8>::new();
+    let mut bws = striped::ByteWorkspace::<16>::new();
+    for case in 0..CASES {
+        let b = protein(&mut rng, 64);
+        let expect = sw::score(&query, &b, &m, g);
+        assert_eq!(
+            striped::score_with_profile::<8>(&profile, &b, g, &mut ws),
+            expect,
+            "word case {case}"
+        );
+        assert_eq!(
+            striped::score_adaptive_with_profile::<16, 8>(&profile, &b, g, &mut bws, &mut ws),
+            expect,
+            "adaptive case {case}"
+        );
+    }
+}
+
+#[test]
+fn lazy_f_matches_scalar() {
+    let m = SubstitutionMatrix::blosum62();
+    let mut rng = Xoshiro256::new(0x1A2F);
+    for case in 0..CASES {
+        let a = protein(&mut rng, 48);
+        let b = protein(&mut rng, 48);
+        let g = gap_penalties(&mut rng);
+        assert_eq!(
+            sw::score_lazy_f(&a, &b, &m, g),
+            sw::score(&a, &b, &m, g),
+            "case {case}"
+        );
+    }
+}
+
+#[test]
+fn sw_score_is_symmetric() {
+    let m = SubstitutionMatrix::blosum62();
+    let g = GapPenalties::paper();
+    let mut rng = Xoshiro256::new(0x5E33);
+    for case in 0..CASES {
+        let a = protein(&mut rng, 32);
+        let b = protein(&mut rng, 32);
+        assert_eq!(sw::score(&a, &b, &m, g), sw::score(&b, &a, &m, g), "case {case}");
+    }
+}
+
+#[test]
+fn sw_score_nonnegative_and_bounded() {
+    let m = SubstitutionMatrix::blosum62();
+    let g = GapPenalties::paper();
+    let mut rng = Xoshiro256::new(0xB0BD);
+    for case in 0..CASES {
+        let a = protein(&mut rng, 32);
+        let b = protein(&mut rng, 32);
         let s = sw::score(&a, &b, &m, g);
-        prop_assert!(s >= 0);
+        assert!(s >= 0, "case {case}");
         // Upper bound: the shorter sequence matched perfectly at the
         // matrix maximum.
         let bound = (a.len().min(b.len()) as i32) * m.max_score();
-        prop_assert!(s <= bound);
+        assert!(s <= bound, "case {case}: {s} > {bound}");
     }
+}
 
-    #[test]
-    fn sw_self_score_is_diagonal_sum(a in protein(32)) {
-        let m = SubstitutionMatrix::blosum62();
-        let g = GapPenalties::paper();
+#[test]
+fn sw_self_score_is_diagonal_sum() {
+    let m = SubstitutionMatrix::blosum62();
+    let g = GapPenalties::paper();
+    let mut rng = Xoshiro256::new(0xD1A6);
+    for case in 0..CASES {
+        let a = protein(&mut rng, 32);
         let expected: i32 = a.iter().map(|&x| m.score(x, x)).sum();
-        prop_assert_eq!(sw::score(&a, &a, &m, g), expected.max(0));
+        assert_eq!(sw::score(&a, &a, &m, g), expected.max(0), "case {case}");
     }
+}
 
-    #[test]
-    fn banded_never_exceeds_full(
-        a in protein(32),
-        b in protein(32),
-        diag in -8isize..8,
-        width in 1usize..6,
-    ) {
-        let m = SubstitutionMatrix::blosum62();
-        let g = GapPenalties::paper();
-        prop_assert!(banded::score(&a, &b, &m, g, diag, width) <= sw::score(&a, &b, &m, g));
-    }
-
-    #[test]
-    fn banded_full_width_equals_full(a in protein(24), b in protein(24)) {
-        prop_assume!(!a.is_empty() && !b.is_empty());
-        let m = SubstitutionMatrix::blosum62();
-        let g = GapPenalties::paper();
-        prop_assert_eq!(
-            banded::score(&a, &b, &m, g, 0, a.len() + b.len()),
-            sw::score(&a, &b, &m, g)
+#[test]
+fn banded_never_exceeds_full() {
+    let m = SubstitutionMatrix::blosum62();
+    let g = GapPenalties::paper();
+    let mut rng = Xoshiro256::new(0xBA4D);
+    for case in 0..CASES {
+        let a = protein(&mut rng, 32);
+        let b = protein(&mut rng, 32);
+        let diag = rng.next_below(16) as isize - 8;
+        let width = 1 + rng.next_below(5) as usize;
+        assert!(
+            banded::score(&a, &b, &m, g, diag, width) <= sw::score(&a, &b, &m, g),
+            "case {case}"
         );
     }
+}
 
-    #[test]
-    fn global_at_most_local(a in protein(24), b in protein(24)) {
-        let m = SubstitutionMatrix::blosum62();
-        let g = GapPenalties::paper();
-        prop_assert!(nw::score(&a, &b, &m, g) <= sw::score(&a, &b, &m, g));
+#[test]
+fn banded_full_width_equals_full() {
+    let m = SubstitutionMatrix::blosum62();
+    let g = GapPenalties::paper();
+    let mut rng = Xoshiro256::new(0xF0F0);
+    for case in 0..CASES {
+        let a = protein(&mut rng, 24);
+        let b = protein(&mut rng, 24);
+        if a.is_empty() || b.is_empty() {
+            continue;
+        }
+        assert_eq!(
+            banded::score(&a, &b, &m, g, 0, a.len() + b.len()),
+            sw::score(&a, &b, &m, g),
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn alignment_hierarchy_global_semiglobal_local(
-        a in protein(24),
-        b in protein(24),
-    ) {
-        // global ≤ semi-global ≤ local: each relaxes more constraints.
-        let m = SubstitutionMatrix::blosum62();
-        let g = GapPenalties::paper();
+#[test]
+fn global_at_most_local() {
+    let m = SubstitutionMatrix::blosum62();
+    let g = GapPenalties::paper();
+    let mut rng = Xoshiro256::new(0x6B0A);
+    for case in 0..CASES {
+        let a = protein(&mut rng, 24);
+        let b = protein(&mut rng, 24);
+        assert!(nw::score(&a, &b, &m, g) <= sw::score(&a, &b, &m, g), "case {case}");
+    }
+}
+
+#[test]
+fn alignment_hierarchy_global_semiglobal_local() {
+    // global ≤ semi-global ≤ local: each relaxes more constraints.
+    let m = SubstitutionMatrix::blosum62();
+    let g = GapPenalties::paper();
+    let mut rng = Xoshiro256::new(0x41E2);
+    for case in 0..CASES {
+        let a = protein(&mut rng, 24);
+        let b = protein(&mut rng, 24);
         let global = nw::score(&a, &b, &m, g);
         let semi = nw::semiglobal_score(&a, &b, &m, g);
         let local = sw::score(&a, &b, &m, g);
-        prop_assert!(global <= semi, "global {} > semi {}", global, semi);
-        prop_assert!(semi <= local, "semi {} > local {}", semi, local);
+        assert!(global <= semi, "case {case}: global {global} > semi {semi}");
+        assert!(semi <= local, "case {case}: semi {semi} > local {local}");
     }
+}
 
-    #[test]
-    fn global_traceback_matches_score(a in protein(16), b in protein(16)) {
-        let m = SubstitutionMatrix::blosum62();
-        let g = GapPenalties::paper();
+#[test]
+fn global_traceback_matches_score() {
+    let m = SubstitutionMatrix::blosum62();
+    let g = GapPenalties::paper();
+    let mut rng = Xoshiro256::new(0x67B4);
+    for case in 0..CASES {
+        let a = protein(&mut rng, 16);
+        let b = protein(&mut rng, 16);
         let al = nw::align(&a, &b, &m, g);
-        prop_assert_eq!(al.score, nw::score(&a, &b, &m, g));
+        assert_eq!(al.score, nw::score(&a, &b, &m, g), "case {case}");
     }
+}
 
-    #[test]
-    fn traceback_score_matches(a in protein(20), b in protein(20)) {
-        let m = SubstitutionMatrix::blosum62();
-        let g = GapPenalties::paper();
+#[test]
+fn traceback_score_matches() {
+    let m = SubstitutionMatrix::blosum62();
+    let g = GapPenalties::paper();
+    let mut rng = Xoshiro256::new(0x7ACE);
+    for case in 0..CASES {
+        let a = protein(&mut rng, 20);
+        let b = protein(&mut rng, 20);
         let al = sw::align(&a, &b, &m, g);
-        prop_assert_eq!(al.score, sw::score(&a, &b, &m, g));
+        assert_eq!(al.score, sw::score(&a, &b, &m, g), "case {case}");
     }
+}
 
-    #[test]
-    fn heuristic_scores_never_exceed_sw(a in protein(40), b in protein(40)) {
-        prop_assume!(a.len() >= 3 && b.len() >= 3);
-        let m = SubstitutionMatrix::blosum62();
-        let g = GapPenalties::paper();
+#[test]
+fn heuristic_scores_never_exceed_sw() {
+    let m = SubstitutionMatrix::blosum62();
+    let g = GapPenalties::paper();
+    let mut rng = Xoshiro256::new(0x43A7);
+    for case in 0..CASES {
+        let a = protein(&mut rng, 40);
+        let b = protein(&mut rng, 40);
+        if a.len() < 3 || b.len() < 3 {
+            continue;
+        }
         let full = sw::score(&a, &b, &m, g);
 
         // FASTA's opt is a banded SW — a lower bound on full SW.
         let idx = fasta::KtupIndex::build(&a, 2);
         let fs = fasta::score_subject(&idx, &b, &m, g, &fasta::FastaParams::default());
-        prop_assert!(fs.opt <= full, "opt {} > sw {}", fs.opt, full);
+        assert!(fs.opt <= full, "case {case}: opt {} > sw {full}", fs.opt);
 
         // BLAST's reported score (banded or ungapped) is also ≤ full SW.
         let widx = blast::WordIndex::build(&a, &m, 11);
         let db: Vec<&[AminoAcid]> = vec![&b];
         let mut res = blast::search(&widx, db, &m, g, &blast::BlastParams::default(), 5);
         if let Some(best) = res.best_score() {
-            prop_assert!(best <= full, "blast {} > sw {}", best, full);
+            assert!(best <= full, "case {case}: blast {best} > sw {full}");
         }
     }
+}
 
-    #[test]
-    fn xdrop_monotone_in_x_and_bounded_by_local(
-        a in protein(24),
-        b in protein(24),
-        x_small in 2i32..8,
-    ) {
-        let m = SubstitutionMatrix::blosum62();
-        let g = GapPenalties::paper();
+#[test]
+fn xdrop_monotone_in_x_and_bounded_by_local() {
+    let m = SubstitutionMatrix::blosum62();
+    let g = GapPenalties::paper();
+    let mut rng = Xoshiro256::new(0xD409);
+    for case in 0..CASES {
+        let a = protein(&mut rng, 24);
+        let b = protein(&mut rng, 24);
+        let x_small = 2 + rng.next_below(6) as i32;
         let tight = xdrop::extend_right(&a, &b, &m, g, x_small);
         let loose = xdrop::extend_right(&a, &b, &m, g, 10_000);
-        prop_assert!(tight <= loose, "tight {} > loose {}", tight, loose);
+        assert!(tight <= loose, "case {case}: tight {tight} > loose {loose}");
         // An origin-anchored extension can never beat the free local
         // alignment.
-        prop_assert!(loose <= sw::score(&a, &b, &m, g).max(0) + 0,
-            "xdrop {} > sw", loose);
-        prop_assert!(loose >= 0);
+        assert!(loose <= sw::score(&a, &b, &m, g).max(0), "case {case}");
+        assert!(loose >= 0, "case {case}");
     }
+}
 
-    #[test]
-    fn word_index_entries_meet_threshold(a in protein(24), t in 8i32..14) {
-        prop_assume!(a.len() >= 3);
-        let m = SubstitutionMatrix::blosum62();
+#[test]
+fn word_index_entries_meet_threshold() {
+    let m = SubstitutionMatrix::blosum62();
+    let mut rng = Xoshiro256::new(0x3070);
+    for case in 0..CASES {
+        let a = protein(&mut rng, 24);
+        if a.len() < 3 {
+            continue;
+        }
+        let t = 8 + rng.next_below(6) as i32;
         let idx = blast::WordIndex::build(&a, &m, t);
         for word in 0..blast::WORD_TABLE_SIZE {
             for &qi in idx.lookup(word) {
@@ -209,7 +426,7 @@ proptest! {
                 let score: i32 = (0..3)
                     .map(|k| m.score_by_index(q[k].index(), c[k]))
                     .sum();
-                prop_assert!(score >= t);
+                assert!(score >= t, "case {case}");
             }
         }
     }

@@ -2,8 +2,8 @@
 //! one-hit vs two-hit BLAST, FASTA ktup 1 vs 2, SIMD lane width, and
 //! scoring-matrix scaling.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sapa_bench::{bench_db, bench_query, slices};
+use sapa_bench::harness::{BenchmarkId, Criterion};
+use sapa_bench::{bench_db, bench_query, criterion_group, criterion_main, slices};
 use sapa_core::align::{banded, blast, blastn, fasta, simd_sw, sw, xdrop};
 use sapa_core::bioseq::dna::random_dna;
 use sapa_core::bioseq::matrix::GapPenalties;

@@ -2,8 +2,8 @@
 //! global and banded alignment. Complements Table III (relative work
 //! per aligned cell).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use sapa_bench::{bench_db, bench_query};
+use sapa_bench::harness::{BenchmarkId, Criterion, Throughput};
+use sapa_bench::{bench_db, bench_query, criterion_group, criterion_main};
 use sapa_core::align::{banded, nw, simd_sw, sw};
 use sapa_core::bioseq::matrix::GapPenalties;
 use sapa_core::bioseq::SubstitutionMatrix;

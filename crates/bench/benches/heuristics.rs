@@ -1,8 +1,8 @@
 //! Heuristic database-search throughput (BLAST and FASTA end-to-end,
 //! plus index construction). Complements Table III's BLAST/FASTA rows.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use sapa_bench::{bench_db, bench_query, slices};
+use sapa_bench::harness::{Criterion, Throughput};
+use sapa_bench::{bench_db, bench_query, criterion_group, criterion_main, slices};
 use sapa_core::align::{blast, fasta};
 use sapa_core::bioseq::matrix::GapPenalties;
 use sapa_core::bioseq::SubstitutionMatrix;

@@ -3,7 +3,8 @@
 //! figures sweep. One entry per paper artifact family (Figs. 2–10 all
 //! reduce to these pipelines).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sapa_bench::harness::{BenchmarkId, Criterion, Throughput};
+use sapa_bench::{criterion_group, criterion_main};
 use sapa_core::cpu::config::{BranchConfig, CpuConfig, MemConfig, SimConfig};
 use sapa_core::cpu::Simulator;
 use sapa_core::workloads::{StandardInputs, Workload};

@@ -1,0 +1,168 @@
+//! Striped vs anti-diagonal Smith-Waterman, plus the batched parallel
+//! database scan — the headline comparison for the striped-kernel PR.
+//!
+//! Groups:
+//!
+//! * `striped_kernels` — single-pair throughput of every SW machine at
+//!   both register widths: scalar Gotoh, lazy-F SSEARCH, anti-diagonal
+//!   `simd_sw`, striped 16-bit words, and the adaptive 8-bit byte pass
+//!   with 16-bit rescore;
+//! * `striped_scan` — a 200-sequence database scan: per-subject profile
+//!   rebuild vs one cached profile, serial vs the chunked parallel
+//!   pipeline.
+//!
+//! Outside `--test` mode the run writes `BENCH_striped.json` at the
+//! repository root with every median and the derived striped-16 vs
+//! anti-diagonal speedup.
+
+use sapa_bench::harness::{Criterion, Throughput};
+use sapa_bench::{bench_db, bench_query, slices};
+use sapa_core::align::striped::{self, ByteWorkspace, Workspace};
+use sapa_core::align::{parallel, simd_sw, sw};
+use sapa_core::bioseq::matrix::GapPenalties;
+use sapa_core::bioseq::{QueryProfile, SubstitutionMatrix};
+
+fn kernels(c: &mut Criterion) {
+    let matrix = SubstitutionMatrix::blosum62();
+    let gaps = GapPenalties::paper();
+    let query = bench_query();
+    let db = bench_db(4);
+    let subject = db[0].residues();
+    let cells = (query.len() * subject.len()) as u64;
+
+    let p128 = QueryProfile::build(query.residues(), &matrix, 8);
+    let p256 = QueryProfile::build(query.residues(), &matrix, 16);
+
+    let mut group = c.benchmark_group("striped_kernels");
+    group.throughput(Throughput::Elements(cells));
+    group.bench_function("scalar_gotoh", |b| {
+        b.iter(|| sw::score(query.residues(), subject, &matrix, gaps))
+    });
+    group.bench_function("lazy_f_ssearch", |b| {
+        b.iter(|| sw::score_lazy_f(query.residues(), subject, &matrix, gaps))
+    });
+    group.bench_function("anti_diagonal_vmx128", |b| {
+        b.iter(|| simd_sw::score::<8>(query.residues(), subject, &matrix, gaps))
+    });
+    group.bench_function("anti_diagonal_vmx256", |b| {
+        b.iter(|| simd_sw::score::<16>(query.residues(), subject, &matrix, gaps))
+    });
+    // Striped kernels reuse a workspace across iterations, exactly like
+    // the database-scan pipeline does across subjects.
+    let mut ws8 = Workspace::<8>::new();
+    group.bench_function("striped_w16_vmx128", |b| {
+        b.iter(|| striped::score_with_profile::<8>(&p128, subject, gaps, &mut ws8))
+    });
+    let mut ws16 = Workspace::<16>::new();
+    group.bench_function("striped_w16_vmx256", |b| {
+        b.iter(|| striped::score_with_profile::<16>(&p256, subject, gaps, &mut ws16))
+    });
+    let mut bws16 = ByteWorkspace::<16>::new();
+    let mut ws8b = Workspace::<8>::new();
+    group.bench_function("striped_b8_adaptive_vmx128", |b| {
+        b.iter(|| {
+            striped::score_adaptive_with_profile::<16, 8>(
+                &p128, subject, gaps, &mut bws16, &mut ws8b,
+            )
+        })
+    });
+    let mut bws32 = ByteWorkspace::<32>::new();
+    let mut ws16b = Workspace::<16>::new();
+    group.bench_function("striped_b8_adaptive_vmx256", |b| {
+        b.iter(|| {
+            striped::score_adaptive_with_profile::<32, 16>(
+                &p256, subject, gaps, &mut bws32, &mut ws16b,
+            )
+        })
+    });
+    group.finish();
+}
+
+fn scan(c: &mut Criterion) {
+    let matrix = SubstitutionMatrix::blosum62();
+    let gaps = GapPenalties::paper();
+    let query = bench_query();
+    let db = bench_db(200);
+    let subjects = slices(&db);
+    let residues: u64 = db.iter().map(|s| s.len() as u64).sum();
+
+    let mut group = c.benchmark_group("striped_scan_200seqs");
+    group.throughput(Throughput::Elements(residues));
+    group.bench_function("anti_diagonal_serial", |b| {
+        b.iter(|| {
+            subjects
+                .iter()
+                .map(|s| simd_sw::score::<8>(query.residues(), s, &matrix, gaps))
+                .collect::<Vec<_>>()
+        })
+    });
+    group.bench_function("striped_profile_per_subject", |b| {
+        // The naive integration: rebuild the profile for every subject,
+        // showing what the cached profile amortizes away.
+        b.iter(|| {
+            subjects
+                .iter()
+                .map(|s| striped::score_adaptive::<16, 8>(query.residues(), s, &matrix, gaps))
+                .collect::<Vec<_>>()
+        })
+    });
+    let profile = QueryProfile::build(query.residues(), &matrix, 8);
+    group.bench_function("striped_cached_profile_serial", |b| {
+        b.iter(|| parallel::striped_scores::<16, 8>(&profile, &subjects, gaps, 1))
+    });
+    for threads in [2usize, 4] {
+        group.bench_function(format!("striped_cached_profile_t{threads}"), |b| {
+            b.iter(|| parallel::striped_scores::<16, 8>(&profile, &subjects, gaps, threads))
+        });
+    }
+    group.finish();
+}
+
+fn write_json(c: &Criterion) {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_striped.json");
+    let mut entries = String::new();
+    for (i, r) in c.results().iter().enumerate() {
+        if i > 0 {
+            entries.push_str(",\n");
+        }
+        let rate = r
+            .elements_per_sec
+            .map_or("null".to_string(), |v| format!("{v:.1}"));
+        entries.push_str(&format!(
+            "    {{\"group\": \"{}\", \"name\": \"{}\", \"median_ns_per_iter\": {:.1}, \"elements_per_sec\": {}}}",
+            r.group, r.name, r.median_ns, rate
+        ));
+    }
+    let speedup = |fast: &str, slow: &str| -> String {
+        match (
+            c.result("striped_kernels", slow),
+            c.result("striped_kernels", fast),
+        ) {
+            (Some(s), Some(f)) if f.median_ns > 0.0 => {
+                format!("{:.3}", s.median_ns / f.median_ns)
+            }
+            _ => "null".to_string(),
+        }
+    };
+    let cpus = std::thread::available_parallelism().map_or(0, |n| n.get());
+    let json = format!(
+        "{{\n  \"bench\": \"striped\",\n  \"query\": \"GST-222aa\",\n  \"host_cpus\": {cpus},\n  \"results\": [\n{entries}\n  ],\n  \"derived\": {{\n    \"speedup_striped_w16_vs_anti_diagonal_vmx128\": {},\n    \"speedup_striped_w16_vs_anti_diagonal_vmx256\": {},\n    \"speedup_striped_adaptive_vs_anti_diagonal_vmx128\": {},\n    \"speedup_striped_w16_vs_scalar_vmx128\": {}\n  }}\n}}\n",
+        speedup("striped_w16_vmx128", "anti_diagonal_vmx128"),
+        speedup("striped_w16_vmx256", "anti_diagonal_vmx256"),
+        speedup("striped_b8_adaptive_vmx128", "anti_diagonal_vmx128"),
+        speedup("striped_w16_vmx128", "scalar_gotoh"),
+    );
+    match std::fs::write(path, json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+fn main() {
+    let mut c = Criterion::from_args().sample_size(15);
+    kernels(&mut c);
+    scan(&mut c);
+    if !c.is_test_mode() {
+        write_json(&c);
+    }
+}

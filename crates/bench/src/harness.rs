@@ -1,0 +1,391 @@
+//! A minimal, dependency-free benchmark harness with a Criterion-shaped
+//! API.
+//!
+//! The suite is built for an offline container, so it cannot pull the
+//! real `criterion` crate; this module provides the small subset the
+//! SAPA benches use — [`Criterion`], benchmark groups, [`BenchmarkId`],
+//! [`Throughput`], and the `criterion_group!`/`criterion_main!` macros —
+//! on top of `std::time::Instant`.
+//!
+//! Behaviour:
+//!
+//! * each benchmark is calibrated (iteration count doubled until one
+//!   sample takes ≥ 2 ms), then timed for `sample_size` samples; the
+//!   reported figure is the **median** ns/iteration, which is robust to
+//!   scheduler noise on shared machines;
+//! * positional CLI arguments are substring filters on the
+//!   `group/name` id; unknown flags (cargo's `--bench`, etc.) are
+//!   ignored;
+//! * `--test` runs every benchmark body exactly once without timing —
+//!   the CI smoke mode (`cargo bench -- --test`);
+//! * results accumulate in [`Criterion::results`] so a bench binary can
+//!   post-process them (e.g. emit machine-readable JSON).
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Work performed per iteration, used to derive a rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Abstract elements per iteration (cells, residues, instructions).
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: either a plain name, a parameter, or a
+/// `name/parameter` pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId(pub(crate) String);
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// Just the parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{parameter}"))
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// One finished measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// Group name (first path component of the id).
+    pub group: String,
+    /// Benchmark name within the group.
+    pub name: String,
+    /// Median wall time per iteration, in nanoseconds.
+    pub median_ns: f64,
+    /// Per-iteration work declared via [`Throughput`], if any.
+    pub elements: Option<u64>,
+    /// Derived rate (`elements / median_ns * 1e9`), if throughput set.
+    pub elements_per_sec: Option<f64>,
+}
+
+/// Times one benchmark body. Obtained inside `bench_function` closures.
+pub struct Bencher {
+    test_mode: bool,
+    sample_size: usize,
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    fn new(test_mode: bool, sample_size: usize) -> Self {
+        Bencher {
+            test_mode,
+            sample_size,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Runs `f` repeatedly and records per-iteration wall time. In test
+    /// mode `f` runs exactly once and nothing is recorded.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            return;
+        }
+        // Calibrate: double the batch until one batch takes >= 2 ms, so
+        // Instant overhead stays < 0.1% of the measurement.
+        let floor = Duration::from_millis(2);
+        let mut iters: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            if t.elapsed() >= floor || iters >= 1 << 24 {
+                break;
+            }
+            iters *= 2;
+        }
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let ns = t.elapsed().as_nanos() as f64;
+            self.samples.push(ns / iters as f64);
+        }
+    }
+
+    fn median_ns(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut s = self.samples.clone();
+        s.sort_by(|a, b| a.total_cmp(b));
+        Some(s[s.len() / 2])
+    }
+}
+
+/// The harness driver: holds configuration, CLI filters, and every
+/// result measured so far.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+    filters: Vec<String>,
+    results: Vec<BenchResult>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            test_mode: false,
+            filters: Vec::new(),
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Builds a driver from `std::env::args`: positional arguments are
+    /// substring filters, `--test` enables run-once smoke mode, and any
+    /// other `-`-prefixed flag (cargo's `--bench`) is ignored.
+    pub fn from_args() -> Self {
+        let mut c = Criterion::default();
+        for arg in std::env::args().skip(1) {
+            if arg == "--test" {
+                c.test_mode = true;
+            } else if !arg.starts_with('-') {
+                c.filters.push(arg);
+            }
+        }
+        c
+    }
+
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Copies tuning (sample size) from a config-constructed `Criterion`
+    /// without clobbering CLI state. Used by `criterion_group!`.
+    pub fn apply_config(&mut self, cfg: Criterion) {
+        self.sample_size = cfg.sample_size;
+    }
+
+    /// Whether `--test` smoke mode is active.
+    pub fn is_test_mode(&self) -> bool {
+        self.test_mode
+    }
+
+    /// Every measurement taken so far (empty in test mode).
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Looks up a finished measurement by group and name.
+    pub fn result(&self, group: &str, name: &str) -> Option<&BenchResult> {
+        self.results
+            .iter()
+            .find(|r| r.group == group && r.name == name)
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    fn matches(&self, full_id: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| full_id.contains(f))
+    }
+
+    fn record(&mut self, group: &str, name: &str, b: Bencher, throughput: Option<Throughput>) {
+        if self.test_mode {
+            println!("{group}/{name}: ok (test mode)");
+            return;
+        }
+        let Some(median_ns) = b.median_ns() else {
+            return;
+        };
+        let elements = match throughput {
+            Some(Throughput::Elements(n)) | Some(Throughput::Bytes(n)) => Some(n),
+            None => None,
+        };
+        let elements_per_sec = elements.map(|n| n as f64 / median_ns * 1e9);
+        match elements_per_sec {
+            Some(rate) => println!(
+                "{group}/{name}: {median_ns:>12.0} ns/iter  ({:.2} Melem/s)",
+                rate / 1e6
+            ),
+            None => println!("{group}/{name}: {median_ns:>12.0} ns/iter"),
+        }
+        self.results.push(BenchResult {
+            group: group.to_string(),
+            name: name.to_string(),
+            median_ns,
+            elements,
+            elements_per_sec,
+        });
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and an optional
+/// throughput declaration.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares per-iteration work for every subsequent bench in the
+    /// group.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Times `f` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into().0;
+        let full = format!("{}/{}", self.name, id);
+        if self.c.matches(&full) {
+            let mut b = Bencher::new(self.c.test_mode, self.c.sample_size);
+            f(&mut b);
+            self.c.record(&self.name, &id, b, self.throughput);
+        }
+        self
+    }
+
+    /// Times `f(bencher, input)` under `id` within this group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.0;
+        let full = format!("{}/{}", self.name, id);
+        if self.c.matches(&full) {
+            let mut b = Bencher::new(self.c.test_mode, self.c.sample_size);
+            f(&mut b, input);
+            self.c.record(&self.name, &id, b, self.throughput);
+        }
+        self
+    }
+
+    /// Ends the group (provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Defines a benchmark-group function runnable by `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::harness::Criterion) {
+            c.apply_config($config);
+            $( $target(c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::harness::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Defines `main` for a bench binary: parses CLI args and runs every
+/// listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::harness::Criterion::from_args();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mode_runs_once_and_records_nothing() {
+        let mut c = Criterion {
+            test_mode: true,
+            ..Criterion::default()
+        };
+        let mut calls = 0usize;
+        let mut g = c.benchmark_group("g");
+        g.bench_function("f", |b| {
+            b.iter(|| calls += 1);
+        });
+        g.finish();
+        assert_eq!(calls, 1);
+        assert!(c.results().is_empty());
+    }
+
+    #[test]
+    fn timed_mode_records_median_and_rate() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(1000));
+        g.bench_function("busy", |b| {
+            b.iter(|| std::hint::black_box((0..100u64).sum::<u64>()));
+        });
+        g.finish();
+        let r = c.result("g", "busy").expect("recorded");
+        assert!(r.median_ns > 0.0);
+        assert_eq!(r.elements, Some(1000));
+        assert!(r.elements_per_sec.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn filters_skip_non_matching_benches() {
+        let mut c = Criterion {
+            filters: vec!["keep".to_string()],
+            ..Criterion::default()
+        };
+        let mut ran = Vec::new();
+        let mut g = c.benchmark_group("g");
+        g.bench_function("keep_me", |b| {
+            ran.push("keep");
+            b.iter(|| 1 + 1);
+        });
+        g.bench_function("drop_me", |b| {
+            ran.push("drop");
+            b.iter(|| 1 + 1);
+        });
+        g.finish();
+        assert_eq!(ran, vec!["keep"]);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("banded", 8).0, "banded/8");
+        assert_eq!(BenchmarkId::from_parameter("x").0, "x");
+        let from_str: BenchmarkId = "plain".into();
+        assert_eq!(from_str.0, "plain");
+    }
+}

@@ -1,8 +1,11 @@
-//! Shared fixtures for the SAPA benchmark suite.
+//! Shared fixtures and harness for the SAPA benchmark suite.
 //!
-//! The actual benchmarks live in `benches/`; this library only provides
-//! the deterministic inputs they share so every bench measures the same
-//! data.
+//! The actual benchmarks live in `benches/`; this library provides the
+//! deterministic inputs they share so every bench measures the same
+//! data, plus [`harness`] — a dependency-free Criterion-shaped timing
+//! harness (the container the suite builds in has no crates.io access).
+
+pub mod harness;
 
 use sapa_core::bioseq::db::DatabaseBuilder;
 use sapa_core::bioseq::queries::QuerySet;

@@ -222,7 +222,7 @@ mod file_tests {
         let long = Sequence::new(
             "big",
             "one very long protein",
-            std::iter::repeat(crate::AminoAcid::Leu).take(10_000).collect(),
+            std::iter::repeat_n(crate::AminoAcid::Leu, 10_000).collect(),
         );
         let mut buf = Vec::new();
         write_fasta(&mut buf, [&long]).unwrap();

@@ -34,6 +34,7 @@ pub mod db;
 pub mod dna;
 pub mod fasta;
 pub mod matrix;
+pub mod profile;
 pub mod queries;
 pub mod rng;
 pub mod seq;
@@ -41,6 +42,7 @@ pub mod seq;
 pub use alphabet::AminoAcid;
 pub use db::{Database, DatabaseBuilder};
 pub use matrix::SubstitutionMatrix;
+pub use profile::{ProfileCache, QueryProfile};
 pub use seq::Sequence;
 
 /// Errors produced by this crate.

@@ -1,0 +1,341 @@
+//! Striped query profiles for Farrar-style SIMD Smith-Waterman.
+//!
+//! The anti-diagonal kernels gather one substitution score per cell per
+//! diagonal — the per-cell `vperm` traffic the paper's trauma histograms
+//! measure. Farrar's striped layout removes that cost entirely: the
+//! substitution scores for the whole query are laid out **once** per
+//! (query, matrix, lane-width) so that the inner loop loads a whole
+//! vector of scores with a single aligned load per segment.
+//!
+//! Layout: for a query of length `m` processed with `L` lanes, the query
+//! is split into `segs = ceil(m / L)` *segments*; lane `k` of segment
+//! `s` covers query position `k * segs + s`. For each database residue
+//! `c` the profile stores `segs` contiguous `L`-lane groups:
+//!
+//! ```text
+//! row(c) = [ P[c][0][0..L] , P[c][1][0..L] , … , P[c][segs-1][0..L] ]
+//! P[c][s][k] = score(query[k * segs + s], c)      (padding for k·segs+s ≥ m)
+//! ```
+//!
+//! A [`QueryProfile`] carries two parallel layouts: 16-bit *word* lanes
+//! (exact for every realistic score) and biased 8-bit *byte* lanes with
+//! double the lane count (the fast first pass; the kernel detects
+//! saturation and falls back to words). The byte layout is `None` when
+//! the matrix's dynamic range cannot fit the biased-u8 scheme.
+//!
+//! Profiles are immutable and `Sync`; a database search builds one and
+//! shares it across every worker thread, amortizing construction over
+//! the whole scan. [`ProfileCache`] additionally memoizes profiles
+//! across searches (multi-query servers hit the same (query, matrix)
+//! pair repeatedly).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::alphabet::AminoAcid;
+use crate::matrix::SubstitutionMatrix;
+
+/// Padding value for word lanes covering positions past the query end:
+/// deep enough that a padded lane can never influence a real score, yet
+/// far from `i16::MIN` so repeated saturating subtraction stays sane.
+pub const WORD_PAD: i16 = -25000;
+
+/// A precomputed striped substitution-score layout for one
+/// (query, matrix, lane-width) triple.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryProfile {
+    query_len: usize,
+    matrix_name: &'static str,
+    max_score: i32,
+    word_lanes: usize,
+    word_segments: usize,
+    /// `[residue][segment][lane]`, row stride `word_segments * word_lanes`.
+    words: Vec<i16>,
+    byte_lanes: usize,
+    byte_segments: usize,
+    /// Biased byte layout, same indexing; `None` if the matrix's range
+    /// does not fit the u8 scheme.
+    bytes: Option<Vec<u8>>,
+    bias: i32,
+}
+
+impl QueryProfile {
+    /// Builds the striped profile for `query` under `matrix`.
+    ///
+    /// `word_lanes` is the 16-bit lane count of the target register
+    /// (8 for the 128-bit Altivec model, 16 for the 256-bit extension);
+    /// the byte layout uses `2 * word_lanes` lanes of the same register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word_lanes` is zero.
+    pub fn build(query: &[AminoAcid], matrix: &SubstitutionMatrix, word_lanes: usize) -> Self {
+        assert!(word_lanes > 0, "need at least one lane");
+        let m = query.len();
+        let n_res = AminoAcid::COUNT;
+        let byte_lanes = word_lanes * 2;
+        let word_segments = m.div_ceil(word_lanes).max(1);
+        let byte_segments = m.div_ceil(byte_lanes).max(1);
+        let bias = (-matrix.min_score()).max(0);
+        let max_score = matrix.max_score();
+
+        let mut words = vec![WORD_PAD; n_res * word_segments * word_lanes];
+        for c in AminoAcid::ALL.iter() {
+            let row = c.index() * word_segments * word_lanes;
+            for s in 0..word_segments {
+                for k in 0..word_lanes {
+                    let q = k * word_segments + s;
+                    if q < m {
+                        words[row + s * word_lanes + k] =
+                            matrix.score(query[q], *c) as i16;
+                    }
+                }
+            }
+        }
+
+        // Byte layout is feasible when every biased score fits u8 with
+        // enough headroom left for the kernel's saturation guard.
+        let byte_ok = bias + max_score < 200 && bias <= 127;
+        let bytes = byte_ok.then(|| {
+            let mut bytes = vec![0u8; n_res * byte_segments * byte_lanes];
+            for c in AminoAcid::ALL.iter() {
+                let row = c.index() * byte_segments * byte_lanes;
+                for s in 0..byte_segments {
+                    for k in 0..byte_lanes {
+                        let q = k * byte_segments + s;
+                        if q < m {
+                            bytes[row + s * byte_lanes + k] =
+                                (matrix.score(query[q], *c) + bias) as u8;
+                        }
+                        // Padding stays 0 = true score −bias: at or
+                        // below the matrix minimum, so padded lanes
+                        // decay and never affect real cells.
+                    }
+                }
+            }
+            bytes
+        });
+
+        QueryProfile {
+            query_len: m,
+            matrix_name: matrix.name(),
+            max_score,
+            word_lanes,
+            word_segments,
+            words,
+            byte_lanes,
+            byte_segments,
+            bytes,
+            bias,
+        }
+    }
+
+    /// Length of the profiled query.
+    #[inline]
+    pub fn query_len(&self) -> usize {
+        self.query_len
+    }
+
+    /// Name of the matrix the profile was built from.
+    pub fn matrix_name(&self) -> &'static str {
+        self.matrix_name
+    }
+
+    /// Largest substitution score in the source matrix.
+    #[inline]
+    pub fn max_score(&self) -> i32 {
+        self.max_score
+    }
+
+    /// 16-bit lane count the word layout targets.
+    #[inline]
+    pub fn word_lanes(&self) -> usize {
+        self.word_lanes
+    }
+
+    /// Segment count of the word layout (`ceil(len / word_lanes)`).
+    #[inline]
+    pub fn word_segments(&self) -> usize {
+        self.word_segments
+    }
+
+    /// The word-layout row for database residue `c`:
+    /// `word_segments * word_lanes` scores, segment-major.
+    #[inline]
+    pub fn word_row(&self, c: AminoAcid) -> &[i16] {
+        let stride = self.word_segments * self.word_lanes;
+        let start = c.index() * stride;
+        &self.words[start..start + stride]
+    }
+
+    /// 8-bit lane count the byte layout targets (`2 * word_lanes`).
+    #[inline]
+    pub fn byte_lanes(&self) -> usize {
+        self.byte_lanes
+    }
+
+    /// Segment count of the byte layout (`ceil(len / byte_lanes)`).
+    #[inline]
+    pub fn byte_segments(&self) -> usize {
+        self.byte_segments
+    }
+
+    /// Whether the byte layout exists (matrix range fits biased u8).
+    #[inline]
+    pub fn has_bytes(&self) -> bool {
+        self.bytes.is_some()
+    }
+
+    /// The score bias added to every byte-layout entry.
+    #[inline]
+    pub fn bias(&self) -> i32 {
+        self.bias
+    }
+
+    /// The byte-layout row for database residue `c`, or `None` when the
+    /// byte layout is infeasible for this matrix.
+    #[inline]
+    pub fn byte_row(&self, c: AminoAcid) -> Option<&[u8]> {
+        let bytes = self.bytes.as_ref()?;
+        let stride = self.byte_segments * self.byte_lanes;
+        let start = c.index() * stride;
+        Some(&bytes[start..start + stride])
+    }
+}
+
+/// Memoizes [`QueryProfile`]s across searches.
+///
+/// Keyed by (query residues, matrix name, word lane count); returns
+/// shared [`Arc`]s so concurrent searches can hold the same profile.
+/// The search driver keeps one of these so repeated searches with the
+/// same query (the common server pattern) skip profile construction
+/// entirely.
+#[derive(Debug, Default)]
+pub struct ProfileCache {
+    map: HashMap<(Vec<u8>, &'static str, usize), Arc<QueryProfile>>,
+}
+
+impl ProfileCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the cached profile for (query, matrix, lane-width),
+    /// building and storing it on first use.
+    pub fn get_or_build(
+        &mut self,
+        query: &[AminoAcid],
+        matrix: &SubstitutionMatrix,
+        word_lanes: usize,
+    ) -> Arc<QueryProfile> {
+        let key = (
+            query.iter().map(|a| a.index() as u8).collect::<Vec<u8>>(),
+            matrix.name(),
+            word_lanes,
+        );
+        self.map
+            .entry(key)
+            .or_insert_with(|| Arc::new(QueryProfile::build(query, matrix, word_lanes)))
+            .clone()
+    }
+
+    /// Number of distinct profiles currently cached.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::Sequence;
+
+    fn seq(s: &str) -> Vec<AminoAcid> {
+        Sequence::from_str("t", s).unwrap().residues().to_vec()
+    }
+
+    #[test]
+    fn word_layout_matches_matrix() {
+        let m = SubstitutionMatrix::blosum62();
+        let q = seq("HEAGAWGHEE");
+        let p = QueryProfile::build(&q, &m, 8);
+        assert_eq!(p.query_len(), 10);
+        assert_eq!(p.word_lanes(), 8);
+        assert_eq!(p.word_segments(), 2); // ceil(10 / 8)
+        for c in AminoAcid::ALL {
+            let row = p.word_row(c);
+            assert_eq!(row.len(), 16);
+            for s in 0..2 {
+                for k in 0..8 {
+                    let qpos = k * 2 + s;
+                    let expect = if qpos < q.len() {
+                        m.score(q[qpos], c) as i16
+                    } else {
+                        WORD_PAD
+                    };
+                    assert_eq!(row[s * 8 + k], expect, "{c} s{s} k{k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn byte_layout_is_biased_and_padded() {
+        let m = SubstitutionMatrix::blosum62();
+        let q = seq("WWAC");
+        let p = QueryProfile::build(&q, &m, 8);
+        assert!(p.has_bytes());
+        assert_eq!(p.bias(), 4); // −min(BLOSUM62)
+        assert_eq!(p.byte_lanes(), 16);
+        assert_eq!(p.byte_segments(), 1);
+        let row = p.byte_row(AminoAcid::Trp).unwrap();
+        // Lane k covers query position k (segs = 1).
+        assert_eq!(row[0], (11 + 4) as u8); // W vs W
+        assert_eq!(row[4], 0); // padding
+    }
+
+    #[test]
+    fn wide_matrix_disables_byte_layout() {
+        // A huge dynamic range cannot fit the biased-u8 scheme.
+        let m = SubstitutionMatrix::uniform(120, -120);
+        let q = seq("ACDE");
+        let p = QueryProfile::build(&q, &m, 8);
+        assert!(!p.has_bytes());
+        assert!(p.byte_row(AminoAcid::Ala).is_none());
+    }
+
+    #[test]
+    fn empty_query_has_one_padded_segment() {
+        let m = SubstitutionMatrix::blosum62();
+        let p = QueryProfile::build(&[], &m, 8);
+        assert_eq!(p.query_len(), 0);
+        assert_eq!(p.word_segments(), 1);
+        assert!(p.word_row(AminoAcid::Ala).iter().all(|&v| v == WORD_PAD));
+    }
+
+    #[test]
+    fn cache_returns_shared_profiles() {
+        let m = SubstitutionMatrix::blosum62();
+        let q = seq("HEAGAWGHEE");
+        let mut cache = ProfileCache::new();
+        let a = cache.get_or_build(&q, &m, 8);
+        let b = cache.get_or_build(&q, &m, 8);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 1);
+        // Different lane width is a different entry.
+        let c = cache.get_or_build(&q, &m, 16);
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(cache.len(), 2);
+        // Different matrix (name) is a different entry.
+        let u = SubstitutionMatrix::uniform(5, -4);
+        let d = cache.get_or_build(&q, &u, 8);
+        assert!(!Arc::ptr_eq(&a, &d));
+        assert_eq!(cache.len(), 3);
+    }
+}

@@ -415,6 +415,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::erasing_op)] // line_number * line_size kept explicit
     fn lru_evicts_oldest() {
         // 2 sets x 2 ways x 64B lines = 256B cache.
         let mut c = small(256, 2, 64);

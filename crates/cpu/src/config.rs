@@ -108,6 +108,7 @@ pub struct CpuConfig {
 pub const DEFAULT_LATENCY: [u32; UnitClass::COUNT] = [1, 1, 4, 1, 2, 2, 4, 4];
 
 impl CpuConfig {
+    #[allow(clippy::too_many_arguments)]
     fn base(
         name: &str,
         width: u32,

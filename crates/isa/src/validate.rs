@@ -104,7 +104,7 @@ fn check_inst(index: usize, inst: &Inst, out: &mut Vec<Violation>) {
     if inst.pc < CODE_BASE || inst.pc >= DATA_BASE {
         out.push(Violation::PcOutOfRange { index, pc: inst.pc });
     }
-    if inst.pc % 4 != 0 {
+    if !inst.pc.is_multiple_of(4) {
         out.push(Violation::PcMisaligned { index, pc: inst.pc });
     }
     match inst.op {

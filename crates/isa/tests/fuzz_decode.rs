@@ -1,23 +1,50 @@
 //! Fuzz-style robustness tests for the trace decoder: arbitrary bytes
 //! must produce an error or a valid trace, never a panic.
+//!
+//! Randomness comes from a local SplitMix64 so the corpus is fully
+//! deterministic (the container has no registry access for an external
+//! fuzzing framework).
 
-use proptest::prelude::*;
 use sapa_isa::Trace;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+/// SplitMix64 (same constants as `sapa_bioseq::rng::SplitMix64`, inlined
+/// here because `sapa-isa` deliberately has no bioseq dependency).
+struct Rng(u64);
 
-    #[test]
-    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..600)) {
-        let _ = Trace::read_from(&bytes[..]);
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
     }
 
-    #[test]
-    fn corrupted_valid_traces_never_panic(
-        flips in proptest::collection::vec((0usize..1000, any::<u8>()), 1..8),
-    ) {
-        use sapa_isa::trace::Tracer;
-        use sapa_isa::reg;
+    fn next_below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+#[test]
+fn arbitrary_bytes_never_panic() {
+    let mut rng = Rng(0xDECD_E000);
+    for _ in 0..256 {
+        let len = rng.next_below(600) as usize;
+        let mut bytes = vec![0u8; len];
+        for b in bytes.iter_mut() {
+            *b = rng.next_u64() as u8;
+        }
+        let _ = Trace::read_from(&bytes[..]);
+    }
+}
+
+#[test]
+fn corrupted_valid_traces_never_panic() {
+    use sapa_isa::reg;
+    use sapa_isa::trace::Tracer;
+
+    let mut rng = Rng(0xC044_0F7E);
+    for _ in 0..256 {
         let mut t = Tracer::new();
         for i in 0..20u32 {
             t.iload(i, reg::gpr(1), 0x1000_0000 + i, 4, &[reg::gpr(2)]);
@@ -25,9 +52,10 @@ proptest! {
         }
         let mut buf = Vec::new();
         t.finish().write_to(&mut buf).unwrap();
-        for (pos, val) in flips {
-            let idx = pos % buf.len();
-            buf[idx] = val;
+        let flips = 1 + rng.next_below(7) as usize;
+        for _ in 0..flips {
+            let idx = rng.next_below(buf.len() as u64) as usize;
+            buf[idx] = rng.next_u64() as u8;
         }
         // Decoding may fail or succeed; it must never panic, and a
         // successful decode must re-serialize cleanly.

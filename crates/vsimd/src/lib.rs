@@ -146,8 +146,8 @@ impl<const L: usize> Vector<L> {
     #[inline]
     pub fn select(self, other: Self, mask: Self) -> Self {
         let mut lanes = [0i16; L];
-        for i in 0..L {
-            lanes[i] = if mask.lanes[i] != 0 {
+        for (i, lane) in lanes.iter_mut().enumerate() {
+            *lane = if mask.lanes[i] != 0 {
                 self.lanes[i]
             } else {
                 other.lanes[i]
@@ -193,8 +193,8 @@ impl<const L: usize> Vector<L> {
     #[inline]
     fn zip(self, rhs: Self, f: impl Fn(i16, i16) -> i16) -> Self {
         let mut lanes = [0i16; L];
-        for i in 0..L {
-            lanes[i] = f(self.lanes[i], rhs.lanes[i]);
+        for (i, lane) in lanes.iter_mut().enumerate() {
+            *lane = f(self.lanes[i], rhs.lanes[i]);
         }
         Vector { lanes }
     }
@@ -347,6 +347,18 @@ impl<const L: usize> ByteVector<L> {
         ByteVector { lanes }
     }
 
+    /// Loads `L` lanes from the front of `slice` (Altivec `lvx`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slice.len() < L`.
+    #[inline]
+    pub fn from_slice(slice: &[u8]) -> Self {
+        let mut lanes = [0u8; L];
+        lanes.copy_from_slice(&slice[..L]);
+        ByteVector { lanes }
+    }
+
     /// The lane values.
     #[inline]
     pub const fn to_array(self) -> [u8; L] {
@@ -393,6 +405,14 @@ impl<const L: usize> ByteVector<L> {
         self.zip(rhs, std::cmp::max)
     }
 
+    /// Whether any lane of `self` exceeds the corresponding lane of
+    /// `rhs` (Altivec `vcmpgtub.` with the CR6 "any" predicate) — the
+    /// striped kernel's lazy-F loop exit test.
+    #[inline]
+    pub fn any_gt(self, rhs: Self) -> bool {
+        self.lanes.iter().zip(rhs.lanes.iter()).any(|(a, b)| a > b)
+    }
+
     /// Whether any lane equals [`u8::MAX`] — the overflow signal that
     /// forces a 16-bit re-run.
     #[inline]
@@ -434,8 +454,8 @@ impl<const L: usize> ByteVector<L> {
     #[inline]
     fn zip(self, rhs: Self, f: impl Fn(u8, u8) -> u8) -> Self {
         let mut lanes = [0u8; L];
-        for i in 0..L {
-            lanes[i] = f(self.lanes[i], rhs.lanes[i]);
+        for (i, lane) in lanes.iter_mut().enumerate() {
+            *lane = f(self.lanes[i], rhs.lanes[i]);
         }
         ByteVector { lanes }
     }
@@ -485,6 +505,16 @@ mod byte_tests {
         assert_eq!(s.extract(0), 99);
         assert_eq!(s.extract(1), 0);
         assert_eq!(s.extract(15), 14);
+    }
+
+    #[test]
+    fn byte_from_slice_and_any_gt() {
+        let data: Vec<u8> = (10..40).collect();
+        let v = B128::from_slice(&data);
+        assert_eq!(v.extract(0), 10);
+        assert_eq!(v.extract(15), 25);
+        assert!(v.any_gt(B128::splat(24)));
+        assert!(!v.any_gt(B128::splat(25)));
     }
 
     #[test]

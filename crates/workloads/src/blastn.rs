@@ -238,7 +238,7 @@ fn traced_extend(
     {
         let (mut i, mut j) = (qi, sj);
         while i > 0 && j > 0 && j % 4 == 0 && i >= 4 && j >= 4 {
-            let byte = subject.bytes()[(j / 4 - 1) as usize];
+            let byte = subject.bytes()[j / 4 - 1];
             t.iload(site::LD_EXTEND_P, R_BYTE, db_region.addr(subj_byte_base + (j / 4 - 1) as u32), 1, &[R_PTR]);
             let left = match_left_in_byte(byte, qbases, i);
             for k in 0..=left.min(3) {

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/alignment-80bae49d93f1f13b.d: crates/bench/benches/alignment.rs Cargo.toml
+
+/root/repo/target/debug/deps/libalignment-80bae49d93f1f13b.rmeta: crates/bench/benches/alignment.rs Cargo.toml
+
+crates/bench/benches/alignment.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cross_engine-17e2a271ce02f82c.d: crates/core/../../tests/cross_engine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcross_engine-17e2a271ce02f82c.rmeta: crates/core/../../tests/cross_engine.rs Cargo.toml
+
+crates/core/../../tests/cross_engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_engine-b45c20809d65187e.d: crates/core/../../tests/cross_engine.rs
+
+/root/repo/target/debug/deps/cross_engine-b45c20809d65187e: crates/core/../../tests/cross_engine.rs
+
+crates/core/../../tests/cross_engine.rs:

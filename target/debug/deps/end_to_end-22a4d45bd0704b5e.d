@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-22a4d45bd0704b5e.d: crates/core/../../tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-22a4d45bd0704b5e: crates/core/../../tests/end_to_end.rs
+
+crates/core/../../tests/end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fuzz_decode-86809c584df885bb.d: crates/isa/tests/fuzz_decode.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfuzz_decode-86809c584df885bb.rmeta: crates/isa/tests/fuzz_decode.rs Cargo.toml
+
+crates/isa/tests/fuzz_decode.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fuzz_decode-fb969e9b4cb8957e.d: crates/isa/tests/fuzz_decode.rs
+
+/root/repo/target/debug/deps/fuzz_decode-fb969e9b4cb8957e: crates/isa/tests/fuzz_decode.rs
+
+crates/isa/tests/fuzz_decode.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/heuristics-9b575fb82fb3d8a8.d: crates/bench/benches/heuristics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libheuristics-9b575fb82fb3d8a8.rmeta: crates/bench/benches/heuristics.rs Cargo.toml
+
+crates/bench/benches/heuristics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

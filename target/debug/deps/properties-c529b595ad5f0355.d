@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-c529b595ad5f0355.d: crates/align/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-c529b595ad5f0355.rmeta: crates/align/tests/properties.rs Cargo.toml
+
+crates/align/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

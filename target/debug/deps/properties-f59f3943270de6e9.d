@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-f59f3943270de6e9.d: crates/align/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-f59f3943270de6e9: crates/align/tests/properties.rs
+
+crates/align/tests/properties.rs:

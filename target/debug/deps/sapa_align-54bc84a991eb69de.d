@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/sapa_align-54bc84a991eb69de.d: crates/align/src/lib.rs crates/align/src/banded.rs crates/align/src/blast.rs crates/align/src/blastn.rs crates/align/src/fasta.rs crates/align/src/nw.rs crates/align/src/parallel.rs crates/align/src/result.rs crates/align/src/simd_sw.rs crates/align/src/stats.rs crates/align/src/striped.rs crates/align/src/sw.rs crates/align/src/xdrop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsapa_align-54bc84a991eb69de.rmeta: crates/align/src/lib.rs crates/align/src/banded.rs crates/align/src/blast.rs crates/align/src/blastn.rs crates/align/src/fasta.rs crates/align/src/nw.rs crates/align/src/parallel.rs crates/align/src/result.rs crates/align/src/simd_sw.rs crates/align/src/stats.rs crates/align/src/striped.rs crates/align/src/sw.rs crates/align/src/xdrop.rs Cargo.toml
+
+crates/align/src/lib.rs:
+crates/align/src/banded.rs:
+crates/align/src/blast.rs:
+crates/align/src/blastn.rs:
+crates/align/src/fasta.rs:
+crates/align/src/nw.rs:
+crates/align/src/parallel.rs:
+crates/align/src/result.rs:
+crates/align/src/simd_sw.rs:
+crates/align/src/stats.rs:
+crates/align/src/striped.rs:
+crates/align/src/sw.rs:
+crates/align/src/xdrop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/sapa_bench-009d07f153b7a5a5.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/sapa_bench-009d07f153b7a5a5: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

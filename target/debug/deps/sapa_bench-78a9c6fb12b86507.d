@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/sapa_bench-78a9c6fb12b86507.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libsapa_bench-78a9c6fb12b86507.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libsapa_bench-78a9c6fb12b86507.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/sapa_bioseq-86e50a85a8ce8024.d: crates/bioseq/src/lib.rs crates/bioseq/src/alphabet.rs crates/bioseq/src/compose.rs crates/bioseq/src/db.rs crates/bioseq/src/dna.rs crates/bioseq/src/fasta.rs crates/bioseq/src/matrix.rs crates/bioseq/src/profile.rs crates/bioseq/src/queries.rs crates/bioseq/src/rng.rs crates/bioseq/src/seq.rs
+
+/root/repo/target/debug/deps/libsapa_bioseq-86e50a85a8ce8024.rlib: crates/bioseq/src/lib.rs crates/bioseq/src/alphabet.rs crates/bioseq/src/compose.rs crates/bioseq/src/db.rs crates/bioseq/src/dna.rs crates/bioseq/src/fasta.rs crates/bioseq/src/matrix.rs crates/bioseq/src/profile.rs crates/bioseq/src/queries.rs crates/bioseq/src/rng.rs crates/bioseq/src/seq.rs
+
+/root/repo/target/debug/deps/libsapa_bioseq-86e50a85a8ce8024.rmeta: crates/bioseq/src/lib.rs crates/bioseq/src/alphabet.rs crates/bioseq/src/compose.rs crates/bioseq/src/db.rs crates/bioseq/src/dna.rs crates/bioseq/src/fasta.rs crates/bioseq/src/matrix.rs crates/bioseq/src/profile.rs crates/bioseq/src/queries.rs crates/bioseq/src/rng.rs crates/bioseq/src/seq.rs
+
+crates/bioseq/src/lib.rs:
+crates/bioseq/src/alphabet.rs:
+crates/bioseq/src/compose.rs:
+crates/bioseq/src/db.rs:
+crates/bioseq/src/dna.rs:
+crates/bioseq/src/fasta.rs:
+crates/bioseq/src/matrix.rs:
+crates/bioseq/src/profile.rs:
+crates/bioseq/src/queries.rs:
+crates/bioseq/src/rng.rs:
+crates/bioseq/src/seq.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/sapa_bioseq-b8dffa4cb6133abf.d: crates/bioseq/src/lib.rs crates/bioseq/src/alphabet.rs crates/bioseq/src/compose.rs crates/bioseq/src/db.rs crates/bioseq/src/dna.rs crates/bioseq/src/fasta.rs crates/bioseq/src/matrix.rs crates/bioseq/src/profile.rs crates/bioseq/src/queries.rs crates/bioseq/src/rng.rs crates/bioseq/src/seq.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsapa_bioseq-b8dffa4cb6133abf.rmeta: crates/bioseq/src/lib.rs crates/bioseq/src/alphabet.rs crates/bioseq/src/compose.rs crates/bioseq/src/db.rs crates/bioseq/src/dna.rs crates/bioseq/src/fasta.rs crates/bioseq/src/matrix.rs crates/bioseq/src/profile.rs crates/bioseq/src/queries.rs crates/bioseq/src/rng.rs crates/bioseq/src/seq.rs Cargo.toml
+
+crates/bioseq/src/lib.rs:
+crates/bioseq/src/alphabet.rs:
+crates/bioseq/src/compose.rs:
+crates/bioseq/src/db.rs:
+crates/bioseq/src/dna.rs:
+crates/bioseq/src/fasta.rs:
+crates/bioseq/src/matrix.rs:
+crates/bioseq/src/profile.rs:
+crates/bioseq/src/queries.rs:
+crates/bioseq/src/rng.rs:
+crates/bioseq/src/seq.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sapa_core-4d6fd24fa92b047b.d: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/libsapa_core-4d6fd24fa92b047b.rlib: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/libsapa_core-4d6fd24fa92b047b.rmeta: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sapa_core-7335d864b2e4e451.d: crates/core/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsapa_core-7335d864b2e4e451.rmeta: crates/core/src/lib.rs Cargo.toml
+
+crates/core/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sapa_core-aec0de77894d8c1a.d: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/sapa_core-aec0de77894d8c1a: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sapa_core-ed0953a5ec6c2ca2.d: crates/core/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsapa_core-ed0953a5ec6c2ca2.rmeta: crates/core/src/lib.rs Cargo.toml
+
+crates/core/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

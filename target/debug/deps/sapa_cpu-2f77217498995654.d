@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/sapa_cpu-2f77217498995654.d: crates/cpu/src/lib.rs crates/cpu/src/branch.rs crates/cpu/src/cache.rs crates/cpu/src/config.rs crates/cpu/src/pipeline.rs crates/cpu/src/stats.rs crates/cpu/src/trauma.rs
+
+/root/repo/target/debug/deps/libsapa_cpu-2f77217498995654.rlib: crates/cpu/src/lib.rs crates/cpu/src/branch.rs crates/cpu/src/cache.rs crates/cpu/src/config.rs crates/cpu/src/pipeline.rs crates/cpu/src/stats.rs crates/cpu/src/trauma.rs
+
+/root/repo/target/debug/deps/libsapa_cpu-2f77217498995654.rmeta: crates/cpu/src/lib.rs crates/cpu/src/branch.rs crates/cpu/src/cache.rs crates/cpu/src/config.rs crates/cpu/src/pipeline.rs crates/cpu/src/stats.rs crates/cpu/src/trauma.rs
+
+crates/cpu/src/lib.rs:
+crates/cpu/src/branch.rs:
+crates/cpu/src/cache.rs:
+crates/cpu/src/config.rs:
+crates/cpu/src/pipeline.rs:
+crates/cpu/src/stats.rs:
+crates/cpu/src/trauma.rs:

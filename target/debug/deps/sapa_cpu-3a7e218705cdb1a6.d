@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/sapa_cpu-3a7e218705cdb1a6.d: crates/cpu/src/lib.rs crates/cpu/src/branch.rs crates/cpu/src/cache.rs crates/cpu/src/config.rs crates/cpu/src/pipeline.rs crates/cpu/src/stats.rs crates/cpu/src/trauma.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsapa_cpu-3a7e218705cdb1a6.rmeta: crates/cpu/src/lib.rs crates/cpu/src/branch.rs crates/cpu/src/cache.rs crates/cpu/src/config.rs crates/cpu/src/pipeline.rs crates/cpu/src/stats.rs crates/cpu/src/trauma.rs Cargo.toml
+
+crates/cpu/src/lib.rs:
+crates/cpu/src/branch.rs:
+crates/cpu/src/cache.rs:
+crates/cpu/src/config.rs:
+crates/cpu/src/pipeline.rs:
+crates/cpu/src/stats.rs:
+crates/cpu/src/trauma.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sapa_cpu-c19d2ae7427138b3.d: crates/cpu/src/lib.rs crates/cpu/src/branch.rs crates/cpu/src/cache.rs crates/cpu/src/config.rs crates/cpu/src/pipeline.rs crates/cpu/src/stats.rs crates/cpu/src/trauma.rs
+
+/root/repo/target/debug/deps/sapa_cpu-c19d2ae7427138b3: crates/cpu/src/lib.rs crates/cpu/src/branch.rs crates/cpu/src/cache.rs crates/cpu/src/config.rs crates/cpu/src/pipeline.rs crates/cpu/src/stats.rs crates/cpu/src/trauma.rs
+
+crates/cpu/src/lib.rs:
+crates/cpu/src/branch.rs:
+crates/cpu/src/cache.rs:
+crates/cpu/src/config.rs:
+crates/cpu/src/pipeline.rs:
+crates/cpu/src/stats.rs:
+crates/cpu/src/trauma.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sapa_isa-0e67f5095591019f.d: crates/isa/src/lib.rs crates/isa/src/inst.rs crates/isa/src/mem.rs crates/isa/src/reg.rs crates/isa/src/stats.rs crates/isa/src/trace.rs crates/isa/src/validate.rs
+
+/root/repo/target/debug/deps/sapa_isa-0e67f5095591019f: crates/isa/src/lib.rs crates/isa/src/inst.rs crates/isa/src/mem.rs crates/isa/src/reg.rs crates/isa/src/stats.rs crates/isa/src/trace.rs crates/isa/src/validate.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/inst.rs:
+crates/isa/src/mem.rs:
+crates/isa/src/reg.rs:
+crates/isa/src/stats.rs:
+crates/isa/src/trace.rs:
+crates/isa/src/validate.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/sapa_isa-0f1a656591a2df2c.d: crates/isa/src/lib.rs crates/isa/src/inst.rs crates/isa/src/mem.rs crates/isa/src/reg.rs crates/isa/src/stats.rs crates/isa/src/trace.rs crates/isa/src/validate.rs
+
+/root/repo/target/debug/deps/libsapa_isa-0f1a656591a2df2c.rlib: crates/isa/src/lib.rs crates/isa/src/inst.rs crates/isa/src/mem.rs crates/isa/src/reg.rs crates/isa/src/stats.rs crates/isa/src/trace.rs crates/isa/src/validate.rs
+
+/root/repo/target/debug/deps/libsapa_isa-0f1a656591a2df2c.rmeta: crates/isa/src/lib.rs crates/isa/src/inst.rs crates/isa/src/mem.rs crates/isa/src/reg.rs crates/isa/src/stats.rs crates/isa/src/trace.rs crates/isa/src/validate.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/inst.rs:
+crates/isa/src/mem.rs:
+crates/isa/src/reg.rs:
+crates/isa/src/stats.rs:
+crates/isa/src/trace.rs:
+crates/isa/src/validate.rs:

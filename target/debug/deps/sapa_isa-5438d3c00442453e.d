@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/sapa_isa-5438d3c00442453e.d: crates/isa/src/lib.rs crates/isa/src/inst.rs crates/isa/src/mem.rs crates/isa/src/reg.rs crates/isa/src/stats.rs crates/isa/src/trace.rs crates/isa/src/validate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsapa_isa-5438d3c00442453e.rmeta: crates/isa/src/lib.rs crates/isa/src/inst.rs crates/isa/src/mem.rs crates/isa/src/reg.rs crates/isa/src/stats.rs crates/isa/src/trace.rs crates/isa/src/validate.rs Cargo.toml
+
+crates/isa/src/lib.rs:
+crates/isa/src/inst.rs:
+crates/isa/src/mem.rs:
+crates/isa/src/reg.rs:
+crates/isa/src/stats.rs:
+crates/isa/src/trace.rs:
+crates/isa/src/validate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sapa_repro-bd6b59e54a54957b.d: crates/repro/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsapa_repro-bd6b59e54a54957b.rmeta: crates/repro/src/main.rs Cargo.toml
+
+crates/repro/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sapa_repro-d6d7f801b4fa3053.d: crates/repro/src/main.rs
+
+/root/repo/target/debug/deps/sapa_repro-d6d7f801b4fa3053: crates/repro/src/main.rs
+
+crates/repro/src/main.rs:

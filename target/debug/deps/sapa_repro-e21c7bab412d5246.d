@@ -1,0 +1,27 @@
+/root/repo/target/debug/deps/sapa_repro-e21c7bab412d5246.d: crates/repro/src/lib.rs crates/repro/src/context.rs crates/repro/src/experiments/mod.rs crates/repro/src/experiments/ext_blastn.rs crates/repro/src/experiments/ext_prefetch.rs crates/repro/src/experiments/ext_queries.rs crates/repro/src/experiments/fig1.rs crates/repro/src/experiments/fig10.rs crates/repro/src/experiments/fig11.rs crates/repro/src/experiments/fig2.rs crates/repro/src/experiments/fig34.rs crates/repro/src/experiments/fig5.rs crates/repro/src/experiments/fig6.rs crates/repro/src/experiments/fig7.rs crates/repro/src/experiments/fig8.rs crates/repro/src/experiments/fig9.rs crates/repro/src/experiments/table1.rs crates/repro/src/experiments/table2.rs crates/repro/src/experiments/table3.rs crates/repro/src/experiments/table7.rs crates/repro/src/experiments/tables456.rs crates/repro/src/format.rs crates/repro/src/sweep.rs
+
+/root/repo/target/debug/deps/sapa_repro-e21c7bab412d5246: crates/repro/src/lib.rs crates/repro/src/context.rs crates/repro/src/experiments/mod.rs crates/repro/src/experiments/ext_blastn.rs crates/repro/src/experiments/ext_prefetch.rs crates/repro/src/experiments/ext_queries.rs crates/repro/src/experiments/fig1.rs crates/repro/src/experiments/fig10.rs crates/repro/src/experiments/fig11.rs crates/repro/src/experiments/fig2.rs crates/repro/src/experiments/fig34.rs crates/repro/src/experiments/fig5.rs crates/repro/src/experiments/fig6.rs crates/repro/src/experiments/fig7.rs crates/repro/src/experiments/fig8.rs crates/repro/src/experiments/fig9.rs crates/repro/src/experiments/table1.rs crates/repro/src/experiments/table2.rs crates/repro/src/experiments/table3.rs crates/repro/src/experiments/table7.rs crates/repro/src/experiments/tables456.rs crates/repro/src/format.rs crates/repro/src/sweep.rs
+
+crates/repro/src/lib.rs:
+crates/repro/src/context.rs:
+crates/repro/src/experiments/mod.rs:
+crates/repro/src/experiments/ext_blastn.rs:
+crates/repro/src/experiments/ext_prefetch.rs:
+crates/repro/src/experiments/ext_queries.rs:
+crates/repro/src/experiments/fig1.rs:
+crates/repro/src/experiments/fig10.rs:
+crates/repro/src/experiments/fig11.rs:
+crates/repro/src/experiments/fig2.rs:
+crates/repro/src/experiments/fig34.rs:
+crates/repro/src/experiments/fig5.rs:
+crates/repro/src/experiments/fig6.rs:
+crates/repro/src/experiments/fig7.rs:
+crates/repro/src/experiments/fig8.rs:
+crates/repro/src/experiments/fig9.rs:
+crates/repro/src/experiments/table1.rs:
+crates/repro/src/experiments/table2.rs:
+crates/repro/src/experiments/table3.rs:
+crates/repro/src/experiments/table7.rs:
+crates/repro/src/experiments/tables456.rs:
+crates/repro/src/format.rs:
+crates/repro/src/sweep.rs:

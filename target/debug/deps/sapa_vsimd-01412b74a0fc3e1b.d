@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sapa_vsimd-01412b74a0fc3e1b.d: crates/vsimd/src/lib.rs
+
+/root/repo/target/debug/deps/libsapa_vsimd-01412b74a0fc3e1b.rlib: crates/vsimd/src/lib.rs
+
+/root/repo/target/debug/deps/libsapa_vsimd-01412b74a0fc3e1b.rmeta: crates/vsimd/src/lib.rs
+
+crates/vsimd/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sapa_vsimd-1537c24b6992caa3.d: crates/vsimd/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsapa_vsimd-1537c24b6992caa3.rmeta: crates/vsimd/src/lib.rs Cargo.toml
+
+crates/vsimd/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

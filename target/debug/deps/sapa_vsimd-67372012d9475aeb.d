@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sapa_vsimd-67372012d9475aeb.d: crates/vsimd/src/lib.rs
+
+/root/repo/target/debug/deps/sapa_vsimd-67372012d9475aeb: crates/vsimd/src/lib.rs
+
+crates/vsimd/src/lib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/sapa_workloads-4b45e77db6571b27.d: crates/workloads/src/lib.rs crates/workloads/src/blast.rs crates/workloads/src/blastn.rs crates/workloads/src/fasta.rs crates/workloads/src/layout.rs crates/workloads/src/registry.rs crates/workloads/src/ssearch.rs crates/workloads/src/sw_simd.rs
+
+/root/repo/target/debug/deps/libsapa_workloads-4b45e77db6571b27.rlib: crates/workloads/src/lib.rs crates/workloads/src/blast.rs crates/workloads/src/blastn.rs crates/workloads/src/fasta.rs crates/workloads/src/layout.rs crates/workloads/src/registry.rs crates/workloads/src/ssearch.rs crates/workloads/src/sw_simd.rs
+
+/root/repo/target/debug/deps/libsapa_workloads-4b45e77db6571b27.rmeta: crates/workloads/src/lib.rs crates/workloads/src/blast.rs crates/workloads/src/blastn.rs crates/workloads/src/fasta.rs crates/workloads/src/layout.rs crates/workloads/src/registry.rs crates/workloads/src/ssearch.rs crates/workloads/src/sw_simd.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/blast.rs:
+crates/workloads/src/blastn.rs:
+crates/workloads/src/fasta.rs:
+crates/workloads/src/layout.rs:
+crates/workloads/src/registry.rs:
+crates/workloads/src/ssearch.rs:
+crates/workloads/src/sw_simd.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sapa_workloads-ed80efc5826d2a0d.d: crates/workloads/src/lib.rs crates/workloads/src/blast.rs crates/workloads/src/blastn.rs crates/workloads/src/fasta.rs crates/workloads/src/layout.rs crates/workloads/src/registry.rs crates/workloads/src/ssearch.rs crates/workloads/src/sw_simd.rs
+
+/root/repo/target/debug/deps/sapa_workloads-ed80efc5826d2a0d: crates/workloads/src/lib.rs crates/workloads/src/blast.rs crates/workloads/src/blastn.rs crates/workloads/src/fasta.rs crates/workloads/src/layout.rs crates/workloads/src/registry.rs crates/workloads/src/ssearch.rs crates/workloads/src/sw_simd.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/blast.rs:
+crates/workloads/src/blastn.rs:
+crates/workloads/src/fasta.rs:
+crates/workloads/src/layout.rs:
+crates/workloads/src/registry.rs:
+crates/workloads/src/ssearch.rs:
+crates/workloads/src/sw_simd.rs:

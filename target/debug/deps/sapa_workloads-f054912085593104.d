@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/sapa_workloads-f054912085593104.d: crates/workloads/src/lib.rs crates/workloads/src/blast.rs crates/workloads/src/blastn.rs crates/workloads/src/fasta.rs crates/workloads/src/layout.rs crates/workloads/src/registry.rs crates/workloads/src/ssearch.rs crates/workloads/src/sw_simd.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsapa_workloads-f054912085593104.rmeta: crates/workloads/src/lib.rs crates/workloads/src/blast.rs crates/workloads/src/blastn.rs crates/workloads/src/fasta.rs crates/workloads/src/layout.rs crates/workloads/src/registry.rs crates/workloads/src/ssearch.rs crates/workloads/src/sw_simd.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/blast.rs:
+crates/workloads/src/blastn.rs:
+crates/workloads/src/fasta.rs:
+crates/workloads/src/layout.rs:
+crates/workloads/src/registry.rs:
+crates/workloads/src/ssearch.rs:
+crates/workloads/src/sw_simd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

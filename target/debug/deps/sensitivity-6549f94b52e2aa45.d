@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sensitivity-6549f94b52e2aa45.d: crates/core/../../tests/sensitivity.rs
+
+/root/repo/target/debug/deps/sensitivity-6549f94b52e2aa45: crates/core/../../tests/sensitivity.rs
+
+crates/core/../../tests/sensitivity.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sensitivity-cb95955fd1e8fc8b.d: crates/core/../../tests/sensitivity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsensitivity-cb95955fd1e8fc8b.rmeta: crates/core/../../tests/sensitivity.rs Cargo.toml
+
+crates/core/../../tests/sensitivity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simulator_properties-7970509580d43485.d: crates/core/../../tests/simulator_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimulator_properties-7970509580d43485.rmeta: crates/core/../../tests/simulator_properties.rs Cargo.toml
+
+crates/core/../../tests/simulator_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

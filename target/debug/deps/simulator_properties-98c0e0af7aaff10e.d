@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulator_properties-98c0e0af7aaff10e.d: crates/core/../../tests/simulator_properties.rs
+
+/root/repo/target/debug/deps/simulator_properties-98c0e0af7aaff10e: crates/core/../../tests/simulator_properties.rs
+
+crates/core/../../tests/simulator_properties.rs:

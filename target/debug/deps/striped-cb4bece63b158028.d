@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/striped-cb4bece63b158028.d: crates/bench/benches/striped.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstriped-cb4bece63b158028.rmeta: crates/bench/benches/striped.rs Cargo.toml
+
+crates/bench/benches/striped.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

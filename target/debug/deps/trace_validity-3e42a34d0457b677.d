@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_validity-3e42a34d0457b677.d: crates/workloads/tests/trace_validity.rs
+
+/root/repo/target/debug/deps/trace_validity-3e42a34d0457b677: crates/workloads/tests/trace_validity.rs
+
+crates/workloads/tests/trace_validity.rs:

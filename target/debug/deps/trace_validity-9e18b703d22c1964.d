@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trace_validity-9e18b703d22c1964.d: crates/workloads/tests/trace_validity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrace_validity-9e18b703d22c1964.rmeta: crates/workloads/tests/trace_validity.rs Cargo.toml
+
+crates/workloads/tests/trace_validity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

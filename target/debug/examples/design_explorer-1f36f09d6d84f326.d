@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/design_explorer-1f36f09d6d84f326.d: crates/core/../../examples/design_explorer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdesign_explorer-1f36f09d6d84f326.rmeta: crates/core/../../examples/design_explorer.rs Cargo.toml
+
+crates/core/../../examples/design_explorer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

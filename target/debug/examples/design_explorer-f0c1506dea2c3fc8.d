@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/design_explorer-f0c1506dea2c3fc8.d: crates/core/../../examples/design_explorer.rs
+
+/root/repo/target/debug/examples/design_explorer-f0c1506dea2c3fc8: crates/core/../../examples/design_explorer.rs
+
+crates/core/../../examples/design_explorer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/microarch_study-9d50d3a4a1182ad7.d: crates/core/../../examples/microarch_study.rs
+
+/root/repo/target/debug/examples/microarch_study-9d50d3a4a1182ad7: crates/core/../../examples/microarch_study.rs
+
+crates/core/../../examples/microarch_study.rs:

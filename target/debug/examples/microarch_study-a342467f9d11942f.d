@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/microarch_study-a342467f9d11942f.d: crates/core/../../examples/microarch_study.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmicroarch_study-a342467f9d11942f.rmeta: crates/core/../../examples/microarch_study.rs Cargo.toml
+
+crates/core/../../examples/microarch_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

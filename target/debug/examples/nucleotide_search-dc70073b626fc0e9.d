@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/nucleotide_search-dc70073b626fc0e9.d: crates/core/../../examples/nucleotide_search.rs Cargo.toml
+
+/root/repo/target/debug/examples/libnucleotide_search-dc70073b626fc0e9.rmeta: crates/core/../../examples/nucleotide_search.rs Cargo.toml
+
+crates/core/../../examples/nucleotide_search.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/nucleotide_search-f1eb8355cdb65f2e.d: crates/core/../../examples/nucleotide_search.rs
+
+/root/repo/target/debug/examples/nucleotide_search-f1eb8355cdb65f2e: crates/core/../../examples/nucleotide_search.rs
+
+crates/core/../../examples/nucleotide_search.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/protein_search-d7c3ffccd9da7a25.d: crates/core/../../examples/protein_search.rs Cargo.toml
+
+/root/repo/target/debug/examples/libprotein_search-d7c3ffccd9da7a25.rmeta: crates/core/../../examples/protein_search.rs Cargo.toml
+
+crates/core/../../examples/protein_search.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/protein_search-ec4a07a693ea01ba.d: crates/core/../../examples/protein_search.rs
+
+/root/repo/target/debug/examples/protein_search-ec4a07a693ea01ba: crates/core/../../examples/protein_search.rs
+
+crates/core/../../examples/protein_search.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-4e6e08e7efd1ce6a.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-4e6e08e7efd1ce6a: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

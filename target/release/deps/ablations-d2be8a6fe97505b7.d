@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-d2be8a6fe97505b7.d: crates/bench/benches/ablations.rs
+
+/root/repo/target/release/deps/ablations-d2be8a6fe97505b7: crates/bench/benches/ablations.rs
+
+crates/bench/benches/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/alignment-bb82053fbac98212.d: crates/bench/benches/alignment.rs
+
+/root/repo/target/release/deps/alignment-bb82053fbac98212: crates/bench/benches/alignment.rs
+
+crates/bench/benches/alignment.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/heuristics-e342fa1a8af4b322.d: crates/bench/benches/heuristics.rs
+
+/root/repo/target/release/deps/heuristics-e342fa1a8af4b322: crates/bench/benches/heuristics.rs
+
+crates/bench/benches/heuristics.rs:

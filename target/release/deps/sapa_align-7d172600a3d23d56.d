@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/sapa_align-7d172600a3d23d56.d: crates/align/src/lib.rs crates/align/src/banded.rs crates/align/src/blast.rs crates/align/src/blastn.rs crates/align/src/fasta.rs crates/align/src/nw.rs crates/align/src/parallel.rs crates/align/src/result.rs crates/align/src/simd_sw.rs crates/align/src/stats.rs crates/align/src/striped.rs crates/align/src/sw.rs crates/align/src/xdrop.rs
+
+/root/repo/target/release/deps/libsapa_align-7d172600a3d23d56.rlib: crates/align/src/lib.rs crates/align/src/banded.rs crates/align/src/blast.rs crates/align/src/blastn.rs crates/align/src/fasta.rs crates/align/src/nw.rs crates/align/src/parallel.rs crates/align/src/result.rs crates/align/src/simd_sw.rs crates/align/src/stats.rs crates/align/src/striped.rs crates/align/src/sw.rs crates/align/src/xdrop.rs
+
+/root/repo/target/release/deps/libsapa_align-7d172600a3d23d56.rmeta: crates/align/src/lib.rs crates/align/src/banded.rs crates/align/src/blast.rs crates/align/src/blastn.rs crates/align/src/fasta.rs crates/align/src/nw.rs crates/align/src/parallel.rs crates/align/src/result.rs crates/align/src/simd_sw.rs crates/align/src/stats.rs crates/align/src/striped.rs crates/align/src/sw.rs crates/align/src/xdrop.rs
+
+crates/align/src/lib.rs:
+crates/align/src/banded.rs:
+crates/align/src/blast.rs:
+crates/align/src/blastn.rs:
+crates/align/src/fasta.rs:
+crates/align/src/nw.rs:
+crates/align/src/parallel.rs:
+crates/align/src/result.rs:
+crates/align/src/simd_sw.rs:
+crates/align/src/stats.rs:
+crates/align/src/striped.rs:
+crates/align/src/sw.rs:
+crates/align/src/xdrop.rs:

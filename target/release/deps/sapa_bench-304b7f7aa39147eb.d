@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/sapa_bench-304b7f7aa39147eb.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/sapa_bench-304b7f7aa39147eb: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

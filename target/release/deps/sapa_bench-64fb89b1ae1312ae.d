@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/sapa_bench-64fb89b1ae1312ae.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libsapa_bench-64fb89b1ae1312ae.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libsapa_bench-64fb89b1ae1312ae.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

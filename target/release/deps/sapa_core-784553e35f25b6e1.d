@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sapa_core-784553e35f25b6e1.d: crates/core/src/lib.rs
+
+/root/repo/target/release/deps/sapa_core-784553e35f25b6e1: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

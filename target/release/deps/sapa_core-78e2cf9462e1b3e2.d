@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/sapa_core-78e2cf9462e1b3e2.d: crates/core/src/lib.rs
+
+/root/repo/target/release/deps/libsapa_core-78e2cf9462e1b3e2.rlib: crates/core/src/lib.rs
+
+/root/repo/target/release/deps/libsapa_core-78e2cf9462e1b3e2.rmeta: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

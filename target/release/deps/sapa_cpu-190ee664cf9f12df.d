@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/sapa_cpu-190ee664cf9f12df.d: crates/cpu/src/lib.rs crates/cpu/src/branch.rs crates/cpu/src/cache.rs crates/cpu/src/config.rs crates/cpu/src/pipeline.rs crates/cpu/src/stats.rs crates/cpu/src/trauma.rs
+
+/root/repo/target/release/deps/sapa_cpu-190ee664cf9f12df: crates/cpu/src/lib.rs crates/cpu/src/branch.rs crates/cpu/src/cache.rs crates/cpu/src/config.rs crates/cpu/src/pipeline.rs crates/cpu/src/stats.rs crates/cpu/src/trauma.rs
+
+crates/cpu/src/lib.rs:
+crates/cpu/src/branch.rs:
+crates/cpu/src/cache.rs:
+crates/cpu/src/config.rs:
+crates/cpu/src/pipeline.rs:
+crates/cpu/src/stats.rs:
+crates/cpu/src/trauma.rs:

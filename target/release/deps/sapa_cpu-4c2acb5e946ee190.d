@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/sapa_cpu-4c2acb5e946ee190.d: crates/cpu/src/lib.rs crates/cpu/src/branch.rs crates/cpu/src/cache.rs crates/cpu/src/config.rs crates/cpu/src/pipeline.rs crates/cpu/src/stats.rs crates/cpu/src/trauma.rs
+
+/root/repo/target/release/deps/libsapa_cpu-4c2acb5e946ee190.rlib: crates/cpu/src/lib.rs crates/cpu/src/branch.rs crates/cpu/src/cache.rs crates/cpu/src/config.rs crates/cpu/src/pipeline.rs crates/cpu/src/stats.rs crates/cpu/src/trauma.rs
+
+/root/repo/target/release/deps/libsapa_cpu-4c2acb5e946ee190.rmeta: crates/cpu/src/lib.rs crates/cpu/src/branch.rs crates/cpu/src/cache.rs crates/cpu/src/config.rs crates/cpu/src/pipeline.rs crates/cpu/src/stats.rs crates/cpu/src/trauma.rs
+
+crates/cpu/src/lib.rs:
+crates/cpu/src/branch.rs:
+crates/cpu/src/cache.rs:
+crates/cpu/src/config.rs:
+crates/cpu/src/pipeline.rs:
+crates/cpu/src/stats.rs:
+crates/cpu/src/trauma.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/sapa_isa-3138c6c5508b9a4e.d: crates/isa/src/lib.rs crates/isa/src/inst.rs crates/isa/src/mem.rs crates/isa/src/reg.rs crates/isa/src/stats.rs crates/isa/src/trace.rs crates/isa/src/validate.rs
+
+/root/repo/target/release/deps/libsapa_isa-3138c6c5508b9a4e.rlib: crates/isa/src/lib.rs crates/isa/src/inst.rs crates/isa/src/mem.rs crates/isa/src/reg.rs crates/isa/src/stats.rs crates/isa/src/trace.rs crates/isa/src/validate.rs
+
+/root/repo/target/release/deps/libsapa_isa-3138c6c5508b9a4e.rmeta: crates/isa/src/lib.rs crates/isa/src/inst.rs crates/isa/src/mem.rs crates/isa/src/reg.rs crates/isa/src/stats.rs crates/isa/src/trace.rs crates/isa/src/validate.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/inst.rs:
+crates/isa/src/mem.rs:
+crates/isa/src/reg.rs:
+crates/isa/src/stats.rs:
+crates/isa/src/trace.rs:
+crates/isa/src/validate.rs:

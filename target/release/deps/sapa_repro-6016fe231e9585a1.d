@@ -1,0 +1,29 @@
+/root/repo/target/release/deps/sapa_repro-6016fe231e9585a1.d: crates/repro/src/lib.rs crates/repro/src/context.rs crates/repro/src/experiments/mod.rs crates/repro/src/experiments/ext_blastn.rs crates/repro/src/experiments/ext_prefetch.rs crates/repro/src/experiments/ext_queries.rs crates/repro/src/experiments/fig1.rs crates/repro/src/experiments/fig10.rs crates/repro/src/experiments/fig11.rs crates/repro/src/experiments/fig2.rs crates/repro/src/experiments/fig34.rs crates/repro/src/experiments/fig5.rs crates/repro/src/experiments/fig6.rs crates/repro/src/experiments/fig7.rs crates/repro/src/experiments/fig8.rs crates/repro/src/experiments/fig9.rs crates/repro/src/experiments/table1.rs crates/repro/src/experiments/table2.rs crates/repro/src/experiments/table3.rs crates/repro/src/experiments/table7.rs crates/repro/src/experiments/tables456.rs crates/repro/src/format.rs crates/repro/src/sweep.rs
+
+/root/repo/target/release/deps/libsapa_repro-6016fe231e9585a1.rlib: crates/repro/src/lib.rs crates/repro/src/context.rs crates/repro/src/experiments/mod.rs crates/repro/src/experiments/ext_blastn.rs crates/repro/src/experiments/ext_prefetch.rs crates/repro/src/experiments/ext_queries.rs crates/repro/src/experiments/fig1.rs crates/repro/src/experiments/fig10.rs crates/repro/src/experiments/fig11.rs crates/repro/src/experiments/fig2.rs crates/repro/src/experiments/fig34.rs crates/repro/src/experiments/fig5.rs crates/repro/src/experiments/fig6.rs crates/repro/src/experiments/fig7.rs crates/repro/src/experiments/fig8.rs crates/repro/src/experiments/fig9.rs crates/repro/src/experiments/table1.rs crates/repro/src/experiments/table2.rs crates/repro/src/experiments/table3.rs crates/repro/src/experiments/table7.rs crates/repro/src/experiments/tables456.rs crates/repro/src/format.rs crates/repro/src/sweep.rs
+
+/root/repo/target/release/deps/libsapa_repro-6016fe231e9585a1.rmeta: crates/repro/src/lib.rs crates/repro/src/context.rs crates/repro/src/experiments/mod.rs crates/repro/src/experiments/ext_blastn.rs crates/repro/src/experiments/ext_prefetch.rs crates/repro/src/experiments/ext_queries.rs crates/repro/src/experiments/fig1.rs crates/repro/src/experiments/fig10.rs crates/repro/src/experiments/fig11.rs crates/repro/src/experiments/fig2.rs crates/repro/src/experiments/fig34.rs crates/repro/src/experiments/fig5.rs crates/repro/src/experiments/fig6.rs crates/repro/src/experiments/fig7.rs crates/repro/src/experiments/fig8.rs crates/repro/src/experiments/fig9.rs crates/repro/src/experiments/table1.rs crates/repro/src/experiments/table2.rs crates/repro/src/experiments/table3.rs crates/repro/src/experiments/table7.rs crates/repro/src/experiments/tables456.rs crates/repro/src/format.rs crates/repro/src/sweep.rs
+
+crates/repro/src/lib.rs:
+crates/repro/src/context.rs:
+crates/repro/src/experiments/mod.rs:
+crates/repro/src/experiments/ext_blastn.rs:
+crates/repro/src/experiments/ext_prefetch.rs:
+crates/repro/src/experiments/ext_queries.rs:
+crates/repro/src/experiments/fig1.rs:
+crates/repro/src/experiments/fig10.rs:
+crates/repro/src/experiments/fig11.rs:
+crates/repro/src/experiments/fig2.rs:
+crates/repro/src/experiments/fig34.rs:
+crates/repro/src/experiments/fig5.rs:
+crates/repro/src/experiments/fig6.rs:
+crates/repro/src/experiments/fig7.rs:
+crates/repro/src/experiments/fig8.rs:
+crates/repro/src/experiments/fig9.rs:
+crates/repro/src/experiments/table1.rs:
+crates/repro/src/experiments/table2.rs:
+crates/repro/src/experiments/table3.rs:
+crates/repro/src/experiments/table7.rs:
+crates/repro/src/experiments/tables456.rs:
+crates/repro/src/format.rs:
+crates/repro/src/sweep.rs:

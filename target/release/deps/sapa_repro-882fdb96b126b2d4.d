@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sapa_repro-882fdb96b126b2d4.d: crates/repro/src/main.rs
+
+/root/repo/target/release/deps/sapa_repro-882fdb96b126b2d4: crates/repro/src/main.rs
+
+crates/repro/src/main.rs:

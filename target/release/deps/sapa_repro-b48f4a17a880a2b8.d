@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sapa_repro-b48f4a17a880a2b8.d: crates/repro/src/main.rs
+
+/root/repo/target/release/deps/sapa_repro-b48f4a17a880a2b8: crates/repro/src/main.rs
+
+crates/repro/src/main.rs:

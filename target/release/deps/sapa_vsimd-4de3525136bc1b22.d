@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sapa_vsimd-4de3525136bc1b22.d: crates/vsimd/src/lib.rs
+
+/root/repo/target/release/deps/sapa_vsimd-4de3525136bc1b22: crates/vsimd/src/lib.rs
+
+crates/vsimd/src/lib.rs:

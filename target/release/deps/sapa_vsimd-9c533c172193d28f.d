@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/sapa_vsimd-9c533c172193d28f.d: crates/vsimd/src/lib.rs
+
+/root/repo/target/release/deps/libsapa_vsimd-9c533c172193d28f.rlib: crates/vsimd/src/lib.rs
+
+/root/repo/target/release/deps/libsapa_vsimd-9c533c172193d28f.rmeta: crates/vsimd/src/lib.rs
+
+crates/vsimd/src/lib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/sapa_workloads-1c4181102c5c1ae1.d: crates/workloads/src/lib.rs crates/workloads/src/blast.rs crates/workloads/src/blastn.rs crates/workloads/src/fasta.rs crates/workloads/src/layout.rs crates/workloads/src/registry.rs crates/workloads/src/ssearch.rs crates/workloads/src/sw_simd.rs
+
+/root/repo/target/release/deps/libsapa_workloads-1c4181102c5c1ae1.rlib: crates/workloads/src/lib.rs crates/workloads/src/blast.rs crates/workloads/src/blastn.rs crates/workloads/src/fasta.rs crates/workloads/src/layout.rs crates/workloads/src/registry.rs crates/workloads/src/ssearch.rs crates/workloads/src/sw_simd.rs
+
+/root/repo/target/release/deps/libsapa_workloads-1c4181102c5c1ae1.rmeta: crates/workloads/src/lib.rs crates/workloads/src/blast.rs crates/workloads/src/blastn.rs crates/workloads/src/fasta.rs crates/workloads/src/layout.rs crates/workloads/src/registry.rs crates/workloads/src/ssearch.rs crates/workloads/src/sw_simd.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/blast.rs:
+crates/workloads/src/blastn.rs:
+crates/workloads/src/fasta.rs:
+crates/workloads/src/layout.rs:
+crates/workloads/src/registry.rs:
+crates/workloads/src/ssearch.rs:
+crates/workloads/src/sw_simd.rs:

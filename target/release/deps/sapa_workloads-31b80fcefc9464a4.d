@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/sapa_workloads-31b80fcefc9464a4.d: crates/workloads/src/lib.rs crates/workloads/src/blast.rs crates/workloads/src/blastn.rs crates/workloads/src/fasta.rs crates/workloads/src/layout.rs crates/workloads/src/registry.rs crates/workloads/src/ssearch.rs crates/workloads/src/sw_simd.rs
+
+/root/repo/target/release/deps/sapa_workloads-31b80fcefc9464a4: crates/workloads/src/lib.rs crates/workloads/src/blast.rs crates/workloads/src/blastn.rs crates/workloads/src/fasta.rs crates/workloads/src/layout.rs crates/workloads/src/registry.rs crates/workloads/src/ssearch.rs crates/workloads/src/sw_simd.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/blast.rs:
+crates/workloads/src/blastn.rs:
+crates/workloads/src/fasta.rs:
+crates/workloads/src/layout.rs:
+crates/workloads/src/registry.rs:
+crates/workloads/src/ssearch.rs:
+crates/workloads/src/sw_simd.rs:

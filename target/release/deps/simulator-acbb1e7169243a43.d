@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/simulator-acbb1e7169243a43.d: crates/bench/benches/simulator.rs
+
+/root/repo/target/release/deps/simulator-acbb1e7169243a43: crates/bench/benches/simulator.rs
+
+crates/bench/benches/simulator.rs:

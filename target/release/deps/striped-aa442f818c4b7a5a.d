@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/striped-aa442f818c4b7a5a.d: crates/bench/benches/striped.rs
+
+/root/repo/target/release/deps/striped-aa442f818c4b7a5a: crates/bench/benches/striped.rs
+
+crates/bench/benches/striped.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/protein_search-1d6b1153254ca880.d: crates/core/../../examples/protein_search.rs
+
+/root/repo/target/release/examples/protein_search-1d6b1153254ca880: crates/core/../../examples/protein_search.rs
+
+crates/core/../../examples/protein_search.rs:

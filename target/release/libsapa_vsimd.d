@@ -1,0 +1,1 @@
+/root/repo/target/release/libsapa_vsimd.rlib: /root/repo/crates/vsimd/src/lib.rs

@@ -1,8 +1,12 @@
 //! Property-based tests of the cycle-accurate simulator: for random
 //! (but well-formed) traces, structural invariants must hold under any
 //! preset configuration.
+//!
+//! Random programs come from the repo's deterministic xoshiro generator
+//! (no external property-test framework is available offline), so every
+//! run exercises the same corpus.
 
-use proptest::prelude::*;
+use sapa_core::bioseq::rng::Xoshiro256;
 use sapa_core::cpu::config::{BranchConfig, SimConfig};
 use sapa_core::cpu::Simulator;
 use sapa_core::isa::reg;
@@ -18,14 +22,19 @@ enum Op {
     Vec(u8, u8),
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0u8..16, 0u8..16).prop_map(|(d, s)| Op::Alu(d, s)),
-        (0u8..16, 0u32..0x4000).prop_map(|(d, a)| Op::Load(d, a)),
-        (0u8..16, 0u32..0x4000).prop_map(|(s, a)| Op::Store(s, a)),
-        any::<bool>().prop_map(Op::Branch),
-        (0u8..16, 0u8..16).prop_map(|(d, s)| Op::Vec(d, s)),
-    ]
+fn random_op(rng: &mut Xoshiro256) -> Op {
+    match rng.next_below(5) {
+        0 => Op::Alu(rng.next_below(16) as u8, rng.next_below(16) as u8),
+        1 => Op::Load(rng.next_below(16) as u8, rng.next_below(0x4000) as u32),
+        2 => Op::Store(rng.next_below(16) as u8, rng.next_below(0x4000) as u32),
+        3 => Op::Branch(rng.next_below(2) == 0),
+        _ => Op::Vec(rng.next_below(16) as u8, rng.next_below(16) as u8),
+    }
+}
+
+fn random_ops(rng: &mut Xoshiro256, min: usize, max: usize) -> Vec<Op> {
+    let len = min + rng.next_below((max - min) as u64) as usize;
+    (0..len).map(|_| random_op(rng)).collect()
 }
 
 fn build_trace(ops: &[Op]) -> Trace {
@@ -43,87 +52,105 @@ fn build_trace(ops: &[Op]) -> Trace {
     t.finish()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+const CASES: usize = 48;
 
-    #[test]
-    fn every_instruction_retires_exactly_once(
-        ops in proptest::collection::vec(op_strategy(), 0..400),
-    ) {
+#[test]
+fn every_instruction_retires_exactly_once() {
+    let mut rng = Xoshiro256::new(0x4E714E);
+    for case in 0..CASES {
+        let ops = random_ops(&mut rng, 0, 400);
         let trace = build_trace(&ops);
         for cfg in [SimConfig::four_way(), SimConfig::eight_way(), SimConfig::sixteen_way()] {
             let r = Simulator::new(cfg).run(&trace);
-            prop_assert_eq!(r.instructions as usize, ops.len());
+            assert_eq!(r.instructions as usize, ops.len(), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn cycles_bound_below_by_width_and_above_by_worst_case(
-        ops in proptest::collection::vec(op_strategy(), 1..400),
-    ) {
+#[test]
+fn cycles_bound_below_by_width_and_above_by_worst_case() {
+    let mut rng = Xoshiro256::new(0xC7C1E5);
+    for case in 0..CASES {
+        let ops = random_ops(&mut rng, 1, 400);
         let trace = build_trace(&ops);
         let cfg = SimConfig::four_way();
         let retire_width = cfg.cpu.retire_width as u64;
         let r = Simulator::new(cfg).run(&trace);
         let n = ops.len() as u64;
-        prop_assert!(r.cycles >= n / retire_width);
+        assert!(r.cycles >= n / retire_width, "case {case}");
         // Worst case: every instruction serial through memory.
-        prop_assert!(r.cycles <= n * 400 + 10_000, "cycles {}", r.cycles);
+        assert!(r.cycles <= n * 400 + 10_000, "case {case}: cycles {}", r.cycles);
     }
+}
 
-    #[test]
-    fn stall_cycles_never_exceed_total_cycles(
-        ops in proptest::collection::vec(op_strategy(), 0..300),
-    ) {
+#[test]
+fn stall_cycles_never_exceed_total_cycles() {
+    let mut rng = Xoshiro256::new(0x57A115);
+    for case in 0..CASES {
+        let ops = random_ops(&mut rng, 0, 300);
         let trace = build_trace(&ops);
         let r = Simulator::new(SimConfig::four_way()).run(&trace);
-        prop_assert!(r.traumas.total() <= r.cycles);
+        assert!(r.traumas.total() <= r.cycles, "case {case}");
     }
+}
 
-    #[test]
-    fn perfect_bp_never_slower(
-        ops in proptest::collection::vec(op_strategy(), 1..300),
-    ) {
+#[test]
+fn perfect_bp_never_slower() {
+    let mut rng = Xoshiro256::new(0xBBBB01);
+    for case in 0..CASES {
+        let ops = random_ops(&mut rng, 1, 300);
         let trace = build_trace(&ops);
         let real = Simulator::new(SimConfig::four_way()).run(&trace);
         let mut cfg = SimConfig::four_way();
         cfg.branch = BranchConfig::perfect();
         let perfect = Simulator::new(cfg).run(&trace);
-        prop_assert!(perfect.cycles <= real.cycles,
-            "perfect {} > real {}", perfect.cycles, real.cycles);
+        assert!(
+            perfect.cycles <= real.cycles,
+            "case {case}: perfect {} > real {}",
+            perfect.cycles,
+            real.cycles
+        );
     }
+}
 
-    #[test]
-    fn wider_machines_never_lose_much(
-        ops in proptest::collection::vec(op_strategy(), 1..300),
-    ) {
-        // Wider presets have strictly more of every resource; allow a
-        // small tolerance for scheduling-order artifacts.
+#[test]
+fn wider_machines_never_lose_much() {
+    // Wider presets have strictly more of every resource; allow a
+    // small tolerance for scheduling-order artifacts.
+    let mut rng = Xoshiro256::new(0x31DE41);
+    for case in 0..CASES {
+        let ops = random_ops(&mut rng, 1, 300);
         let trace = build_trace(&ops);
         let four = Simulator::new(SimConfig::four_way()).run(&trace);
         let sixteen = Simulator::new(SimConfig::sixteen_way()).run(&trace);
-        prop_assert!(
+        assert!(
             sixteen.cycles as f64 <= four.cycles as f64 * 1.10 + 50.0,
-            "16-way {} vs 4-way {}", sixteen.cycles, four.cycles
+            "case {case}: 16-way {} vs 4-way {}",
+            sixteen.cycles,
+            four.cycles
         );
     }
+}
 
-    #[test]
-    fn cache_stats_are_consistent(
-        ops in proptest::collection::vec(op_strategy(), 0..300),
-    ) {
+#[test]
+fn cache_stats_are_consistent() {
+    let mut rng = Xoshiro256::new(0xCAC4E5);
+    for case in 0..CASES {
+        let ops = random_ops(&mut rng, 0, 300);
         let trace = build_trace(&ops);
         let mem_ops = trace.stats().mem_ops();
         let r = Simulator::new(SimConfig::four_way()).run(&trace);
-        prop_assert_eq!(r.dl1.accesses, mem_ops);
-        prop_assert!(r.dl1.misses <= r.dl1.accesses);
-        prop_assert!(r.l2.misses <= r.l2.accesses);
+        assert_eq!(r.dl1.accesses, mem_ops, "case {case}");
+        assert!(r.dl1.misses <= r.dl1.accesses, "case {case}");
+        assert!(r.l2.misses <= r.l2.accesses, "case {case}");
     }
+}
 
-    #[test]
-    fn branch_stats_match_trace(
-        ops in proptest::collection::vec(op_strategy(), 0..300),
-    ) {
+#[test]
+fn branch_stats_match_trace() {
+    let mut rng = Xoshiro256::new(0xB4A2C4);
+    for case in 0..CASES {
+        let ops = random_ops(&mut rng, 0, 300);
         let trace = build_trace(&ops);
         let cond = trace
             .insts()
@@ -131,19 +158,21 @@ proptest! {
             .filter(|i| i.is_cond_branch())
             .count() as u64;
         let r = Simulator::new(SimConfig::four_way()).run(&trace);
-        prop_assert_eq!(r.bp_predictions, cond);
-        prop_assert!(r.bp_mispredictions <= r.bp_predictions);
+        assert_eq!(r.bp_predictions, cond, "case {case}");
+        assert!(r.bp_mispredictions <= r.bp_predictions, "case {case}");
     }
+}
 
-    #[test]
-    fn occupancy_histograms_account_every_cycle(
-        ops in proptest::collection::vec(op_strategy(), 0..300),
-    ) {
+#[test]
+fn occupancy_histograms_account_every_cycle() {
+    let mut rng = Xoshiro256::new(0x0CC09A);
+    for case in 0..CASES {
+        let ops = random_ops(&mut rng, 0, 300);
         let trace = build_trace(&ops);
         let r = Simulator::new(SimConfig::four_way()).run(&trace);
         let inflight: u64 = r.inflight_occupancy.as_slice().iter().sum();
-        prop_assert_eq!(inflight, r.cycles);
+        assert_eq!(inflight, r.cycles, "case {case}");
         let retq: u64 = r.retireq_occupancy.as_slice().iter().sum();
-        prop_assert_eq!(retq, r.cycles);
+        assert_eq!(retq, r.cycles, "case {case}");
     }
 }
