@@ -104,8 +104,7 @@ impl WordIndex {
                 if w.iter().any(|aa| !aa.is_standard()) {
                     continue;
                 }
-                let qi: [usize; WORD_LEN] =
-                    [w[0].index(), w[1].index(), w[2].index()];
+                let qi: [usize; WORD_LEN] = [w[0].index(), w[1].index(), w[2].index()];
                 let best_tail2 = row_max[qi[1]] + row_max[qi[2]];
                 let best_tail1 = row_max[qi[2]];
                 // Enumerate candidate words with score-based pruning.
@@ -288,8 +287,7 @@ where
                     continue;
                 }
 
-                let ungapped =
-                    ungapped_extend(query, subject, matrix, i, j, params.xdrop_ungapped);
+                let ungapped = ungapped_extend(query, subject, matrix, i, j, params.xdrop_ungapped);
                 ext_end[diag] = jj + WORD_LEN as i32; // coarse: block re-seeding here
                 let score = if ungapped >= params.gapped_trigger {
                     banded::score(
@@ -335,12 +333,21 @@ mod tests {
         let subj = seq("AAAAMKWVTFISLLAAAA"); // one seed region only
         let db: Vec<&[AminoAcid]> = vec![&subj];
         let two = {
-            let mut r = search(&idx, db.clone(), &m, GapPenalties::paper(),
-                &BlastParams::default(), 10);
+            let mut r = search(
+                &idx,
+                db.clone(),
+                &m,
+                GapPenalties::paper(),
+                &BlastParams::default(),
+                10,
+            );
             r.best_score()
         };
         let one = {
-            let p = BlastParams { one_hit: true, ..BlastParams::default() };
+            let p = BlastParams {
+                one_hit: true,
+                ..BlastParams::default()
+            };
             let mut r = search(&idx, db, &m, GapPenalties::paper(), &p, 10);
             r.best_score()
         };

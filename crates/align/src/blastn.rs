@@ -61,12 +61,8 @@ impl NtWordIndex {
     /// Panics if `word_len` is 0 or greater than 16 (words are packed
     /// into a `u32`).
     pub fn build(query: &DnaSequence, word_len: usize) -> Self {
-        assert!(
-            (1..=16).contains(&word_len),
-            "word length must be 1..=16"
-        );
-        let mut words: std::collections::HashMap<u32, Vec<u32>> =
-            std::collections::HashMap::new();
+        assert!((1..=16).contains(&word_len), "word length must be 1..=16");
+        let mut words: std::collections::HashMap<u32, Vec<u32>> = std::collections::HashMap::new();
         let bases = query.bases();
         if bases.len() >= word_len {
             let mask = word_mask(word_len);
@@ -74,10 +70,7 @@ impl NtWordIndex {
             for (i, b) in bases.iter().enumerate() {
                 w = ((w << 2) | b.code() as u32) & mask;
                 if i + 1 >= word_len {
-                    words
-                        .entry(w)
-                        .or_default()
-                        .push((i + 1 - word_len) as u32);
+                    words.entry(w).or_default().push((i + 1 - word_len) as u32);
                 }
             }
         }
@@ -337,8 +330,9 @@ mod tests {
     fn random_subjects_rarely_score() {
         let q = random_dna("q", 64, 21);
         let idx = NtWordIndex::build(&q, 11);
-        let subjects: Vec<PackedDna> =
-            (0..10).map(|k| random_dna("s", 400, 100 + k).pack()).collect();
+        let subjects: Vec<PackedDna> = (0..10)
+            .map(|k| random_dna("s", 400, 100 + k).pack())
+            .collect();
         let mut res = search(&idx, subjects.iter(), &BlastnParams::default(), 10);
         // An 11-mer exact match in 400 random bases has probability
         // ≈ 400·64/4^11 ≈ 0.6%; ten subjects should essentially never

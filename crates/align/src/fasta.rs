@@ -261,8 +261,7 @@ pub fn score_subject(
     for x in 0..k {
         chain[x] = by_start[x].score;
         for y in 0..x {
-            if by_start[y].end < by_start[x].start && by_start[y].diag != by_start[x].diag
-            {
+            if by_start[y].end < by_start[x].start && by_start[y].diag != by_start[x].diag {
                 let cand = chain[y] + by_start[x].score - params.join_penalty;
                 if cand > chain[x] {
                     chain[x] = cand;

@@ -183,8 +183,7 @@ pub fn align(
         match state {
             State::H => {
                 let v = h[idx(i, j)];
-                if i > 0 && j > 0 && v == h[idx(i - 1, j - 1)] + matrix.score(a[i - 1], b[j - 1])
-                {
+                if i > 0 && j > 0 && v == h[idx(i - 1, j - 1)] + matrix.score(a[i - 1], b[j - 1]) {
                     ops.push(AlignOp::Subst);
                     i -= 1;
                     j -= 1;

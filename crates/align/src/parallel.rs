@@ -221,9 +221,7 @@ pub fn striped_scores<const LB: usize, const LW: usize>(
                             Some(s) => s,
                             None => {
                                 local_rescored += 1;
-                                striped::score_with_profile::<LW>(
-                                    profile, subject, gaps, &mut ws,
-                                )
+                                striped::score_with_profile::<LW>(profile, subject, gaps, &mut ws)
                             }
                         };
                         local.push((start + i, s));
@@ -362,8 +360,7 @@ mod tests {
         assert!(par_scores(0, 4, |_| 0).is_empty());
         let m = SubstitutionMatrix::blosum62();
         let profile = QueryProfile::build(&[], &m, 8);
-        let (scores, stats) =
-            striped_scores::<16, 8>(&profile, &[], GapPenalties::paper(), 4);
+        let (scores, stats) = striped_scores::<16, 8>(&profile, &[], GapPenalties::paper(), 4);
         assert!(scores.is_empty());
         assert_eq!(stats.subjects, 0);
     }
@@ -399,8 +396,7 @@ mod tests {
             .build();
         let m = SubstitutionMatrix::blosum62();
         let g = GapPenalties::paper();
-        let slices: Vec<&[sapa_bioseq::AminoAcid]> =
-            db.iter().map(|s| s.residues()).collect();
+        let slices: Vec<&[sapa_bioseq::AminoAcid]> = db.iter().map(|s| s.residues()).collect();
 
         let profile = QueryProfile::build(query.residues(), &m, 8);
         let (scores, stats) = striped_scores::<16, 8>(&profile, &slices, g, 4);
@@ -426,8 +422,7 @@ mod tests {
             .build();
         let m = SubstitutionMatrix::blosum62();
         let g = GapPenalties::paper();
-        let slices: Vec<&[sapa_bioseq::AminoAcid]> =
-            db.iter().map(|s| s.residues()).collect();
+        let slices: Vec<&[sapa_bioseq::AminoAcid]> = db.iter().map(|s| s.residues()).collect();
         let profile = QueryProfile::build(query.residues(), &m, 8);
 
         let (one, s1) = striped_scores::<16, 8>(&profile, &slices, g, 1);
@@ -453,25 +448,24 @@ mod tests {
             .build();
         let m = SubstitutionMatrix::blosum62();
         let g = GapPenalties::paper();
-        let slices: Vec<&[sapa_bioseq::AminoAcid]> =
-            db.iter().map(|s| s.residues()).collect();
+        let slices: Vec<&[sapa_bioseq::AminoAcid]> = db.iter().map(|s| s.residues()).collect();
 
         // A self-match subject guarantees at least one byte overflow.
         let mut with_self = slices.clone();
         with_self.push(query.residues());
 
-        let (mut results, stats) = search_striped::<16, 8>(
-            query.residues(),
-            &with_self,
-            &m,
-            g,
-            4,
-            10,
-            50,
+        let (mut results, stats) =
+            search_striped::<16, 8>(query.residues(), &with_self, &m, g, 4, 10, 50);
+        assert!(
+            stats.rescored >= 1,
+            "self-match must overflow the byte pass"
         );
-        assert!(stats.rescored >= 1, "self-match must overflow the byte pass");
         let best = results.hits()[0];
-        assert_eq!(best.seq_index, with_self.len() - 1, "self-match ranks first");
+        assert_eq!(
+            best.seq_index,
+            with_self.len() - 1,
+            "self-match ranks first"
+        );
         assert_eq!(
             best.score,
             sw::score(query.residues(), query.residues(), &m, g)
@@ -489,8 +483,7 @@ mod tests {
             .build();
         let m = SubstitutionMatrix::blosum62();
         let g = GapPenalties::paper();
-        let slices: Vec<&[sapa_bioseq::AminoAcid]> =
-            db.iter().map(|s| s.residues()).collect();
+        let slices: Vec<&[sapa_bioseq::AminoAcid]> = db.iter().map(|s| s.residues()).collect();
 
         let p128 = QueryProfile::build(query.residues(), &m, 8);
         let p256 = QueryProfile::build(query.residues(), &m, 16);

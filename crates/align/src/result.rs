@@ -112,9 +112,18 @@ mod tests {
     #[test]
     fn ties_break_by_index() {
         let mut r = SearchResults::new(4);
-        r.push(Hit { seq_index: 2, score: 5 });
-        r.push(Hit { seq_index: 0, score: 5 });
-        r.push(Hit { seq_index: 1, score: 5 });
+        r.push(Hit {
+            seq_index: 2,
+            score: 5,
+        });
+        r.push(Hit {
+            seq_index: 0,
+            score: 5,
+        });
+        r.push(Hit {
+            seq_index: 1,
+            score: 5,
+        });
         let idx: Vec<usize> = r.hits().iter().map(|h| h.seq_index).collect();
         assert_eq!(idx, vec![0, 1, 2]);
     }

@@ -109,11 +109,7 @@ pub fn score<const L: usize>(
             // Substitution scores for the cells of this diagonal.
             let s_d = gather_scores::<L>(a, b, matrix, i0, d);
 
-            let h_d = h_diag
-                .adds(s_d)
-                .max(e_d)
-                .max(f_d)
-                .max(zero);
+            let h_d = h_diag.adds(s_d).max(e_d).max(f_d).max(zero);
 
             vbest = vbest.max(h_d);
 
@@ -311,7 +307,11 @@ pub fn score_bytes<const L: usize>(
         for d in 0..(n + L - 1) {
             let b_h = if d < n { carry_h[d] } else { 0 };
             let b_f = if d < n { carry_f[d] } else { 0 };
-            let b_hd = if d >= 1 && d - 1 < n { carry_h[d - 1] } else { 0 };
+            let b_hd = if d >= 1 && d - 1 < n {
+                carry_h[d - 1]
+            } else {
+                0
+            };
 
             let e_d = e_dm1.subs(ext).max(h_dm1.subs(open_ext));
             let f_shift = f_dm1.shift_in_first(b_f);
@@ -414,11 +414,7 @@ mod byte_tests {
             let a = seq(x);
             let b = seq(y);
             let expect = sw::score(&a, &b, &m, g);
-            assert_eq!(
-                score_bytes::<16>(&a, &b, &m, g),
-                Some(expect),
-                "{x} vs {y}"
-            );
+            assert_eq!(score_bytes::<16>(&a, &b, &m, g), Some(expect), "{x} vs {y}");
             assert_eq!(score_bytes::<32>(&a, &b, &m, g), Some(expect));
         }
     }
@@ -442,10 +438,7 @@ mod byte_tests {
         let short = seq("HEAGAWGHEE");
         let long = seq(&"ACDEFGHIKLMNPQRSTVWY".repeat(5));
         for (a, b) in [(&short, &short), (&long, &long), (&short, &long)] {
-            assert_eq!(
-                score_adaptive::<16, 8>(a, b, &m, g),
-                sw::score(a, b, &m, g)
-            );
+            assert_eq!(score_adaptive::<16, 8>(a, b, &m, g), sw::score(a, b, &m, g));
             assert_eq!(
                 score_adaptive::<32, 16>(a, b, &m, g),
                 sw::score(a, b, &m, g)

@@ -28,9 +28,7 @@ pub fn extend_right(
     let ext = gaps.extend;
 
     // Row 0: gaps in `a` along `b`.
-    let mut h: Vec<i32> = (0..=n)
-        .map(|j| -gaps.gap_cost(j as u32))
-        .collect();
+    let mut h: Vec<i32> = (0..=n).map(|j| -gaps.gap_cost(j as u32)).collect();
     let mut f = vec![NEG; n + 1];
     let mut best = 0i32;
 
@@ -134,7 +132,12 @@ mod tests {
 
     /// Oracle: unbounded "extension" score (best prefix-vs-prefix
     /// alignment anchored at the origin), full DP.
-    fn naive_extend(a: &[AminoAcid], b: &[AminoAcid], m: &SubstitutionMatrix, g: GapPenalties) -> i32 {
+    fn naive_extend(
+        a: &[AminoAcid],
+        b: &[AminoAcid],
+        m: &SubstitutionMatrix,
+        g: GapPenalties,
+    ) -> i32 {
         let (la, lb) = (a.len(), b.len());
         let idx = |i: usize, j: usize| i * (lb + 1) + j;
         let oe = g.open + g.extend;

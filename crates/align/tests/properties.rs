@@ -82,8 +82,16 @@ fn byte_precision_simd_matches_scalar() {
             assert_eq!(s, expect, "case {case}");
         }
         // The adaptive wrapper always agrees.
-        assert_eq!(simd_sw::score_adaptive::<16, 8>(&a, &b, &m, g), expect, "case {case}");
-        assert_eq!(simd_sw::score_adaptive::<32, 16>(&a, &b, &m, g), expect, "case {case}");
+        assert_eq!(
+            simd_sw::score_adaptive::<16, 8>(&a, &b, &m, g),
+            expect,
+            "case {case}"
+        );
+        assert_eq!(
+            simd_sw::score_adaptive::<32, 16>(&a, &b, &m, g),
+            expect,
+            "case {case}"
+        );
     }
 }
 
@@ -99,8 +107,16 @@ fn striped_matches_scalar() {
         let b = protein(&mut rng, 64);
         let g = gap_penalties(&mut rng);
         let expect = sw::score(&a, &b, &m, g);
-        assert_eq!(striped::score::<8>(&a, &b, &m, g), expect, "L=8 case {case}");
-        assert_eq!(striped::score::<16>(&a, &b, &m, g), expect, "L=16 case {case}");
+        assert_eq!(
+            striped::score::<8>(&a, &b, &m, g),
+            expect,
+            "L=8 case {case}"
+        );
+        assert_eq!(
+            striped::score::<16>(&a, &b, &m, g),
+            expect,
+            "L=16 case {case}"
+        );
         assert_eq!(
             striped::score_adaptive::<16, 8>(&a, &b, &m, g),
             expect,
@@ -124,8 +140,16 @@ fn striped_matches_scalar_on_gap_heavy_inputs() {
         // Cheap gaps so optimal alignments actually use them.
         let g = GapPenalties::new(1 + rng.next_below(4) as i32, 1);
         let expect = sw::score(&a, &b, &m, g);
-        assert_eq!(striped::score::<8>(&a, &b, &m, g), expect, "L=8 case {case}");
-        assert_eq!(striped::score::<16>(&a, &b, &m, g), expect, "L=16 case {case}");
+        assert_eq!(
+            striped::score::<8>(&a, &b, &m, g),
+            expect,
+            "L=8 case {case}"
+        );
+        assert_eq!(
+            striped::score::<16>(&a, &b, &m, g),
+            expect,
+            "L=16 case {case}"
+        );
         assert_eq!(
             striped::score_adaptive::<16, 8>(&a, &b, &m, g),
             expect,
@@ -237,7 +261,11 @@ fn sw_score_is_symmetric() {
     for case in 0..CASES {
         let a = protein(&mut rng, 32);
         let b = protein(&mut rng, 32);
-        assert_eq!(sw::score(&a, &b, &m, g), sw::score(&b, &a, &m, g), "case {case}");
+        assert_eq!(
+            sw::score(&a, &b, &m, g),
+            sw::score(&b, &a, &m, g),
+            "case {case}"
+        );
     }
 }
 
@@ -314,7 +342,10 @@ fn global_at_most_local() {
     for case in 0..CASES {
         let a = protein(&mut rng, 24);
         let b = protein(&mut rng, 24);
-        assert!(nw::score(&a, &b, &m, g) <= sw::score(&a, &b, &m, g), "case {case}");
+        assert!(
+            nw::score(&a, &b, &m, g) <= sw::score(&a, &b, &m, g),
+            "case {case}"
+        );
     }
 }
 
@@ -423,9 +454,7 @@ fn word_index_entries_meet_threshold() {
             for &qi in idx.lookup(word) {
                 let q = &a[qi as usize..qi as usize + 3];
                 let c = [word / 400, (word / 20) % 20, word % 20];
-                let score: i32 = (0..3)
-                    .map(|k| m.score_by_index(q[k].index(), c[k]))
-                    .sum();
+                let score: i32 = (0..3).map(|k| m.score_by_index(q[k].index(), c[k])).sum();
                 assert!(score >= t, "case {case}");
             }
         }

@@ -50,7 +50,14 @@ fn other_kernels(c: &mut Criterion) {
         });
     }
     group.bench_function("traceback_alignment", |b| {
-        b.iter(|| sw::align(&query.residues()[..64], &subject[..64.min(subject.len())], &matrix, gaps))
+        b.iter(|| {
+            sw::align(
+                &query.residues()[..64],
+                &subject[..64.min(subject.len())],
+                &matrix,
+                gaps,
+            )
+        })
     });
     group.finish();
 }

@@ -1,0 +1,140 @@
+//! Simulator replay and sweep throughput — the headline measurements
+//! for the parallel-sweep PR.
+//!
+//! Groups:
+//!
+//! * `sim_replay` — one BLAST trace through the 4-way baseline, as an
+//!   array-of-structs `Trace` vs the compact `PackedTrace`, reported in
+//!   simulated instructions per second;
+//! * `sim_sweep` — a 12-point grid (3 widths × 2 memories × 2
+//!   predictors) over one shared packed trace, serial vs 2 and 4 sweep
+//!   threads.
+//!
+//! Outside `--test` mode the run writes `BENCH_sim.json` at the
+//! repository root: per-bench medians, simulated-instructions-per-
+//! second rates, the packed-vs-AoS trace footprint, and the measured
+//! sweep speedups (bounded by `host_cpus` — on a single-core host the
+//! threaded points measure scheduling overhead, not speedup).
+
+use std::sync::Arc;
+
+use sapa_bench::harness::{Criterion, Throughput};
+use sapa_core::cpu::config::{BranchConfig, CpuConfig, MemConfig, SimConfig};
+use sapa_core::cpu::sweep::{run_jobs, SweepJob};
+use sapa_core::cpu::Simulator;
+use sapa_core::isa::{PackedTrace, Trace};
+use sapa_core::workloads::{StandardInputs, Workload};
+
+fn bench_trace() -> Trace {
+    // BLAST at a reduced database: a few hundred thousand instructions,
+    // large enough to dwarf per-run setup, small enough to iterate.
+    Workload::Blast
+        .trace(&StandardInputs::with_db_size(60, 2))
+        .trace
+}
+
+fn sweep_grid() -> Vec<SimConfig> {
+    let mut grid = Vec::new();
+    for cpu in [
+        CpuConfig::four_way(),
+        CpuConfig::eight_way(),
+        CpuConfig::sixteen_way(),
+    ] {
+        for mem in [MemConfig::me1(), MemConfig::meinf()] {
+            for branch in [BranchConfig::table_vi(), BranchConfig::perfect()] {
+                grid.push(SimConfig {
+                    cpu: cpu.clone(),
+                    mem: mem.clone(),
+                    branch,
+                });
+            }
+        }
+    }
+    grid
+}
+
+fn replay(c: &mut Criterion, trace: &Trace, packed: &Arc<PackedTrace>) {
+    let sim = Simulator::new(SimConfig::four_way());
+    let mut group = c.benchmark_group("sim_replay");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.bench_function("aos_trace", |b| b.iter(|| sim.run(trace)));
+    group.bench_function("packed_trace", |b| b.iter(|| sim.run_packed(packed)));
+    group.finish();
+}
+
+fn sweep(c: &mut Criterion, packed: &Arc<PackedTrace>) {
+    let jobs: Vec<SweepJob> = sweep_grid()
+        .into_iter()
+        .map(|cfg| SweepJob::new(Arc::clone(packed), cfg))
+        .collect();
+    let insts = packed.len() as u64 * jobs.len() as u64;
+    let mut group = c.benchmark_group("sim_sweep_12pt");
+    group.throughput(Throughput::Elements(insts));
+    group.bench_function("serial", |b| b.iter(|| run_jobs(&jobs, 1)));
+    for threads in [2usize, 4] {
+        group.bench_function(format!("threads_{threads}"), |b| {
+            b.iter(|| run_jobs(&jobs, threads))
+        });
+    }
+    group.finish();
+}
+
+fn write_json(c: &Criterion, trace: &Trace, packed: &PackedTrace) {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json");
+    let mut entries = String::new();
+    for (i, r) in c.results().iter().enumerate() {
+        if i > 0 {
+            entries.push_str(",\n");
+        }
+        let rate = r
+            .elements_per_sec
+            .map_or("null".to_string(), |v| format!("{v:.1}"));
+        entries.push_str(&format!(
+            "    {{\"group\": \"{}\", \"name\": \"{}\", \"median_ns_per_iter\": {:.1}, \"sim_insts_per_sec\": {}}}",
+            r.group, r.name, r.median_ns, rate
+        ));
+    }
+    let ratio = |fast: &str, slow: &str| -> String {
+        match (
+            c.result("sim_sweep_12pt", slow),
+            c.result("sim_sweep_12pt", fast),
+        ) {
+            (Some(s), Some(f)) if f.median_ns > 0.0 => {
+                format!("{:.3}", s.median_ns / f.median_ns)
+            }
+            _ => "null".to_string(),
+        }
+    };
+    let replay_ratio = match (
+        c.result("sim_replay", "aos_trace"),
+        c.result("sim_replay", "packed_trace"),
+    ) {
+        (Some(aos), Some(p)) if p.median_ns > 0.0 => format!("{:.3}", aos.median_ns / p.median_ns),
+        _ => "null".to_string(),
+    };
+    let aos_bytes = trace.len() * std::mem::size_of::<sapa_core::isa::Inst>();
+    let cpus = std::thread::available_parallelism().map_or(0, |n| n.get());
+    let json = format!(
+        "{{\n  \"bench\": \"sim\",\n  \"workload\": \"BLAST\",\n  \"trace_insts\": {},\n  \"host_cpus\": {cpus},\n  \"trace_bytes_aos\": {aos_bytes},\n  \"trace_bytes_packed\": {},\n  \"results\": [\n{entries}\n  ],\n  \"derived\": {{\n    \"packed_vs_aos_replay_speed\": {replay_ratio},\n    \"trace_compression\": {:.3},\n    \"sweep_speedup_t2_vs_serial\": {},\n    \"sweep_speedup_t4_vs_serial\": {}\n  }}\n}}\n",
+        trace.len(),
+        packed.heap_bytes(),
+        aos_bytes as f64 / packed.heap_bytes() as f64,
+        ratio("threads_2", "serial"),
+        ratio("threads_4", "serial"),
+    );
+    match std::fs::write(path, json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+fn main() {
+    let mut c = Criterion::from_args().sample_size(10);
+    let trace = bench_trace();
+    let packed = Arc::new(PackedTrace::from_trace(&trace));
+    replay(&mut c, &trace, &packed);
+    sweep(&mut c, &packed);
+    if !c.is_test_mode() {
+        write_json(&c, &trace, &packed);
+    }
+}

@@ -26,9 +26,11 @@ fn simulation_throughput(c: &mut Criterion) {
     for w in Workload::ALL {
         let bundle = w.trace(&inputs);
         group.throughput(Throughput::Elements(bundle.trace.len() as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(w.label()), &bundle, |b, bundle| {
-            b.iter(|| Simulator::new(SimConfig::four_way()).run(&bundle.trace))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(w.label()),
+            &bundle,
+            |b, bundle| b.iter(|| Simulator::new(SimConfig::four_way()).run(&bundle.trace)),
+        );
     }
     group.finish();
 }
@@ -54,7 +56,10 @@ fn simulation_configs(c: &mut Criterion) {
             b.iter(|| Simulator::new(cfg.clone()).run(&bundle.trace))
         });
     }
-    for (name, mem) in [("fig5_tiny_dl1", MemConfig::me1()), ("fig5_ideal", MemConfig::meinf())] {
+    for (name, mem) in [
+        ("fig5_tiny_dl1", MemConfig::me1()),
+        ("fig5_ideal", MemConfig::meinf()),
+    ] {
         let cfg = SimConfig {
             cpu: CpuConfig::four_way(),
             mem,
@@ -69,9 +74,11 @@ fn simulation_configs(c: &mut Criterion) {
         mem: MemConfig::me1(),
         branch: BranchConfig::perfect(),
     };
-    group.bench_with_input(BenchmarkId::from_parameter("fig9_perfect_bp"), &perfect, |b, cfg| {
-        b.iter(|| Simulator::new(cfg.clone()).run(&bundle.trace))
-    });
+    group.bench_with_input(
+        BenchmarkId::from_parameter("fig9_perfect_bp"),
+        &perfect,
+        |b, cfg| b.iter(|| Simulator::new(cfg.clone()).run(&bundle.trace)),
+    );
     group.finish();
 }
 
@@ -84,7 +91,11 @@ fn standalone_predictors(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("fig11_standalone_bp");
     group.throughput(Throughput::Elements(bundle.trace.len() as u64));
-    for kind in [PredictorKind::Bimodal, PredictorKind::Gshare, PredictorKind::Gp] {
+    for kind in [
+        PredictorKind::Bimodal,
+        PredictorKind::Gshare,
+        PredictorKind::Gp,
+    ] {
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{kind:?}")),
             &kind,

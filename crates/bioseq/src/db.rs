@@ -220,8 +220,7 @@ impl DatabaseBuilder {
 
         let mut sequences = Vec::with_capacity(self.sequences);
         for i in 0..self.sequences {
-            let is_homolog =
-                self.homolog_fraction > 0.0 && rng.next_f64() < self.homolog_fraction;
+            let is_homolog = self.homolog_fraction > 0.0 && rng.next_f64() < self.homolog_fraction;
             let residues = if is_homolog && !template.is_empty() {
                 mutate(
                     &mut rng,

@@ -29,12 +29,7 @@ pub enum Nucleotide {
 
 impl Nucleotide {
     /// All four bases in encoding order.
-    pub const ALL: [Nucleotide; 4] = [
-        Nucleotide::A,
-        Nucleotide::C,
-        Nucleotide::G,
-        Nucleotide::T,
-    ];
+    pub const ALL: [Nucleotide; 4] = [Nucleotide::A, Nucleotide::C, Nucleotide::G, Nucleotide::T];
 
     /// The 2-bit code.
     #[inline]
@@ -153,12 +148,7 @@ impl DnaSequence {
     pub fn reverse_complement(&self) -> DnaSequence {
         DnaSequence {
             id: format!("{}|rc", self.id),
-            bases: self
-                .bases
-                .iter()
-                .rev()
-                .map(|b| b.complement())
-                .collect(),
+            bases: self.bases.iter().rev().map(|b| b.complement()).collect(),
         }
     }
 

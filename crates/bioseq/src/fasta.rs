@@ -186,7 +186,10 @@ mod tests {
             Sequence::new(
                 "sp|Q1",
                 "alpha beta",
-                "MKWYV*XBZ".bytes().map(|b| AminoAcid::from_byte(b).unwrap()).collect(),
+                "MKWYV*XBZ"
+                    .bytes()
+                    .map(|b| AminoAcid::from_byte(b).unwrap())
+                    .collect(),
             ),
             Sequence::from_str("plain", "ACDEFG").unwrap(),
         ];

@@ -126,22 +126,12 @@ impl SubstitutionMatrix {
 
     /// The largest score in the matrix (e.g. 11 for BLOSUM62's W/W).
     pub fn max_score(&self) -> i32 {
-        self.scores
-            .iter()
-            .flatten()
-            .copied()
-            .max()
-            .unwrap_or(0) as i32
+        self.scores.iter().flatten().copied().max().unwrap_or(0) as i32
     }
 
     /// The smallest score in the matrix.
     pub fn min_score(&self) -> i32 {
-        self.scores
-            .iter()
-            .flatten()
-            .copied()
-            .min()
-            .unwrap_or(0) as i32
+        self.scores.iter().flatten().copied().min().unwrap_or(0) as i32
     }
 
     /// Builds the position-specific query profile used by SSEARCH-style
@@ -195,7 +185,10 @@ impl GapPenalties {
 
     /// The paper's configuration: open 10, extend 1.
     pub const fn paper() -> Self {
-        GapPenalties { open: 10, extend: 1 }
+        GapPenalties {
+            open: 10,
+            extend: 1,
+        }
     }
 
     /// Total cost of a gap of `len` residues.

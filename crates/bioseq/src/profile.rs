@@ -86,8 +86,7 @@ impl QueryProfile {
                 for k in 0..word_lanes {
                     let q = k * word_segments + s;
                     if q < m {
-                        words[row + s * word_lanes + k] =
-                            matrix.score(query[q], *c) as i16;
+                        words[row + s * word_lanes + k] = matrix.score(query[q], *c) as i16;
                     }
                 }
             }

@@ -29,20 +29,64 @@ pub struct QueryInfo {
 
 /// Table II of the paper: family, accession, length.
 pub const PAPER_QUERIES: [QueryInfo; 11] = [
-    QueryInfo { family: "Globin", accession: "P02232", length: 143 },
-    QueryInfo { family: "Ras", accession: "P01111", length: 189 },
-    QueryInfo { family: "Glutathione S-transferase", accession: "P14942", length: 222 },
-    QueryInfo { family: "Serine Protease", accession: "P00762", length: 246 },
-    QueryInfo { family: "Histocompatibility antigen", accession: "P10318", length: 362 },
-    QueryInfo { family: "Alcohol dehydrogenase", accession: "P07327", length: 375 },
-    QueryInfo { family: "Serine Protease inhibitor", accession: "P01008", length: 464 },
-    QueryInfo { family: "Cytochrome P450", accession: "P10635", length: 497 },
-    QueryInfo { family: "H+-transporting ATP synthase", accession: "P25705", length: 553 },
-    QueryInfo { family: "Hemaglutinin", accession: "P03435", length: 567 },
+    QueryInfo {
+        family: "Globin",
+        accession: "P02232",
+        length: 143,
+    },
+    QueryInfo {
+        family: "Ras",
+        accession: "P01111",
+        length: 189,
+    },
+    QueryInfo {
+        family: "Glutathione S-transferase",
+        accession: "P14942",
+        length: 222,
+    },
+    QueryInfo {
+        family: "Serine Protease",
+        accession: "P00762",
+        length: 246,
+    },
+    QueryInfo {
+        family: "Histocompatibility antigen",
+        accession: "P10318",
+        length: 362,
+    },
+    QueryInfo {
+        family: "Alcohol dehydrogenase",
+        accession: "P07327",
+        length: 375,
+    },
+    QueryInfo {
+        family: "Serine Protease inhibitor",
+        accession: "P01008",
+        length: 464,
+    },
+    QueryInfo {
+        family: "Cytochrome P450",
+        accession: "P10635",
+        length: 497,
+    },
+    QueryInfo {
+        family: "H+-transporting ATP synthase",
+        accession: "P25705",
+        length: 553,
+    },
+    QueryInfo {
+        family: "Hemaglutinin",
+        accession: "P03435",
+        length: 567,
+    },
     // The paper says "11 different amino-acid query sequences" but lists
     // ten families in Table II; we add a mid-length composite so the set
     // truly has eleven members, matching the text.
-    QueryInfo { family: "Composite (text says 11 queries)", accession: "SYN011", length: 300 },
+    QueryInfo {
+        family: "Composite (text says 11 queries)",
+        accession: "SYN011",
+        length: 300,
+    },
 ];
 
 /// The generated query collection.
@@ -54,10 +98,7 @@ pub struct QuerySet {
 impl QuerySet {
     /// Generates the full Table II stand-in set (deterministic).
     pub fn paper() -> Self {
-        let queries = PAPER_QUERIES
-            .iter()
-            .map(synth_query)
-            .collect();
+        let queries = PAPER_QUERIES.iter().map(synth_query).collect();
         QuerySet { queries }
     }
 
@@ -104,7 +145,10 @@ fn synth_query(info: &QueryInfo) -> Sequence {
         .collect();
     Sequence::new(
         info.accession,
-        format!("synthetic stand-in for {} ({} aa)", info.family, info.length),
+        format!(
+            "synthetic stand-in for {} ({} aa)",
+            info.family, info.length
+        ),
         residues,
     )
 }

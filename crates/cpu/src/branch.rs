@@ -215,8 +215,15 @@ impl NfaTable {
 /// Figure 11's standalone experiment: runs every conditional branch of
 /// `insts` through a predictor of each requested size and strategy,
 /// without the rest of the pipeline, and reports accuracy.
-pub fn standalone_accuracy(
-    insts: &[Inst],
+pub fn standalone_accuracy(insts: &[Inst], kind: PredictorKind, table_size: u32) -> f64 {
+    standalone_accuracy_iter(insts.iter().copied(), kind, table_size)
+}
+
+/// Streaming form of [`standalone_accuracy`]: consumes any instruction
+/// iterator, so a [`sapa_isa::PackedTrace`] can be replayed through the
+/// predictor directly without unpacking to a `Vec<Inst>` first.
+pub fn standalone_accuracy_iter(
+    insts: impl IntoIterator<Item = Inst>,
     kind: PredictorKind,
     table_size: u32,
 ) -> f64 {

@@ -42,6 +42,10 @@ impl CacheStats {
 pub struct Cache {
     cfg: CacheConfig,
     sets: usize,
+    /// `sets - 1` when the set count is a power of two (every preset),
+    /// letting the hot set-index computation be a mask instead of a
+    /// division; `usize::MAX` flags the modulo fallback.
+    set_mask: usize,
     line_shift: u32,
     /// `ways[set * assoc + way]` = tag, `u64::MAX` when invalid.
     tags: Vec<u64>,
@@ -70,6 +74,11 @@ impl Cache {
             line_shift: cfg.line.trailing_zeros(),
             cfg,
             sets,
+            set_mask: if sets.is_power_of_two() {
+                sets - 1
+            } else {
+                usize::MAX
+            },
             tags: vec![u64::MAX; sets * ways],
             stamps: vec![0; sets * ways],
             clock: 0,
@@ -80,6 +89,15 @@ impl Cache {
     /// Whether this is an always-hit (infinite) cache.
     pub fn is_infinite(&self) -> bool {
         self.cfg.size.is_none()
+    }
+
+    #[inline]
+    fn set_of(&self, line: u64) -> usize {
+        if self.set_mask != usize::MAX {
+            line as usize & self.set_mask
+        } else {
+            line as usize % self.sets
+        }
     }
 
     /// Hit latency in cycles.
@@ -95,7 +113,7 @@ impl Cache {
             return true;
         }
         let line = addr >> self.line_shift;
-        let set = (line as usize) % self.sets;
+        let set = self.set_of(line);
         let assoc = self.cfg.assoc as usize;
         let base = set * assoc;
         self.clock += 1;
@@ -140,7 +158,7 @@ impl Cache {
             return true;
         }
         let line = addr >> self.line_shift;
-        let set = (line as usize) % self.sets;
+        let set = self.set_of(line);
         let assoc = self.cfg.assoc as usize;
         self.tags[set * assoc..set * assoc + assoc].contains(&line)
     }
@@ -168,6 +186,9 @@ pub struct AccessResult {
 #[derive(Debug, Clone)]
 pub struct Tlb {
     sets: usize,
+    /// Same trick as [`Cache::set_mask`]: mask when `sets` is a power
+    /// of two, `usize::MAX` for the modulo fallback.
+    set_mask: usize,
     assoc: usize,
     tags: Vec<u64>,
     stamps: Vec<u64>,
@@ -185,8 +206,14 @@ impl Tlb {
     /// Panics if `entries` is not a positive multiple of `assoc`.
     pub fn new(entries: u32, assoc: u32) -> Self {
         assert!(assoc > 0 && entries > 0 && entries.is_multiple_of(assoc));
+        let sets = (entries / assoc) as usize;
         Tlb {
-            sets: (entries / assoc) as usize,
+            sets,
+            set_mask: if sets.is_power_of_two() {
+                sets - 1
+            } else {
+                usize::MAX
+            },
             assoc: assoc as usize,
             tags: vec![u64::MAX; entries as usize],
             stamps: vec![0; entries as usize],
@@ -200,7 +227,11 @@ impl Tlb {
     pub fn access(&mut self, addr: u64) -> bool {
         self.stats.accesses += 1;
         let page = addr >> Self::PAGE_SHIFT;
-        let set = (page as usize) % self.sets;
+        let set = if self.set_mask != usize::MAX {
+            page as usize & self.set_mask
+        } else {
+            page as usize % self.sets
+        };
         let base = set * self.assoc;
         self.clock += 1;
         for w in 0..self.assoc {

@@ -61,7 +61,7 @@ impl UnitClass {
 }
 
 /// Core pipeline configuration (one column of Table IV).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct CpuConfig {
     /// Human-readable name ("4-way", …).
     pub name: String,
@@ -145,13 +145,35 @@ impl CpuConfig {
     /// Table IV's 4-way column (mainstream superscalar: PowerPC 970 /
     /// Alpha 21264 class).
     pub fn four_way() -> Self {
-        Self::base("4-way", 4, 6, 160, 96, [2, 3, 2, 2, 1, 1, 1, 1], 20, 18, 128, 4)
+        Self::base(
+            "4-way",
+            4,
+            6,
+            160,
+            96,
+            [2, 3, 2, 2, 1, 1, 1, 1],
+            20,
+            18,
+            128,
+            4,
+        )
     }
 
     /// Table IV's 8-way column (aggressive design: possible Power6 /
     /// Alpha 21464 class).
     pub fn eight_way() -> Self {
-        Self::base("8-way", 8, 12, 255, 128, [4, 6, 4, 3, 2, 2, 2, 2], 40, 36, 180, 8)
+        Self::base(
+            "8-way",
+            8,
+            12,
+            255,
+            128,
+            [4, 6, 4, 3, 2, 2, 2, 2],
+            40,
+            36,
+            180,
+            8,
+        )
     }
 
     /// Table IV's 16-way column (ILP limit study).
@@ -222,7 +244,7 @@ impl CpuConfig {
 }
 
 /// One cache level's parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CacheConfig {
     /// Total size in bytes; `None` models the paper's "Inf" (ideal)
     /// configuration where every access hits.
@@ -276,7 +298,7 @@ impl CacheConfig {
 /// The paper's trauma taxonomy includes TLB classes (`mm_tlb1/2`,
 /// `if_tlb1/2`) which are near-zero for these workloads; the default
 /// geometry (PowerPC-970-like) reproduces that.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TlbConfig {
     /// Data-TLB entries (power of two).
     pub dtlb_entries: u32,
@@ -323,7 +345,7 @@ impl TlbConfig {
 
 /// Hardware-prefetcher configuration (an extension beyond the paper;
 /// disabled by default so the baseline matches the paper's machine).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct PrefetchConfig {
     /// Next-line prefetch into the DL1 on every DL1 miss; `degree`
     /// consecutive lines are fetched (0 = disabled).
@@ -331,7 +353,7 @@ pub struct PrefetchConfig {
 }
 
 /// Memory-hierarchy configuration (one column of Table V).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct MemConfig {
     /// Preset name ("me1" … "meinf").
     pub name: String,
@@ -444,7 +466,7 @@ pub enum PredictorKind {
 }
 
 /// Branch-prediction configuration (Table VI).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct BranchConfig {
     /// Strategy.
     pub kind: PredictorKind,
@@ -506,7 +528,7 @@ impl BranchConfig {
 }
 
 /// Complete simulator configuration.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct SimConfig {
     /// Pipeline parameters.
     pub cpu: CpuConfig,

@@ -45,9 +45,11 @@ pub mod cache;
 pub mod config;
 pub mod pipeline;
 pub mod stats;
+pub mod sweep;
 pub mod trauma;
 
 pub use config::SimConfig;
 pub use pipeline::Simulator;
 pub use stats::SimReport;
+pub use sweep::{run_jobs, SweepJob};
 pub use trauma::Trauma;

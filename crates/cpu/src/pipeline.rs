@@ -17,6 +17,7 @@
 use std::collections::VecDeque;
 
 use sapa_isa::inst::{Inst, OpClass};
+use sapa_isa::packed::{PackedReader, PackedTrace};
 use sapa_isa::reg::RegFile;
 use sapa_isa::trace::Trace;
 
@@ -104,15 +105,60 @@ impl Simulator {
     /// `1000 × len + 10^6` cycles, which would indicate a scheduling
     /// deadlock (an internal bug, not a configuration problem).
     pub fn run(&self, trace: &Trace) -> SimReport {
-        Engine::new(&self.cfg, trace.insts()).run()
+        let insts = trace.insts();
+        Engine::new(&self.cfg, insts.len(), SliceSource(insts)).run()
+    }
+
+    /// Simulates a [`PackedTrace`] without unpacking it: the replay
+    /// decodes each instruction once, straight out of the compact
+    /// structure-of-arrays streams. Produces exactly the same report as
+    /// [`Simulator::run`] on the equivalent [`Trace`].
+    ///
+    /// # Panics
+    ///
+    /// Same watchdog as [`Simulator::run`].
+    pub fn run_packed(&self, trace: &PackedTrace) -> SimReport {
+        Engine::new(&self.cfg, trace.len(), PackedSource::new(trace)).run()
+    }
+}
+
+/// Where the engine pulls instructions from. Access is sequential:
+/// `at(idx)` is called with the index of the last fetched instruction
+/// (a stalled fetch stage retrying) or the one after it.
+trait InstSource {
+    fn at(&mut self, idx: usize) -> Inst;
+}
+
+struct SliceSource<'a>(&'a [Inst]);
+
+impl InstSource for SliceSource<'_> {
+    #[inline]
+    fn at(&mut self, idx: usize) -> Inst {
+        self.0[idx]
+    }
+}
+
+struct PackedSource<'a>(PackedReader<'a>);
+
+impl<'a> PackedSource<'a> {
+    fn new(trace: &'a PackedTrace) -> Self {
+        PackedSource(trace.iter())
+    }
+}
+
+impl InstSource for PackedSource<'_> {
+    #[inline]
+    fn at(&mut self, idx: usize) -> Inst {
+        self.0.get(idx)
     }
 }
 
 const FETCH_FREE: u64 = 0;
 
-struct Engine<'a> {
+struct Engine<'a, S> {
     cfg: &'a SimConfig,
-    insts: &'a [Inst],
+    src: S,
+    n_insts: usize,
     cycle: u64,
 
     // Frontend.
@@ -122,7 +168,7 @@ struct Engine<'a> {
     /// Sequence number of a fetched mispredicted branch that has not
     /// yet scheduled its recovery; fetch is blocked while this is set.
     mispredict_blocker: Option<u64>,
-    ibuffer: VecDeque<(usize, u64)>, // (trace index, fetch cycle)
+    ibuffer: VecDeque<(Inst, u64)>, // (decoded instruction, fetch cycle)
     cur_fetch_line: u64,
     pending_branches: u32,
     branch_resolutions: Vec<u64>,
@@ -130,11 +176,11 @@ struct Engine<'a> {
     // Backend.
     rob: VecDeque<RobEntry>,
     head_seq: u64,
-    queues: Vec<VecDeque<u64>>, // per UnitClass, entry = seq
-    free_regs: [u32; 3],        // spare physical registers per file
-    reg_writer: [u64; 128],     // seq of latest dispatched writer, or NO_WRITER
+    queues: Vec<VecDeque<u64>>,        // per UnitClass, entry = seq
+    free_regs: [u32; 3],               // spare physical registers per file
+    reg_writer: [u64; 128],            // seq of latest dispatched writer, or NO_WRITER
     store_queue: VecDeque<(u64, u32)>, // in-flight stores: (seq, addr granule)
-    mshr: Vec<u64>,             // completion cycles of outstanding DL1 misses
+    mshr: Vec<u64>,                    // completion cycles of outstanding DL1 misses
     hierarchy: MemoryHierarchy,
     predictor: Predictor,
     nfa: NfaTable,
@@ -153,15 +199,16 @@ struct Engine<'a> {
 
 const NO_WRITER: u64 = u64::MAX;
 
-impl<'a> Engine<'a> {
-    fn new(cfg: &'a SimConfig, insts: &'a [Inst]) -> Self {
+impl<'a, S: InstSource> Engine<'a, S> {
+    fn new(cfg: &'a SimConfig, n_insts: usize, src: S) -> Self {
         let queue_occ = UnitClass::ALL
             .iter()
             .map(|&c| OccupancyHistogram::new(cfg.cpu.issue_queue[c.index()] as usize))
             .collect();
         Engine {
             cfg,
-            insts,
+            src,
+            n_insts,
             cycle: 0,
             next_fetch: 0,
             fetch_stall_until: FETCH_FREE,
@@ -170,7 +217,7 @@ impl<'a> Engine<'a> {
             ibuffer: VecDeque::with_capacity(cfg.cpu.ibuffer as usize),
             cur_fetch_line: u64::MAX,
             pending_branches: 0,
-            branch_resolutions: Vec::new(),
+            branch_resolutions: Vec::with_capacity(cfg.branch.max_pred_branches as usize),
             rob: VecDeque::with_capacity(cfg.cpu.retire_queue as usize),
             head_seq: 0,
             queues: vec![VecDeque::new(); UnitClass::COUNT],
@@ -181,7 +228,7 @@ impl<'a> Engine<'a> {
             ],
             reg_writer: [NO_WRITER; 128],
             store_queue: VecDeque::new(),
-            mshr: Vec::new(),
+            mshr: Vec::with_capacity(cfg.cpu.max_outstanding_misses as usize),
             hierarchy: MemoryHierarchy::new(&cfg.mem),
             predictor: Predictor::from_config(&cfg.branch),
             nfa: NfaTable::new(cfg.branch.nfa_size, cfg.branch.nfa_assoc),
@@ -196,11 +243,8 @@ impl<'a> Engine<'a> {
     }
 
     fn run(mut self) -> SimReport {
-        let watchdog = self.insts.len() as u64 * 1000 + 1_000_000;
-        while self.next_fetch < self.insts.len()
-            || !self.ibuffer.is_empty()
-            || !self.rob.is_empty()
-        {
+        let watchdog = self.n_insts as u64 * 1000 + 1_000_000;
+        while self.next_fetch < self.n_insts || !self.ibuffer.is_empty() || !self.rob.is_empty() {
             self.cycle += 1;
             assert!(
                 self.cycle < watchdog,
@@ -208,7 +252,7 @@ impl<'a> Engine<'a> {
                  scheduling deadlock",
                 self.cycle,
                 self.retired,
-                self.insts.len()
+                self.n_insts
             );
 
             self.expire_resolutions();
@@ -267,7 +311,9 @@ impl<'a> Engine<'a> {
     fn dep_ready(&self, seq: u64) -> bool {
         match self.entry(seq) {
             None => true,
-            Some(e) => e.state == State::Done || (e.state == State::Executing && e.done_at <= self.cycle),
+            Some(e) => {
+                e.state == State::Done || (e.state == State::Executing && e.done_at <= self.cycle)
+            }
         }
     }
 
@@ -368,7 +414,12 @@ impl<'a> Engine<'a> {
             if inst.op.is_store() {
                 // Stores drain through the store queue off the critical
                 // path; completion is immediate for dependents.
-                (now + base_lat as u64, Some(access.served_by), access.tlb_miss, false)
+                (
+                    now + base_lat as u64,
+                    Some(access.served_by),
+                    access.tlb_miss,
+                    false,
+                )
             } else {
                 (
                     now + lat.max(base_lat) as u64,
@@ -401,8 +452,7 @@ impl<'a> Engine<'a> {
             let mispredicted = self.entry(seq).map(|e| e.mispredicted).unwrap_or(false);
             if mispredicted && self.mispredict_blocker == Some(seq) {
                 self.mispredict_blocker = None;
-                self.fetch_stall_until =
-                    done_at + self.cfg.branch.mispredict_recovery as u64;
+                self.fetch_stall_until = done_at + self.cfg.branch.mispredict_recovery as u64;
                 self.fetch_stall_reason = Trauma::IfPred;
             }
         }
@@ -419,7 +469,7 @@ impl<'a> Engine<'a> {
     fn dispatch(&mut self) {
         let mut n = 0;
         while n < self.cfg.cpu.dispatch_width {
-            let Some(&(idx, fetch_cycle)) = self.ibuffer.front() else {
+            let Some(&(inst, fetch_cycle)) = self.ibuffer.front() else {
                 break;
             };
             // Frontend pipeline depth: decode/rename take a few cycles.
@@ -431,10 +481,8 @@ impl<'a> Engine<'a> {
                 self.dispatch_stall = Some(Trauma::MmRoqf);
                 break;
             }
-            let inst = self.insts[idx];
             let class = unit_for(inst.op);
-            if self.queues[class.index()].len()
-                >= self.cfg.cpu.issue_queue[class.index()] as usize
+            if self.queues[class.index()].len() >= self.cfg.cpu.issue_queue[class.index()] as usize
             {
                 self.dispatch_stall = Some(diq_trauma(class));
                 break;
@@ -464,11 +512,8 @@ impl<'a> Engine<'a> {
             // forwarding, no speculative bypass).
             if inst.op.is_load() {
                 let granule = inst.ea >> 4;
-                if let Some(&(sseq, _)) = self
-                    .store_queue
-                    .iter()
-                    .rev()
-                    .find(|&&(_, g)| g == granule)
+                if let Some(&(sseq, _)) =
+                    self.store_queue.iter().rev().find(|&&(_, g)| g == granule)
                 {
                     deps[ndeps as usize] = sseq;
                     ndeps += 1;
@@ -526,7 +571,7 @@ impl<'a> Engine<'a> {
         let line_mask = !(self.cfg.mem.il1.line as u64 - 1);
         let mut n = 0;
         while n < self.cfg.cpu.fetch_width {
-            if self.next_fetch >= self.insts.len() {
+            if self.next_fetch >= self.n_insts {
                 break;
             }
             if self.ibuffer.len() >= self.cfg.cpu.ibuffer as usize
@@ -541,7 +586,9 @@ impl<'a> Engine<'a> {
                 self.fetch_stall_reason = Trauma::IfBrch;
                 break;
             }
-            let inst = self.insts[self.next_fetch];
+            // A stalled fetch re-reads the same index next cycle; the
+            // source contract allows exactly that repeat.
+            let inst = self.src.at(self.next_fetch);
 
             // I-cache: accessing a new line may miss.
             let line = inst.pc as u64 & line_mask;
@@ -550,8 +597,7 @@ impl<'a> Engine<'a> {
                 self.cur_fetch_line = line;
                 if access.served_by != ServedBy::L1 || access.tlb_miss {
                     self.fetch_stall_until = self.cycle + access.latency as u64;
-                    self.fetch_stall_reason = if access.tlb_miss
-                        && access.served_by == ServedBy::L1
+                    self.fetch_stall_reason = if access.tlb_miss && access.served_by == ServedBy::L1
                     {
                         Trauma::IfTlb1
                     } else {
@@ -564,9 +610,8 @@ impl<'a> Engine<'a> {
                 }
             }
 
-            let seq_if_dispatched =
-                self.head_seq + (self.rob.len() + self.ibuffer.len()) as u64;
-            self.ibuffer.push_back((self.next_fetch, self.cycle));
+            let seq_if_dispatched = self.head_seq + (self.rob.len() + self.ibuffer.len()) as u64;
+            self.ibuffer.push_back((inst, self.cycle));
             self.next_fetch += 1;
             n += 1;
 
@@ -638,9 +683,7 @@ impl<'a> Engine<'a> {
                     ful_trauma(head.queue)
                 }
             }
-        } else if self.mispredict_blocker.is_some()
-            || self.fetch_stall_reason == Trauma::IfPred
-        {
+        } else if self.mispredict_blocker.is_some() || self.fetch_stall_reason == Trauma::IfPred {
             Trauma::IfPred
         } else if self.cycle < self.fetch_stall_until {
             self.fetch_stall_reason
@@ -655,7 +698,7 @@ impl<'a> Engine<'a> {
             self.fetch_stall_reason
         } else if let Some(t) = self.dispatch_stall {
             t
-        } else if self.next_fetch >= self.insts.len() {
+        } else if self.next_fetch >= self.n_insts {
             Trauma::Other
         } else {
             Trauma::Decode
@@ -863,7 +906,13 @@ mod tests {
         // 300-cycle-memory hierarchy: IPC must collapse.
         let r = run(SimConfig::four_way(), |t| {
             for i in 0..500u32 {
-                t.iload(0, reg::gpr(1), 0x3000_0000 + (i * 40_037) % 0x0400_0000, 4, &[reg::gpr(1)]);
+                t.iload(
+                    0,
+                    reg::gpr(1),
+                    0x3000_0000 + (i * 40_037) % 0x0400_0000,
+                    4,
+                    &[reg::gpr(1)],
+                );
             }
         });
         assert!(r.ipc() < 0.05, "ipc {}", r.ipc());
@@ -919,7 +968,13 @@ mod stall_tests {
         // Independent cold-missing loads: more MSHRs = more overlap.
         let build = |t: &mut Tracer| {
             for i in 0..2_000u32 {
-                t.iload(i % 4, reg::gpr((i % 8) as u8), 0x2000_0000 + i * 128, 4, &[]);
+                t.iload(
+                    i % 4,
+                    reg::gpr((i % 8) as u8),
+                    0x2000_0000 + i * 128,
+                    4,
+                    &[],
+                );
             }
         };
         let mut few = SimConfig::four_way();
@@ -1052,8 +1107,7 @@ mod stall_tests {
             }
         });
         assert!(r.il1.misses > 100, "il1 misses {}", r.il1.misses);
-        let if_cycles =
-            r.traumas.get(Trauma::IfL1) + r.traumas.get(Trauma::IfL2);
+        let if_cycles = r.traumas.get(Trauma::IfL1) + r.traumas.get(Trauma::IfL2);
         assert!(if_cycles > 0, "no fetch-miss stall cycles");
     }
 }

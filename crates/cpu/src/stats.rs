@@ -53,7 +53,11 @@ impl OccupancyHistogram {
 }
 
 /// Everything a simulation run measured.
-#[derive(Debug, Clone)]
+///
+/// Equality compares every counter and histogram, so two reports are
+/// `==` exactly when the runs were microarchitecturally identical —
+/// the property the parallel sweep engine's determinism tests assert.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SimReport {
     /// Total simulated cycles.
     pub cycles: u64,

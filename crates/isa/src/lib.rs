@@ -33,12 +33,14 @@
 
 pub mod inst;
 pub mod mem;
+pub mod packed;
 pub mod reg;
 pub mod stats;
 pub mod trace;
 pub mod validate;
 
 pub use inst::{Inst, OpClass};
+pub use packed::PackedTrace;
 pub use stats::TraceStats;
 pub use trace::{Trace, Tracer};
 
@@ -65,7 +67,10 @@ impl std::fmt::Display for Error {
         match self {
             Error::MalformedTrace { reason } => write!(f, "malformed trace: {reason}"),
             Error::OutOfAddressSpace { requested } => {
-                write!(f, "virtual address space exhausted ({requested} bytes requested)")
+                write!(
+                    f,
+                    "virtual address space exhausted ({requested} bytes requested)"
+                )
             }
             Error::Io(e) => write!(f, "I/O error: {e}"),
         }

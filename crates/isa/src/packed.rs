@@ -1,0 +1,456 @@
+//! Structure-of-arrays trace encoding for low-bandwidth replay.
+//!
+//! A [`crate::inst::Inst`] is 14 bytes of payload padded to 16 in
+//! `Vec<Inst>`'s array-of-structs layout, and most of those bytes are
+//! zero for most instructions: ALU ops have no effective address, few
+//! instructions use all three source slots, and nearly every PC is a
+//! small offset from [`crate::trace::CODE_BASE`]. [`PackedTrace`]
+//! splits the record into per-field streams and stores the optional
+//! fields sparsely:
+//!
+//! * `meta` — one `u16` per instruction: op class (4 bits), the full
+//!   flags byte (8 bits), plus has-ea / has-dst / source-count
+//!   presence bits that say which sparse streams carry an entry;
+//! * `site` — one `u16` per instruction holding the code-segment site
+//!   (`(pc − CODE_BASE) / 4`), with a sentinel escaping to a full
+//!   `u32` in `wide_pc` for the rare PC outside the segment;
+//! * `ea` — a `u32` per instruction that has a non-zero effective
+//!   address (memory ops and branches);
+//! * `regs` — the destination id (if any) followed by the used source
+//!   ids, one byte each.
+//!
+//! The encoding is lossless (see [`PackedTrace::to_trace`]) and decodes
+//! strictly sequentially through cheap cursor arithmetic — no hashing,
+//! no branching beyond the presence bits — which is exactly the access
+//! pattern of trace-driven simulation. Typical traces shrink ~2–2.5×,
+//! which matters when many simulator configurations replay the same
+//! trace concurrently and share memory bandwidth.
+
+use crate::inst::{Inst, OpClass};
+use crate::reg::{self, Reg};
+use crate::stats::TraceStats;
+use crate::trace::{Trace, CODE_BASE};
+
+/// `site` value escaping to the `wide_pc` stream.
+const WIDE_PC: u16 = u16::MAX;
+
+/// Bit layout of one `meta` entry.
+const OP_BITS: u16 = 0xF;
+const FLAGS_SHIFT: u16 = 4;
+const HAS_EA: u16 = 1 << 12;
+const HAS_DST: u16 = 1 << 13;
+const NSRCS_SHIFT: u16 = 14;
+
+/// A compact, immutable, structure-of-arrays instruction trace.
+///
+/// ```
+/// use sapa_isa::packed::PackedTrace;
+/// use sapa_isa::reg;
+/// use sapa_isa::trace::Tracer;
+///
+/// let mut t = Tracer::new();
+/// t.iload(0, reg::gpr(1), 0x1000_0000, 4, &[reg::gpr(2)]);
+/// t.ialu(1, reg::gpr(3), &[reg::gpr(1)]);
+/// let trace = t.finish();
+/// let packed = PackedTrace::from_trace(&trace);
+/// assert_eq!(packed.len(), 2);
+/// assert_eq!(packed.to_trace(), trace);
+/// assert!(packed.heap_bytes() < trace.len() * std::mem::size_of::<sapa_isa::Inst>());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PackedTrace {
+    meta: Vec<u16>,
+    site: Vec<u16>,
+    wide_pc: Vec<u32>,
+    ea: Vec<u32>,
+    regs: Vec<u8>,
+}
+
+impl PackedTrace {
+    /// Packs a slice of instructions.
+    pub fn from_insts(insts: &[Inst]) -> Self {
+        let mut p = PackedTrace {
+            meta: Vec::with_capacity(insts.len()),
+            site: Vec::with_capacity(insts.len()),
+            wide_pc: Vec::new(),
+            ea: Vec::new(),
+            regs: Vec::new(),
+        };
+        for inst in insts {
+            // Trailing NONE sources are dropped; interior NONEs (legal
+            // in hand-built records) are kept as explicit 255 bytes.
+            let nsrcs = inst
+                .srcs
+                .iter()
+                .rposition(|r| r.is_some())
+                .map_or(0, |k| k + 1);
+            let mut meta = (inst.op.index() as u16 & OP_BITS)
+                | ((inst.flags as u16) << FLAGS_SHIFT)
+                | ((nsrcs as u16) << NSRCS_SHIFT);
+            if inst.ea != 0 {
+                meta |= HAS_EA;
+                p.ea.push(inst.ea);
+            }
+            if inst.dst.is_some() {
+                meta |= HAS_DST;
+                p.regs.push(inst.dst.id());
+            }
+            for src in &inst.srcs[..nsrcs] {
+                p.regs.push(src.id());
+            }
+            p.meta.push(meta);
+            let offset = inst.pc.wrapping_sub(CODE_BASE);
+            if inst.pc >= CODE_BASE && offset % 4 == 0 && offset / 4 < WIDE_PC as u32 {
+                p.site.push((offset / 4) as u16);
+            } else {
+                p.site.push(WIDE_PC);
+                p.wide_pc.push(inst.pc);
+            }
+        }
+        p
+    }
+
+    /// Packs a [`Trace`].
+    pub fn from_trace(trace: &Trace) -> Self {
+        Self::from_insts(trace.insts())
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.meta.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.meta.is_empty()
+    }
+
+    /// Sequentially decoding iterator over the instructions.
+    pub fn iter(&self) -> PackedReader<'_> {
+        PackedReader::new(self)
+    }
+
+    /// Unpacks into the array-of-structs [`Trace`] form.
+    pub fn to_trace(&self) -> Trace {
+        Trace::from_insts(self.iter().collect())
+    }
+
+    /// Instruction-class breakdown, computed from the op stream without
+    /// decoding full records.
+    pub fn stats(&self) -> TraceStats {
+        let mut counts = [0u64; OpClass::COUNT];
+        for &m in &self.meta {
+            counts[(m & OP_BITS) as usize] += 1;
+        }
+        TraceStats::from_counts(counts)
+    }
+
+    /// Bytes of stream storage (the payload an iteration touches).
+    pub fn heap_bytes(&self) -> usize {
+        self.meta.len() * 2
+            + self.site.len() * 2
+            + self.wide_pc.len() * 4
+            + self.ea.len() * 4
+            + self.regs.len()
+    }
+}
+
+impl<'a> IntoIterator for &'a PackedTrace {
+    type Item = Inst;
+    type IntoIter = PackedReader<'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+fn reg_from_id(id: u8) -> Reg {
+    match id {
+        255 => Reg::NONE,
+        0..=31 => reg::gpr(id),
+        32..=63 => reg::fpr(id - 32),
+        _ => reg::vr(id - 64),
+    }
+}
+
+/// Sequential decoder over a [`PackedTrace`].
+///
+/// The sparse side-streams make random access impossible without an
+/// index; replay does not need one. [`PackedReader::get`] additionally
+/// allows re-reading the most recent index, which is the exact access
+/// pattern of an instruction-fetch stage that can stall on an I-cache
+/// miss and retry the same slot next cycle.
+#[derive(Debug, Clone)]
+pub struct PackedReader<'a> {
+    trace: &'a PackedTrace,
+    /// Index the next `decode` call produces.
+    next: usize,
+    wide_pos: usize,
+    ea_pos: usize,
+    regs_pos: usize,
+    /// Cache of the instruction at `next - 1` (valid once `next > 0`).
+    cur: Inst,
+}
+
+impl<'a> PackedReader<'a> {
+    /// A reader positioned at instruction 0.
+    pub fn new(trace: &'a PackedTrace) -> Self {
+        PackedReader {
+            trace,
+            next: 0,
+            wide_pos: 0,
+            ea_pos: 0,
+            regs_pos: 0,
+            cur: Inst {
+                pc: 0,
+                ea: 0,
+                op: OpClass::Other,
+                dst: Reg::NONE,
+                srcs: [Reg::NONE; 3],
+                flags: 0,
+            },
+        }
+    }
+
+    fn decode(&mut self) -> Inst {
+        let t = self.trace;
+        let meta = t.meta[self.next];
+        let op = OpClass::from_index((meta & OP_BITS) as usize).expect("op index fits 4 bits");
+        let flags = (meta >> FLAGS_SHIFT) as u8;
+        let pc = match t.site[self.next] {
+            WIDE_PC => {
+                let pc = t.wide_pc[self.wide_pos];
+                self.wide_pos += 1;
+                pc
+            }
+            site => CODE_BASE + 4 * site as u32,
+        };
+        let ea = if meta & HAS_EA != 0 {
+            let ea = t.ea[self.ea_pos];
+            self.ea_pos += 1;
+            ea
+        } else {
+            0
+        };
+        let dst = if meta & HAS_DST != 0 {
+            let d = reg_from_id(t.regs[self.regs_pos]);
+            self.regs_pos += 1;
+            d
+        } else {
+            Reg::NONE
+        };
+        let nsrcs = (meta >> NSRCS_SHIFT) as usize;
+        let mut srcs = [Reg::NONE; 3];
+        for slot in &mut srcs[..nsrcs] {
+            *slot = reg_from_id(t.regs[self.regs_pos]);
+            self.regs_pos += 1;
+        }
+        self.next += 1;
+        Inst {
+            pc,
+            ea,
+            op,
+            dst,
+            srcs,
+            flags,
+        }
+    }
+
+    /// The instruction at `idx`, which must be the index of the last
+    /// decoded instruction (a re-read) or the one after it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` violates the sequential-access contract or is out
+    /// of bounds.
+    #[inline]
+    pub fn get(&mut self, idx: usize) -> Inst {
+        if idx + 1 == self.next {
+            return self.cur;
+        }
+        assert_eq!(
+            idx, self.next,
+            "PackedReader is sequential: asked for {idx}, cursor at {}",
+            self.next
+        );
+        self.cur = self.decode();
+        self.cur
+    }
+}
+
+impl Iterator for PackedReader<'_> {
+    type Item = Inst;
+
+    fn next(&mut self) -> Option<Inst> {
+        if self.next >= self.trace.len() {
+            return None;
+        }
+        self.cur = self.decode();
+        Some(self.cur)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.trace.len() - self.next;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for PackedReader<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::flags;
+    use crate::trace::Tracer;
+
+    fn sample_trace() -> Trace {
+        let mut t = Tracer::new();
+        t.iload(0, reg::gpr(1), 0x1000_0040, 4, &[reg::gpr(2)]);
+        t.ialu(1, reg::gpr(3), &[reg::gpr(1), reg::gpr(3)]);
+        t.branch(2, false, 0, &[reg::gpr(3)]);
+        t.vload(3, reg::vr(0), 0x1000_0100, 16, &[reg::gpr(2)]);
+        t.vsimple(4, reg::vr(1), &[reg::vr(0), reg::vr(1)]);
+        t.vperm(5, reg::vr(2), &[reg::vr(1)]);
+        t.istore(6, 0x1000_0200, 4, &[reg::gpr(3), reg::gpr(2)]);
+        t.fpu(7, reg::fpr(5), &[reg::fpr(1), reg::fpr(2), reg::fpr(3)]);
+        t.jump(8, 0);
+        t.finish()
+    }
+
+    #[test]
+    fn round_trips_a_mixed_trace() {
+        let tr = sample_trace();
+        let packed = PackedTrace::from_trace(&tr);
+        assert_eq!(packed.len(), tr.len());
+        assert_eq!(packed.to_trace(), tr);
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let tr = Tracer::new().finish();
+        let packed = PackedTrace::from_trace(&tr);
+        assert!(packed.is_empty());
+        assert_eq!(packed.to_trace(), tr);
+    }
+
+    #[test]
+    fn stats_match_unpacked() {
+        let tr = sample_trace();
+        assert_eq!(PackedTrace::from_trace(&tr).stats(), tr.stats());
+    }
+
+    #[test]
+    fn is_smaller_than_aos_layout() {
+        // A realistic mix: the SoA streams must beat Vec<Inst>'s padded
+        // records by at least 2x.
+        let mut t = Tracer::new();
+        for i in 0..10_000u32 {
+            // Sites loop over a small static footprint, like real code.
+            let s = 8 * (i % 1024);
+            t.iload(s, reg::gpr(1), 0x1000_0000 + i, 4, &[reg::gpr(2)]);
+            t.ialu(s + 1, reg::gpr(3), &[reg::gpr(1), reg::gpr(3)]);
+            t.ialu(s + 2, reg::gpr(4), &[reg::gpr(3)]);
+            t.vsimple(s + 3, reg::vr(1), &[reg::vr(0), reg::vr(1)]);
+            t.branch(s + 4, i % 3 == 0, s, &[reg::gpr(4)]);
+        }
+        let tr = t.finish();
+        let packed = PackedTrace::from_trace(&tr);
+        let aos = tr.len() * std::mem::size_of::<Inst>();
+        assert!(
+            packed.heap_bytes() * 2 <= aos,
+            "packed {} vs AoS {aos}",
+            packed.heap_bytes()
+        );
+        assert_eq!(packed.to_trace(), tr);
+    }
+
+    #[test]
+    fn interior_none_sources_survive() {
+        // Tracer pads at the end, but hand-built records may have a
+        // NONE between real sources; the count encoding must keep it.
+        let inst = Inst {
+            pc: CODE_BASE + 8,
+            ea: 0,
+            op: OpClass::IAlu,
+            dst: reg::gpr(1),
+            srcs: [reg::gpr(2), Reg::NONE, reg::gpr(3)],
+            flags: 0,
+        };
+        let packed = PackedTrace::from_insts(&[inst]);
+        assert_eq!(packed.to_trace().insts(), &[inst]);
+    }
+
+    #[test]
+    fn out_of_segment_and_unaligned_pcs_take_the_wide_path() {
+        let far_site = Inst {
+            pc: CODE_BASE + 4 * (WIDE_PC as u32 + 7), // site too big for u16
+            ea: 0,
+            op: OpClass::Other,
+            dst: Reg::NONE,
+            srcs: [Reg::NONE; 3],
+            flags: 0,
+        };
+        let below = Inst {
+            pc: CODE_BASE - 4,
+            ..far_site
+        };
+        let unaligned = Inst {
+            pc: CODE_BASE + 2,
+            ..far_site
+        };
+        let boundary = Inst {
+            pc: CODE_BASE + 4 * (WIDE_PC as u32), // site == sentinel value
+            ..far_site
+        };
+        let insts = [far_site, below, unaligned, boundary];
+        let packed = PackedTrace::from_insts(&insts);
+        assert_eq!(packed.to_trace().insts(), &insts);
+    }
+
+    #[test]
+    fn arbitrary_flags_bytes_are_preserved() {
+        // Trace::read_from accepts any flags byte; packing must too.
+        let mut insts = Vec::new();
+        for raw in [0u8, 1, 3, 0x55, 0xAA, 0xFF, 4 << flags::WIDTH_SHIFT] {
+            insts.push(Inst {
+                pc: CODE_BASE,
+                ea: 0x2000_0000,
+                op: OpClass::ILoad,
+                dst: reg::gpr(7),
+                srcs: [reg::gpr(1), Reg::NONE, Reg::NONE],
+                flags: raw,
+            });
+        }
+        let packed = PackedTrace::from_insts(&insts);
+        assert_eq!(packed.to_trace().insts(), &insts[..]);
+    }
+
+    #[test]
+    fn reader_allows_re_reading_the_current_slot() {
+        let tr = sample_trace();
+        let packed = PackedTrace::from_trace(&tr);
+        let mut r = packed.iter();
+        assert_eq!(r.get(0), tr.insts()[0]);
+        assert_eq!(r.get(0), tr.insts()[0]); // stalled fetch retries
+        assert_eq!(r.get(1), tr.insts()[1]);
+        assert_eq!(r.get(1), tr.insts()[1]);
+        assert_eq!(r.get(2), tr.insts()[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sequential")]
+    fn reader_rejects_random_access() {
+        let packed = PackedTrace::from_trace(&sample_trace());
+        let mut r = packed.iter();
+        let _ = r.get(3);
+    }
+
+    #[test]
+    fn iterator_yields_every_instruction_in_order() {
+        let tr = sample_trace();
+        let packed = PackedTrace::from_trace(&tr);
+        let unpacked: Vec<Inst> = packed.iter().collect();
+        assert_eq!(unpacked, tr.insts());
+        assert_eq!(packed.iter().len(), tr.len());
+    }
+}

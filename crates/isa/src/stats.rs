@@ -33,6 +33,12 @@ impl TraceStats {
         TraceStats { counts }
     }
 
+    /// Wraps a precomputed per-class count array (used by the packed
+    /// trace encoding, which keeps op classes in their own stream).
+    pub fn from_counts(counts: [u64; OpClass::COUNT]) -> Self {
+        TraceStats { counts }
+    }
+
     /// Total dynamic instruction count (Table III's "trace size").
     pub fn total(&self) -> u64 {
         self.counts.iter().sum()
@@ -104,9 +110,8 @@ impl TraceStats {
             .iter()
             .map(|&c| (c, self.count(c), self.fraction(c)))
             .collect();
-        let folded = self.count(OpClass::Fpu)
-            + self.count(OpClass::VCmplx)
-            + self.count(OpClass::VFpu);
+        let folded =
+            self.count(OpClass::Fpu) + self.count(OpClass::VCmplx) + self.count(OpClass::VFpu);
         rows[0].1 += folded;
         let total = self.total();
         if total > 0 {
@@ -120,7 +125,13 @@ impl std::fmt::Display for TraceStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "total instructions: {}", self.total())?;
         for (op, count, frac) in self.figure1_rows() {
-            writeln!(f, "  {:<8} {:>12}  {:5.1}%", op.label(), count, frac * 100.0)?;
+            writeln!(
+                f,
+                "  {:<8} {:>12}  {:5.1}%",
+                op.label(),
+                count,
+                frac * 100.0
+            )?;
         }
         Ok(())
     }

@@ -240,7 +240,14 @@ impl Tracer {
     /// the data and address registers.
     #[inline]
     pub fn istore(&mut self, site: Site, addr: u32, width: u32, srcs: &[Reg]) {
-        self.push(site, OpClass::IStore, Reg::NONE, srcs, addr, width_flag(width));
+        self.push(
+            site,
+            OpClass::IStore,
+            Reg::NONE,
+            srcs,
+            addr,
+            width_flag(width),
+        );
     }
 
     /// Emits a conditional branch at `site` with actual outcome `taken`
@@ -248,7 +255,14 @@ impl Tracer {
     #[inline]
     pub fn branch(&mut self, site: Site, taken: bool, target: Site, srcs: &[Reg]) {
         let fl = flags::COND | if taken { flags::TAKEN } else { 0 };
-        self.push(site, OpClass::Branch, Reg::NONE, srcs, CODE_BASE + 4 * target, fl);
+        self.push(
+            site,
+            OpClass::Branch,
+            Reg::NONE,
+            srcs,
+            CODE_BASE + 4 * target,
+            fl,
+        );
     }
 
     /// Emits an unconditional jump to `target`.
@@ -280,7 +294,14 @@ impl Tracer {
     /// Emits a vector store of `width` bytes.
     #[inline]
     pub fn vstore(&mut self, site: Site, addr: u32, width: u32, srcs: &[Reg]) {
-        self.push(site, OpClass::VStore, Reg::NONE, srcs, addr, width_flag(width));
+        self.push(
+            site,
+            OpClass::VStore,
+            Reg::NONE,
+            srcs,
+            addr,
+            width_flag(width),
+        );
     }
 
     /// Emits a simple vector-integer instruction (add/sub/max/cmp).

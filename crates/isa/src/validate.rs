@@ -63,22 +63,37 @@ impl std::fmt::Display for Violation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Violation::PcOutOfRange { index, pc } => {
-                write!(f, "instruction {index}: pc {pc:#x} outside the code segment")
+                write!(
+                    f,
+                    "instruction {index}: pc {pc:#x} outside the code segment"
+                )
             }
             Violation::PcMisaligned { index, pc } => {
                 write!(f, "instruction {index}: pc {pc:#x} not 4-byte aligned")
             }
             Violation::AddressOutOfRange { index, ea } => {
-                write!(f, "instruction {index}: address {ea:#x} below the data segment")
+                write!(
+                    f,
+                    "instruction {index}: address {ea:#x} below the data segment"
+                )
             }
             Violation::TargetOutOfRange { index, target } => {
-                write!(f, "instruction {index}: branch target {target:#x} outside code")
+                write!(
+                    f,
+                    "instruction {index}: branch target {target:#x} outside code"
+                )
             }
             Violation::UnexpectedWidth { index } => {
-                write!(f, "instruction {index}: non-memory op encodes an access width")
+                write!(
+                    f,
+                    "instruction {index}: non-memory op encodes an access width"
+                )
             }
             Violation::LoadWithoutDestination { index } => {
-                write!(f, "instruction {index}: load without a destination register")
+                write!(
+                    f,
+                    "instruction {index}: load without a destination register"
+                )
             }
             Violation::StoreWithDestination { index } => {
                 write!(f, "instruction {index}: store with a destination register")

@@ -1,10 +1,13 @@
 //! Shared experiment state: inputs, cached traces, cached simulations.
 
 use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use sapa_cpu::config::{BranchConfig, MemConfig, SimConfig};
-use sapa_cpu::{SimReport, Simulator};
-use sapa_isa::trace::Trace;
+use sapa_cpu::sweep::{run_jobs, SweepJob};
+use sapa_cpu::SimReport;
+use sapa_isa::PackedTrace;
 use sapa_workloads::{StandardInputs, Workload};
 
 /// Experiment scale.
@@ -28,32 +31,54 @@ impl Scale {
     }
 }
 
-/// Key identifying a cached simulation.
+/// Key identifying a cached simulation: the workload plus the full
+/// structural configuration. Two call sites that build equal
+/// `SimConfig`s share one run, and two that differ anywhere (even in
+/// a prefetch degree buried three levels deep) never collide — which
+/// string tags could not guarantee.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct SimKey {
     workload: Workload,
-    tag: String,
+    config: SimConfig,
 }
 
 /// Shared state across experiments: one set of inputs, lazily generated
 /// traces, and memoized simulator runs (figures 3 and 4 share a grid,
 /// figure 2 and 10 share the baseline run, …).
+///
+/// Traces are held packed ([`PackedTrace`], ~2× smaller than the
+/// array-of-structs form) and shared by `Arc`, so the parallel sweep
+/// engine replays one copy per workload no matter how many
+/// configurations are in flight.
 pub struct Context {
     /// The evaluation inputs.
     pub inputs: StandardInputs,
     scale: Scale,
-    traces: HashMap<Workload, Trace>,
+    threads: usize,
+    traces: HashMap<Workload, Arc<PackedTrace>>,
     sims: HashMap<SimKey, SimReport>,
+    sim_instructions: u64,
+    sim_wall: Duration,
 }
 
 impl Context {
-    /// Creates a context at the given scale.
+    /// Creates a context at the given scale (serial simulation).
     pub fn new(scale: Scale) -> Self {
+        Context::with_threads(scale, 1)
+    }
+
+    /// Creates a context that fans simulation batches out over
+    /// `threads` worker threads (1 = serial; results are identical
+    /// regardless).
+    pub fn with_threads(scale: Scale, threads: usize) -> Self {
         Context {
             inputs: scale.inputs(),
             scale,
+            threads: threads.max(1),
             traces: HashMap::new(),
             sims: HashMap::new(),
+            sim_instructions: 0,
+            sim_wall: Duration::ZERO,
         }
     }
 
@@ -62,38 +87,117 @@ impl Context {
         self.scale
     }
 
-    /// The trace of `workload`, generated on first use.
-    pub fn trace(&mut self, workload: Workload) -> &Trace {
-        if !self.traces.contains_key(&workload) {
-            let bundle = workload.trace(&self.inputs);
-            self.traces.insert(workload, bundle.trace);
-        }
-        &self.traces[&workload]
+    /// Worker threads used for simulation batches.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
-    /// Simulates `workload` under `cfg`, memoized by `tag` (callers
-    /// pass a string that uniquely identifies the configuration, e.g.
-    /// `"4-way/me1/real"`).
-    pub fn sim(&mut self, workload: Workload, tag: &str, cfg: &SimConfig) -> &SimReport {
-        let key = SimKey {
+    /// Instructions simulated so far (every non-memoized run, summed).
+    pub fn sim_instructions(&self) -> u64 {
+        self.sim_instructions
+    }
+
+    /// Wall-clock time spent inside the simulator so far.
+    pub fn sim_wall(&self) -> Duration {
+        self.sim_wall
+    }
+
+    /// The packed trace of `workload`, generated on first use.
+    pub fn trace(&mut self, workload: Workload) -> &Arc<PackedTrace> {
+        let inputs = &self.inputs;
+        self.traces
+            .entry(workload)
+            .or_insert_with(|| Arc::new(PackedTrace::from_trace(&workload.trace(inputs).trace)))
+    }
+
+    /// Simulates `workload` under `cfg`, memoized on the full
+    /// structural configuration.
+    pub fn sim(&mut self, workload: Workload, cfg: &SimConfig) -> &SimReport {
+        self.sim_batch(&[(workload, cfg.clone())]);
+        &self.sims[&SimKey {
             workload,
-            tag: tag.to_string(),
-        };
-        if !self.sims.contains_key(&key) {
-            // Generate the trace first (separate borrow scope).
-            self.trace(workload);
-            let trace = &self.traces[&workload];
-            let report = Simulator::new(cfg.clone()).run(trace);
-            self.sims.insert(key.clone(), report);
+            config: cfg.clone(),
+        }]
+    }
+
+    /// Runs a batch of `(workload, config)` points, skipping memoized
+    /// ones and fanning the rest out over the context's worker
+    /// threads. Results land in the memo store; fetch them afterwards
+    /// with [`Context::sim`] (a hit, now). Calling this with a whole
+    /// figure's grid up front is what makes `--threads N` effective.
+    pub fn sim_batch(&mut self, points: &[(Workload, SimConfig)]) {
+        // Dedupe against the memo store and within the batch itself.
+        let mut todo: Vec<SimKey> = Vec::new();
+        for (workload, config) in points {
+            let key = SimKey {
+                workload: *workload,
+                config: config.clone(),
+            };
+            if !self.sims.contains_key(&key) && !todo.contains(&key) {
+                todo.push(key);
+            }
         }
-        &self.sims[&key]
+        if todo.is_empty() {
+            return;
+        }
+
+        self.prewarm_traces(&todo);
+
+        let jobs: Vec<SweepJob> = todo
+            .iter()
+            .map(|key| SweepJob::new(Arc::clone(&self.traces[&key.workload]), key.config.clone()))
+            .collect();
+        let start = Instant::now();
+        let reports = run_jobs(&jobs, self.threads);
+        self.sim_wall += start.elapsed();
+        for (key, report) in todo.into_iter().zip(reports) {
+            self.sim_instructions += report.instructions;
+            self.sims.insert(key, report);
+        }
+    }
+
+    /// Generates every missing trace the batch needs, in parallel:
+    /// trace generation is a pure function of `(workload, inputs)`, so
+    /// workers can build distinct workloads' traces concurrently.
+    fn prewarm_traces(&mut self, todo: &[SimKey]) {
+        let mut missing: Vec<Workload> = Vec::new();
+        for key in todo {
+            if !self.traces.contains_key(&key.workload) && !missing.contains(&key.workload) {
+                missing.push(key.workload);
+            }
+        }
+        if missing.is_empty() {
+            return;
+        }
+        if self.threads <= 1 || missing.len() == 1 {
+            for w in missing {
+                self.trace(w);
+            }
+            return;
+        }
+        let inputs = &self.inputs;
+        let built: Vec<(Workload, Arc<PackedTrace>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = missing
+                .iter()
+                .map(|&w| {
+                    scope.spawn(move || {
+                        (w, Arc::new(PackedTrace::from_trace(&w.trace(inputs).trace)))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("trace generation panicked"))
+                .collect()
+        });
+        self.traces.extend(built);
     }
 
     /// The paper's baseline measurement configuration: 4-way, `me1`
     /// memory, Table VI (real) branch predictor.
     pub fn baseline(&mut self, workload: Workload) -> &SimReport {
         let cfg = SimConfig::four_way();
-        self.sim(workload, "4-way/me1/real", &cfg)
+        self.sim(workload, &cfg)
     }
 
     /// Builds a [`SimConfig`] from named width and memory preset.
@@ -131,12 +235,54 @@ mod tests {
     }
 
     #[test]
-    fn sims_are_memoized() {
+    fn sims_are_memoized_structurally() {
         let mut ctx = Context::new(Scale::Tiny);
         let cfg = SimConfig::four_way();
-        let c1 = ctx.sim(Workload::Blast, "t", &cfg).cycles;
-        let c2 = ctx.sim(Workload::Blast, "t", &cfg).cycles;
+        let c1 = ctx.sim(Workload::Blast, &cfg).cycles;
+        // A structurally equal config built independently must hit.
+        let again = SimConfig::four_way();
+        let c2 = ctx.sim(Workload::Blast, &again).cycles;
         assert_eq!(c1, c2);
         assert_eq!(ctx.sims.len(), 1);
+        // A config that differs only deep inside must miss.
+        let mut other = SimConfig::four_way();
+        other.mem.prefetch.degree += 1;
+        ctx.sim(Workload::Blast, &other);
+        assert_eq!(ctx.sims.len(), 2);
+    }
+
+    #[test]
+    fn batch_dedupes_and_counts_instructions() {
+        let mut ctx = Context::with_threads(Scale::Tiny, 2);
+        let cfg = SimConfig::four_way();
+        ctx.sim_batch(&[
+            (Workload::Blast, cfg.clone()),
+            (Workload::Blast, cfg.clone()),
+        ]);
+        assert_eq!(ctx.sims.len(), 1);
+        let insts = ctx.sim_instructions();
+        assert!(insts > 0);
+        // Re-running the same point is a memo hit: no new work counted.
+        ctx.sim_batch(&[(Workload::Blast, cfg)]);
+        assert_eq!(ctx.sim_instructions(), insts);
+    }
+
+    #[test]
+    fn threaded_context_matches_serial() {
+        let grid: Vec<(Workload, SimConfig)> = [Workload::Blast, Workload::Fasta34]
+            .into_iter()
+            .flat_map(|w| {
+                [SimConfig::four_way(), SimConfig::eight_way()]
+                    .into_iter()
+                    .map(move |c| (w, c))
+            })
+            .collect();
+        let mut serial = Context::new(Scale::Tiny);
+        let mut threaded = Context::with_threads(Scale::Tiny, 4);
+        serial.sim_batch(&grid);
+        threaded.sim_batch(&grid);
+        for (w, c) in &grid {
+            assert_eq!(serial.sim(*w, c), threaded.sim(*w, c));
+        }
     }
 }

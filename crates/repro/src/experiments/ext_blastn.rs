@@ -10,11 +10,11 @@
 
 use crate::context::{Context, Scale};
 use crate::format::{f2, heading, pct, Table};
+use sapa_align::blastn::BlastnParams;
+use sapa_bioseq::dna::{random_dna, DnaSequence, PackedDna};
 use sapa_cpu::{SimConfig, Simulator};
 use sapa_isa::OpClass;
 use sapa_workloads::blastn;
-use sapa_align::blastn::BlastnParams;
-use sapa_bioseq::dna::{random_dna, DnaSequence, PackedDna};
 
 /// Renders the blastn characterization (instruction mix + baseline
 /// simulation), scaled by the context scale.

@@ -17,20 +17,31 @@ use sapa_workloads::Workload;
 /// Prefetch degrees swept.
 pub const DEGREES: [u32; 4] = [0, 1, 2, 4];
 
-/// One point: (dl1 miss rate, ipc).
-pub fn point(ctx: &mut Context, w: Workload, degree: u32) -> (f64, f64) {
+fn config_for(degree: u32) -> SimConfig {
     let mut cfg = SimConfig::four_way();
     cfg.mem.prefetch = PrefetchConfig { degree };
-    let tag = format!("4-way/me1-pf{degree}/real");
-    let r = ctx.sim(w, &tag, &cfg);
+    cfg
+}
+
+/// One point: (dl1 miss rate, ipc).
+pub fn point(ctx: &mut Context, w: Workload, degree: u32) -> (f64, f64) {
+    let r = ctx.sim(w, &config_for(degree));
     (r.dl1.miss_rate(), r.ipc())
 }
+
+/// The workloads this ablation plots.
+const APPS: [Workload; 3] = [Workload::Blast, Workload::Fasta34, Workload::SwVmx128];
 
 /// Renders the prefetcher ablation.
 pub fn run(ctx: &mut Context) -> String {
     let mut out = heading("Extension — next-line prefetcher ablation (4-way, me1)");
+    let points: Vec<_> = APPS
+        .into_iter()
+        .flat_map(|w| DEGREES.into_iter().map(move |d| (w, config_for(d))))
+        .collect();
+    ctx.sim_batch(&points);
     let mut t = Table::new(&["workload", "degree", "dl1 miss", "IPC"]);
-    for w in [Workload::Blast, Workload::Fasta34, Workload::SwVmx128] {
+    for w in APPS {
         for degree in DEGREES {
             let (miss, ipc) = point(ctx, w, degree);
             t.row_owned(vec![

@@ -10,11 +10,11 @@
 
 use crate::context::{Context, Scale};
 use crate::format::{f2, heading, pct, Table};
+use sapa_bioseq::db::DatabaseBuilder;
+use sapa_bioseq::queries::QuerySet;
 use sapa_cpu::{SimConfig, Simulator};
 use sapa_workloads::registry::StandardInputs;
 use sapa_workloads::Workload;
-use sapa_bioseq::db::DatabaseBuilder;
-use sapa_bioseq::queries::QuerySet;
 
 /// Renders the query sweep. Database scale follows the context scale.
 pub fn run(ctx: &mut Context) -> String {
@@ -26,9 +26,7 @@ pub fn run(ctx: &mut Context) -> String {
     let queries = QuerySet::paper();
 
     let mut out = heading("Extension — all Table II queries (4-way, me1)");
-    let mut t = Table::new(&[
-        "query", "len", "workload", "instructions", "IPC", "bp acc",
-    ]);
+    let mut t = Table::new(&["query", "len", "workload", "instructions", "IPC", "bp acc"]);
     for q in queries.queries() {
         let db = DatabaseBuilder::new()
             .seed(2006)

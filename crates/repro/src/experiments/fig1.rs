@@ -11,9 +11,18 @@ pub fn run(ctx: &mut Context) -> String {
         let stats = ctx.trace(w).stats();
         let mut t = Table::new(&["class", "count", "fraction"]);
         for (class, count, frac) in stats.figure1_rows() {
-            t.row_owned(vec![class.label().to_string(), count.to_string(), pct(frac)]);
+            t.row_owned(vec![
+                class.label().to_string(),
+                count.to_string(),
+                pct(frac),
+            ]);
         }
-        out.push_str(&format!("\n{} (total {}):\n{}", w.label(), stats.total(), t.render()));
+        out.push_str(&format!(
+            "\n{} (total {}):\n{}",
+            w.label(),
+            stats.total(),
+            t.render()
+        ));
     }
     out
 }

@@ -10,6 +10,11 @@ use sapa_workloads::Workload;
 /// c/d: in-flight and retire-queue occupancy).
 pub fn run(ctx: &mut Context) -> String {
     let mut out = heading("Figure 10 — queue and in-flight occupancy (4-way, 32K/32K/1M)");
+    let baseline = sapa_cpu::SimConfig::four_way();
+    ctx.sim_batch(&[
+        (Workload::Fasta34, baseline.clone()),
+        (Workload::SwVmx128, baseline),
+    ]);
     for (w, queues) in [
         (
             Workload::Fasta34,
@@ -28,7 +33,13 @@ pub fn run(ctx: &mut Context) -> String {
     ] {
         let report = ctx.baseline(w).clone();
         out.push_str(&format!("\nISSUE QUEUE UTILIZATION — {}:\n", w.label()));
-        let mut t = Table::new(&["queue", "mean occupancy", "cycles@0", "cycles@4+", "cycles@12+"]);
+        let mut t = Table::new(&[
+            "queue",
+            "mean occupancy",
+            "cycles@0",
+            "cycles@4+",
+            "cycles@12+",
+        ]);
         for q in &queues {
             let hist = report.queue(*q);
             let slice = hist.as_slice();

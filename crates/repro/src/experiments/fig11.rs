@@ -3,7 +3,7 @@
 
 use crate::context::Context;
 use crate::format::{heading, pct, Table};
-use sapa_cpu::branch::standalone_accuracy;
+use sapa_cpu::branch::standalone_accuracy_iter;
 use sapa_cpu::config::PredictorKind;
 use sapa_workloads::Workload;
 
@@ -20,10 +20,10 @@ pub const APPS: [Workload; 4] = [
     Workload::Blast,
 ];
 
-/// Accuracy of one point.
+/// Accuracy of one point (streams the packed trace, never unpacks).
 pub fn point(ctx: &mut Context, w: Workload, kind: PredictorKind, size: u32) -> f64 {
     let trace = ctx.trace(w);
-    standalone_accuracy(trace.insts(), kind, size)
+    standalone_accuracy_iter(trace.iter(), kind, size)
 }
 
 /// Renders Figure 11.

@@ -10,6 +10,12 @@ use sapa_workloads::Workload;
 /// x-axis order), plus a top-5 summary line per workload.
 pub fn run(ctx: &mut Context) -> String {
     let mut out = heading("Figure 2 — stall cycles per trauma (4-way, 32K/32K/1M, real BP)");
+    let baseline = sapa_cpu::SimConfig::four_way();
+    let points: Vec<_> = Workload::ALL
+        .into_iter()
+        .map(|w| (w, baseline.clone()))
+        .collect();
+    ctx.sim_batch(&points);
     for w in Workload::ALL {
         let report = ctx.baseline(w).clone();
         let mut t = Table::new(&["trauma", "cycles"]);
@@ -66,7 +72,10 @@ mod tests {
         for w in [Workload::Ssearch34, Workload::Fasta34] {
             let d = dominant(&mut ctx, w);
             assert!(
-                matches!(d, Trauma::IfPred | Trauma::RgFix | Trauma::RgMem | Trauma::Decode),
+                matches!(
+                    d,
+                    Trauma::IfPred | Trauma::RgFix | Trauma::RgMem | Trauma::Decode
+                ),
                 "{w} dominant trauma {d}"
             );
         }

@@ -18,13 +18,26 @@ fn mem_label(m: &MemConfig) -> String {
 }
 
 fn grid(ctx: &mut Context) -> Vec<(Workload, String, String, u64, f64)> {
+    // Hand the whole grid to the batch engine first so the points run
+    // in parallel under --threads; the loop below is all memo hits.
+    let points: Vec<_> = Workload::ALL
+        .into_iter()
+        .flat_map(|w| {
+            WIDTHS.into_iter().flat_map(move |width| {
+                MemConfig::table_v()
+                    .into_iter()
+                    .map(move |mem| (w, Context::config(width, &mem, BranchConfig::table_vi())))
+            })
+        })
+        .collect();
+    ctx.sim_batch(&points);
+
     let mut rows = Vec::new();
     for w in Workload::ALL {
         for width in WIDTHS {
             for mem in MemConfig::table_v() {
-                let tag = format!("{width}/{}/real", mem.name);
                 let cfg = Context::config(width, &mem, BranchConfig::table_vi());
-                let r = ctx.sim(w, &tag, &cfg);
+                let r = ctx.sim(w, &cfg);
                 rows.push((w, width.to_string(), mem_label(&mem), r.cycles, r.ipc()));
             }
         }
@@ -77,9 +90,8 @@ mod tests {
         // (the full grid is exercised by the binary, not unit tests).
         let mut ctx = Context::new(Scale::Small);
         let mut cycles = |w: Workload, mem: MemConfig| {
-            let tag = format!("4-way/{}/real", mem.name);
             let cfg = Context::config("4-way", &mem, BranchConfig::table_vi());
-            ctx.sim(w, &tag, &cfg).cycles
+            ctx.sim(w, &cfg).cycles
         };
         // BLAST: 32k caches must cost noticeably more than ideal memory.
         let blast_me1 = cycles(Workload::Blast, MemConfig::me1());

@@ -3,8 +3,8 @@
 
 use crate::context::Context;
 use crate::format::{f2, heading, pct, Table};
-use sapa_cpu::config::{BranchConfig, MemConfig, SimConfig};
 use sapa_cpu::config::CacheConfig;
+use sapa_cpu::config::{BranchConfig, MemConfig, SimConfig};
 use sapa_workloads::Workload;
 
 /// The swept DL1 sizes in bytes (1K … 2M, powers of two).
@@ -49,14 +49,18 @@ fn config_for(size: u64) -> SimConfig {
 /// One measured point of the sweep.
 pub fn point(ctx: &mut Context, w: Workload, size: u64) -> (f64, f64) {
     let cfg = config_for(size);
-    let tag = format!("4-way/dl1-{size}/real");
-    let r = ctx.sim(w, &tag, &cfg);
+    let r = ctx.sim(w, &cfg);
     (r.dl1.miss_rate(), r.ipc())
 }
 
 /// Renders Figure 5 (miss rate and IPC vs DL1 size).
 pub fn run(ctx: &mut Context) -> String {
     let mut out = heading("Figure 5 — DL1 miss rate and IPC vs cache size (4-way, 2M L2)");
+    let points: Vec<_> = Workload::ALL
+        .into_iter()
+        .flat_map(|w| SIZES.into_iter().map(move |size| (w, config_for(size))))
+        .collect();
+    ctx.sim_batch(&points);
     let mut t = Table::new(&["workload", "dl1 size", "miss rate", "IPC"]);
     for w in Workload::ALL {
         for size in SIZES {

@@ -9,8 +9,7 @@ use sapa_workloads::Workload;
 /// Swept associativities.
 pub const ASSOCS: [u32; 4] = [1, 2, 4, 8];
 
-/// One measured point.
-pub fn point(ctx: &mut Context, w: Workload, assoc: u32) -> (f64, f64) {
+fn config_for(assoc: u32) -> SimConfig {
     let mut mem = MemConfig::me1();
     mem.name = format!("assoc-{assoc}");
     mem.dl1 = CacheConfig {
@@ -19,19 +18,27 @@ pub fn point(ctx: &mut Context, w: Workload, assoc: u32) -> (f64, f64) {
         line: 128,
         latency: 1,
     };
-    let cfg = SimConfig {
+    SimConfig {
         cpu: sapa_cpu::config::CpuConfig::four_way(),
         mem,
         branch: BranchConfig::table_vi(),
-    };
-    let tag = format!("4-way/assoc-{assoc}/real");
-    let r = ctx.sim(w, &tag, &cfg);
+    }
+}
+
+/// One measured point.
+pub fn point(ctx: &mut Context, w: Workload, assoc: u32) -> (f64, f64) {
+    let r = ctx.sim(w, &config_for(assoc));
     (r.dl1.miss_rate(), r.ipc())
 }
 
 /// Renders Figure 6.
 pub fn run(ctx: &mut Context) -> String {
     let mut out = heading("Figure 6 — DL1 miss rate and IPC vs associativity (32K DL1)");
+    let points: Vec<_> = Workload::ALL
+        .into_iter()
+        .flat_map(|w| ASSOCS.into_iter().map(move |a| (w, config_for(a))))
+        .collect();
+    ctx.sim_batch(&points);
     let mut t = Table::new(&["workload", "assoc", "miss rate", "IPC"]);
     for w in Workload::ALL {
         for assoc in ASSOCS {

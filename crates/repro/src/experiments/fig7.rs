@@ -8,24 +8,31 @@ use sapa_workloads::Workload;
 /// Swept L1 hit latencies.
 pub const LATENCIES: [u32; 6] = [1, 2, 4, 6, 8, 10];
 
-/// One measured point.
-pub fn point(ctx: &mut Context, w: Workload, latency: u32) -> f64 {
+fn config_for(latency: u32) -> SimConfig {
     let mut mem = MemConfig::me1();
     mem.name = format!("l1lat-{latency}");
     mem.dl1.latency = latency;
     mem.il1.latency = latency;
-    let cfg = SimConfig {
+    SimConfig {
         cpu: sapa_cpu::config::CpuConfig::four_way(),
         mem,
         branch: BranchConfig::table_vi(),
-    };
-    let tag = format!("4-way/l1lat-{latency}/real");
-    ctx.sim(w, &tag, &cfg).ipc()
+    }
+}
+
+/// One measured point.
+pub fn point(ctx: &mut Context, w: Workload, latency: u32) -> f64 {
+    ctx.sim(w, &config_for(latency)).ipc()
 }
 
 /// Renders Figure 7.
 pub fn run(ctx: &mut Context) -> String {
     let mut out = heading("Figure 7 — IPC vs L1 hit latency (4-way, 32K/32K/1M)");
+    let points: Vec<_> = Workload::ALL
+        .into_iter()
+        .flat_map(|w| LATENCIES.into_iter().map(move |l| (w, config_for(l))))
+        .collect();
+    ctx.sim_batch(&points);
     let mut t = Table::new(&["workload", "L1 latency", "IPC"]);
     for w in Workload::ALL {
         for lat in LATENCIES {

@@ -10,11 +10,14 @@ use sapa_workloads::Workload;
 /// Swept widths (the paper's 4W/8W/12W/16W).
 pub const WIDTHS: [&str; 4] = ["4-way", "8-way", "12-way", "16-way"];
 
-fn cycles(ctx: &mut Context, w: Workload, width: &str, extra_wide_lat: u32) -> u64 {
+fn config_for(width: &str, extra_wide_lat: u32) -> sapa_cpu::config::SimConfig {
     let mut cfg = Context::config(width, &MemConfig::me1(), BranchConfig::table_vi());
     cfg.cpu.wide_load_extra_latency = extra_wide_lat;
-    let tag = format!("{width}/me1/real/wlat{extra_wide_lat}");
-    ctx.sim(w, &tag, &cfg).cycles
+    cfg
+}
+
+fn cycles(ctx: &mut Context, w: Workload, width: &str, extra_wide_lat: u32) -> u64 {
+    ctx.sim(w, &config_for(width, extra_wide_lat)).cycles
 }
 
 /// Speed-up of each variant relative to `SW_vmx128` at the same width.
@@ -28,6 +31,17 @@ pub fn speedups(ctx: &mut Context, width: &str) -> (f64, f64, f64) {
 /// Renders Figure 8.
 pub fn run(ctx: &mut Context) -> String {
     let mut out = heading("Figure 8 — SIMD speed-up vs width (relative to SW_vmx128)");
+    let points: Vec<_> = WIDTHS
+        .into_iter()
+        .flat_map(|width| {
+            [
+                (Workload::SwVmx128, config_for(width, 0)),
+                (Workload::SwVmx256, config_for(width, 0)),
+                (Workload::SwVmx256, config_for(width, 1)),
+            ]
+        })
+        .collect();
+    ctx.sim_batch(&points);
     let mut t = Table::new(&["width", "SW_vmx128", "SW_vmx256", "SW_vmx256 + 1 lat"]);
     for width in WIDTHS {
         let (a, b, c) = speedups(ctx, width);

@@ -8,21 +8,32 @@ use sapa_workloads::Workload;
 
 const WIDTHS: [&str; 3] = ["4-way", "8-way", "16-way"];
 
-/// IPC of one point.
-pub fn point(ctx: &mut Context, w: Workload, width: &str, perfect: bool) -> f64 {
+fn config_for(width: &str, perfect: bool) -> sapa_cpu::config::SimConfig {
     let branch = if perfect {
         BranchConfig::perfect()
     } else {
         BranchConfig::table_vi()
     };
-    let cfg = Context::config(width, &MemConfig::me1(), branch);
-    let tag = format!("{width}/me1/{}", if perfect { "perfect" } else { "real" });
-    ctx.sim(w, &tag, &cfg).ipc()
+    Context::config(width, &MemConfig::me1(), branch)
+}
+
+/// IPC of one point.
+pub fn point(ctx: &mut Context, w: Workload, width: &str, perfect: bool) -> f64 {
+    ctx.sim(w, &config_for(width, perfect)).ipc()
 }
 
 /// Renders Figure 9.
 pub fn run(ctx: &mut Context) -> String {
     let mut out = heading("Figure 9 — perfect vs real branch predictor (IPC)");
+    let points: Vec<_> = Workload::ALL
+        .into_iter()
+        .flat_map(|w| {
+            WIDTHS.into_iter().flat_map(move |width| {
+                [(w, config_for(width, false)), (w, config_for(width, true))]
+            })
+        })
+        .collect();
+    ctx.sim_batch(&points);
     let mut t = Table::new(&["workload", "width", "Real-BP", "Perfect-BP"]);
     for w in Workload::ALL {
         for width in WIDTHS {
@@ -48,9 +59,8 @@ mod tests {
     #[test]
     fn perfect_bp_helps_branchy_codes_not_simd() {
         let mut ctx = Context::new(Scale::Tiny);
-        let mut gain = |w: Workload| {
-            point(&mut ctx, w, "4-way", true) / point(&mut ctx, w, "4-way", false)
-        };
+        let mut gain =
+            |w: Workload| point(&mut ctx, w, "4-way", true) / point(&mut ctx, w, "4-way", false);
         let ssearch = gain(Workload::Ssearch34);
         let simd = gain(Workload::SwVmx128);
         assert!(ssearch > 1.05, "ssearch gain {ssearch}");

@@ -25,8 +25,24 @@ use crate::context::Context;
 
 /// All experiment ids in presentation order.
 pub const ALL_IDS: [&str; 19] = [
-    "table1", "table2", "table3", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
-    "fig8", "fig9", "fig10", "fig11", "tables456", "table7", "ext_queries", "ext_prefetch",
+    "table1",
+    "table2",
+    "table3",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "tables456",
+    "table7",
+    "ext_queries",
+    "ext_prefetch",
     "ext_blastn",
 ];
 

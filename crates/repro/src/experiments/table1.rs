@@ -10,7 +10,11 @@ pub fn run(_ctx: &mut Context) -> String {
     for w in Workload::ALL {
         t.row(&[w.label(), w.description(), w.input_parameters()]);
     }
-    format!("{}{}", heading("Table I — selected workload description"), t.render())
+    format!(
+        "{}{}",
+        heading("Table I — selected workload description"),
+        t.render()
+    )
 }
 
 #[cfg(test)]

@@ -48,7 +48,9 @@ pub fn run(_ctx: &mut Context) -> String {
             cfgs[2].units[u.index()].to_string(),
         ]);
     }
-    row(&mut t, "Issue queue (each)", &|c| c.issue_queue[0].to_string());
+    row(&mut t, "Issue queue (each)", &|c| {
+        c.issue_queue[0].to_string()
+    });
     row(&mut t, "Ibuffer", &|c| c.ibuffer.to_string());
     row(&mut t, "Retire queue", &|c| c.retire_queue.to_string());
     row(&mut t, "Max outstanding misses", &|c| {
@@ -79,11 +81,20 @@ pub fn run(_ctx: &mut Context) -> String {
     out.push_str(&heading("Table VI — branch predictor configuration"));
     let b = BranchConfig::table_vi();
     let mut t = Table::new(&["Parameter", "Value"]);
-    t.row_owned(vec!["Strategy".into(), format!("{:?} (combined gshare + bimodal)", b.kind)]);
-    t.row_owned(vec!["Predictor table size".into(), b.table_size.to_string()]);
+    t.row_owned(vec![
+        "Strategy".into(),
+        format!("{:?} (combined gshare + bimodal)", b.kind),
+    ]);
+    t.row_owned(vec![
+        "Predictor table size".into(),
+        b.table_size.to_string(),
+    ]);
     t.row_owned(vec!["NFA table size".into(), b.nfa_size.to_string()]);
     t.row_owned(vec!["NFA associativity".into(), b.nfa_assoc.to_string()]);
-    t.row_owned(vec!["NFA miss penalty".into(), format!("{} cycles", b.nfa_miss_penalty)]);
+    t.row_owned(vec![
+        "NFA miss penalty".into(),
+        format!("{} cycles", b.nfa_miss_penalty),
+    ]);
     t.row_owned(vec![
         "Max predicted conditional branches".into(),
         b.max_pred_branches.to_string(),

@@ -35,7 +35,8 @@ impl Table {
             self.headers.len(),
             "row width must match header width"
         );
-        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|s| s.to_string()).collect());
     }
 
     /// Appends a row of owned strings.
@@ -62,9 +63,17 @@ impl Table {
                 }
                 let cell = &cells[i];
                 // Right-align numbers, left-align text.
-                if cell.chars().next().is_some_and(|c| c.is_ascii_digit() || c == '-')
+                if cell
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_ascii_digit() || c == '-')
                     && cell.chars().all(|c| {
-                        c.is_ascii_digit() || c == '.' || c == '-' || c == '%' || c == 'e' || c == '+'
+                        c.is_ascii_digit()
+                            || c == '.'
+                            || c == '-'
+                            || c == '%'
+                            || c == 'e'
+                            || c == '+'
                     })
                 {
                     line.push_str(&format!("{cell:>width$}", width = widths[i]));

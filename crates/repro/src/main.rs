@@ -1,7 +1,7 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [--scale tiny|small|paper] [--out DIR] <experiment>...
+//! repro [--scale tiny|small|paper] [--threads N] [--out DIR] <experiment>...
 //! repro all                 # everything, in paper order
 //! repro table3 fig1 fig9    # a subset
 //! repro --list              # available experiment ids
@@ -10,6 +10,10 @@
 //! repro dbgen --out db.fasta --sequences 400         # export the synthetic db
 //! repro simulate --file blast.trc [width=8-way mem=meinf bp=perfect]
 //! ```
+//!
+//! `--threads N` fans each experiment's configuration grid out over N
+//! worker threads. Results are bit-identical to a serial run — only
+//! wall-clock changes — so tables and figures stay diffable.
 
 use std::io::Write;
 use std::time::Instant;
@@ -20,8 +24,8 @@ use sapa_repro::sweep::{parse_workload, SweepSpec};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--scale tiny|small|paper] [--out DIR] <experiment>... | all | --list\n\
-         \x20      repro sweep [workload=..] [width=..] [mem=..] [bp=..]\n\
+        "usage: repro [--scale tiny|small|paper] [--threads N] [--out DIR] <experiment>... | all | --list\n\
+         \x20      repro sweep [--threads N] [workload=..] [width=..] [mem=..] [bp=..]\n\
          \x20      repro trace --workload NAME --file PATH\n\
          \x20      repro simulate --file PATH [width=..] [mem=..] [bp=..]\n\
          experiments: {}",
@@ -30,7 +34,24 @@ fn usage() -> ! {
     std::process::exit(2);
 }
 
-fn run_sweep(scale: Scale, args: &[String]) {
+/// Prints the run's simulation totals to stderr (stdout stays a pure
+/// function of the experiment set, so serial/parallel output diffs
+/// clean).
+fn print_sim_summary(ctx: &Context, total: std::time::Duration) {
+    let wall = ctx.sim_wall();
+    let insts = ctx.sim_instructions();
+    if insts == 0 {
+        return;
+    }
+    let rate = insts as f64 / wall.as_secs_f64().max(1e-9);
+    eprintln!(
+        "[simulated {insts} instructions in {wall:.1?} ({rate:.0} sim-inst/s, {} thread{}); total wall {total:.1?}]",
+        ctx.threads(),
+        if ctx.threads() == 1 { "" } else { "s" },
+    );
+}
+
+fn run_sweep(scale: Scale, threads: usize, args: &[String]) {
     let mut spec = SweepSpec::default();
     for a in args {
         if let Err(msg) = spec.apply(a) {
@@ -38,8 +59,10 @@ fn run_sweep(scale: Scale, args: &[String]) {
             std::process::exit(2);
         }
     }
-    let mut ctx = Context::new(scale);
+    let t0 = Instant::now();
+    let mut ctx = Context::with_threads(scale, threads);
     print!("{}", spec.run(&mut ctx));
+    print_sim_summary(&ctx, t0.elapsed());
 }
 
 fn run_trace(scale: Scale, args: &[String]) {
@@ -70,7 +93,9 @@ fn run_trace(scale: Scale, args: &[String]) {
     let mut ctx = Context::new(scale);
     let trace = ctx.trace(w);
     let f = std::fs::File::create(&path).expect("create trace file");
+    // The on-disk format is the portable array-of-structs trace.
     trace
+        .to_trace()
         .write_to(std::io::BufWriter::new(f))
         .expect("write trace");
     println!(
@@ -104,11 +129,10 @@ fn run_simulate(args: &[String]) {
         eprintln!("error: cannot open {path}: {e}");
         std::process::exit(2);
     });
-    let trace = sapa_core::isa::Trace::read_from(std::io::BufReader::new(f))
-        .unwrap_or_else(|e| {
-            eprintln!("error: {e}");
-            std::process::exit(2);
-        });
+    let trace = sapa_core::isa::Trace::read_from(std::io::BufReader::new(f)).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
     use sapa_core::cpu::config::BranchConfig;
     use sapa_core::cpu::Simulator;
     let mem = match spec.mems[0].as_str() {
@@ -176,43 +200,59 @@ fn run_dbgen(args: &[String]) {
     );
 }
 
-/// Extracts a leading `--scale X` pair from subcommand arguments.
-fn split_scale(args: &[String]) -> (Scale, Vec<String>) {
+/// Extracts leading `--scale X` / `--threads N` pairs from subcommand
+/// arguments.
+fn split_opts(args: &[String]) -> (Scale, usize, Vec<String>) {
     let mut scale = Scale::Paper;
+    let mut threads = 1usize;
     let mut rest = Vec::new();
     let mut i = 0;
     while i < args.len() {
-        if args[i] == "--scale" {
-            i += 1;
-            scale = match args.get(i).map(String::as_str) {
-                Some("tiny") => Scale::Tiny,
-                Some("small") => Scale::Small,
-                Some("paper") => Scale::Paper,
-                _ => usage(),
-            };
-        } else {
-            rest.push(args[i].clone());
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = match args.get(i).map(String::as_str) {
+                    Some("tiny") => Scale::Tiny,
+                    Some("small") => Scale::Small,
+                    Some("paper") => Scale::Paper,
+                    _ => usage(),
+                };
+            }
+            "--threads" => {
+                i += 1;
+                threads = parse_threads(args.get(i));
+            }
+            _ => rest.push(args[i].clone()),
         }
         i += 1;
     }
-    (scale, rest)
+    (scale, threads, rest)
+}
+
+/// Parses a `--threads` value (positive integer).
+fn parse_threads(value: Option<&String>) -> usize {
+    match value.and_then(|v| v.parse::<usize>().ok()) {
+        Some(n) if n >= 1 => n,
+        _ => usage(),
+    }
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Paper;
+    let mut threads = 1usize;
     let mut out_dir: Option<String> = None;
     let mut ids: Vec<String> = Vec::new();
 
     // Subcommands with their own argument grammars.
     match args.first().map(String::as_str) {
         Some("sweep") => {
-            let (scale, rest) = split_scale(&args[1..]);
-            run_sweep(scale, &rest);
+            let (scale, threads, rest) = split_opts(&args[1..]);
+            run_sweep(scale, threads, &rest);
             return;
         }
         Some("trace") => {
-            let (scale, rest) = split_scale(&args[1..]);
+            let (scale, _, rest) = split_opts(&args[1..]);
             run_trace(scale, &rest);
             return;
         }
@@ -243,6 +283,10 @@ fn main() {
                     _ => usage(),
                 };
             }
+            "--threads" => {
+                i += 1;
+                threads = parse_threads(args.get(i));
+            }
             "--out" => {
                 i += 1;
                 out_dir = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
@@ -257,7 +301,8 @@ fn main() {
         usage();
     }
 
-    let mut ctx = Context::new(scale);
+    let run_start = Instant::now();
+    let mut ctx = Context::with_threads(scale, threads);
     if let Some(dir) = &out_dir {
         std::fs::create_dir_all(dir).expect("create output directory");
     }
@@ -280,4 +325,5 @@ fn main() {
             }
         }
     }
+    print_sim_summary(&ctx, run_start.elapsed());
 }

@@ -77,8 +77,32 @@ impl SweepSpec {
         Ok(())
     }
 
+    /// Every `(workload, config)` point of the grid, in render order.
+    fn points(&self) -> Vec<(Workload, sapa_cpu::SimConfig)> {
+        let mut points = Vec::new();
+        for &w in &self.workloads {
+            for width in &self.widths {
+                for mem_name in &self.mems {
+                    let mem = mem_by_name(mem_name);
+                    for bp in &self.predictors {
+                        let branch = if bp == "perfect" {
+                            BranchConfig::perfect()
+                        } else {
+                            BranchConfig::table_vi()
+                        };
+                        points.push((w, Context::config(width, &mem, branch)));
+                    }
+                }
+            }
+        }
+        points
+    }
+
     /// Runs the sweep and renders a table.
     pub fn run(&self, ctx: &mut Context) -> String {
+        // The whole grid goes to the batch engine up front so the
+        // points run in parallel under --threads.
+        ctx.sim_batch(&self.points());
         let mut t = Table::new(&[
             "workload", "width", "mem", "bp", "cycles", "IPC", "dl1 miss", "bp acc",
         ]);
@@ -93,8 +117,7 @@ impl SweepSpec {
                             BranchConfig::table_vi()
                         };
                         let cfg = Context::config(width, &mem, branch);
-                        let tag = format!("{width}/{mem_name}/{bp}");
-                        let r = ctx.sim(w, &tag, &cfg);
+                        let r = ctx.sim(w, &cfg);
                         t.row_owned(vec![
                             w.label().to_string(),
                             width.clone(),

@@ -1,0 +1,41 @@
+//! The parallel sweep engine must be invisible in the results: any
+//! thread count produces byte-identical experiment output and equal
+//! reports, for every workload.
+
+use sapa_cpu::SimConfig;
+use sapa_repro::context::{Context, Scale};
+use sapa_repro::sweep::SweepSpec;
+use sapa_workloads::Workload;
+
+#[test]
+fn parallel_sweep_output_is_byte_identical_to_serial() {
+    let spec = {
+        let mut s = SweepSpec::default();
+        s.apply("width=4-way,8-way").unwrap();
+        s.apply("mem=me1,meinf").unwrap();
+        s
+    };
+    let serial = spec.run(&mut Context::new(Scale::Tiny));
+    for threads in [2, 4] {
+        let parallel = spec.run(&mut Context::with_threads(Scale::Tiny, threads));
+        assert_eq!(serial, parallel, "threads={threads}");
+    }
+}
+
+#[test]
+fn every_workload_reports_identically_at_four_threads() {
+    let grid: Vec<(Workload, SimConfig)> = Workload::ALL
+        .into_iter()
+        .map(|w| (w, SimConfig::four_way()))
+        .collect();
+    let mut serial = Context::new(Scale::Tiny);
+    let mut parallel = Context::with_threads(Scale::Tiny, 4);
+    serial.sim_batch(&grid);
+    parallel.sim_batch(&grid);
+    for (w, cfg) in &grid {
+        let a = serial.sim(*w, cfg).clone();
+        let b = parallel.sim(*w, cfg).clone();
+        assert_eq!(a, b, "{w} diverged under parallel sweep");
+        assert!(a.instructions > 0, "{w} simulated nothing");
+    }
+}

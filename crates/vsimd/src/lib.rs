@@ -272,9 +272,7 @@ mod tests {
 
     #[test]
     fn horizontal_max() {
-        let a = V256::from_array([
-            -5, 3, 17, 2, 9, -20, 0, 4, 1, 1, 1, 16, 15, 14, 13, 12,
-        ]);
+        let a = V256::from_array([-5, 3, 17, 2, 9, -20, 0, 4, 1, 1, 1, 16, 15, 14, 13, 12]);
         assert_eq!(a.horizontal_max(), 17);
         assert_eq!(V128::splat(-3).horizontal_max(), -3);
     }

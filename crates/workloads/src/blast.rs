@@ -113,11 +113,7 @@ pub fn run(
         .alloc("word_backbone", 8 * (8000 + 1), 128)
         .expect("backbone fits");
     let pos_region = space
-        .alloc(
-            "word_positions",
-            4 * index.entry_count().max(1) as u64,
-            128,
-        )
+        .alloc("word_positions", 4 * index.entry_count().max(1) as u64, 128)
         .expect("positions fit");
     // Per-diagonal arrays, reused across subjects (sized for the worst).
     let max_n: usize = db.iter().map(Sequence::len).max().unwrap_or(0);
@@ -126,16 +122,18 @@ pub fn run(
         .expect("diag arrays fit");
     // Query residues + banded-DP row, for the rescoring loops.
     let band_region = space
-        .alloc("band_rows", 8 * (2 * params.band_width + 1).max(1) as u64, 128)
+        .alloc(
+            "band_rows",
+            8 * (2 * params.band_width + 1).max(1) as u64,
+            128,
+        )
         .expect("band rows fit");
     // Query residues and the substitution matrix, read by the
     // extension loops.
     let query_region = space
         .alloc("query_residues", m.max(1) as u64, 128)
         .expect("query fits");
-    let matrix_region = space
-        .alloc("matrix", 24 * 24, 128)
-        .expect("matrix fits");
+    let matrix_region = space.alloc("matrix", 24 * 24, 128).expect("matrix fits");
 
     let mut t = Tracer::with_capacity(1024);
     let mut scores = Vec::with_capacity(db.len());
@@ -161,7 +159,13 @@ pub fn run(
         for j in 0..=(n - WORD_LEN) {
             // --- Scan: incremental word computation.
             t.ialu(site::ADDR_A, R_PTR, &[R_PTR]);
-            t.iload(site::LD_DB, R_DB, img.residue_addr(si, j + WORD_LEN - 1), 1, &[R_PTR]);
+            t.iload(
+                site::LD_DB,
+                R_DB,
+                img.residue_addr(si, j + WORD_LEN - 1),
+                1,
+                &[R_PTR],
+            );
             t.ialu(site::WORD_SHIFT, R_WORD, &[R_WORD, R_DB]);
             t.ialu(site::WORD_MOD, R_WORD, &[R_WORD]);
             t.ialu(site::ADDR_B, R_CMP, &[R_WORD]);
@@ -176,8 +180,20 @@ pub fn run(
             };
 
             // --- Index lookup: the randomly-indexed big structure.
-            t.iload(site::LD_START, R_START, starts_region.addr(8 * word as u32), 4, &[R_WORD]);
-            t.iload(site::LD_END, R_END, starts_region.addr(8 * word as u32 + 4), 4, &[R_WORD]);
+            t.iload(
+                site::LD_START,
+                R_START,
+                starts_region.addr(8 * word as u32),
+                4,
+                &[R_WORD],
+            );
+            t.iload(
+                site::LD_END,
+                R_END,
+                starts_region.addr(8 * word as u32 + 4),
+                4,
+                &[R_WORD],
+            );
             let bucket = index.lookup(word);
             t.ialu(site::CMP_EMPTY, R_CMP, &[R_START, R_END]);
             t.branch(site::B_EMPTY, bucket.is_empty(), site::TOP, &[R_CMP]);
@@ -195,12 +211,23 @@ pub fn run(
                     &[R_START],
                 );
                 t.ialu(site::DIAG, R_DIAG, &[R_POS]);
-                t.iload(site::LD_LASTHIT, R_LAST, diag_region.addr(4 * diag as u32), 4, &[R_DIAG]);
+                t.iload(
+                    site::LD_LASTHIT,
+                    R_LAST,
+                    diag_region.addr(4 * diag as u32),
+                    4,
+                    &[R_DIAG],
+                );
 
                 let skip_extended = jj <= ext_end[diag];
                 let prev = last_hit[diag];
                 t.ialu(site::CMP_OVL, R_CMP, &[R_LAST, R_POS]);
-                t.branch(site::B_OVL, skip_extended || jj - prev < WORD_LEN as i32, site::TOP, &[R_CMP]);
+                t.branch(
+                    site::B_OVL,
+                    skip_extended || jj - prev < WORD_LEN as i32,
+                    site::TOP,
+                    &[R_CMP],
+                );
                 if skip_extended {
                     continue;
                 }
@@ -208,10 +235,14 @@ pub fn run(
                     continue;
                 }
                 last_hit[diag] = jj;
-                t.istore(site::ST_LASTHIT, diag_region.addr(4 * diag as u32), 4, &[R_POS, R_DIAG]);
+                t.istore(
+                    site::ST_LASTHIT,
+                    diag_region.addr(4 * diag as u32),
+                    4,
+                    &[R_POS, R_DIAG],
+                );
 
-                let in_window =
-                    params.one_hit || jj - prev <= params.two_hit_window as i32;
+                let in_window = params.one_hit || jj - prev <= params.two_hit_window as i32;
                 t.ialu(site::CMP_WIN, R_CMP, &[R_LAST]);
                 t.branch(site::B_WIN, in_window, site::TOP, &[R_CMP]);
                 if !in_window {
@@ -308,9 +339,21 @@ fn traced_ungapped_extend(
 
     let (query_region, matrix_region) = regions;
     let emit_step = |t: &mut Tracer, i: usize, j: usize, stop: bool| {
-        t.iload(site::LD_EXTEND_Q, R_Q, query_region.addr(i as u32), 1, &[R_PTR]);
+        t.iload(
+            site::LD_EXTEND_Q,
+            R_Q,
+            query_region.addr(i as u32),
+            1,
+            &[R_PTR],
+        );
         t.iload(site::LD_EXTEND_S, R_S, img.residue_addr(si, j), 1, &[R_PTR]);
-        t.iload(site::LD_EXTEND_SC, R_SCORE, matrix_region.addr(((i * 24 + j) % 576) as u32), 1, &[R_Q, R_S]);
+        t.iload(
+            site::LD_EXTEND_SC,
+            R_SCORE,
+            matrix_region.addr(((i * 24 + j) % 576) as u32),
+            1,
+            &[R_Q, R_S],
+        );
         t.ialu(site::EXT_ADD, R_SCORE, &[R_SCORE, R_BESTX]);
         t.ialu(site::EXT_MAX, R_BESTX, &[R_BESTX, R_SCORE]);
         t.ialu(site::CMP_XDROP, R_CMP, &[R_BESTX, R_SCORE]);
@@ -374,7 +417,13 @@ fn traced_banded(
             }
             let cell = band_region.addr((8 * off as u32) % band_region.size().max(8));
             t.iload(site::GAP_LD_SS, R_S, cell, 8, &[R_PTR]);
-            t.iload(site::GAP_LD_P, R_SCORE, matrix_region.addr(((i * 24) % 576) as u32), 1, &[R_PTR]);
+            t.iload(
+                site::GAP_LD_P,
+                R_SCORE,
+                matrix_region.addr(((i * 24) % 576) as u32),
+                1,
+                &[R_PTR],
+            );
             t.ialu(site::GAP_ADD, R_Q, &[R_S, R_SCORE]);
             t.ialu(site::GAP_MAX1, R_Q, &[R_Q, R_S]);
             t.ialu(site::GAP_MAX2, R_Q, &[R_Q, R_CMP]);
@@ -385,7 +434,12 @@ fn traced_banded(
             t.istore(site::GAP_ST, cell, 8, &[R_Q]);
         }
         t.ialu(site::GAP_CMP, R_CMP, &[R_Q]);
-        t.branch(site::GAP_LOOP, i + 1 < query.len(), site::GAP_LD_SS, &[R_CMP]);
+        t.branch(
+            site::GAP_LOOP,
+            i + 1 < query.len(),
+            site::GAP_LD_SS,
+            &[R_CMP],
+        );
     }
     banded::score(query, subject, matrix, gaps, diag, width)
 }
@@ -430,7 +484,14 @@ mod tests {
     fn instruction_mix_matches_figure_1_shape() {
         let (q, db) = inputs();
         let m = SubstitutionMatrix::blosum62();
-        let run = run(&q, &db, &m, GapPenalties::paper(), &BlastParams::default(), 10);
+        let run = run(
+            &q,
+            &db,
+            &m,
+            GapPenalties::paper(),
+            &BlastParams::default(),
+            10,
+        );
         let stats = run.trace.stats();
         let ialu = stats.fraction(OpClass::IAlu);
         let iload = stats.fraction(OpClass::ILoad);

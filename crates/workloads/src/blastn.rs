@@ -66,12 +66,7 @@ const R_Q: Reg = reg::gpr(14);
 const R_SCORE: Reg = reg::gpr(15);
 
 /// Runs the traced BLASTN search of `query` against packed `db`.
-pub fn run(
-    query: &DnaSequence,
-    db: &[PackedDna],
-    params: &BlastnParams,
-    keep: usize,
-) -> BlastnRun {
+pub fn run(query: &DnaSequence, db: &[PackedDna], params: &BlastnParams, keep: usize) -> BlastnRun {
     let index = NtWordIndex::build(query, params.word_len);
     let w = params.word_len;
     let qbases = index.query();
@@ -140,7 +135,13 @@ pub fn run(
             // Hash probe into the word table.
             t.ialu(site::HASH, R_HASH, &[R_WORD]);
             let slot = (word as usize * 0x9E37) % table_slots;
-            t.iload(site::LD_BUCKET, R_BUCKET, table_region.addr(8 * slot as u32), 8, &[R_HASH]);
+            t.iload(
+                site::LD_BUCKET,
+                R_BUCKET,
+                table_region.addr(8 * slot as u32),
+                8,
+                &[R_HASH],
+            );
             let bucket = index.lookup(word);
             t.ialu(site::CMP_EMPTY, R_CMP, &[R_BUCKET]);
             t.branch(site::B_EMPTY, bucket.is_empty(), site::TOP, &[R_CMP]);
@@ -148,13 +149,28 @@ pub fn run(
             for &qi in bucket {
                 let i = qi as usize;
                 let diag = start + m - i;
-                t.iload(site::LD_POS, R_POS, table_region.addr((8 * slot as u32 + 4) % table_region.size()), 4, &[R_BUCKET]);
+                t.iload(
+                    site::LD_POS,
+                    R_POS,
+                    table_region.addr((8 * slot as u32 + 4) % table_region.size()),
+                    4,
+                    &[R_BUCKET],
+                );
                 t.ialu(site::DIAG, R_DIAG, &[R_POS]);
                 if (start as i32) <= ext_end[diag] {
                     continue;
                 }
-                let score =
-                    traced_extend(&mut t, &db_region, subj_byte_base, &query_region, qbases, subject, params, i, start);
+                let score = traced_extend(
+                    &mut t,
+                    &db_region,
+                    subj_byte_base,
+                    &query_region,
+                    qbases,
+                    subject,
+                    params,
+                    i,
+                    start,
+                );
                 ext_end[diag] = (start + w) as i32;
                 if score > best_score {
                     best_score = score;
@@ -211,15 +227,31 @@ fn traced_extend(
         let mut best = score;
         while i < qbases.len() && j < subject.len() {
             if j % 4 == 0 {
-                t.iload(site::LD_EXTEND_P, R_BYTE, db_region.addr(subj_byte_base + (j / 4) as u32), 1, &[R_PTR]);
+                t.iload(
+                    site::LD_EXTEND_P,
+                    R_BYTE,
+                    db_region.addr(subj_byte_base + (j / 4) as u32),
+                    1,
+                    &[R_PTR],
+                );
             }
-            t.iload(site::LD_EXTEND_P, R_Q, query_region.addr(i as u32), 1, &[R_PTR]);
+            t.iload(
+                site::LD_EXTEND_P,
+                R_Q,
+                query_region.addr(i as u32),
+                1,
+                &[R_PTR],
+            );
             t.ialu(site::EXT_UNPACK, R_SCORE, &[R_BYTE]);
             t.ialu(site::EXT_CMP, R_CMP, &[R_SCORE, R_Q]);
             let matched = subject.get(j) == qbases[i];
             t.branch(site::EXT_B, matched, site::TOP, &[R_CMP]);
             t.ialu(site::EXT_ADD, R_SCORE, &[R_SCORE]);
-            score += if matched { params.reward } else { params.penalty };
+            score += if matched {
+                params.reward
+            } else {
+                params.penalty
+            };
             if score > best {
                 best = score;
             }
@@ -239,7 +271,13 @@ fn traced_extend(
         let (mut i, mut j) = (qi, sj);
         while i > 0 && j > 0 && j % 4 == 0 && i >= 4 && j >= 4 {
             let byte = subject.bytes()[j / 4 - 1];
-            t.iload(site::LD_EXTEND_P, R_BYTE, db_region.addr(subj_byte_base + (j / 4 - 1) as u32), 1, &[R_PTR]);
+            t.iload(
+                site::LD_EXTEND_P,
+                R_BYTE,
+                db_region.addr(subj_byte_base + (j / 4 - 1) as u32),
+                1,
+                &[R_PTR],
+            );
             let left = match_left_in_byte(byte, qbases, i);
             for k in 0..=left.min(3) {
                 t.ialu(site::EXT_UNPACK, R_SCORE, &[R_BYTE]);

@@ -113,11 +113,13 @@ pub fn run(
         .alloc("diag_state", 12 * (m + max_n).max(1) as u64, 128)
         .expect("diag state fits");
     let band_region = space
-        .alloc("opt_band", 8 * (2 * params.band_width + 1).max(1) as u64, 128)
+        .alloc(
+            "opt_band",
+            8 * (2 * params.band_width + 1).max(1) as u64,
+            128,
+        )
         .expect("band fits");
-    let matrix_region = space
-        .alloc("matrix", 24 * 24, 128)
-        .expect("matrix fits");
+    let matrix_region = space.alloc("matrix", 24 * 24, 128).expect("matrix fits");
 
     let mut t = Tracer::with_capacity(1024);
     let mut all_scores = Vec::with_capacity(db.len());
@@ -143,14 +145,32 @@ pub fn run(
         const GAP_DECAY: i32 = 1;
 
         for j in 0..=(n - ktup) {
-            t.iload(site::LD_DB, R_DB, img.residue_addr(si, j + ktup - 1), 1, &[R_PTR]);
+            t.iload(
+                site::LD_DB,
+                R_DB,
+                img.residue_addr(si, j + ktup - 1),
+                1,
+                &[R_PTR],
+            );
             t.ialu(site::WORD_SHIFT, R_WORD, &[R_WORD, R_DB]);
             let word = pack(subject, j, ktup);
             t.ialu(site::CMP_STD, R_CMP, &[R_DB]);
             t.branch(site::B_STD, word.is_none(), site::TOP, &[R_CMP]);
             if let Some(word) = word {
-                t.iload(site::LD_START, R_START, starts_region.addr(4 * word as u32), 4, &[R_WORD]);
-                t.iload(site::LD_END, R_END, starts_region.addr(4 * (word as u32 + 1)), 4, &[R_WORD]);
+                t.iload(
+                    site::LD_START,
+                    R_START,
+                    starts_region.addr(4 * word as u32),
+                    4,
+                    &[R_WORD],
+                );
+                t.iload(
+                    site::LD_END,
+                    R_END,
+                    starts_region.addr(4 * (word as u32 + 1)),
+                    4,
+                    &[R_WORD],
+                );
                 let bucket = index.lookup(word);
                 t.ialu(site::CMP_EMPTY, R_CMP, &[R_START, R_END]);
                 t.branch(site::B_EMPTY, bucket.is_empty(), site::TOP, &[R_CMP]);
@@ -160,10 +180,28 @@ pub fn run(
                     let d = j + m - i;
                     let jj = j as i32;
 
-                    t.iload(site::LD_POS, R_POS, pos_region.addr((4 * k as u32) % pos_region.size().max(4)), 4, &[R_START]);
+                    t.iload(
+                        site::LD_POS,
+                        R_POS,
+                        pos_region.addr((4 * k as u32) % pos_region.size().max(4)),
+                        4,
+                        &[R_START],
+                    );
                     t.ialu(site::DIAG, R_DIAG, &[R_POS]);
-                    t.iload(site::LD_RUN, R_RUN, diag_region.addr((12 * d as u32) % diag_region.size().max(12)), 4, &[R_DIAG]);
-                    t.iload(site::LD_LASTEND, R_LASTE, diag_region.addr((12 * d as u32 + 4) % diag_region.size().max(12)), 4, &[R_DIAG]);
+                    t.iload(
+                        site::LD_RUN,
+                        R_RUN,
+                        diag_region.addr((12 * d as u32) % diag_region.size().max(12)),
+                        4,
+                        &[R_DIAG],
+                    );
+                    t.iload(
+                        site::LD_LASTEND,
+                        R_LASTE,
+                        diag_region.addr((12 * d as u32 + 4) % diag_region.size().max(12)),
+                        4,
+                        &[R_DIAG],
+                    );
 
                     let gap = jj - last_end[d];
                     let decayed = run_score[d] - gap.max(0) * GAP_DECAY;
@@ -177,8 +215,18 @@ pub fn run(
                     }
                     last_end[d] = jj + ktup as i32;
                     t.ialu(site::RUN_ADD, R_RUN, &[R_RUN]);
-                    t.istore(site::ST_RUN, diag_region.addr((12 * d as u32) % diag_region.size().max(12)), 4, &[R_RUN, R_DIAG]);
-                    t.istore(site::ST_LASTEND, diag_region.addr((12 * d as u32 + 4) % diag_region.size().max(12)), 4, &[R_POS, R_DIAG]);
+                    t.istore(
+                        site::ST_RUN,
+                        diag_region.addr((12 * d as u32) % diag_region.size().max(12)),
+                        4,
+                        &[R_RUN, R_DIAG],
+                    );
+                    t.istore(
+                        site::ST_LASTEND,
+                        diag_region.addr((12 * d as u32 + 4) % diag_region.size().max(12)),
+                        4,
+                        &[R_POS, R_DIAG],
+                    );
 
                     let peak = run_score[d] >= WORD_BONUS * 2;
                     t.ialu(site::CMP_PEAK, R_CMP, &[R_RUN]);
@@ -187,7 +235,12 @@ pub fn run(
                         // savemax bookkeeping.
                         t.ialu(site::SAVE_CMP, R_CMP, &[R_RUN, R_ACC]);
                         t.branch(site::SAVE_B, run_score[d] > 8, site::TOP, &[R_CMP]);
-                        t.istore(site::SAVE_ST, diag_region.addr((12 * d as u32 + 8) % diag_region.size().max(12)), 4, &[R_RUN]);
+                        t.istore(
+                            site::SAVE_ST,
+                            diag_region.addr((12 * d as u32 + 8) % diag_region.size().max(12)),
+                            4,
+                            &[R_RUN],
+                        );
                     }
                 }
             }
@@ -204,12 +257,23 @@ pub fn run(
             let span = 24usize.min(n);
             for r in 0..params.max_regions.min(4) {
                 for x in 0..span {
-                    t.iload(site::RESC_LD, R_SC, img.residue_addr(si, (x + r) % n), 1, &[R_PTR]);
+                    t.iload(
+                        site::RESC_LD,
+                        R_SC,
+                        img.residue_addr(si, (x + r) % n),
+                        1,
+                        &[R_PTR],
+                    );
                     t.ialu(site::RESC_ADD, R_ACC, &[R_ACC, R_SC]);
                     t.ialu(site::RESC_MAX, R_ACC, &[R_ACC]);
                 }
                 t.ialu(site::RESC_CMP, R_CMP, &[R_ACC]);
-                t.branch(site::RESC_B, r + 1 < params.max_regions.min(4), site::RESC_LD, &[R_CMP]);
+                t.branch(
+                    site::RESC_B,
+                    r + 1 < params.max_regions.min(4),
+                    site::RESC_LD,
+                    &[R_CMP],
+                );
             }
         }
 
@@ -220,12 +284,17 @@ pub fn run(
                 for off in (0..band).step_by(2) {
                     let cell = band_region.addr((8 * off as u32) % band_region.size().max(8));
                     t.iload(site::OPT_LD_SS, R_SC, cell, 8, &[R_PTR]);
-                    t.iload(site::OPT_LD_P, R_POS, matrix_region.addr(((i * 24) % 576) as u32), 1, &[R_PTR]);
+                    t.iload(
+                        site::OPT_LD_P,
+                        R_POS,
+                        matrix_region.addr(((i * 24) % 576) as u32),
+                        1,
+                        &[R_PTR],
+                    );
                     t.ialu(site::OPT_ADD, R_ACC, &[R_SC, R_POS]);
                     t.ialu(site::OPT_MAX1, R_ACC, &[R_ACC, R_SC]);
                     // The DP max takes a data-dependent path per cell.
-                    let positive =
-                        matrix.score(query[i], subject[(i + off) % n]) > 0;
+                    let positive = matrix.score(query[i], subject[(i + off) % n]) > 0;
                     t.branch(site::OPT_B, positive, site::OPT_LD_SS, &[R_ACC]);
                     t.ialu(site::OPT_MAX2, R_ACC, &[R_ACC, R_CMP]);
                     t.istore(site::OPT_ST, cell, 8, &[R_ACC]);
@@ -293,7 +362,14 @@ mod tests {
     fn homolog_is_top_hit() {
         let (q, db) = inputs();
         let m = SubstitutionMatrix::blosum62();
-        let run = run(&q, &db, &m, GapPenalties::paper(), &FastaParams::default(), 10);
+        let run = run(
+            &q,
+            &db,
+            &m,
+            GapPenalties::paper(),
+            &FastaParams::default(),
+            10,
+        );
         assert!(!run.hits.is_empty());
         assert_eq!(run.hits[0].seq_index, 1);
     }
@@ -302,7 +378,14 @@ mod tests {
     fn instruction_mix_matches_figure_1_shape() {
         let (q, db) = inputs();
         let m = SubstitutionMatrix::blosum62();
-        let run = run(&q, &db, &m, GapPenalties::paper(), &FastaParams::default(), 10);
+        let run = run(
+            &q,
+            &db,
+            &m,
+            GapPenalties::paper(),
+            &FastaParams::default(),
+            10,
+        );
         let stats = run.trace.stats();
         let ialu = stats.fraction(OpClass::IAlu);
         let iload = stats.fraction(OpClass::ILoad);
@@ -320,10 +403,16 @@ mod tests {
         let m = SubstitutionMatrix::blosum62();
         let g = GapPenalties::paper();
         let fasta = run(&q, &db, &m, g, &FastaParams::default(), 10).trace.len();
-        let blast =
-            crate::blast::run(&q, &db, &m, g, &sapa_align::blast::BlastParams::default(), 10)
-                .trace
-                .len();
+        let blast = crate::blast::run(
+            &q,
+            &db,
+            &m,
+            g,
+            &sapa_align::blast::BlastParams::default(),
+            10,
+        )
+        .trace
+        .len();
         let ssearch = crate::ssearch::run(&q, &db, &m, g, 10).trace.len();
         assert!(fasta < ssearch, "fasta {fasta} !< ssearch {ssearch}");
         assert!(blast < ssearch, "blast {blast} !< ssearch {ssearch}");

@@ -124,7 +124,13 @@ pub fn run(
         for (bi, &bres) in subject.iter().enumerate() {
             // Outer loop: load the database residue, compute the
             // profile row pointer.
-            t.iload(site::OUTER_LD_DB, R_DB, img.residue_addr(si, bi), 1, &[R_SSP]);
+            t.iload(
+                site::OUTER_LD_DB,
+                R_DB,
+                img.residue_addr(si, bi),
+                1,
+                &[R_SSP],
+            );
             t.ialu(site::OUTER_ROW, R_ROW, &[R_DB]);
             let row = bres.index() as u32 * m as u32;
 
@@ -134,7 +140,13 @@ pub fn run(
                 let ss_addr = ss.addr(8 * j as u32);
                 // ssj->{H,E} comes in with one 8-byte load.
                 t.iload(site::LD_SS, R_SS, ss_addr, 8, &[R_SSP]);
-                t.iload(site::LD_PWAA, R_SCORE, profile.addr(row + j as u32), 1, &[R_PWAA]);
+                t.iload(
+                    site::LD_PWAA,
+                    R_SCORE,
+                    profile.addr(row + j as u32),
+                    1,
+                    &[R_PWAA],
+                );
                 // p = ssj->H (next cell's diagonal), h = p + score.
                 t.ialu(site::MV_P, R_P, &[R_SS]);
                 t.ialu(site::ADD_H, R_H, &[R_P, R_SCORE]);
@@ -207,7 +219,12 @@ pub fn run(
                 t.ialu(site::INC, R_SSP, &[R_SSP]);
                 t.branch(site::B_LOOP, j + 1 < m, site::TOP, &[R_SSP]);
             }
-            t.branch(site::B_OUTER, bi + 1 < subject.len(), site::OUTER_LD_DB, &[R_DB]);
+            t.branch(
+                site::B_OUTER,
+                bi + 1 < subject.len(),
+                site::OUTER_LD_DB,
+                &[R_DB],
+            );
         }
 
         scores.push(best);

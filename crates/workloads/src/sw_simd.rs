@@ -209,7 +209,13 @@ pub fn run<const L: usize>(
                     t.vload(site::VLD_EXTRA, V_T2, profile.addr(col), vwidth, &[R_ADDR]);
                     t.vperm(site::VPERM_MERGE, V_S, &[V_S, V_T2]);
                     t.ialu(site::ADDR2, R_ADDR, &[R_ADDR]);
-                    t.iload(site::LD_DB, R_EXT, img.residue_addr(si, d.min(n - 1)), 1, &[R_ADDR]);
+                    t.iload(
+                        site::LD_DB,
+                        R_EXT,
+                        img.residue_addr(si, d.min(n - 1)),
+                        1,
+                        &[R_ADDR],
+                    );
                 }
                 t.vperm(site::VPERM_SCORE, V_S, &[V_S, V_E]);
 
@@ -229,7 +235,13 @@ pub fn run<const L: usize>(
                 // recurrence's critical path.
                 let slot = (d % 4) as u32 * 2 * vwidth;
                 let prev_slot = ((d + 3) % 4) as u32 * 2 * vwidth;
-                t.vload(site::LD_HROW, V_LDH, spill.addr(prev_slot), vwidth, &[R_CARRY]);
+                t.vload(
+                    site::LD_HROW,
+                    V_LDH,
+                    spill.addr(prev_slot),
+                    vwidth,
+                    &[R_CARRY],
+                );
                 if wide {
                     // The 256-bit row round-trips as two 128-bit
                     // halves that must be merged and re-aligned —
@@ -237,11 +249,23 @@ pub fn run<const L: usize>(
                     // pay. This is the dependency-chain cost behind the
                     // paper's ~9%-not-2x observation (Section VI).
                     t.ialu(site::ADDR3, R_ADDR, &[R_ADDR]);
-                    t.vload(site::LD_HROW2, V_T2, spill.addr(prev_slot + 16), 16, &[R_ADDR]);
+                    t.vload(
+                        site::LD_HROW2,
+                        V_T2,
+                        spill.addr(prev_slot + 16),
+                        16,
+                        &[R_ADDR],
+                    );
                     t.vperm(site::VPERM_HMERGE, V_LDH, &[V_LDH, V_T2]);
                     t.vperm(site::VPERM_HALIGN, V_LDH, &[V_LDH, V_CONST]);
                 }
-                t.vload(site::LD_EROW, V_LDE, spill.addr(prev_slot + vwidth), vwidth, &[R_CARRY]);
+                t.vload(
+                    site::LD_EROW,
+                    V_LDE,
+                    spill.addr(prev_slot + vwidth),
+                    vwidth,
+                    &[R_CARRY],
+                );
 
                 let f_shift = f_dm1.shift_in_first(b_f);
                 let h_shift = h_dm1.shift_in_first(b_h);
@@ -285,7 +309,12 @@ pub fn run<const L: usize>(
                 } else {
                     t.vstore(site::ST_HROW, spill.addr(slot), vwidth, &[V_HD1, R_CARRY]);
                 }
-                t.vstore(site::ST_EROW, spill.addr(slot + vwidth), vwidth, &[V_E, R_CARRY]);
+                t.vstore(
+                    site::ST_EROW,
+                    spill.addr(slot + vwidth),
+                    vwidth,
+                    &[V_E, R_CARRY],
+                );
 
                 // --- Carry out the strip's last row.
                 if d + 1 >= L {
@@ -294,7 +323,12 @@ pub fn run<const L: usize>(
                         next_h[col_out] = h_d.extract(L - 1);
                         next_f[col_out] = f_d.extract(L - 1);
                         t.vperm(site::VEXTRACT, V_T2, &[V_HD1, V_F]);
-                        t.istore(site::ST_CARRY, carry.addr(4 * col_out as u32), 4, &[V_T2, R_CARRY]);
+                        t.istore(
+                            site::ST_CARRY,
+                            carry.addr(4 * col_out as u32),
+                            4,
+                            &[V_T2, R_CARRY],
+                        );
                     }
                 }
 

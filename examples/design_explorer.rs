@@ -3,35 +3,62 @@
 //! miniature of the paper's Figures 3 and 9, on all five workloads.)
 //!
 //! ```text
-//! cargo run --release --example design_explorer
+//! cargo run --release --example design_explorer [-- --threads N]
 //! ```
+//!
+//! The 5 workloads × 4 configurations grid runs through the parallel
+//! sweep engine; `--threads N` fans it out over N workers with output
+//! identical to the serial run.
+
+use std::sync::Arc;
 
 use sapa_core::cpu::config::{BranchConfig, CpuConfig, SimConfig};
-use sapa_core::cpu::Simulator;
+use sapa_core::cpu::sweep::{run_jobs, SweepJob};
+use sapa_core::isa::PackedTrace;
 use sapa_core::workloads::{StandardInputs, Workload};
 
 fn main() {
+    let mut threads = 1usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--threads" {
+            threads = args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .expect("--threads needs a positive integer");
+        }
+    }
+
     let inputs = StandardInputs::with_db_size(150, 2);
+    let cfg = |cpu: CpuConfig, branch: BranchConfig| SimConfig {
+        cpu,
+        mem: sapa_core::cpu::config::MemConfig::me1(),
+        branch,
+    };
+    let grid = [
+        cfg(CpuConfig::four_way(), BranchConfig::table_vi()),
+        cfg(CpuConfig::eight_way(), BranchConfig::table_vi()),
+        cfg(CpuConfig::sixteen_way(), BranchConfig::table_vi()),
+        cfg(CpuConfig::four_way(), BranchConfig::perfect()),
+    ];
+
+    // One packed trace per workload, shared by all four design points.
+    let jobs: Vec<SweepJob> = Workload::ALL
+        .into_iter()
+        .flat_map(|w| {
+            let trace = Arc::new(PackedTrace::from_trace(&w.trace(&inputs).trace));
+            grid.clone()
+                .into_iter()
+                .map(move |c| SweepJob::new(Arc::clone(&trace), c))
+        })
+        .collect();
+    let reports = run_jobs(&jobs, threads);
+
     println!("workload    4-way   8-way  16-way  perfect-BP(4w)  bp-accuracy");
     println!("----------------------------------------------------------------");
-
-    for w in Workload::ALL {
-        let bundle = w.trace(&inputs);
-
-        let ipc = |cpu: CpuConfig, branch: BranchConfig| {
-            let cfg = SimConfig {
-                cpu,
-                mem: sapa_core::cpu::config::MemConfig::me1(),
-                branch,
-            };
-            Simulator::new(cfg).run(&bundle.trace)
-        };
-
-        let r4 = ipc(CpuConfig::four_way(), BranchConfig::table_vi());
-        let r8 = ipc(CpuConfig::eight_way(), BranchConfig::table_vi());
-        let r16 = ipc(CpuConfig::sixteen_way(), BranchConfig::table_vi());
-        let rp = ipc(CpuConfig::four_way(), BranchConfig::perfect());
-
+    for (i, w) in Workload::ALL.into_iter().enumerate() {
+        let row = &reports[i * grid.len()..(i + 1) * grid.len()];
+        let (r4, r8, r16, rp) = (&row[0], &row[1], &row[2], &row[3]);
         println!(
             "{:<10}  {:>5.2}  {:>5.2}  {:>5.2}        {:>5.2}        {:>5.1}%",
             w.label(),

@@ -64,9 +64,8 @@ fn main() {
     let mut profiles = ProfileCache::new();
     let t0 = Instant::now();
     let profile = profiles.get_or_build(query.residues(), &matrix, 8);
-    let (mut striped_res, stats) = parallel::search_striped_with_profile::<16, 8>(
-        &profile, &slices, gaps, threads, 500, 50,
-    );
+    let (mut striped_res, stats) =
+        parallel::search_striped_with_profile::<16, 8>(&profile, &slices, gaps, threads, 500, 50);
     let striped_time = t0.elapsed();
 
     // --- BLAST.
@@ -106,7 +105,10 @@ fn main() {
     let fasta_found: Vec<usize> = fasta_res.hits().iter().map(|h| h.seq_index).collect();
 
     // The striped engine is exact: identical hit set to scalar SW.
-    assert_eq!(striped_found, sw_found.iter().copied().take(500).collect::<Vec<_>>());
+    assert_eq!(
+        striped_found,
+        sw_found.iter().copied().take(500).collect::<Vec<_>>()
+    );
 
     println!("engine            time        hits   homolog recall");
     println!("---------------------------------------------------");

@@ -97,11 +97,33 @@ fn heuristics_rank_strong_homologs_like_full_sw() {
     let g = GapPenalties::paper();
 
     let ss = ssearch::run(&q, db.sequences(), &m, g, 10);
-    let bl = blast::run(&q, db.sequences(), &m, g, &ref_blast::BlastParams::default(), 10);
-    let fa = fasta::run(&q, db.sequences(), &m, g, &ref_fasta::FastaParams::default(), 10);
+    let bl = blast::run(
+        &q,
+        db.sequences(),
+        &m,
+        g,
+        &ref_blast::BlastParams::default(),
+        10,
+    );
+    let fa = fasta::run(
+        &q,
+        db.sequences(),
+        &m,
+        g,
+        &ref_fasta::FastaParams::default(),
+        10,
+    );
 
     let top_ss = ss.hits.first().map(|h| h.seq_index);
     assert!(top_ss.is_some(), "SW found nothing");
-    assert_eq!(bl.hits.first().map(|h| h.seq_index), top_ss, "BLAST top hit");
-    assert_eq!(fa.hits.first().map(|h| h.seq_index), top_ss, "FASTA top hit");
+    assert_eq!(
+        bl.hits.first().map(|h| h.seq_index),
+        top_ss,
+        "BLAST top hit"
+    );
+    assert_eq!(
+        fa.hits.first().map(|h| h.seq_index),
+        top_ss,
+        "FASTA top hit"
+    );
 }

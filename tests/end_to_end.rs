@@ -22,7 +22,11 @@ fn all_workloads_complete_and_find_the_homolog() {
         assert!(!bundle.hits.is_empty(), "{w}: no hits found");
         let report = Simulator::new(SimConfig::four_way()).run(&bundle.trace);
         assert_eq!(report.instructions as usize, bundle.trace.len(), "{w}");
-        assert!(report.ipc() > 0.1 && report.ipc() < 6.0, "{w}: ipc {}", report.ipc());
+        assert!(
+            report.ipc() > 0.1 && report.ipc() < 6.0,
+            "{w}: ipc {}",
+            report.ipc()
+        );
     }
 }
 
@@ -84,7 +88,8 @@ fn finding_3_simd_codes_are_dependency_bound() {
     // Vector-dependency traumas dominate the stall histogram.
     let top3: Vec<Trauma> = report.traumas.top(3).into_iter().map(|(t, _)| t).collect();
     assert!(
-        top3.iter().any(|t| matches!(t, Trauma::RgVi | Trauma::RgVper | Trauma::RgMem)),
+        top3.iter()
+            .any(|t| matches!(t, Trauma::RgVi | Trauma::RgVper | Trauma::RgMem)),
         "top traumas {top3:?}"
     );
 }

@@ -1,0 +1,42 @@
+//! Replaying a packed trace must be microarchitecturally identical to
+//! replaying the array-of-structs trace it was packed from — for every
+//! workload the suite traces — and packing must be lossless.
+
+use sapa_core::cpu::config::SimConfig;
+use sapa_core::cpu::Simulator;
+use sapa_core::isa::PackedTrace;
+use sapa_core::workloads::{StandardInputs, Workload};
+
+#[test]
+fn packed_replay_matches_aos_replay_for_every_workload() {
+    let inputs = StandardInputs::with_db_size(12, 1);
+    let sim = Simulator::new(SimConfig::four_way());
+    for w in Workload::ALL {
+        let trace = w.trace(&inputs).trace;
+        let packed = PackedTrace::from_trace(&trace);
+        assert_eq!(
+            sim.run(&trace),
+            sim.run_packed(&packed),
+            "{w} diverged between packed and unpacked replay"
+        );
+    }
+}
+
+#[test]
+fn packing_is_lossless_and_smaller_for_every_workload() {
+    let inputs = StandardInputs::with_db_size(12, 1);
+    for w in Workload::ALL {
+        let trace = w.trace(&inputs).trace;
+        let packed = PackedTrace::from_trace(&trace);
+        assert_eq!(packed.len(), trace.len());
+        let round_trip = packed.to_trace();
+        assert_eq!(round_trip.insts(), trace.insts(), "{w} round-trip differs");
+        let aos = trace.len() * std::mem::size_of::<sapa_core::isa::Inst>();
+        let ratio = aos as f64 / packed.heap_bytes() as f64;
+        assert!(
+            ratio >= 1.8,
+            "{w}: packed {} vs AoS {aos} — only {ratio:.2}x smaller",
+            packed.heap_bytes()
+        );
+    }
+}

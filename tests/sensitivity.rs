@@ -7,8 +7,8 @@ use sapa_core::align::{blast, fasta, sw};
 use sapa_core::bioseq::db::DatabaseBuilder;
 use sapa_core::bioseq::matrix::GapPenalties;
 use sapa_core::bioseq::queries::QuerySet;
-use sapa_core::bioseq::{AminoAcid, Sequence};
 use sapa_core::bioseq::SubstitutionMatrix;
+use sapa_core::bioseq::{AminoAcid, Sequence};
 
 struct Recall {
     sw: usize,
@@ -115,8 +115,14 @@ fn smith_waterman_is_most_sensitive_on_remote_homologs() {
         planted += r.planted;
     }
     assert!(planted >= 10, "too few homologs planted: {planted}");
-    assert!(sw_total >= blast_total, "SW {sw_total} < BLAST {blast_total}");
-    assert!(sw_total >= fasta_total, "SW {sw_total} < FASTA {fasta_total}");
+    assert!(
+        sw_total >= blast_total,
+        "SW {sw_total} < BLAST {blast_total}"
+    );
+    assert!(
+        sw_total >= fasta_total,
+        "SW {sw_total} < FASTA {fasta_total}"
+    );
     // And SW still finds a sizable fraction at 40% identity.
     assert!(
         sw_total * 2 >= planted,

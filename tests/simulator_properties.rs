@@ -60,7 +60,11 @@ fn every_instruction_retires_exactly_once() {
     for case in 0..CASES {
         let ops = random_ops(&mut rng, 0, 400);
         let trace = build_trace(&ops);
-        for cfg in [SimConfig::four_way(), SimConfig::eight_way(), SimConfig::sixteen_way()] {
+        for cfg in [
+            SimConfig::four_way(),
+            SimConfig::eight_way(),
+            SimConfig::sixteen_way(),
+        ] {
             let r = Simulator::new(cfg).run(&trace);
             assert_eq!(r.instructions as usize, ops.len(), "case {case}");
         }
@@ -79,7 +83,11 @@ fn cycles_bound_below_by_width_and_above_by_worst_case() {
         let n = ops.len() as u64;
         assert!(r.cycles >= n / retire_width, "case {case}");
         // Worst case: every instruction serial through memory.
-        assert!(r.cycles <= n * 400 + 10_000, "case {case}: cycles {}", r.cycles);
+        assert!(
+            r.cycles <= n * 400 + 10_000,
+            "case {case}: cycles {}",
+            r.cycles
+        );
     }
 }
 
@@ -152,11 +160,7 @@ fn branch_stats_match_trace() {
     for case in 0..CASES {
         let ops = random_ops(&mut rng, 0, 300);
         let trace = build_trace(&ops);
-        let cond = trace
-            .insts()
-            .iter()
-            .filter(|i| i.is_cond_branch())
-            .count() as u64;
+        let cond = trace.insts().iter().filter(|i| i.is_cond_branch()).count() as u64;
         let r = Simulator::new(SimConfig::four_way()).run(&trace);
         assert_eq!(r.bp_predictions, cond, "case {case}");
         assert!(r.bp_mispredictions <= r.bp_predictions, "case {case}");
