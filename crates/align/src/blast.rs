@@ -24,7 +24,7 @@ use sapa_bioseq::matrix::GapPenalties;
 use sapa_bioseq::{AminoAcid, SubstitutionMatrix};
 
 use crate::banded;
-use crate::result::{Hit, SearchResults};
+use crate::result::{Hit, SearchResults, TopK};
 
 /// Word length (`w`); BLASTP uses 3.
 pub const WORD_LEN: usize = 3;
@@ -228,6 +228,81 @@ pub fn ungapped_extend(
     best
 }
 
+/// Scores one subject against a prebuilt [`WordIndex`]: the scan /
+/// two-hit / extension / gapped-rescore pipeline of [`search`] for a
+/// single database entry. Returns the best alignment score found (0 if
+/// no seed survived the pipeline).
+pub fn score_subject(
+    index: &WordIndex,
+    subject: &[AminoAcid],
+    matrix: &SubstitutionMatrix,
+    gaps: GapPenalties,
+    params: &BlastParams,
+) -> i32 {
+    let query = index.query();
+    let m = query.len();
+    let n = subject.len();
+    if n < WORD_LEN || m < WORD_LEN {
+        return 0;
+    }
+    // Per-diagonal bookkeeping: last hit end and last extension end.
+    // diag = j - i + m, in [0, m+n).
+    let ndiag = m + n;
+    let mut last_hit = vec![i32::MIN / 2; ndiag];
+    let mut ext_end = vec![i32::MIN / 2; ndiag];
+
+    let mut best_score = 0i32;
+
+    for j in 0..=(n - WORD_LEN) {
+        let Some(word) = pack_word(subject, j) else {
+            continue;
+        };
+        for &qi in index.lookup(word) {
+            let i = qi as usize;
+            let diag = j + m - i;
+            let jj = j as i32;
+
+            // Skip hits inside an already-extended region.
+            if jj <= ext_end[diag] {
+                continue;
+            }
+            let prev = last_hit[diag];
+            // Hits overlapping the previous one are ignored and do
+            // not advance the stored hit (NCBI behaviour) — this is
+            // what lets a run of consecutive word hits eventually
+            // form a two-hit pair.
+            if jj - prev < WORD_LEN as i32 {
+                continue;
+            }
+            last_hit[diag] = jj;
+            // Two-hit rule: the pair must fall within the window
+            // (skipped entirely in one-hit mode).
+            if !params.one_hit && jj - prev > params.two_hit_window as i32 {
+                continue;
+            }
+
+            let ungapped = ungapped_extend(query, subject, matrix, i, j, params.xdrop_ungapped);
+            ext_end[diag] = jj + WORD_LEN as i32; // coarse: block re-seeding here
+            let score = if ungapped >= params.gapped_trigger {
+                banded::score(
+                    query,
+                    subject,
+                    matrix,
+                    gaps,
+                    j as isize - i as isize,
+                    params.band_width,
+                )
+            } else {
+                ungapped
+            };
+            if score > best_score {
+                best_score = score;
+            }
+        }
+    }
+    best_score
+}
+
 /// A full BLASTP-style search of `db` with a prebuilt [`WordIndex`].
 ///
 /// Returns the ranked hit list (best `keep` hits).
@@ -242,70 +317,9 @@ pub fn search<'a, I>(
 where
     I: IntoIterator<Item = &'a [AminoAcid]>,
 {
-    let query = index.query();
-    let m = query.len();
-    let mut results = SearchResults::new(keep);
-
+    let mut results = TopK::new(keep);
     for (seq_index, subject) in db.into_iter().enumerate() {
-        let n = subject.len();
-        if n < WORD_LEN || m < WORD_LEN {
-            continue;
-        }
-        // Per-diagonal bookkeeping: last hit end and last extension end.
-        // diag = j - i + m, in [0, m+n).
-        let ndiag = m + n;
-        let mut last_hit = vec![i32::MIN / 2; ndiag];
-        let mut ext_end = vec![i32::MIN / 2; ndiag];
-
-        let mut best_score = 0i32;
-
-        for j in 0..=(n - WORD_LEN) {
-            let Some(word) = pack_word(subject, j) else {
-                continue;
-            };
-            for &qi in index.lookup(word) {
-                let i = qi as usize;
-                let diag = j + m - i;
-                let jj = j as i32;
-
-                // Skip hits inside an already-extended region.
-                if jj <= ext_end[diag] {
-                    continue;
-                }
-                let prev = last_hit[diag];
-                // Hits overlapping the previous one are ignored and do
-                // not advance the stored hit (NCBI behaviour) — this is
-                // what lets a run of consecutive word hits eventually
-                // form a two-hit pair.
-                if jj - prev < WORD_LEN as i32 {
-                    continue;
-                }
-                last_hit[diag] = jj;
-                // Two-hit rule: the pair must fall within the window
-                // (skipped entirely in one-hit mode).
-                if !params.one_hit && jj - prev > params.two_hit_window as i32 {
-                    continue;
-                }
-
-                let ungapped = ungapped_extend(query, subject, matrix, i, j, params.xdrop_ungapped);
-                ext_end[diag] = jj + WORD_LEN as i32; // coarse: block re-seeding here
-                let score = if ungapped >= params.gapped_trigger {
-                    banded::score(
-                        query,
-                        subject,
-                        matrix,
-                        gaps,
-                        j as isize - i as isize,
-                        params.band_width,
-                    )
-                } else {
-                    ungapped
-                };
-                if score > best_score {
-                    best_score = score;
-                }
-            }
-        }
+        let best_score = score_subject(index, subject, matrix, gaps, params);
         if best_score >= params.min_report_score {
             results.push(Hit {
                 seq_index,
@@ -313,7 +327,7 @@ where
             });
         }
     }
-    results
+    results.finish()
 }
 
 #[cfg(test)]
@@ -333,7 +347,7 @@ mod tests {
         let subj = seq("AAAAMKWVTFISLLAAAA"); // one seed region only
         let db: Vec<&[AminoAcid]> = vec![&subj];
         let two = {
-            let mut r = search(
+            let r = search(
                 &idx,
                 db.clone(),
                 &m,
@@ -348,7 +362,7 @@ mod tests {
                 one_hit: true,
                 ..BlastParams::default()
             };
-            let mut r = search(&idx, db, &m, GapPenalties::paper(), &p, 10);
+            let r = search(&idx, db, &m, GapPenalties::paper(), &p, 10);
             r.best_score()
         };
         assert!(one.unwrap_or(0) >= two.unwrap_or(0));
@@ -433,7 +447,7 @@ mod tests {
         let m = bl62();
         let idx = WordIndex::build(&q, &m, 11);
         let db: Vec<&[AminoAcid]> = vec![&junk1, &hom, &junk2];
-        let mut res = search(
+        let res = search(
             &idx,
             db,
             &m,
@@ -453,7 +467,7 @@ mod tests {
         let idx = WordIndex::build(&q, &m, 11);
         let junk = seq("GGGGGGGGGGGGGGGGGGGGGGGGGG");
         let db: Vec<&[AminoAcid]> = vec![&junk];
-        let mut res = search(
+        let res = search(
             &idx,
             db,
             &m,

@@ -14,7 +14,7 @@
 
 use sapa_bioseq::dna::{unpack_base, DnaSequence, Nucleotide, PackedDna};
 
-use crate::result::{Hit, SearchResults};
+use crate::result::{Hit, SearchResults, TopK};
 
 /// Tunable parameters; defaults follow NCBI blastn (word 11, +1/-3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -212,7 +212,7 @@ where
     let query = index.query();
     let w = index.word_len();
     let mask = word_mask(w);
-    let mut results = SearchResults::new(keep.max(1));
+    let mut results = TopK::new(keep.max(1));
 
     for (seq_index, subject) in db.into_iter().enumerate() {
         if subject.len() < w || query.len() < w {
@@ -250,7 +250,7 @@ where
             });
         }
     }
-    results
+    results.finish()
 }
 
 #[cfg(test)]
@@ -319,7 +319,7 @@ mod tests {
             random_dna("s2", 300, 14).pack(),
         ];
         let idx = NtWordIndex::build(&q, 11);
-        let mut res = search(&idx, subjects.iter(), &BlastnParams::default(), 10);
+        let res = search(&idx, subjects.iter(), &BlastnParams::default(), 10);
         let hits = res.hits();
         assert!(!hits.is_empty(), "planted match not found");
         assert_eq!(hits[0].seq_index, 1);
@@ -333,7 +333,7 @@ mod tests {
         let subjects: Vec<PackedDna> = (0..10)
             .map(|k| random_dna("s", 400, 100 + k).pack())
             .collect();
-        let mut res = search(&idx, subjects.iter(), &BlastnParams::default(), 10);
+        let res = search(&idx, subjects.iter(), &BlastnParams::default(), 10);
         // An 11-mer exact match in 400 random bases has probability
         // ≈ 400·64/4^11 ≈ 0.6%; ten subjects should essentially never
         // all hit.
@@ -345,7 +345,7 @@ mod tests {
         let q = dna("ACGT");
         let idx = NtWordIndex::build(&q, 11);
         let subject = dna("ACG").pack();
-        let mut res = search(&idx, [&subject], &BlastnParams::default(), 5);
+        let res = search(&idx, [&subject], &BlastnParams::default(), 5);
         assert!(res.hits().is_empty());
     }
 }

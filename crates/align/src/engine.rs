@@ -1,0 +1,742 @@
+//! The unified alignment-engine layer: one search API over every
+//! aligner in the crate.
+//!
+//! The paper's whole point is running the *same* database search
+//! through very different implementations — scalar Smith-Waterman
+//! (SSEARCH), anti-diagonal SIMD SW, FASTA, BLAST — and comparing how
+//! they stress the machine. This module gives that comparison a single
+//! programmable surface, the way SSW wraps SIMD Smith-Waterman in a
+//! reusable library API:
+//!
+//! * [`AlignmentEngine`] — the backend trait: a name, a per-worker
+//!   reusable workspace, and `score_one(workspace, subject)`. The
+//!   engine itself holds the query-side context (query slice, striped
+//!   profile, BLAST neighborhood index, FASTA k-tuple table), so it is
+//!   built once per search and shared read-only across workers.
+//! * [`SearchRequest`] / [`SearchResponse`] — the request/response
+//!   types: query + matrix + gaps + `top_k`/`min_score` in, ranked
+//!   [`RankedHit`]s (with Karlin-Altschul bit scores and E-values from
+//!   [`crate::stats`]) plus [`RunStats`] out.
+//! * [`Engine`] — the registry: all seven backends (`sw`, `sw-lazy`,
+//!   `striped`, `vmx128`, `vmx256`, `fasta`, `blast`), selectable by
+//!   name, mirroring `workloads::registry::Workload`.
+//!
+//! Exact engines (everything but `fasta`/`blast`) return bit-identical
+//! scores to [`crate::sw::score`]; the heuristics return their own
+//! reported scores (FASTA's `max(opt, initn)`, BLAST's best gapped /
+//! ungapped extension). All engines run through the same chunked
+//! parallel pipeline ([`crate::parallel::engine_search`]), so ranked
+//! output is identical at any thread count.
+//!
+//! ```
+//! use sapa_align::engine::{Engine, SearchRequest};
+//! use sapa_bioseq::matrix::GapPenalties;
+//! use sapa_bioseq::{Sequence, SubstitutionMatrix};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let query = Sequence::from_str("q", "MKWVTFISLLFLFSSAYSRGVFRRDAHKSE")?;
+//! let subj = Sequence::from_str("s", "MKWVTFISLLFLFSSAYSRGVFRRDAHKSE")?;
+//! let matrix = SubstitutionMatrix::blosum62();
+//! let req = SearchRequest {
+//!     query: query.residues(),
+//!     matrix: &matrix,
+//!     gaps: GapPenalties::paper(),
+//!     top_k: 10,
+//!     min_score: 25,
+//! };
+//! let subjects = [subj.residues()];
+//! let engine = Engine::from_name("striped").unwrap();
+//! let resp = engine.search(&req, &subjects, 1);
+//! assert_eq!(resp.hits[0].seq_index, 0);
+//! assert!(resp.hits[0].evalue < 1e-3);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::fmt;
+use std::sync::Arc;
+
+use sapa_bioseq::matrix::GapPenalties;
+use sapa_bioseq::profile::QueryProfile;
+use sapa_bioseq::{AminoAcid, SubstitutionMatrix};
+
+use crate::striped::{ByteWorkspace, Workspace as WordWorkspace};
+use crate::{blast, fasta, parallel, simd_sw, stats, striped, sw};
+
+/// A database-search backend: query-side context plus a scoring kernel.
+///
+/// Implementations hold everything derived from the query (the query
+/// slice itself, a striped [`QueryProfile`], a BLAST [`blast::WordIndex`],
+/// …) and are shared read-only across worker threads. Mutable
+/// per-worker scratch lives in the associated [`Workspace`]: the
+/// parallel pipeline builds one per worker via
+/// [`workspace`](AlignmentEngine::workspace) and reuses it for every
+/// subject that worker scores.
+///
+/// [`Workspace`]: AlignmentEngine::Workspace
+pub trait AlignmentEngine: Sync {
+    /// Per-worker reusable scratch state (row buffers, counters).
+    type Workspace: Send;
+
+    /// Stable engine name (`"sw"`, `"striped"`, …), matching
+    /// [`Engine::name`] for registry engines.
+    fn name(&self) -> &'static str;
+
+    /// Builds one fresh per-worker workspace.
+    fn workspace(&self) -> Self::Workspace;
+
+    /// Scores one database subject against the engine's query context.
+    fn score_one(&self, ws: &mut Self::Workspace, subject: &[AminoAcid]) -> i32;
+
+    /// Subjects this workspace re-scored on a higher-precision fallback
+    /// path (the striped engine's 8-bit overflow recovery); 0 for
+    /// engines without such a path.
+    fn rescored(&self, _ws: &Self::Workspace) -> usize {
+        0
+    }
+}
+
+/// Scalar Smith-Waterman (Gotoh affine gaps) — the rigorous reference.
+pub struct SwEngine<'a> {
+    query: &'a [AminoAcid],
+    matrix: &'a SubstitutionMatrix,
+    gaps: GapPenalties,
+}
+
+impl<'a> SwEngine<'a> {
+    /// An engine scoring `query` against subjects under `matrix`/`gaps`.
+    pub fn new(query: &'a [AminoAcid], matrix: &'a SubstitutionMatrix, gaps: GapPenalties) -> Self {
+        SwEngine {
+            query,
+            matrix,
+            gaps,
+        }
+    }
+}
+
+impl AlignmentEngine for SwEngine<'_> {
+    type Workspace = ();
+
+    fn name(&self) -> &'static str {
+        "sw"
+    }
+
+    fn workspace(&self) -> Self::Workspace {}
+
+    fn score_one(&self, _ws: &mut Self::Workspace, subject: &[AminoAcid]) -> i32 {
+        sw::score(self.query, subject, self.matrix, self.gaps)
+    }
+}
+
+/// Scalar Smith-Waterman in the SSEARCH *lazy-F* formulation — same
+/// scores as [`SwEngine`], different (branchier) inner loop.
+pub struct SwLazyEngine<'a> {
+    query: &'a [AminoAcid],
+    matrix: &'a SubstitutionMatrix,
+    gaps: GapPenalties,
+}
+
+impl<'a> SwLazyEngine<'a> {
+    /// An engine scoring `query` against subjects under `matrix`/`gaps`.
+    pub fn new(query: &'a [AminoAcid], matrix: &'a SubstitutionMatrix, gaps: GapPenalties) -> Self {
+        SwLazyEngine {
+            query,
+            matrix,
+            gaps,
+        }
+    }
+}
+
+impl AlignmentEngine for SwLazyEngine<'_> {
+    type Workspace = ();
+
+    fn name(&self) -> &'static str {
+        "sw-lazy"
+    }
+
+    fn workspace(&self) -> Self::Workspace {}
+
+    fn score_one(&self, _ws: &mut Self::Workspace, subject: &[AminoAcid]) -> i32 {
+        sw::score_lazy_f(self.query, subject, self.matrix, self.gaps)
+    }
+}
+
+/// Wozniak-style anti-diagonal SIMD Smith-Waterman over `L` emulated
+/// 16-bit lanes: `L = 8` models 128-bit Altivec (`vmx128`), `L = 16`
+/// the paper's 256-bit extension (`vmx256`).
+pub struct AntiDiagonalEngine<'a, const L: usize> {
+    query: &'a [AminoAcid],
+    matrix: &'a SubstitutionMatrix,
+    gaps: GapPenalties,
+}
+
+impl<'a, const L: usize> AntiDiagonalEngine<'a, L> {
+    /// An engine scoring `query` against subjects under `matrix`/`gaps`.
+    pub fn new(query: &'a [AminoAcid], matrix: &'a SubstitutionMatrix, gaps: GapPenalties) -> Self {
+        AntiDiagonalEngine {
+            query,
+            matrix,
+            gaps,
+        }
+    }
+}
+
+impl<const L: usize> AlignmentEngine for AntiDiagonalEngine<'_, L> {
+    type Workspace = ();
+
+    fn name(&self) -> &'static str {
+        match L {
+            8 => "vmx128",
+            16 => "vmx256",
+            _ => "vmx",
+        }
+    }
+
+    fn workspace(&self) -> Self::Workspace {}
+
+    fn score_one(&self, _ws: &mut Self::Workspace, subject: &[AminoAcid]) -> i32 {
+        simd_sw::score::<L>(self.query, subject, self.matrix, self.gaps)
+    }
+}
+
+/// Per-worker scratch for [`StripedEngine`]: reusable 8-bit and 16-bit
+/// row buffers plus the worker's byte-overflow rescore counter.
+#[derive(Debug, Clone, Default)]
+pub struct StripedScratch<const LB: usize, const LW: usize> {
+    bytes: ByteWorkspace<LB>,
+    words: WordWorkspace<LW>,
+    rescored: usize,
+}
+
+/// Farrar striped SIMD Smith-Waterman with the adaptive 8-bit-first /
+/// 16-bit-rescore strategy. `LB`/`LW` are the byte/word lane counts of
+/// one register width: `<16, 8>` for the 128-bit Altivec model,
+/// `<32, 16>` for the paper's 256-bit extension.
+pub struct StripedEngine<const LB: usize, const LW: usize> {
+    profile: Arc<QueryProfile>,
+    gaps: GapPenalties,
+}
+
+impl<const LB: usize, const LW: usize> StripedEngine<LB, LW> {
+    /// Builds the query profile internally and wraps it in an engine.
+    pub fn from_query(
+        query: &[AminoAcid],
+        matrix: &SubstitutionMatrix,
+        gaps: GapPenalties,
+    ) -> Self {
+        Self::with_profile(QueryProfile::build_shared(query, matrix, LW), gaps)
+    }
+
+    /// Wraps an existing shared profile (e.g. from a
+    /// [`sapa_bioseq::profile::ProfileCache`]) so repeated scans
+    /// amortize the profile build.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile's word lane count is not `LW`.
+    pub fn with_profile(profile: Arc<QueryProfile>, gaps: GapPenalties) -> Self {
+        assert_eq!(
+            profile.word_lanes(),
+            LW,
+            "profile lane count does not match engine width"
+        );
+        StripedEngine { profile, gaps }
+    }
+
+    /// The shared query profile.
+    pub fn profile(&self) -> &Arc<QueryProfile> {
+        &self.profile
+    }
+}
+
+impl<const LB: usize, const LW: usize> AlignmentEngine for StripedEngine<LB, LW> {
+    type Workspace = StripedScratch<LB, LW>;
+
+    fn name(&self) -> &'static str {
+        match LB {
+            16 => "striped",
+            32 => "striped256",
+            _ => "striped-wide",
+        }
+    }
+
+    fn workspace(&self) -> Self::Workspace {
+        StripedScratch::default()
+    }
+
+    fn score_one(&self, ws: &mut Self::Workspace, subject: &[AminoAcid]) -> i32 {
+        match striped::score_bytes_with_profile::<LB>(
+            &self.profile,
+            subject,
+            self.gaps,
+            &mut ws.bytes,
+        ) {
+            Some(s) => s,
+            None => {
+                ws.rescored += 1;
+                striped::score_with_profile::<LW>(&self.profile, subject, self.gaps, &mut ws.words)
+            }
+        }
+    }
+
+    fn rescored(&self, ws: &Self::Workspace) -> usize {
+        ws.rescored
+    }
+}
+
+/// FASTA heuristic (k-tuple diagonals, region joining, banded `opt`);
+/// reports `max(opt, initn)` per subject, FASTA's ranking score.
+pub struct FastaEngine<'a> {
+    index: fasta::KtupIndex,
+    matrix: &'a SubstitutionMatrix,
+    gaps: GapPenalties,
+    params: fasta::FastaParams,
+}
+
+impl<'a> FastaEngine<'a> {
+    /// Builds the query k-tuple index with `params.ktup`.
+    pub fn new(
+        query: &[AminoAcid],
+        matrix: &'a SubstitutionMatrix,
+        gaps: GapPenalties,
+        params: fasta::FastaParams,
+    ) -> Self {
+        FastaEngine {
+            index: fasta::KtupIndex::build(query, params.ktup),
+            matrix,
+            gaps,
+            params,
+        }
+    }
+
+    /// The search parameters in effect.
+    pub fn params(&self) -> &fasta::FastaParams {
+        &self.params
+    }
+}
+
+impl AlignmentEngine for FastaEngine<'_> {
+    type Workspace = ();
+
+    fn name(&self) -> &'static str {
+        "fasta"
+    }
+
+    fn workspace(&self) -> Self::Workspace {}
+
+    fn score_one(&self, _ws: &mut Self::Workspace, subject: &[AminoAcid]) -> i32 {
+        let s = fasta::score_subject(&self.index, subject, self.matrix, self.gaps, &self.params);
+        s.opt.max(s.initn)
+    }
+}
+
+/// BLASTP heuristic (neighborhood index, two-hit seeding, X-drop
+/// extension, banded gapped rescore).
+pub struct BlastEngine<'a> {
+    index: blast::WordIndex,
+    matrix: &'a SubstitutionMatrix,
+    gaps: GapPenalties,
+    params: blast::BlastParams,
+}
+
+impl<'a> BlastEngine<'a> {
+    /// Builds the neighborhood word index with `params.threshold`.
+    pub fn new(
+        query: &[AminoAcid],
+        matrix: &'a SubstitutionMatrix,
+        gaps: GapPenalties,
+        params: blast::BlastParams,
+    ) -> Self {
+        BlastEngine {
+            index: blast::WordIndex::build(query, matrix, params.threshold),
+            matrix,
+            gaps,
+            params,
+        }
+    }
+
+    /// The search parameters in effect.
+    pub fn params(&self) -> &blast::BlastParams {
+        &self.params
+    }
+}
+
+impl AlignmentEngine for BlastEngine<'_> {
+    type Workspace = ();
+
+    fn name(&self) -> &'static str {
+        "blast"
+    }
+
+    fn workspace(&self) -> Self::Workspace {}
+
+    fn score_one(&self, _ws: &mut Self::Workspace, subject: &[AminoAcid]) -> i32 {
+        blast::score_subject(&self.index, subject, self.matrix, self.gaps, &self.params)
+    }
+}
+
+/// One database search, independent of the backend that runs it.
+#[derive(Debug, Clone, Copy)]
+pub struct SearchRequest<'a> {
+    /// The query sequence.
+    pub query: &'a [AminoAcid],
+    /// Substitution matrix (the paper uses BLOSUM62).
+    pub matrix: &'a SubstitutionMatrix,
+    /// Affine gap penalties.
+    pub gaps: GapPenalties,
+    /// Number of ranked hits to keep (the paper's runs use `-b 500`).
+    pub top_k: usize,
+    /// Minimum raw score for a subject to be reported.
+    pub min_score: i32,
+}
+
+/// One ranked hit with its significance statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankedHit {
+    /// Index of the subject in the searched database.
+    pub seq_index: usize,
+    /// Raw alignment score (matrix units).
+    pub score: i32,
+    /// Karlin-Altschul normalized bit score.
+    pub bits: f64,
+    /// Expected number of chance hits this good in the search space.
+    pub evalue: f64,
+}
+
+/// Counters from one engine run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunStats {
+    /// Subjects scored.
+    pub subjects: usize,
+    /// Subjects re-scored on a higher-precision fallback path (striped
+    /// engine's byte-overflow recovery; 0 for other engines).
+    pub rescored: usize,
+    /// Worker threads requested.
+    pub threads: usize,
+}
+
+/// The ranked outcome of a [`SearchRequest`] run through one engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchResponse {
+    /// Which registry engine produced this response.
+    pub engine: Engine,
+    /// Ranked hits: descending score, ties by ascending subject index.
+    pub hits: Vec<RankedHit>,
+    /// Scan statistics.
+    pub stats: RunStats,
+}
+
+impl SearchResponse {
+    /// The best raw score, if any subject was reported.
+    pub fn best_score(&self) -> Option<i32> {
+        self.hits.first().map(|h| h.score)
+    }
+}
+
+/// The engine registry: every backend selectable by name, mirroring
+/// `workloads::registry::Workload`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Engine {
+    /// Scalar Smith-Waterman (textbook Gotoh recurrence).
+    Sw,
+    /// Scalar Smith-Waterman, SSEARCH lazy-F formulation.
+    SwLazy,
+    /// Farrar striped SIMD, adaptive 8/16-bit, 128-bit width.
+    Striped,
+    /// Wozniak anti-diagonal SIMD, 128-bit (8 × 16-bit lanes).
+    Vmx128,
+    /// Wozniak anti-diagonal SIMD, 256-bit (16 × 16-bit lanes).
+    Vmx256,
+    /// FASTA heuristic (ktup 2).
+    Fasta,
+    /// BLASTP heuristic (two-hit, T = 11).
+    Blast,
+}
+
+impl Engine {
+    /// Every registered engine, in presentation order.
+    pub const ALL: [Engine; 7] = [
+        Engine::Sw,
+        Engine::SwLazy,
+        Engine::Striped,
+        Engine::Vmx128,
+        Engine::Vmx256,
+        Engine::Fasta,
+        Engine::Blast,
+    ];
+
+    /// The engine's registry name (what `--engine` accepts).
+    pub fn name(self) -> &'static str {
+        match self {
+            Engine::Sw => "sw",
+            Engine::SwLazy => "sw-lazy",
+            Engine::Striped => "striped",
+            Engine::Vmx128 => "vmx128",
+            Engine::Vmx256 => "vmx256",
+            Engine::Fasta => "fasta",
+            Engine::Blast => "blast",
+        }
+    }
+
+    /// Looks an engine up by its registry name (ASCII case-insensitive).
+    pub fn from_name(name: &str) -> Option<Engine> {
+        Engine::ALL
+            .into_iter()
+            .find(|e| e.name().eq_ignore_ascii_case(name))
+    }
+
+    /// One-line description for help output.
+    pub fn description(self) -> &'static str {
+        match self {
+            Engine::Sw => "scalar Smith-Waterman (Gotoh affine gaps)",
+            Engine::SwLazy => "scalar Smith-Waterman, SSEARCH lazy-F loop",
+            Engine::Striped => "Farrar striped SIMD SW, adaptive 8/16-bit, 128-bit",
+            Engine::Vmx128 => "anti-diagonal SIMD SW, 128-bit Altivec model",
+            Engine::Vmx256 => "anti-diagonal SIMD SW, 256-bit extension",
+            Engine::Fasta => "FASTA heuristic: ktup diagonals + banded opt",
+            Engine::Blast => "BLASTP heuristic: two-hit seeding + X-drop",
+        }
+    }
+
+    /// Whether the engine returns exact Smith-Waterman scores (the
+    /// heuristics `fasta`/`blast` do not).
+    pub fn is_exact(self) -> bool {
+        !matches!(self, Engine::Fasta | Engine::Blast)
+    }
+
+    /// Runs `req` against `subjects` on `threads` worker threads and
+    /// returns the ranked, statistics-annotated response.
+    ///
+    /// Results are bit-identical for any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` or `req.top_k` is 0.
+    pub fn search(
+        self,
+        req: &SearchRequest<'_>,
+        subjects: &[&[AminoAcid]],
+        threads: usize,
+    ) -> SearchResponse {
+        match self {
+            Engine::Sw => respond(
+                self,
+                &SwEngine::new(req.query, req.matrix, req.gaps),
+                req,
+                subjects,
+                threads,
+            ),
+            Engine::SwLazy => respond(
+                self,
+                &SwLazyEngine::new(req.query, req.matrix, req.gaps),
+                req,
+                subjects,
+                threads,
+            ),
+            Engine::Striped => respond(
+                self,
+                &StripedEngine::<16, 8>::from_query(req.query, req.matrix, req.gaps),
+                req,
+                subjects,
+                threads,
+            ),
+            Engine::Vmx128 => respond(
+                self,
+                &AntiDiagonalEngine::<8>::new(req.query, req.matrix, req.gaps),
+                req,
+                subjects,
+                threads,
+            ),
+            Engine::Vmx256 => respond(
+                self,
+                &AntiDiagonalEngine::<16>::new(req.query, req.matrix, req.gaps),
+                req,
+                subjects,
+                threads,
+            ),
+            Engine::Fasta => respond(
+                self,
+                &FastaEngine::new(
+                    req.query,
+                    req.matrix,
+                    req.gaps,
+                    fasta::FastaParams::default(),
+                ),
+                req,
+                subjects,
+                threads,
+            ),
+            Engine::Blast => respond(
+                self,
+                &BlastEngine::new(
+                    req.query,
+                    req.matrix,
+                    req.gaps,
+                    blast::BlastParams::default(),
+                ),
+                req,
+                subjects,
+                threads,
+            ),
+        }
+    }
+}
+
+impl fmt::Display for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Runs a prepared engine through the parallel pipeline and annotates
+/// the ranked hits with Karlin-Altschul statistics.
+fn respond<E: AlignmentEngine>(
+    id: Engine,
+    engine: &E,
+    req: &SearchRequest<'_>,
+    subjects: &[&[AminoAcid]],
+    threads: usize,
+) -> SearchResponse {
+    let (results, stats) =
+        parallel::engine_search(engine, subjects, threads, req.top_k, req.min_score);
+    let ka = stats::KarlinAltschul::for_gaps(req.gaps);
+    let db_residues: usize = subjects.iter().map(|s| s.len()).sum();
+    let hits = results
+        .hits()
+        .iter()
+        .map(|h| RankedHit {
+            seq_index: h.seq_index,
+            score: h.score,
+            bits: ka.bit_score(h.score),
+            evalue: ka.evalue(h.score, req.query.len(), db_residues, subjects.len()),
+        })
+        .collect();
+    SearchResponse {
+        engine: id,
+        hits,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sapa_bioseq::db::DatabaseBuilder;
+    use sapa_bioseq::queries::QuerySet;
+    use sapa_bioseq::Sequence;
+
+    fn small_setup() -> (Sequence, Vec<Sequence>) {
+        let queries = QuerySet::paper();
+        let query = queries.by_accession("P02232").unwrap().clone();
+        let db = DatabaseBuilder::new()
+            .seed(29)
+            .sequences(20)
+            .median_length(90.0)
+            .homolog_template(query.clone())
+            .homolog_fraction(0.2)
+            .build();
+        (query, db.sequences().to_vec())
+    }
+
+    #[test]
+    fn registry_names_round_trip() {
+        for e in Engine::ALL {
+            assert_eq!(Engine::from_name(e.name()), Some(e));
+            assert_eq!(Engine::from_name(&e.name().to_uppercase()), Some(e));
+            assert_eq!(format!("{e}"), e.name());
+            assert!(!e.description().is_empty());
+        }
+        assert_eq!(Engine::from_name("no-such-engine"), None);
+    }
+
+    #[test]
+    fn engine_names_match_registry_names() {
+        let q = QuerySet::paper().default_query().clone();
+        let m = SubstitutionMatrix::blosum62();
+        let g = GapPenalties::paper();
+        assert_eq!(SwEngine::new(q.residues(), &m, g).name(), "sw");
+        assert_eq!(SwLazyEngine::new(q.residues(), &m, g).name(), "sw-lazy");
+        assert_eq!(
+            StripedEngine::<16, 8>::from_query(q.residues(), &m, g).name(),
+            "striped"
+        );
+        assert_eq!(
+            AntiDiagonalEngine::<8>::new(q.residues(), &m, g).name(),
+            "vmx128"
+        );
+        assert_eq!(
+            AntiDiagonalEngine::<16>::new(q.residues(), &m, g).name(),
+            "vmx256"
+        );
+        assert_eq!(
+            FastaEngine::new(q.residues(), &m, g, fasta::FastaParams::default()).name(),
+            "fasta"
+        );
+        assert_eq!(
+            BlastEngine::new(q.residues(), &m, g, blast::BlastParams::default()).name(),
+            "blast"
+        );
+    }
+
+    #[test]
+    fn exact_engines_match_scalar_reference() {
+        let (query, db) = small_setup();
+        let m = SubstitutionMatrix::blosum62();
+        let req = SearchRequest {
+            query: query.residues(),
+            matrix: &m,
+            gaps: GapPenalties::paper(),
+            top_k: db.len(),
+            min_score: 1,
+        };
+        let subjects: Vec<&[AminoAcid]> = db.iter().map(|s| s.residues()).collect();
+        let reference = Engine::Sw.search(&req, &subjects, 1);
+        for e in Engine::ALL.into_iter().filter(|e| e.is_exact()) {
+            let resp = e.search(&req, &subjects, 1);
+            assert_eq!(resp.hits, reference.hits, "engine {e}");
+            assert_eq!(resp.engine, e);
+        }
+    }
+
+    #[test]
+    fn evalues_decrease_with_score() {
+        let (query, db) = small_setup();
+        let m = SubstitutionMatrix::blosum62();
+        let req = SearchRequest {
+            query: query.residues(),
+            matrix: &m,
+            gaps: GapPenalties::paper(),
+            top_k: 10,
+            min_score: 1,
+        };
+        let subjects: Vec<&[AminoAcid]> = db.iter().map(|s| s.residues()).collect();
+        let resp = Engine::Striped.search(&req, &subjects, 2);
+        assert!(!resp.hits.is_empty());
+        for pair in resp.hits.windows(2) {
+            assert!(pair[0].score >= pair[1].score);
+            assert!(pair[0].evalue <= pair[1].evalue);
+            assert!(pair[0].bits >= pair[1].bits);
+        }
+        // A planted homolog must look significant in this search space.
+        assert!(resp.hits[0].evalue < 1e-6, "E = {}", resp.hits[0].evalue);
+        assert_eq!(resp.stats.subjects, subjects.len());
+        assert_eq!(resp.stats.threads, 2);
+    }
+
+    #[test]
+    fn min_score_filters_and_top_k_bounds() {
+        let (query, db) = small_setup();
+        let m = SubstitutionMatrix::blosum62();
+        let subjects: Vec<&[AminoAcid]> = db.iter().map(|s| s.residues()).collect();
+        let req = SearchRequest {
+            query: query.residues(),
+            matrix: &m,
+            gaps: GapPenalties::paper(),
+            top_k: 3,
+            min_score: 60,
+        };
+        let resp = Engine::Sw.search(&req, &subjects, 1);
+        assert!(resp.hits.len() <= 3);
+        assert!(resp.hits.iter().all(|h| h.score >= 60));
+    }
+}

@@ -22,7 +22,7 @@ use sapa_bioseq::matrix::GapPenalties;
 use sapa_bioseq::{AminoAcid, SubstitutionMatrix};
 
 use crate::banded;
-use crate::result::{Hit, SearchResults};
+use crate::result::{Hit, SearchResults, TopK};
 
 /// Tunable parameters; defaults follow `fasta34 -p` conventions for
 /// protein search (ktup 2, banded opt of half-width 16).
@@ -304,7 +304,7 @@ pub fn search<'a, I>(
 where
     I: IntoIterator<Item = &'a [AminoAcid]>,
 {
-    let mut results = SearchResults::new(keep);
+    let mut results = TopK::new(keep);
     for (seq_index, subject) in db.into_iter().enumerate() {
         let s = score_subject(index, subject, matrix, gaps, params);
         let reported = s.opt.max(s.initn);
@@ -315,7 +315,7 @@ where
             });
         }
     }
-    results
+    results.finish()
 }
 
 #[cfg(test)]
@@ -393,7 +393,7 @@ mod tests {
         let junk1 = seq("PGPGPGPGPGPGPGPGPGPGPGPGPG");
         let junk2 = seq("NDNDNDNDNDNDNDNDNDNDNDNDND");
         let db: Vec<&[AminoAcid]> = vec![&junk1, &hom, &junk2];
-        let mut res = search(
+        let res = search(
             &idx,
             db,
             &m,

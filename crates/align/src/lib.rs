@@ -22,7 +22,11 @@
 //! * [`fasta`] — a FASTA-like heuristic: k-tuple lookup, diagonal
 //!   scoring (`init1`/`initn`), banded optimization (`opt`);
 //! * [`stats`] — Karlin-Altschul bit scores and E-values, the
-//!   significance statistics real BLAST/SSEARCH report.
+//!   significance statistics real BLAST/SSEARCH report;
+//! * [`engine`] — the unified [`engine::AlignmentEngine`] layer: one
+//!   [`engine::SearchRequest`]/[`engine::SearchResponse`] API over all
+//!   seven backends, selectable by name from the [`engine::Engine`]
+//!   registry and driven by the engine-agnostic [`parallel`] pipeline.
 //!
 //! All scoring uses [`sapa_bioseq::SubstitutionMatrix`] (BLOSUM62 by
 //! default) and positive-cost affine [`sapa_bioseq::matrix::GapPenalties`].
@@ -49,6 +53,7 @@
 pub mod banded;
 pub mod blast;
 pub mod blastn;
+pub mod engine;
 pub mod fasta;
 pub mod nw;
 pub mod parallel;
@@ -59,4 +64,5 @@ pub mod striped;
 pub mod sw;
 pub mod xdrop;
 
-pub use result::{Hit, SearchResults};
+pub use engine::{AlignmentEngine, Engine, RankedHit, RunStats, SearchRequest, SearchResponse};
+pub use result::{Hit, SearchResults, TopK};

@@ -1,32 +1,30 @@
-//! Multi-threaded database scoring.
+//! Multi-threaded database scoring, generic over any alignment engine.
 //!
 //! Database search is embarrassingly parallel across subjects — the
 //! paper's related-work section notes that most prior art studies
 //! exactly this axis (cluster/SMP scaling) while the paper itself
 //! studies the single processor. This module provides two layers:
 //!
-//! * [`par_scores`] / [`par_search`] — a generic subject-parallel
-//!   driver for any pure scoring function, with **chunked** work
-//!   claiming (workers grab batches of subjects per atomic `fetch_add`
-//!   instead of one, cutting cursor contention on short subjects);
-//! * [`search_striped`] / [`striped_scores`] — the batched striped
-//!   Smith-Waterman pipeline: one shared [`QueryProfile`] threaded
-//!   through all workers, per-worker reusable row buffers (zero
-//!   per-subject allocation), adaptive 8-bit scoring with 16-bit
-//!   rescore of overflowing subjects, and deterministic,
-//!   thread-count-independent results.
+//! * [`par_scores`] / [`par_search`] — a subject-parallel driver for
+//!   any pure scoring function, with **chunked** work claiming
+//!   (workers grab batches of subjects per atomic `fetch_add` instead
+//!   of one, cutting cursor contention on short subjects);
+//! * [`engine_scores`] / [`engine_search`] — the same pipeline driven
+//!   through an [`AlignmentEngine`]: one shared engine (query index /
+//!   profile) threaded through all workers, one reusable
+//!   [`AlignmentEngine::Workspace`] per worker (zero per-subject
+//!   allocation), per-engine statistics harvested from the workspaces,
+//!   and deterministic, thread-count-independent results.
 //!
-//! No dependencies beyond `std`; determinism is enforced by tests that
-//! compare thread counts {1, 2, 8}.
+//! Both layers share one chunked work-claiming loop; determinism is
+//! enforced by tests that compare thread counts {1, 2, 8}.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use sapa_bioseq::matrix::GapPenalties;
-use sapa_bioseq::profile::QueryProfile;
-use sapa_bioseq::{AminoAcid, SubstitutionMatrix};
+use sapa_bioseq::AminoAcid;
 
-use crate::result::{Hit, SearchResults};
-use crate::striped::{self, ByteWorkspace, Workspace};
+use crate::engine::{AlignmentEngine, RunStats};
+use crate::result::{Hit, SearchResults, TopK};
 
 /// Subjects claimed per `fetch_add` when the caller does not choose:
 /// large enough that the shared cursor is touched ~1/16th as often,
@@ -39,6 +37,73 @@ pub const DEFAULT_CHUNK: usize = 16;
 fn auto_chunk(subject_count: usize, threads: usize) -> usize {
     let fair = (subject_count / (threads * 4)).max(1);
     fair.min(DEFAULT_CHUNK)
+}
+
+/// The one chunked work-claiming loop behind every parallel front end.
+///
+/// Spawns up to `threads` scoped workers; each builds one workspace
+/// with `make_ws`, claims `chunk` consecutive subjects per `fetch_add`
+/// on a shared cursor, and records `(index, score)` pairs. The merge
+/// restores subject order — output is identical no matter how chunks
+/// interleave — and the workspaces are returned so callers can harvest
+/// per-worker statistics.
+fn chunked_scores<W, M, F>(
+    subject_count: usize,
+    threads: usize,
+    chunk: usize,
+    make_ws: M,
+    score_fn: F,
+) -> (Vec<i32>, Vec<W>)
+where
+    W: Send,
+    M: Fn() -> W + Sync,
+    F: Fn(&mut W, usize) -> i32 + Sync,
+{
+    assert!(threads > 0, "need at least one thread");
+    assert!(chunk > 0, "need a positive chunk size");
+    let mut scores = vec![0i32; subject_count];
+    if subject_count == 0 {
+        return (scores, Vec::new());
+    }
+    let threads = threads.min(subject_count.div_ceil(chunk));
+    let cursor = AtomicUsize::new(0);
+
+    let mut partials: Vec<(Vec<(usize, i32)>, W)> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let cursor = &cursor;
+            let score_fn = &score_fn;
+            let make_ws = &make_ws;
+            handles.push(scope.spawn(move || {
+                // Reused across every subject this worker scores.
+                let mut ws = make_ws();
+                let mut local = Vec::new();
+                loop {
+                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= subject_count {
+                        break;
+                    }
+                    let end = (start + chunk).min(subject_count);
+                    for i in start..end {
+                        local.push((i, score_fn(&mut ws, i)));
+                    }
+                }
+                (local, ws)
+            }));
+        }
+        for h in handles {
+            partials.push(h.join().expect("worker panicked"));
+        }
+    });
+    let mut workspaces = Vec::with_capacity(partials.len());
+    for (part, ws) in partials {
+        for (i, s) in part {
+            scores[i] = s;
+        }
+        workspaces.push(ws);
+    }
+    (scores, workspaces)
 }
 
 /// Scores every subject with `score_fn` using `threads` worker
@@ -76,49 +141,7 @@ pub fn par_scores_chunked<F>(
 where
     F: Fn(usize) -> i32 + Sync,
 {
-    assert!(threads > 0, "need at least one thread");
-    assert!(chunk > 0, "need a positive chunk size");
-    let mut scores = vec![0i32; subject_count];
-    if subject_count == 0 {
-        return scores;
-    }
-    let threads = threads.min(subject_count.div_ceil(chunk));
-    let cursor = AtomicUsize::new(0);
-
-    // Each worker records (index, score) pairs for the chunks it
-    // claimed; the merge below restores subject order, so the output is
-    // identical no matter how the chunks were interleaved.
-    let mut partials: Vec<Vec<(usize, i32)>> = Vec::new();
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(threads);
-        for _ in 0..threads {
-            let cursor = &cursor;
-            let score_fn = &score_fn;
-            handles.push(scope.spawn(move || {
-                let mut local = Vec::new();
-                loop {
-                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
-                    if start >= subject_count {
-                        break;
-                    }
-                    let end = (start + chunk).min(subject_count);
-                    for i in start..end {
-                        local.push((i, score_fn(i)));
-                    }
-                }
-                local
-            }));
-        }
-        for h in handles {
-            partials.push(h.join().expect("worker panicked"));
-        }
-    });
-    for part in partials {
-        for (i, s) in part {
-            scores[i] = s;
-        }
-    }
-    scores
+    chunked_scores(subject_count, threads, chunk, || (), |_, i| score_fn(i)).0
 }
 
 /// Parallel ranked search: scores every subject with `score_fn` on
@@ -143,113 +166,53 @@ where
 }
 
 fn collect_hits(scores: Vec<i32>, keep: usize, min_score: i32) -> SearchResults {
-    let mut results = SearchResults::new(keep);
+    let mut results = TopK::new(keep);
     for (seq_index, score) in scores.into_iter().enumerate() {
         if score >= min_score {
             results.push(Hit { seq_index, score });
         }
     }
-    results
+    results.finish()
 }
 
-/// Counters from a striped database scan.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct StripedStats {
-    /// Subjects scored.
-    pub subjects: usize,
-    /// Subjects whose byte pass overflowed and were rescored in 16-bit
-    /// (the SSW recovery path; normally a small fraction).
-    pub rescored: usize,
-}
-
-/// Scores every subject against a shared striped [`QueryProfile`] on
-/// `threads` worker threads.
+/// Scores every subject through `engine` on `threads` worker threads.
 ///
-/// This is the database-search hot path: workers claim subjects in
-/// chunks, keep one reusable byte + word workspace each (no per-subject
-/// allocation — buffer sizes depend only on the query), run the 8-bit
-/// kernel first and rescore overflowing subjects in 16-bit. Scores come
-/// back in subject order regardless of thread count.
-///
-/// `LB`/`LW` are the byte/word lane counts of one register width:
-/// `<16, 8>` for the 128-bit Altivec model, `<32, 16>` for the paper's
-/// 256-bit extension.
+/// This is the database-search hot path for every backend: workers
+/// claim subjects in chunks and keep one reusable
+/// [`AlignmentEngine::Workspace`] each (no per-subject allocation for
+/// engines whose buffers depend only on the query). Scores come back in
+/// subject order regardless of thread count; per-worker counters (e.g.
+/// the striped engine's byte-overflow rescores) are summed into the
+/// returned [`RunStats`].
 ///
 /// # Panics
 ///
-/// Panics if `threads` is 0 or the profile's lane counts don't match
-/// `LB`/`LW`.
-pub fn striped_scores<const LB: usize, const LW: usize>(
-    profile: &QueryProfile,
+/// Panics if `threads` is 0, or propagates a panic from the engine.
+pub fn engine_scores<E: AlignmentEngine>(
+    engine: &E,
     subjects: &[&[AminoAcid]],
-    gaps: GapPenalties,
     threads: usize,
-) -> (Vec<i32>, StripedStats) {
-    assert!(threads > 0, "need at least one thread");
-    let subject_count = subjects.len();
-    let mut scores = vec![0i32; subject_count];
-    if subject_count == 0 {
-        return (scores, StripedStats::default());
-    }
-    let chunk = auto_chunk(subject_count, threads);
-    let threads = threads.min(subject_count.div_ceil(chunk));
-    let cursor = AtomicUsize::new(0);
-    let rescored = AtomicUsize::new(0);
-
-    let mut partials: Vec<Vec<(usize, i32)>> = Vec::new();
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(threads);
-        for _ in 0..threads {
-            let cursor = &cursor;
-            let rescored = &rescored;
-            handles.push(scope.spawn(move || {
-                // Reused across every subject this worker scores.
-                let mut bws = ByteWorkspace::<LB>::new();
-                let mut ws = Workspace::<LW>::new();
-                let mut local = Vec::new();
-                let mut local_rescored = 0usize;
-                loop {
-                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
-                    if start >= subject_count {
-                        break;
-                    }
-                    let end = (start + chunk).min(subject_count);
-                    for (i, subject) in subjects[start..end].iter().enumerate() {
-                        let s = match striped::score_bytes_with_profile::<LB>(
-                            profile, subject, gaps, &mut bws,
-                        ) {
-                            Some(s) => s,
-                            None => {
-                                local_rescored += 1;
-                                striped::score_with_profile::<LW>(profile, subject, gaps, &mut ws)
-                            }
-                        };
-                        local.push((start + i, s));
-                    }
-                }
-                rescored.fetch_add(local_rescored, Ordering::Relaxed);
-                local
-            }));
-        }
-        for h in handles {
-            partials.push(h.join().expect("worker panicked"));
-        }
-    });
-    for part in partials {
-        for (i, s) in part {
-            scores[i] = s;
-        }
-    }
-    let stats = StripedStats {
-        subjects: subject_count,
-        rescored: rescored.load(Ordering::Relaxed),
+) -> (Vec<i32>, RunStats) {
+    let chunk = auto_chunk(subjects.len(), threads.max(1));
+    let (scores, workspaces) = chunked_scores(
+        subjects.len(),
+        threads,
+        chunk,
+        || engine.workspace(),
+        |ws, i| engine.score_one(ws, subjects[i]),
+    );
+    let rescored = workspaces.iter().map(|ws| engine.rescored(ws)).sum();
+    let stats = RunStats {
+        subjects: subjects.len(),
+        rescored,
+        threads,
     };
     (scores, stats)
 }
 
-/// Ranked striped database search against a prebuilt profile: the entry
-/// point for callers that amortize one [`QueryProfile`] (possibly from
-/// a [`sapa_bioseq::profile::ProfileCache`]) over many scans.
+/// Ranked parallel search through any [`AlignmentEngine`]: the best
+/// `keep` hits with scores of at least `min_score`, plus scan
+/// statistics.
 ///
 /// Hit ordering is deterministic and thread-count independent:
 /// descending score, ties broken by ascending subject index.
@@ -257,44 +220,25 @@ pub fn striped_scores<const LB: usize, const LW: usize>(
 /// # Panics
 ///
 /// Panics if `threads` or `keep` is 0.
-pub fn search_striped_with_profile<const LB: usize, const LW: usize>(
-    profile: &QueryProfile,
+pub fn engine_search<E: AlignmentEngine>(
+    engine: &E,
     subjects: &[&[AminoAcid]],
-    gaps: GapPenalties,
     threads: usize,
     keep: usize,
     min_score: i32,
-) -> (SearchResults, StripedStats) {
-    let (scores, stats) = striped_scores::<LB, LW>(profile, subjects, gaps, threads);
+) -> (SearchResults, RunStats) {
+    let (scores, stats) = engine_scores(engine, subjects, threads);
     (collect_hits(scores, keep, min_score), stats)
-}
-
-/// Ranked striped database search: builds the query profile once,
-/// shares it across all workers, and returns the best `keep` hits with
-/// scores of at least `min_score` plus scan statistics.
-///
-/// # Panics
-///
-/// Panics if `threads` or `keep` is 0.
-pub fn search_striped<const LB: usize, const LW: usize>(
-    query: &[AminoAcid],
-    subjects: &[&[AminoAcid]],
-    matrix: &SubstitutionMatrix,
-    gaps: GapPenalties,
-    threads: usize,
-    keep: usize,
-    min_score: i32,
-) -> (SearchResults, StripedStats) {
-    let profile = QueryProfile::build(query, matrix, LW);
-    search_striped_with_profile::<LB, LW>(&profile, subjects, gaps, threads, keep, min_score)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::StripedEngine;
     use crate::sw;
     use sapa_bioseq::db::DatabaseBuilder;
     use sapa_bioseq::matrix::GapPenalties;
+    use sapa_bioseq::profile::QueryProfile;
     use sapa_bioseq::queries::QuerySet;
     use sapa_bioseq::SubstitutionMatrix;
 
@@ -345,7 +289,7 @@ mod tests {
     #[test]
     fn ranked_search_matches_serial_filtering() {
         let scores = [5, 40, 12, 40, 3, 99];
-        let mut r = par_search(scores.len(), 3, 4, 10, |i| scores[i]);
+        let r = par_search(scores.len(), 3, 4, 10, |i| scores[i]);
         let hits = r.hits();
         assert_eq!(hits[0].score, 99);
         assert_eq!(hits[1].score, 40);
@@ -359,10 +303,12 @@ mod tests {
     fn empty_database_is_fine() {
         assert!(par_scores(0, 4, |_| 0).is_empty());
         let m = SubstitutionMatrix::blosum62();
-        let profile = QueryProfile::build(&[], &m, 8);
-        let (scores, stats) = striped_scores::<16, 8>(&profile, &[], GapPenalties::paper(), 4);
+        let g = GapPenalties::paper();
+        let engine = StripedEngine::<16, 8>::from_query(&[], &m, g);
+        let (scores, stats) = engine_scores(&engine, &[], 4);
         assert!(scores.is_empty());
         assert_eq!(stats.subjects, 0);
+        assert_eq!(stats.rescored, 0);
     }
 
     #[test]
@@ -384,7 +330,7 @@ mod tests {
     }
 
     #[test]
-    fn striped_scores_match_scalar_oracle() {
+    fn striped_engine_scores_match_scalar_oracle() {
         let queries = QuerySet::paper();
         let query = queries.by_accession("P02232").unwrap().clone();
         let db = DatabaseBuilder::new()
@@ -398,8 +344,8 @@ mod tests {
         let g = GapPenalties::paper();
         let slices: Vec<&[sapa_bioseq::AminoAcid]> = db.iter().map(|s| s.residues()).collect();
 
-        let profile = QueryProfile::build(query.residues(), &m, 8);
-        let (scores, stats) = striped_scores::<16, 8>(&profile, &slices, g, 4);
+        let engine = StripedEngine::<16, 8>::from_query(query.residues(), &m, g);
+        let (scores, stats) = engine_scores(&engine, &slices, 4);
         assert_eq!(stats.subjects, db.len());
         for (i, s) in db.iter().enumerate() {
             assert_eq!(
@@ -411,7 +357,7 @@ mod tests {
     }
 
     #[test]
-    fn striped_scores_are_thread_count_invariant() {
+    fn striped_engine_is_thread_count_invariant() {
         let queries = QuerySet::paper();
         let query = queries.by_accession("P02232").unwrap().clone();
         let db = DatabaseBuilder::new()
@@ -423,11 +369,11 @@ mod tests {
         let m = SubstitutionMatrix::blosum62();
         let g = GapPenalties::paper();
         let slices: Vec<&[sapa_bioseq::AminoAcid]> = db.iter().map(|s| s.residues()).collect();
-        let profile = QueryProfile::build(query.residues(), &m, 8);
+        let engine = StripedEngine::<16, 8>::from_query(query.residues(), &m, g);
 
-        let (one, s1) = striped_scores::<16, 8>(&profile, &slices, g, 1);
-        let (two, s2) = striped_scores::<16, 8>(&profile, &slices, g, 2);
-        let (eight, s8) = striped_scores::<16, 8>(&profile, &slices, g, 8);
+        let (one, s1) = engine_scores(&engine, &slices, 1);
+        let (two, s2) = engine_scores(&engine, &slices, 2);
+        let (eight, s8) = engine_scores(&engine, &slices, 8);
         assert_eq!(one, two);
         assert_eq!(one, eight);
         // The rescore count is a property of the data, not the threads.
@@ -454,8 +400,8 @@ mod tests {
         let mut with_self = slices.clone();
         with_self.push(query.residues());
 
-        let (mut results, stats) =
-            search_striped::<16, 8>(query.residues(), &with_self, &m, g, 4, 10, 50);
+        let engine = StripedEngine::<16, 8>::from_query(query.residues(), &m, g);
+        let (results, stats) = engine_search(&engine, &with_self, 4, 10, 50);
         assert!(
             stats.rescored >= 1,
             "self-match must overflow the byte pass"
@@ -485,10 +431,35 @@ mod tests {
         let g = GapPenalties::paper();
         let slices: Vec<&[sapa_bioseq::AminoAcid]> = db.iter().map(|s| s.residues()).collect();
 
-        let p128 = QueryProfile::build(query.residues(), &m, 8);
-        let p256 = QueryProfile::build(query.residues(), &m, 16);
-        let (a, _) = striped_scores::<16, 8>(&p128, &slices, g, 3);
-        let (b, _) = striped_scores::<32, 16>(&p256, &slices, g, 3);
+        let e128 = StripedEngine::<16, 8>::from_query(query.residues(), &m, g);
+        let e256 = StripedEngine::<32, 16>::from_query(query.residues(), &m, g);
+        let (a, _) = engine_scores(&e128, &slices, 3);
+        let (b, _) = engine_scores(&e256, &slices, 3);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cached_profile_is_shared_not_rebuilt() {
+        // `with_profile` must accept an externally cached Arc profile.
+        let queries = QuerySet::paper();
+        let query = queries.by_accession("P02232").unwrap().clone();
+        let m = SubstitutionMatrix::blosum62();
+        let g = GapPenalties::paper();
+        let profile = QueryProfile::build_shared(query.residues(), &m, 8);
+        let db = DatabaseBuilder::new()
+            .seed(17)
+            .sequences(12)
+            .homolog_template(query.clone())
+            .build();
+        let slices: Vec<&[sapa_bioseq::AminoAcid]> = db.iter().map(|s| s.residues()).collect();
+
+        let cached = StripedEngine::<16, 8>::with_profile(profile.clone(), g);
+        let fresh = StripedEngine::<16, 8>::from_query(query.residues(), &m, g);
+        assert_eq!(
+            engine_scores(&cached, &slices, 2).0,
+            engine_scores(&fresh, &slices, 2).0
+        );
+        // The engine holds the same allocation the cache handed out.
+        assert_eq!(std::sync::Arc::strong_count(&profile), 2);
     }
 }

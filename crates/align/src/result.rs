@@ -1,4 +1,15 @@
 //! Search-result containers shared by the database-search front ends.
+//!
+//! [`TopK`] is the bounded collector every search pipeline pushes into:
+//! a binary min-heap that keeps the best `capacity` hits seen so far in
+//! O(log k) per push, regardless of how many subjects are scanned.
+//! [`TopK::finish`] freezes it into a [`SearchResults`] — an immutable
+//! ranked list with `&self` accessors and deterministic ordering
+//! (descending score, ties broken by ascending sequence index), so the
+//! same scan yields bit-identical output at any thread count.
+
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
 
 /// One database hit: a sequence index and its alignment score.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -9,70 +20,129 @@ pub struct Hit {
     pub score: i32,
 }
 
-/// A ranked list of database hits.
-///
-/// Mirrors the `-b 500` behaviour of the paper's command lines: the list
-/// keeps the best `capacity` hits, ordered by descending score with ties
-/// broken by ascending sequence index (deterministic output).
-///
-/// ```
-/// use sapa_align::{Hit, SearchResults};
-///
-/// let mut r = SearchResults::new(2);
-/// r.push(Hit { seq_index: 0, score: 10 });
-/// r.push(Hit { seq_index: 1, score: 30 });
-/// r.push(Hit { seq_index: 2, score: 20 });
-/// let best: Vec<i32> = r.hits().iter().map(|h| h.score).collect();
-/// assert_eq!(best, vec![30, 20]);
-/// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct SearchResults {
-    capacity: usize,
-    hits: Vec<Hit>,
-    sorted: bool,
+/// Ranking wrapper: a greater `Ranked` is a *better* hit (higher score,
+/// then lower sequence index). The heap stores `Reverse<Ranked>` so the
+/// worst retained hit sits at the top, ready to be evicted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Ranked(Hit);
+
+impl Ord for Ranked {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0
+            .score
+            .cmp(&other.0.score)
+            .then_with(|| other.0.seq_index.cmp(&self.0.seq_index))
+    }
 }
 
-impl SearchResults {
-    /// Creates an empty result list that retains the best `capacity`
-    /// hits (the paper's runs use 500).
+impl PartialOrd for Ranked {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Bounded top-K hit collector.
+///
+/// Mirrors the `-b 500` behaviour of the paper's command lines: only the
+/// best `capacity` hits survive a scan. Pushing is O(log capacity) and
+/// memory stays at `capacity` entries no matter how large the database
+/// is (the old `SearchResults` buffered up to 2× capacity and re-sorted
+/// on every read).
+///
+/// ```
+/// use sapa_align::{Hit, TopK};
+///
+/// let mut top = TopK::new(2);
+/// top.push(Hit { seq_index: 0, score: 10 });
+/// top.push(Hit { seq_index: 1, score: 30 });
+/// top.push(Hit { seq_index: 2, score: 20 });
+/// let results = top.finish();
+/// let best: Vec<i32> = results.hits().iter().map(|h| h.score).collect();
+/// assert_eq!(best, vec![30, 20]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TopK {
+    capacity: usize,
+    heap: BinaryHeap<Reverse<Ranked>>,
+}
+
+impl TopK {
+    /// Creates an empty collector that retains the best `capacity` hits
+    /// (the paper's runs use 500).
     ///
     /// # Panics
     ///
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "capacity must be positive");
-        SearchResults {
+        TopK {
             capacity,
-            hits: Vec::new(),
-            sorted: true,
+            heap: BinaryHeap::with_capacity(capacity + 1),
         }
     }
 
-    /// Records a hit.
+    /// Offers a hit; it is kept only while it ranks in the best
+    /// `capacity` seen so far.
     pub fn push(&mut self, hit: Hit) {
-        self.hits.push(hit);
-        self.sorted = false;
-        // Compact lazily: only when we exceed twice the capacity, to
-        // keep push O(1) amortized.
-        if self.hits.len() > self.capacity * 2 {
-            self.compact();
+        let candidate = Reverse(Ranked(hit));
+        if self.heap.len() < self.capacity {
+            self.heap.push(candidate);
+        } else if let Some(worst) = self.heap.peek() {
+            // `Reverse` flips the comparison: candidate < worst means
+            // the new hit ranks better than the current worst.
+            if candidate < *worst {
+                self.heap.pop();
+                self.heap.push(candidate);
+            }
         }
     }
 
-    /// The ranked hits (best first), truncated to capacity.
-    pub fn hits(&mut self) -> &[Hit] {
-        self.compact();
+    /// Number of retained hits (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no hits were retained.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Maximum number of hits this collector retains.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Freezes the collector into an immutable ranked [`SearchResults`]
+    /// (best first, ties by ascending sequence index).
+    pub fn finish(self) -> SearchResults {
+        let mut hits: Vec<Hit> = self.heap.into_iter().map(|Reverse(Ranked(h))| h).collect();
+        hits.sort_by(|a, b| b.score.cmp(&a.score).then(a.seq_index.cmp(&b.seq_index)));
+        SearchResults { hits }
+    }
+}
+
+/// An immutable ranked list of database hits, produced by
+/// [`TopK::finish`]: best score first, ties broken by ascending
+/// sequence index. All accessors take `&self`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SearchResults {
+    hits: Vec<Hit>,
+}
+
+impl SearchResults {
+    /// The ranked hits (best first).
+    pub fn hits(&self) -> &[Hit] {
         &self.hits
     }
 
     /// The best score, if any hits were recorded.
-    pub fn best_score(&mut self) -> Option<i32> {
-        self.hits().first().map(|h| h.score)
+    pub fn best_score(&self) -> Option<i32> {
+        self.hits.first().map(|h| h.score)
     }
 
-    /// Number of retained hits (≤ capacity once compacted).
-    pub fn len(&mut self) -> usize {
-        self.hits().len()
+    /// Number of retained hits.
+    pub fn len(&self) -> usize {
+        self.hits.len()
     }
 
     /// Whether no hits were recorded.
@@ -80,13 +150,9 @@ impl SearchResults {
         self.hits.is_empty()
     }
 
-    fn compact(&mut self) {
-        if !self.sorted {
-            self.hits
-                .sort_by(|a, b| b.score.cmp(&a.score).then(a.seq_index.cmp(&b.seq_index)));
-            self.sorted = true;
-        }
-        self.hits.truncate(self.capacity);
+    /// Consumes the list, yielding the ranked hits.
+    pub fn into_hits(self) -> Vec<Hit> {
+        self.hits
     }
 }
 
@@ -96,13 +162,14 @@ mod tests {
 
     #[test]
     fn ranked_and_truncated() {
-        let mut r = SearchResults::new(3);
+        let mut top = TopK::new(3);
         for (i, s) in [5, 1, 9, 7, 3].iter().enumerate() {
-            r.push(Hit {
+            top.push(Hit {
                 seq_index: i,
                 score: *s,
             });
         }
+        let r = top.finish();
         let scores: Vec<i32> = r.hits().iter().map(|h| h.score).collect();
         assert_eq!(scores, vec![9, 7, 5]);
         assert_eq!(r.best_score(), Some(9));
@@ -111,46 +178,83 @@ mod tests {
 
     #[test]
     fn ties_break_by_index() {
-        let mut r = SearchResults::new(4);
-        r.push(Hit {
-            seq_index: 2,
-            score: 5,
-        });
-        r.push(Hit {
-            seq_index: 0,
-            score: 5,
-        });
-        r.push(Hit {
-            seq_index: 1,
-            score: 5,
-        });
+        let mut top = TopK::new(4);
+        for seq_index in [2usize, 0, 1] {
+            top.push(Hit {
+                seq_index,
+                score: 5,
+            });
+        }
+        let r = top.finish();
         let idx: Vec<usize> = r.hits().iter().map(|h| h.seq_index).collect();
         assert_eq!(idx, vec![0, 1, 2]);
     }
 
     #[test]
+    fn tied_scores_evict_highest_index_first() {
+        // With capacity 2 and three score-5 hits, the two lowest
+        // indices must survive — the rank order is (score, -index).
+        let mut top = TopK::new(2);
+        for seq_index in [2usize, 0, 1] {
+            top.push(Hit {
+                seq_index,
+                score: 5,
+            });
+        }
+        let idx: Vec<usize> = top.finish().hits().iter().map(|h| h.seq_index).collect();
+        assert_eq!(idx, vec![0, 1]);
+    }
+
+    #[test]
     fn empty_list() {
-        let mut r = SearchResults::new(1);
+        let top = TopK::new(1);
+        assert!(top.is_empty());
+        let r = top.finish();
         assert!(r.is_empty());
         assert_eq!(r.best_score(), None);
+        assert_eq!(r, SearchResults::default());
     }
 
     #[test]
     fn many_pushes_stay_bounded() {
-        let mut r = SearchResults::new(10);
+        let mut top = TopK::new(10);
         for i in 0..10_000 {
-            r.push(Hit {
+            top.push(Hit {
                 seq_index: i,
                 score: (i % 100) as i32,
             });
         }
+        assert_eq!(top.len(), 10);
+        let r = top.finish();
         assert_eq!(r.len(), 10);
         assert!(r.hits().iter().all(|h| h.score == 99));
+        // The earliest of the score-99 hits, in index order.
+        let idx: Vec<usize> = r.hits().iter().map(|h| h.seq_index).collect();
+        assert_eq!(idx, (0..10).map(|k| 99 + 100 * k).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn matches_full_sort_oracle() {
+        // Pseudo-random scores; TopK(k) must equal sort-then-truncate.
+        let n = 257usize;
+        let scores: Vec<i32> = (0..n).map(|i| ((i * 2654435761) % 83) as i32).collect();
+        for k in [1usize, 2, 7, 50, 300] {
+            let mut top = TopK::new(k);
+            let mut all: Vec<Hit> = Vec::new();
+            for (seq_index, &score) in scores.iter().enumerate() {
+                let h = Hit { seq_index, score };
+                top.push(h);
+                all.push(h);
+            }
+            all.sort_by(|a, b| b.score.cmp(&a.score).then(a.seq_index.cmp(&b.seq_index)));
+            all.truncate(k);
+            assert_eq!(top.finish().into_hits(), all, "k = {k}");
+        }
     }
 
     #[test]
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_rejected() {
-        let _ = SearchResults::new(0);
+        let _ = TopK::new(0);
     }
 }

@@ -413,7 +413,7 @@ fn heuristic_scores_never_exceed_sw() {
         // BLAST's reported score (banded or ungapped) is also ≤ full SW.
         let widx = blast::WordIndex::build(&a, &m, 11);
         let db: Vec<&[AminoAcid]> = vec![&b];
-        let mut res = blast::search(&widx, db, &m, g, &blast::BlastParams::default(), 5);
+        let res = blast::search(&widx, db, &m, g, &blast::BlastParams::default(), 5);
         if let Some(best) = res.best_score() {
             assert!(best <= full, "case {case}: blast {best} > sw {full}");
         }

@@ -1,10 +1,27 @@
-//! Alignment-kernel throughput: the four Smith-Waterman machines plus
-//! global and banded alignment. Complements Table III (relative work
-//! per aligned cell).
+//! Alignment-kernel throughput plus the unified engine sweep.
+//!
+//! Groups:
+//!
+//! * `smith_waterman` / `other_kernels` — single-pair throughput of the
+//!   four Smith-Waterman machines plus global and banded alignment,
+//!   complementing Table III (relative work per aligned cell);
+//! * `engine_scan_200seqs` — every registry engine scanning the same
+//!   200-sequence database through the unified
+//!   [`AlignmentEngine`](sapa_core::align::engine::AlignmentEngine) +
+//!   `parallel::engine_scores` pipeline, the apples-to-apples
+//!   comparison the paper makes across its five applications.
+//!
+//! Outside `--test` mode the run writes `BENCH_engines.json` at the
+//! repository root (same shape as `BENCH_striped.json`) with per-engine
+//! cells-per-second and derived cross-engine speedups.
 
 use sapa_bench::harness::{BenchmarkId, Criterion, Throughput};
-use sapa_bench::{bench_db, bench_query, criterion_group, criterion_main};
-use sapa_core::align::{banded, nw, simd_sw, sw};
+use sapa_bench::{bench_db, bench_query, slices};
+use sapa_core::align::engine::{
+    AlignmentEngine, AntiDiagonalEngine, BlastEngine, Engine, FastaEngine, StripedEngine, SwEngine,
+    SwLazyEngine,
+};
+use sapa_core::align::{banded, blast, fasta, nw, parallel, simd_sw, sw};
 use sapa_core::bioseq::matrix::GapPenalties;
 use sapa_core::bioseq::SubstitutionMatrix;
 
@@ -62,9 +79,139 @@ fn other_kernels(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = sw_variants, other_kernels
+/// The engine sweep: every registry backend runs the identical scan
+/// through `parallel::engine_scores`, serially, with its query context
+/// (profile / word index / k-tuple table) built once up front — the
+/// amortized serving configuration.
+fn engines(c: &mut Criterion) {
+    let matrix = SubstitutionMatrix::blosum62();
+    let gaps = GapPenalties::paper();
+    let query = bench_query();
+    let db = bench_db(200);
+    let subjects = slices(&db);
+    let residues: u64 = db.iter().map(|s| s.len() as u64).sum();
+    let cells = query.len() as u64 * residues;
+
+    fn bench_one<E: AlignmentEngine>(
+        group: &mut sapa_bench::harness::BenchmarkGroup<'_>,
+        name: &str,
+        engine: &E,
+        subjects: &[&[sapa_core::bioseq::AminoAcid]],
+    ) {
+        group.bench_function(name, |b| {
+            b.iter(|| parallel::engine_scores(engine, subjects, 1))
+        });
+    }
+
+    let mut group = c.benchmark_group("engine_scan_200seqs");
+    group.throughput(Throughput::Elements(cells));
+    let q = query.residues();
+    bench_one(
+        &mut group,
+        Engine::Sw.name(),
+        &SwEngine::new(q, &matrix, gaps),
+        &subjects,
+    );
+    bench_one(
+        &mut group,
+        Engine::SwLazy.name(),
+        &SwLazyEngine::new(q, &matrix, gaps),
+        &subjects,
+    );
+    bench_one(
+        &mut group,
+        Engine::Striped.name(),
+        &StripedEngine::<16, 8>::from_query(q, &matrix, gaps),
+        &subjects,
+    );
+    bench_one(
+        &mut group,
+        Engine::Vmx128.name(),
+        &AntiDiagonalEngine::<8>::new(q, &matrix, gaps),
+        &subjects,
+    );
+    bench_one(
+        &mut group,
+        Engine::Vmx256.name(),
+        &AntiDiagonalEngine::<16>::new(q, &matrix, gaps),
+        &subjects,
+    );
+    bench_one(
+        &mut group,
+        Engine::Fasta.name(),
+        &FastaEngine::new(q, &matrix, gaps, fasta::FastaParams::default()),
+        &subjects,
+    );
+    bench_one(
+        &mut group,
+        Engine::Blast.name(),
+        &BlastEngine::new(q, &matrix, gaps, blast::BlastParams::default()),
+        &subjects,
+    );
+    group.finish();
 }
-criterion_main!(benches);
+
+fn write_json(c: &Criterion, query_len: usize, residues: u64) {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engines.json");
+    let mut entries = String::new();
+    for (i, r) in c
+        .results()
+        .iter()
+        .filter(|r| r.group == "engine_scan_200seqs")
+        .enumerate()
+    {
+        if i > 0 {
+            entries.push_str(",\n");
+        }
+        let rate = r
+            .elements_per_sec
+            .map_or("null".to_string(), |v| format!("{v:.1}"));
+        entries.push_str(&format!(
+            "    {{\"group\": \"{}\", \"name\": \"{}\", \"median_ns_per_iter\": {:.1}, \"cells_per_sec\": {}}}",
+            r.group, r.name, r.median_ns, rate
+        ));
+    }
+    let speedup = |fast: &str, slow: &str| -> String {
+        match (
+            c.result("engine_scan_200seqs", slow),
+            c.result("engine_scan_200seqs", fast),
+        ) {
+            (Some(s), Some(f)) if f.median_ns > 0.0 => {
+                format!("{:.3}", s.median_ns / f.median_ns)
+            }
+            _ => "null".to_string(),
+        }
+    };
+    // Residues/s of the striped scan, directly comparable to
+    // BENCH_striped.json's striped_cached_profile_serial entry.
+    let striped_res_per_sec = c
+        .result("engine_scan_200seqs", "striped")
+        .map_or("null".to_string(), |r| {
+            format!("{:.1}", residues as f64 / r.median_ns * 1e9)
+        });
+    let cpus = std::thread::available_parallelism().map_or(0, |n| n.get());
+    let json = format!(
+        "{{\n  \"bench\": \"engines\",\n  \"query\": \"GST-222aa\",\n  \"query_len\": {query_len},\n  \"db_residues\": {residues},\n  \"host_cpus\": {cpus},\n  \"results\": [\n{entries}\n  ],\n  \"derived\": {{\n    \"striped_residues_per_sec\": {striped_res_per_sec},\n    \"speedup_striped_vs_sw\": {},\n    \"speedup_striped_vs_vmx128\": {},\n    \"speedup_vmx256_vs_vmx128\": {},\n    \"speedup_sw_vs_sw_lazy\": {}\n  }}\n}}\n",
+        speedup("striped", "sw"),
+        speedup("striped", "vmx128"),
+        speedup("vmx256", "vmx128"),
+        speedup("sw", "sw-lazy"),
+    );
+    match std::fs::write(path, json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+fn main() {
+    let mut c = Criterion::from_args().sample_size(15);
+    sw_variants(&mut c);
+    other_kernels(&mut c);
+    engines(&mut c);
+    if !c.is_test_mode() {
+        let query = bench_query();
+        let db = bench_db(200);
+        let residues: u64 = db.iter().map(|s| s.len() as u64).sum();
+        write_json(&c, query.len(), residues);
+    }
+}

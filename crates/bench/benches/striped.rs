@@ -9,7 +9,8 @@
 //!   with 16-bit rescore;
 //! * `striped_scan` — a 200-sequence database scan: per-subject profile
 //!   rebuild vs one cached profile, serial vs the chunked parallel
-//!   pipeline.
+//!   pipeline (driven through the unified [`StripedEngine`] +
+//!   `parallel::engine_scores` API).
 //!
 //! Outside `--test` mode the run writes `BENCH_striped.json` at the
 //! repository root with every median and the derived striped-16 vs
@@ -17,6 +18,7 @@
 
 use sapa_bench::harness::{Criterion, Throughput};
 use sapa_bench::{bench_db, bench_query, slices};
+use sapa_core::align::engine::StripedEngine;
 use sapa_core::align::striped::{self, ByteWorkspace, Workspace};
 use sapa_core::align::{parallel, simd_sw, sw};
 use sapa_core::bioseq::matrix::GapPenalties;
@@ -106,13 +108,14 @@ fn scan(c: &mut Criterion) {
                 .collect::<Vec<_>>()
         })
     });
-    let profile = QueryProfile::build(query.residues(), &matrix, 8);
+    let profile = QueryProfile::build_shared(query.residues(), &matrix, 8);
+    let engine = StripedEngine::<16, 8>::with_profile(profile, gaps);
     group.bench_function("striped_cached_profile_serial", |b| {
-        b.iter(|| parallel::striped_scores::<16, 8>(&profile, &subjects, gaps, 1))
+        b.iter(|| parallel::engine_scores(&engine, &subjects, 1))
     });
     for threads in [2usize, 4] {
         group.bench_function(format!("striped_cached_profile_t{threads}"), |b| {
-            b.iter(|| parallel::striped_scores::<16, 8>(&profile, &subjects, gaps, threads))
+            b.iter(|| parallel::engine_scores(&engine, &subjects, threads))
         });
     }
     group.finish();

@@ -129,6 +129,16 @@ impl QueryProfile {
         }
     }
 
+    /// [`build`](Self::build), wrapped in an [`Arc`] — the form the
+    /// engine layer and multi-threaded scans share across workers.
+    pub fn build_shared(
+        query: &[AminoAcid],
+        matrix: &SubstitutionMatrix,
+        word_lanes: usize,
+    ) -> Arc<Self> {
+        Arc::new(Self::build(query, matrix, word_lanes))
+    }
+
     /// Length of the profiled query.
     #[inline]
     pub fn query_len(&self) -> usize {

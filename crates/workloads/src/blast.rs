@@ -15,7 +15,7 @@
 
 use sapa_align::banded;
 use sapa_align::blast::{pack_word, BlastParams, WordIndex, WORD_LEN};
-use sapa_align::result::{Hit, SearchResults};
+use sapa_align::result::{Hit, TopK};
 use sapa_bioseq::matrix::GapPenalties;
 use sapa_bioseq::{AminoAcid, Sequence, SubstitutionMatrix};
 use sapa_isa::mem::AddressSpace;
@@ -137,7 +137,7 @@ pub fn run(
 
     let mut t = Tracer::with_capacity(1024);
     let mut scores = Vec::with_capacity(db.len());
-    let mut results = SearchResults::new(keep.max(1));
+    let mut results = TopK::new(keep.max(1));
 
     for si in 0..img.len() {
         let subject = img.subject(si);
@@ -306,7 +306,7 @@ pub fn run(
         }
     }
 
-    let hits = results.hits().to_vec();
+    let hits = results.finish().into_hits();
     BlastRun {
         trace: t.finish(),
         scores,
@@ -476,7 +476,7 @@ mod tests {
 
         let idx = ref_blast::WordIndex::build(&q, &m, p.threshold);
         let slices: Vec<&[AminoAcid]> = db.iter().map(|s| s.residues()).collect();
-        let mut expect = ref_blast::search(&idx, slices, &m, g, &p, 10);
+        let expect = ref_blast::search(&idx, slices, &m, g, &p, 10);
         assert_eq!(run.hits, expect.hits().to_vec());
     }
 

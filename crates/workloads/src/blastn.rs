@@ -13,7 +13,7 @@
 //! `repro ext_blastn`.
 
 use sapa_align::blastn::{match_left_in_byte, BlastnParams, NtWordIndex};
-use sapa_align::result::{Hit, SearchResults};
+use sapa_align::result::{Hit, TopK};
 use sapa_bioseq::dna::{DnaSequence, PackedDna};
 use sapa_isa::mem::AddressSpace;
 use sapa_isa::reg::{self, Reg};
@@ -88,7 +88,7 @@ pub fn run(query: &DnaSequence, db: &[PackedDna], params: &BlastnParams, keep: u
 
     let mut t = Tracer::with_capacity(1024);
     let mut scores = Vec::with_capacity(db.len());
-    let mut results = SearchResults::new(keep.max(1));
+    let mut results = TopK::new(keep.max(1));
 
     let mut subj_byte_base = 0u32;
     for (seq_index, subject) in db.iter().enumerate() {
@@ -195,7 +195,7 @@ pub fn run(query: &DnaSequence, db: &[PackedDna], params: &BlastnParams, keep: u
         subj_byte_base += subject.bytes().len() as u32;
     }
 
-    let hits = results.hits().to_vec();
+    let hits = results.finish().into_hits();
     BlastnRun {
         trace: t.finish(),
         scores,
@@ -320,7 +320,7 @@ mod tests {
         let params = BlastnParams::default();
         let traced = run(&q, &db, &params, 10);
         let idx = ref_blastn::NtWordIndex::build(&q, params.word_len);
-        let mut reference = ref_blastn::search(&idx, db.iter(), &params, 10);
+        let reference = ref_blastn::search(&idx, db.iter(), &params, 10);
         assert_eq!(traced.hits, reference.hits().to_vec());
         assert_eq!(traced.hits[0].seq_index, 1);
     }

@@ -12,7 +12,7 @@
 //! Scores equal [`sapa_align::fasta::score_subject`]'s.
 
 use sapa_align::fasta::{pack, FastaParams, FastaScores, KtupIndex};
-use sapa_align::result::{Hit, SearchResults};
+use sapa_align::result::{Hit, TopK};
 use sapa_bioseq::matrix::GapPenalties;
 use sapa_bioseq::{AminoAcid, Sequence, SubstitutionMatrix};
 use sapa_isa::mem::AddressSpace;
@@ -123,7 +123,7 @@ pub fn run(
 
     let mut t = Tracer::with_capacity(1024);
     let mut all_scores = Vec::with_capacity(db.len());
-    let mut results = SearchResults::new(keep.max(1));
+    let mut results = TopK::new(keep.max(1));
 
     for si in 0..img.len() {
         let subject = img.subject(si);
@@ -314,7 +314,7 @@ pub fn run(
         all_scores.push(scores);
     }
 
-    let hits = results.hits().to_vec();
+    let hits = results.finish().into_hits();
     FastaRun {
         trace: t.finish(),
         scores: all_scores,

@@ -2,6 +2,7 @@
 //! standard inputs every experiment runs on.
 
 use sapa_align::blast::BlastParams;
+use sapa_align::engine::Engine;
 use sapa_align::fasta::FastaParams;
 use sapa_align::result::Hit;
 use sapa_bioseq::db::DatabaseBuilder;
@@ -74,6 +75,21 @@ impl Workload {
     /// Whether the workload uses the vector (Altivec) unit.
     pub const fn is_simd(self) -> bool {
         matches!(self, Workload::SwVmx128 | Workload::SwVmx256)
+    }
+
+    /// The native [`Engine`] computing the same scores this traced
+    /// workload reports — the bridge between the instruction-level
+    /// `workloads` layer and the serving-oriented engine registry
+    /// (traced runs stay separate because they emit instruction streams
+    /// for the simulator; engines exist to search fast).
+    pub const fn engine(self) -> Engine {
+        match self {
+            Workload::Ssearch34 => Engine::SwLazy,
+            Workload::SwVmx128 => Engine::Vmx128,
+            Workload::SwVmx256 => Engine::Vmx256,
+            Workload::Fasta34 => Engine::Fasta,
+            Workload::Blast => Engine::Blast,
+        }
     }
 
     /// Runs the workload on `inputs`, producing the trace and results.
@@ -279,5 +295,48 @@ mod tests {
         assert_eq!(Workload::Blast.label(), "BLAST");
         assert!(Workload::Ssearch34.description().contains("SW"));
         assert!(Workload::Blast.input_parameters().contains("blastp"));
+    }
+
+    #[test]
+    fn traced_hits_match_engine_registry_results() {
+        // Every traced workload and its `engine()` counterpart must
+        // report the same ranked hits through the unified search API.
+        use sapa_align::engine::SearchRequest;
+        use sapa_bioseq::AminoAcid;
+
+        let inputs = StandardInputs::small();
+        for w in Workload::ALL {
+            let bundle = w.trace(&inputs);
+            // SW workloads scan the subset; heuristics the full db. The
+            // traced SW runners report every positive score, the
+            // heuristics apply their min_report_score.
+            let db = match w {
+                Workload::Ssearch34 | Workload::SwVmx128 | Workload::SwVmx256 => inputs.sw_db(),
+                Workload::Fasta34 | Workload::Blast => &inputs.db,
+            };
+            let min_score = match w {
+                Workload::Fasta34 => inputs.fasta.min_report_score,
+                Workload::Blast => inputs.blast.min_report_score,
+                _ => 1,
+            };
+            let subjects: Vec<&[AminoAcid]> = db.iter().map(Sequence::residues).collect();
+            let req = SearchRequest {
+                query: inputs.query.residues(),
+                matrix: &inputs.matrix,
+                gaps: inputs.gaps,
+                top_k: inputs.keep,
+                min_score,
+            };
+            let resp = w.engine().search(&req, &subjects, 1);
+            let engine_hits: Vec<Hit> = resp
+                .hits
+                .iter()
+                .map(|h| Hit {
+                    seq_index: h.seq_index,
+                    score: h.score,
+                })
+                .collect();
+            assert_eq!(engine_hits, bundle.hits, "{w} vs engine {}", w.engine());
+        }
     }
 }

@@ -14,7 +14,7 @@
 //! Waterman recurrence values). Scores are identical to
 //! [`sapa_align::sw::score`] — the test suite enforces it.
 
-use sapa_align::result::{Hit, SearchResults};
+use sapa_align::result::{Hit, TopK};
 use sapa_bioseq::matrix::GapPenalties;
 use sapa_bioseq::{AminoAcid, Sequence, SubstitutionMatrix};
 use sapa_isa::mem::AddressSpace;
@@ -110,7 +110,7 @@ pub fn run(
 
     let mut t = Tracer::with_capacity(1024);
     let mut scores = Vec::with_capacity(db.len());
-    let mut results = SearchResults::new(keep.max(1));
+    let mut results = TopK::new(keep.max(1));
 
     let mut col_h = vec![0i32; m];
     let mut col_e = vec![0i32; m];
@@ -236,7 +236,7 @@ pub fn run(
         }
     }
 
-    let hits = results.hits().to_vec();
+    let hits = results.finish().into_hits();
     SsearchRun {
         trace: t.finish(),
         scores,

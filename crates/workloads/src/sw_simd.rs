@@ -17,7 +17,7 @@
 //! paper's observation that 256-bit registers cut instructions by only
 //! ~18% on average.
 
-use sapa_align::result::{Hit, SearchResults};
+use sapa_align::result::{Hit, TopK};
 use sapa_bioseq::matrix::GapPenalties;
 use sapa_bioseq::{AminoAcid, Sequence, SubstitutionMatrix};
 use sapa_isa::mem::AddressSpace;
@@ -154,7 +154,7 @@ pub fn run<const L: usize>(
 
     let mut t = Tracer::with_capacity(1024);
     let mut scores = Vec::with_capacity(db.len());
-    let mut results = SearchResults::new(keep.max(1));
+    let mut results = TopK::new(keep.max(1));
 
     for si in 0..img.len() {
         let subject = img.subject(si);
@@ -363,7 +363,7 @@ pub fn run<const L: usize>(
         t.branch(site::B_SEQ, si + 1 < img.len(), site::STRIP_SETUP, &[R_PTR]);
     }
 
-    let hits = results.hits().to_vec();
+    let hits = results.finish().into_hits();
     SimdSwRun {
         trace: t.finish(),
         scores,

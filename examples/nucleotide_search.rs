@@ -44,7 +44,7 @@ fn main() {
 
     // Forward strand.
     let idx = NtWordIndex::build(&query, params.word_len);
-    let mut fwd_hits = blastn::search(&idx, subjects.iter(), &params, 10);
+    let fwd_hits = blastn::search(&idx, subjects.iter(), &params, 10);
     println!("forward-strand hits:");
     for hit in fwd_hits.hits() {
         println!("  {:<30} score {}", names[hit.seq_index], hit.score);
@@ -52,7 +52,7 @@ fn main() {
 
     // Reverse strand: search with the query's reverse complement.
     let idx_rc = NtWordIndex::build(&query.reverse_complement(), params.word_len);
-    let mut rev_hits = blastn::search(&idx_rc, subjects.iter(), &params, 10);
+    let rev_hits = blastn::search(&idx_rc, subjects.iter(), &params, 10);
     println!("reverse-strand hits:");
     for hit in rev_hits.hits() {
         println!("  {:<30} score {}", names[hit.seq_index], hit.score);

@@ -1,21 +1,70 @@
 //! A realistic protein database search — the workload the paper's
 //! introduction motivates: find everything in a (synthetic SwissProt-
 //! like) database related to one query, comparing the sensitivity/speed
-//! trade-off of the three search strategies.
+//! trade-off of every backend behind the unified engine layer.
 //!
 //! ```text
-//! cargo run --release --example protein_search
+//! cargo run --release --example protein_search              # all engines
+//! cargo run --release --example protein_search -- --engine striped
+//! cargo run --release --example protein_search -- --engine blast --threads 2
 //! ```
 
 use std::time::Instant;
 
-use sapa_core::align::{blast, fasta, parallel, sw};
+use sapa_core::align::engine::{Engine, SearchRequest, SearchResponse};
 use sapa_core::bioseq::db::DatabaseBuilder;
 use sapa_core::bioseq::matrix::GapPenalties;
 use sapa_core::bioseq::queries::QuerySet;
-use sapa_core::bioseq::{AminoAcid, ProfileCache, SubstitutionMatrix};
+use sapa_core::bioseq::{AminoAcid, SubstitutionMatrix};
+
+struct Args {
+    engine: Option<Engine>,
+    threads: usize,
+}
+
+fn parse_args() -> Args {
+    let default_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut args = Args {
+        engine: None,
+        threads: default_threads,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--engine" => {
+                let name = it.next().unwrap_or_else(|| usage("--engine needs a name"));
+                args.engine = Some(Engine::from_name(&name).unwrap_or_else(|| {
+                    usage(&format!("unknown engine '{name}'"));
+                }));
+            }
+            "--threads" => {
+                let n = it
+                    .next()
+                    .unwrap_or_else(|| usage("--threads needs a number"));
+                args.threads = n
+                    .parse()
+                    .ok()
+                    .filter(|&n: &usize| n > 0)
+                    .unwrap_or_else(|| usage(&format!("bad thread count '{n}'")));
+            }
+            other => usage(&format!("unknown argument '{other}'")),
+        }
+    }
+    args
+}
+
+fn usage(err: &str) -> ! {
+    eprintln!("error: {err}\n");
+    eprintln!("usage: protein_search [--engine <name>] [--threads <n>]\n");
+    eprintln!("engines:");
+    for e in Engine::ALL {
+        eprintln!("  {:<8} {}", e.name(), e.description());
+    }
+    std::process::exit(2);
+}
 
 fn main() {
+    let args = parse_args();
     let matrix = SubstitutionMatrix::blosum62();
     let gaps = GapPenalties::paper();
 
@@ -38,113 +87,99 @@ fn main() {
         .map(|(i, _)| i)
         .collect();
     println!(
-        "database: {} sequences, {} residues, {} planted homologs\n",
+        "database: {} sequences, {} residues, {} planted homologs",
         db.len(),
         db.total_residues(),
         truth.len()
     );
 
     let slices: Vec<&[AminoAcid]> = db.iter().map(|s| s.residues()).collect();
-
-    // --- Full Smith-Waterman: the sensitivity gold standard.
-    let t0 = Instant::now();
-    let mut sw_hits: Vec<(usize, i32)> = slices
-        .iter()
-        .enumerate()
-        .map(|(i, s)| (i, sw::score(query.residues(), s, &matrix, gaps)))
-        .filter(|&(_, score)| score >= 50)
-        .collect();
-    sw_hits.sort_by_key(|h| std::cmp::Reverse(h.1));
-    let sw_time = t0.elapsed();
-
-    // --- Striped Smith-Waterman (Farrar): same gold-standard scores,
-    // one cached query profile shared across the whole scan, adaptive
-    // 8-bit first pass with 16-bit rescore on overflow.
-    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let mut profiles = ProfileCache::new();
-    let t0 = Instant::now();
-    let profile = profiles.get_or_build(query.residues(), &matrix, 8);
-    let (mut striped_res, stats) =
-        parallel::search_striped_with_profile::<16, 8>(&profile, &slices, gaps, threads, 500, 50);
-    let striped_time = t0.elapsed();
-
-    // --- BLAST.
-    let t0 = Instant::now();
-    let widx = blast::WordIndex::build(query.residues(), &matrix, 11);
-    let mut blast_res = blast::search(
-        &widx,
-        slices.iter().copied(),
-        &matrix,
+    let req = SearchRequest {
+        query: query.residues(),
+        matrix: &matrix,
         gaps,
-        &blast::BlastParams::default(),
-        500,
-    );
-    let blast_time = t0.elapsed();
-
-    // --- FASTA.
-    let t0 = Instant::now();
-    let kidx = fasta::KtupIndex::build(query.residues(), 2);
-    let mut fasta_res = fasta::search(
-        &kidx,
-        slices.iter().copied(),
-        &matrix,
-        gaps,
-        &fasta::FastaParams::default(),
-        500,
-    );
-    let fasta_time = t0.elapsed();
-
-    let recall = |found: &[usize]| {
-        let hits = truth.iter().filter(|t| found.contains(t)).count();
-        format!("{hits}/{}", truth.len())
+        top_k: 500,
+        min_score: 50,
     };
 
-    let sw_found: Vec<usize> = sw_hits.iter().map(|h| h.0).collect();
-    let striped_found: Vec<usize> = striped_res.hits().iter().map(|h| h.seq_index).collect();
-    let blast_found: Vec<usize> = blast_res.hits().iter().map(|h| h.seq_index).collect();
-    let fasta_found: Vec<usize> = fasta_res.hits().iter().map(|h| h.seq_index).collect();
+    match args.engine {
+        Some(engine) => run_one(engine, &req, &slices, args.threads, &db),
+        None => run_all(&req, &slices, args.threads, &truth),
+    }
+}
 
-    // The striped engine is exact: identical hit set to scalar SW.
-    assert_eq!(
-        striped_found,
-        sw_found.iter().copied().take(500).collect::<Vec<_>>()
-    );
-
-    println!("engine            time        hits   homolog recall");
-    println!("---------------------------------------------------");
-    println!(
-        "Smith-Waterman    {:<10.1?}  {:<5}  {}",
-        sw_time,
-        sw_found.len(),
-        recall(&sw_found)
-    );
-    println!(
-        "SW striped x{:<2}   {:<10.1?}  {:<5}  {}",
-        threads,
-        striped_time,
-        striped_found.len(),
-        recall(&striped_found)
-    );
-    println!(
-        "BLAST             {:<10.1?}  {:<5}  {}",
-        blast_time,
-        blast_found.len(),
-        recall(&blast_found)
-    );
-    println!(
-        "FASTA             {:<10.1?}  {:<5}  {}",
-        fasta_time,
-        fasta_found.len(),
-        recall(&fasta_found)
-    );
+/// Single-engine mode: ranked hits with significance statistics.
+fn run_one(
+    engine: Engine,
+    req: &SearchRequest<'_>,
+    slices: &[&[AminoAcid]],
+    threads: usize,
+    db: &sapa_core::bioseq::db::Database,
+) {
+    println!("engine: {} ({})\n", engine.name(), engine.description());
+    let t0 = Instant::now();
+    let resp = engine.search(req, slices, threads);
+    let elapsed = t0.elapsed();
 
     println!(
-        "\nstriped scan: {} subjects, {} rescored in 16-bit after 8-bit overflow",
-        stats.subjects, stats.rescored
+        "{} hits in {:.1?} on {} threads ({} subjects, {} rescored)\n",
+        resp.hits.len(),
+        elapsed,
+        resp.stats.threads,
+        resp.stats.subjects,
+        resp.stats.rescored
     );
+    println!("rank  sequence           score   bits    E-value");
+    println!("------------------------------------------------");
+    for (rank, h) in resp.hits.iter().take(10).enumerate() {
+        println!(
+            "{:<4}  {:<18} {:<7} {:<7.1} {:.2e}",
+            rank + 1,
+            db.sequences()[h.seq_index].id(),
+            h.score,
+            h.bits,
+            h.evalue
+        );
+    }
+}
 
+/// Default mode: the paper's comparison — every engine, same request.
+fn run_all(req: &SearchRequest<'_>, slices: &[&[AminoAcid]], threads: usize, truth: &[usize]) {
+    let recall = |resp: &SearchResponse| {
+        let found: Vec<usize> = resp.hits.iter().map(|h| h.seq_index).collect();
+        let n = truth.iter().filter(|t| found.contains(t)).count();
+        format!("{n}/{}", truth.len())
+    };
+
+    println!("threads: {threads}\n");
+    println!("engine    time        hits   homolog recall");
+    println!("--------------------------------------------");
+    let mut reference: Option<SearchResponse> = None;
+    for engine in Engine::ALL {
+        let t0 = Instant::now();
+        let resp = engine.search(req, slices, threads);
+        let elapsed = t0.elapsed();
+        println!(
+            "{:<8}  {:<10.1?}  {:<5}  {}",
+            engine.name(),
+            elapsed,
+            resp.hits.len(),
+            recall(&resp)
+        );
+        // Every exact engine must reproduce scalar SW bit-for-bit.
+        match (&reference, engine.is_exact()) {
+            (None, true) => reference = Some(resp),
+            (Some(r), true) => assert_eq!(resp.hits, r.hits, "{} differs from sw", engine.name()),
+            _ => {}
+        }
+    }
+
+    let reference = reference.expect("sw engine ran");
     println!("\ntop Smith-Waterman hits:");
-    for (i, score) in sw_hits.iter().take(5) {
-        println!("  {} score {}", db.sequences()[*i].id(), score);
+    for h in reference.hits.iter().take(5) {
+        println!(
+            "  subject {:<4} score {:<4} ({:.1} bits, E = {:.2e})",
+            h.seq_index, h.score, h.bits, h.evalue
+        );
     }
 }

@@ -37,7 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let slices: Vec<&[AminoAcid]> = db.iter().map(|s| s.residues()).collect();
 
     let widx = blast::WordIndex::build(a.residues(), &matrix, 11);
-    let mut blast_hits = blast::search(
+    let blast_hits = blast::search(
         &widx,
         slices.clone(),
         &matrix,
@@ -51,7 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let kidx = fasta::KtupIndex::build(a.residues(), 2);
-    let mut fasta_hits = fasta::search(
+    let fasta_hits = fasta::search(
         &kidx,
         slices,
         &matrix,

@@ -1,7 +1,9 @@
 //! Cross-engine consistency: the traced workloads must report exactly
 //! the same biology as the reference algorithms, across a spread of
-//! synthetic databases.
+//! synthetic databases — and every registry [`Engine`] must agree with
+//! scalar Smith-Waterman through the unified search API.
 
+use sapa_core::align::engine::{Engine, SearchRequest};
 use sapa_core::align::{blast as ref_blast, fasta as ref_fasta, sw as ref_sw};
 use sapa_core::bioseq::db::DatabaseBuilder;
 use sapa_core::bioseq::matrix::GapPenalties;
@@ -60,7 +62,7 @@ fn traced_blast_equals_reference_search() {
     let traced = blast::run(&q, &db, &m, g, &p, 500);
     let idx = ref_blast::WordIndex::build(&q, &m, p.threshold);
     let slices: Vec<&[AminoAcid]> = db.iter().map(|s| s.residues()).collect();
-    let mut reference = ref_blast::search(&idx, slices, &m, g, &p, 500);
+    let reference = ref_blast::search(&idx, slices, &m, g, &p, 500);
     assert_eq!(traced.hits, reference.hits().to_vec());
 }
 
@@ -126,4 +128,91 @@ fn heuristics_rank_strong_homologs_like_full_sw() {
         top_ss,
         "FASTA top hit"
     );
+}
+
+/// One shared request over the standard small inputs for the registry
+/// sweep tests below.
+fn registry_fixture() -> (sapa_core::workloads::StandardInputs, Vec<AminoAcid>) {
+    let inputs = sapa_core::workloads::StandardInputs::small();
+    let q = inputs.query.residues().to_vec();
+    (inputs, q)
+}
+
+#[test]
+fn every_engine_agrees_with_scalar_sw() {
+    // The equivalence matrix: all four exact engines report identical
+    // ranked hits; the heuristics may miss hits (that is their design)
+    // but every hit they do report must rescore to its claimed value
+    // under the engine's own scorer.
+    let (inputs, q) = registry_fixture();
+    let subjects: Vec<&[AminoAcid]> = inputs.db.iter().map(|s| s.residues()).collect();
+    let req = SearchRequest {
+        query: &q,
+        matrix: &inputs.matrix,
+        gaps: inputs.gaps,
+        top_k: inputs.keep,
+        min_score: 1,
+    };
+    let reference = Engine::Sw.search(&req, &subjects, 1);
+    assert!(!reference.hits.is_empty(), "SW found nothing");
+
+    for engine in Engine::ALL {
+        let resp = engine.search(&req, &subjects, 1);
+        if engine.is_exact() {
+            assert_eq!(resp.hits, reference.hits, "{engine} differs from sw");
+        } else {
+            for h in &resp.hits {
+                let subject = subjects[h.seq_index];
+                let rescored = match engine {
+                    Engine::Fasta => {
+                        let idx =
+                            ref_fasta::KtupIndex::build(&q, ref_fasta::FastaParams::default().ktup);
+                        let s = ref_fasta::score_subject(
+                            &idx,
+                            subject,
+                            &inputs.matrix,
+                            inputs.gaps,
+                            &ref_fasta::FastaParams::default(),
+                        );
+                        s.opt.max(s.initn)
+                    }
+                    Engine::Blast => {
+                        let p = ref_blast::BlastParams::default();
+                        let idx = ref_blast::WordIndex::build(&q, &inputs.matrix, p.threshold);
+                        ref_blast::score_subject(&idx, subject, &inputs.matrix, inputs.gaps, &p)
+                    }
+                    _ => unreachable!(),
+                };
+                assert_eq!(
+                    h.score, rescored,
+                    "{engine} hit on subject {} does not rescore",
+                    h.seq_index
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn ranked_results_are_thread_count_invariant() {
+    // The full SearchResponse — hit order, scores, E-values, stats —
+    // must be identical whether the scan ran on 1, 2, or 4 workers.
+    let (inputs, q) = registry_fixture();
+    let subjects: Vec<&[AminoAcid]> = inputs.db.iter().map(|s| s.residues()).collect();
+    let req = SearchRequest {
+        query: &q,
+        matrix: &inputs.matrix,
+        gaps: inputs.gaps,
+        top_k: inputs.keep,
+        min_score: 1,
+    };
+    for engine in Engine::ALL {
+        let serial = engine.search(&req, &subjects, 1);
+        for threads in [2usize, 4] {
+            let mut parallel = engine.search(&req, &subjects, threads);
+            assert_eq!(parallel.stats.threads, threads);
+            parallel.stats.threads = serial.stats.threads;
+            assert_eq!(parallel, serial, "{engine} differs at {threads} threads");
+        }
+    }
 }

@@ -50,7 +50,7 @@ fn measure(identity: f64, seed: u64) -> Recall {
         .collect();
 
     let widx = blast::WordIndex::build(query.residues(), &m, 11);
-    let mut blast_res = blast::search(
+    let blast_res = blast::search(
         &widx,
         slices.iter().copied(),
         &m,
@@ -66,7 +66,7 @@ fn measure(identity: f64, seed: u64) -> Recall {
         .collect();
 
     let kidx = fasta::KtupIndex::build(query.residues(), 2);
-    let mut fasta_res = fasta::search(
+    let fasta_res = fasta::search(
         &kidx,
         slices.iter().copied(),
         &m,
