@@ -43,6 +43,7 @@
 //!     gaps: GapPenalties::paper(),
 //!     top_k: 10,
 //!     min_score: 25,
+//!     deadline: None,
 //! };
 //! let subjects = [subj.residues()];
 //! let engine = Engine::from_name("striped").unwrap();
@@ -94,6 +95,32 @@ pub trait AlignmentEngine: Sync {
     fn rescored(&self, _ws: &Self::Workspace) -> usize {
         0
     }
+
+    /// Deterministic work estimate for scoring `subject`, in DP cells
+    /// (or an equivalent unit), used to resolve a [`Deadline::Cells`]
+    /// budget into an admitted subject prefix. Full-matrix engines
+    /// override this with `query_len × subject_len`; the default is the
+    /// subject length, the right scale for heuristics whose cost is
+    /// dominated by the subject scan.
+    fn cost(&self, subject: &[AminoAcid]) -> u64 {
+        subject.len().max(1) as u64
+    }
+}
+
+/// A latency bound for one ranked scan (see
+/// [`crate::parallel::engine_search_bounded`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Deadline {
+    /// Deterministic budget in engine cost units
+    /// ([`AlignmentEngine::cost`], ≈ DP cells): the scan admits the
+    /// longest subject prefix whose cumulative cost fits and scores
+    /// exactly those subjects — identical output at any thread count.
+    Cells(u64),
+    /// Best-effort wall-clock cutoff: workers stop claiming subjects
+    /// once the duration elapses. Coverage depends on scheduling, so
+    /// results are *not* reproducible; prefer [`Deadline::Cells`]
+    /// anywhere determinism matters.
+    Wall(std::time::Duration),
 }
 
 /// Scalar Smith-Waterman (Gotoh affine gaps) — the rigorous reference.
@@ -126,6 +153,16 @@ impl AlignmentEngine for SwEngine<'_> {
     fn score_one(&self, _ws: &mut Self::Workspace, subject: &[AminoAcid]) -> i32 {
         sw::score(self.query, subject, self.matrix, self.gaps)
     }
+
+    fn cost(&self, subject: &[AminoAcid]) -> u64 {
+        dp_cells(self.query.len(), subject.len())
+    }
+}
+
+/// Full-matrix DP cost: `query_len × subject_len` cells (floored at 1
+/// so empty sequences still make progress against a budget).
+fn dp_cells(query_len: usize, subject_len: usize) -> u64 {
+    (query_len.max(1) as u64) * (subject_len.max(1) as u64)
 }
 
 /// Scalar Smith-Waterman in the SSEARCH *lazy-F* formulation — same
@@ -158,6 +195,10 @@ impl AlignmentEngine for SwLazyEngine<'_> {
 
     fn score_one(&self, _ws: &mut Self::Workspace, subject: &[AminoAcid]) -> i32 {
         sw::score_lazy_f(self.query, subject, self.matrix, self.gaps)
+    }
+
+    fn cost(&self, subject: &[AminoAcid]) -> u64 {
+        dp_cells(self.query.len(), subject.len())
     }
 }
 
@@ -196,6 +237,10 @@ impl<const L: usize> AlignmentEngine for AntiDiagonalEngine<'_, L> {
 
     fn score_one(&self, _ws: &mut Self::Workspace, subject: &[AminoAcid]) -> i32 {
         simd_sw::score::<L>(self.query, subject, self.matrix, self.gaps)
+    }
+
+    fn cost(&self, subject: &[AminoAcid]) -> u64 {
+        dp_cells(self.query.len(), subject.len())
     }
 }
 
@@ -281,6 +326,10 @@ impl<const LB: usize, const LW: usize> AlignmentEngine for StripedEngine<LB, LW>
 
     fn rescored(&self, ws: &Self::Workspace) -> usize {
         ws.rescored
+    }
+
+    fn cost(&self, subject: &[AminoAcid]) -> u64 {
+        dp_cells(self.profile.query_len(), subject.len())
     }
 }
 
@@ -388,6 +437,10 @@ pub struct SearchRequest<'a> {
     pub top_k: usize,
     /// Minimum raw score for a subject to be reported.
     pub min_score: i32,
+    /// Optional latency bound. `None` scans the whole database; with a
+    /// deadline the response may be partial (`completed == false`),
+    /// covering a ranked prefix of the database.
+    pub deadline: Option<Deadline>,
 }
 
 /// One ranked hit with its significance statistics.
@@ -403,16 +456,32 @@ pub struct RankedHit {
     pub evalue: f64,
 }
 
+/// One subject removed from a scan because scoring it panicked.
+///
+/// Quarantine decisions are a function of the data alone, so the same
+/// database and fault produce the same report at any thread count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Quarantined {
+    /// Index of the subject in the searched database.
+    pub index: usize,
+    /// The panic payload, rendered.
+    pub cause: String,
+}
+
 /// Counters from one engine run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct RunStats {
-    /// Subjects scored.
+    /// Subjects attempted (scored or quarantined). Equals the database
+    /// size unless a [`Deadline`] cut the scan short.
     pub subjects: usize,
     /// Subjects re-scored on a higher-precision fallback path (striped
     /// engine's byte-overflow recovery; 0 for other engines).
     pub rescored: usize,
     /// Worker threads requested.
     pub threads: usize,
+    /// Subjects whose scoring panicked, with causes, ascending by
+    /// index; empty on a healthy run.
+    pub quarantined: Vec<Quarantined>,
 }
 
 /// The ranked outcome of a [`SearchRequest`] run through one engine.
@@ -424,6 +493,13 @@ pub struct SearchResponse {
     pub hits: Vec<RankedHit>,
     /// Scan statistics.
     pub stats: RunStats,
+    /// Whether the whole database was attempted; `false` means a
+    /// [`Deadline`] cut the scan short and `hits` rank only the
+    /// covered prefix.
+    pub completed: bool,
+    /// Subjects attempted (scored or quarantined) — the denominator
+    /// for interpreting a partial response.
+    pub coverage: usize,
 }
 
 impl SearchResponse {
@@ -597,11 +673,18 @@ fn respond<E: AlignmentEngine>(
     subjects: &[&[AminoAcid]],
     threads: usize,
 ) -> SearchResponse {
-    let (results, stats) =
-        parallel::engine_search(engine, subjects, threads, req.top_k, req.min_score);
+    let scan = parallel::engine_search_bounded(
+        engine,
+        subjects,
+        threads,
+        req.top_k,
+        req.min_score,
+        req.deadline,
+    );
     let ka = stats::KarlinAltschul::for_gaps(req.gaps);
     let db_residues: usize = subjects.iter().map(|s| s.len()).sum();
-    let hits = results
+    let hits = scan
+        .results
         .hits()
         .iter()
         .map(|h| RankedHit {
@@ -611,10 +694,13 @@ fn respond<E: AlignmentEngine>(
             evalue: ka.evalue(h.score, req.query.len(), db_residues, subjects.len()),
         })
         .collect();
+    let coverage = scan.stats.subjects;
     SearchResponse {
         engine: id,
         hits,
-        stats,
+        stats: scan.stats,
+        completed: scan.completed,
+        coverage,
     }
 }
 
@@ -688,6 +774,7 @@ mod tests {
             gaps: GapPenalties::paper(),
             top_k: db.len(),
             min_score: 1,
+            deadline: None,
         };
         let subjects: Vec<&[AminoAcid]> = db.iter().map(|s| s.residues()).collect();
         let reference = Engine::Sw.search(&req, &subjects, 1);
@@ -708,6 +795,7 @@ mod tests {
             gaps: GapPenalties::paper(),
             top_k: 10,
             min_score: 1,
+            deadline: None,
         };
         let subjects: Vec<&[AminoAcid]> = db.iter().map(|s| s.residues()).collect();
         let resp = Engine::Striped.search(&req, &subjects, 2);
@@ -734,9 +822,116 @@ mod tests {
             gaps: GapPenalties::paper(),
             top_k: 3,
             min_score: 60,
+            deadline: None,
         };
         let resp = Engine::Sw.search(&req, &subjects, 1);
         assert!(resp.hits.len() <= 3);
         assert!(resp.hits.iter().all(|h| h.score >= 60));
+    }
+
+    #[test]
+    fn full_scans_report_completion() {
+        let (query, db) = small_setup();
+        let m = SubstitutionMatrix::blosum62();
+        let subjects: Vec<&[AminoAcid]> = db.iter().map(|s| s.residues()).collect();
+        let req = SearchRequest {
+            query: query.residues(),
+            matrix: &m,
+            gaps: GapPenalties::paper(),
+            top_k: 10,
+            min_score: 1,
+            deadline: None,
+        };
+        let resp = Engine::Striped.search(&req, &subjects, 2);
+        assert!(resp.completed);
+        assert_eq!(resp.coverage, subjects.len());
+        assert!(resp.stats.quarantined.is_empty());
+    }
+
+    #[test]
+    fn cell_budget_yields_deterministic_partial_response() {
+        let (query, db) = small_setup();
+        let m = SubstitutionMatrix::blosum62();
+        let subjects: Vec<&[AminoAcid]> = db.iter().map(|s| s.residues()).collect();
+        // Admit roughly half the database by cumulative DP cost.
+        let total: u64 = subjects
+            .iter()
+            .map(|s| (query.residues().len() * s.len()) as u64)
+            .sum();
+        let req = SearchRequest {
+            query: query.residues(),
+            matrix: &m,
+            gaps: GapPenalties::paper(),
+            top_k: db.len(),
+            min_score: 1,
+            deadline: Some(Deadline::Cells(total / 2)),
+        };
+        let one = Engine::Sw.search(&req, &subjects, 1);
+        assert!(!one.completed);
+        assert!(one.coverage > 0 && one.coverage < subjects.len());
+        // Hits rank exactly the admitted prefix.
+        assert!(one.hits.iter().all(|h| h.seq_index < one.coverage));
+        for threads in [2, 4] {
+            let mut resp = Engine::Sw.search(&req, &subjects, threads);
+            resp.stats.threads = one.stats.threads;
+            assert_eq!(resp, one, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn zero_budget_yields_empty_incomplete_response() {
+        let (query, db) = small_setup();
+        let m = SubstitutionMatrix::blosum62();
+        let subjects: Vec<&[AminoAcid]> = db.iter().map(|s| s.residues()).collect();
+        let req = SearchRequest {
+            query: query.residues(),
+            matrix: &m,
+            gaps: GapPenalties::paper(),
+            top_k: 5,
+            min_score: 1,
+            deadline: Some(Deadline::Cells(0)),
+        };
+        let resp = Engine::Sw.search(&req, &subjects, 2);
+        assert!(!resp.completed);
+        assert_eq!(resp.coverage, 0);
+        assert!(resp.hits.is_empty());
+    }
+
+    #[test]
+    fn wall_deadline_in_the_past_still_returns() {
+        let (query, db) = small_setup();
+        let m = SubstitutionMatrix::blosum62();
+        let subjects: Vec<&[AminoAcid]> = db.iter().map(|s| s.residues()).collect();
+        let req = SearchRequest {
+            query: query.residues(),
+            matrix: &m,
+            gaps: GapPenalties::paper(),
+            top_k: 5,
+            min_score: 1,
+            deadline: Some(Deadline::Wall(std::time::Duration::ZERO)),
+        };
+        let resp = Engine::Sw.search(&req, &subjects, 2);
+        // An already-expired cutoff must degrade, not hang or panic.
+        assert!(resp.coverage <= subjects.len());
+        assert_eq!(resp.completed, resp.coverage == subjects.len());
+    }
+
+    #[test]
+    fn dp_engines_report_dp_costs() {
+        let (query, _) = small_setup();
+        let m = SubstitutionMatrix::blosum62();
+        let g = GapPenalties::paper();
+        let subject = query.residues();
+        let cells = (query.residues().len() * subject.len()) as u64;
+        assert_eq!(SwEngine::new(query.residues(), &m, g).cost(subject), cells);
+        assert_eq!(
+            StripedEngine::<16, 8>::from_query(query.residues(), &m, g).cost(subject),
+            cells
+        );
+        // Heuristics default to subject-linear cost.
+        assert_eq!(
+            BlastEngine::new(query.residues(), &m, g, blast::BlastParams::default()).cost(subject),
+            subject.len() as u64
+        );
     }
 }

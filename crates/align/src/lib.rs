@@ -64,5 +64,8 @@ pub mod striped;
 pub mod sw;
 pub mod xdrop;
 
-pub use engine::{AlignmentEngine, Engine, RankedHit, RunStats, SearchRequest, SearchResponse};
+pub use engine::{
+    AlignmentEngine, Deadline, Engine, Quarantined, RankedHit, RunStats, SearchRequest,
+    SearchResponse,
+};
 pub use result::{Hit, SearchResults, TopK};

@@ -18,12 +18,34 @@
 //!
 //! Both layers share one chunked work-claiming loop; determinism is
 //! enforced by tests that compare thread counts {1, 2, 8}.
+//!
+//! ## Graceful degradation
+//!
+//! The engine layer additionally hardens the loop against two failure
+//! modes a production scan must survive:
+//!
+//! * **Poisoned subjects** — every `score_one` call runs under
+//!   [`std::panic::catch_unwind`]. A panicking subject is *quarantined*
+//!   (its index and panic cause recorded in [`RunStats::quarantined`]),
+//!   the worker discards its possibly-inconsistent workspace and builds
+//!   a fresh one, and the batch completes with every non-faulted
+//!   subject's score bit-identical to a fault-free run. Quarantine
+//!   decisions depend only on the data, so reports are identical at any
+//!   thread count.
+//! * **Unbounded latency** — [`engine_search_bounded`] accepts a
+//!   [`Deadline`]: a deterministic cell budget (resolved serially to an
+//!   admitted subject prefix, so partial results are thread-count
+//!   independent) or a best-effort wall-clock cutoff. Partial scans
+//!   return ranked hits over the subjects actually scored plus an
+//!   explicit `completed = false`.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 use sapa_bioseq::AminoAcid;
 
-use crate::engine::{AlignmentEngine, RunStats};
+use crate::engine::{AlignmentEngine, Deadline, Quarantined, RunStats};
 use crate::result::{Hit, SearchResults, TopK};
 
 /// Subjects claimed per `fetch_add` when the caller does not choose:
@@ -39,6 +61,36 @@ fn auto_chunk(subject_count: usize, threads: usize) -> usize {
     fair.min(DEFAULT_CHUNK)
 }
 
+/// What one worker hands back: scored pairs, quarantined pairs, and
+/// every workspace it used (including ones discarded after a panic, so
+/// per-workspace counters survive and totals stay deterministic).
+struct WorkerYield<W> {
+    scored: Vec<(usize, i32)>,
+    quarantined: Vec<(usize, String)>,
+    workspaces: Vec<W>,
+}
+
+/// What the merged loop hands back to the engine front ends.
+struct ChunkedOutcome<W> {
+    /// Per-subject scores; `None` = quarantined or never attempted
+    /// (wall-clock deadline hit before the subject was claimed).
+    scores: Vec<Option<i32>>,
+    /// Panicking subjects with causes, ascending by index.
+    quarantined: Vec<(usize, String)>,
+    /// Every workspace any worker used.
+    workspaces: Vec<W>,
+}
+
+fn panic_cause(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// The one chunked work-claiming loop behind every parallel front end.
 ///
 /// Spawns up to `threads` scoped workers; each builds one workspace
@@ -47,13 +99,21 @@ fn auto_chunk(subject_count: usize, threads: usize) -> usize {
 /// restores subject order — output is identical no matter how chunks
 /// interleave — and the workspaces are returned so callers can harvest
 /// per-worker statistics.
+///
+/// Every `score_fn` call runs under `catch_unwind`: a panicking subject
+/// is recorded in `quarantined` and its worker replaces the workspace
+/// (the panic may have left it mid-update) while keeping the old one
+/// for counter harvesting. With `wall` set, workers stop claiming new
+/// chunks once the instant passes — a best-effort, non-deterministic
+/// cutoff used only by [`Deadline::Wall`].
 fn chunked_scores<W, M, F>(
     subject_count: usize,
     threads: usize,
     chunk: usize,
+    wall: Option<Instant>,
     make_ws: M,
     score_fn: F,
-) -> (Vec<i32>, Vec<W>)
+) -> ChunkedOutcome<W>
 where
     W: Send,
     M: Fn() -> W + Sync,
@@ -61,14 +121,18 @@ where
 {
     assert!(threads > 0, "need at least one thread");
     assert!(chunk > 0, "need a positive chunk size");
-    let mut scores = vec![0i32; subject_count];
+    let scores: Vec<Option<i32>> = vec![None; subject_count];
     if subject_count == 0 {
-        return (scores, Vec::new());
+        return ChunkedOutcome {
+            scores,
+            quarantined: Vec::new(),
+            workspaces: Vec::new(),
+        };
     }
     let threads = threads.min(subject_count.div_ceil(chunk));
     let cursor = AtomicUsize::new(0);
 
-    let mut partials: Vec<(Vec<(usize, i32)>, W)> = Vec::new();
+    let mut partials: Vec<WorkerYield<W>> = Vec::new();
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
         for _ in 0..threads {
@@ -78,32 +142,55 @@ where
             handles.push(scope.spawn(move || {
                 // Reused across every subject this worker scores.
                 let mut ws = make_ws();
-                let mut local = Vec::new();
+                let mut local = WorkerYield {
+                    scored: Vec::new(),
+                    quarantined: Vec::new(),
+                    workspaces: Vec::new(),
+                };
                 loop {
+                    if wall.is_some_and(|w| Instant::now() >= w) {
+                        break;
+                    }
                     let start = cursor.fetch_add(chunk, Ordering::Relaxed);
                     if start >= subject_count {
                         break;
                     }
                     let end = (start + chunk).min(subject_count);
                     for i in start..end {
-                        local.push((i, score_fn(&mut ws, i)));
+                        match catch_unwind(AssertUnwindSafe(|| score_fn(&mut ws, i))) {
+                            Ok(s) => local.scored.push((i, s)),
+                            Err(payload) => {
+                                local.quarantined.push((i, panic_cause(payload)));
+                                // The unwound workspace may be mid-update;
+                                // retire it (counters intact) and continue
+                                // on a fresh one.
+                                local.workspaces.push(std::mem::replace(&mut ws, make_ws()));
+                            }
+                        }
                     }
                 }
-                (local, ws)
+                local.workspaces.push(ws);
+                local
             }));
         }
         for h in handles {
             partials.push(h.join().expect("worker panicked"));
         }
     });
-    let mut workspaces = Vec::with_capacity(partials.len());
-    for (part, ws) in partials {
-        for (i, s) in part {
-            scores[i] = s;
+    let mut out = ChunkedOutcome {
+        scores,
+        quarantined: Vec::new(),
+        workspaces: Vec::new(),
+    };
+    for part in partials {
+        for (i, s) in part.scored {
+            out.scores[i] = Some(s);
         }
-        workspaces.push(ws);
+        out.quarantined.extend(part.quarantined);
+        out.workspaces.extend(part.workspaces);
     }
-    (scores, workspaces)
+    out.quarantined.sort_by_key(|&(i, _)| i);
+    out
 }
 
 /// Scores every subject with `score_fn` using `threads` worker
@@ -141,7 +228,23 @@ pub fn par_scores_chunked<F>(
 where
     F: Fn(usize) -> i32 + Sync,
 {
-    chunked_scores(subject_count, threads, chunk, || (), |_, i| score_fn(i)).0
+    let out = chunked_scores(
+        subject_count,
+        threads,
+        chunk,
+        None,
+        || (),
+        |_, i| score_fn(i),
+    );
+    // This raw layer documents panic propagation; quarantine is the
+    // engine layer's contract.
+    if let Some((i, cause)) = out.quarantined.first() {
+        panic!("score_fn panicked on subject {i}: {cause}");
+    }
+    out.scores
+        .into_iter()
+        .map(|s| s.expect("no deadline: every subject scored"))
+        .collect()
 }
 
 /// Parallel ranked search: scores every subject with `score_fn` on
@@ -175,6 +278,11 @@ fn collect_hits(scores: Vec<i32>, keep: usize, min_score: i32) -> SearchResults 
     results.finish()
 }
 
+/// Sentinel stored in an [`engine_scores`] slot whose subject was
+/// quarantined (its engine call panicked). The matching index/cause
+/// pair is in [`RunStats::quarantined`].
+pub const QUARANTINED_SCORE: i32 = i32::MIN;
+
 /// Scores every subject through `engine` on `threads` worker threads.
 ///
 /// This is the database-search hot path for every backend: workers
@@ -185,29 +293,48 @@ fn collect_hits(scores: Vec<i32>, keep: usize, min_score: i32) -> SearchResults 
 /// the striped engine's byte-overflow rescores) are summed into the
 /// returned [`RunStats`].
 ///
+/// A subject whose engine call panics does not abort the batch: its
+/// slot holds [`QUARANTINED_SCORE`] and [`RunStats::quarantined`]
+/// records the index and cause. All surviving scores are bit-identical
+/// to a run without the faulting subjects.
+///
 /// # Panics
 ///
-/// Panics if `threads` is 0, or propagates a panic from the engine.
+/// Panics if `threads` is 0.
 pub fn engine_scores<E: AlignmentEngine>(
     engine: &E,
     subjects: &[&[AminoAcid]],
     threads: usize,
 ) -> (Vec<i32>, RunStats) {
     let chunk = auto_chunk(subjects.len(), threads.max(1));
-    let (scores, workspaces) = chunked_scores(
+    let out = chunked_scores(
         subjects.len(),
         threads,
         chunk,
+        None,
         || engine.workspace(),
         |ws, i| engine.score_one(ws, subjects[i]),
     );
-    let rescored = workspaces.iter().map(|ws| engine.rescored(ws)).sum();
+    let rescored = out.workspaces.iter().map(|ws| engine.rescored(ws)).sum();
     let stats = RunStats {
         subjects: subjects.len(),
         rescored,
         threads,
+        quarantined: quarantine_report(out.quarantined),
     };
+    let scores = out
+        .scores
+        .into_iter()
+        .map(|s| s.unwrap_or(QUARANTINED_SCORE))
+        .collect();
     (scores, stats)
+}
+
+fn quarantine_report(pairs: Vec<(usize, String)>) -> Vec<Quarantined> {
+    pairs
+        .into_iter()
+        .map(|(index, cause)| Quarantined { index, cause })
+        .collect()
 }
 
 /// Ranked parallel search through any [`AlignmentEngine`]: the best
@@ -216,6 +343,8 @@ pub fn engine_scores<E: AlignmentEngine>(
 ///
 /// Hit ordering is deterministic and thread-count independent:
 /// descending score, ties broken by ascending subject index.
+/// Quarantined subjects (see [`engine_scores`]) never appear among the
+/// hits.
 ///
 /// # Panics
 ///
@@ -227,8 +356,94 @@ pub fn engine_search<E: AlignmentEngine>(
     keep: usize,
     min_score: i32,
 ) -> (SearchResults, RunStats) {
-    let (scores, stats) = engine_scores(engine, subjects, threads);
-    (collect_hits(scores, keep, min_score), stats)
+    let scan = engine_search_bounded(engine, subjects, threads, keep, min_score, None);
+    (scan.results, scan.stats)
+}
+
+/// The outcome of a (possibly deadline-bounded) ranked scan.
+#[derive(Debug, Clone)]
+pub struct BoundedScan {
+    /// Ranked hits over the subjects actually scored.
+    pub results: SearchResults,
+    /// Scan statistics; `stats.subjects` counts subjects *attempted*
+    /// (scored or quarantined), not the database size.
+    pub stats: RunStats,
+    /// Whether every subject in the database was attempted.
+    pub completed: bool,
+}
+
+/// [`engine_search`] with graceful degradation under a [`Deadline`].
+///
+/// * `Deadline::Cells(budget)` — deterministic: the admitted subject
+///   prefix is resolved serially up front (cumulative
+///   [`AlignmentEngine::cost`] ≤ budget), so hits, coverage and the
+///   `completed` flag are identical at any thread count.
+/// * `Deadline::Wall(d)` — best-effort: workers stop claiming work once
+///   the cutoff passes. Coverage then depends on scheduling; only use
+///   this when latency matters more than reproducibility.
+///
+/// Ranked hits cover exactly the attempted, non-quarantined subjects.
+///
+/// # Panics
+///
+/// Panics if `threads` or `keep` is 0.
+pub fn engine_search_bounded<E: AlignmentEngine>(
+    engine: &E,
+    subjects: &[&[AminoAcid]],
+    threads: usize,
+    keep: usize,
+    min_score: i32,
+    deadline: Option<Deadline>,
+) -> BoundedScan {
+    let (admitted, wall) = match deadline {
+        None => (subjects.len(), None),
+        Some(Deadline::Cells(budget)) => {
+            let mut spent = 0u64;
+            let mut k = 0;
+            for s in subjects {
+                spent = spent.saturating_add(engine.cost(s));
+                if spent > budget {
+                    break;
+                }
+                k += 1;
+            }
+            (k, None)
+        }
+        Some(Deadline::Wall(d)) => (subjects.len(), Some(Instant::now() + d)),
+    };
+
+    let chunk = auto_chunk(admitted, threads.max(1));
+    let out = chunked_scores(
+        admitted,
+        threads,
+        chunk,
+        wall,
+        || engine.workspace(),
+        |ws, i| engine.score_one(ws, subjects[i]),
+    );
+
+    let mut results = TopK::new(keep);
+    let mut scored = 0usize;
+    for (seq_index, slot) in out.scores.iter().enumerate() {
+        if let Some(score) = *slot {
+            scored += 1;
+            if score >= min_score {
+                results.push(Hit { seq_index, score });
+            }
+        }
+    }
+    let attempted = scored + out.quarantined.len();
+    let stats = RunStats {
+        subjects: attempted,
+        rescored: out.workspaces.iter().map(|ws| engine.rescored(ws)).sum(),
+        threads,
+        quarantined: quarantine_report(out.quarantined),
+    };
+    BoundedScan {
+        results: results.finish(),
+        stats,
+        completed: attempted == subjects.len(),
+    }
 }
 
 #[cfg(test)]
@@ -436,6 +651,116 @@ mod tests {
         let (a, _) = engine_scores(&e128, &slices, 3);
         let (b, _) = engine_scores(&e256, &slices, 3);
         assert_eq!(a, b);
+    }
+
+    /// Panics on any subject whose length is a multiple of `stride`;
+    /// otherwise scores the subject's length. The workspace counts
+    /// successful scores so counter-harvesting survives quarantine.
+    struct FlakyEngine {
+        stride: usize,
+    }
+
+    impl AlignmentEngine for FlakyEngine {
+        type Workspace = usize;
+
+        fn name(&self) -> &'static str {
+            "flaky"
+        }
+
+        fn workspace(&self) -> usize {
+            0
+        }
+
+        fn score_one(&self, ws: &mut usize, subject: &[sapa_bioseq::AminoAcid]) -> i32 {
+            assert!(
+                !subject.len().is_multiple_of(self.stride),
+                "injected fault: subject len {}",
+                subject.len()
+            );
+            *ws += 1;
+            subject.len() as i32
+        }
+
+        fn rescored(&self, ws: &usize) -> usize {
+            *ws
+        }
+    }
+
+    fn subjects_of_lengths(lens: &[usize]) -> Vec<Vec<sapa_bioseq::AminoAcid>> {
+        let aa = sapa_bioseq::AminoAcid::ALL[0];
+        lens.iter().map(|&n| vec![aa; n]).collect()
+    }
+
+    #[test]
+    fn panicking_subjects_are_quarantined_not_fatal() {
+        let owned = subjects_of_lengths(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12]);
+        let slices: Vec<&[sapa_bioseq::AminoAcid]> = owned.iter().map(|s| &s[..]).collect();
+        let engine = FlakyEngine { stride: 4 };
+
+        let (scores, stats) = engine_scores(&engine, &slices, 2);
+        assert_eq!(stats.subjects, slices.len());
+        // Lengths 4, 8, 12 (indices 3, 7, 11) fault.
+        let faulted: Vec<usize> = stats.quarantined.iter().map(|q| q.index).collect();
+        assert_eq!(faulted, vec![3, 7, 11]);
+        for q in &stats.quarantined {
+            assert!(q.cause.contains("injected fault"), "cause: {}", q.cause);
+        }
+        for (i, &s) in scores.iter().enumerate() {
+            if faulted.contains(&i) {
+                assert_eq!(s, QUARANTINED_SCORE);
+            } else {
+                assert_eq!(s, slices[i].len() as i32);
+            }
+        }
+        // Successful-score counters survive workspace replacement.
+        assert_eq!(stats.rescored, slices.len() - faulted.len());
+    }
+
+    #[test]
+    fn quarantine_reports_are_thread_count_invariant() {
+        let lens: Vec<usize> = (1..=60).collect();
+        let owned = subjects_of_lengths(&lens);
+        let slices: Vec<&[sapa_bioseq::AminoAcid]> = owned.iter().map(|s| &s[..]).collect();
+        let engine = FlakyEngine { stride: 7 };
+
+        let (scores1, mut stats1) = engine_scores(&engine, &slices, 1);
+        for threads in [2, 4] {
+            let (scores, mut stats) = engine_scores(&engine, &slices, threads);
+            assert_eq!(scores, scores1, "threads={threads}");
+            stats.threads = 0;
+            stats1.threads = 0;
+            assert_eq!(stats, stats1, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn quarantined_subjects_never_rank() {
+        let owned = subjects_of_lengths(&[5, 10, 15]);
+        let slices: Vec<&[sapa_bioseq::AminoAcid]> = owned.iter().map(|s| &s[..]).collect();
+        let engine = FlakyEngine { stride: 10 };
+        // min_score of i32::MIN would admit the sentinel if the filter
+        // relied on score comparison alone.
+        let (results, stats) = engine_search(&engine, &slices, 2, 3, i32::MIN);
+        assert_eq!(stats.quarantined.len(), 1);
+        assert_eq!(stats.quarantined[0].index, 1);
+        let ranked: Vec<usize> = results.hits().iter().map(|h| h.seq_index).collect();
+        assert_eq!(ranked, vec![2, 0]);
+    }
+
+    #[test]
+    fn cell_budget_prefix_is_serial_and_exact() {
+        let owned = subjects_of_lengths(&[10, 20, 30, 40]);
+        let slices: Vec<&[sapa_bioseq::AminoAcid]> = owned.iter().map(|s| &s[..]).collect();
+        let engine = FlakyEngine { stride: usize::MAX };
+        // Default engine cost = subject length: 10+20+30 = 60 fits, 100 doesn't.
+        let scan = engine_search_bounded(&engine, &slices, 2, 10, 0, Some(Deadline::Cells(60)));
+        assert!(!scan.completed);
+        assert_eq!(scan.stats.subjects, 3);
+        assert_eq!(scan.results.hits().len(), 3);
+        // Exactly at the total admits everything.
+        let scan = engine_search_bounded(&engine, &slices, 2, 10, 0, Some(Deadline::Cells(100)));
+        assert!(scan.completed);
+        assert_eq!(scan.stats.subjects, 4);
     }
 
     #[test]

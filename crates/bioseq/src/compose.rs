@@ -50,6 +50,18 @@ pub fn swissprot_cdf() -> [f64; AminoAcid::STANDARD_COUNT] {
     cdf
 }
 
+/// Draws one standard residue from a background `cdf` (as produced by
+/// [`swissprot_cdf`]) given a uniform variate `u` in `[0, 1)`.
+///
+/// Panic-free by construction: the sampled index is clamped into the
+/// standard alphabet, so a malformed CDF (too long, not reaching 1.0)
+/// degrades to a biased draw instead of a crash in the generator hot
+/// loop.
+pub fn sample_residue(cdf: &[f64], u: f64) -> AminoAcid {
+    let idx = crate::rng::sample_cdf(cdf, u).min(AminoAcid::STANDARD_COUNT - 1);
+    AminoAcid::ALL[idx]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -19,8 +19,8 @@
 //! Generation is fully deterministic in the seed.
 
 use crate::alphabet::AminoAcid;
-use crate::compose::swissprot_cdf;
-use crate::rng::{sample_cdf, Xoshiro256};
+use crate::compose::{sample_residue, swissprot_cdf};
+use crate::rng::Xoshiro256;
 use crate::seq::Sequence;
 
 /// A generated protein database.
@@ -257,10 +257,7 @@ impl Default for DatabaseBuilder {
 
 fn random_residues(rng: &mut Xoshiro256, cdf: &[f64], len: usize) -> Vec<AminoAcid> {
     (0..len)
-        .map(|_| {
-            let idx = sample_cdf(cdf, rng.next_f64());
-            AminoAcid::from_index(idx).expect("cdf index in range")
-        })
+        .map(|_| sample_residue(cdf, rng.next_f64()))
         .collect()
 }
 
@@ -287,8 +284,7 @@ fn mutate(
             } else {
                 // insertion: add `len` background residues
                 for _ in 0..len {
-                    let idx = sample_cdf(cdf, rng.next_f64());
-                    out.push(AminoAcid::from_index(idx).expect("in range"));
+                    out.push(sample_residue(cdf, rng.next_f64()));
                 }
             }
             continue;
@@ -296,8 +292,7 @@ fn mutate(
         if rng.next_f64() < identity {
             out.push(template[i]);
         } else {
-            let idx = sample_cdf(cdf, rng.next_f64());
-            out.push(AminoAcid::from_index(idx).expect("in range"));
+            out.push(sample_residue(cdf, rng.next_f64()));
         }
         i += 1;
     }

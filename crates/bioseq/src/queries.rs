@@ -11,8 +11,8 @@
 //! The paper reports results only for the *Glutathione S-transferase*
 //! query (222 residues); that is also this suite's default.
 
-use crate::compose::swissprot_cdf;
-use crate::rng::{sample_cdf, Xoshiro256};
+use crate::compose::{sample_residue, swissprot_cdf};
+use crate::rng::Xoshiro256;
 use crate::seq::Sequence;
 use crate::AminoAcid;
 
@@ -124,6 +124,9 @@ impl QuerySet {
     /// The paper's reporting default: the Glutathione S-transferase
     /// stand-in (222 residues).
     pub fn default_query(&self) -> &Sequence {
+        // Not reachable from user input: P14942 is a row of the static
+        // PAPER_QUERIES table this set was built from, so the lookup
+        // can only fail if the table itself is edited incorrectly.
         self.by_accession("P14942").expect("GST query present")
     }
 }
@@ -138,10 +141,7 @@ fn synth_query(info: &QueryInfo) -> Sequence {
     let mut rng = Xoshiro256::new(seed);
     let cdf = swissprot_cdf();
     let residues: Vec<AminoAcid> = (0..info.length)
-        .map(|_| {
-            let idx = sample_cdf(&cdf, rng.next_f64());
-            AminoAcid::from_index(idx).expect("cdf index in range")
-        })
+        .map(|_| sample_residue(&cdf, rng.next_f64()))
         .collect();
     Sequence::new(
         info.accession,

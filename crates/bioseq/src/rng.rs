@@ -104,9 +104,12 @@ impl Xoshiro256 {
 /// `cdf` must be non-decreasing with `cdf.last() ≈ 1.0`. Returns the
 /// smallest `i` with `u < cdf[i]`, clamped to the final index.
 pub fn sample_cdf(cdf: &[f64], u: f64) -> usize {
-    match cdf.binary_search_by(|p| p.partial_cmp(&u).expect("NaN in cdf")) {
-        Ok(i) => (i + 1).min(cdf.len() - 1),
-        Err(i) => i.min(cdf.len() - 1),
+    // total_cmp gives NaN a defined order instead of panicking, so a
+    // degenerate table yields a (deterministic) biased sample rather
+    // than taking down a worker mid-scan.
+    match cdf.binary_search_by(|p| p.total_cmp(&u)) {
+        Ok(i) => (i + 1).min(cdf.len().saturating_sub(1)),
+        Err(i) => i.min(cdf.len().saturating_sub(1)),
     }
 }
 

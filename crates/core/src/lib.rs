@@ -66,6 +66,8 @@ pub use sapa_workloads as workloads;
 /// The cycle-accurate simulator (re-export of `sapa-cpu`).
 pub use sapa_cpu as cpu;
 
+pub mod fault;
+
 #[cfg(test)]
 mod tests {
     #[test]

@@ -51,5 +51,5 @@ pub mod trauma;
 pub use config::SimConfig;
 pub use pipeline::Simulator;
 pub use stats::SimReport;
-pub use sweep::{run_jobs, SweepJob};
+pub use sweep::{run_jobs, run_jobs_isolated, JobFailure, SweepJob};
 pub use trauma::Trauma;

@@ -17,7 +17,7 @@
 use std::collections::VecDeque;
 
 use sapa_isa::inst::{Inst, OpClass};
-use sapa_isa::packed::{PackedReader, PackedTrace};
+use sapa_isa::packed::{PackedReader, PackedTrace, TraceError};
 use sapa_isa::reg::RegFile;
 use sapa_isa::trace::Trace;
 
@@ -119,6 +119,29 @@ impl Simulator {
     /// Same watchdog as [`Simulator::run`].
     pub fn run_packed(&self, trace: &PackedTrace) -> SimReport {
         Engine::new(&self.cfg, trace.len(), PackedSource::new(trace)).run()
+    }
+
+    /// [`Simulator::run_packed`] hardened against corrupted or malformed
+    /// traces: the trace is validated before replay — stream structure
+    /// and checksum via [`PackedTrace::check`], then architectural
+    /// invariants via [`sapa_isa::validate`] — so untrusted bytes yield
+    /// a typed [`TraceError`] instead of a panic deep inside the decode
+    /// or replay loop.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError`] describing the first structural problem, checksum
+    /// mismatch, or invariant violation.
+    pub fn try_run_packed(&self, trace: &PackedTrace) -> Result<SimReport, TraceError> {
+        trace.check()?;
+        let violations = sapa_isa::validate::validate_iter(trace.iter(), 8);
+        if let Some(first) = violations.first() {
+            return Err(TraceError::Invariant {
+                first: first.to_string(),
+                violations: violations.len(),
+            });
+        }
+        Ok(self.run_packed(trace))
     }
 }
 

@@ -42,6 +42,50 @@ impl SweepJob {
     fn run(&self) -> SimReport {
         Simulator::new(self.config.clone()).run_packed(&self.trace)
     }
+
+    /// Panic-isolated, validated run: the trace is checked
+    /// ([`Simulator::try_run_packed`]) and any panic from an invalid
+    /// configuration or a simulator bug is caught and converted into a
+    /// [`JobFailure`], so one poisoned grid point cannot abort a sweep.
+    pub fn try_run(&self) -> Result<SimReport, JobFailure> {
+        let job = std::panic::AssertUnwindSafe(self);
+        match std::panic::catch_unwind(move || {
+            Simulator::new(job.config.clone()).try_run_packed(&job.trace)
+        }) {
+            Ok(Ok(report)) => Ok(report),
+            Ok(Err(e)) => Err(JobFailure {
+                cause: format!("trace error: {e}"),
+            }),
+            Err(payload) => Err(JobFailure {
+                cause: panic_cause(payload),
+            }),
+        }
+    }
+}
+
+/// Why one sweep job produced no report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobFailure {
+    /// Human-readable cause: a rendered `TraceError` or panic payload.
+    pub cause: String,
+}
+
+impl std::fmt::Display for JobFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.cause)
+    }
+}
+
+impl std::error::Error for JobFailure {}
+
+fn panic_cause(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// Runs every job and returns the reports in job order.
@@ -94,6 +138,52 @@ pub fn run_jobs(jobs: &[SweepJob], threads: usize) -> Vec<SimReport> {
         }
     }
     reports
+        .into_iter()
+        .map(|r| r.expect("every job index claimed exactly once"))
+        .collect()
+}
+
+/// [`run_jobs`] with per-job fault isolation: every job yields either a
+/// report or a [`JobFailure`], in job order, and one corrupted trace or
+/// panicking simulation never takes down the rest of the grid. Results
+/// are identical for any thread count, failures included.
+pub fn run_jobs_isolated(jobs: &[SweepJob], threads: usize) -> Vec<Result<SimReport, JobFailure>> {
+    let threads = threads.max(1).min(jobs.len());
+    if threads <= 1 {
+        return jobs.iter().map(SweepJob::try_run).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let mut partials: Vec<Vec<(usize, Result<SimReport, JobFailure>)>> =
+        Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let cursor = &cursor;
+            handles.push(scope.spawn(move || {
+                let mut local = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= jobs.len() {
+                        break;
+                    }
+                    local.push((i, jobs[i].try_run()));
+                }
+                local
+            }));
+        }
+        for h in handles {
+            partials.push(h.join().expect("sweep worker panicked"));
+        }
+    });
+
+    let mut outcomes: Vec<Option<Result<SimReport, JobFailure>>> = vec![None; jobs.len()];
+    for part in partials {
+        for (i, r) in part {
+            outcomes[i] = Some(r);
+        }
+    }
+    outcomes
         .into_iter()
         .map(|r| r.expect("every job index claimed exactly once"))
         .collect()
@@ -174,6 +264,55 @@ mod tests {
     #[test]
     fn empty_job_list_returns_empty() {
         assert!(run_jobs(&[], 8).is_empty());
+    }
+
+    #[test]
+    fn isolated_run_matches_plain_run_on_clean_jobs() {
+        let trace = test_trace();
+        let jobs = grid(&trace);
+        let plain = run_jobs(&jobs, 2);
+        let isolated = run_jobs_isolated(&jobs, 2);
+        for (p, i) in plain.iter().zip(&isolated) {
+            assert_eq!(Ok(p), i.as_ref());
+        }
+    }
+
+    #[test]
+    fn one_corrupted_trace_fails_alone() {
+        let trace = test_trace();
+        let bad = Arc::new(trace.with_corrupted_byte(37, 0xA5));
+        let mut jobs = grid(&trace);
+        jobs.insert(2, SweepJob::new(bad, SimConfig::four_way()));
+        for threads in [1, 2, 4] {
+            let outcomes = run_jobs_isolated(&jobs, threads);
+            assert_eq!(outcomes.len(), jobs.len());
+            for (i, o) in outcomes.iter().enumerate() {
+                if i == 2 {
+                    let failure = o.as_ref().unwrap_err();
+                    assert!(failure.cause.contains("trace error"), "{failure}");
+                } else {
+                    assert!(o.is_ok(), "job {i} should have survived");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_configuration_is_isolated_too() {
+        let trace = test_trace();
+        let mut broken = SimConfig::four_way();
+        broken.cpu.fetch_width = 0; // fails SimConfig::validate -> Simulator::new panics
+        let jobs = vec![
+            SweepJob::new(Arc::clone(&trace), SimConfig::four_way()),
+            SweepJob::new(Arc::clone(&trace), broken),
+        ];
+        let outcomes = run_jobs_isolated(&jobs, 2);
+        assert!(outcomes[0].is_ok());
+        let failure = outcomes[1].as_ref().unwrap_err();
+        assert!(
+            failure.cause.contains("invalid simulator configuration"),
+            "{failure}"
+        );
     }
 
     #[test]

@@ -25,6 +25,21 @@
 //! pattern of trace-driven simulation. Typical traces shrink ~2–2.5×,
 //! which matters when many simulator configurations replay the same
 //! trace concurrently and share memory bandwidth.
+//!
+//! ## Hardened decoding
+//!
+//! The sequential decoder trusts its streams for speed, so a corrupted
+//! buffer (bit rot, a buggy producer, deliberate fault injection) could
+//! otherwise panic deep inside a replay. Every trace therefore carries
+//! a checksum computed at pack time, and [`PackedTrace::check`] verifies
+//! both the structural invariants (op classes decodable, register ids in
+//! range, side streams consumed exactly) and the checksum, returning a
+//! typed [`TraceError`] instead of panicking. Consumers that may face
+//! untrusted bytes run `check()` first — see
+//! `sapa_cpu::Simulator::try_run_packed` — after which the trusting
+//! decoder is guaranteed panic-free. [`PackedTrace::with_corrupted_byte`]
+//! is the matching fault-injection hook: it flips stream bytes while
+//! keeping the stored checksum, exactly what a corruption looks like.
 
 use crate::inst::{Inst, OpClass};
 use crate::reg::{self, Reg};
@@ -57,13 +72,22 @@ const NSRCS_SHIFT: u16 = 14;
 /// assert_eq!(packed.to_trace(), trace);
 /// assert!(packed.heap_bytes() < trace.len() * std::mem::size_of::<sapa_isa::Inst>());
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PackedTrace {
     meta: Vec<u16>,
     site: Vec<u16>,
     wide_pc: Vec<u32>,
     ea: Vec<u32>,
     regs: Vec<u8>,
+    /// FNV-1a over all streams, fixed at pack time; [`PackedTrace::check`]
+    /// recomputes and compares.
+    checksum: u64,
+}
+
+impl Default for PackedTrace {
+    fn default() -> Self {
+        PackedTrace::from_insts(&[])
+    }
 }
 
 impl PackedTrace {
@@ -75,6 +99,7 @@ impl PackedTrace {
             wide_pc: Vec::new(),
             ea: Vec::new(),
             regs: Vec::new(),
+            checksum: 0,
         };
         for inst in insts {
             // Trailing NONE sources are dropped; interior NONEs (legal
@@ -107,6 +132,7 @@ impl PackedTrace {
                 p.wide_pc.push(inst.pc);
             }
         }
+        p.checksum = p.compute_checksum();
         p
     }
 
@@ -153,7 +179,270 @@ impl PackedTrace {
             + self.ea.len() * 4
             + self.regs.len()
     }
+
+    /// The stream checksum stored at pack time.
+    pub fn checksum(&self) -> u64 {
+        self.checksum
+    }
+
+    /// FNV-1a over every stream, with each stream's length mixed in
+    /// first so bytes cannot silently migrate across stream boundaries.
+    /// xor-then-multiply-by-an-odd-prime is a bijection on `u64`, so any
+    /// single corrupted byte is guaranteed to change the digest.
+    fn compute_checksum(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        fn eat(h: &mut u64, bytes: &[u8]) {
+            for &b in bytes {
+                *h = (*h ^ u64::from(b)).wrapping_mul(PRIME);
+            }
+        }
+        let mut h = OFFSET;
+        eat(&mut h, &(self.meta.len() as u64).to_le_bytes());
+        for &m in &self.meta {
+            eat(&mut h, &m.to_le_bytes());
+        }
+        eat(&mut h, &(self.site.len() as u64).to_le_bytes());
+        for &s in &self.site {
+            eat(&mut h, &s.to_le_bytes());
+        }
+        eat(&mut h, &(self.wide_pc.len() as u64).to_le_bytes());
+        for &w in &self.wide_pc {
+            eat(&mut h, &w.to_le_bytes());
+        }
+        eat(&mut h, &(self.ea.len() as u64).to_le_bytes());
+        for &e in &self.ea {
+            eat(&mut h, &e.to_le_bytes());
+        }
+        eat(&mut h, &(self.regs.len() as u64).to_le_bytes());
+        eat(&mut h, &self.regs);
+        h
+    }
+
+    /// Validates the trace against decode-safety invariants and the
+    /// stored checksum, returning the first problem found.
+    ///
+    /// A trace that passes is guaranteed to decode through
+    /// [`PackedTrace::iter`] / [`PackedReader`] without panicking: every
+    /// op nibble maps to an [`OpClass`], every register byte is a legal
+    /// id, and the sparse side streams are consumed exactly. Structural
+    /// problems are reported in preference to the (catch-all) checksum
+    /// mismatch so the error pinpoints the corrupted record when it can.
+    pub fn check(&self) -> Result<(), TraceError> {
+        if self.site.len() != self.meta.len() {
+            return Err(TraceError::StreamMismatch {
+                stream: "site",
+                have: self.site.len(),
+                want: self.meta.len(),
+            });
+        }
+        let (mut wide, mut ea, mut regs) = (0usize, 0usize, 0usize);
+        for (index, &m) in self.meta.iter().enumerate() {
+            let op = (m & OP_BITS) as usize;
+            if OpClass::from_index(op).is_none() {
+                return Err(TraceError::BadOpClass {
+                    index,
+                    op: op as u8,
+                });
+            }
+            if self.site[index] == WIDE_PC {
+                if wide == self.wide_pc.len() {
+                    return Err(TraceError::StreamOverrun {
+                        index,
+                        stream: "wide_pc",
+                    });
+                }
+                wide += 1;
+            }
+            if m & HAS_EA != 0 {
+                if ea == self.ea.len() {
+                    return Err(TraceError::StreamOverrun {
+                        index,
+                        stream: "ea",
+                    });
+                }
+                ea += 1;
+            }
+            let need = usize::from(m & HAS_DST != 0) + (m >> NSRCS_SHIFT) as usize;
+            for _ in 0..need {
+                match self.regs.get(regs) {
+                    None => {
+                        return Err(TraceError::StreamOverrun {
+                            index,
+                            stream: "regs",
+                        })
+                    }
+                    Some(&id) if id != Reg::NONE.id() && usize::from(id) >= Reg::COUNT => {
+                        return Err(TraceError::BadRegister { index, id });
+                    }
+                    Some(_) => regs += 1,
+                }
+            }
+        }
+        if wide != self.wide_pc.len() {
+            return Err(TraceError::StreamMismatch {
+                stream: "wide_pc",
+                have: self.wide_pc.len(),
+                want: wide,
+            });
+        }
+        if ea != self.ea.len() {
+            return Err(TraceError::StreamMismatch {
+                stream: "ea",
+                have: self.ea.len(),
+                want: ea,
+            });
+        }
+        if regs != self.regs.len() {
+            return Err(TraceError::StreamMismatch {
+                stream: "regs",
+                have: self.regs.len(),
+                want: regs,
+            });
+        }
+        let computed = self.compute_checksum();
+        if computed != self.checksum {
+            return Err(TraceError::ChecksumMismatch {
+                stored: self.checksum,
+                computed,
+            });
+        }
+        Ok(())
+    }
+
+    /// A copy with one stream byte xored by `xor` — the fault-injection
+    /// primitive behind the chaos suite and the corruption fuzz loop.
+    ///
+    /// `offset` indexes the concatenation of the streams in declaration
+    /// order (`meta`, `site`, `wide_pc`, `ea`, `regs`, little-endian
+    /// within each element) and wraps modulo [`PackedTrace::heap_bytes`].
+    /// The stored checksum is deliberately left at its pack-time value,
+    /// exactly as real bit rot would, so [`PackedTrace::check`] on the
+    /// result fails whenever `xor != 0`.
+    pub fn with_corrupted_byte(&self, offset: usize, xor: u8) -> PackedTrace {
+        let mut t = self.clone();
+        let total = t.heap_bytes();
+        if total == 0 {
+            return t;
+        }
+        let mut o = offset % total;
+        fn flip16(v: &mut [u16], o: usize, xor: u8) {
+            let mut b = v[o / 2].to_le_bytes();
+            b[o % 2] ^= xor;
+            v[o / 2] = u16::from_le_bytes(b);
+        }
+        fn flip32(v: &mut [u32], o: usize, xor: u8) {
+            let mut b = v[o / 4].to_le_bytes();
+            b[o % 4] ^= xor;
+            v[o / 4] = u32::from_le_bytes(b);
+        }
+        if o < t.meta.len() * 2 {
+            flip16(&mut t.meta, o, xor);
+            return t;
+        }
+        o -= t.meta.len() * 2;
+        if o < t.site.len() * 2 {
+            flip16(&mut t.site, o, xor);
+            return t;
+        }
+        o -= t.site.len() * 2;
+        if o < t.wide_pc.len() * 4 {
+            flip32(&mut t.wide_pc, o, xor);
+            return t;
+        }
+        o -= t.wide_pc.len() * 4;
+        if o < t.ea.len() * 4 {
+            flip32(&mut t.ea, o, xor);
+            return t;
+        }
+        o -= t.ea.len() * 4;
+        t.regs[o] ^= xor;
+        t
+    }
 }
+
+/// Why a [`PackedTrace`] failed [`PackedTrace::check`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TraceError {
+    /// The recomputed stream digest disagrees with the stored one.
+    ChecksumMismatch {
+        /// Digest recorded at pack time.
+        stored: u64,
+        /// Digest of the streams as they are now.
+        computed: u64,
+    },
+    /// An op nibble does not map to any [`OpClass`].
+    BadOpClass {
+        /// Instruction index.
+        index: usize,
+        /// The undecodable op value (12..=15).
+        op: u8,
+    },
+    /// A register byte is outside the architected id space.
+    BadRegister {
+        /// Instruction index.
+        index: usize,
+        /// The out-of-range register id.
+        id: u8,
+    },
+    /// A record's presence bits ask for more side-stream entries than
+    /// the stream holds.
+    StreamOverrun {
+        /// Instruction index at which the stream ran dry.
+        index: usize,
+        /// Which stream (`"wide_pc"`, `"ea"`, `"regs"`).
+        stream: &'static str,
+    },
+    /// A stream's length disagrees with what the meta stream implies.
+    StreamMismatch {
+        /// Which stream.
+        stream: &'static str,
+        /// Actual element count.
+        have: usize,
+        /// Count implied by the meta stream.
+        want: usize,
+    },
+    /// The decoded instructions violate architectural invariants
+    /// (`sapa_isa::validate`).
+    Invariant {
+        /// The first violation, rendered.
+        first: String,
+        /// Total violations found (up to the validator's cap).
+        violations: usize,
+    },
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "trace checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+            ),
+            TraceError::BadOpClass { index, op } => {
+                write!(f, "inst {index}: op nibble {op} has no OpClass")
+            }
+            TraceError::BadRegister { index, id } => {
+                write!(f, "inst {index}: register id {id} out of range")
+            }
+            TraceError::StreamOverrun { index, stream } => {
+                write!(f, "inst {index}: {stream} stream exhausted")
+            }
+            TraceError::StreamMismatch { stream, have, want } => {
+                write!(
+                    f,
+                    "{stream} stream holds {have} entries, meta implies {want}"
+                )
+            }
+            TraceError::Invariant { first, violations } => {
+                write!(f, "{violations} invariant violation(s), first: {first}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
 
 impl<'a> IntoIterator for &'a PackedTrace {
     type Item = Inst;
@@ -166,10 +455,13 @@ impl<'a> IntoIterator for &'a PackedTrace {
 
 fn reg_from_id(id: u8) -> Reg {
     match id {
-        255 => Reg::NONE,
         0..=31 => reg::gpr(id),
         32..=63 => reg::fpr(id - 32),
-        _ => reg::vr(id - 64),
+        64..=127 => reg::vr(id - 64),
+        // Ids 128..=254 never occur in a checked trace (`check()`
+        // reports them as `BadRegister`); decode them as NONE rather
+        // than asserting mid-iteration when a caller skipped `check`.
+        _ => Reg::NONE,
     }
 }
 
@@ -215,7 +507,10 @@ impl<'a> PackedReader<'a> {
     fn decode(&mut self) -> Inst {
         let t = self.trace;
         let meta = t.meta[self.next];
-        let op = OpClass::from_index((meta & OP_BITS) as usize).expect("op index fits 4 bits");
+        // Nibbles 12..15 never occur in a checked trace (`check()`
+        // reports them as `BadOpClass`); decode them as Other rather
+        // than panicking mid-iteration when a caller skipped `check`.
+        let op = OpClass::from_index((meta & OP_BITS) as usize).unwrap_or(OpClass::Other);
         let flags = (meta >> FLAGS_SHIFT) as u8;
         let pc = match t.site[self.next] {
             WIDE_PC => {
@@ -443,6 +738,85 @@ mod tests {
         let packed = PackedTrace::from_trace(&sample_trace());
         let mut r = packed.iter();
         let _ = r.get(3);
+    }
+
+    #[test]
+    fn check_accepts_freshly_packed_traces() {
+        assert_eq!(PackedTrace::from_trace(&sample_trace()).check(), Ok(()));
+        assert_eq!(PackedTrace::default().check(), Ok(()));
+    }
+
+    #[test]
+    fn every_single_byte_corruption_is_detected() {
+        let packed = PackedTrace::from_trace(&sample_trace());
+        for offset in 0..packed.heap_bytes() {
+            let bad = packed.with_corrupted_byte(offset, 0x80);
+            assert!(bad.check().is_err(), "corruption at byte {offset} missed");
+        }
+    }
+
+    #[test]
+    fn zero_xor_corruption_is_a_no_op() {
+        let packed = PackedTrace::from_trace(&sample_trace());
+        assert_eq!(packed.with_corrupted_byte(5, 0), packed);
+        assert_eq!(
+            PackedTrace::default().with_corrupted_byte(9, 0xFF).check(),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn bad_op_nibble_is_pinpointed() {
+        let packed = PackedTrace::from_trace(&sample_trace());
+        // Force instruction 3's op nibble to 15 (OpClass::COUNT is 12, so
+        // 15 is undecodable) by xoring the low byte of meta[3].
+        let xor = (packed.meta[3] & OP_BITS) as u8 ^ 0x0F;
+        let bad = packed.with_corrupted_byte(3 * 2, xor);
+        assert_eq!(
+            bad.check(),
+            Err(TraceError::BadOpClass { index: 3, op: 15 })
+        );
+    }
+
+    #[test]
+    fn bad_register_id_is_pinpointed() {
+        let packed = PackedTrace::from_trace(&sample_trace());
+        // First regs byte is instruction 0's destination (gpr 1); id 200
+        // falls in the unarchitected 128..=254 hole.
+        let reg_off = packed.meta.len() * 2
+            + packed.site.len() * 2
+            + packed.wide_pc.len() * 4
+            + packed.ea.len() * 4;
+        let bad = packed.with_corrupted_byte(reg_off, 1 ^ 200);
+        assert_eq!(
+            bad.check(),
+            Err(TraceError::BadRegister { index: 0, id: 200 })
+        );
+    }
+
+    #[test]
+    fn checksum_is_stable_across_clone_and_reorderings() {
+        let a = PackedTrace::from_trace(&sample_trace());
+        assert_eq!(a.clone().checksum(), a.checksum());
+        // Same instructions repacked must produce the same digest.
+        assert_eq!(
+            PackedTrace::from_trace(&sample_trace()).checksum(),
+            a.checksum()
+        );
+    }
+
+    #[test]
+    fn trace_error_displays_mention_the_stream() {
+        let e = TraceError::StreamOverrun {
+            index: 4,
+            stream: "ea",
+        };
+        assert!(e.to_string().contains("ea stream"));
+        let e = TraceError::ChecksumMismatch {
+            stored: 1,
+            computed: 2,
+        };
+        assert!(e.to_string().contains("checksum mismatch"));
     }
 
     #[test]

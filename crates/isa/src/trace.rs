@@ -105,8 +105,8 @@ impl Trace {
             let op = OpClass::from_index(buf[8] as usize)
                 .ok_or_else(|| malformed(&format!("invalid op class {}", buf[8])))?;
             insts.push(Inst {
-                pc: u32::from_le_bytes(buf[0..4].try_into().expect("slice len")),
-                ea: u32::from_le_bytes(buf[4..8].try_into().expect("slice len")),
+                pc: u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]),
+                ea: u32::from_le_bytes([buf[4], buf[5], buf[6], buf[7]]),
                 op,
                 dst: raw_reg(buf[9])?,
                 srcs: [raw_reg(buf[10])?, raw_reg(buf[11])?, raw_reg(buf[12])?],

@@ -105,12 +105,19 @@ impl std::fmt::Display for Violation {
 /// Checks every structural invariant; returns all violations found
 /// (bounded at `limit` to keep pathological traces cheap to report).
 pub fn validate(trace: &Trace, limit: usize) -> Vec<Violation> {
+    validate_iter(trace.insts().iter().copied(), limit)
+}
+
+/// [`validate`] over any instruction stream — lets a
+/// [`crate::packed::PackedTrace`] be validated straight off its
+/// sequential decoder without materializing an array-of-structs trace.
+pub fn validate_iter<I: IntoIterator<Item = Inst>>(insts: I, limit: usize) -> Vec<Violation> {
     let mut out = Vec::new();
-    for (index, inst) in trace.insts().iter().enumerate() {
+    for (index, inst) in insts.into_iter().enumerate() {
         if out.len() >= limit {
             break;
         }
-        check_inst(index, inst, &mut out);
+        check_inst(index, &inst, &mut out);
     }
     out
 }

@@ -39,6 +39,47 @@ fn arbitrary_bytes_never_panic() {
 }
 
 #[test]
+fn corrupted_packed_traces_error_or_decode_but_never_panic() {
+    use sapa_isa::trace::Tracer;
+    use sapa_isa::{reg, PackedTrace};
+
+    let mut rng = Rng(0xFACC_ED00);
+    let mut detected = 0usize;
+    for round in 0..256 {
+        let mut t = Tracer::new();
+        for i in 0..24u32 {
+            match (round + i as usize) % 4 {
+                0 => t.ialu(i, reg::gpr(3), &[reg::gpr(1), reg::gpr(2)]),
+                1 => t.iload(i, reg::gpr(1), 0x1000_0000 + 4 * i, 4, &[reg::gpr(2)]),
+                2 => t.istore(i, 0x1000_0100 + 4 * i, 4, &[reg::gpr(3)]),
+                _ => t.branch(i, i % 2 == 0, 0, &[reg::gpr(3)]),
+            }
+        }
+        let packed = PackedTrace::from_trace(&t.finish());
+        assert!(packed.check().is_ok());
+
+        let mut bad = packed.clone();
+        let flips = 1 + rng.next_below(5) as usize;
+        for _ in 0..flips {
+            let offset = rng.next_below(bad.heap_bytes() as u64) as usize;
+            let xor = (rng.next_u64() as u8) | 1;
+            bad = bad.with_corrupted_byte(offset, xor);
+        }
+        // The contract under corruption: `check()` returns a typed
+        // `TraceError` — it cannot miss, because any single byte flip
+        // changes the FNV digest and the stored checksum was left
+        // stale. The clean original must keep validating and decoding.
+        match bad.check() {
+            Err(_) => detected += 1,
+            Ok(()) => panic!("byte corruption escaped the checksum"),
+        }
+        assert!(packed.check().is_ok());
+        assert_eq!(packed.iter().count(), 24);
+    }
+    assert_eq!(detected, 256);
+}
+
+#[test]
 fn corrupted_valid_traces_never_panic() {
     use sapa_isa::reg;
     use sapa_isa::trace::Tracer;

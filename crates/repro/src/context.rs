@@ -4,8 +4,9 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use sapa_core::fault::{corrupt_packed, FaultPlan};
 use sapa_cpu::config::{BranchConfig, MemConfig, SimConfig};
-use sapa_cpu::sweep::{run_jobs, SweepJob};
+use sapa_cpu::sweep::{run_jobs_isolated, SweepJob};
 use sapa_cpu::SimReport;
 use sapa_isa::PackedTrace;
 use sapa_workloads::{StandardInputs, Workload};
@@ -57,6 +58,7 @@ pub struct Context {
     threads: usize,
     traces: HashMap<Workload, Arc<PackedTrace>>,
     sims: HashMap<SimKey, SimReport>,
+    failures: HashMap<SimKey, String>,
     sim_instructions: u64,
     sim_wall: Duration,
 }
@@ -77,6 +79,7 @@ impl Context {
             threads: threads.max(1),
             traces: HashMap::new(),
             sims: HashMap::new(),
+            failures: HashMap::new(),
             sim_instructions: 0,
             sim_wall: Duration::ZERO,
         }
@@ -112,12 +115,65 @@ impl Context {
 
     /// Simulates `workload` under `cfg`, memoized on the full
     /// structural configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation job failed (corrupted trace, invalid
+    /// configuration). Call [`Context::try_sim`] to handle failures.
     pub fn sim(&mut self, workload: Workload, cfg: &SimConfig) -> &SimReport {
+        match self.try_sim(workload, cfg) {
+            Ok(_) => {
+                // Re-borrow immutably; the entry is guaranteed present.
+                &self.sims[&SimKey {
+                    workload,
+                    config: cfg.clone(),
+                }]
+            }
+            Err(cause) => panic!("simulation of {} failed: {cause}", workload.label()),
+        }
+    }
+
+    /// Simulates `workload` under `cfg`, reporting job failure as an
+    /// error instead of panicking. Failures are memoized just like
+    /// successes, so a poisoned point is attempted once and its cause
+    /// is returned on every subsequent call.
+    pub fn try_sim(&mut self, workload: Workload, cfg: &SimConfig) -> Result<&SimReport, String> {
         self.sim_batch(&[(workload, cfg.clone())]);
-        &self.sims[&SimKey {
+        let key = SimKey {
             workload,
             config: cfg.clone(),
-        }]
+        };
+        match self.sims.get(&key) {
+            Some(report) => Ok(report),
+            None => Err(self
+                .failures
+                .get(&key)
+                .cloned()
+                .unwrap_or_else(|| "job produced neither report nor failure".into())),
+        }
+    }
+
+    /// Every failed simulation point so far: `(workload, cause)`,
+    /// sorted for deterministic reporting.
+    pub fn failed_jobs(&self) -> Vec<(Workload, String)> {
+        let mut out: Vec<(Workload, String)> = self
+            .failures
+            .iter()
+            .map(|(k, cause)| (k.workload, cause.clone()))
+            .collect();
+        out.sort_by(|a, b| a.0.label().cmp(b.0.label()).then_with(|| a.1.cmp(&b.1)));
+        out
+    }
+
+    /// Replaces `workload`'s cached trace with a deterministically
+    /// corrupted copy (see [`sapa_core::fault::corrupt_packed`]),
+    /// generating the trace first if needed. Subsequent simulations of
+    /// this workload will fail with a trace error — the fault-injection
+    /// entry point for chaos tests and `repro sweep --corrupt-trace`.
+    pub fn corrupt_trace(&mut self, workload: Workload, plan: &FaultPlan) {
+        let clean = Arc::clone(self.trace(workload));
+        self.traces
+            .insert(workload, Arc::new(corrupt_packed(&clean, plan)));
     }
 
     /// Runs a batch of `(workload, config)` points, skipping memoized
@@ -125,15 +181,23 @@ impl Context {
     /// threads. Results land in the memo store; fetch them afterwards
     /// with [`Context::sim`] (a hit, now). Calling this with a whole
     /// figure's grid up front is what makes `--threads N` effective.
+    ///
+    /// Jobs run panic-isolated ([`run_jobs_isolated`]): a point that
+    /// fails — corrupted trace, invalid configuration — is recorded in
+    /// the failure store with its cause instead of aborting the batch,
+    /// and every other point still completes.
     pub fn sim_batch(&mut self, points: &[(Workload, SimConfig)]) {
-        // Dedupe against the memo store and within the batch itself.
+        // Dedupe against the memo/failure stores and the batch itself.
         let mut todo: Vec<SimKey> = Vec::new();
         for (workload, config) in points {
             let key = SimKey {
                 workload: *workload,
                 config: config.clone(),
             };
-            if !self.sims.contains_key(&key) && !todo.contains(&key) {
+            if !self.sims.contains_key(&key)
+                && !self.failures.contains_key(&key)
+                && !todo.contains(&key)
+            {
                 todo.push(key);
             }
         }
@@ -148,11 +212,18 @@ impl Context {
             .map(|key| SweepJob::new(Arc::clone(&self.traces[&key.workload]), key.config.clone()))
             .collect();
         let start = Instant::now();
-        let reports = run_jobs(&jobs, self.threads);
+        let outcomes = run_jobs_isolated(&jobs, self.threads);
         self.sim_wall += start.elapsed();
-        for (key, report) in todo.into_iter().zip(reports) {
-            self.sim_instructions += report.instructions;
-            self.sims.insert(key, report);
+        for (key, outcome) in todo.into_iter().zip(outcomes) {
+            match outcome {
+                Ok(report) => {
+                    self.sim_instructions += report.instructions;
+                    self.sims.insert(key, report);
+                }
+                Err(failure) => {
+                    self.failures.insert(key, failure.cause);
+                }
+            }
         }
     }
 
@@ -265,6 +336,29 @@ mod tests {
         // Re-running the same point is a memo hit: no new work counted.
         ctx.sim_batch(&[(Workload::Blast, cfg)]);
         assert_eq!(ctx.sim_instructions(), insts);
+    }
+
+    #[test]
+    fn corrupted_trace_fails_gracefully_and_is_memoized() {
+        let mut ctx = Context::new(Scale::Tiny);
+        ctx.corrupt_trace(Workload::Blast, &FaultPlan::new(1, 0.01));
+        let cfg = SimConfig::four_way();
+        let cause = ctx
+            .try_sim(Workload::Blast, &cfg)
+            .map(|r| r.cycles)
+            .unwrap_err();
+        assert!(cause.contains("trace error"), "cause: {cause}");
+        // The failure is memoized: asking again returns the same cause
+        // without re-running anything.
+        assert_eq!(
+            ctx.try_sim(Workload::Blast, &cfg)
+                .map(|r| r.cycles)
+                .unwrap_err(),
+            cause
+        );
+        assert_eq!(ctx.failed_jobs().len(), 1);
+        // Other workloads in the same context are untouched.
+        assert!(ctx.try_sim(Workload::Fasta34, &cfg).is_ok());
     }
 
     #[test]

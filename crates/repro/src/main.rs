@@ -18,6 +18,7 @@
 use std::io::Write;
 use std::time::Instant;
 
+use sapa_core::fault::{FaultPlan, FaultSite};
 use sapa_repro::context::{Context, Scale};
 use sapa_repro::experiments::{self, ALL_IDS};
 use sapa_repro::sweep::{parse_workload, SweepSpec};
@@ -25,13 +26,19 @@ use sapa_repro::sweep::{parse_workload, SweepSpec};
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--scale tiny|small|paper] [--threads N] [--out DIR] <experiment>... | all | --list\n\
-         \x20      repro sweep [--threads N] [workload=..] [width=..] [mem=..] [bp=..]\n\
+         \x20      repro sweep [--threads N] [--corrupt-trace NAME] [--fault-seed N] [workload=..] [width=..] [mem=..] [bp=..]\n\
          \x20      repro trace --workload NAME --file PATH\n\
          \x20      repro simulate --file PATH [width=..] [mem=..] [bp=..]\n\
          experiments: {}",
         ALL_IDS.join(", ")
     );
     std::process::exit(2);
+}
+
+/// Reports a runtime (non-usage) failure and exits with status 1.
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1);
 }
 
 /// Prints the run's simulation totals to stderr (stdout stays a pure
@@ -53,16 +60,55 @@ fn print_sim_summary(ctx: &Context, total: std::time::Duration) {
 
 fn run_sweep(scale: Scale, threads: usize, args: &[String]) {
     let mut spec = SweepSpec::default();
-    for a in args {
-        if let Err(msg) = spec.apply(a) {
-            eprintln!("error: {msg}");
-            std::process::exit(2);
+    let mut corrupt = Vec::new();
+    let mut fault_seed = 2006u64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--corrupt-trace" => {
+                i += 1;
+                let Some(name) = args.get(i) else { usage() };
+                match parse_workload(name) {
+                    Ok(w) => corrupt.push(w),
+                    Err(msg) => {
+                        eprintln!("error: {msg}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--fault-seed" => {
+                i += 1;
+                fault_seed = match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(n) => n,
+                    None => usage(),
+                };
+            }
+            kv => {
+                if let Err(msg) = spec.apply(kv) {
+                    eprintln!("error: {msg}");
+                    std::process::exit(2);
+                }
+            }
         }
+        i += 1;
     }
     let t0 = Instant::now();
     let mut ctx = Context::with_threads(scale, threads);
+    for &w in &corrupt {
+        ctx.corrupt_trace(
+            w,
+            &FaultPlan::only(fault_seed, 0.01, FaultSite::TraceCorrupt),
+        );
+    }
     print!("{}", spec.run(&mut ctx));
     print_sim_summary(&ctx, t0.elapsed());
+    let failed = ctx.failed_jobs();
+    if !failed.is_empty() {
+        fail(format_args!(
+            "{} of the sweep's simulation points failed (see FAILED rows above)",
+            failed.len()
+        ));
+    }
 }
 
 fn run_trace(scale: Scale, args: &[String]) {
@@ -92,12 +138,13 @@ fn run_trace(scale: Scale, args: &[String]) {
     });
     let mut ctx = Context::new(scale);
     let trace = ctx.trace(w);
-    let f = std::fs::File::create(&path).expect("create trace file");
+    let f = std::fs::File::create(&path)
+        .unwrap_or_else(|e| fail(format_args!("cannot create {path}: {e}")));
     // The on-disk format is the portable array-of-structs trace.
     trace
         .to_trace()
         .write_to(std::io::BufWriter::new(f))
-        .expect("write trace");
+        .unwrap_or_else(|e| fail(format_args!("cannot write {path}: {e}")));
     println!(
         "wrote {} instructions of {} to {path}",
         trace.len(),
@@ -191,8 +238,10 @@ fn run_dbgen(args: &[String]) {
         .sequences(sequences)
         .homolog_template(queries.default_query().clone())
         .build();
-    let f = std::fs::File::create(&path).expect("create FASTA file");
-    write_fasta(std::io::BufWriter::new(f), db.sequences()).expect("write FASTA");
+    let f = std::fs::File::create(&path)
+        .unwrap_or_else(|e| fail(format_args!("cannot create {path}: {e}")));
+    write_fasta(std::io::BufWriter::new(f), db.sequences())
+        .unwrap_or_else(|e| fail(format_args!("cannot write {path}: {e}")));
     println!(
         "wrote {} sequences ({} residues) to {path}",
         db.len(),
@@ -300,11 +349,26 @@ fn main() {
     if ids.is_empty() {
         usage();
     }
+    let unknown: Vec<&str> = ids
+        .iter()
+        .map(String::as_str)
+        .filter(|id| !ALL_IDS.contains(id))
+        .collect();
+    if !unknown.is_empty() {
+        eprintln!(
+            "error: unknown experiment{} {}; valid: {}",
+            if unknown.len() == 1 { "" } else { "s" },
+            unknown.join(", "),
+            ALL_IDS.join(", ")
+        );
+        std::process::exit(2);
+    }
 
     let run_start = Instant::now();
     let mut ctx = Context::with_threads(scale, threads);
     if let Some(dir) = &out_dir {
-        std::fs::create_dir_all(dir).expect("create output directory");
+        std::fs::create_dir_all(dir)
+            .unwrap_or_else(|e| fail(format_args!("cannot create output directory {dir}: {e}")));
     }
 
     for id in &ids {
@@ -315,8 +379,10 @@ fn main() {
                 eprintln!("[{id} done in {:.1?}]", t0.elapsed());
                 if let Some(dir) = &out_dir {
                     let path = format!("{dir}/{id}.txt");
-                    let mut f = std::fs::File::create(&path).expect("create result file");
-                    f.write_all(text.as_bytes()).expect("write result file");
+                    let mut f = std::fs::File::create(&path)
+                        .unwrap_or_else(|e| fail(format_args!("cannot create {path}: {e}")));
+                    f.write_all(text.as_bytes())
+                        .unwrap_or_else(|e| fail(format_args!("cannot write {path}: {e}")));
                 }
             }
             Err(msg) => {

@@ -99,6 +99,12 @@ impl SweepSpec {
     }
 
     /// Runs the sweep and renders a table.
+    ///
+    /// Points whose simulation failed (corrupted trace, invalid
+    /// configuration) render as `FAILED` rows; the rest of the grid
+    /// completes normally. A deterministic "failed points" trailer
+    /// lists each failure with its cause so the exit status and the
+    /// report agree on what went wrong.
     pub fn run(&self, ctx: &mut Context) -> String {
         // The whole grid goes to the batch engine up front so the
         // points run in parallel under --threads.
@@ -117,22 +123,48 @@ impl SweepSpec {
                             BranchConfig::table_vi()
                         };
                         let cfg = Context::config(width, &mem, branch);
-                        let r = ctx.sim(w, &cfg);
-                        t.row_owned(vec![
+                        let row_head = vec![
                             w.label().to_string(),
                             width.clone(),
                             mem_name.clone(),
                             bp.clone(),
-                            r.cycles.to_string(),
-                            f2(r.ipc()),
-                            pct(r.dl1.miss_rate()),
-                            pct(r.bp_accuracy()),
-                        ]);
+                        ];
+                        match ctx.try_sim(w, &cfg) {
+                            Ok(r) => t.row_owned(
+                                row_head
+                                    .into_iter()
+                                    .chain([
+                                        r.cycles.to_string(),
+                                        f2(r.ipc()),
+                                        pct(r.dl1.miss_rate()),
+                                        pct(r.bp_accuracy()),
+                                    ])
+                                    .collect(),
+                            ),
+                            Err(_) => t.row_owned(
+                                row_head
+                                    .into_iter()
+                                    .chain(["FAILED".into(), "".into(), "".into(), "".into()])
+                                    .collect(),
+                            ),
+                        }
                     }
                 }
             }
         }
-        t.render()
+        let mut out = t.render();
+        let failed = ctx.failed_jobs();
+        if !failed.is_empty() {
+            out.push_str(&format!(
+                "{} failed point{}:\n",
+                failed.len(),
+                if failed.len() == 1 { "" } else { "s" }
+            ));
+            for (w, cause) in failed {
+                out.push_str(&format!("  {}: {cause}\n", w.label()));
+            }
+        }
+        out
     }
 }
 
@@ -187,6 +219,26 @@ mod tests {
         let out = spec.run(&mut ctx);
         assert_eq!(out.lines().count(), 2 + 2); // header + rule + 2 rows
         assert!(out.contains("meinf"));
+    }
+
+    #[test]
+    fn sweep_survives_one_poisoned_workload() {
+        use sapa_core::fault::FaultPlan;
+        use sapa_workloads::Workload;
+        let mut ctx = Context::new(Scale::Tiny);
+        ctx.corrupt_trace(Workload::Blast, &FaultPlan::new(7, 0.01));
+        let mut spec = SweepSpec::default();
+        spec.apply("workload=BLAST,FASTA34").unwrap();
+        let out = spec.run(&mut ctx);
+        assert!(out.contains("FAILED"), "out:\n{out}");
+        assert!(out.contains("1 failed point"), "out:\n{out}");
+        assert!(out.contains("trace error"), "out:\n{out}");
+        // The healthy workload still rendered a real row.
+        let fasta_row = out
+            .lines()
+            .find(|l| l.starts_with("FASTA34"))
+            .expect("FASTA34 row");
+        assert!(!fasta_row.contains("FAILED"));
     }
 
     #[test]

@@ -326,6 +326,7 @@ mod tests {
                 gaps: inputs.gaps,
                 top_k: inputs.keep,
                 min_score,
+                deadline: None,
             };
             let resp = w.engine().search(&req, &subjects, 1);
             let engine_hits: Vec<Hit> = resp

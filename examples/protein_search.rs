@@ -100,6 +100,7 @@ fn main() {
         gaps,
         top_k: 500,
         min_score: 50,
+        deadline: None,
     };
 
     match args.engine {

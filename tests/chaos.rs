@@ -1,0 +1,304 @@
+//! Chaos suite: deterministic fault injection across the whole stack.
+//!
+//! Every test here follows one discipline: inject faults from a seeded
+//! [`FaultPlan`], let the pipeline degrade gracefully, and then assert
+//! that what survived is *exactly* reproducible — same quarantine
+//! report, same scores, same rendered output — at 1, 2, and 4 worker
+//! threads. Fault decisions are keyed on subject content, never on
+//! scheduling, so these assertions are exact equalities, not
+//! tolerances.
+
+use std::sync::Once;
+
+use sapa_core::align::engine::{AlignmentEngine, Deadline, Engine, SearchRequest, SwEngine};
+use sapa_core::align::parallel::{
+    engine_scores, engine_search, engine_search_bounded, QUARANTINED_SCORE,
+};
+use sapa_core::bioseq::compose::{sample_residue, swissprot_cdf};
+use sapa_core::bioseq::matrix::GapPenalties;
+use sapa_core::bioseq::rng::Xoshiro256;
+use sapa_core::bioseq::{AminoAcid, SubstitutionMatrix};
+use sapa_core::cpu::{run_jobs_isolated, SimConfig, Simulator, SweepJob};
+use sapa_core::fault::{
+    corrupt_packed, subject_key, truncate_fasta, FaultPlan, FaultSite, FaultyEngine,
+};
+use sapa_core::isa::PackedTrace;
+use sapa_core::workloads::{StandardInputs, Workload};
+
+/// Silences panic backtraces for *injected* faults only, so the chaos
+/// runs don't bury real failures in hundreds of expected panic dumps.
+/// Genuine panics still print through the previous hook.
+fn quiet_injected_panics() {
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let payload = info.payload();
+            let msg = payload
+                .downcast_ref::<&str>()
+                .copied()
+                .map(str::to_owned)
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_default();
+            if !msg.contains("injected fault") {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// A deterministic 2000-subject synthetic database, 24–56 residues per
+/// subject (small enough that full Smith-Waterman over the whole set
+/// stays fast on one core).
+fn database() -> Vec<Vec<AminoAcid>> {
+    let cdf = swissprot_cdf();
+    let mut rng = Xoshiro256::new(0x5A5A_2006);
+    (0..2000)
+        .map(|_| {
+            let len = 24 + (rng.next_below(33) as usize);
+            (0..len)
+                .map(|_| sample_residue(&cdf, rng.next_f64()))
+                .collect()
+        })
+        .collect()
+}
+
+fn query() -> Vec<AminoAcid> {
+    let cdf = swissprot_cdf();
+    let mut rng = Xoshiro256::new(0xBEEF);
+    (0..32)
+        .map(|_| sample_residue(&cdf, rng.next_f64()))
+        .collect()
+}
+
+/// The acceptance-scenario plan: every site armed, 5% per decision.
+fn plan() -> FaultPlan {
+    FaultPlan::new(2006, 0.05)
+}
+
+#[test]
+fn faulted_search_survives_and_is_thread_count_invariant() {
+    quiet_injected_panics();
+    let db = database();
+    let subjects: Vec<&[AminoAcid]> = db.iter().map(Vec::as_slice).collect();
+    let q = query();
+    let matrix = SubstitutionMatrix::blosum62();
+
+    let run = |threads: usize| {
+        let engine = FaultyEngine::new(SwEngine::new(&q, &matrix, GapPenalties::paper()), plan());
+        let (results, mut stats) = engine_search(&engine, &subjects, threads, 50, 1);
+        stats.threads = 0; // normalize the only legitimately varying field
+                           // Render to a string: "byte-identical output" is the contract.
+        let mut text = String::new();
+        for h in results.hits() {
+            text.push_str(&format!("{} {}\n", h.seq_index, h.score));
+        }
+        for qn in &stats.quarantined {
+            text.push_str(&format!("Q {} {}\n", qn.index, qn.cause));
+        }
+        (results, stats, text)
+    };
+
+    let (_, stats1, text1) = run(1);
+    assert!(
+        !stats1.quarantined.is_empty(),
+        "a 5% panic rate over 2000 subjects must quarantine some"
+    );
+    assert!(stats1.quarantined.len() < 400, "rate wildly off");
+    for q in &stats1.quarantined {
+        assert!(q.cause.contains("injected fault"), "cause: {}", q.cause);
+    }
+    for threads in [2usize, 4] {
+        let (_, stats_n, text_n) = run(threads);
+        assert_eq!(stats1, stats_n, "stats differ at {threads} threads");
+        assert_eq!(text1, text_n, "output differs at {threads} threads");
+    }
+}
+
+#[test]
+fn non_faulted_scores_are_bit_identical_to_a_clean_run() {
+    quiet_injected_panics();
+    let db = database();
+    let subjects: Vec<&[AminoAcid]> = db.iter().map(Vec::as_slice).collect();
+    let q = query();
+    let matrix = SubstitutionMatrix::blosum62();
+
+    let clean_engine = SwEngine::new(&q, &matrix, GapPenalties::paper());
+    let (clean, _) = engine_scores(&clean_engine, &subjects, 2);
+
+    let faulty = FaultyEngine::new(SwEngine::new(&q, &matrix, GapPenalties::paper()), plan());
+    let (scores, stats) = engine_scores(&faulty, &subjects, 2);
+
+    let quarantined: Vec<usize> = stats.quarantined.iter().map(|q| q.index).collect();
+    for (i, (&got, &want)) in scores.iter().zip(&clean).enumerate() {
+        if quarantined.contains(&i) {
+            assert_eq!(got, QUARANTINED_SCORE, "subject {i}");
+        } else {
+            assert_eq!(got, want, "subject {i} drifted under fault injection");
+        }
+    }
+    // The plan's panic decisions are content-keyed: every quarantined
+    // index must actually be one the plan faults.
+    for &i in &quarantined {
+        assert!(plan().triggers(FaultSite::WorkerPanic, subject_key(subjects[i])));
+    }
+}
+
+#[test]
+fn rescore_storms_change_accounting_not_scores() {
+    let db = database();
+    let subjects: Vec<&[AminoAcid]> = db.iter().map(Vec::as_slice).collect();
+    let q = query();
+    let matrix = SubstitutionMatrix::blosum62();
+
+    let clean_engine = SwEngine::new(&q, &matrix, GapPenalties::paper());
+    let (clean, _) = engine_scores(&clean_engine, &subjects, 2);
+
+    let stormy = FaultyEngine::new(
+        SwEngine::new(&q, &matrix, GapPenalties::paper()),
+        FaultPlan::only(99, 0.2, FaultSite::RescoreStorm),
+    );
+    let run = |threads: usize| engine_scores(&stormy, &subjects, threads);
+    let (scores, stats) = run(1);
+    assert_eq!(scores, clean, "storms must never alter scores");
+    assert!(stats.rescored > 0, "a 20% storm rate must fire");
+    assert!(stats.quarantined.is_empty());
+    // Storm counts ride in per-workspace counters; the graveyard merge
+    // keeps the total exact at any thread count.
+    for threads in [2usize, 4] {
+        assert_eq!(run(threads).1.rescored, stats.rescored);
+    }
+}
+
+#[test]
+fn cell_budget_partial_search_is_deterministic_across_threads() {
+    let db = database();
+    let subjects: Vec<&[AminoAcid]> = db.iter().map(Vec::as_slice).collect();
+    let q = query();
+    let matrix = SubstitutionMatrix::blosum62();
+    let engine = SwEngine::new(&q, &matrix, GapPenalties::paper());
+    let total: u64 = subjects.iter().map(|s| engine.cost(s)).sum();
+
+    let run = |threads: usize| {
+        engine_search_bounded(
+            &engine,
+            &subjects,
+            threads,
+            50,
+            1,
+            Some(Deadline::Cells(total / 3)),
+        )
+    };
+    let one = run(1);
+    assert!(!one.completed);
+    assert!(one.stats.subjects > 0 && one.stats.subjects < subjects.len());
+    for threads in [2usize, 4] {
+        let n = run(threads);
+        assert_eq!(n.completed, one.completed);
+        assert_eq!(n.stats.subjects, one.stats.subjects);
+        assert_eq!(n.results.hits(), one.results.hits());
+    }
+}
+
+#[test]
+fn deadline_and_quarantine_compose_in_the_request_layer() {
+    quiet_injected_panics();
+    let db = database();
+    let subjects: Vec<&[AminoAcid]> = db.iter().map(Vec::as_slice).collect();
+    let q = query();
+    let matrix = SubstitutionMatrix::blosum62();
+    let req = SearchRequest {
+        query: &q,
+        matrix: &matrix,
+        gaps: GapPenalties::paper(),
+        top_k: 25,
+        min_score: 1,
+        deadline: Some(Deadline::Cells(200_000)),
+    };
+    let run = |threads: usize| {
+        let mut resp = Engine::Sw.search(&req, &subjects, threads);
+        resp.stats.threads = 0;
+        resp
+    };
+    let one = run(1);
+    assert!(!one.completed);
+    assert_eq!(one.coverage, one.stats.subjects);
+    assert_eq!(run(2), one);
+    assert_eq!(run(4), one);
+}
+
+#[test]
+fn corrupted_packed_traces_are_rejected_not_replayed() {
+    let inputs = StandardInputs::with_db_size(12, 1);
+    let bundle = Workload::Blast.trace(&inputs);
+    let packed = PackedTrace::from_trace(&bundle.trace);
+    assert!(packed.check().is_ok(), "clean trace must validate");
+
+    let sim = Simulator::new(SimConfig::four_way());
+    for seed in 0..8 {
+        let bad = corrupt_packed(&packed, &FaultPlan::new(seed, 0.001));
+        let err = sim
+            .try_run_packed(&bad)
+            .expect_err("corruption must be detected before replay");
+        assert!(!format!("{err}").is_empty());
+    }
+    // And the clean trace still replays after all that.
+    assert!(sim.try_run_packed(&packed).is_ok());
+}
+
+#[test]
+fn sweep_batch_finishes_around_a_poisoned_job() {
+    let inputs = StandardInputs::with_db_size(12, 1);
+    let packed = PackedTrace::from_trace(&Workload::Fasta34.trace(&inputs).trace);
+    let bad = corrupt_packed(&packed, &FaultPlan::new(3, 0.01));
+
+    let clean = std::sync::Arc::new(packed);
+    let poisoned = std::sync::Arc::new(bad);
+    let jobs: Vec<SweepJob> = (0..5)
+        .map(|i| {
+            let trace = if i == 2 {
+                std::sync::Arc::clone(&poisoned)
+            } else {
+                std::sync::Arc::clone(&clean)
+            };
+            SweepJob::new(trace, SimConfig::four_way())
+        })
+        .collect();
+    for threads in [1usize, 2, 4] {
+        let outcomes = run_jobs_isolated(&jobs, threads);
+        assert_eq!(outcomes.len(), 5);
+        for (i, o) in outcomes.iter().enumerate() {
+            if i == 2 {
+                let cause = &o.as_ref().unwrap_err().cause;
+                assert!(cause.contains("trace error"), "cause: {cause}");
+            } else {
+                assert!(o.is_ok(), "clean job {i} failed at {threads} threads");
+            }
+        }
+    }
+}
+
+#[test]
+fn truncated_fasta_never_panics() {
+    use sapa_core::bioseq::fasta::{read_fasta, write_fasta};
+    use sapa_core::bioseq::Sequence;
+
+    let seqs = vec![
+        Sequence::from_str("a", "MKWVTFISLLFLFSSAYS").unwrap(),
+        Sequence::from_str("b", "HEAGAWGHEE").unwrap(),
+        Sequence::from_str("c", "PAWHEAE").unwrap(),
+    ];
+    let mut bytes = Vec::new();
+    write_fasta(&mut bytes, &seqs).unwrap();
+
+    // Every seeded cut, and for good measure every prefix length, must
+    // yield Ok(shorter set) or Err — never a panic.
+    for seed in 0..32 {
+        let plan = FaultPlan::only(seed, 1.0, FaultSite::FastaTruncate);
+        let cut = truncate_fasta(&bytes, &plan);
+        let _ = read_fasta(&cut[..]);
+    }
+    for n in 0..bytes.len() {
+        let _ = read_fasta(&bytes[..n]);
+    }
+}

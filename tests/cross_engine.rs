@@ -152,6 +152,7 @@ fn every_engine_agrees_with_scalar_sw() {
         gaps: inputs.gaps,
         top_k: inputs.keep,
         min_score: 1,
+        deadline: None,
     };
     let reference = Engine::Sw.search(&req, &subjects, 1);
     assert!(!reference.hits.is_empty(), "SW found nothing");
@@ -205,6 +206,7 @@ fn ranked_results_are_thread_count_invariant() {
         gaps: inputs.gaps,
         top_k: inputs.keep,
         min_score: 1,
+        deadline: None,
     };
     for engine in Engine::ALL {
         let serial = engine.search(&req, &subjects, 1);
