@@ -6,6 +6,9 @@
 //! * `sim_replay` — one BLAST trace through the 4-way baseline, as an
 //!   array-of-structs `Trace` vs the compact `PackedTrace`, reported in
 //!   simulated instructions per second;
+//! * `trace_decode` — decode cost alone, no simulation: AoS slice
+//!   iteration vs the packed per-instruction reader vs the packed block
+//!   decoder, so decode throughput is separable from sim throughput;
 //! * `sim_sweep` — a 12-point grid (3 widths × 2 memories × 2
 //!   predictors) over one shared packed trace, serial vs 2 and 4 sweep
 //!   threads.
@@ -15,6 +18,10 @@
 //! second rates, the packed-vs-AoS trace footprint, and the measured
 //! sweep speedups (bounded by `host_cpus` — on a single-core host the
 //! threaded points measure scheduling overhead, not speedup).
+//!
+//! `--smoke` runs a cut-down variant for CI: smaller trace, fewer
+//! samples, no sweep group, output to `BENCH_sim_smoke.json` — just
+//! enough signal to gate on `derived.packed_vs_aos_replay_speed`.
 
 use std::sync::Arc;
 
@@ -22,15 +29,19 @@ use sapa_bench::harness::{Criterion, Throughput};
 use sapa_core::cpu::config::{BranchConfig, CpuConfig, MemConfig, SimConfig};
 use sapa_core::cpu::sweep::{run_jobs, SweepJob};
 use sapa_core::cpu::Simulator;
-use sapa_core::isa::{PackedTrace, Trace};
+use sapa_core::isa::{Inst, PackedTrace, Trace, BLOCK_LEN};
 use sapa_core::workloads::{StandardInputs, Workload};
 
-fn bench_trace() -> Trace {
+fn bench_trace(smoke: bool) -> Trace {
     // BLAST at a reduced database: a few hundred thousand instructions,
-    // large enough to dwarf per-run setup, small enough to iterate.
-    Workload::Blast
-        .trace(&StandardInputs::with_db_size(60, 2))
-        .trace
+    // large enough to dwarf per-run setup, small enough to iterate. The
+    // smoke trace is smaller again so CI pays seconds, not minutes.
+    let inputs = if smoke {
+        StandardInputs::with_db_size(20, 1)
+    } else {
+        StandardInputs::with_db_size(60, 2)
+    };
+    Workload::Blast.trace(&inputs).trace
 }
 
 fn sweep_grid() -> Vec<SimConfig> {
@@ -62,6 +73,40 @@ fn replay(c: &mut Criterion, trace: &Trace, packed: &Arc<PackedTrace>) {
     group.finish();
 }
 
+/// Decode cost in isolation: each variant streams every instruction
+/// through a cheap fold so the decoded values are actually consumed but
+/// nothing microarchitectural runs.
+fn decode(c: &mut Criterion, trace: &Trace, packed: &Arc<PackedTrace>) {
+    #[inline]
+    fn fold(acc: u64, inst: &Inst) -> u64 {
+        acc.wrapping_add(inst.pc as u64) ^ inst.ea as u64 ^ inst.flags as u64
+    }
+    let mut group = c.benchmark_group("trace_decode");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.bench_function("aos_iterate", |b| {
+        b.iter(|| std::hint::black_box(trace.insts().iter().fold(0u64, fold)))
+    });
+    group.bench_function("packed_per_inst", |b| {
+        b.iter(|| std::hint::black_box(packed.iter().fold(0u64, |a, i| fold(a, &i))))
+    });
+    group.bench_function("packed_block", |b| {
+        let mut buf = vec![Inst::default(); BLOCK_LEN];
+        b.iter(|| {
+            let mut d = packed.block_decoder();
+            let mut acc = 0u64;
+            loop {
+                let n = d.fill(&mut buf);
+                if n == 0 {
+                    break;
+                }
+                acc = buf[..n].iter().fold(acc, fold);
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    group.finish();
+}
+
 fn sweep(c: &mut Criterion, packed: &Arc<PackedTrace>) {
     let jobs: Vec<SweepJob> = sweep_grid()
         .into_iter()
@@ -79,8 +124,7 @@ fn sweep(c: &mut Criterion, packed: &Arc<PackedTrace>) {
     group.finish();
 }
 
-fn write_json(c: &Criterion, trace: &Trace, packed: &PackedTrace) {
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json");
+fn write_json(c: &Criterion, trace: &Trace, packed: &PackedTrace, path: &str) {
     let mut entries = String::new();
     for (i, r) in c.results().iter().enumerate() {
         if i > 0 {
@@ -105,17 +149,21 @@ fn write_json(c: &Criterion, trace: &Trace, packed: &PackedTrace) {
             _ => "null".to_string(),
         }
     };
-    let replay_ratio = match (
-        c.result("sim_replay", "aos_trace"),
-        c.result("sim_replay", "packed_trace"),
-    ) {
-        (Some(aos), Some(p)) if p.median_ns > 0.0 => format!("{:.3}", aos.median_ns / p.median_ns),
-        _ => "null".to_string(),
+    // Speed of `fast` relative to `slow` within one group (>1 = faster).
+    let speed = |group: &str, slow: &str, fast: &str| -> String {
+        match (c.result(group, slow), c.result(group, fast)) {
+            (Some(s), Some(f)) if f.median_ns > 0.0 => {
+                format!("{:.3}", s.median_ns / f.median_ns)
+            }
+            _ => "null".to_string(),
+        }
     };
+    let replay_ratio = speed("sim_replay", "aos_trace", "packed_trace");
+    let decode_ratio = speed("trace_decode", "packed_per_inst", "packed_block");
     let aos_bytes = trace.len() * std::mem::size_of::<sapa_core::isa::Inst>();
     let cpus = std::thread::available_parallelism().map_or(0, |n| n.get());
     let json = format!(
-        "{{\n  \"bench\": \"sim\",\n  \"workload\": \"BLAST\",\n  \"trace_insts\": {},\n  \"host_cpus\": {cpus},\n  \"trace_bytes_aos\": {aos_bytes},\n  \"trace_bytes_packed\": {},\n  \"results\": [\n{entries}\n  ],\n  \"derived\": {{\n    \"packed_vs_aos_replay_speed\": {replay_ratio},\n    \"trace_compression\": {:.3},\n    \"sweep_speedup_t2_vs_serial\": {},\n    \"sweep_speedup_t4_vs_serial\": {}\n  }}\n}}\n",
+        "{{\n  \"bench\": \"sim\",\n  \"workload\": \"BLAST\",\n  \"trace_insts\": {},\n  \"host_cpus\": {cpus},\n  \"trace_bytes_aos\": {aos_bytes},\n  \"trace_bytes_packed\": {},\n  \"results\": [\n{entries}\n  ],\n  \"derived\": {{\n    \"packed_vs_aos_replay_speed\": {replay_ratio},\n    \"block_vs_per_inst_decode_speed\": {decode_ratio},\n    \"trace_compression\": {:.3},\n    \"sweep_speedup_t2_vs_serial\": {},\n    \"sweep_speedup_t4_vs_serial\": {}\n  }}\n}}\n",
         trace.len(),
         packed.heap_bytes(),
         aos_bytes as f64 / packed.heap_bytes() as f64,
@@ -129,12 +177,22 @@ fn write_json(c: &Criterion, trace: &Trace, packed: &PackedTrace) {
 }
 
 fn main() {
-    let mut c = Criterion::from_args().sample_size(10);
-    let trace = bench_trace();
+    // `--smoke` is ours; the harness ignores flags it does not know.
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let mut c = Criterion::from_args().sample_size(if smoke { 5 } else { 10 });
+    let trace = bench_trace(smoke);
     let packed = Arc::new(PackedTrace::from_trace(&trace));
     replay(&mut c, &trace, &packed);
-    sweep(&mut c, &packed);
+    decode(&mut c, &trace, &packed);
+    if !smoke {
+        sweep(&mut c, &packed);
+    }
     if !c.is_test_mode() {
-        write_json(&c, &trace, &packed);
+        let path = if smoke {
+            concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim_smoke.json")
+        } else {
+            concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json")
+        };
+        write_json(&c, &trace, &packed, path);
     }
 }

@@ -49,7 +49,7 @@ pub mod sweep;
 pub mod trauma;
 
 pub use config::SimConfig;
-pub use pipeline::Simulator;
+pub use pipeline::{DecodeBuf, Simulator};
 pub use stats::SimReport;
 pub use sweep::{run_jobs, run_jobs_isolated, JobFailure, SweepJob};
 pub use trauma::Trauma;

@@ -17,7 +17,7 @@
 use std::collections::VecDeque;
 
 use sapa_isa::inst::{Inst, OpClass};
-use sapa_isa::packed::{PackedReader, PackedTrace, TraceError};
+use sapa_isa::packed::{BlockDecoder, PackedTrace, TraceError, BLOCK_LEN};
 use sapa_isa::reg::RegFile;
 use sapa_isa::trace::Trace;
 
@@ -105,20 +105,42 @@ impl Simulator {
     /// `1000 × len + 10^6` cycles, which would indicate a scheduling
     /// deadlock (an internal bug, not a configuration problem).
     pub fn run(&self, trace: &Trace) -> SimReport {
+        self.run_with(trace, &mut DecodeBuf::new())
+    }
+
+    /// [`Simulator::run`] with a caller-owned [`DecodeBuf`], so repeated
+    /// runs (sweeps) reuse one block buffer instead of allocating per
+    /// replay.
+    pub fn run_with(&self, trace: &Trace, buf: &mut DecodeBuf) -> SimReport {
         let insts = trace.insts();
-        Engine::new(&self.cfg, insts.len(), SliceSource(insts)).run()
+        Engine::new(&self.cfg, insts.len(), SliceSource { insts, pos: 0 }, buf).run()
     }
 
     /// Simulates a [`PackedTrace`] without unpacking it: the replay
-    /// decodes each instruction once, straight out of the compact
-    /// structure-of-arrays streams. Produces exactly the same report as
-    /// [`Simulator::run`] on the equivalent [`Trace`].
+    /// block-decodes the compact structure-of-arrays streams into a
+    /// small reusable buffer ([`BlockDecoder`]), so each instruction is
+    /// decoded exactly once and the decoded form stays L1-resident.
+    /// Produces exactly the same report as [`Simulator::run`] on the
+    /// equivalent [`Trace`].
     ///
     /// # Panics
     ///
     /// Same watchdog as [`Simulator::run`].
     pub fn run_packed(&self, trace: &PackedTrace) -> SimReport {
-        Engine::new(&self.cfg, trace.len(), PackedSource::new(trace)).run()
+        self.run_packed_with(trace, &mut DecodeBuf::new())
+    }
+
+    /// [`Simulator::run_packed`] with a caller-owned [`DecodeBuf`]; the
+    /// sweep engine gives each worker thread one buffer for its whole
+    /// job stream.
+    pub fn run_packed_with(&self, trace: &PackedTrace, buf: &mut DecodeBuf) -> SimReport {
+        Engine::new(
+            &self.cfg,
+            trace.len(),
+            PackedSource(trace.block_decoder()),
+            buf,
+        )
+        .run()
     }
 
     /// [`Simulator::run_packed`] hardened against corrupted or malformed
@@ -133,6 +155,19 @@ impl Simulator {
     /// [`TraceError`] describing the first structural problem, checksum
     /// mismatch, or invariant violation.
     pub fn try_run_packed(&self, trace: &PackedTrace) -> Result<SimReport, TraceError> {
+        self.try_run_packed_with(trace, &mut DecodeBuf::new())
+    }
+
+    /// [`Simulator::try_run_packed`] with a caller-owned [`DecodeBuf`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Simulator::try_run_packed`].
+    pub fn try_run_packed_with(
+        &self,
+        trace: &PackedTrace,
+        buf: &mut DecodeBuf,
+    ) -> Result<SimReport, TraceError> {
         trace.check()?;
         let violations = sapa_isa::validate::validate_iter(trace.iter(), 8);
         if let Some(first) = violations.first() {
@@ -141,38 +176,70 @@ impl Simulator {
                 violations: violations.len(),
             });
         }
-        Ok(self.run_packed(trace))
+        Ok(self.run_packed_with(trace, buf))
     }
 }
 
-/// Where the engine pulls instructions from. Access is sequential:
-/// `at(idx)` is called with the index of the last fetched instruction
-/// (a stalled fetch stage retrying) or the one after it.
-trait InstSource {
-    fn at(&mut self, idx: usize) -> Inst;
+/// Reusable block-decode scratch: [`BLOCK_LEN`] decoded instructions
+/// (4 KB — comfortably L1-resident). The engine fills it from its
+/// instruction source one block at a time and the fetch stage reads decoded
+/// `Inst`s straight out of it, so per-instruction decode state never
+/// crosses the source boundary. Allocate once per thread and pass to
+/// [`Simulator::run_packed_with`] to amortize the allocation across a
+/// whole sweep.
+#[derive(Debug, Clone)]
+pub struct DecodeBuf {
+    buf: Vec<Inst>,
 }
 
-struct SliceSource<'a>(&'a [Inst]);
+impl DecodeBuf {
+    /// A fresh buffer of [`BLOCK_LEN`] slots.
+    pub fn new() -> Self {
+        DecodeBuf {
+            buf: vec![Inst::default(); BLOCK_LEN],
+        }
+    }
+}
+
+impl Default for DecodeBuf {
+    fn default() -> Self {
+        DecodeBuf::new()
+    }
+}
+
+/// Where the engine pulls instructions from, a block at a time:
+/// `fill_block` decodes up to `buf.len()` instructions into the front
+/// of `buf` and returns how many it wrote (0 only when the trace is
+/// exhausted). Successive calls continue where the last one stopped.
+trait InstSource {
+    fn fill_block(&mut self, buf: &mut [Inst]) -> usize;
+}
+
+/// Array-of-structs source: blocks are plain `memcpy`s out of the
+/// slice, so the batched front end costs the AoS path almost nothing.
+struct SliceSource<'a> {
+    insts: &'a [Inst],
+    pos: usize,
+}
 
 impl InstSource for SliceSource<'_> {
     #[inline]
-    fn at(&mut self, idx: usize) -> Inst {
-        self.0[idx]
+    fn fill_block(&mut self, buf: &mut [Inst]) -> usize {
+        let n = (self.insts.len() - self.pos).min(buf.len());
+        buf[..n].copy_from_slice(&self.insts[self.pos..self.pos + n]);
+        self.pos += n;
+        n
     }
 }
 
-struct PackedSource<'a>(PackedReader<'a>);
-
-impl<'a> PackedSource<'a> {
-    fn new(trace: &'a PackedTrace) -> Self {
-        PackedSource(trace.iter())
-    }
-}
+/// Compact source: blocks come from [`BlockDecoder::fill`], the
+/// batch-decode fast path over the structure-of-arrays streams.
+struct PackedSource<'a>(BlockDecoder<'a>);
 
 impl InstSource for PackedSource<'_> {
     #[inline]
-    fn at(&mut self, idx: usize) -> Inst {
-        self.0.get(idx)
+    fn fill_block(&mut self, buf: &mut [Inst]) -> usize {
+        self.0.fill(buf)
     }
 }
 
@@ -183,6 +250,12 @@ struct Engine<'a, S> {
     src: S,
     n_insts: usize,
     cycle: u64,
+
+    // Block-buffered decode window over the source: instructions
+    // `block_start .. block_start + block_len` sit decoded in `block`.
+    block: &'a mut [Inst],
+    block_start: usize,
+    block_len: usize,
 
     // Frontend.
     next_fetch: usize,
@@ -215,6 +288,7 @@ struct Engine<'a, S> {
     traumas: TraumaCounts,
     store_forwards: u64,
     retired: u64,
+    unit_issued: [u64; UnitClass::COUNT],
     queue_occ: Vec<OccupancyHistogram>,
     inflight_occ: OccupancyHistogram,
     retireq_occ: OccupancyHistogram,
@@ -223,7 +297,7 @@ struct Engine<'a, S> {
 const NO_WRITER: u64 = u64::MAX;
 
 impl<'a, S: InstSource> Engine<'a, S> {
-    fn new(cfg: &'a SimConfig, n_insts: usize, src: S) -> Self {
+    fn new(cfg: &'a SimConfig, n_insts: usize, src: S, buf: &'a mut DecodeBuf) -> Self {
         let queue_occ = UnitClass::ALL
             .iter()
             .map(|&c| OccupancyHistogram::new(cfg.cpu.issue_queue[c.index()] as usize))
@@ -233,6 +307,9 @@ impl<'a, S: InstSource> Engine<'a, S> {
             src,
             n_insts,
             cycle: 0,
+            block: &mut buf.buf,
+            block_start: 0,
+            block_len: 0,
             next_fetch: 0,
             fetch_stall_until: FETCH_FREE,
             fetch_stall_reason: Trauma::Other,
@@ -259,6 +336,7 @@ impl<'a, S: InstSource> Engine<'a, S> {
             traumas: TraumaCounts::new(),
             store_forwards: 0,
             retired: 0,
+            unit_issued: [0; UnitClass::COUNT],
             queue_occ,
             inflight_occ: OccupancyHistogram::new(cfg.cpu.inflight as usize),
             retireq_occ: OccupancyHistogram::new(cfg.cpu.retire_queue as usize),
@@ -294,11 +372,20 @@ impl<'a, S: InstSource> Engine<'a, S> {
             }
         }
 
+        // Issue slots offered per class: every simulated cycle each
+        // unit of the class could have started one instruction.
+        let mut unit_slots = [0u64; UnitClass::COUNT];
+        for &class in &UnitClass::ALL {
+            unit_slots[class.index()] = self.cycle * self.cfg.cpu.units[class.index()] as u64;
+        }
+
         SimReport {
             cycles: self.cycle,
             instructions: self.retired,
             traumas: self.traumas,
             store_forwards: self.store_forwards,
+            unit_issued: self.unit_issued,
+            unit_slots,
             dl1: self.hierarchy.dl1_stats(),
             il1: self.hierarchy.il1_stats(),
             l2: self.hierarchy.l2_stats(),
@@ -310,6 +397,27 @@ impl<'a, S: InstSource> Engine<'a, S> {
             inflight_occupancy: self.inflight_occ,
             retireq_occupancy: self.retireq_occ,
         }
+    }
+
+    /// Decoded instruction `idx` out of the block buffer, refilling from
+    /// the source when fetch steps past the buffered block.
+    ///
+    /// Fetch is sequential — `idx` is either the last index served (a
+    /// stalled fetch retrying) or the one after it — so the offset into
+    /// the current block is always in `0..=block_len`, and a refill is
+    /// needed exactly when it equals `block_len`. The caller's
+    /// `next_fetch < n_insts` guard guarantees the source still has
+    /// instructions, so a refill always produces a non-empty block.
+    #[inline]
+    fn inst_at(&mut self, idx: usize) -> Inst {
+        let off = idx - self.block_start;
+        if off == self.block_len {
+            self.block_start = idx;
+            self.block_len = self.src.fill_block(self.block);
+            debug_assert!(self.block_len > 0, "source dry at index {idx}");
+            return self.block[0];
+        }
+        self.block[off]
     }
 
     #[inline]
@@ -459,6 +567,7 @@ impl<'a, S: InstSource> Engine<'a, S> {
             self.mshr.push(done_at);
         }
 
+        self.unit_issued[class.index()] += 1;
         let is_cond = {
             let e = self.entry_mut(seq).expect("entry exists");
             e.state = State::Executing;
@@ -609,9 +718,9 @@ impl<'a, S: InstSource> Engine<'a, S> {
                 self.fetch_stall_reason = Trauma::IfBrch;
                 break;
             }
-            // A stalled fetch re-reads the same index next cycle; the
-            // source contract allows exactly that repeat.
-            let inst = self.src.at(self.next_fetch);
+            // A stalled fetch re-reads the same index next cycle; that
+            // repeat stays inside the decoded block buffer.
+            let inst = self.inst_at(self.next_fetch);
 
             // I-cache: accessing a new line may miss.
             let line = inst.pc as u64 & line_mask;
@@ -957,6 +1066,57 @@ mod tests {
         let b = run(SimConfig::four_way(), build);
         assert_eq!(a.cycles, b.cycles);
         assert_eq!(a.instructions, b.instructions);
+    }
+
+    #[test]
+    fn every_retired_instruction_issued_on_exactly_one_unit() {
+        let r = run(SimConfig::four_way(), |t| {
+            let mut x = 7u32;
+            for i in 0..3_000u32 {
+                x = x.wrapping_mul(48271).wrapping_add(11);
+                t.iload(0, reg::gpr(1), 0x2000_0000 + (x % 65536), 4, &[]);
+                t.vsimple(1, reg::vr(1), &[reg::vr(1)]);
+                t.fpu(2, reg::fpr(1), &[reg::fpr(1)]);
+                t.branch(3 + (i % 3), x & 3 == 0, 0, &[reg::gpr(1)]);
+            }
+        });
+        assert_eq!(r.unit_issued.iter().sum::<u64>(), r.instructions);
+        // Slots bound issues: no class can be more than 100% busy.
+        for &class in &UnitClass::ALL {
+            assert!(
+                r.unit_issued[class.index()] <= r.unit_slots[class.index()],
+                "{class:?} issued more than its slots"
+            );
+        }
+        // The mix above touches mem, vi, fpu and br every iteration.
+        for class in [UnitClass::Mem, UnitClass::Vi, UnitClass::Fpu, UnitClass::Br] {
+            assert!(r.eu_utilisation(class) > 0.0, "{class:?} never issued");
+        }
+        assert!(r.issue_slot_utilisation() > 0.0);
+        assert!(r.busiest_eu().is_some());
+    }
+
+    #[test]
+    fn block_boundaries_are_invisible_to_replay() {
+        // A trace much longer than BLOCK_LEN with fetch stalls landing
+        // on arbitrary offsets: packed block decode, AoS block copy and
+        // a shared reusable buffer must all agree bit-for-bit.
+        let mut t = Tracer::new();
+        let mut x = 1u32;
+        for i in 0..(3 * sapa_isa::BLOCK_LEN as u32 + 17) {
+            x = x.wrapping_mul(48271).wrapping_add(7);
+            t.iload(i % 200, reg::gpr(1), 0x2000_0000 + (x % 32768), 4, &[]);
+            t.branch(200 + (i % 5), x & 1 == 0, 0, &[reg::gpr(1)]);
+        }
+        let trace = t.finish();
+        let packed = sapa_isa::PackedTrace::from_trace(&trace);
+        let sim = Simulator::new(SimConfig::four_way());
+        let aos = sim.run(&trace);
+        let mut buf = DecodeBuf::new();
+        assert_eq!(aos, sim.run_packed_with(&packed, &mut buf));
+        // Same buffer reused for a second replay: no state leaks.
+        assert_eq!(aos, sim.run_packed_with(&packed, &mut buf));
+        assert_eq!(aos, sim.run_with(&trace, &mut buf));
     }
 
     #[test]

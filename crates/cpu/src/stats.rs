@@ -77,6 +77,13 @@ pub struct SimReport {
     pub itlb: CacheStats,
     /// Loads that took a store-queue dependency on an in-flight store.
     pub store_forwards: u64,
+    /// Instructions issued per functional-unit class (indexed by
+    /// [`UnitClass::index`]).
+    pub unit_issued: [u64; UnitClass::COUNT],
+    /// Issue slots offered per class over the run (`cycles × units` of
+    /// the class); `unit_issued[c] / unit_slots[c]` is the class's busy
+    /// fraction. Stored as raw counters so reports stay `Eq`.
+    pub unit_slots: [u64; UnitClass::COUNT],
     /// Conditional branches predicted.
     pub bp_predictions: u64,
     /// Conditional branches mispredicted.
@@ -111,6 +118,39 @@ impl SimReport {
     /// Occupancy histogram of one issue queue.
     pub fn queue(&self, class: UnitClass) -> &OccupancyHistogram {
         &self.queue_occupancy[class.index()]
+    }
+
+    /// Busy fraction of one functional-unit class in `[0, 1]`: issued
+    /// instructions over offered issue slots (0.0 for absent units).
+    pub fn eu_utilisation(&self, class: UnitClass) -> f64 {
+        let slots = self.unit_slots[class.index()];
+        if slots == 0 {
+            0.0
+        } else {
+            self.unit_issued[class.index()] as f64 / slots as f64
+        }
+    }
+
+    /// Fraction of *all* issue slots the run used — the machine-wide
+    /// issue-bandwidth utilisation (riscv-sim style).
+    pub fn issue_slot_utilisation(&self) -> f64 {
+        let slots: u64 = self.unit_slots.iter().sum();
+        if slots == 0 {
+            0.0
+        } else {
+            self.unit_issued.iter().sum::<u64>() as f64 / slots as f64
+        }
+    }
+
+    /// The busiest functional-unit class and its busy fraction — the
+    /// quickest compute-bound vs memory-bound attribution a sweep row
+    /// can carry. `None` for a zero-cycle run.
+    pub fn busiest_eu(&self) -> Option<(UnitClass, f64)> {
+        UnitClass::ALL
+            .iter()
+            .map(|&c| (c, self.eu_utilisation(c)))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .filter(|_| self.cycles > 0)
     }
 }
 
@@ -165,6 +205,22 @@ impl std::fmt::Display for SimReport {
             "branches {} predicted, {:.1}% accuracy",
             self.bp_predictions,
             self.bp_accuracy() * 100.0
+        )?;
+        write!(f, "EU busy:")?;
+        for &class in &UnitClass::ALL {
+            if self.unit_slots[class.index()] > 0 {
+                write!(
+                    f,
+                    " {}={:.0}%",
+                    class.label(),
+                    self.eu_utilisation(class) * 100.0
+                )?;
+            }
+        }
+        writeln!(
+            f,
+            "  (issue slots {:.0}%)",
+            self.issue_slot_utilisation() * 100.0
         )?;
         write!(f, "top stalls:")?;
         for (t, c) in self.traumas.top(5) {

@@ -21,7 +21,7 @@ use std::sync::Arc;
 use sapa_isa::packed::PackedTrace;
 
 use crate::config::SimConfig;
-use crate::pipeline::Simulator;
+use crate::pipeline::{DecodeBuf, Simulator};
 use crate::stats::SimReport;
 
 /// One unit of sweep work: replay `trace` through `config`.
@@ -39,8 +39,8 @@ impl SweepJob {
         SweepJob { trace, config }
     }
 
-    fn run(&self) -> SimReport {
-        Simulator::new(self.config.clone()).run_packed(&self.trace)
+    fn run_with(&self, buf: &mut DecodeBuf) -> SimReport {
+        Simulator::new(self.config.clone()).run_packed_with(&self.trace, buf)
     }
 
     /// Panic-isolated, validated run: the trace is checked
@@ -48,10 +48,19 @@ impl SweepJob {
     /// configuration or a simulator bug is caught and converted into a
     /// [`JobFailure`], so one poisoned grid point cannot abort a sweep.
     pub fn try_run(&self) -> Result<SimReport, JobFailure> {
-        let job = std::panic::AssertUnwindSafe(self);
-        match std::panic::catch_unwind(move || {
-            Simulator::new(job.config.clone()).try_run_packed(&job.trace)
-        }) {
+        self.try_run_with(&mut DecodeBuf::new())
+    }
+
+    /// [`SweepJob::try_run`] with a caller-owned [`DecodeBuf`]; each
+    /// sweep worker thread keeps one buffer across its whole job stream.
+    pub fn try_run_with(&self, buf: &mut DecodeBuf) -> Result<SimReport, JobFailure> {
+        // UnwindSafe: the decode buffer is pure scratch — every fill
+        // overwrites it before the engine reads it — so a job that
+        // panics mid-replay cannot leave state the next job observes.
+        let call = std::panic::AssertUnwindSafe(move || {
+            Simulator::new(self.config.clone()).try_run_packed_with(&self.trace, buf)
+        });
+        match std::panic::catch_unwind(call) {
             Ok(Ok(report)) => Ok(report),
             Ok(Err(e)) => Err(JobFailure {
                 cause: format!("trace error: {e}"),
@@ -105,7 +114,8 @@ fn panic_cause(payload: Box<dyn std::any::Any + Send>) -> String {
 pub fn run_jobs(jobs: &[SweepJob], threads: usize) -> Vec<SimReport> {
     let threads = threads.max(1).min(jobs.len());
     if threads <= 1 {
-        return jobs.iter().map(SweepJob::run).collect();
+        let mut buf = DecodeBuf::new();
+        return jobs.iter().map(|j| j.run_with(&mut buf)).collect();
     }
 
     let cursor = AtomicUsize::new(0);
@@ -115,13 +125,16 @@ pub fn run_jobs(jobs: &[SweepJob], threads: usize) -> Vec<SimReport> {
         for _ in 0..threads {
             let cursor = &cursor;
             handles.push(scope.spawn(move || {
+                // One decode buffer per worker, reused across every job
+                // it claims from the shared Arc<PackedTrace> inputs.
+                let mut buf = DecodeBuf::new();
                 let mut local = Vec::new();
                 loop {
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     if i >= jobs.len() {
                         break;
                     }
-                    local.push((i, jobs[i].run()));
+                    local.push((i, jobs[i].run_with(&mut buf)));
                 }
                 local
             }));
@@ -150,7 +163,8 @@ pub fn run_jobs(jobs: &[SweepJob], threads: usize) -> Vec<SimReport> {
 pub fn run_jobs_isolated(jobs: &[SweepJob], threads: usize) -> Vec<Result<SimReport, JobFailure>> {
     let threads = threads.max(1).min(jobs.len());
     if threads <= 1 {
-        return jobs.iter().map(SweepJob::try_run).collect();
+        let mut buf = DecodeBuf::new();
+        return jobs.iter().map(|j| j.try_run_with(&mut buf)).collect();
     }
 
     let cursor = AtomicUsize::new(0);
@@ -161,13 +175,14 @@ pub fn run_jobs_isolated(jobs: &[SweepJob], threads: usize) -> Vec<Result<SimRep
         for _ in 0..threads {
             let cursor = &cursor;
             handles.push(scope.spawn(move || {
+                let mut buf = DecodeBuf::new();
                 let mut local = Vec::new();
                 loop {
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     if i >= jobs.len() {
                         break;
                     }
-                    local.push((i, jobs[i].try_run()));
+                    local.push((i, jobs[i].try_run_with(&mut buf)));
                 }
                 local
             }));

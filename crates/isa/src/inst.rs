@@ -168,6 +168,21 @@ pub struct Inst {
     pub flags: u8,
 }
 
+impl Default for Inst {
+    /// A do-nothing placeholder (`Other` at PC 0, no operands) for
+    /// pre-sizing decode buffers that are overwritten before use.
+    fn default() -> Self {
+        Inst {
+            pc: 0,
+            ea: 0,
+            op: OpClass::Other,
+            dst: Reg::NONE,
+            srcs: [Reg::NONE; 3],
+            flags: 0,
+        }
+    }
+}
+
 impl Inst {
     /// Whether a conditional branch was taken (also true for jumps).
     #[inline]

@@ -40,7 +40,7 @@ pub mod trace;
 pub mod validate;
 
 pub use inst::{Inst, OpClass};
-pub use packed::{PackedTrace, TraceError};
+pub use packed::{BlockDecoder, PackedTrace, TraceError, BLOCK_LEN};
 pub use stats::TraceStats;
 pub use trace::{Trace, Tracer};
 

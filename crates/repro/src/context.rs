@@ -60,6 +60,8 @@ pub struct Context {
     sims: HashMap<SimKey, SimReport>,
     failures: HashMap<SimKey, String>,
     sim_instructions: u64,
+    sim_jobs: u64,
+    sim_failed: u64,
     sim_wall: Duration,
 }
 
@@ -81,6 +83,8 @@ impl Context {
             sims: HashMap::new(),
             failures: HashMap::new(),
             sim_instructions: 0,
+            sim_jobs: 0,
+            sim_failed: 0,
             sim_wall: Duration::ZERO,
         }
     }
@@ -98,6 +102,18 @@ impl Context {
     /// Instructions simulated so far (every non-memoized run, summed).
     pub fn sim_instructions(&self) -> u64 {
         self.sim_instructions
+    }
+
+    /// Simulation jobs actually executed so far (memo hits excluded),
+    /// counting failed/quarantined jobs as well as successes — the
+    /// honest denominator for a jobs-per-second rate.
+    pub fn sim_jobs(&self) -> u64 {
+        self.sim_jobs
+    }
+
+    /// Executed simulation jobs that failed (subset of [`Context::sim_jobs`]).
+    pub fn sim_failed(&self) -> u64 {
+        self.sim_failed
     }
 
     /// Wall-clock time spent inside the simulator so far.
@@ -215,12 +231,14 @@ impl Context {
         let outcomes = run_jobs_isolated(&jobs, self.threads);
         self.sim_wall += start.elapsed();
         for (key, outcome) in todo.into_iter().zip(outcomes) {
+            self.sim_jobs += 1;
             match outcome {
                 Ok(report) => {
                     self.sim_instructions += report.instructions;
                     self.sims.insert(key, report);
                 }
                 Err(failure) => {
+                    self.sim_failed += 1;
                     self.failures.insert(key, failure.cause);
                 }
             }

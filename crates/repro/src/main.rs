@@ -47,12 +47,26 @@ fn fail(msg: impl std::fmt::Display) -> ! {
 fn print_sim_summary(ctx: &Context, total: std::time::Duration) {
     let wall = ctx.sim_wall();
     let insts = ctx.sim_instructions();
-    if insts == 0 {
+    let jobs = ctx.sim_jobs();
+    // Failed/quarantined jobs spent simulator wall time too, so they
+    // stay in the totals: a sweep where every point failed still
+    // reports its jobs instead of staying silent, and sims-per-sec is
+    // not inflated by dividing only successful work by the full wall.
+    if jobs == 0 {
         return;
     }
-    let rate = insts as f64 / wall.as_secs_f64().max(1e-9);
+    let failed = ctx.sim_failed();
+    let secs = wall.as_secs_f64().max(1e-9);
+    let rate = insts as f64 / secs;
+    let failed_note = if failed == 0 {
+        String::new()
+    } else {
+        format!(", {failed} failed")
+    };
     eprintln!(
-        "[simulated {insts} instructions in {wall:.1?} ({rate:.0} sim-inst/s, {} thread{}); total wall {total:.1?}]",
+        "[simulated {jobs} job{}{failed_note}: {insts} instructions in {wall:.1?} ({:.1} sims/s, {rate:.0} sim-inst/s, {} thread{}); total wall {total:.1?}]",
+        if jobs == 1 { "" } else { "s" },
+        jobs as f64 / secs,
         ctx.threads(),
         if ctx.threads() == 1 { "" } else { "s" },
     );

@@ -110,7 +110,8 @@ impl SweepSpec {
         // points run in parallel under --threads.
         ctx.sim_batch(&self.points());
         let mut t = Table::new(&[
-            "workload", "width", "mem", "bp", "cycles", "IPC", "dl1 miss", "bp acc",
+            "workload", "width", "mem", "bp", "cycles", "IPC", "dl1 miss", "bp acc", "top EU",
+            "slots",
         ]);
         for &w in &self.workloads {
             for width in &self.widths {
@@ -130,21 +131,37 @@ impl SweepSpec {
                             bp.clone(),
                         ];
                         match ctx.try_sim(w, &cfg) {
-                            Ok(r) => t.row_owned(
-                                row_head
-                                    .into_iter()
-                                    .chain([
-                                        r.cycles.to_string(),
-                                        f2(r.ipc()),
-                                        pct(r.dl1.miss_rate()),
-                                        pct(r.bp_accuracy()),
-                                    ])
-                                    .collect(),
-                            ),
+                            Ok(r) => {
+                                // riscv-sim-style EU attribution: the
+                                // busiest functional-unit class makes
+                                // compute-bound points readable at a
+                                // glance (RG_VI-heavy SIMD codes pin
+                                // their vector unit; memory-bound codes
+                                // run every EU near idle).
+                                let top_eu = r
+                                    .busiest_eu()
+                                    .map(|(c, busy)| format!("{} {}", c.label(), pct(busy)))
+                                    .unwrap_or_default();
+                                let slots = pct(r.issue_slot_utilisation());
+                                t.row_owned(
+                                    row_head
+                                        .into_iter()
+                                        .chain([
+                                            r.cycles.to_string(),
+                                            f2(r.ipc()),
+                                            pct(r.dl1.miss_rate()),
+                                            pct(r.bp_accuracy()),
+                                            top_eu,
+                                            slots,
+                                        ])
+                                        .collect(),
+                                )
+                            }
                             Err(_) => t.row_owned(
                                 row_head
                                     .into_iter()
-                                    .chain(["FAILED".into(), "".into(), "".into(), "".into()])
+                                    .chain(std::iter::once("FAILED".to_string()))
+                                    .chain(std::iter::repeat_n(String::new(), 5))
                                     .collect(),
                             ),
                         }

@@ -2,9 +2,10 @@
 //! replaying the array-of-structs trace it was packed from — for every
 //! workload the suite traces — and packing must be lossless.
 
+use sapa_core::bioseq::rng::SplitMix64;
 use sapa_core::cpu::config::SimConfig;
-use sapa_core::cpu::Simulator;
-use sapa_core::isa::PackedTrace;
+use sapa_core::cpu::{DecodeBuf, Simulator};
+use sapa_core::isa::{Inst, PackedTrace};
 use sapa_core::workloads::{StandardInputs, Workload};
 
 #[test]
@@ -18,6 +19,88 @@ fn packed_replay_matches_aos_replay_for_every_workload() {
             sim.run(&trace),
             sim.run_packed(&packed),
             "{w} diverged between packed and unpacked replay"
+        );
+    }
+}
+
+/// Fully drains `packed` through a block decoder using a fixed per-call
+/// buffer size and returns the decoded sequence.
+fn decode_in_blocks(packed: &PackedTrace, block: usize) -> Vec<Inst> {
+    let mut d = packed.block_decoder();
+    let mut buf = vec![Inst::default(); block];
+    let mut out = Vec::with_capacity(packed.len());
+    loop {
+        let n = d.fill(&mut buf);
+        if n == 0 {
+            break;
+        }
+        out.extend_from_slice(&buf[..n]);
+    }
+    out
+}
+
+#[test]
+fn block_decode_is_bit_identical_at_every_boundary_case() {
+    // The block size cases the decoder must survive: degenerate (1),
+    // odd (7), straddling the default block size (255/256/257), and
+    // hugging the trace length (len-1, len, len+1).
+    let inputs = StandardInputs::with_db_size(12, 1);
+    for w in Workload::ALL {
+        let trace = w.trace(&inputs).trace;
+        let packed = PackedTrace::from_trace(&trace);
+        let reference: Vec<Inst> = packed.iter().collect();
+        let len = packed.len();
+        for block in [1, 7, 255, 256, 257, len - 1, len, len + 1] {
+            assert_eq!(
+                decode_in_blocks(&packed, block),
+                reference,
+                "{w}: block size {block} diverged from the per-inst reader"
+            );
+        }
+    }
+}
+
+#[test]
+fn block_decode_survives_randomized_buffer_sizes_mid_stream() {
+    // The engine always asks with one buffer size, but the decoder's
+    // contract is caller-sized fills: fuzz sequences of random sizes
+    // (including size changes mid-stream) against the per-inst reader.
+    let inputs = StandardInputs::with_db_size(12, 1);
+    let mut rng = SplitMix64::new(0x5EED_B10C);
+    for w in Workload::ALL {
+        let trace = w.trace(&inputs).trace;
+        let packed = PackedTrace::from_trace(&trace);
+        let reference: Vec<Inst> = packed.iter().collect();
+        for _ in 0..8 {
+            let mut d = packed.block_decoder();
+            let mut out = Vec::with_capacity(packed.len());
+            while d.remaining() > 0 {
+                let size = 1 + (rng.next_u64() % 400) as usize;
+                let mut buf = vec![Inst::default(); size];
+                let n = d.fill(&mut buf);
+                assert!(n > 0, "fill returned 0 with {} remaining", d.remaining());
+                out.extend_from_slice(&buf[..n]);
+            }
+            assert_eq!(out, reference, "{w}: randomized fill sizes diverged");
+        }
+    }
+}
+
+#[test]
+fn replay_with_shared_decode_buf_matches_for_every_workload() {
+    // The sweep path: one reusable DecodeBuf across many replays must
+    // not leak state between workloads or runs.
+    let inputs = StandardInputs::with_db_size(12, 1);
+    let sim = Simulator::new(SimConfig::four_way());
+    let mut buf = DecodeBuf::new();
+    for w in Workload::ALL {
+        let trace = w.trace(&inputs).trace;
+        let packed = PackedTrace::from_trace(&trace);
+        let fresh = sim.run_packed(&packed);
+        assert_eq!(
+            fresh,
+            sim.run_packed_with(&packed, &mut buf),
+            "{w} diverged with a reused decode buffer"
         );
     }
 }
