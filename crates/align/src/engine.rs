@@ -44,6 +44,7 @@
 //!     top_k: 10,
 //!     min_score: 25,
 //!     deadline: None,
+//!     report_alignments: false,
 //! };
 //! let subjects = [subj.residues()];
 //! let engine = Engine::from_name("striped").unwrap();
@@ -61,6 +62,7 @@ use sapa_bioseq::matrix::GapPenalties;
 use sapa_bioseq::profile::QueryProfile;
 use sapa_bioseq::{AminoAcid, SubstitutionMatrix};
 
+use crate::result::Alignment;
 use crate::striped::{ByteWorkspace, Workspace as WordWorkspace};
 use crate::{blast, fasta, parallel, simd_sw, stats, striped, sw};
 
@@ -441,10 +443,17 @@ pub struct SearchRequest<'a> {
     /// deadline the response may be partial (`completed == false`),
     /// covering a ranked prefix of the database.
     pub deadline: Option<Deadline>,
+    /// Reconstruct full alignments (coordinates + CIGAR) for the
+    /// reported hits via the three-pass striped traceback
+    /// ([`crate::traceback`]). Score-only searches (`false`, the
+    /// common case) pay nothing. Heuristic engines report approximate
+    /// scores that no exact path can replay, so their hits keep
+    /// `alignment: None` regardless of this flag.
+    pub report_alignments: bool,
 }
 
 /// One ranked hit with its significance statistics.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RankedHit {
     /// Index of the subject in the searched database.
     pub seq_index: usize,
@@ -454,6 +463,11 @@ pub struct RankedHit {
     pub bits: f64,
     /// Expected number of chance hits this good in the search space.
     pub evalue: f64,
+    /// Full alignment (coordinates + CIGAR), present only when the
+    /// request set [`SearchRequest::report_alignments`] and the engine
+    /// is exact; `None` otherwise (and for hits whose traceback was
+    /// quarantined by a panic).
+    pub alignment: Option<Alignment>,
 }
 
 /// One subject removed from a scan because scoring it panicked.
@@ -683,15 +697,31 @@ fn respond<E: AlignmentEngine>(
     );
     let ka = stats::KarlinAltschul::for_gaps(req.gaps);
     let db_residues: usize = subjects.iter().map(|s| s.len()).sum();
+    // Heuristic engines report approximate scores no exact traceback
+    // can replay, so alignments are reconstructed only for exact ones.
+    let alignments = if req.report_alignments && id.is_exact() {
+        parallel::align_hits::<8>(
+            req.query,
+            req.matrix,
+            req.gaps,
+            subjects,
+            scan.results.hits(),
+            threads,
+        )
+    } else {
+        vec![None; scan.results.hits().len()]
+    };
     let hits = scan
         .results
         .hits()
         .iter()
-        .map(|h| RankedHit {
+        .zip(alignments)
+        .map(|(h, alignment)| RankedHit {
             seq_index: h.seq_index,
             score: h.score,
             bits: ka.bit_score(h.score),
             evalue: ka.evalue(h.score, req.query.len(), db_residues, subjects.len()),
+            alignment,
         })
         .collect();
     let coverage = scan.stats.subjects;
@@ -775,6 +805,7 @@ mod tests {
             top_k: db.len(),
             min_score: 1,
             deadline: None,
+            report_alignments: false,
         };
         let subjects: Vec<&[AminoAcid]> = db.iter().map(|s| s.residues()).collect();
         let reference = Engine::Sw.search(&req, &subjects, 1);
@@ -783,6 +814,51 @@ mod tests {
             assert_eq!(resp.hits, reference.hits, "engine {e}");
             assert_eq!(resp.engine, e);
         }
+    }
+
+    #[test]
+    fn report_alignments_attaches_replayable_cigars() {
+        let (query, db) = small_setup();
+        let m = SubstitutionMatrix::blosum62();
+        let g = GapPenalties::paper();
+        let subjects: Vec<&[AminoAcid]> = db.iter().map(|s| s.residues()).collect();
+        let req = SearchRequest {
+            query: query.residues(),
+            matrix: &m,
+            gaps: g,
+            top_k: 5,
+            min_score: 1,
+            deadline: None,
+            report_alignments: true,
+        };
+        for e in Engine::ALL {
+            let resp = e.search(&req, &subjects, 2);
+            for hit in &resp.hits {
+                if e.is_exact() {
+                    let al = hit
+                        .alignment
+                        .as_ref()
+                        .unwrap_or_else(|| panic!("{e}: hit {} missing alignment", hit.seq_index));
+                    assert_eq!(
+                        al.replay_score(query.residues(), subjects[hit.seq_index], &m, g),
+                        Some(hit.score),
+                        "{e}: hit {}",
+                        hit.seq_index
+                    );
+                } else {
+                    // Heuristic scores are approximate — no CIGAR.
+                    assert!(hit.alignment.is_none(), "{e}");
+                }
+            }
+        }
+        // Score-only searches attach nothing.
+        let quiet_req = SearchRequest {
+            report_alignments: false,
+            ..req
+        };
+        let quiet = Engine::Striped.search(&quiet_req, &subjects, 1);
+        assert!(!quiet.hits.is_empty());
+        assert!(quiet.hits.iter().all(|h| h.alignment.is_none()));
     }
 
     #[test]
@@ -796,6 +872,7 @@ mod tests {
             top_k: 10,
             min_score: 1,
             deadline: None,
+            report_alignments: false,
         };
         let subjects: Vec<&[AminoAcid]> = db.iter().map(|s| s.residues()).collect();
         let resp = Engine::Striped.search(&req, &subjects, 2);
@@ -823,6 +900,7 @@ mod tests {
             top_k: 3,
             min_score: 60,
             deadline: None,
+            report_alignments: false,
         };
         let resp = Engine::Sw.search(&req, &subjects, 1);
         assert!(resp.hits.len() <= 3);
@@ -841,6 +919,7 @@ mod tests {
             top_k: 10,
             min_score: 1,
             deadline: None,
+            report_alignments: false,
         };
         let resp = Engine::Striped.search(&req, &subjects, 2);
         assert!(resp.completed);
@@ -865,6 +944,7 @@ mod tests {
             top_k: db.len(),
             min_score: 1,
             deadline: Some(Deadline::Cells(total / 2)),
+            report_alignments: false,
         };
         let one = Engine::Sw.search(&req, &subjects, 1);
         assert!(!one.completed);
@@ -890,6 +970,7 @@ mod tests {
             top_k: 5,
             min_score: 1,
             deadline: Some(Deadline::Cells(0)),
+            report_alignments: false,
         };
         let resp = Engine::Sw.search(&req, &subjects, 2);
         assert!(!resp.completed);
@@ -909,6 +990,7 @@ mod tests {
             top_k: 5,
             min_score: 1,
             deadline: Some(Deadline::Wall(std::time::Duration::ZERO)),
+            report_alignments: false,
         };
         let resp = Engine::Sw.search(&req, &subjects, 2);
         // An already-expired cutoff must degrade, not hang or panic.

@@ -62,10 +62,11 @@ pub mod simd_sw;
 pub mod stats;
 pub mod striped;
 pub mod sw;
+pub mod traceback;
 pub mod xdrop;
 
 pub use engine::{
     AlignmentEngine, Deadline, Engine, Quarantined, RankedHit, RunStats, SearchRequest,
     SearchResponse,
 };
-pub use result::{Hit, SearchResults, TopK};
+pub use result::{Alignment, Cigar, CigarOp, Hit, SearchResults, TopK};

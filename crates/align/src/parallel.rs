@@ -43,10 +43,14 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
-use sapa_bioseq::AminoAcid;
+use sapa_bioseq::matrix::GapPenalties;
+use sapa_bioseq::profile::QueryProfile;
+use sapa_bioseq::{AminoAcid, SubstitutionMatrix};
 
 use crate::engine::{AlignmentEngine, Deadline, Quarantined, RunStats};
-use crate::result::{Hit, SearchResults, TopK};
+use crate::result::{Alignment, Hit, SearchResults, TopK};
+use crate::striped::Workspace;
+use crate::traceback;
 
 /// Subjects claimed per `fetch_add` when the caller does not choose:
 /// large enough that the shared cursor is touched ~1/16th as often,
@@ -446,6 +450,89 @@ pub fn engine_search_bounded<E: AlignmentEngine>(
     }
 }
 
+/// Reconstructs full alignments for a batch of ranked hits in
+/// parallel, one [`traceback::align_hit`] call per hit.
+///
+/// Hits are few (top-k) but individually heavy (three extra passes per
+/// hit), so workers claim one hit at a time. One query profile is built
+/// and shared; each worker keeps a reusable striped workspace. A hit
+/// whose traceback panics yields `None` in its slot (mirroring the
+/// scan-side quarantine policy) and the worker's workspace is
+/// discarded. The output is indexed like `hits` — deterministic and
+/// thread-count independent.
+///
+/// # Panics
+///
+/// Panics if `threads` is 0 or a hit's `seq_index` is out of bounds
+/// for `subjects`.
+pub fn align_hits<const L: usize>(
+    query: &[AminoAcid],
+    matrix: &SubstitutionMatrix,
+    gaps: GapPenalties,
+    subjects: &[&[AminoAcid]],
+    hits: &[Hit],
+    threads: usize,
+) -> Vec<Option<Alignment>> {
+    assert!(threads > 0, "align_hits requires at least one thread");
+    if hits.is_empty() {
+        return Vec::new();
+    }
+    let profile = QueryProfile::build(query, matrix, L);
+    let n = hits.len();
+    let workers = threads.min(n);
+    let cursor = AtomicUsize::new(0);
+
+    let mut partials: Vec<Vec<(usize, Option<Alignment>)>> = Vec::with_capacity(workers);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let cursor = &cursor;
+            let profile = &profile;
+            handles.push(scope.spawn(move || {
+                let mut ws = Workspace::<L>::new();
+                let mut local = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let hit = hits[i];
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        traceback::align_hit::<L>(
+                            query,
+                            matrix,
+                            gaps,
+                            profile,
+                            subjects[hit.seq_index],
+                            hit.score,
+                            &mut ws,
+                        )
+                    }));
+                    match outcome {
+                        Ok(alignment) => local.push((i, alignment)),
+                        Err(_) => {
+                            ws = Workspace::new();
+                            local.push((i, None));
+                        }
+                    }
+                }
+                local
+            }));
+        }
+        for handle in handles {
+            partials.push(handle.join().expect("traceback worker panicked"));
+        }
+    });
+
+    let mut out = vec![None; n];
+    for partial in partials {
+        for (i, alignment) in partial {
+            out[i] = alignment;
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -483,6 +570,47 @@ mod tests {
         // And they equal the serial computation.
         for (i, s) in db.iter().enumerate() {
             assert_eq!(one[i], sw::score(query.residues(), s.residues(), &m, g));
+        }
+    }
+
+    #[test]
+    fn align_hits_replays_and_is_thread_count_invariant() {
+        let queries = QuerySet::paper();
+        let query = queries.by_accession("P02232").unwrap().clone();
+        let db = DatabaseBuilder::new()
+            .seed(11)
+            .sequences(24)
+            .median_length(90.0)
+            .homolog_template(query.clone())
+            .build();
+        let m = SubstitutionMatrix::blosum62();
+        let g = GapPenalties::paper();
+        let slices: Vec<&[sapa_bioseq::AminoAcid]> = db.iter().map(|s| s.residues()).collect();
+
+        // Rank hits with the scalar oracle, then trace them back.
+        let hits: Vec<Hit> = slices
+            .iter()
+            .enumerate()
+            .map(|(seq_index, s)| Hit {
+                seq_index,
+                score: sw::score(query.residues(), s, &m, g),
+            })
+            .filter(|h| h.score > 0)
+            .collect();
+        assert!(!hits.is_empty());
+
+        let one = align_hits::<8>(query.residues(), &m, g, &slices, &hits, 1);
+        let four = align_hits::<8>(query.residues(), &m, g, &slices, &hits, 4);
+        assert_eq!(one, four);
+        assert_eq!(one.len(), hits.len());
+        for (hit, al) in hits.iter().zip(&one) {
+            let al = al.as_ref().expect("positive-score hit must align");
+            assert_eq!(
+                al.replay_score(query.residues(), slices[hit.seq_index], &m, g),
+                Some(hit.score),
+                "subject {}",
+                hit.seq_index
+            );
         }
     }
 

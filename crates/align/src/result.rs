@@ -7,9 +7,19 @@
 //! ranked list with `&self` accessors and deterministic ordering
 //! (descending score, ties broken by ascending sequence index), so the
 //! same scan yields bit-identical output at any thread count.
+//!
+//! [`Alignment`] is the full-coordinates-plus-[`Cigar`] record the
+//! three-pass striped traceback ([`crate::traceback`]) attaches to
+//! ranked hits when a search asks for `report_alignments`.
 
 use std::cmp::{Ordering, Reverse};
 use std::collections::BinaryHeap;
+use std::fmt;
+
+use sapa_bioseq::matrix::GapPenalties;
+use sapa_bioseq::{AminoAcid, SubstitutionMatrix};
+
+use crate::sw::AlignOp;
 
 /// One database hit: a sequence index and its alignment score.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -156,6 +166,171 @@ impl SearchResults {
     }
 }
 
+/// One CIGAR operation kind, SAM-style with the subject as the
+/// reference: `M` consumes both sequences, `I` consumes only the query
+/// (insertion relative to the subject), `D` consumes only the subject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CigarOp {
+    /// Aligned pair (match or substitution) — SAM `M`.
+    Match,
+    /// Query residue with no subject partner — SAM `I`.
+    Ins,
+    /// Subject residue with no query partner — SAM `D`.
+    Del,
+}
+
+impl CigarOp {
+    /// The SAM character for this operation.
+    pub fn as_char(self) -> char {
+        match self {
+            CigarOp::Match => 'M',
+            CigarOp::Ins => 'I',
+            CigarOp::Del => 'D',
+        }
+    }
+
+    fn from_align_op(op: AlignOp) -> Self {
+        match op {
+            AlignOp::Subst => CigarOp::Match,
+            AlignOp::Delete => CigarOp::Ins, // consumes the query
+            AlignOp::Insert => CigarOp::Del, // consumes the subject
+        }
+    }
+}
+
+/// A run-length-encoded CIGAR string, e.g. `12M3I7M`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Cigar {
+    ops: Vec<(u32, CigarOp)>,
+}
+
+impl Cigar {
+    /// Run-length-encodes a per-column op sequence (query = `a` side of
+    /// the [`AlignOp`] convention, subject = `b` side).
+    pub fn from_ops(ops: &[AlignOp]) -> Self {
+        let mut runs: Vec<(u32, CigarOp)> = Vec::new();
+        for &op in ops {
+            let c = CigarOp::from_align_op(op);
+            match runs.last_mut() {
+                Some((n, last)) if *last == c => *n += 1,
+                _ => runs.push((1, c)),
+            }
+        }
+        Cigar { ops: runs }
+    }
+
+    /// The `(length, op)` runs in order.
+    pub fn runs(&self) -> &[(u32, CigarOp)] {
+        &self.ops
+    }
+
+    /// Whether the CIGAR is empty (no aligned columns).
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Total query residues consumed (`M` + `I`).
+    pub fn query_span(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|(_, c)| matches!(c, CigarOp::Match | CigarOp::Ins))
+            .map(|(n, _)| *n as usize)
+            .sum()
+    }
+
+    /// Total subject residues consumed (`M` + `D`).
+    pub fn subject_span(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|(_, c)| matches!(c, CigarOp::Match | CigarOp::Del))
+            .map(|(n, _)| *n as usize)
+            .sum()
+    }
+}
+
+impl fmt::Display for Cigar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (n, c) in &self.ops {
+            write!(f, "{n}{}", c.as_char())?;
+        }
+        Ok(())
+    }
+}
+
+/// A full local alignment for one reported hit: half-open coordinate
+/// ranges on both sequences plus the [`Cigar`] over the aligned window.
+///
+/// Produced by the three-pass striped traceback
+/// ([`crate::traceback::align_hit`]) when a [`crate::SearchRequest`]
+/// sets `report_alignments`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Alignment {
+    /// Start (inclusive) of the aligned region in the query.
+    pub query_start: usize,
+    /// End (exclusive) of the aligned region in the query.
+    pub query_end: usize,
+    /// Start (inclusive) of the aligned region in the subject.
+    pub subject_start: usize,
+    /// End (exclusive) of the aligned region in the subject.
+    pub subject_end: usize,
+    /// Edit operations over the aligned window.
+    pub cigar: Cigar,
+}
+
+impl Alignment {
+    /// Replays the CIGAR against the two sequences and recomputes the
+    /// affine-gap score (each maximal gap run charged `open` once plus
+    /// `extend` per residue).
+    ///
+    /// Returns `None` if the CIGAR is inconsistent with the recorded
+    /// coordinates or runs out of either sequence — the property suite
+    /// uses this as the ground-truth check that reported alignments
+    /// replay to exactly the reported score.
+    pub fn replay_score(
+        &self,
+        query: &[AminoAcid],
+        subject: &[AminoAcid],
+        matrix: &SubstitutionMatrix,
+        gaps: GapPenalties,
+    ) -> Option<i32> {
+        let (mut i, mut j) = (self.query_start, self.subject_start);
+        let mut total = 0i32;
+        for &(n, op) in self.cigar.runs() {
+            let n = n as usize;
+            match op {
+                CigarOp::Match => {
+                    if i + n > query.len() || j + n > subject.len() {
+                        return None;
+                    }
+                    for k in 0..n {
+                        total += matrix.score(query[i + k], subject[j + k]);
+                    }
+                    i += n;
+                    j += n;
+                }
+                CigarOp::Ins => {
+                    if i + n > query.len() {
+                        return None;
+                    }
+                    total -= gaps.gap_cost(n as u32);
+                    i += n;
+                }
+                CigarOp::Del => {
+                    if j + n > subject.len() {
+                        return None;
+                    }
+                    total -= gaps.gap_cost(n as u32);
+                    j += n;
+                }
+            }
+        }
+        if (i, j) != (self.query_end, self.subject_end) {
+            return None;
+        }
+        Some(total)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -256,5 +431,72 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_rejected() {
         let _ = TopK::new(0);
+    }
+
+    fn seq(s: &str) -> Vec<AminoAcid> {
+        sapa_bioseq::Sequence::from_str("t", s)
+            .unwrap()
+            .residues()
+            .to_vec()
+    }
+
+    #[test]
+    fn cigar_run_length_encoding_and_display() {
+        use AlignOp::{Delete, Insert, Subst};
+        let cigar = Cigar::from_ops(&[Subst, Subst, Delete, Delete, Delete, Subst, Insert]);
+        assert_eq!(cigar.to_string(), "2M3I1M1D");
+        assert_eq!(cigar.query_span(), 2 + 3 + 1);
+        assert_eq!(cigar.subject_span(), 2 + 1 + 1);
+        assert!(Cigar::from_ops(&[]).is_empty());
+        assert_eq!(Cigar::from_ops(&[]).to_string(), "");
+    }
+
+    #[test]
+    fn alignment_replay_matches_manual_score() {
+        let m = SubstitutionMatrix::blosum62();
+        let g = GapPenalties::paper();
+        // Query AWGHE vs subject AWHE: one query residue unmatched.
+        let q = seq("AWGHE");
+        let s = seq("AWHE");
+        let al = Alignment {
+            query_start: 0,
+            query_end: 5,
+            subject_start: 0,
+            subject_end: 4,
+            cigar: Cigar::from_ops(&[
+                AlignOp::Subst,
+                AlignOp::Subst,
+                AlignOp::Delete,
+                AlignOp::Subst,
+                AlignOp::Subst,
+            ]),
+        };
+        let expect = m.score(q[0], s[0]) + m.score(q[1], s[1]) - g.gap_cost(1)
+            + m.score(q[3], s[2])
+            + m.score(q[4], s[3]);
+        assert_eq!(al.replay_score(&q, &s, &m, g), Some(expect));
+    }
+
+    #[test]
+    fn alignment_replay_rejects_inconsistent_coords() {
+        let m = SubstitutionMatrix::blosum62();
+        let g = GapPenalties::paper();
+        let q = seq("AWGHE");
+        let al = Alignment {
+            query_start: 0,
+            query_end: 4, // cigar consumes 5 query residues, not 4
+            subject_start: 0,
+            subject_end: 5,
+            cigar: Cigar::from_ops(&[AlignOp::Subst; 5]),
+        };
+        assert_eq!(al.replay_score(&q, &q, &m, g), None);
+        let overrun = Alignment {
+            query_start: 3,
+            query_end: 8,
+            subject_start: 0,
+            subject_end: 5,
+            cigar: Cigar::from_ops(&[AlignOp::Subst; 5]),
+        };
+        assert_eq!(overrun.replay_score(&q, &q, &m, g), None);
     }
 }

@@ -11,8 +11,25 @@
 //! * the query is pre-laid-out in a [`QueryProfile`] so the inner loop
 //!   loads a whole vector of substitution scores with one load, and
 //! * vertical-gap (`F`) propagation across lane boundaries is deferred
-//!   to a rare *lazy-F* correction loop that usually exits after one
-//!   check.
+//!   to a rare *lazy-F* correction that usually costs one predicate.
+//!
+//! The lazy-F correction here is *deconstructed* following Snytsar
+//! (arXiv:1909.00899): the common no-correction column is a single
+//! three-op early-exit test (shift, subtract, compare — no wrap
+//! iteration, no stores), and only when that predicate fires does the
+//! bounded wrap repair run, visiting each segment at most once per
+//! wrap under Farrar's termination test. Snytsar's further step — a
+//! `log2(L)`-step max-plus prefix scan folding all wraps into one
+//! pass — was implemented and measured slower on this crate's
+//! emulated vectors; see `correct_lazy_f`'s comment for the
+//! numbers-driven reasoning. The pre-deconstruction Farrar loop is
+//! kept as [`score_with_profile_ref`]/[`score_bytes_with_profile_ref`]
+//! for the bit-identity property tests and the speedup benchmark.
+//!
+//! [`score_ends_with_profile`] additionally reports the *end cell* of
+//! the best local alignment (SSW-style minimal endpoint: first column
+//! attaining the best score, smallest query offset within it) — the
+//! first pass of the three-pass traceback in [`crate::traceback`].
 //!
 //! Two precisions share the machinery:
 //!
@@ -165,6 +182,98 @@ pub fn score_with_profile<const L: usize>(
             vh = ws.h_load[s];
         }
 
+        // Deconstructed lazy-F (Snytsar): the common no-correction
+        // column is this one predicate — shift, subtract, compare —
+        // with no wrap iteration and no stores. Only when it fires
+        // does the bounded wrap repair below run, visiting each
+        // segment at most once per wrap under Farrar's termination
+        // test (at most L wraps). The repair is spelled out inline:
+        // hoisting it into a helper — even `#[inline(always)]`, even
+        // over plain slices — measurably pessimizes the surrounding
+        // loop's auto-vectorization, and `#[cold]`/`#[inline(never)]`
+        // variants cost ~5x by un-vectorizing the emulated vector
+        // ops. A log2(L)-step max-plus prefix scan folding all wraps
+        // into one pass (Snytsar's formulation) also benched slower:
+        // the folded F stays live across more segments than any
+        // single wrap, and emulated vectors have no branch-cost for
+        // the scan to amortize.
+        let mut vf = vf.shift_in_first(WORD_PAD);
+        if vf.any_gt(ws.h_store[0].subs(open_ext)) {
+            'lazy: for _ in 0..L {
+                for s in 0..segs {
+                    let h = ws.h_store[s].max(vf);
+                    ws.h_store[s] = h;
+                    vmax = vmax.max(h);
+                    let h_open = h.subs(open_ext);
+                    // A raised H can also feed next column's E.
+                    ws.e[s] = ws.e[s].max(h_open);
+                    vf = vf.subs(ext);
+                    if !vf.any_gt(h_open) {
+                        break 'lazy;
+                    }
+                }
+                vf = vf.shift_in_first(WORD_PAD);
+            }
+        }
+    }
+
+    i32::from(vmax.horizontal_max()).max(0)
+}
+
+/// Pre-deconstruction 16-bit kernel: Farrar's original wrap-until-break
+/// lazy-F loop, kept verbatim as the bit-identity oracle for the
+/// deconstructed kernel (property tests) and as the baseline side of
+/// the `lazyf_deconstructed_speedup` benchmark. Not used by any
+/// engine.
+///
+/// # Panics
+///
+/// Panics if the profile was built for a different word lane count.
+pub fn score_with_profile_ref<const L: usize>(
+    profile: &QueryProfile,
+    b: &[AminoAcid],
+    gaps: GapPenalties,
+    ws: &mut Workspace<L>,
+) -> i32 {
+    assert_eq!(
+        profile.word_lanes(),
+        L,
+        "profile built for {} word lanes, kernel instantiated for {L}",
+        profile.word_lanes()
+    );
+    if profile.query_len() == 0 || b.is_empty() {
+        return 0;
+    }
+    let segs = profile.word_segments();
+    let open_ext = Vector::<L>::splat((gaps.open + gaps.extend) as i16);
+    let ext = Vector::<L>::splat(gaps.extend as i16);
+    let zero = Vector::<L>::zero();
+    let neg = Vector::<L>::splat(WORD_PAD);
+
+    ws.reset(segs);
+    let mut vmax = zero;
+
+    for &bj in b {
+        let row = profile.word_row(bj);
+        let mut vf = neg;
+        let mut vh = ws.h_store[segs - 1].shift_in_first(0);
+        std::mem::swap(&mut ws.h_store, &mut ws.h_load);
+
+        for s in 0..segs {
+            let p = Vector::<L>::from_slice(&row[s * L..]);
+            vh = vh.adds(p);
+            let e = ws.e[s];
+            vh = vh.max(e).max(vf).max(zero);
+            vmax = vmax.max(vh);
+            ws.h_store[s] = vh;
+
+            let h_open = vh.subs(open_ext);
+            ws.e[s] = e.subs(ext).max(h_open);
+            vf = vf.subs(ext).max(h_open);
+
+            vh = ws.h_load[s];
+        }
+
         // Lazy-F: propagate the column's F across lane boundaries until
         // it can no longer raise any H (Farrar's termination test). At
         // most L wraps — each shift advances the chain one lane.
@@ -175,7 +284,6 @@ pub fn score_with_profile<const L: usize>(
                 ws.h_store[s] = h;
                 vmax = vmax.max(h);
                 let h_open = h.subs(open_ext);
-                // A raised H can also feed next column's E.
                 ws.e[s] = ws.e[s].max(h_open);
                 vf = vf.subs(ext);
                 if !vf.any_gt(h_open) {
@@ -254,6 +362,100 @@ pub fn score_bytes_with_profile<const L: usize>(
             vh = ws.h_load[s];
         }
 
+        // Deconstructed lazy-F, byte flavour: dead is 0 (the unsigned
+        // floor), so the same one-predicate fast path applies — and
+        // fires far more rarely than in 16-bit, because a positive F
+        // has to survive the zero floor. Spelled out inline for the
+        // same codegen reasons as the word kernel.
+        let mut vf = vf.shift_in_first(0);
+        if vf.any_gt(ws.h_store[0].subs(open_ext)) {
+            'lazy: for _ in 0..L {
+                for s in 0..segs {
+                    let h = ws.h_store[s].max(vf);
+                    ws.h_store[s] = h;
+                    colmax = colmax.max(h);
+                    let h_open = h.subs(open_ext);
+                    ws.e[s] = ws.e[s].max(h_open);
+                    vf = vf.subs(ext);
+                    if !vf.any_gt(h_open) {
+                        break 'lazy;
+                    }
+                }
+                vf = vf.shift_in_first(0);
+            }
+        }
+
+        let cm = colmax.horizontal_max();
+        if cm > best {
+            best = cm;
+        }
+        if i32::from(best) >= guard {
+            return None; // next column could clip — rescore in 16-bit
+        }
+    }
+
+    Some(i32::from(best))
+}
+
+/// Pre-deconstruction byte kernel — the bit-identity oracle for
+/// [`score_bytes_with_profile`], including identical `None`
+/// (saturation) decisions. Not used by any engine.
+///
+/// # Panics
+///
+/// Panics if the profile was built for a different byte lane count.
+pub fn score_bytes_with_profile_ref<const L: usize>(
+    profile: &QueryProfile,
+    b: &[AminoAcid],
+    gaps: GapPenalties,
+    ws: &mut ByteWorkspace<L>,
+) -> Option<i32> {
+    assert_eq!(
+        profile.byte_lanes(),
+        L,
+        "profile built for {} byte lanes, kernel instantiated for {L}",
+        profile.byte_lanes()
+    );
+    if profile.query_len() == 0 || b.is_empty() {
+        return Some(0);
+    }
+    if !profile.has_bytes() {
+        return None;
+    }
+    let guard = 255 - profile.bias() - profile.max_score();
+    if guard <= 0 {
+        return None;
+    }
+    let segs = profile.byte_segments();
+    let bias_v = ByteVector::<L>::splat(profile.bias() as u8);
+    let open_ext = ByteVector::<L>::splat((gaps.open + gaps.extend).min(255) as u8);
+    let ext = ByteVector::<L>::splat(gaps.extend.min(255) as u8);
+
+    ws.reset(segs);
+    let mut best = 0u8;
+
+    for &bj in b {
+        let row = profile.byte_row(bj).expect("byte layout checked above");
+        let mut vf = ByteVector::<L>::zero();
+        let mut vh = ws.h_store[segs - 1].shift_in_first(0);
+        std::mem::swap(&mut ws.h_store, &mut ws.h_load);
+        let mut colmax = ByteVector::<L>::zero();
+
+        for s in 0..segs {
+            let p = ByteVector::<L>::from_slice(&row[s * L..]);
+            vh = vh.adds(p).subs(bias_v);
+            let e = ws.e[s];
+            vh = vh.max(e).max(vf);
+            colmax = colmax.max(vh);
+            ws.h_store[s] = vh;
+
+            let h_open = vh.subs(open_ext);
+            ws.e[s] = e.subs(ext).max(h_open);
+            vf = vf.subs(ext).max(h_open);
+
+            vh = ws.h_load[s];
+        }
+
         'lazy: for _ in 0..L {
             vf = vf.shift_in_first(0);
             for s in 0..segs {
@@ -274,7 +476,7 @@ pub fn score_bytes_with_profile<const L: usize>(
             best = cm;
         }
         if i32::from(best) >= guard {
-            return None; // next column could clip — rescore in 16-bit
+            return None;
         }
     }
 
@@ -296,6 +498,142 @@ pub fn score_adaptive_with_profile<const LB: usize, const LW: usize>(
         Some(s) => s,
         None => score_with_profile::<LW>(profile, b, gaps, ws),
     }
+}
+
+/// Best local score plus the *inclusive* coordinates of the cell it is
+/// attained in, as reported by [`score_ends_with_profile`].
+///
+/// When `score == 0` there is no positive-scoring alignment and the
+/// end coordinates are meaningless.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScoreEnds {
+    /// Best local-alignment score (0 if nothing scores positive).
+    pub score: i32,
+    /// Query index (0-based, inclusive) of the best cell.
+    pub query_end: usize,
+    /// Subject index (0-based, inclusive) of the best cell.
+    pub subject_end: usize,
+}
+
+/// 16-bit striped pass that also tracks *where* the best score is
+/// attained — the first pass of the SSW-style three-pass traceback.
+///
+/// End selection is deterministic and minimal: the reported cell lies
+/// in the **first** subject column whose maximum strictly exceeds every
+/// earlier column's, and within that column at the **smallest** query
+/// index attaining the column maximum. Running the same rule on the
+/// reversed prefixes (second pass) is what pins the start coordinates;
+/// see [`crate::traceback::align_hit`].
+///
+/// Scores are identical to [`score_with_profile`]; the extra cost is a
+/// per-column max-fold over the segments, which is why the engines use
+/// the plain kernel for scanning and this one only for reported hits.
+///
+/// # Panics
+///
+/// Panics if the profile was built for a different word lane count.
+pub fn score_ends_with_profile<const L: usize>(
+    profile: &QueryProfile,
+    b: &[AminoAcid],
+    gaps: GapPenalties,
+    ws: &mut Workspace<L>,
+) -> ScoreEnds {
+    assert_eq!(
+        profile.word_lanes(),
+        L,
+        "profile built for {} word lanes, kernel instantiated for {L}",
+        profile.word_lanes()
+    );
+    let mut ends = ScoreEnds {
+        score: 0,
+        query_end: 0,
+        subject_end: 0,
+    };
+    if profile.query_len() == 0 || b.is_empty() {
+        return ends;
+    }
+    let m = profile.query_len();
+    let segs = profile.word_segments();
+    let open_ext = Vector::<L>::splat((gaps.open + gaps.extend) as i16);
+    let ext = Vector::<L>::splat(gaps.extend as i16);
+    let zero = Vector::<L>::zero();
+    let neg = Vector::<L>::splat(WORD_PAD);
+
+    ws.reset(segs);
+    let mut vmax = zero;
+    let mut best_v = zero;
+
+    for (j, &bj) in b.iter().enumerate() {
+        let row = profile.word_row(bj);
+        let mut vf = neg;
+        let mut vh = ws.h_store[segs - 1].shift_in_first(0);
+        std::mem::swap(&mut ws.h_store, &mut ws.h_load);
+
+        for s in 0..segs {
+            let p = Vector::<L>::from_slice(&row[s * L..]);
+            vh = vh.adds(p);
+            let e = ws.e[s];
+            vh = vh.max(e).max(vf).max(zero);
+            vmax = vmax.max(vh);
+            ws.h_store[s] = vh;
+
+            let h_open = vh.subs(open_ext);
+            ws.e[s] = e.subs(ext).max(h_open);
+            vf = vf.subs(ext).max(h_open);
+
+            vh = ws.h_load[s];
+        }
+
+        // Same deconstructed correction as `score_with_profile`; see
+        // the comment there for why it is spelled out inline.
+        let mut vf = vf.shift_in_first(WORD_PAD);
+        if vf.any_gt(ws.h_store[0].subs(open_ext)) {
+            'lazy: for _ in 0..L {
+                for s in 0..segs {
+                    let h = ws.h_store[s].max(vf);
+                    ws.h_store[s] = h;
+                    vmax = vmax.max(h);
+                    let h_open = h.subs(open_ext);
+                    ws.e[s] = ws.e[s].max(h_open);
+                    vf = vf.subs(ext);
+                    if !vf.any_gt(h_open) {
+                        break 'lazy;
+                    }
+                }
+                vf = vf.shift_in_first(WORD_PAD);
+            }
+        }
+
+        // Endpoint tracking: a strict improvement pins this column;
+        // the lane-outer / segment-inner sweep visits cells in
+        // increasing query order, so the first match is the minimal
+        // query index. Padding cells can never attain a new best —
+        // their H descends (gap-penalised) from a real cell already
+        // folded into the running best.
+        let mut colv = ws.h_store[0];
+        for s in 1..segs {
+            colv = colv.max(ws.h_store[s]);
+        }
+        if colv.any_gt(best_v) {
+            let col_best = colv.horizontal_max();
+            best_v = Vector::<L>::splat(col_best);
+            'find: for k in 0..L {
+                for s in 0..segs {
+                    if ws.h_store[s].extract(k) == col_best {
+                        let q = k * segs + s;
+                        if q < m {
+                            ends.query_end = q;
+                            ends.subject_end = j;
+                            break 'find;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    ends.score = i32::from(vmax.horizontal_max()).max(0);
+    ends
 }
 
 /// One-shot 16-bit striped score: builds the profile and workspace
@@ -454,6 +792,53 @@ mod tests {
         let profile = QueryProfile::build(&seq("ACD"), &m, 8);
         let mut ws = Workspace::<16>::new();
         let _ = score_with_profile::<16>(&profile, &seq("ACD"), GapPenalties::paper(), &mut ws);
+    }
+
+    #[test]
+    fn deconstructed_matches_reference_kernel() {
+        let m = bl62();
+        // Cheap gaps force real cross-lane corrections.
+        let g = GapPenalties::new(2, 1);
+        let a = seq("ACDEFGHIKLMNPQRSTVWYACDEFGHIKL");
+        let b = seq("ACDEFGPQRSTVWYACDEFGHIKL");
+        let profile = QueryProfile::build(&a, &m, 8);
+        let mut ws = Workspace::<8>::new();
+        let mut ws_ref = Workspace::<8>::new();
+        assert_eq!(
+            score_with_profile::<8>(&profile, &b, g, &mut ws),
+            score_with_profile_ref::<8>(&profile, &b, g, &mut ws_ref),
+        );
+        let mut bws = ByteWorkspace::<16>::new();
+        let mut bws_ref = ByteWorkspace::<16>::new();
+        assert_eq!(
+            score_bytes_with_profile::<16>(&profile, &b, g, &mut bws),
+            score_bytes_with_profile_ref::<16>(&profile, &b, g, &mut bws_ref),
+        );
+    }
+
+    #[test]
+    fn score_ends_locates_best_cell() {
+        let m = bl62();
+        let g = GapPenalties::paper();
+        // Query = subject: the best cell is the last residue of both.
+        let q = seq("MKWVTFISLLFLFSSAYSRGVFRR");
+        let profile = QueryProfile::build(&q, &m, 8);
+        let mut ws = Workspace::<8>::new();
+        let ends = score_ends_with_profile::<8>(&profile, &q, g, &mut ws);
+        assert_eq!(ends.score, sw::score(&q, &q, &m, g));
+        assert_eq!(ends.query_end, q.len() - 1);
+        assert_eq!(ends.subject_end, q.len() - 1);
+
+        // An embedded match: query sits inside a longer subject.
+        let subj = seq("GGGGGMKWVTFISLLFLFSSAYSRGVFRRGGGGG");
+        let ends = score_ends_with_profile::<8>(&profile, &subj, g, &mut ws);
+        assert_eq!(ends.score, sw::score(&q, &subj, &m, g));
+        assert_eq!(ends.query_end, q.len() - 1);
+        assert_eq!(ends.subject_end, 5 + q.len() - 1);
+
+        // No positive score: empty inputs report zero.
+        let empty = score_ends_with_profile::<8>(&profile, &[], g, &mut ws);
+        assert_eq!(empty.score, 0);
     }
 
     #[test]

@@ -1,0 +1,241 @@
+//! SSW-style three-pass traceback for the striped kernel.
+//!
+//! The striped scan is score-only by design — per-cell traceback state
+//! would destroy the memory profile that makes it fast. Following the
+//! SSW library (Zhao et al., arXiv:1208.6350), full alignments for the
+//! few *reported* hits are reconstructed afterwards in three bounded
+//! passes:
+//!
+//! 1. **End pass** — [`crate::striped::score_ends_with_profile`] rescans
+//!    the subject tracking the minimal end cell (first column attaining
+//!    the best score, smallest query index within it).
+//! 2. **Start pass** — the same kernel over the *reversed* prefixes
+//!    `query[..=qe]` / `subject[..=se]`; with the same minimal-endpoint
+//!    rule its end cell is exactly the forward alignment's start.
+//! 3. **CIGAR pass** — [`crate::banded::global_align`] over the pinned
+//!    window, doubling the band width until the banded score matches
+//!    the reported score (it is a lower bound that reaches equality
+//!    once the band covers the optimal path).
+//!
+//! The result replays to exactly the reported score —
+//! [`Alignment::replay_score`] is the property-test contract. Word-lane
+//! saturation (scores within one matrix-maximum of `i16::MAX`) and any
+//! defensive mismatch fall back to the full-matrix scalar
+//! [`crate::sw::align`], so the contract holds unconditionally.
+
+use sapa_bioseq::matrix::GapPenalties;
+use sapa_bioseq::profile::QueryProfile;
+use sapa_bioseq::{AminoAcid, SubstitutionMatrix};
+
+use crate::result::{Alignment, Cigar};
+use crate::striped::{score_ends_with_profile, Workspace};
+use crate::{banded, sw};
+
+/// Initial half-width for the banded CIGAR pass; doubled until the
+/// banded score reaches the reported score.
+const INITIAL_BAND: usize = 8;
+
+/// Reconstructs the full alignment behind one reported hit.
+///
+/// `expected` is the hit's exact Smith-Waterman score (from any exact
+/// engine, including the adaptive byte/word striped path); `profile`
+/// must be the forward query profile the scan used, and `ws` is
+/// reusable scratch. Returns `None` when `expected <= 0` (no
+/// positive-scoring alignment exists).
+///
+/// The returned alignment always replays to `expected` via
+/// [`Alignment::replay_score`].
+pub fn align_hit<const L: usize>(
+    query: &[AminoAcid],
+    matrix: &SubstitutionMatrix,
+    gaps: GapPenalties,
+    profile: &QueryProfile,
+    subject: &[AminoAcid],
+    expected: i32,
+    ws: &mut Workspace<L>,
+) -> Option<Alignment> {
+    if expected <= 0 {
+        return None;
+    }
+    // Word-lane headroom guard: near i16::MAX the striped H values can
+    // saturate mid-column, so the end cell would be unreliable. Such
+    // scores are vanishingly rare in protein search — take the scalar
+    // full-matrix path.
+    if expected >= i32::from(i16::MAX) - profile.max_score() {
+        return full_matrix_fallback(query, subject, matrix, gaps, expected);
+    }
+
+    // Pass 1: forward ends.
+    let fwd = score_ends_with_profile::<L>(profile, subject, gaps, ws);
+    if fwd.score != expected {
+        return full_matrix_fallback(query, subject, matrix, gaps, expected);
+    }
+    let (qe, se) = (fwd.query_end, fwd.subject_end);
+
+    // Pass 2: the same minimal-endpoint kernel on the reversed
+    // prefixes pins the start.
+    let rev_q: Vec<AminoAcid> = query[..=qe].iter().rev().copied().collect();
+    let rev_s: Vec<AminoAcid> = subject[..=se].iter().rev().copied().collect();
+    let rev_profile = QueryProfile::build(&rev_q, matrix, L);
+    let rev = score_ends_with_profile::<L>(&rev_profile, &rev_s, gaps, ws);
+    if rev.score != expected {
+        return full_matrix_fallback(query, subject, matrix, gaps, expected);
+    }
+    let qs = qe - rev.query_end;
+    let ss = se - rev.subject_end;
+
+    // Pass 3: banded global alignment over the window; the optimal
+    // local path runs corner to corner in it, so the banded score
+    // reaches `expected` once the band is wide enough.
+    let wq = &query[qs..=qe];
+    let wsub = &subject[ss..=se];
+    let mut width = INITIAL_BAND;
+    loop {
+        let (score, ops) = banded::global_align(wq, wsub, matrix, gaps, width);
+        if score == expected {
+            return Some(Alignment {
+                query_start: qs,
+                query_end: qe + 1,
+                subject_start: ss,
+                subject_end: se + 1,
+                cigar: Cigar::from_ops(&ops),
+            });
+        }
+        if width >= wq.len().max(wsub.len()) {
+            // Even the full band disagrees — should be unreachable for
+            // exact scores; recover via the scalar path.
+            return full_matrix_fallback(query, subject, matrix, gaps, expected);
+        }
+        width *= 2;
+    }
+}
+
+/// Scalar full-matrix fallback: exact but `O(m · n)` memory. Returns
+/// `None` if even the scalar aligner disagrees with `expected` (i.e.
+/// `expected` was not this pair's Smith-Waterman score).
+fn full_matrix_fallback(
+    query: &[AminoAcid],
+    subject: &[AminoAcid],
+    matrix: &SubstitutionMatrix,
+    gaps: GapPenalties,
+    expected: i32,
+) -> Option<Alignment> {
+    let al = sw::align(query, subject, matrix, gaps);
+    if al.score != expected {
+        return None;
+    }
+    Some(Alignment {
+        query_start: al.a_start,
+        query_end: al.a_end,
+        subject_start: al.b_start,
+        subject_end: al.b_end,
+        cigar: Cigar::from_ops(&al.ops),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sapa_bioseq::Sequence;
+
+    fn seq(s: &str) -> Vec<AminoAcid> {
+        Sequence::from_str("t", s).unwrap().residues().to_vec()
+    }
+
+    fn bl62() -> SubstitutionMatrix {
+        SubstitutionMatrix::blosum62()
+    }
+
+    fn check_pair(q: &str, s: &str, gaps: GapPenalties) {
+        let m = bl62();
+        let query = seq(q);
+        let subject = seq(s);
+        let expected = sw::score(&query, &subject, &m, gaps);
+        let profile = QueryProfile::build(&query, &m, 8);
+        let mut ws = Workspace::<8>::new();
+        let al = align_hit::<8>(&query, &m, gaps, &profile, &subject, expected, &mut ws);
+        if expected <= 0 {
+            assert!(al.is_none(), "{q} vs {s}");
+            return;
+        }
+        let al = al.unwrap_or_else(|| panic!("no alignment for {q} vs {s}"));
+        assert_eq!(
+            al.replay_score(&query, &subject, &m, gaps),
+            Some(expected),
+            "{q} vs {s}: {al:?}"
+        );
+        assert!(al.query_end <= query.len() && al.subject_end <= subject.len());
+        assert!(al.query_start < al.query_end && al.subject_start < al.subject_end);
+    }
+
+    #[test]
+    fn small_alignments_replay_to_score() {
+        let g = GapPenalties::paper();
+        check_pair("HEAGAWGHEE", "PAWHEAE", g);
+        check_pair("MKVLAA", "MKVLAA", g);
+        check_pair("ACDEFGHIKLMNPQRSTVWY", "YWVTSRQPNMLKIHGFEDCA", g);
+        check_pair("MKWVTFISLLFLFSSAYS", "MKWVTFISLL", g);
+        check_pair("WW", "WWWWWWWWWWWWWWWWWWWWWWWW", g);
+        check_pair("AAAA", "WWWW", g); // no positive score
+    }
+
+    #[test]
+    fn gapped_alignments_replay_under_cheap_gaps() {
+        // Cheap gaps force real insertions/deletions in the CIGAR and
+        // cross-lane lazy-F corrections in the scan passes.
+        let g = GapPenalties::new(2, 1);
+        check_pair(
+            "ACDEFGHIKLMNPQRSTVWYACDEFGHIKL",
+            "ACDEFGPQRSTVWYACDEFGHIKL",
+            g,
+        );
+        check_pair("MKWVTFISLLGGGGGFLFSSAYS", "MKWVTFISLLFLFSSAYS", g);
+    }
+
+    #[test]
+    fn embedded_match_gets_tight_window() {
+        let m = bl62();
+        let g = GapPenalties::paper();
+        let query = seq("MKWVTFISLLFLFSSAYSRGVFRR");
+        let subject = seq("GGGGGMKWVTFISLLFLFSSAYSRGVFRRGGGGG");
+        let expected = sw::score(&query, &subject, &m, g);
+        let profile = QueryProfile::build(&query, &m, 8);
+        let mut ws = Workspace::<8>::new();
+        let al = align_hit::<8>(&query, &m, g, &profile, &subject, expected, &mut ws).unwrap();
+        assert_eq!(al.query_start, 0);
+        assert_eq!(al.query_end, query.len());
+        assert_eq!(al.subject_start, 5);
+        assert_eq!(al.subject_end, 5 + query.len());
+        assert_eq!(al.cigar.to_string(), format!("{}M", query.len()));
+    }
+
+    #[test]
+    fn wrong_expected_score_returns_none() {
+        let m = bl62();
+        let g = GapPenalties::paper();
+        let query = seq("HEAGAWGHEE");
+        let subject = seq("PAWHEAE");
+        let profile = QueryProfile::build(&query, &m, 8);
+        let mut ws = Workspace::<8>::new();
+        // 10_000 is not this pair's score at any precision.
+        assert!(align_hit::<8>(&query, &m, g, &profile, &subject, 10_000, &mut ws).is_none());
+        assert!(align_hit::<8>(&query, &m, g, &profile, &subject, 0, &mut ws).is_none());
+        assert!(align_hit::<8>(&query, &m, g, &profile, &subject, -5, &mut ws).is_none());
+    }
+
+    #[test]
+    fn near_saturation_scores_take_scalar_fallback() {
+        // A uniform high-score matrix drives the score close to
+        // i16::MAX, exercising the headroom guard.
+        let m = SubstitutionMatrix::uniform(120, -120);
+        let g = GapPenalties::paper();
+        let query = seq(&"ACDEFGHIKL".repeat(28)); // 280 aa · 120 = 33600 > i16::MAX
+        let expected = sw::score(&query, &query, &m, g);
+        assert!(expected >= i32::from(i16::MAX) - 120);
+        let profile = QueryProfile::build(&query, &m, 8);
+        let mut ws = Workspace::<8>::new();
+        let al = align_hit::<8>(&query, &m, g, &profile, &query, expected, &mut ws).unwrap();
+        assert_eq!(al.replay_score(&query, &query, &m, g), Some(expected));
+        assert_eq!(al.cigar.to_string(), format!("{}M", query.len()));
+    }
+}

@@ -11,6 +11,7 @@
 //! property-test frameworks are unavailable); every run tests the same
 //! corpus, and a failing case prints its case index for replay.
 
+use sapa_align::engine::{Engine, SearchRequest};
 use sapa_align::{banded, blast, fasta, nw, simd_sw, striped, sw, xdrop};
 use sapa_bioseq::matrix::GapPenalties;
 use sapa_bioseq::profile::QueryProfile;
@@ -436,6 +437,130 @@ fn xdrop_monotone_in_x_and_bounded_by_local() {
         // alignment.
         assert!(loose <= sw::score(&a, &b, &m, g).max(0), "case {case}");
         assert!(loose >= 0, "case {case}");
+    }
+}
+
+/// The deconstructed lazy-F kernels (early-exit + prefix-scan
+/// correction) must be *bit-identical* to the pre-rework reference
+/// kernels kept in-tree as oracles — same scores as scalar SW for the
+/// word pass, and the exact same `Option` (including the overflow
+/// `None` decisions) for the byte pass.
+#[test]
+fn deconstructed_lazy_f_is_bit_identical_to_reference() {
+    let m = SubstitutionMatrix::blosum62();
+    let mut rng = Xoshiro256::new(0xDEC0);
+    let mut ws8 = striped::Workspace::<8>::new();
+    let mut ws16 = striped::Workspace::<16>::new();
+    let mut bws16 = striped::ByteWorkspace::<16>::new();
+    let mut bws32 = striped::ByteWorkspace::<32>::new();
+    for case in 0..CASES {
+        // Alternate random and gap-heavy inputs; cheap gaps every
+        // third case keep the correction path hot.
+        let (a, b) = if case % 2 == 0 {
+            (protein(&mut rng, 90), protein(&mut rng, 90))
+        } else {
+            (gappy_protein(&mut rng, 90), gappy_protein(&mut rng, 90))
+        };
+        let g = if case % 3 == 0 {
+            GapPenalties::new(1 + rng.next_below(3) as i32, 1)
+        } else {
+            gap_penalties(&mut rng)
+        };
+        let expect = sw::score(&a, &b, &m, g);
+
+        let p128 = QueryProfile::build(&a, &m, 8);
+        let p256 = QueryProfile::build(&a, &m, 16);
+
+        let new = striped::score_with_profile::<8>(&p128, &b, g, &mut ws8);
+        let old = striped::score_with_profile_ref::<8>(&p128, &b, g, &mut ws8);
+        assert_eq!(new, old, "word L=8 case {case}");
+        assert_eq!(new, expect, "word L=8 vs scalar case {case}");
+
+        let new = striped::score_with_profile::<16>(&p256, &b, g, &mut ws16);
+        let old = striped::score_with_profile_ref::<16>(&p256, &b, g, &mut ws16);
+        assert_eq!(new, old, "word L=16 case {case}");
+        assert_eq!(new, expect, "word L=16 vs scalar case {case}");
+
+        // Byte pass: Option equality — both kernels must make the same
+        // overflow call, and agree with scalar when they answer.
+        let new = striped::score_bytes_with_profile::<16>(&p128, &b, g, &mut bws16);
+        let old = striped::score_bytes_with_profile_ref::<16>(&p128, &b, g, &mut bws16);
+        assert_eq!(new, old, "byte LB=16 case {case}");
+        if let Some(s) = new {
+            assert_eq!(s, expect, "byte LB=16 vs scalar case {case}");
+        }
+
+        let new = striped::score_bytes_with_profile::<32>(&p256, &b, g, &mut bws32);
+        let old = striped::score_bytes_with_profile_ref::<32>(&p256, &b, g, &mut bws32);
+        assert_eq!(new, old, "byte LB=32 case {case}");
+        if let Some(s) = new {
+            assert_eq!(s, expect, "byte LB=32 vs scalar case {case}");
+        }
+    }
+}
+
+/// End-to-end traceback contract: every hit an exact engine reports
+/// with `report_alignments` carries coordinates and a CIGAR that
+/// replay to exactly the reported score — including hits that took the
+/// byte-saturation → word rescore path.
+#[test]
+fn traceback_cigars_replay_to_reported_score() {
+    let m = SubstitutionMatrix::blosum62();
+    let g = GapPenalties::paper();
+    let mut rng = Xoshiro256::new(0xC16A);
+
+    // ~120-residue query; the database plants a near-identical copy
+    // (few point edits), whose score far exceeds byte headroom and
+    // forces the adaptive engines through the word rescore, plus
+    // random/gappy decoys and a truncated fragment.
+    let query: Vec<AminoAcid> = (0..120)
+        .map(|_| {
+            let i = rng.next_below(20) as usize;
+            AminoAcid::from_index(i).unwrap()
+        })
+        .collect();
+    let mut near = query.clone();
+    for _ in 0..4 {
+        let at = rng.next_below(near.len() as u64) as usize;
+        let i = rng.next_below(20) as usize;
+        near[at] = AminoAcid::from_index(i).unwrap();
+    }
+    let mut subjects: Vec<Vec<AminoAcid>> = vec![near, query[20..100].to_vec()];
+    for _ in 0..12 {
+        subjects.push(protein(&mut rng, 110));
+        subjects.push(gappy_protein(&mut rng, 110));
+    }
+    let slices: Vec<&[AminoAcid]> = subjects.iter().map(|s| s.as_slice()).collect();
+
+    let req = SearchRequest {
+        query: &query,
+        matrix: &m,
+        gaps: g,
+        top_k: slices.len(),
+        min_score: 1,
+        deadline: None,
+        report_alignments: true,
+    };
+    for engine in Engine::ALL.into_iter().filter(|e| e.is_exact()) {
+        let resp = engine.search(&req, &slices, 2);
+        assert!(!resp.hits.is_empty(), "{engine}");
+        // The planted near-copy must rank first with a score beyond
+        // byte range, proving the rescore path is in play.
+        assert_eq!(resp.hits[0].seq_index, 0, "{engine}");
+        assert!(resp.hits[0].score > 255, "{engine}: {}", resp.hits[0].score);
+        for hit in &resp.hits {
+            let al = hit
+                .alignment
+                .as_ref()
+                .unwrap_or_else(|| panic!("{engine}: hit {} missing alignment", hit.seq_index));
+            assert_eq!(
+                al.replay_score(&query, slices[hit.seq_index], &m, g),
+                Some(hit.score),
+                "{engine}: hit {} CIGAR {}",
+                hit.seq_index,
+                al.cigar
+            );
+        }
     }
 }
 

@@ -1,32 +1,46 @@
 //! Striped vs anti-diagonal Smith-Waterman, plus the batched parallel
-//! database scan — the headline comparison for the striped-kernel PR.
+//! database scan — the headline comparison for the striped-kernel PRs.
 //!
 //! Groups:
 //!
 //! * `striped_kernels` — single-pair throughput of every SW machine at
 //!   both register widths: scalar Gotoh, lazy-F SSEARCH, anti-diagonal
-//!   `simd_sw`, striped 16-bit words, and the adaptive 8-bit byte pass
-//!   with 16-bit rescore;
-//! * `striped_scan` — a 200-sequence database scan: per-subject profile
-//!   rebuild vs one cached profile, serial vs the chunked parallel
-//!   pipeline (driven through the unified [`StripedEngine`] +
+//!   `simd_sw`, striped 16-bit words (deconstructed lazy-F and the
+//!   pre-rework `_ref` kernel), and the adaptive 8-bit byte pass with
+//!   16-bit rescore. The `_cheapgap` pairs rerun the word kernels
+//!   under `open=2, extend=1`, where lazy-F corrections actually fire
+//!   and the deconstructed correction has to earn its keep;
+//! * `striped_traceback` — what full alignment output costs on top of
+//!   the score-only scan: `score_only` vs the end-tracking pass vs the
+//!   complete three-pass traceback (ends + reversed pass + banded
+//!   CIGAR);
+//! * `striped_scan_200seqs` — a 200-sequence database scan: per-subject
+//!   profile rebuild vs one cached profile, serial vs the chunked
+//!   parallel pipeline (driven through the unified [`StripedEngine`] +
 //!   `parallel::engine_scores` API).
 //!
 //! Outside `--test` mode the run writes `BENCH_striped.json` at the
-//! repository root with every median and the derived striped-16 vs
-//! anti-diagonal speedup.
+//! repository root with every median plus derived speedups, including
+//! `lazyf_deconstructed_speedup` (pre-rework kernel vs deconstructed)
+//! and `traceback_overhead` (full three-pass alignment vs score-only).
+//!
+//! `--smoke` runs a cut-down variant for CI: fewer samples, no scan
+//! group, output to `BENCH_striped_smoke.json` (gitignored) — enough
+//! for the CI throughput gate to compare against the committed
+//! baseline without minutes of benchmarking.
 
 use sapa_bench::harness::{Criterion, Throughput};
 use sapa_bench::{bench_db, bench_query, slices};
 use sapa_core::align::engine::StripedEngine;
 use sapa_core::align::striped::{self, ByteWorkspace, Workspace};
-use sapa_core::align::{parallel, simd_sw, sw};
+use sapa_core::align::{parallel, simd_sw, sw, traceback};
 use sapa_core::bioseq::matrix::GapPenalties;
 use sapa_core::bioseq::{QueryProfile, SubstitutionMatrix};
 
 fn kernels(c: &mut Criterion) {
     let matrix = SubstitutionMatrix::blosum62();
     let gaps = GapPenalties::paper();
+    let cheap = GapPenalties::new(2, 1);
     let query = bench_query();
     let db = bench_db(4);
     let subject = db[0].residues();
@@ -55,9 +69,35 @@ fn kernels(c: &mut Criterion) {
     group.bench_function("striped_w16_vmx128", |b| {
         b.iter(|| striped::score_with_profile::<8>(&p128, subject, gaps, &mut ws8))
     });
+    group.bench_function("striped_w16_vmx128_ref", |b| {
+        b.iter(|| striped::score_with_profile_ref::<8>(&p128, subject, gaps, &mut ws8))
+    });
     let mut ws16 = Workspace::<16>::new();
     group.bench_function("striped_w16_vmx256", |b| {
         b.iter(|| striped::score_with_profile::<16>(&p256, subject, gaps, &mut ws16))
+    });
+    group.bench_function("striped_w16_vmx256_ref", |b| {
+        b.iter(|| striped::score_with_profile_ref::<16>(&p256, subject, gaps, &mut ws16))
+    });
+    // Cheap gaps make lazy-F corrections frequent instead of rare —
+    // the regime where the deconstructed correction's bounded pass
+    // replaces the reference kernel's O(segs) re-loops.
+    group.bench_function("striped_w16_vmx128_cheapgap", |b| {
+        b.iter(|| striped::score_with_profile::<8>(&p128, subject, cheap, &mut ws8))
+    });
+    group.bench_function("striped_w16_vmx128_ref_cheapgap", |b| {
+        b.iter(|| striped::score_with_profile_ref::<8>(&p128, subject, cheap, &mut ws8))
+    });
+    // Direct byte-kernel pair: the engines' production scan path, and
+    // the regime where the hoisted early-exit pays — the unsigned
+    // floor keeps F dead on most columns, so the reference kernel's
+    // mandatory first wrap iteration is almost always wasted work.
+    let mut bws16d = ByteWorkspace::<16>::new();
+    group.bench_function("striped_b8_vmx128", |b| {
+        b.iter(|| striped::score_bytes_with_profile::<16>(&p128, subject, gaps, &mut bws16d))
+    });
+    group.bench_function("striped_b8_vmx128_ref", |b| {
+        b.iter(|| striped::score_bytes_with_profile_ref::<16>(&p128, subject, gaps, &mut bws16d))
     });
     let mut bws16 = ByteWorkspace::<16>::new();
     let mut ws8b = Workspace::<8>::new();
@@ -74,6 +114,47 @@ fn kernels(c: &mut Criterion) {
         b.iter(|| {
             striped::score_adaptive_with_profile::<32, 16>(
                 &p256, subject, gaps, &mut bws32, &mut ws16b,
+            )
+        })
+    });
+    group.finish();
+}
+
+fn traceback_cost(c: &mut Criterion) {
+    let matrix = SubstitutionMatrix::blosum62();
+    let gaps = GapPenalties::paper();
+    let query = bench_query();
+    let db = bench_db(4);
+    // A homologous subject so there is a real alignment to trace.
+    let subject = db
+        .iter()
+        .map(|s| s.residues())
+        .max_by_key(|s| sw::score(query.residues(), s, &matrix, gaps))
+        .unwrap();
+    let cells = (query.len() * subject.len()) as u64;
+
+    let p128 = QueryProfile::build(query.residues(), &matrix, 8);
+    let expected = sw::score(query.residues(), subject, &matrix, gaps);
+    let mut ws = Workspace::<8>::new();
+
+    let mut group = c.benchmark_group("striped_traceback");
+    group.throughput(Throughput::Elements(cells));
+    group.bench_function("score_only", |b| {
+        b.iter(|| striped::score_with_profile::<8>(&p128, subject, gaps, &mut ws))
+    });
+    group.bench_function("score_ends", |b| {
+        b.iter(|| striped::score_ends_with_profile::<8>(&p128, subject, gaps, &mut ws))
+    });
+    group.bench_function("full_align", |b| {
+        b.iter(|| {
+            traceback::align_hit::<8>(
+                query.residues(),
+                &matrix,
+                gaps,
+                &p128,
+                subject,
+                expected,
+                &mut ws,
             )
         })
     });
@@ -121,8 +202,7 @@ fn scan(c: &mut Criterion) {
     group.finish();
 }
 
-fn write_json(c: &Criterion) {
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_striped.json");
+fn write_json(c: &Criterion, path: &str) {
     let mut entries = String::new();
     for (i, r) in c.results().iter().enumerate() {
         if i > 0 {
@@ -136,24 +216,29 @@ fn write_json(c: &Criterion) {
             r.group, r.name, r.median_ns, rate
         ));
     }
-    let speedup = |fast: &str, slow: &str| -> String {
-        match (
-            c.result("striped_kernels", slow),
-            c.result("striped_kernels", fast),
-        ) {
+    // slow-median / fast-median within one group, "null" when either
+    // side did not run (smoke mode skips groups).
+    let ratio = |group: &str, fast: &str, slow: &str| -> String {
+        match (c.result(group, slow), c.result(group, fast)) {
             (Some(s), Some(f)) if f.median_ns > 0.0 => {
                 format!("{:.3}", s.median_ns / f.median_ns)
             }
             _ => "null".to_string(),
         }
     };
+    let speedup = |fast: &str, slow: &str| ratio("striped_kernels", fast, slow);
     let cpus = std::thread::available_parallelism().map_or(0, |n| n.get());
     let json = format!(
-        "{{\n  \"bench\": \"striped\",\n  \"query\": \"GST-222aa\",\n  \"host_cpus\": {cpus},\n  \"results\": [\n{entries}\n  ],\n  \"derived\": {{\n    \"speedup_striped_w16_vs_anti_diagonal_vmx128\": {},\n    \"speedup_striped_w16_vs_anti_diagonal_vmx256\": {},\n    \"speedup_striped_adaptive_vs_anti_diagonal_vmx128\": {},\n    \"speedup_striped_w16_vs_scalar_vmx128\": {}\n  }}\n}}\n",
+        "{{\n  \"bench\": \"striped\",\n  \"query\": \"GST-222aa\",\n  \"host_cpus\": {cpus},\n  \"results\": [\n{entries}\n  ],\n  \"derived\": {{\n    \"speedup_striped_w16_vs_anti_diagonal_vmx128\": {},\n    \"speedup_striped_w16_vs_anti_diagonal_vmx256\": {},\n    \"speedup_striped_adaptive_vs_anti_diagonal_vmx128\": {},\n    \"speedup_striped_w16_vs_scalar_vmx128\": {},\n    \"lazyf_deconstructed_speedup\": {},\n    \"lazyf_deconstructed_speedup_vmx256\": {},\n    \"lazyf_deconstructed_speedup_cheapgap\": {},\n    \"lazyf_deconstructed_speedup_bytes\": {},\n    \"traceback_overhead\": {}\n  }}\n}}\n",
         speedup("striped_w16_vmx128", "anti_diagonal_vmx128"),
         speedup("striped_w16_vmx256", "anti_diagonal_vmx256"),
         speedup("striped_b8_adaptive_vmx128", "anti_diagonal_vmx128"),
         speedup("striped_w16_vmx128", "scalar_gotoh"),
+        speedup("striped_w16_vmx128", "striped_w16_vmx128_ref"),
+        speedup("striped_w16_vmx256", "striped_w16_vmx256_ref"),
+        speedup("striped_w16_vmx128_cheapgap", "striped_w16_vmx128_ref_cheapgap"),
+        speedup("striped_b8_vmx128", "striped_b8_vmx128_ref"),
+        ratio("striped_traceback", "score_only", "full_align"),
     );
     match std::fs::write(path, json) {
         Ok(()) => println!("wrote {path}"),
@@ -162,10 +247,23 @@ fn write_json(c: &Criterion) {
 }
 
 fn main() {
-    let mut c = Criterion::from_args().sample_size(15);
+    // `--smoke` is ours; the harness ignores flags it does not know.
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let mut c = Criterion::from_args().sample_size(if smoke { 5 } else { 15 });
     kernels(&mut c);
-    scan(&mut c);
+    traceback_cost(&mut c);
+    if !smoke {
+        scan(&mut c);
+    }
     if !c.is_test_mode() {
-        write_json(&c);
+        let path = if smoke {
+            concat!(
+                env!("CARGO_MANIFEST_DIR"),
+                "/../../BENCH_striped_smoke.json"
+            )
+        } else {
+            concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_striped.json")
+        };
+        write_json(&c, path);
     }
 }

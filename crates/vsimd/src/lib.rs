@@ -175,6 +175,19 @@ impl<const L: usize> Vector<L> {
         self.lanes[L - 1]
     }
 
+    /// Shifts every lane `n` positions toward higher indices, filling
+    /// the vacated low lanes with `fill` — the generalized `vsldoi`
+    /// used by the Kogge-Stone max-plus scan in the deconstructed
+    /// lazy-F correction (`n` doubles each scan step).
+    #[inline]
+    pub fn shift_lanes(self, n: usize, fill: i16) -> Self {
+        let mut lanes = [fill; L];
+        if n < L {
+            lanes[n..].copy_from_slice(&self.lanes[..L - n]);
+        }
+        Vector { lanes }
+    }
+
     /// Maximum lane value (Altivec max-across idiom: log2(L) `vperm` +
     /// `vmaxsh` pairs).
     #[inline]
@@ -268,6 +281,18 @@ mod tests {
         assert_eq!(a.last(), 8);
         let b = a.shift_in_first(99);
         assert_eq!(b.to_array(), [99, 1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn shift_lanes_multi() {
+        let a = V128::from_array([1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(a.shift_lanes(0, -9).to_array(), [1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(a.shift_lanes(1, -9).to_array(), [-9, 1, 2, 3, 4, 5, 6, 7]);
+        assert_eq!(a.shift_lanes(3, 0).to_array(), [0, 0, 0, 1, 2, 3, 4, 5]);
+        assert_eq!(a.shift_lanes(8, -9), V128::splat(-9));
+        assert_eq!(a.shift_lanes(20, -9), V128::splat(-9));
+        // shift by 1 matches shift_in_first
+        assert_eq!(a.shift_lanes(1, 42), a.shift_in_first(42));
     }
 
     #[test]
@@ -435,6 +460,18 @@ impl<const L: usize> ByteVector<L> {
         ByteVector { lanes }
     }
 
+    /// Shifts every lane `n` positions toward higher indices, filling
+    /// the vacated low lanes with `fill` — the byte-precision sibling
+    /// of [`Vector::shift_lanes`].
+    #[inline]
+    pub fn shift_lanes(self, n: usize, fill: u8) -> Self {
+        let mut lanes = [fill; L];
+        if n < L {
+            lanes[n..].copy_from_slice(&self.lanes[..L - n]);
+        }
+        ByteVector { lanes }
+    }
+
     /// Maximum lane value.
     #[inline]
     pub fn horizontal_max(self) -> u8 {
@@ -513,6 +550,23 @@ mod byte_tests {
         assert_eq!(v.extract(15), 25);
         assert!(v.any_gt(B128::splat(24)));
         assert!(!v.any_gt(B128::splat(25)));
+    }
+
+    #[test]
+    fn byte_shift_lanes_multi() {
+        let mut arr = [0u8; 16];
+        for (i, v) in arr.iter_mut().enumerate() {
+            *v = (i + 1) as u8;
+        }
+        let v = B128::from_array(arr);
+        assert_eq!(v.shift_lanes(0, 9), v);
+        assert_eq!(v.shift_lanes(1, 9), v.shift_in_first(9));
+        let s4 = v.shift_lanes(4, 0);
+        assert_eq!(s4.extract(3), 0);
+        assert_eq!(s4.extract(4), 1);
+        assert_eq!(s4.extract(15), 12);
+        assert_eq!(v.shift_lanes(16, 7), B128::splat(7));
+        assert_eq!(v.shift_lanes(99, 7), B128::splat(7));
     }
 
     #[test]

@@ -327,6 +327,7 @@ mod tests {
                 top_k: inputs.keep,
                 min_score,
                 deadline: None,
+                report_alignments: false,
             };
             let resp = w.engine().search(&req, &subjects, 1);
             let engine_hits: Vec<Hit> = resp

@@ -7,7 +7,12 @@
 //! cargo run --release --example protein_search              # all engines
 //! cargo run --release --example protein_search -- --engine striped
 //! cargo run --release --example protein_search -- --engine blast --threads 2
+//! cargo run --release --example protein_search -- --engine striped --cigar
 //! ```
+//!
+//! `--cigar` turns on the three-pass striped traceback: each reported
+//! hit carries alignment coordinates and a CIGAR string, verified here
+//! by replaying it to the reported score.
 
 use std::time::Instant;
 
@@ -20,6 +25,7 @@ use sapa_core::bioseq::{AminoAcid, SubstitutionMatrix};
 struct Args {
     engine: Option<Engine>,
     threads: usize,
+    cigar: bool,
 }
 
 fn parse_args() -> Args {
@@ -27,6 +33,7 @@ fn parse_args() -> Args {
     let mut args = Args {
         engine: None,
         threads: default_threads,
+        cigar: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -47,6 +54,7 @@ fn parse_args() -> Args {
                     .filter(|&n: &usize| n > 0)
                     .unwrap_or_else(|| usage(&format!("bad thread count '{n}'")));
             }
+            "--cigar" => args.cigar = true,
             other => usage(&format!("unknown argument '{other}'")),
         }
     }
@@ -55,7 +63,7 @@ fn parse_args() -> Args {
 
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}\n");
-    eprintln!("usage: protein_search [--engine <name>] [--threads <n>]\n");
+    eprintln!("usage: protein_search [--engine <name>] [--threads <n>] [--cigar]\n");
     eprintln!("engines:");
     for e in Engine::ALL {
         eprintln!("  {:<8} {}", e.name(), e.description());
@@ -101,6 +109,7 @@ fn main() {
         top_k: 500,
         min_score: 50,
         deadline: None,
+        report_alignments: args.cigar,
     };
 
     match args.engine {
@@ -141,6 +150,21 @@ fn run_one(
             h.bits,
             h.evalue
         );
+        if let Some(al) = &h.alignment {
+            // Replay the CIGAR against the sequences: the traceback
+            // contract is that it scores exactly what was reported.
+            let replayed = al.replay_score(
+                req.query,
+                db.sequences()[h.seq_index].residues(),
+                req.matrix,
+                req.gaps,
+            );
+            assert_eq!(replayed, Some(h.score), "CIGAR replay mismatch");
+            println!(
+                "      q[{}..{}] s[{}..{}]  {}",
+                al.query_start, al.query_end, al.subject_start, al.subject_end, al.cigar
+            );
+        }
     }
 }
 

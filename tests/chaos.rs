@@ -214,6 +214,7 @@ fn deadline_and_quarantine_compose_in_the_request_layer() {
         top_k: 25,
         min_score: 1,
         deadline: Some(Deadline::Cells(200_000)),
+        report_alignments: false,
     };
     let run = |threads: usize| {
         let mut resp = Engine::Sw.search(&req, &subjects, threads);

@@ -153,6 +153,7 @@ fn every_engine_agrees_with_scalar_sw() {
         top_k: inputs.keep,
         min_score: 1,
         deadline: None,
+        report_alignments: false,
     };
     let reference = Engine::Sw.search(&req, &subjects, 1);
     assert!(!reference.hits.is_empty(), "SW found nothing");
@@ -207,6 +208,7 @@ fn ranked_results_are_thread_count_invariant() {
         top_k: inputs.keep,
         min_score: 1,
         deadline: None,
+        report_alignments: false,
     };
     for engine in Engine::ALL {
         let serial = engine.search(&req, &subjects, 1);
