@@ -29,7 +29,7 @@
 //! output is identical at any thread count.
 //!
 //! ```
-//! use sapa_align::engine::{Engine, SearchRequest};
+//! use sapa_align::engine::{Engine, Prefilter, SearchRequest};
 //! use sapa_bioseq::matrix::GapPenalties;
 //! use sapa_bioseq::{Sequence, SubstitutionMatrix};
 //!
@@ -45,6 +45,7 @@
 //!     min_score: 25,
 //!     deadline: None,
 //!     report_alignments: false,
+//!     prefilter: Prefilter::Off,
 //! };
 //! let subjects = [subj.residues()];
 //! let engine = Engine::from_name("striped").unwrap();
@@ -98,14 +99,23 @@ pub trait AlignmentEngine: Sync {
         0
     }
 
-    /// Deterministic work estimate for scoring `subject`, in DP cells
-    /// (or an equivalent unit), used to resolve a [`Deadline::Cells`]
-    /// budget into an admitted subject prefix. Full-matrix engines
-    /// override this with `query_len × subject_len`; the default is the
-    /// subject length, the right scale for heuristics whose cost is
-    /// dominated by the subject scan.
+    /// Deterministic work estimate for scoring a subject of
+    /// `subject_len` residues, in DP cells (or an equivalent unit),
+    /// used to resolve a [`Deadline::Cells`] budget into an admitted
+    /// subject prefix. Taking only the length (not the residues) lets
+    /// the indexed search path budget a scan from the on-disk length
+    /// table without decoding any sequence data. Full-matrix engines
+    /// override this with `query_len × subject_len`; the default is
+    /// the subject length, the right scale for heuristics whose cost
+    /// is dominated by the subject scan.
+    fn cost_len(&self, subject_len: usize) -> u64 {
+        subject_len.max(1) as u64
+    }
+
+    /// [`cost_len`](AlignmentEngine::cost_len) of a materialized
+    /// subject.
     fn cost(&self, subject: &[AminoAcid]) -> u64 {
-        subject.len().max(1) as u64
+        self.cost_len(subject.len())
     }
 }
 
@@ -156,8 +166,8 @@ impl AlignmentEngine for SwEngine<'_> {
         sw::score(self.query, subject, self.matrix, self.gaps)
     }
 
-    fn cost(&self, subject: &[AminoAcid]) -> u64 {
-        dp_cells(self.query.len(), subject.len())
+    fn cost_len(&self, subject_len: usize) -> u64 {
+        dp_cells(self.query.len(), subject_len)
     }
 }
 
@@ -199,8 +209,8 @@ impl AlignmentEngine for SwLazyEngine<'_> {
         sw::score_lazy_f(self.query, subject, self.matrix, self.gaps)
     }
 
-    fn cost(&self, subject: &[AminoAcid]) -> u64 {
-        dp_cells(self.query.len(), subject.len())
+    fn cost_len(&self, subject_len: usize) -> u64 {
+        dp_cells(self.query.len(), subject_len)
     }
 }
 
@@ -241,8 +251,8 @@ impl<const L: usize> AlignmentEngine for AntiDiagonalEngine<'_, L> {
         simd_sw::score::<L>(self.query, subject, self.matrix, self.gaps)
     }
 
-    fn cost(&self, subject: &[AminoAcid]) -> u64 {
-        dp_cells(self.query.len(), subject.len())
+    fn cost_len(&self, subject_len: usize) -> u64 {
+        dp_cells(self.query.len(), subject_len)
     }
 }
 
@@ -330,8 +340,8 @@ impl<const LB: usize, const LW: usize> AlignmentEngine for StripedEngine<LB, LW>
         ws.rescored
     }
 
-    fn cost(&self, subject: &[AminoAcid]) -> u64 {
-        dp_cells(self.profile.query_len(), subject.len())
+    fn cost_len(&self, subject_len: usize) -> u64 {
+        dp_cells(self.profile.query_len(), subject_len)
     }
 }
 
@@ -426,6 +436,56 @@ impl AlignmentEngine for BlastEngine<'_> {
     }
 }
 
+/// The candidate-pruning stage of an indexed search (see
+/// [`Engine::search_indexed`] and [`crate::indexed`]).
+///
+/// Prefiltering applies only to searches over a prebuilt
+/// [`sapa_bioseq::index`] database, whose on-disk k-mer seed index
+/// makes candidate generation cheap; in-memory [`Engine::search`]
+/// scans are always exhaustive and ignore this knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Prefilter {
+    /// Score every subject — exhaustive scan, identical to the
+    /// in-memory path over the same (length-sorted) database.
+    #[default]
+    Off,
+    /// Seed-only pruning: a subject survives iff it shares at least
+    /// `min_diag_seeds` exact seed words with the query on one
+    /// diagonal. Subjects shorter than the indexed word length are
+    /// admitted unconditionally (they can never be seeded), so with
+    /// `min_diag_seeds == 1` every subject containing an exact query
+    /// word survives — the filter is *exact* for any hit that shares
+    /// one word, and the equivalence tests demand zero ranking misses
+    /// at the default word size.
+    Seed {
+        /// Minimum same-diagonal seed words to survive (≥ 1; BLAST's
+        /// two-hit heuristic is `2`).
+        min_diag_seeds: u32,
+    },
+    /// Seed pruning plus a gapped X-drop extension gate
+    /// ([`crate::xdrop::extend_seed`]) around each survivor's best
+    /// seed. The extension score is a *lower bound* on the full
+    /// Smith-Waterman score (it anchors the alignment through the
+    /// seed), so gating on it is an explicitly **heuristic** mode: a
+    /// subject whose true optimum avoids every seeded diagonal can be
+    /// missed. Use it for BLAST-like throughput; use [`Prefilter::Seed`]
+    /// when ranked output must match the exhaustive scan.
+    SeedExtend {
+        /// Minimum same-diagonal seed words to reach extension.
+        min_diag_seeds: u32,
+        /// X-drop parameter for the extension DP.
+        x: i32,
+        /// Minimum extension score to survive.
+        min_extended: i32,
+    },
+}
+
+impl Prefilter {
+    /// The default *on* setting: single-seed pruning, exact for
+    /// word-sharing hits.
+    pub const DEFAULT_SEED: Prefilter = Prefilter::Seed { min_diag_seeds: 1 };
+}
+
 /// One database search, independent of the backend that runs it.
 #[derive(Debug, Clone, Copy)]
 pub struct SearchRequest<'a> {
@@ -450,6 +510,10 @@ pub struct SearchRequest<'a> {
     /// scores that no exact path can replay, so their hits keep
     /// `alignment: None` regardless of this flag.
     pub report_alignments: bool,
+    /// Candidate pruning for indexed searches
+    /// ([`Engine::search_indexed`]); ignored by in-memory
+    /// [`Engine::search`], which is always exhaustive.
+    pub prefilter: Prefilter,
 }
 
 /// One ranked hit with its significance statistics.
@@ -496,6 +560,9 @@ pub struct RunStats {
     /// Subjects whose scoring panicked, with causes, ascending by
     /// index; empty on a healthy run.
     pub quarantined: Vec<Quarantined>,
+    /// Subjects skipped by an indexed search's [`Prefilter`] before
+    /// any scoring ran; 0 for exhaustive scans.
+    pub pruned: usize,
 }
 
 /// The ranked outcome of a [`SearchRequest`] run through one engine.
@@ -594,6 +661,49 @@ impl Engine {
         !matches!(self, Engine::Fasta | Engine::Blast)
     }
 
+    /// Builds this registry entry's concrete engine from `req`'s query
+    /// context and hands it to `visitor` — the one place the
+    /// enum-to-concrete-type dispatch lives, shared by every search
+    /// front end ([`Engine::search`], [`Engine::search_indexed`]).
+    pub fn dispatch<V: EngineVisitor>(self, req: &SearchRequest<'_>, visitor: V) -> V::Out {
+        match self {
+            Engine::Sw => visitor.visit(self, &SwEngine::new(req.query, req.matrix, req.gaps)),
+            Engine::SwLazy => {
+                visitor.visit(self, &SwLazyEngine::new(req.query, req.matrix, req.gaps))
+            }
+            Engine::Striped => visitor.visit(
+                self,
+                &StripedEngine::<16, 8>::from_query(req.query, req.matrix, req.gaps),
+            ),
+            Engine::Vmx128 => visitor.visit(
+                self,
+                &AntiDiagonalEngine::<8>::new(req.query, req.matrix, req.gaps),
+            ),
+            Engine::Vmx256 => visitor.visit(
+                self,
+                &AntiDiagonalEngine::<16>::new(req.query, req.matrix, req.gaps),
+            ),
+            Engine::Fasta => visitor.visit(
+                self,
+                &FastaEngine::new(
+                    req.query,
+                    req.matrix,
+                    req.gaps,
+                    fasta::FastaParams::default(),
+                ),
+            ),
+            Engine::Blast => visitor.visit(
+                self,
+                &BlastEngine::new(
+                    req.query,
+                    req.matrix,
+                    req.gaps,
+                    blast::BlastParams::default(),
+                ),
+            ),
+        }
+    }
+
     /// Runs `req` against `subjects` on `threads` worker threads and
     /// returns the ranked, statistics-annotated response.
     ///
@@ -608,68 +718,74 @@ impl Engine {
         subjects: &[&[AminoAcid]],
         threads: usize,
     ) -> SearchResponse {
-        match self {
-            Engine::Sw => respond(
-                self,
-                &SwEngine::new(req.query, req.matrix, req.gaps),
-                req,
-                subjects,
-                threads,
-            ),
-            Engine::SwLazy => respond(
-                self,
-                &SwLazyEngine::new(req.query, req.matrix, req.gaps),
-                req,
-                subjects,
-                threads,
-            ),
-            Engine::Striped => respond(
-                self,
-                &StripedEngine::<16, 8>::from_query(req.query, req.matrix, req.gaps),
-                req,
-                subjects,
-                threads,
-            ),
-            Engine::Vmx128 => respond(
-                self,
-                &AntiDiagonalEngine::<8>::new(req.query, req.matrix, req.gaps),
-                req,
-                subjects,
-                threads,
-            ),
-            Engine::Vmx256 => respond(
-                self,
-                &AntiDiagonalEngine::<16>::new(req.query, req.matrix, req.gaps),
-                req,
-                subjects,
-                threads,
-            ),
-            Engine::Fasta => respond(
-                self,
-                &FastaEngine::new(
-                    req.query,
-                    req.matrix,
-                    req.gaps,
-                    fasta::FastaParams::default(),
-                ),
-                req,
-                subjects,
-                threads,
-            ),
-            Engine::Blast => respond(
-                self,
-                &BlastEngine::new(
-                    req.query,
-                    req.matrix,
-                    req.gaps,
-                    blast::BlastParams::default(),
-                ),
-                req,
-                subjects,
-                threads,
-            ),
+        struct Run<'r> {
+            req: &'r SearchRequest<'r>,
+            subjects: &'r [&'r [AminoAcid]],
+            threads: usize,
         }
+        impl EngineVisitor for Run<'_> {
+            type Out = SearchResponse;
+            fn visit<E: AlignmentEngine>(self, id: Engine, engine: &E) -> SearchResponse {
+                respond(id, engine, self.req, self.subjects, self.threads)
+            }
+        }
+        self.dispatch(
+            req,
+            Run {
+                req,
+                subjects,
+                threads,
+            },
+        )
     }
+
+    /// Runs `req` against a prebuilt on-disk database
+    /// ([`sapa_bioseq::index::IndexReader`]), decoding one shard at a
+    /// time and applying [`SearchRequest::prefilter`] before scoring —
+    /// see [`crate::indexed`] for the pipeline and its guarantees.
+    ///
+    /// Ranked hit indices refer to the database's (length-sorted)
+    /// sequence order. This path is score-only:
+    /// [`SearchRequest::report_alignments`] is ignored and hits carry
+    /// `alignment: None` (the subjects are not resident once their
+    /// shard is dropped).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and corruption errors from the reader.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` or `req.top_k` is 0.
+    pub fn search_indexed<R: std::io::Read + std::io::Seek>(
+        self,
+        req: &SearchRequest<'_>,
+        db: &mut sapa_bioseq::index::IndexReader<R>,
+        threads: usize,
+    ) -> sapa_bioseq::Result<SearchResponse> {
+        struct Run<'r, R> {
+            req: &'r SearchRequest<'r>,
+            db: &'r mut sapa_bioseq::index::IndexReader<R>,
+            threads: usize,
+        }
+        impl<R: std::io::Read + std::io::Seek> EngineVisitor for Run<'_, R> {
+            type Out = sapa_bioseq::Result<SearchResponse>;
+            fn visit<E: AlignmentEngine>(self, id: Engine, engine: &E) -> Self::Out {
+                crate::indexed::search_reader(id, engine, self.req, self.db, self.threads)
+            }
+        }
+        self.dispatch(req, Run { req, db, threads })
+    }
+}
+
+/// One generic visit over the concrete engine a registry entry names —
+/// how [`Engine::dispatch`] lets front ends stay generic over
+/// [`AlignmentEngine`] without repeating the seven-arm match.
+pub trait EngineVisitor {
+    /// What the visit produces.
+    type Out;
+    /// Called exactly once with the concrete engine for the entry.
+    fn visit<E: AlignmentEngine>(self, id: Engine, engine: &E) -> Self::Out;
 }
 
 impl fmt::Display for Engine {
@@ -711,19 +827,14 @@ fn respond<E: AlignmentEngine>(
     } else {
         vec![None; scan.results.hits().len()]
     };
-    let hits = scan
-        .results
-        .hits()
-        .iter()
-        .zip(alignments)
-        .map(|(h, alignment)| RankedHit {
-            seq_index: h.seq_index,
-            score: h.score,
-            bits: ka.bit_score(h.score),
-            evalue: ka.evalue(h.score, req.query.len(), db_residues, subjects.len()),
-            alignment,
-        })
-        .collect();
+    let hits = annotate_hits(
+        scan.results.hits(),
+        alignments,
+        &ka,
+        req.query.len(),
+        db_residues,
+        subjects.len(),
+    );
     let coverage = scan.stats.subjects;
     SearchResponse {
         engine: id,
@@ -732,6 +843,30 @@ fn respond<E: AlignmentEngine>(
         completed: scan.completed,
         coverage,
     }
+}
+
+/// Decorates ranked raw-score hits with Karlin-Altschul bit scores and
+/// E-values against a `db_residues` × `db_seqs` search space — shared
+/// by the in-memory ([`respond`]) and indexed ([`crate::indexed`])
+/// response paths so both report identical statistics.
+pub(crate) fn annotate_hits(
+    hits: &[crate::result::Hit],
+    alignments: Vec<Option<Alignment>>,
+    ka: &stats::KarlinAltschul,
+    query_len: usize,
+    db_residues: usize,
+    db_seqs: usize,
+) -> Vec<RankedHit> {
+    hits.iter()
+        .zip(alignments)
+        .map(|(h, alignment)| RankedHit {
+            seq_index: h.seq_index,
+            score: h.score,
+            bits: ka.bit_score(h.score),
+            evalue: ka.evalue(h.score, query_len, db_residues, db_seqs),
+            alignment,
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -806,6 +941,7 @@ mod tests {
             min_score: 1,
             deadline: None,
             report_alignments: false,
+            prefilter: Prefilter::Off,
         };
         let subjects: Vec<&[AminoAcid]> = db.iter().map(|s| s.residues()).collect();
         let reference = Engine::Sw.search(&req, &subjects, 1);
@@ -830,6 +966,7 @@ mod tests {
             min_score: 1,
             deadline: None,
             report_alignments: true,
+            prefilter: Prefilter::Off,
         };
         for e in Engine::ALL {
             let resp = e.search(&req, &subjects, 2);
@@ -854,6 +991,7 @@ mod tests {
         // Score-only searches attach nothing.
         let quiet_req = SearchRequest {
             report_alignments: false,
+            prefilter: Prefilter::Off,
             ..req
         };
         let quiet = Engine::Striped.search(&quiet_req, &subjects, 1);
@@ -873,6 +1011,7 @@ mod tests {
             min_score: 1,
             deadline: None,
             report_alignments: false,
+            prefilter: Prefilter::Off,
         };
         let subjects: Vec<&[AminoAcid]> = db.iter().map(|s| s.residues()).collect();
         let resp = Engine::Striped.search(&req, &subjects, 2);
@@ -901,6 +1040,7 @@ mod tests {
             min_score: 60,
             deadline: None,
             report_alignments: false,
+            prefilter: Prefilter::Off,
         };
         let resp = Engine::Sw.search(&req, &subjects, 1);
         assert!(resp.hits.len() <= 3);
@@ -920,6 +1060,7 @@ mod tests {
             min_score: 1,
             deadline: None,
             report_alignments: false,
+            prefilter: Prefilter::Off,
         };
         let resp = Engine::Striped.search(&req, &subjects, 2);
         assert!(resp.completed);
@@ -945,6 +1086,7 @@ mod tests {
             min_score: 1,
             deadline: Some(Deadline::Cells(total / 2)),
             report_alignments: false,
+            prefilter: Prefilter::Off,
         };
         let one = Engine::Sw.search(&req, &subjects, 1);
         assert!(!one.completed);
@@ -971,6 +1113,7 @@ mod tests {
             min_score: 1,
             deadline: Some(Deadline::Cells(0)),
             report_alignments: false,
+            prefilter: Prefilter::Off,
         };
         let resp = Engine::Sw.search(&req, &subjects, 2);
         assert!(!resp.completed);
@@ -991,6 +1134,7 @@ mod tests {
             min_score: 1,
             deadline: Some(Deadline::Wall(std::time::Duration::ZERO)),
             report_alignments: false,
+            prefilter: Prefilter::Off,
         };
         let resp = Engine::Sw.search(&req, &subjects, 2);
         // An already-expired cutoff must degrade, not hang or panic.

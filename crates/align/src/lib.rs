@@ -55,6 +55,7 @@ pub mod blast;
 pub mod blastn;
 pub mod engine;
 pub mod fasta;
+pub mod indexed;
 pub mod nw;
 pub mod parallel;
 pub mod result;
@@ -66,7 +67,7 @@ pub mod traceback;
 pub mod xdrop;
 
 pub use engine::{
-    AlignmentEngine, Deadline, Engine, Quarantined, RankedHit, RunStats, SearchRequest,
+    AlignmentEngine, Deadline, Engine, Prefilter, Quarantined, RankedHit, RunStats, SearchRequest,
     SearchResponse,
 };
 pub use result::{Alignment, Cigar, CigarOp, Hit, SearchResults, TopK};

@@ -325,6 +325,7 @@ pub fn engine_scores<E: AlignmentEngine>(
         rescored,
         threads,
         quarantined: quarantine_report(out.quarantined),
+        pruned: 0,
     };
     let scores = out
         .scores
@@ -442,6 +443,7 @@ pub fn engine_search_bounded<E: AlignmentEngine>(
         rescored: out.workspaces.iter().map(|ws| engine.rescored(ws)).sum(),
         threads,
         quarantined: quarantine_report(out.quarantined),
+        pruned: 0,
     };
     BoundedScan {
         results: results.finish(),

@@ -11,7 +11,7 @@
 //! property-test frameworks are unavailable); every run tests the same
 //! corpus, and a failing case prints its case index for replay.
 
-use sapa_align::engine::{Engine, SearchRequest};
+use sapa_align::engine::{Engine, Prefilter, SearchRequest};
 use sapa_align::{banded, blast, fasta, nw, simd_sw, striped, sw, xdrop};
 use sapa_bioseq::matrix::GapPenalties;
 use sapa_bioseq::profile::QueryProfile;
@@ -540,6 +540,7 @@ fn traceback_cigars_replay_to_reported_score() {
         min_score: 1,
         deadline: None,
         report_alignments: true,
+        prefilter: Prefilter::Off,
     };
     for engine in Engine::ALL.into_iter().filter(|e| e.is_exact()) {
         let resp = engine.search(&req, &slices, 2);

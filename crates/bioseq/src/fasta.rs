@@ -142,6 +142,27 @@ mod tests {
     }
 
     #[test]
+    fn lowercase_residues_normalize_to_uppercase() {
+        // Tools like segmasker emit soft-masked (lowercase) regions;
+        // the reader folds them back into the 24-letter alphabet.
+        let seqs = read_fasta(">a\nmkvl\n".as_bytes()).unwrap();
+        assert_eq!(seqs[0].to_string(), "MKVL");
+        assert_eq!(
+            read_fasta(">a\nMkVl\n".as_bytes()).unwrap()[0],
+            seqs[0],
+            "mixed case must parse identically"
+        );
+    }
+
+    #[test]
+    fn crlf_with_lowercase_and_trailing_spaces() {
+        let input = ">a desc here\r\nmk vl\r\nwy \r\n";
+        let seqs = read_fasta(input.as_bytes()).unwrap();
+        assert_eq!(seqs[0].to_string(), "MKVLWY");
+        assert_eq!(seqs[0].description(), "desc here");
+    }
+
+    #[test]
     fn record_with_no_residues_is_kept() {
         let seqs = read_fasta(">a\n>b\nMK\n".as_bytes()).unwrap();
         assert_eq!(seqs.len(), 2);

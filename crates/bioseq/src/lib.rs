@@ -33,6 +33,7 @@ pub mod compose;
 pub mod db;
 pub mod dna;
 pub mod fasta;
+pub mod index;
 pub mod matrix;
 pub mod profile;
 pub mod queries;
@@ -63,6 +64,11 @@ pub enum Error {
         /// One-based line number of the problem, if known.
         line: Option<usize>,
     },
+    /// An on-disk database index was corrupt or structurally invalid.
+    InvalidIndex {
+        /// Human-readable description of the inconsistency.
+        reason: String,
+    },
     /// An underlying I/O error.
     Io(std::io::Error),
 }
@@ -81,6 +87,7 @@ impl std::fmt::Display for Error {
                 Some(line) => write!(f, "malformed FASTA at line {line}: {reason}"),
                 None => write!(f, "malformed FASTA: {reason}"),
             },
+            Error::InvalidIndex { reason } => write!(f, "invalid database index: {reason}"),
             Error::Io(e) => write!(f, "I/O error: {e}"),
         }
     }

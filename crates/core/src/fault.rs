@@ -225,8 +225,8 @@ impl<E: AlignmentEngine> AlignmentEngine for FaultyEngine<E> {
         self.inner.rescored(&ws.inner) + ws.storms
     }
 
-    fn cost(&self, subject: &[AminoAcid]) -> u64 {
-        self.inner.cost(subject)
+    fn cost_len(&self, subject_len: usize) -> u64 {
+        self.inner.cost_len(subject_len)
     }
 }
 

@@ -301,7 +301,7 @@ mod tests {
     fn traced_hits_match_engine_registry_results() {
         // Every traced workload and its `engine()` counterpart must
         // report the same ranked hits through the unified search API.
-        use sapa_align::engine::SearchRequest;
+        use sapa_align::engine::{Prefilter, SearchRequest};
         use sapa_bioseq::AminoAcid;
 
         let inputs = StandardInputs::small();
@@ -328,6 +328,7 @@ mod tests {
                 min_score,
                 deadline: None,
                 report_alignments: false,
+                prefilter: Prefilter::Off,
             };
             let resp = w.engine().search(&req, &subjects, 1);
             let engine_hits: Vec<Hit> = resp

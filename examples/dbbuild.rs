@@ -1,0 +1,223 @@
+//! Database preprocessing CLI: build a searchable on-disk index
+//! (packed residues, length-sorted shards, k-mer seed index) from a
+//! FASTA file or from the suite's synthetic SwissProt-like generator,
+//! or inspect an existing index.
+//!
+//! ```text
+//! # Build from a FASTA file:
+//! cargo run --release --example dbbuild -- --fasta proteins.fa --out proteins.sapadb
+//!
+//! # Build a synthetic corpus (deterministic in --seed):
+//! cargo run --release --example dbbuild -- --seqs 4000 --seed 7 --out big.sapadb
+//!
+//! # Inspect an index:
+//! cargo run --release --example dbbuild -- --info big.sapadb
+//! ```
+//!
+//! The produced file is what `protein_search --db <path>` and
+//! `Engine::search_indexed` consume.
+
+use std::time::Instant;
+
+use sapa_core::bioseq::db::DatabaseBuilder;
+use sapa_core::bioseq::fasta::read_fasta;
+use sapa_core::bioseq::index::{IndexBuilder, IndexReader, DEFAULT_WORD_LEN};
+use sapa_core::bioseq::queries::QuerySet;
+use sapa_core::bioseq::Sequence;
+
+struct Args {
+    out: Option<String>,
+    info: Option<String>,
+    fasta: Option<String>,
+    seqs: usize,
+    seed: u64,
+    homolog_fraction: f64,
+    word_len: usize,
+    shard_residues: usize,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        out: None,
+        info: None,
+        fasta: None,
+        seqs: 4000,
+        seed: 7,
+        homolog_fraction: 0.02,
+        word_len: DEFAULT_WORD_LEN,
+        shard_residues: 64 * 1024,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |what: &str| {
+            it.next()
+                .unwrap_or_else(|| usage(&format!("{what} needs a value")))
+        };
+        match arg.as_str() {
+            "--out" => args.out = Some(value("--out")),
+            "--info" => args.info = Some(value("--info")),
+            "--fasta" => args.fasta = Some(value("--fasta")),
+            "--seqs" => {
+                args.seqs = value("--seqs")
+                    .parse()
+                    .ok()
+                    .filter(|&n: &usize| n > 0)
+                    .unwrap_or_else(|| usage("bad --seqs"))
+            }
+            "--seed" => {
+                args.seed = value("--seed")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --seed"))
+            }
+            "--homolog-fraction" => {
+                args.homolog_fraction = value("--homolog-fraction")
+                    .parse()
+                    .ok()
+                    .filter(|f: &f64| (0.0..=1.0).contains(f))
+                    .unwrap_or_else(|| usage("bad --homolog-fraction"))
+            }
+            "--word-len" => {
+                args.word_len = value("--word-len")
+                    .parse()
+                    .ok()
+                    .filter(|k: &usize| (1..=7).contains(k))
+                    .unwrap_or_else(|| usage("bad --word-len (must be 1..=7)"))
+            }
+            "--shard-residues" => {
+                args.shard_residues = value("--shard-residues")
+                    .parse()
+                    .ok()
+                    .filter(|&n: &usize| n > 0)
+                    .unwrap_or_else(|| usage("bad --shard-residues"))
+            }
+            other => usage(&format!("unknown argument '{other}'")),
+        }
+    }
+    if args.info.is_none() && args.out.is_none() {
+        usage("need --out <path> (build) or --info <path> (inspect)");
+    }
+    args
+}
+
+fn usage(err: &str) -> ! {
+    eprintln!("error: {err}\n");
+    eprintln!(
+        "usage: dbbuild --out <path> [--fasta <path> | --seqs N --seed S --homolog-fraction F]"
+    );
+    eprintln!("               [--word-len K] [--shard-residues N]");
+    eprintln!("       dbbuild --info <path>");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args = parse_args();
+
+    if let Some(path) = &args.info {
+        info(path);
+        return;
+    }
+
+    let out = args.out.as_deref().expect("checked in parse_args");
+    let (sequences, source): (Vec<Sequence>, String) = match &args.fasta {
+        Some(path) => {
+            let seqs = std::fs::File::open(path)
+                .map_err(sapa_core::bioseq::Error::from)
+                .and_then(|f| read_fasta(std::io::BufReader::new(f)))
+                .unwrap_or_else(|e| {
+                    eprintln!("error: reading {path}: {e}");
+                    std::process::exit(1);
+                });
+            (seqs, format!("FASTA {path}"))
+        }
+        None => {
+            let query = QuerySet::paper().default_query().clone();
+            let db = DatabaseBuilder::new()
+                .seed(args.seed)
+                .sequences(args.seqs)
+                .homolog_template(query)
+                .homolog_fraction(args.homolog_fraction)
+                .build();
+            (
+                db.sequences().to_vec(),
+                format!("synthetic (seed {}, {} seqs)", args.seed, args.seqs),
+            )
+        }
+    };
+
+    let t0 = Instant::now();
+    let report = IndexBuilder::new()
+        .word_len(args.word_len)
+        .shard_residues(args.shard_residues)
+        .write_file(&sequences, out)
+        .unwrap_or_else(|e| {
+            eprintln!("error: writing {out}: {e}");
+            std::process::exit(1);
+        });
+    let built = t0.elapsed();
+
+    println!("built {out} from {source} in {built:.1?}");
+    println!(
+        "  {} sequences, {} residues, {} shards",
+        report.seq_count, report.total_residues, report.shard_count
+    );
+    println!(
+        "  seed index: word length {}, {} distinct words, {} postings",
+        args.word_len, report.unique_words, report.postings
+    );
+    println!(
+        "  {} bytes on disk ({:.2} bytes/residue incl. index)",
+        report.bytes_written,
+        report.bytes_written as f64 / report.total_residues.max(1) as f64
+    );
+}
+
+fn info(path: &str) {
+    let t0 = Instant::now();
+    let reader = IndexReader::open(path).unwrap_or_else(|e| {
+        eprintln!("error: opening {path}: {e}");
+        std::process::exit(1);
+    });
+    let opened = t0.elapsed();
+
+    println!("{path}: SAPA database, opened in {opened:.1?} (metadata only)");
+    println!(
+        "  {} sequences, {} residues, word length {}",
+        reader.seq_count(),
+        reader.total_residues(),
+        reader.word_len()
+    );
+    println!(
+        "  seed index: {} distinct words, {} postings",
+        reader.seed_index().unique_words(),
+        reader.seed_index().posting_count()
+    );
+    println!("  shards ({}):", reader.shards().len());
+    for (i, s) in reader.shards().iter().enumerate() {
+        println!(
+            "    [{i:>3}] seqs {:>6}..{:<6} len {:>5}..{:<5} {:>9} residues {:>9} packed bytes",
+            s.seq_start,
+            s.seq_start + s.seq_count,
+            s.min_len,
+            s.max_len,
+            s.residues,
+            s.data_len
+        );
+    }
+    let freqs = reader.background_frequencies();
+    let mut top: Vec<(usize, f64)> = freqs.iter().copied().enumerate().collect();
+    top.sort_by(|a, b| b.1.total_cmp(&a.1));
+    let line: Vec<String> = top
+        .iter()
+        .take(5)
+        .map(|&(i, f)| {
+            format!(
+                "{}={:.1}%",
+                sapa_core::bioseq::AminoAcid::from_index(i)
+                    .unwrap()
+                    .to_char(),
+                100.0 * f
+            )
+        })
+        .collect();
+    println!("  background composition (top 5): {}", line.join(" "));
+}

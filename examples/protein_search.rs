@@ -8,16 +8,25 @@
 //! cargo run --release --example protein_search -- --engine striped
 //! cargo run --release --example protein_search -- --engine blast --threads 2
 //! cargo run --release --example protein_search -- --engine striped --cigar
+//! cargo run --release --example protein_search -- --db big.sapadb --prefilter
 //! ```
 //!
 //! `--cigar` turns on the three-pass striped traceback: each reported
 //! hit carries alignment coordinates and a CIGAR string, verified here
 //! by replaying it to the reported score.
+//!
+//! `--db <path>` searches a prebuilt on-disk index (see the `dbbuild`
+//! example) via the streaming shard reader instead of the in-memory
+//! database; `--prefilter` additionally turns on k-mer seed
+//! prefiltering so subjects sharing no word with the query are skipped
+//! before any dynamic programming. The indexed path is score-only, so
+//! `--cigar` is rejected alongside `--db`.
 
 use std::time::Instant;
 
-use sapa_core::align::engine::{Engine, SearchRequest, SearchResponse};
+use sapa_core::align::engine::{Engine, Prefilter, SearchRequest, SearchResponse};
 use sapa_core::bioseq::db::DatabaseBuilder;
+use sapa_core::bioseq::index::IndexReader;
 use sapa_core::bioseq::matrix::GapPenalties;
 use sapa_core::bioseq::queries::QuerySet;
 use sapa_core::bioseq::{AminoAcid, SubstitutionMatrix};
@@ -26,6 +35,8 @@ struct Args {
     engine: Option<Engine>,
     threads: usize,
     cigar: bool,
+    db: Option<String>,
+    prefilter: bool,
 }
 
 fn parse_args() -> Args {
@@ -34,6 +45,8 @@ fn parse_args() -> Args {
         engine: None,
         threads: default_threads,
         cigar: false,
+        db: None,
+        prefilter: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -55,15 +68,26 @@ fn parse_args() -> Args {
                     .unwrap_or_else(|| usage(&format!("bad thread count '{n}'")));
             }
             "--cigar" => args.cigar = true,
+            "--db" => args.db = Some(it.next().unwrap_or_else(|| usage("--db needs a path"))),
+            "--prefilter" => args.prefilter = true,
             other => usage(&format!("unknown argument '{other}'")),
         }
+    }
+    if args.cigar && args.db.is_some() {
+        usage("--cigar is unavailable with --db (indexed search is score-only)");
+    }
+    if args.prefilter && args.db.is_none() {
+        usage("--prefilter requires --db (the in-memory path is always exhaustive)");
     }
     args
 }
 
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}\n");
-    eprintln!("usage: protein_search [--engine <name>] [--threads <n>] [--cigar]\n");
+    eprintln!(
+        "usage: protein_search [--engine <name>] [--threads <n>] [--cigar] \
+         [--db <path> [--prefilter]]\n"
+    );
     eprintln!("engines:");
     for e in Engine::ALL {
         eprintln!("  {:<8} {}", e.name(), e.description());
@@ -79,6 +103,11 @@ fn main() {
     // The paper's reporting query: Glutathione S-transferase, 222 aa.
     let queries = QuerySet::paper();
     let query = queries.default_query();
+
+    if let Some(path) = &args.db {
+        run_indexed(path, &args, query.residues(), &matrix, gaps);
+        return;
+    }
 
     // A database with planted homologs of the query at ~55% identity,
     // so the sensitivity comparison is meaningful.
@@ -110,6 +139,7 @@ fn main() {
         min_score: 50,
         deadline: None,
         report_alignments: args.cigar,
+        prefilter: Prefilter::Off,
     };
 
     match args.engine {
@@ -165,6 +195,85 @@ fn run_one(
                 al.query_start, al.query_end, al.subject_start, al.subject_end, al.cigar
             );
         }
+    }
+}
+
+/// `--db` mode: stream a prebuilt on-disk index through
+/// `Engine::search_indexed`, optionally with the k-mer seed prefilter.
+fn run_indexed(
+    path: &str,
+    args: &Args,
+    query: &[AminoAcid],
+    matrix: &SubstitutionMatrix,
+    gaps: GapPenalties,
+) {
+    let mut reader = IndexReader::open(path).unwrap_or_else(|e| {
+        eprintln!("error: opening {path}: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "database: {path} ({} sequences, {} residues, word length {})",
+        reader.seq_count(),
+        reader.total_residues(),
+        reader.word_len()
+    );
+    let req = SearchRequest {
+        query,
+        matrix,
+        gaps,
+        top_k: 500,
+        min_score: 50,
+        deadline: None,
+        report_alignments: false,
+        prefilter: if args.prefilter {
+            Prefilter::DEFAULT_SEED
+        } else {
+            Prefilter::Off
+        },
+    };
+    let engines: Vec<Engine> = match args.engine {
+        Some(e) => vec![e],
+        None => Engine::ALL.to_vec(),
+    };
+
+    println!(
+        "threads: {}, prefilter: {}\n",
+        args.threads,
+        if args.prefilter { "seed" } else { "off" }
+    );
+    println!("engine    time        hits   rescored  pruned");
+    println!("----------------------------------------------");
+    let mut last: Option<SearchResponse> = None;
+    for engine in &engines {
+        let t0 = Instant::now();
+        let resp = engine
+            .search_indexed(&req, &mut reader, args.threads)
+            .unwrap_or_else(|e| {
+                eprintln!("error: searching {path}: {e}");
+                std::process::exit(1);
+            });
+        let elapsed = t0.elapsed();
+        println!(
+            "{:<8}  {:<10.1?}  {:<5}  {:<8}  {}",
+            engine.name(),
+            elapsed,
+            resp.hits.len(),
+            resp.stats.rescored,
+            resp.stats.pruned
+        );
+        last = Some(resp);
+    }
+
+    let last = last.expect("at least one engine ran");
+    println!("\ntop hits ({}):", engines.last().unwrap().name());
+    for h in last.hits.iter().take(10) {
+        println!(
+            "  {:<18} score {:<4} ({:.1} bits, E = {:.2e})",
+            reader.id(h.seq_index),
+            h.score,
+            h.bits,
+            h.evalue
+        );
     }
 }
 

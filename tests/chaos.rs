@@ -10,7 +10,9 @@
 
 use std::sync::Once;
 
-use sapa_core::align::engine::{AlignmentEngine, Deadline, Engine, SearchRequest, SwEngine};
+use sapa_core::align::engine::{
+    AlignmentEngine, Deadline, Engine, Prefilter, SearchRequest, SwEngine,
+};
 use sapa_core::align::parallel::{
     engine_scores, engine_search, engine_search_bounded, QUARANTINED_SCORE,
 };
@@ -215,6 +217,7 @@ fn deadline_and_quarantine_compose_in_the_request_layer() {
         min_score: 1,
         deadline: Some(Deadline::Cells(200_000)),
         report_alignments: false,
+        prefilter: Prefilter::Off,
     };
     let run = |threads: usize| {
         let mut resp = Engine::Sw.search(&req, &subjects, threads);

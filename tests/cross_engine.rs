@@ -3,7 +3,7 @@
 //! synthetic databases — and every registry [`Engine`] must agree with
 //! scalar Smith-Waterman through the unified search API.
 
-use sapa_core::align::engine::{Engine, SearchRequest};
+use sapa_core::align::engine::{Engine, Prefilter, SearchRequest};
 use sapa_core::align::{blast as ref_blast, fasta as ref_fasta, sw as ref_sw};
 use sapa_core::bioseq::db::DatabaseBuilder;
 use sapa_core::bioseq::matrix::GapPenalties;
@@ -154,6 +154,7 @@ fn every_engine_agrees_with_scalar_sw() {
         min_score: 1,
         deadline: None,
         report_alignments: false,
+        prefilter: Prefilter::Off,
     };
     let reference = Engine::Sw.search(&req, &subjects, 1);
     assert!(!reference.hits.is_empty(), "SW found nothing");
@@ -209,6 +210,7 @@ fn ranked_results_are_thread_count_invariant() {
         min_score: 1,
         deadline: None,
         report_alignments: false,
+        prefilter: Prefilter::Off,
     };
     for engine in Engine::ALL {
         let serial = engine.search(&req, &subjects, 1);
