@@ -5,7 +5,10 @@
 //!
 //! * `sim_replay` — one BLAST trace through the 4-way baseline, as an
 //!   array-of-structs `Trace` vs the compact `PackedTrace`, reported in
-//!   simulated instructions per second;
+//!   simulated instructions per second, plus the packed trace under the
+//!   scoreboard issue model so the staged backend's bookkeeping cost is
+//!   measured (`derived.ooo_vs_scoreboard_replay_speed`; the CI gate
+//!   holds the out-of-order model to ≥ 0.9× scoreboard throughput);
 //! * `trace_decode` — decode cost alone, no simulation: AoS slice
 //!   iteration vs the packed per-instruction reader vs the packed block
 //!   decoder, so decode throughput is separable from sim throughput;
@@ -26,7 +29,7 @@
 use std::sync::Arc;
 
 use sapa_bench::harness::{Criterion, Throughput};
-use sapa_core::cpu::config::{BranchConfig, CpuConfig, MemConfig, SimConfig};
+use sapa_core::cpu::config::{BranchConfig, CpuConfig, IssueModel, MemConfig, SimConfig};
 use sapa_core::cpu::sweep::{run_jobs, SweepJob};
 use sapa_core::cpu::Simulator;
 use sapa_core::isa::{Inst, PackedTrace, Trace, BLOCK_LEN};
@@ -66,10 +69,16 @@ fn sweep_grid() -> Vec<SimConfig> {
 
 fn replay(c: &mut Criterion, trace: &Trace, packed: &Arc<PackedTrace>) {
     let sim = Simulator::new(SimConfig::four_way());
+    let mut sb_cfg = SimConfig::four_way();
+    sb_cfg.cpu.issue_model = IssueModel::Scoreboard;
+    let scoreboard = Simulator::new(sb_cfg);
     let mut group = c.benchmark_group("sim_replay");
     group.throughput(Throughput::Elements(trace.len() as u64));
     group.bench_function("aos_trace", |b| b.iter(|| sim.run(trace)));
     group.bench_function("packed_trace", |b| b.iter(|| sim.run_packed(packed)));
+    group.bench_function("packed_trace_scoreboard", |b| {
+        b.iter(|| scoreboard.run_packed(packed))
+    });
     group.finish();
 }
 
@@ -159,11 +168,29 @@ fn write_json(c: &Criterion, trace: &Trace, packed: &PackedTrace, path: &str) {
         }
     };
     let replay_ratio = speed("sim_replay", "aos_trace", "packed_trace");
+    let model_ratio = speed("sim_replay", "packed_trace_scoreboard", "packed_trace");
     let decode_ratio = speed("trace_decode", "packed_per_inst", "packed_block");
     let aos_bytes = trace.len() * std::mem::size_of::<sapa_core::isa::Inst>();
     let cpus = std::thread::available_parallelism().map_or(0, |n| n.get());
+    // One reference run of the baseline (out-of-order) model, so the
+    // report carries the per-structure pressure behind the timings.
+    let report = Simulator::new(SimConfig::four_way()).run_packed(packed);
+    let s = &report.structures;
+    let structures = format!(
+        "  \"structures\": {{\n    \"rename_stalls\": {},\n    \"rs_full_stalls\": {},\n    \"rob_full_stalls\": {},\n    \"lq_full_stalls\": {},\n    \"sq_full_stalls\": {},\n    \"replays\": {},\n    \"replay_wait_cycles\": {},\n    \"mean_rob_occupancy\": {:.2},\n    \"mean_lq_occupancy\": {:.2},\n    \"mean_sq_occupancy\": {:.2}\n  }},\n",
+        s.rename_stalls,
+        s.rs_full_stalls,
+        s.rob_full_stalls,
+        s.lq_full_stalls,
+        s.sq_full_stalls,
+        s.replays,
+        s.replay_wait_cycles,
+        report.retireq_occupancy.mean(),
+        report.lq_occupancy.mean(),
+        report.sq_occupancy.mean(),
+    );
     let json = format!(
-        "{{\n  \"bench\": \"sim\",\n  \"workload\": \"BLAST\",\n  \"trace_insts\": {},\n  \"host_cpus\": {cpus},\n  \"trace_bytes_aos\": {aos_bytes},\n  \"trace_bytes_packed\": {},\n  \"results\": [\n{entries}\n  ],\n  \"derived\": {{\n    \"packed_vs_aos_replay_speed\": {replay_ratio},\n    \"block_vs_per_inst_decode_speed\": {decode_ratio},\n    \"trace_compression\": {:.3},\n    \"sweep_speedup_t2_vs_serial\": {},\n    \"sweep_speedup_t4_vs_serial\": {}\n  }}\n}}\n",
+        "{{\n  \"bench\": \"sim\",\n  \"workload\": \"BLAST\",\n  \"trace_insts\": {},\n  \"host_cpus\": {cpus},\n  \"trace_bytes_aos\": {aos_bytes},\n  \"trace_bytes_packed\": {},\n{structures}  \"results\": [\n{entries}\n  ],\n  \"derived\": {{\n    \"packed_vs_aos_replay_speed\": {replay_ratio},\n    \"ooo_vs_scoreboard_replay_speed\": {model_ratio},\n    \"block_vs_per_inst_decode_speed\": {decode_ratio},\n    \"trace_compression\": {:.3},\n    \"sweep_speedup_t2_vs_serial\": {},\n    \"sweep_speedup_t4_vs_serial\": {}\n  }}\n}}\n",
         trace.len(),
         packed.heap_bytes(),
         aos_bytes as f64 / packed.heap_bytes() as f64,

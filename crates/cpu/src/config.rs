@@ -60,6 +60,25 @@ impl UnitClass {
     }
 }
 
+/// Issue-logic model.
+///
+/// [`IssueModel::OutOfOrder`] is the default and the fidelity target: a
+/// register alias table, per-class reservation stations, a retirement-
+/// ordered ROB and a load–store queue with address-based memory
+/// disambiguation (speculative load bypass + replay on conflict).
+/// [`IssueModel::Scoreboard`] keeps the original monolithic issue logic
+/// — conservative store→load ordering decided at dispatch — as a
+/// comparison oracle: both models retire identical architectural work,
+/// and cross-model tests pin that equivalence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IssueModel {
+    /// Legacy issue logic: loads wait at dispatch for any in-flight
+    /// store to the same granule (no speculation, no replay).
+    Scoreboard,
+    /// Staged RAT/RS/ROB/LSQ model with memory disambiguation.
+    OutOfOrder,
+}
+
 /// Core pipeline configuration (one column of Table IV).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct CpuConfig {
@@ -100,6 +119,19 @@ pub struct CpuConfig {
     /// the refill cost after a misprediction together with
     /// [`crate::config::BranchConfig::mispredict_recovery`].
     pub frontend_depth: u32,
+    /// Which issue-logic model runs the backend.
+    pub issue_model: IssueModel,
+    /// Reservation-station entries per class, used by
+    /// [`IssueModel::OutOfOrder`] (the scoreboard model uses
+    /// [`CpuConfig::issue_queue`]). Presets keep the two equal so the
+    /// models are resource-comparable.
+    pub rs_entries: [u32; UnitClass::COUNT],
+    /// Load-queue entries ([`IssueModel::OutOfOrder`] only).
+    pub lsq_loads: u32,
+    /// Store-queue entries ([`IssueModel::OutOfOrder`] only; the
+    /// scoreboard model's store queue is unbounded, as before the
+    /// model split).
+    pub lsq_stores: u32,
 }
 
 /// Default execution latencies (cycles) per unit class. Not specified
@@ -120,6 +152,7 @@ impl CpuConfig {
         ibuffer: u32,
         retire_queue: u32,
         mshrs: u32,
+        lsq: (u32, u32),
     ) -> Self {
         CpuConfig {
             name: name.to_string(),
@@ -139,6 +172,10 @@ impl CpuConfig {
             unit_latency: DEFAULT_LATENCY,
             wide_load_extra_latency: 0,
             frontend_depth: 6,
+            issue_model: IssueModel::OutOfOrder,
+            rs_entries: [iq; UnitClass::COUNT],
+            lsq_loads: lsq.0,
+            lsq_stores: lsq.1,
         }
     }
 
@@ -156,6 +193,7 @@ impl CpuConfig {
             18,
             128,
             4,
+            (32, 20),
         )
     }
 
@@ -173,6 +211,7 @@ impl CpuConfig {
             36,
             180,
             8,
+            (48, 32),
         )
     }
 
@@ -189,6 +228,7 @@ impl CpuConfig {
             72,
             180,
             16,
+            (80, 48),
         )
     }
 
@@ -206,6 +246,7 @@ impl CpuConfig {
             54,
             180,
             12,
+            (64, 40),
         )
     }
 
@@ -238,6 +279,12 @@ impl CpuConfig {
         }
         if self.max_outstanding_misses == 0 {
             return Err("need at least one MSHR".into());
+        }
+        if self.rs_entries.contains(&0) {
+            return Err("every reservation station needs at least one entry".into());
+        }
+        if self.lsq_loads == 0 || self.lsq_stores == 0 {
+            return Err("load and store queues need at least one entry".into());
         }
         Ok(())
     }
@@ -611,6 +658,25 @@ mod tests {
         assert_eq!(c.issue_queue[0], 20);
         assert_eq!(c.ibuffer, 18);
         assert_eq!(c.retire_queue, 128);
+        // The staged model's sizing knobs: RS entries mirror the issue
+        // queues so the two issue models are resource-comparable.
+        assert_eq!(c.issue_model, IssueModel::OutOfOrder);
+        assert_eq!(c.rs_entries, c.issue_queue);
+        assert_eq!(c.lsq_loads, 32);
+        assert_eq!(c.lsq_stores, 20);
+    }
+
+    #[test]
+    fn lsq_scales_with_width() {
+        assert_eq!(CpuConfig::eight_way().lsq_loads, 48);
+        assert_eq!(CpuConfig::twelve_way().lsq_loads, 64);
+        assert_eq!(CpuConfig::sixteen_way().lsq_loads, 80);
+        let mut c = CpuConfig::four_way();
+        c.lsq_stores = 0;
+        assert!(c.validate().is_err());
+        let mut c = CpuConfig::four_way();
+        c.rs_entries[UnitClass::Vi.index()] = 0;
+        assert!(c.validate().is_err());
     }
 
     #[test]

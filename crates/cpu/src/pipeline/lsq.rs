@@ -1,0 +1,158 @@
+//! The load–store queue and its memory-disambiguation policy.
+//!
+//! Both queues hold age-ordered entries keyed by sequence number and a
+//! 16-byte address granule (`ea >> 4`, the store-forwarding width).
+//!
+//! * **Stores** enter the store queue at dispatch with their address
+//!   *unresolved* — the model's stand-in for an uncomputed effective
+//!   address — and resolve when they issue.
+//! * **Loads** enter the load queue at dispatch and may issue past
+//!   older stores whose addresses are unresolved or do not match
+//!   (speculative bypass). A load that issues while a matching older
+//!   store is already resolved forwards from it instead of trusting
+//!   the cache.
+//! * When a store resolves, any *younger* load that already issued to
+//!   the same granule was mis-speculated: the engine squashes it and
+//!   re-issues it with a dependence on the store (a replay).
+//!
+//! The scoreboard oracle uses only the store half, fully resolved at
+//! dispatch, reproducing the original conservative policy (loads take
+//! a dispatch-time dependence, nothing ever replays).
+
+use std::collections::VecDeque;
+
+#[derive(Debug, Clone, Copy)]
+struct SqEntry {
+    seq: u64,
+    granule: u32,
+    resolved: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LqEntry {
+    seq: u64,
+    granule: u32,
+    issued: bool,
+}
+
+/// The load and store queues.
+#[derive(Debug)]
+pub(crate) struct Lsq {
+    loads: VecDeque<LqEntry>,
+    stores: VecDeque<SqEntry>,
+    load_cap: usize,
+    store_cap: usize,
+}
+
+impl Lsq {
+    pub fn new(load_cap: usize, store_cap: usize) -> Self {
+        Lsq {
+            loads: VecDeque::new(),
+            stores: VecDeque::new(),
+            load_cap,
+            store_cap,
+        }
+    }
+
+    #[inline]
+    pub fn loads_full(&self) -> bool {
+        self.loads.len() >= self.load_cap
+    }
+
+    #[inline]
+    pub fn stores_full(&self) -> bool {
+        self.stores.len() >= self.store_cap
+    }
+
+    #[inline]
+    pub fn loads_len(&self) -> usize {
+        self.loads.len()
+    }
+
+    #[inline]
+    pub fn stores_len(&self) -> usize {
+        self.stores.len()
+    }
+
+    /// Enters a load at dispatch (out-of-order model only).
+    #[inline]
+    pub fn push_load(&mut self, seq: u64, granule: u32) {
+        self.loads.push_back(LqEntry {
+            seq,
+            granule,
+            issued: false,
+        });
+    }
+
+    /// Enters a store at dispatch. The scoreboard model passes
+    /// `resolved = true` (its addresses are known at dispatch); the
+    /// out-of-order model passes `false` and resolves at issue.
+    #[inline]
+    pub fn push_store(&mut self, seq: u64, granule: u32, resolved: bool) {
+        self.stores.push_back(SqEntry {
+            seq,
+            granule,
+            resolved,
+        });
+    }
+
+    /// Youngest in-flight store to `granule` regardless of resolution —
+    /// the scoreboard's conservative dispatch-time dependence.
+    #[inline]
+    pub fn youngest_store_to(&self, granule: u32) -> Option<u64> {
+        self.stores
+            .iter()
+            .rev()
+            .find(|s| s.granule == granule)
+            .map(|s| s.seq)
+    }
+
+    /// Youngest *resolved* store older than `load_seq` to the same
+    /// granule — the forwarding source for an issuing load. Unresolved
+    /// older stores are speculatively bypassed.
+    #[inline]
+    pub fn forward_source(&self, load_seq: u64, granule: u32) -> Option<u64> {
+        self.stores
+            .iter()
+            .rev()
+            .filter(|s| s.seq < load_seq)
+            .find(|s| s.resolved && s.granule == granule)
+            .map(|s| s.seq)
+    }
+
+    /// Marks a load issued (or un-issued again, when it replays).
+    pub fn set_load_issued(&mut self, seq: u64, issued: bool) {
+        if let Some(l) = self.loads.iter_mut().find(|l| l.seq == seq) {
+            l.issued = issued;
+        }
+    }
+
+    /// Resolves `seq`'s address at store issue and returns the
+    /// sequence numbers of younger loads that already issued to the
+    /// same granule — the mis-speculated loads the engine must replay.
+    pub fn resolve_store(&mut self, seq: u64, granule: u32) -> Vec<u64> {
+        if let Some(s) = self.stores.iter_mut().find(|s| s.seq == seq) {
+            s.resolved = true;
+            s.granule = granule;
+        }
+        self.loads
+            .iter()
+            .filter(|l| l.seq > seq && l.issued && l.granule == granule)
+            .map(|l| l.seq)
+            .collect()
+    }
+
+    /// Drops the head store at retire.
+    #[inline]
+    pub fn retire_store(&mut self, seq: u64) {
+        let popped = self.stores.pop_front();
+        debug_assert_eq!(popped.map(|s| s.seq), Some(seq));
+    }
+
+    /// Drops the head load at retire (out-of-order model only).
+    #[inline]
+    pub fn retire_load(&mut self, seq: u64) {
+        let popped = self.loads.pop_front();
+        debug_assert_eq!(popped.map(|l| l.seq), Some(seq));
+    }
+}

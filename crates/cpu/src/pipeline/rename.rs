@@ -1,0 +1,92 @@
+//! The register alias table: architectural register → youngest in-
+//! flight writer, plus the free-list accounting that makes renaming a
+//! dispatch resource.
+//!
+//! Physical registers beyond the architectural state (32 GPR, 32 FPR,
+//! 64 VR) form per-file free pools; dispatch allocates one per written
+//! destination and retire returns it. True (read-after-write)
+//! dependences are exactly the RAT entries that still point inside the
+//! window — everything else has committed and reads the register file.
+
+use sapa_isa::inst::Inst;
+use sapa_isa::reg::RegFile;
+
+use crate::config::CpuConfig;
+
+const NO_WRITER: u64 = u64::MAX;
+
+/// Index of a register file in the free-pool array.
+#[inline]
+pub(crate) fn file_index(file: RegFile) -> usize {
+    match file {
+        RegFile::Gpr => 0,
+        RegFile::Fpr => 1,
+        RegFile::Vr => 2,
+    }
+}
+
+/// The register alias table.
+#[derive(Debug)]
+pub(crate) struct Rat {
+    /// Sequence number of the latest dispatched writer per
+    /// architectural register, or `NO_WRITER`.
+    writer: [u64; 128],
+    /// Spare physical registers per file (GPR, FPR, VR).
+    free: [u32; 3],
+}
+
+impl Rat {
+    pub fn new(cfg: &CpuConfig) -> Self {
+        Rat {
+            writer: [NO_WRITER; 128],
+            free: [
+                cfg.gpr.saturating_sub(32),
+                cfg.fpr.saturating_sub(32),
+                cfg.vpr.saturating_sub(64),
+            ],
+        }
+    }
+
+    /// Whether a physical register is available for `inst`'s
+    /// destination (vacuously true for instructions without one).
+    #[inline]
+    pub fn can_rename(&self, inst: &Inst) -> bool {
+        !inst.dst.is_some() || self.free[file_index(inst.dst.file())] > 0
+    }
+
+    /// Allocates the destination register and records `seq` as the
+    /// architectural register's newest writer.
+    #[inline]
+    pub fn rename(&mut self, inst: &Inst, seq: u64) {
+        if inst.dst.is_some() {
+            self.free[file_index(inst.dst.file())] -= 1;
+            self.writer[inst.dst.id() as usize] = seq;
+        }
+    }
+
+    /// Returns the destination's physical register to the free pool at
+    /// retire.
+    #[inline]
+    pub fn release(&mut self, inst: &Inst) {
+        if inst.dst.is_some() {
+            self.free[file_index(inst.dst.file())] += 1;
+        }
+    }
+
+    /// Collects `inst`'s true dependences on in-flight producers into
+    /// `deps`, returning how many there are. `head_seq` bounds the
+    /// window: writers at or past it are still in flight, older ones
+    /// have committed.
+    #[inline]
+    pub fn collect_deps(&self, inst: &Inst, head_seq: u64, deps: &mut [u64; 4]) -> u8 {
+        let mut ndeps = 0u8;
+        for src in inst.sources() {
+            let w = self.writer[src.id() as usize];
+            if w != NO_WRITER && w >= head_seq {
+                deps[ndeps as usize] = w;
+                ndeps += 1;
+            }
+        }
+        ndeps
+    }
+}

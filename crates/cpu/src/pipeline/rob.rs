@@ -1,0 +1,136 @@
+//! The reorder buffer: retirement-ordered owner of all in-flight
+//! instruction state.
+//!
+//! Entries are indexed by *sequence number* — the position of the
+//! instruction in the dynamic trace. The ROB is a contiguous window
+//! `head_seq .. head_seq + len`, so a sequence number maps to an entry
+//! with one subtraction and numbers below `head_seq` are known-retired
+//! without a lookup.
+
+use std::collections::VecDeque;
+
+use sapa_isa::inst::Inst;
+
+use crate::cache::ServedBy;
+use crate::config::UnitClass;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum State {
+    /// Dispatched, waiting in a reservation station.
+    Waiting,
+    /// Issued; result available at `done_at`.
+    Executing,
+    /// Completed.
+    Done,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct RobEntry {
+    pub inst: Inst,
+    pub state: State,
+    pub queue: UnitClass,
+    pub done_at: u64,
+    pub dispatch_cycle: u64,
+    pub deps: [u64; 4],
+    pub ndeps: u8,
+    pub served: Option<ServedBy>,
+    pub tlb_miss: bool,
+    pub mispredicted: bool,
+    pub is_cond_branch: bool,
+    /// Set when the only thing stopping issue was a full MSHR file.
+    pub mshr_blocked: bool,
+    /// The instruction has issued at least once: its cache access (for
+    /// memory ops) and its issue-slot count have already happened, so a
+    /// disambiguation replay must not repeat them.
+    pub probed: bool,
+    /// A load squashed by memory disambiguation: an older store
+    /// resolved to the same granule after the load issued, and the load
+    /// is waiting to re-issue with the store's data.
+    pub replayed: bool,
+}
+
+/// The retirement-ordered window.
+#[derive(Debug)]
+pub(crate) struct Rob {
+    entries: VecDeque<RobEntry>,
+    head_seq: u64,
+}
+
+impl Rob {
+    pub fn new(capacity: usize) -> Self {
+        Rob {
+            entries: VecDeque::with_capacity(capacity),
+            head_seq: 0,
+        }
+    }
+
+    /// Sequence number of the oldest in-flight instruction (equals the
+    /// number of retired instructions).
+    #[inline]
+    pub fn head_seq(&self) -> u64 {
+        self.head_seq
+    }
+
+    /// Sequence number the next dispatched instruction will get.
+    #[inline]
+    pub fn next_seq(&self) -> u64 {
+        self.head_seq + self.entries.len() as u64
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    #[inline]
+    pub fn front(&self) -> Option<&RobEntry> {
+        self.entries.front()
+    }
+
+    #[inline]
+    pub fn entry(&self, seq: u64) -> Option<&RobEntry> {
+        if seq < self.head_seq {
+            return None; // already retired
+        }
+        self.entries.get((seq - self.head_seq) as usize)
+    }
+
+    #[inline]
+    pub fn entry_mut(&mut self, seq: u64) -> Option<&mut RobEntry> {
+        if seq < self.head_seq {
+            return None;
+        }
+        self.entries.get_mut((seq - self.head_seq) as usize)
+    }
+
+    /// A dependency is satisfied when its producer has left the window
+    /// or has completed execution.
+    #[inline]
+    pub fn dep_ready(&self, seq: u64, cycle: u64) -> bool {
+        match self.entry(seq) {
+            None => true,
+            Some(e) => {
+                e.state == State::Done || (e.state == State::Executing && e.done_at <= cycle)
+            }
+        }
+    }
+
+    #[inline]
+    pub fn push(&mut self, entry: RobEntry) {
+        self.entries.push_back(entry);
+    }
+
+    /// Retires the head entry, returning its sequence number and state.
+    #[inline]
+    pub fn pop_front(&mut self) -> Option<(u64, RobEntry)> {
+        let entry = self.entries.pop_front()?;
+        let seq = self.head_seq;
+        self.head_seq += 1;
+        Some((seq, entry))
+    }
+}

@@ -2,7 +2,7 @@
 
 use crate::cache::CacheStats;
 use crate::config::UnitClass;
-use crate::trauma::TraumaCounts;
+use crate::trauma::{Trauma, TraumaCounts};
 
 /// Cycles spent at each occupancy level of a queue: `hist[k]` is the
 /// number of cycles the queue held exactly `k` entries (paper Fig. 10).
@@ -52,6 +52,75 @@ impl OccupancyHistogram {
     }
 }
 
+/// Per-structure stall attribution — the staged-backend view of the
+/// trauma histogram. Dispatch-blocked cycles are broken down by which
+/// backend structure was exhausted (rename registers, a reservation
+/// station, the ROB, the load queue, the store queue), and the memory-
+/// disambiguation machinery reports how many loads it squashed and how
+/// many head-of-window cycles were spent waiting on replays.
+///
+/// A cycle can charge at most one dispatch structure (the first one the
+/// in-order dispatch stage hit), so the five `*_stalls` counters are
+/// disjoint and each is bounded by the run's cycle count.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StructStalls {
+    /// Cycles dispatch stalled with no free rename register.
+    pub rename_stalls: u64,
+    /// Cycles dispatch stalled on a full reservation station (any class).
+    pub rs_full_stalls: u64,
+    /// Cycles dispatch stalled on a full reorder buffer.
+    pub rob_full_stalls: u64,
+    /// Cycles dispatch stalled on a full load queue.
+    pub lq_full_stalls: u64,
+    /// Cycles dispatch stalled on a full store queue.
+    pub sq_full_stalls: u64,
+    /// Loads squashed by memory disambiguation (an older store resolved
+    /// to a granule the load had already speculatively read).
+    pub replays: u64,
+    /// Zero-retire cycles charged to a replayed load at the window head
+    /// waiting to re-issue ([`Trauma::MmStqc`]).
+    pub replay_wait_cycles: u64,
+}
+
+impl StructStalls {
+    /// All-zero counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total dispatch-blocked cycles across the five structures.
+    pub fn total_dispatch_stalls(&self) -> u64 {
+        self.rename_stalls
+            + self.rs_full_stalls
+            + self.rob_full_stalls
+            + self.lq_full_stalls
+            + self.sq_full_stalls
+    }
+
+    /// Charges one dispatch-stall cycle to the structure behind the
+    /// given dispatch-stage trauma (no-op for non-structural reasons
+    /// such as decode depth).
+    pub(crate) fn charge_dispatch(&mut self, t: Trauma) {
+        match t {
+            Trauma::Rename => self.rename_stalls += 1,
+            Trauma::MmRoqf => self.rob_full_stalls += 1,
+            Trauma::MmDcqf => self.lq_full_stalls += 1,
+            Trauma::MmStqf => self.sq_full_stalls += 1,
+            Trauma::DiqVfpu
+            | Trauma::DiqVcmplx
+            | Trauma::DiqVper
+            | Trauma::DiqVi
+            | Trauma::DiqCmplx
+            | Trauma::DiqLog
+            | Trauma::DiqBr
+            | Trauma::DiqMem
+            | Trauma::DiqFpu
+            | Trauma::DiqFix => self.rs_full_stalls += 1,
+            _ => {}
+        }
+    }
+}
+
 /// Everything a simulation run measured.
 ///
 /// Equality compares every counter and histogram, so two reports are
@@ -65,6 +134,9 @@ pub struct SimReport {
     pub instructions: u64,
     /// Stall-cycle attribution (paper Fig. 2).
     pub traumas: TraumaCounts,
+    /// Per-structure stall attribution (rename/RS/ROB/LSQ pressure and
+    /// disambiguation replays).
+    pub structures: StructStalls,
     /// L1 data-cache counters.
     pub dl1: CacheStats,
     /// L1 instruction-cache counters.
@@ -94,6 +166,11 @@ pub struct SimReport {
     pub inflight_occupancy: OccupancyHistogram,
     /// Retire-queue (ROB) occupancy per cycle.
     pub retireq_occupancy: OccupancyHistogram,
+    /// Load-queue occupancy per cycle (all-zero under the scoreboard
+    /// model, which has no load queue).
+    pub lq_occupancy: OccupancyHistogram,
+    /// Store-queue occupancy per cycle.
+    pub sq_occupancy: OccupancyHistogram,
 }
 
 impl SimReport {
@@ -228,6 +305,19 @@ impl std::fmt::Display for SimReport {
                 write!(f, " {}={}", t.label(), c)?;
             }
         }
+        writeln!(f)?;
+        write!(
+            f,
+            "structures: rename={} rs_full={} rob_full={} lq_full={} sq_full={} \
+             replays={} replay_wait={}",
+            self.structures.rename_stalls,
+            self.structures.rs_full_stalls,
+            self.structures.rob_full_stalls,
+            self.structures.lq_full_stalls,
+            self.structures.sq_full_stalls,
+            self.structures.replays,
+            self.structures.replay_wait_cycles
+        )?;
         Ok(())
     }
 }

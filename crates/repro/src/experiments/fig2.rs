@@ -29,11 +29,21 @@ pub fn run(ctx: &mut Context) -> String {
             .filter(|&(_, c)| c > 0)
             .map(|(tr, c)| format!("{}={}", tr.label(), c))
             .collect();
+        let s = &report.structures;
         out.push_str(&format!(
-            "\nSTALL CYCLES in {} (total cycles {}, top: {}):\n{}",
+            "\nSTALL CYCLES in {} (total cycles {}, top: {}):\n\
+             structures: rename={} rs_full={} rob_full={} lq_full={} sq_full={} \
+             replays={} replay_wait={}\n{}",
             w.label(),
             report.cycles,
             top.join(", "),
+            s.rename_stalls,
+            s.rs_full_stalls,
+            s.rob_full_stalls,
+            s.lq_full_stalls,
+            s.sq_full_stalls,
+            s.replays,
+            s.replay_wait_cycles,
             t.render()
         ));
     }

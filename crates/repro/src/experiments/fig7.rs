@@ -64,14 +64,29 @@ mod tests {
 
     #[test]
     fn simd_is_most_latency_sensitive() {
+        // The paper's Figure 7 ordering (SIMD loses the most IPC as L1
+        // latency grows) is a property of the conservative machine it
+        // was calibrated on: the scoreboard oracle. The speculative
+        // model forwards the striped store→load chains out of the store
+        // queue, so its SIMD runs never pay the miss path and retain
+        // more IPC than scalar FASTA.
+        use sapa_cpu::config::IssueModel;
         let mut ctx = Context::new(Scale::Small);
-        let mut rel = |w: Workload| {
-            let f = point(&mut ctx, w, 1);
-            let s = point(&mut ctx, w, 10);
-            s / f
+        let mut rel = |w: Workload, model: IssueModel| {
+            let mut fast = config_for(1);
+            fast.cpu.issue_model = model;
+            let mut slow = config_for(10);
+            slow.cpu.issue_model = model;
+            ctx.sim(w, &slow).ipc() / ctx.sim(w, &fast).ipc()
         };
-        let simd = rel(Workload::SwVmx128);
-        let fasta = rel(Workload::Fasta34);
+        let simd = rel(Workload::SwVmx128, IssueModel::Scoreboard);
+        let fasta = rel(Workload::Fasta34, IssueModel::Scoreboard);
         assert!(simd < fasta + 0.05, "simd {simd} vs fasta {fasta}");
+        // Under the speculative model both workloads still degrade
+        // materially — latency is hidden, not erased.
+        for w in [Workload::SwVmx128, Workload::Fasta34] {
+            let r = rel(w, IssueModel::OutOfOrder);
+            assert!(r < 0.95, "{w}: retention {r} too flat");
+        }
     }
 }

@@ -61,6 +61,10 @@ mod tests {
         let mut ctx = Context::new(Scale::Tiny);
         let (_, v256, v256_lat) = speedups(&mut ctx, "4-way");
         assert!(v256 > 1.0, "vmx256 speedup {v256}");
-        assert!(v256_lat <= v256 + 1e-9, "{v256_lat} > {v256}");
+        // Under speculative disambiguation, cycle counts are locally
+        // non-monotonic in single-op latencies (a one-cycle shift can
+        // turn a replay into a clean store forward), so the ablation's
+        // margin-shrink holds to a small tolerance rather than exactly.
+        assert!(v256_lat <= v256 * 1.01, "{v256_lat} > {v256}");
     }
 }

@@ -5,7 +5,7 @@
 //! repro all                 # everything, in paper order
 //! repro table3 fig1 fig9    # a subset
 //! repro --list              # available experiment ids
-//! repro sweep workload=BLAST width=4-way,8-way mem=me1,meinf bp=real
+//! repro sweep workload=BLAST width=4-way,8-way mem=me1,meinf bp=real model=ooo,scoreboard
 //! repro trace --workload BLAST --file blast.trc     # save a trace
 //! repro dbgen --out db.fasta --sequences 400         # export the synthetic db
 //! repro simulate --file blast.trc [width=8-way mem=meinf bp=perfect]
@@ -26,9 +26,9 @@ use sapa_repro::sweep::{parse_workload, SweepSpec};
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--scale tiny|small|paper] [--threads N] [--out DIR] <experiment>... | all | --list\n\
-         \x20      repro sweep [--threads N] [--corrupt-trace NAME] [--fault-seed N] [workload=..] [width=..] [mem=..] [bp=..]\n\
+         \x20      repro sweep [--threads N] [--corrupt-trace NAME] [--fault-seed N] [workload=..] [width=..] [mem=..] [bp=..] [model=..]\n\
          \x20      repro trace --workload NAME --file PATH\n\
-         \x20      repro simulate --file PATH [width=..] [mem=..] [bp=..]\n\
+         \x20      repro simulate --file PATH [width=..] [mem=..] [bp=..] [model=..]\n\
          experiments: {}",
         ALL_IDS.join(", ")
     );
@@ -208,7 +208,9 @@ fn run_simulate(args: &[String]) {
     } else {
         BranchConfig::table_vi()
     };
-    let cfg = Context::config(&spec.widths[0], &mem, branch);
+    let mut cfg = Context::config(&spec.widths[0], &mem, branch);
+    cfg.cpu.issue_model =
+        sapa_repro::sweep::parse_model(&spec.models[0]).expect("validated at apply time");
     let r = Simulator::new(cfg).run(&trace);
     println!("{r}");
 }

@@ -3,7 +3,7 @@
 
 use crate::context::Context;
 use crate::format::{f2, pct, Table};
-use sapa_cpu::config::{BranchConfig, MemConfig};
+use sapa_cpu::config::{BranchConfig, IssueModel, MemConfig};
 use sapa_workloads::Workload;
 
 /// A parsed sweep specification.
@@ -17,6 +17,8 @@ pub struct SweepSpec {
     pub mems: Vec<String>,
     /// Predictors ("real", "perfect").
     pub predictors: Vec<String>,
+    /// Issue models ("ooo", "scoreboard").
+    pub models: Vec<String>,
 }
 
 impl Default for SweepSpec {
@@ -26,7 +28,19 @@ impl Default for SweepSpec {
             widths: vec!["4-way".into()],
             mems: vec!["me1".into()],
             predictors: vec!["real".into()],
+            models: vec!["ooo".into()],
         }
+    }
+}
+
+/// Parses an issue-model name.
+pub fn parse_model(name: &str) -> Result<IssueModel, String> {
+    match name {
+        "ooo" => Ok(IssueModel::OutOfOrder),
+        "scoreboard" => Ok(IssueModel::Scoreboard),
+        other => Err(format!(
+            "unknown issue model {other}; valid: ooo, scoreboard"
+        )),
     }
 }
 
@@ -72,6 +86,12 @@ impl SweepSpec {
                 }
                 self.predictors = values.iter().map(|v| v.to_string()).collect();
             }
+            "model" => {
+                for v in &values {
+                    parse_model(v)?;
+                }
+                self.models = values.iter().map(|v| v.to_string()).collect();
+            }
             other => return Err(format!("unknown sweep key {other}")),
         }
         Ok(())
@@ -90,7 +110,12 @@ impl SweepSpec {
                         } else {
                             BranchConfig::table_vi()
                         };
-                        points.push((w, Context::config(width, &mem, branch)));
+                        for model in &self.models {
+                            let mut cfg = Context::config(width, &mem, branch.clone());
+                            cfg.cpu.issue_model =
+                                parse_model(model).expect("validated at apply time");
+                            points.push((w, cfg));
+                        }
                     }
                 }
             }
@@ -110,9 +135,13 @@ impl SweepSpec {
         // points run in parallel under --threads.
         ctx.sim_batch(&self.points());
         let mut t = Table::new(&[
-            "workload", "width", "mem", "bp", "cycles", "IPC", "dl1 miss", "bp acc", "top EU",
-            "slots",
+            "workload", "width", "mem", "bp", "model", "cycles", "IPC", "dl1 miss", "bp acc",
+            "top EU", "slots", "rn", "rs", "rob", "lsq", "rpl",
         ]);
+        // Data columns after the FAILED marker; the padding below must
+        // cover exactly this many cells so failed rows stay aligned
+        // with the per-structure stall columns.
+        const DATA_COLS_AFTER_FAILED: usize = 10;
         for &w in &self.workloads {
             for width in &self.widths {
                 for mem_name in &self.mems {
@@ -123,47 +152,61 @@ impl SweepSpec {
                         } else {
                             BranchConfig::table_vi()
                         };
-                        let cfg = Context::config(width, &mem, branch);
-                        let row_head = vec![
-                            w.label().to_string(),
-                            width.clone(),
-                            mem_name.clone(),
-                            bp.clone(),
-                        ];
-                        match ctx.try_sim(w, &cfg) {
-                            Ok(r) => {
-                                // riscv-sim-style EU attribution: the
-                                // busiest functional-unit class makes
-                                // compute-bound points readable at a
-                                // glance (RG_VI-heavy SIMD codes pin
-                                // their vector unit; memory-bound codes
-                                // run every EU near idle).
-                                let top_eu = r
-                                    .busiest_eu()
-                                    .map(|(c, busy)| format!("{} {}", c.label(), pct(busy)))
-                                    .unwrap_or_default();
-                                let slots = pct(r.issue_slot_utilisation());
-                                t.row_owned(
+                        for model in &self.models {
+                            let mut cfg = Context::config(width, &mem, branch.clone());
+                            cfg.cpu.issue_model =
+                                parse_model(model).expect("validated at apply time");
+                            let row_head = vec![
+                                w.label().to_string(),
+                                width.clone(),
+                                mem_name.clone(),
+                                bp.clone(),
+                                model.clone(),
+                            ];
+                            match ctx.try_sim(w, &cfg) {
+                                Ok(r) => {
+                                    // riscv-sim-style EU attribution: the
+                                    // busiest functional-unit class makes
+                                    // compute-bound points readable at a
+                                    // glance (RG_VI-heavy SIMD codes pin
+                                    // their vector unit; memory-bound codes
+                                    // run every EU near idle).
+                                    let top_eu = r
+                                        .busiest_eu()
+                                        .map(|(c, busy)| format!("{} {}", c.label(), pct(busy)))
+                                        .unwrap_or_default();
+                                    let slots = pct(r.issue_slot_utilisation());
+                                    let s = &r.structures;
+                                    t.row_owned(
+                                        row_head
+                                            .into_iter()
+                                            .chain([
+                                                r.cycles.to_string(),
+                                                f2(r.ipc()),
+                                                pct(r.dl1.miss_rate()),
+                                                pct(r.bp_accuracy()),
+                                                top_eu,
+                                                slots,
+                                                s.rename_stalls.to_string(),
+                                                s.rs_full_stalls.to_string(),
+                                                s.rob_full_stalls.to_string(),
+                                                (s.lq_full_stalls + s.sq_full_stalls).to_string(),
+                                                s.replays.to_string(),
+                                            ])
+                                            .collect(),
+                                    )
+                                }
+                                Err(_) => t.row_owned(
                                     row_head
                                         .into_iter()
-                                        .chain([
-                                            r.cycles.to_string(),
-                                            f2(r.ipc()),
-                                            pct(r.dl1.miss_rate()),
-                                            pct(r.bp_accuracy()),
-                                            top_eu,
-                                            slots,
-                                        ])
+                                        .chain(std::iter::once("FAILED".to_string()))
+                                        .chain(std::iter::repeat_n(
+                                            String::new(),
+                                            DATA_COLS_AFTER_FAILED,
+                                        ))
                                         .collect(),
-                                )
+                                ),
                             }
-                            Err(_) => t.row_owned(
-                                row_head
-                                    .into_iter()
-                                    .chain(std::iter::once("FAILED".to_string()))
-                                    .chain(std::iter::repeat_n(String::new(), 5))
-                                    .collect(),
-                            ),
                         }
                     }
                 }
@@ -256,6 +299,35 @@ mod tests {
             .find(|l| l.starts_with("FASTA34"))
             .expect("FASTA34 row");
         assert!(!fasta_row.contains("FAILED"));
+    }
+
+    #[test]
+    fn sweeps_both_issue_models() {
+        let mut ctx = Context::new(Scale::Tiny);
+        let mut spec = SweepSpec::default();
+        spec.apply("workload=BLAST").unwrap();
+        spec.apply("model=ooo,scoreboard").unwrap();
+        let out = spec.run(&mut ctx);
+        assert_eq!(out.lines().count(), 2 + 2); // header + rule + 2 rows
+        assert!(out.contains("scoreboard"), "out:\n{out}");
+        assert!(out.contains("ooo"), "out:\n{out}");
+        assert!(spec.apply("model=inorder").is_err());
+    }
+
+    #[test]
+    fn failed_rows_pad_the_structure_columns() {
+        // A poisoned point on the widest grid shape: the FAILED row
+        // must carry exactly as many cells as the header (row_owned
+        // panics otherwise), covering the per-structure stall columns.
+        use sapa_core::fault::FaultPlan;
+        let mut ctx = Context::new(Scale::Tiny);
+        ctx.corrupt_trace(Workload::Blast, &FaultPlan::new(7, 0.01));
+        let mut spec = SweepSpec::default();
+        spec.apply("workload=BLAST").unwrap();
+        spec.apply("model=ooo,scoreboard").unwrap();
+        let out = spec.run(&mut ctx);
+        let failed_rows = out.lines().filter(|l| l.contains("FAILED")).count();
+        assert_eq!(failed_rows, 2, "out:\n{out}");
     }
 
     #[test]

@@ -1,0 +1,82 @@
+//! Cross-model invariants: the scoreboard oracle and the speculative
+//! out-of-order model must agree on everything the trace determines —
+//! retired instruction counts, cache and predictor traffic — and each
+//! model must be bit-identical regardless of sweep thread count.
+
+use std::sync::Arc;
+
+use sapa_core::cpu::config::{IssueModel, SimConfig};
+use sapa_core::cpu::{run_jobs, Simulator, SweepJob};
+use sapa_core::isa::{OpClass, PackedTrace};
+use sapa_core::workloads::{StandardInputs, Workload};
+
+fn config(model: IssueModel) -> SimConfig {
+    let mut cfg = SimConfig::four_way();
+    cfg.cpu.issue_model = model;
+    cfg
+}
+
+#[test]
+fn models_agree_on_trace_derived_stats_for_every_workload() {
+    let inputs = StandardInputs::with_db_size(12, 1);
+    for w in Workload::ALL {
+        let trace = w.trace(&inputs).trace;
+        let stats = trace.stats();
+        let sb = Simulator::new(config(IssueModel::Scoreboard)).run(&trace);
+        let ooo = Simulator::new(config(IssueModel::OutOfOrder)).run(&trace);
+        // Both models retire the whole trace, nothing more.
+        assert_eq!(sb.instructions, stats.total(), "{w}: scoreboard retires");
+        assert_eq!(ooo.instructions, stats.total(), "{w}: ooo retires");
+        // Every load and store probes the DL1 exactly once — even when
+        // the speculative model serves it from the store queue — so
+        // cache statistics stay a pure function of the trace.
+        let mem_ops = stats.count(OpClass::ILoad)
+            + stats.count(OpClass::IStore)
+            + stats.count(OpClass::VLoad)
+            + stats.count(OpClass::VStore);
+        assert_eq!(sb.dl1.accesses, mem_ops, "{w}: scoreboard DL1 traffic");
+        assert_eq!(ooo.dl1.accesses, mem_ops, "{w}: ooo DL1 traffic");
+        assert_eq!(sb.dl1, ooo.dl1, "{w}: DL1 counters diverged");
+        // Frontend and predictor traffic are functions of the in-order
+        // fetch stream, which the issue policy does not alter.
+        assert_eq!(sb.il1, ooo.il1, "{w}: IL1 counters diverged");
+        assert_eq!(sb.bp_predictions, ooo.bp_predictions, "{w}: BP lookups");
+        assert_eq!(
+            sb.bp_mispredictions, ooo.bp_mispredictions,
+            "{w}: BP misses"
+        );
+        // Conditional branches are a subset of the trace's control
+        // transfers (jumps are not predicted).
+        assert!(
+            sb.bp_predictions <= stats.count(OpClass::Branch),
+            "{w}: {} predictions for {} branches",
+            sb.bp_predictions,
+            stats.count(OpClass::Branch)
+        );
+        // The oracle never speculates, so it never replays; only the
+        // speculative model may pay disambiguation traffic.
+        assert_eq!(sb.structures.replays, 0, "{w}: scoreboard replayed");
+    }
+}
+
+#[test]
+fn each_model_is_bit_identical_across_sweep_thread_counts() {
+    let inputs = StandardInputs::with_db_size(12, 1);
+    for model in [IssueModel::Scoreboard, IssueModel::OutOfOrder] {
+        let jobs: Vec<SweepJob> = Workload::ALL
+            .into_iter()
+            .map(|w| {
+                let packed = Arc::new(PackedTrace::from_trace(&w.trace(&inputs).trace));
+                SweepJob::new(packed, config(model))
+            })
+            .collect();
+        let serial = run_jobs(&jobs, 1);
+        for threads in [2, 4] {
+            assert_eq!(
+                serial,
+                run_jobs(&jobs, threads),
+                "{model:?} diverged between 1 and {threads} sweep threads"
+            );
+        }
+    }
+}

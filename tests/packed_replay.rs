@@ -3,7 +3,7 @@
 //! workload the suite traces — and packing must be lossless.
 
 use sapa_core::bioseq::rng::SplitMix64;
-use sapa_core::cpu::config::SimConfig;
+use sapa_core::cpu::config::{IssueModel, SimConfig};
 use sapa_core::cpu::{DecodeBuf, Simulator};
 use sapa_core::isa::{Inst, PackedTrace};
 use sapa_core::workloads::{StandardInputs, Workload};
@@ -11,15 +11,19 @@ use sapa_core::workloads::{StandardInputs, Workload};
 #[test]
 fn packed_replay_matches_aos_replay_for_every_workload() {
     let inputs = StandardInputs::with_db_size(12, 1);
-    let sim = Simulator::new(SimConfig::four_way());
-    for w in Workload::ALL {
-        let trace = w.trace(&inputs).trace;
-        let packed = PackedTrace::from_trace(&trace);
-        assert_eq!(
-            sim.run(&trace),
-            sim.run_packed(&packed),
-            "{w} diverged between packed and unpacked replay"
-        );
+    for model in [IssueModel::Scoreboard, IssueModel::OutOfOrder] {
+        let mut cfg = SimConfig::four_way();
+        cfg.cpu.issue_model = model;
+        let sim = Simulator::new(cfg);
+        for w in Workload::ALL {
+            let trace = w.trace(&inputs).trace;
+            let packed = PackedTrace::from_trace(&trace);
+            assert_eq!(
+                sim.run(&trace),
+                sim.run_packed(&packed),
+                "{w} diverged between packed and unpacked replay under {model:?}"
+            );
+        }
     }
 }
 
