@@ -119,6 +119,38 @@ pub trait AlignmentEngine: Sync {
     }
 }
 
+/// A shared reference to an engine is itself an engine, so callers
+/// holding one concrete engine (e.g. a server worker borrowing from a
+/// registry) can wrap it in decorators like `FaultyEngine` that take
+/// their inner engine by value.
+impl<E: AlignmentEngine + ?Sized> AlignmentEngine for &E {
+    type Workspace = E::Workspace;
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn workspace(&self) -> Self::Workspace {
+        (**self).workspace()
+    }
+
+    fn score_one(&self, ws: &mut Self::Workspace, subject: &[AminoAcid]) -> i32 {
+        (**self).score_one(ws, subject)
+    }
+
+    fn rescored(&self, ws: &Self::Workspace) -> usize {
+        (**self).rescored(ws)
+    }
+
+    fn cost_len(&self, subject_len: usize) -> u64 {
+        (**self).cost_len(subject_len)
+    }
+
+    fn cost(&self, subject: &[AminoAcid]) -> u64 {
+        (**self).cost(subject)
+    }
+}
+
 /// A latency bound for one ranked scan (see
 /// [`crate::parallel::engine_search_bounded`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -129,10 +161,47 @@ pub enum Deadline {
     /// exactly those subjects — identical output at any thread count.
     Cells(u64),
     /// Best-effort wall-clock cutoff: workers stop claiming subjects
-    /// once the duration elapses. Coverage depends on scheduling, so
-    /// results are *not* reproducible; prefer [`Deadline::Cells`]
-    /// anywhere determinism matters.
+    /// once the duration elapses. This bound is checked *between*
+    /// subjects, never mid-kernel, so an expensive subject claimed just
+    /// before the cutoff still runs to completion and the scan can
+    /// overshoot the duration by up to one subject's scoring time.
+    /// Coverage depends on scheduling, so two runs of the same request
+    /// may cover different prefixes — results are *not* reproducible;
+    /// prefer [`Deadline::Cells`] anywhere determinism matters. The
+    /// response says which kind fired via
+    /// [`SearchResponse::truncated_by`].
     Wall(std::time::Duration),
+}
+
+/// Which [`Deadline`] kind actually truncated a bounded scan.
+///
+/// Reported in [`SearchResponse::truncated_by`] so a partial response
+/// can say *why* it is partial: a `Cells` truncation is deterministic
+/// and will recur on every identical request, while a `Wall` truncation
+/// is best-effort and may cover a different prefix on a retry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeadlineKind {
+    /// The deterministic [`Deadline::Cells`] budget was exhausted.
+    Cells,
+    /// The best-effort [`Deadline::Wall`] cutoff passed mid-scan.
+    Wall,
+}
+
+impl DeadlineKind {
+    /// Stable lowercase name (`"cells"` / `"wall"`), the spelling used
+    /// by wire protocols and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            DeadlineKind::Cells => "cells",
+            DeadlineKind::Wall => "wall",
+        }
+    }
+}
+
+impl fmt::Display for DeadlineKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
 }
 
 /// Scalar Smith-Waterman (Gotoh affine gaps) — the rigorous reference.
@@ -578,6 +647,12 @@ pub struct SearchResponse {
     /// [`Deadline`] cut the scan short and `hits` rank only the
     /// covered prefix.
     pub completed: bool,
+    /// Which deadline kind truncated the scan — `Some` exactly when
+    /// `completed` is `false`, distinguishing a deterministic
+    /// [`DeadlineKind::Cells`] budget exhaustion from a best-effort
+    /// [`DeadlineKind::Wall`] cutoff whose coverage is not
+    /// reproducible.
+    pub truncated_by: Option<DeadlineKind>,
     /// Subjects attempted (scored or quarantined) — the denominator
     /// for interpreting a partial response.
     pub coverage: usize,
@@ -661,6 +736,32 @@ impl Engine {
         !matches!(self, Engine::Fasta | Engine::Blast)
     }
 
+    /// The registry-level mirror of [`AlignmentEngine::cost_len`]:
+    /// the deterministic work estimate for scoring one `subject_len`
+    /// subject with a `query_len` query, without building the engine.
+    ///
+    /// Exact engines pay the full DP matrix (`query_len × subject_len`
+    /// cells); the heuristics are subject-scan dominated. Admission
+    /// control prices whole requests from lengths alone with this, so
+    /// a test pins it to the concrete engines' own `cost_len`.
+    pub fn cost_len(self, query_len: usize, subject_len: usize) -> u64 {
+        if self.is_exact() {
+            dp_cells(query_len, subject_len)
+        } else {
+            subject_len.max(1) as u64
+        }
+    }
+
+    /// Total [`Engine::cost_len`] of one ranked scan of a database
+    /// whose subject lengths are `subject_lens` — the price an
+    /// admission controller charges against its in-flight cell budget
+    /// before the request runs. Saturates instead of overflowing.
+    pub fn scan_cost(self, query_len: usize, subject_lens: impl IntoIterator<Item = usize>) -> u64 {
+        subject_lens.into_iter().fold(0u64, |acc, l| {
+            acc.saturating_add(self.cost_len(query_len, l))
+        })
+    }
+
     /// Builds this registry entry's concrete engine from `req`'s query
     /// context and hands it to `visitor` — the one place the
     /// enum-to-concrete-type dispatch lives, shared by every search
@@ -726,7 +827,7 @@ impl Engine {
         impl EngineVisitor for Run<'_> {
             type Out = SearchResponse;
             fn visit<E: AlignmentEngine>(self, id: Engine, engine: &E) -> SearchResponse {
-                respond(id, engine, self.req, self.subjects, self.threads)
+                search_with(id, engine, self.req, self.subjects, self.threads)
             }
         }
         self.dispatch(
@@ -794,9 +895,19 @@ impl fmt::Display for Engine {
     }
 }
 
-/// Runs a prepared engine through the parallel pipeline and annotates
-/// the ranked hits with Karlin-Altschul statistics.
-fn respond<E: AlignmentEngine>(
+/// Runs a *prepared* engine through the parallel pipeline and
+/// annotates the ranked hits with Karlin-Altschul statistics — the
+/// body behind [`Engine::search`], public so callers that build their
+/// own engine value can reuse the whole response path: a server
+/// handing a [`StripedEngine`] a cached profile, or a chaos harness
+/// wrapping any registry engine in a fault-injecting decorator
+/// (decorators preserve the inner engine's scores, so `id` still names
+/// the backend the response came from).
+///
+/// # Panics
+///
+/// Panics if `threads` or `req.top_k` is 0.
+pub fn search_with<E: AlignmentEngine>(
     id: Engine,
     engine: &E,
     req: &SearchRequest<'_>,
@@ -841,6 +952,7 @@ fn respond<E: AlignmentEngine>(
         hits,
         stats: scan.stats,
         completed: scan.completed,
+        truncated_by: scan.truncated_by,
         coverage,
     }
 }
@@ -1064,8 +1176,50 @@ mod tests {
         };
         let resp = Engine::Striped.search(&req, &subjects, 2);
         assert!(resp.completed);
+        assert_eq!(resp.truncated_by, None);
         assert_eq!(resp.coverage, subjects.len());
         assert!(resp.stats.quarantined.is_empty());
+    }
+
+    #[test]
+    fn registry_cost_len_matches_concrete_engines() {
+        let (query, _) = small_setup();
+        let m = SubstitutionMatrix::blosum62();
+        struct Probe {
+            subject_len: usize,
+        }
+        impl EngineVisitor for Probe {
+            type Out = u64;
+            fn visit<E: AlignmentEngine>(self, _id: Engine, engine: &E) -> u64 {
+                engine.cost_len(self.subject_len)
+            }
+        }
+        let req = SearchRequest {
+            query: query.residues(),
+            matrix: &m,
+            gaps: GapPenalties::paper(),
+            top_k: 1,
+            min_score: 1,
+            deadline: None,
+            report_alignments: false,
+            prefilter: Prefilter::Off,
+        };
+        for e in Engine::ALL {
+            for subject_len in [0usize, 1, 17, 250] {
+                assert_eq!(
+                    e.cost_len(query.residues().len(), subject_len),
+                    e.dispatch(&req, Probe { subject_len }),
+                    "engine {e} subject_len {subject_len}"
+                );
+            }
+            // scan_cost is the sum over a length table.
+            let lens = [3usize, 40, 90];
+            let total: u64 = lens
+                .iter()
+                .map(|&l| e.cost_len(query.residues().len(), l))
+                .sum();
+            assert_eq!(e.scan_cost(query.residues().len(), lens), total);
+        }
     }
 
     #[test]
@@ -1090,6 +1244,7 @@ mod tests {
         };
         let one = Engine::Sw.search(&req, &subjects, 1);
         assert!(!one.completed);
+        assert_eq!(one.truncated_by, Some(DeadlineKind::Cells));
         assert!(one.coverage > 0 && one.coverage < subjects.len());
         // Hits rank exactly the admitted prefix.
         assert!(one.hits.iter().all(|h| h.seq_index < one.coverage));
@@ -1140,6 +1295,13 @@ mod tests {
         // An already-expired cutoff must degrade, not hang or panic.
         assert!(resp.coverage <= subjects.len());
         assert_eq!(resp.completed, resp.coverage == subjects.len());
+        // The response names the wall deadline as the (only possible)
+        // truncation cause exactly when coverage fell short.
+        match resp.truncated_by {
+            Some(DeadlineKind::Wall) => assert!(!resp.completed),
+            None => assert!(resp.completed),
+            Some(DeadlineKind::Cells) => panic!("no cell budget was set"),
+        }
     }
 
     #[test]

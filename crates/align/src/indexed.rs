@@ -44,8 +44,8 @@ use sapa_bioseq::index::{IndexReader, ShardBuf};
 use sapa_bioseq::AminoAcid;
 
 use crate::engine::{
-    annotate_hits, AlignmentEngine, Deadline, Engine, Prefilter, Quarantined, RunStats,
-    SearchRequest, SearchResponse,
+    annotate_hits, AlignmentEngine, Deadline, DeadlineKind, Engine, Prefilter, Quarantined,
+    RunStats, SearchRequest, SearchResponse,
 };
 use crate::parallel::{self, QUARANTINED_SCORE};
 use crate::result::{Hit, TopK};
@@ -132,7 +132,7 @@ pub fn search_reader<R: Read + Seek, E: AlignmentEngine>(
 
     // Stage 2: deadline resolution over the candidate list, from the
     // resident length table alone.
-    let mut deadline_cut = false;
+    let mut truncated_by: Option<DeadlineKind> = None;
     let wall = match req.deadline {
         None => None,
         Some(Deadline::Cells(budget)) => {
@@ -146,7 +146,7 @@ pub fn search_reader<R: Read + Seek, E: AlignmentEngine>(
                 admitted += 1;
             }
             if admitted < candidates.len() {
-                deadline_cut = true;
+                truncated_by = Some(DeadlineKind::Cells);
                 candidates.truncate(admitted);
             }
             None
@@ -185,7 +185,7 @@ pub fn search_reader<R: Read + Seek, E: AlignmentEngine>(
         // best-effort (and explicitly non-deterministic) in the
         // in-memory path too, and a shard is the unit of I/O here.
         if wall.is_some_and(|w| Instant::now() >= w) {
-            deadline_cut = true;
+            truncated_by = Some(DeadlineKind::Wall);
             break;
         }
         db.read_shard(shard_idx, &mut buf)?;
@@ -273,7 +273,8 @@ pub fn search_reader<R: Read + Seek, E: AlignmentEngine>(
         // A full prefiltered pass is a *complete* search under its
         // strategy: pruning is accounted in `stats.pruned`, not as
         // missing coverage. Only a deadline leaves the scan incomplete.
-        completed: !deadline_cut,
+        completed: truncated_by.is_none(),
+        truncated_by,
         coverage: attempted + pruned,
     })
 }

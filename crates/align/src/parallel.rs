@@ -47,7 +47,7 @@ use sapa_bioseq::matrix::GapPenalties;
 use sapa_bioseq::profile::QueryProfile;
 use sapa_bioseq::{AminoAcid, SubstitutionMatrix};
 
-use crate::engine::{AlignmentEngine, Deadline, Quarantined, RunStats};
+use crate::engine::{AlignmentEngine, Deadline, DeadlineKind, Quarantined, RunStats};
 use crate::result::{Alignment, Hit, SearchResults, TopK};
 use crate::striped::Workspace;
 use crate::traceback;
@@ -375,6 +375,9 @@ pub struct BoundedScan {
     pub stats: RunStats,
     /// Whether every subject in the database was attempted.
     pub completed: bool,
+    /// Which deadline kind cut the scan short — `Some` exactly when
+    /// `completed` is `false`.
+    pub truncated_by: Option<DeadlineKind>,
 }
 
 /// [`engine_search`] with graceful degradation under a [`Deadline`].
@@ -384,10 +387,15 @@ pub struct BoundedScan {
 ///   [`AlignmentEngine::cost`] ≤ budget), so hits, coverage and the
 ///   `completed` flag are identical at any thread count.
 /// * `Deadline::Wall(d)` — best-effort: workers stop claiming work once
-///   the cutoff passes. Coverage then depends on scheduling; only use
-///   this when latency matters more than reproducibility.
+///   the cutoff passes, but a subject claimed just before it still runs
+///   to completion, so the scan may overshoot `d` by one subject's
+///   scoring time. Coverage then depends on scheduling — two identical
+///   requests may cover different prefixes — so only use this when
+///   latency matters more than reproducibility.
 ///
-/// Ranked hits cover exactly the attempted, non-quarantined subjects.
+/// Ranked hits cover exactly the attempted, non-quarantined subjects,
+/// and [`BoundedScan::truncated_by`] reports which deadline kind (if
+/// any) cut the scan short.
 ///
 /// # Panics
 ///
@@ -445,10 +453,19 @@ pub fn engine_search_bounded<E: AlignmentEngine>(
         quarantined: quarantine_report(out.quarantined),
         pruned: 0,
     };
+    let completed = attempted == subjects.len();
+    let truncated_by = match deadline {
+        _ if completed => None,
+        Some(Deadline::Cells(_)) => Some(DeadlineKind::Cells),
+        Some(Deadline::Wall(_)) => Some(DeadlineKind::Wall),
+        // Unreachable: without a deadline every subject is attempted.
+        None => None,
+    };
     BoundedScan {
         results: results.finish(),
         stats,
-        completed: attempted == subjects.len(),
+        completed,
+        truncated_by,
     }
 }
 

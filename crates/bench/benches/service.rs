@@ -1,0 +1,266 @@
+//! End-to-end service benchmark: request latency and throughput through
+//! the whole daemon stack (TCP framing, admission, DRR dispatch, worker
+//! pool, engine execution), not just the kernels.
+//!
+//! Three rounds, each against a fresh in-process daemon:
+//!
+//! * `clean` — mixed-engine, mixed-tenant traffic with everything
+//!   healthy: the latency/throughput baseline.
+//! * `fault` — the same traffic with the chaos plan armed at 5%: what
+//!   per-subject quarantine costs, and proof the counters still balance
+//!   under fire.
+//! * `overload` — a deliberately tiny admission budget: measures that
+//!   rejections are fast (a rejected request must cost microseconds,
+//!   not a scan).
+//!
+//! Writes `BENCH_service.json` at the repository root (p50/p99 per
+//! round, qps, rejection and quarantine counts); `--smoke` shrinks the
+//! run and writes `BENCH_service_smoke.json` (gitignored) for CI. In
+//! `--test` mode (cargo's bench-as-test) nothing is written.
+
+use std::net::SocketAddr;
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use sapa_core::fault::FaultPlan;
+use sapa_service::json::{self, Json};
+use sapa_service::{quiet_injected_panics, serve, Client, SearchParams, ServiceConfig, Snapshot};
+
+const QUERIES: [&str; 3] = [
+    "MKWVTFISLLFLFSSAYSRGVFRRDTHKSEIAHRFKDLGE",
+    "HEAGAWGHEEAEHGAWGHEEFGSATWLKMNPQRSTVWYAC",
+    "PAWHEAEWHEAPAWHEAEKLMNPQRSTVWYACDEFGHIKL",
+];
+const ENGINES: [&str; 3] = ["striped", "blast", "fasta"];
+const TIMEOUT: Duration = Duration::from_secs(60);
+
+struct RoundResult {
+    name: &'static str,
+    sent: u64,
+    results: u64,
+    typed_errors: u64,
+    wall: Duration,
+    p50_us: u64,
+    p99_us: u64,
+    snapshot: Snapshot,
+}
+
+fn percentile(sorted_us: &[u64], p: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted_us.len() as f64 - 1.0) * p).round() as usize;
+    sorted_us[rank.min(sorted_us.len() - 1)]
+}
+
+/// Drives `total` requests over `conns` closed-loop connections against
+/// a fresh daemon built from `cfg`, and returns the latency/counter
+/// digest for the round.
+fn round(name: &'static str, cfg: ServiceConfig, total: u64, conns: u64) -> RoundResult {
+    let server = serve(cfg).expect("bind bench daemon");
+    let addr: SocketAddr = server.addr();
+    let tallies = Arc::new(Mutex::new((0u64, 0u64))); // (results, typed errors)
+    let started = Instant::now();
+    let threads: Vec<_> = (0..conns)
+        .map(|conn| {
+            let tallies = Arc::clone(&tallies);
+            thread::spawn(move || {
+                let mut client = Client::connect(addr, TIMEOUT).expect("bench connect");
+                let mut id = conn;
+                while id < total {
+                    let params = SearchParams {
+                        id,
+                        tenant: ["t0", "t1", "t2", "t3"][(id % 4) as usize],
+                        engine: ENGINES[(id % 3) as usize],
+                        query: QUERIES[(id % 3) as usize],
+                        top_k: 10,
+                        min_score: 1,
+                        deadline_cells: None,
+                        deadline_ms: None,
+                    };
+                    let reply = client
+                        .search(&params)
+                        .unwrap_or_else(|e| panic!("bench request {id} died: {e}"));
+                    let v = json::parse(&reply).expect("bench reply parses");
+                    match v.get("type").and_then(Json::as_str) {
+                        Some("result") => tallies.lock().unwrap().0 += 1,
+                        Some("error") => tallies.lock().unwrap().1 += 1,
+                        other => panic!("bench reply type {other:?}: {reply}"),
+                    }
+                    id += conns;
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("bench client thread");
+    }
+    let wall = started.elapsed();
+
+    // Latency pass: with throughput measured, re-time a serial sample of
+    // requests for the percentile digest (closed-loop per-request
+    // timing; queueing under the concurrent round is throughput's job).
+    let mut lat = Vec::new();
+    {
+        let mut client = Client::connect(addr, TIMEOUT).expect("bench latency connect");
+        let sample = (total / 4).clamp(16, 200);
+        for id in 0..sample {
+            let params = SearchParams {
+                id: 1_000_000 + id,
+                tenant: "lat",
+                engine: ENGINES[(id % 3) as usize],
+                query: QUERIES[(id % 3) as usize],
+                top_k: 10,
+                min_score: 1,
+                deadline_cells: None,
+                deadline_ms: None,
+            };
+            let t0 = Instant::now();
+            // Any reply counts: in the overload round this times the
+            // rejection path, which is exactly what we want there.
+            let _ = client.search(&params).expect("latency request");
+            lat.push(t0.elapsed().as_micros() as u64);
+        }
+    }
+    lat.sort_unstable();
+
+    let snapshot = server.shutdown();
+    assert!(
+        snapshot.balances(),
+        "{name}: accounting broke: {snapshot:?}"
+    );
+    let (results, typed_errors) = *tallies.lock().unwrap();
+    RoundResult {
+        name,
+        sent: total,
+        results,
+        typed_errors,
+        wall,
+        p50_us: percentile(&lat, 0.50),
+        p99_us: percentile(&lat, 0.99),
+        snapshot,
+    }
+}
+
+fn round_json(r: &RoundResult) -> Json {
+    let s = &r.snapshot;
+    Json::obj(vec![
+        ("round", Json::str(r.name)),
+        ("sent", Json::num_u64(r.sent)),
+        ("results", Json::num_u64(r.results)),
+        ("typed_errors", Json::num_u64(r.typed_errors)),
+        ("wall_s", Json::Num(r.wall.as_secs_f64())),
+        (
+            "qps",
+            Json::Num(r.results as f64 / r.wall.as_secs_f64().max(1e-9)),
+        ),
+        ("p50_us", Json::num_u64(r.p50_us)),
+        ("p99_us", Json::num_u64(r.p99_us)),
+        ("submitted", Json::num_u64(s.submitted)),
+        ("served_clean", Json::num_u64(s.served_clean)),
+        ("rejected", Json::num_u64(s.rejected())),
+        ("rejected_overloaded", Json::num_u64(s.rejected_overloaded)),
+        (
+            "quarantined_requests",
+            Json::num_u64(s.quarantined_requests),
+        ),
+        (
+            "quarantined_subjects",
+            Json::num_u64(s.quarantined_subjects),
+        ),
+        ("balances", Json::Bool(s.balances())),
+    ])
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let test_mode = args.iter().any(|a| a == "--test");
+    quiet_injected_panics();
+
+    let (total, conns, db_seqs) = if smoke || test_mode {
+        (60, 4, 48)
+    } else {
+        (600, 8, 120)
+    };
+    let base = ServiceConfig {
+        workers: 2,
+        db_seqs,
+        db_median_len: 60.0,
+        ..ServiceConfig::default()
+    };
+
+    let clean = round("clean", base.clone(), total, conns);
+    let fault = round(
+        "fault",
+        ServiceConfig {
+            fault_plan: FaultPlan::new(2006, 0.05),
+            ..base.clone()
+        },
+        total,
+        conns,
+    );
+    // Overload: budget below a single scan's price, so every request is
+    // rejected at the gate. Rejections must be fast — the p50 here is
+    // the cost of saying no.
+    let overload = round(
+        "overload",
+        ServiceConfig {
+            budget_cells: 1,
+            ..base
+        },
+        total.min(200),
+        conns,
+    );
+    assert_eq!(
+        overload.snapshot.rejected(),
+        overload.snapshot.submitted,
+        "the 1-cell budget must reject everything"
+    );
+
+    let rounds = [clean, fault, overload];
+    for r in &rounds {
+        println!(
+            "{:>9}: {} sent, {} results, {} rejected, {} quarantined, \
+             qps {:.1}, p50 {} us, p99 {} us",
+            r.name,
+            r.sent,
+            r.results,
+            r.snapshot.rejected(),
+            r.snapshot.quarantined_requests,
+            r.results as f64 / r.wall.as_secs_f64().max(1e-9),
+            r.p50_us,
+            r.p99_us,
+        );
+    }
+
+    if test_mode {
+        return;
+    }
+    let cpus = std::thread::available_parallelism().map_or(0, |n| n.get());
+    let report = Json::obj(vec![
+        ("bench", Json::str("service")),
+        ("host_cpus", Json::num_u64(cpus as u64)),
+        ("requests_per_round", Json::num_u64(total)),
+        ("conns", Json::num_u64(conns)),
+        ("db_seqs", Json::num_u64(db_seqs as u64)),
+        (
+            "engines",
+            Json::Arr(ENGINES.iter().map(|e| Json::str(e)).collect()),
+        ),
+        ("rounds", Json::Arr(rounds.iter().map(round_json).collect())),
+    ]);
+    let path = if smoke {
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_service_smoke.json"
+        )
+    } else {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_service.json")
+    };
+    match std::fs::write(path, report.render() + "\n") {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}

@@ -11,7 +11,7 @@
 //! test can assert byte-identical quarantine reports across thread
 //! counts.
 //!
-//! Four sites cover the suite's failure surface:
+//! Six sites cover the suite's failure surface:
 //!
 //! * [`FaultSite::WorkerPanic`] — [`FaultyEngine`] panics inside
 //!   `score_one`, exercising the search pipeline's `catch_unwind`
@@ -25,6 +25,12 @@
 //!   simulator's `try_run_packed` gate.
 //! * [`FaultSite::FastaTruncate`] — [`truncate_fasta`] cuts a FASTA
 //!   byte stream short, exercising parser error paths.
+//! * [`FaultSite::FrameGarble`] — [`garble_frame`] mutates one service
+//!   protocol frame (truncation, byte flips, garbage), exercising the
+//!   alignment daemon's typed-error protocol handling.
+//! * [`FaultSite::ClientAbort`] — a service client (the load
+//!   generator's abuse mode) drops its connection mid-exchange,
+//!   exercising the daemon's half-closed-socket and write-error paths.
 //!
 //! A disabled plan ([`FaultPlan::DISABLED`], or any plan with
 //! `rate <= 0`) costs one branch per decision point and allocates
@@ -47,15 +53,25 @@ pub enum FaultSite {
     TraceCorrupt,
     /// Truncation of a FASTA byte stream (parser hardening).
     FastaTruncate,
+    /// Corruption of one service protocol frame before it is sent —
+    /// the abusive-client simulation driven by [`garble_frame`]
+    /// (daemon protocol hardening).
+    FrameGarble,
+    /// A service client dropping its connection mid-exchange, after
+    /// submitting a request but before (fully) reading the response
+    /// (daemon connection hardening).
+    ClientAbort,
 }
 
 impl FaultSite {
     /// Every site, in declaration order.
-    pub const ALL: [FaultSite; 4] = [
+    pub const ALL: [FaultSite; 6] = [
         FaultSite::WorkerPanic,
         FaultSite::RescoreStorm,
         FaultSite::TraceCorrupt,
         FaultSite::FastaTruncate,
+        FaultSite::FrameGarble,
+        FaultSite::ClientAbort,
     ];
 
     fn bit(self) -> u8 {
@@ -70,6 +86,8 @@ impl FaultSite {
             FaultSite::RescoreStorm => 0xC2B2_AE3D_27D4_EB4F,
             FaultSite::TraceCorrupt => 0x1656_67B1_9E37_79F9,
             FaultSite::FastaTruncate => 0x27D4_EB2F_1656_67C5,
+            FaultSite::FrameGarble => 0xA076_1D64_78BD_642F,
+            FaultSite::ClientAbort => 0xE703_7ED1_A0B4_28DB,
         }
     }
 }
@@ -271,6 +289,64 @@ pub fn truncate_fasta(bytes: &[u8], plan: &FaultPlan) -> Vec<u8> {
     bytes[..cut].to_vec()
 }
 
+/// Deterministically mutates one service protocol frame, simulating an
+/// abusive or broken client, when [`FaultSite::FrameGarble`] fires for
+/// `key` (callers use the request id, so the same traffic schedule
+/// garbles the same frames on every run).
+///
+/// Returns `None` when the site does not fire — send the frame as-is —
+/// or `Some(mutated)` with one seeded mutation applied: a truncation, a
+/// burst of byte flips, an insertion of garbage bytes, or a wholesale
+/// replacement with junk. The mutated frame never contains `\n` or
+/// `\r`, so it still parses as exactly one line of a line-delimited
+/// protocol and the receiver must answer it with exactly one typed
+/// error (the accounting chaos tests depend on that one-to-one-ness).
+pub fn garble_frame(frame: &[u8], plan: &FaultPlan, key: u64) -> Option<Vec<u8>> {
+    if !plan.triggers(FaultSite::FrameGarble, key) {
+        return None;
+    }
+    let mut rng = SplitMix64::new(plan.seed ^ FaultSite::FrameGarble.salt() ^ key);
+    // Maps any byte into printable non-newline space.
+    fn junk(b: u8) -> u8 {
+        b' ' + (b % 94)
+    }
+    let mut out = frame.to_vec();
+    match rng.next_u64() % 4 {
+        0 => {
+            // Truncate: anywhere from an empty frame to all-but-one byte.
+            let cut = (rng.next_u64() % out.len().max(1) as u64) as usize;
+            out.truncate(cut);
+        }
+        1 => {
+            // Flip 1–4 bytes in place.
+            for _ in 0..1 + rng.next_u64() % 4 {
+                if out.is_empty() {
+                    break;
+                }
+                let r = rng.next_u64();
+                let at = (r % out.len() as u64) as usize;
+                out[at] = junk((r >> 32) as u8);
+            }
+        }
+        2 => {
+            // Insert a short run of garbage at a seeded offset.
+            let r = rng.next_u64();
+            let at = (r % (out.len() as u64 + 1)) as usize;
+            let run: Vec<u8> = (0..2 + (r >> 32) % 7)
+                .map(|i| junk((r >> i) as u8))
+                .collect();
+            out.splice(at..at, run);
+        }
+        _ => {
+            // Replace the whole frame with printable junk.
+            let len = 1 + (rng.next_u64() % 40) as usize;
+            out = (0..len).map(|_| junk(rng.next_u64() as u8)).collect();
+        }
+    }
+    debug_assert!(!out.contains(&b'\n') && !out.contains(&b'\r'));
+    Some(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -417,6 +493,50 @@ mod tests {
         let out = corrupt_packed(&trace, &FaultPlan::DISABLED);
         assert_eq!(out, trace);
         assert!(out.check().is_ok());
+    }
+
+    #[test]
+    fn garble_frame_is_deterministic_single_line_and_rate_gated() {
+        let frame = br#"{"op":"search","id":7,"tenant":"t0","query":"HEAGAWGHEE"}"#;
+        let armed = FaultPlan::only(21, 1.0, FaultSite::FrameGarble);
+        for key in 0..64u64 {
+            let a = garble_frame(frame, &armed, key).expect("rate 1.0 must fire");
+            let b = garble_frame(frame, &armed, key).expect("rate 1.0 must fire");
+            assert_eq!(a, b, "key {key}: garbling must be reproducible");
+            assert!(
+                !a.contains(&b'\n') && !a.contains(&b'\r'),
+                "key {key}: a garbled frame must stay one line"
+            );
+        }
+        // Different keys produce different mutations (not all identical).
+        let distinct: std::collections::HashSet<Vec<u8>> = (0..64u64)
+            .filter_map(|k| garble_frame(frame, &armed, k))
+            .collect();
+        assert!(
+            distinct.len() > 8,
+            "only {} distinct mutations",
+            distinct.len()
+        );
+        // Disabled or unarmed plans never mutate.
+        assert_eq!(garble_frame(frame, &FaultPlan::DISABLED, 3), None);
+        let other = FaultPlan::only(21, 1.0, FaultSite::ClientAbort);
+        assert_eq!(garble_frame(frame, &other, 3), None);
+    }
+
+    #[test]
+    fn service_sites_are_registered_and_independent() {
+        assert_eq!(FaultSite::ALL.len(), 6);
+        let plan = FaultPlan::new(17, 0.5);
+        assert!(plan.armed(FaultSite::FrameGarble));
+        assert!(plan.armed(FaultSite::ClientAbort));
+        let garbles: Vec<u64> = (0..128)
+            .filter(|&k| plan.triggers(FaultSite::FrameGarble, k))
+            .collect();
+        let aborts: Vec<u64> = (0..128)
+            .filter(|&k| plan.triggers(FaultSite::ClientAbort, k))
+            .collect();
+        assert_ne!(garbles, aborts, "sites must trigger independently");
+        assert!(!garbles.is_empty() && !aborts.is_empty());
     }
 
     #[test]

@@ -1,0 +1,131 @@
+//! `sapad` — the alignment search daemon.
+//!
+//! Binds the service from [`sapa_service::serve`] and runs until a
+//! client sends the `shutdown` op (or the process is killed). Prints
+//! the bound address on startup — scripts wait for that line — and a
+//! final counter summary on orderly shutdown.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use sapa_core::fault::FaultPlan;
+use sapa_service::{quiet_injected_panics, serve, QuotaConfig, ServiceConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sapad [options]\n\
+         \n\
+         options:\n\
+           --addr HOST:PORT       bind address (default 127.0.0.1:7731; port 0 = ephemeral)\n\
+           --workers N            search worker threads (default 2)\n\
+           --budget-cells N       admission budget in DP cells (default 256000000)\n\
+           --max-queued N         max queued requests (default 64)\n\
+           --quantum-cells N      DRR quantum in cells (default 4000000)\n\
+           --quota-capacity N     per-tenant burst quota in cells (default: off)\n\
+           --quota-refill N       per-tenant refill in cells/sec (with --quota-capacity)\n\
+           --db-seqs N            synthetic corpus size (default 400)\n\
+           --db-seed N            corpus seed (default 42)\n\
+           --read-timeout-ms N    idle client timeout (default 10000)\n\
+           --fault-rate R         arm all fault sites at rate R (chaos runs; default 0)\n\
+           --fault-seed N         fault plan seed (default 2006)"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> ServiceConfig {
+    let mut cfg = ServiceConfig {
+        addr: "127.0.0.1:7731".to_string(),
+        ..ServiceConfig::default()
+    };
+    let mut fault_rate = 0.0f64;
+    let mut fault_seed = 2006u64;
+    let mut quota_capacity: Option<u64> = None;
+    let mut quota_refill = 0.0f64;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let mut value = |name: &str| -> String {
+            i += 1;
+            args.get(i)
+                .unwrap_or_else(|| {
+                    eprintln!("sapad: {name} needs a value");
+                    usage()
+                })
+                .clone()
+        };
+        fn num<T: std::str::FromStr>(name: &str, v: &str) -> T {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("sapad: invalid value '{v}' for {name}");
+                usage()
+            })
+        }
+        match flag {
+            "--addr" => cfg.addr = value("--addr"),
+            "--workers" => cfg.workers = num("--workers", &value("--workers")),
+            "--budget-cells" => {
+                cfg.budget_cells = num("--budget-cells", &value("--budget-cells"));
+            }
+            "--max-queued" => cfg.max_queued = num("--max-queued", &value("--max-queued")),
+            "--quantum-cells" => {
+                cfg.quantum_cells = num("--quantum-cells", &value("--quantum-cells"));
+            }
+            "--quota-capacity" => {
+                quota_capacity = Some(num("--quota-capacity", &value("--quota-capacity")));
+            }
+            "--quota-refill" => quota_refill = num("--quota-refill", &value("--quota-refill")),
+            "--db-seqs" => cfg.db_seqs = num("--db-seqs", &value("--db-seqs")),
+            "--db-seed" => cfg.db_seed = num("--db-seed", &value("--db-seed")),
+            "--read-timeout-ms" => {
+                cfg.read_timeout =
+                    Duration::from_millis(num("--read-timeout-ms", &value("--read-timeout-ms")));
+            }
+            "--fault-rate" => fault_rate = num("--fault-rate", &value("--fault-rate")),
+            "--fault-seed" => fault_seed = num("--fault-seed", &value("--fault-seed")),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("sapad: unknown flag '{other}'");
+                usage()
+            }
+        }
+        i += 1;
+    }
+    if fault_rate > 0.0 {
+        cfg.fault_plan = FaultPlan::new(fault_seed, fault_rate);
+    }
+    if let Some(capacity_cells) = quota_capacity {
+        cfg.quota = Some(QuotaConfig {
+            capacity_cells,
+            refill_cells_per_sec: quota_refill,
+        });
+    }
+    cfg
+}
+
+fn main() -> ExitCode {
+    let cfg = parse_args();
+    if !cfg.fault_plan.is_disabled() {
+        quiet_injected_panics();
+    }
+    let server = match serve(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("sapad: bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "sapad listening on {} ({} sequences)",
+        server.addr(),
+        server.db_seqs()
+    );
+    let stats = server.wait();
+    println!("sapad stopped: {}", stats.to_json().render());
+    if stats.balances() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("sapad: accounting invariant violated at shutdown");
+        ExitCode::FAILURE
+    }
+}

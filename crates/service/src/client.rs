@@ -1,0 +1,158 @@
+//! A small blocking client for the line protocol.
+//!
+//! Used by the load generator, the benches, and the chaos suite; also
+//! a reference for writing clients in other languages (the protocol is
+//! just one JSON object per line in each direction).
+
+use std::io::{self, ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use crate::json::Json;
+
+/// Parameters for building one `search` request line.
+#[derive(Debug, Clone)]
+pub struct SearchParams<'a> {
+    /// Request id (echoed back; correlate replies with this).
+    pub id: u64,
+    /// Tenant to bill the request to.
+    pub tenant: &'a str,
+    /// Engine registry name (`"striped"`, `"blast"`, …).
+    pub engine: &'a str,
+    /// Query residues as text.
+    pub query: &'a str,
+    /// Ranked hits to request.
+    pub top_k: usize,
+    /// Minimum raw score to report.
+    pub min_score: i32,
+    /// Optional deterministic cell budget.
+    pub deadline_cells: Option<u64>,
+    /// Optional best-effort wall deadline in milliseconds.
+    pub deadline_ms: Option<u64>,
+}
+
+impl SearchParams<'_> {
+    /// Renders the request as one protocol line (no newline).
+    pub fn render(&self) -> String {
+        let mut pairs = vec![
+            ("op", Json::str("search")),
+            ("id", Json::num_u64(self.id)),
+            ("tenant", Json::str(self.tenant)),
+            ("engine", Json::str(self.engine)),
+            ("query", Json::str(self.query)),
+            ("top_k", Json::num_u64(self.top_k as u64)),
+            ("min_score", Json::Num(f64::from(self.min_score))),
+        ];
+        if let Some(cells) = self.deadline_cells {
+            pairs.push(("deadline_cells", Json::num_u64(cells)));
+        }
+        if let Some(ms) = self.deadline_ms {
+            pairs.push(("deadline_ms", Json::num_u64(ms)));
+        }
+        Json::obj(pairs).render()
+    }
+}
+
+/// A blocking line-protocol connection.
+pub struct Client {
+    stream: TcpStream,
+    pending: Vec<u8>,
+}
+
+impl Client {
+    /// Connects with `timeout` applied to connect, reads, and writes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn connect(addr: SocketAddr, timeout: Duration) -> io::Result<Client> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            pending: Vec::new(),
+        })
+    }
+
+    /// Sends one raw line (the newline is appended here).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn send_line(&mut self, line: &str) -> io::Result<()> {
+        self.stream.write_all(line.as_bytes())?;
+        self.stream.write_all(b"\n")
+    }
+
+    /// Sends pre-framed bytes verbatim (the abuse path: callers may
+    /// garble the frame first). The newline is still appended so the
+    /// stream stays line-delimited.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn send_frame(&mut self, frame: &[u8]) -> io::Result<()> {
+        self.stream.write_all(frame)?;
+        self.stream.write_all(b"\n")
+    }
+
+    /// Receives the next response line; `Ok(None)` on clean EOF.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors (including read timeouts).
+    pub fn recv_line(&mut self) -> io::Result<Option<String>> {
+        loop {
+            if let Some(pos) = self.pending.iter().position(|&b| b == b'\n') {
+                let mut line: Vec<u8> = self.pending.drain(..=pos).collect();
+                line.pop();
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                return String::from_utf8(line)
+                    .map(Some)
+                    .map_err(|_| io::Error::new(ErrorKind::InvalidData, "response not utf-8"));
+            }
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Ok(None),
+                Ok(n) => self.pending.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Sends one line and waits for the paired response line.
+    ///
+    /// # Errors
+    ///
+    /// Fails on socket errors or if the server closed before replying.
+    pub fn request(&mut self, line: &str) -> io::Result<String> {
+        self.send_line(line)?;
+        self.recv_line()?.ok_or_else(|| {
+            io::Error::new(ErrorKind::UnexpectedEof, "connection closed before reply")
+        })
+    }
+
+    /// Sends a search built from `params` and returns the reply line.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Client::request`].
+    pub fn search(&mut self, params: &SearchParams<'_>) -> io::Result<String> {
+        self.request(&params.render())
+    }
+
+    /// Half-closes the write side, simulating a client that stops
+    /// sending but keeps reading (or just leaves).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn shutdown_write(&mut self) -> io::Result<()> {
+        self.stream.shutdown(std::net::Shutdown::Write)
+    }
+}

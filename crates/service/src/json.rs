@@ -1,0 +1,562 @@
+//! A minimal, dependency-free JSON layer for the wire protocol.
+//!
+//! The service speaks one JSON object per line over TCP, and the whole
+//! suite is std-only, so this module implements just enough of JSON to
+//! carry the protocol: a [`Json`] value tree, a hardened [`parse`], and
+//! a deterministic [`Json::render`]. The parser is written for hostile
+//! input — the protocol fuzz suite feeds it truncated, garbled, and
+//! adversarially nested frames — so it must never panic, never recurse
+//! past [`MAX_DEPTH`], and always fail with a typed [`ParseError`]
+//! carrying the byte offset of the problem.
+//!
+//! Deliberate simplifications (documented, not accidental):
+//!
+//! * Object keys keep insertion order and may repeat; [`Json::get`]
+//!   returns the first match. The service never emits duplicates.
+//! * Numbers are `f64`. Integers round-trip exactly up to 2^53, which
+//!   covers every counter and id the protocol carries; non-finite
+//!   results are rejected on parse and rendered as `null` (they cannot
+//!   be represented in JSON at all).
+//! * Number parsing accepts a small superset of the RFC 8259 grammar
+//!   (e.g. a leading `+`), inherited from `f64::from_str`. The renderer
+//!   emits only strict JSON.
+
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Maximum container nesting [`parse`] accepts before rejecting the
+/// input, bounding stack use against `[[[[…`-style nesting bombs.
+pub const MAX_DEPTH: usize = 32;
+
+/// One JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (see the module docs for integer fidelity).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object as ordered key/value pairs.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// A string value (convenience over `Json::Str(s.to_string())`).
+    pub fn str(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+
+    /// An unsigned counter as a number. Values above 2^53 (none of the
+    /// service's counters get near it) lose precision but never panic.
+    pub fn num_u64(v: u64) -> Json {
+        Json::Num(v as f64)
+    }
+
+    /// An object from `(key, value)` pairs.
+    pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// First value under `key` if this is an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as an exact unsigned integer: present only
+    /// for whole numbers in `[0, 2^53]`, the range `f64` carries
+    /// losslessly.
+    pub fn as_u64(&self) -> Option<u64> {
+        let v = self.as_f64()?;
+        if v >= 0.0 && v.fract() == 0.0 && v <= 9_007_199_254_740_992.0 {
+            Some(v as u64)
+        } else {
+            None
+        }
+    }
+
+    /// The numeric payload as an exact signed integer (whole numbers
+    /// with magnitude ≤ 2^53).
+    pub fn as_i64(&self) -> Option<i64> {
+        let v = self.as_f64()?;
+        if v.fract() == 0.0 && v.abs() <= 9_007_199_254_740_992.0 {
+            Some(v as i64)
+        } else {
+            None
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Json::Null)
+    }
+
+    /// Renders this value as compact single-line JSON (no newlines ever
+    /// appear in the output, so a rendered value is always exactly one
+    /// frame of the line-delimited protocol).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Num(v) => write_num(*v, out),
+            Json::Str(s) => write_str(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_str(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Whole numbers within `f64`'s exact range print as integers; other
+/// finite values use exponent form (`1.5e2`), which is valid JSON and
+/// deterministic. Non-finite values have no JSON spelling and degrade
+/// to `null`.
+fn write_num(v: f64, out: &mut String) {
+    if !v.is_finite() {
+        out.push_str("null");
+    } else if v.fract() == 0.0 && v.abs() <= 9_007_199_254_740_992.0 {
+        let _ = write!(out, "{}", v as i64);
+    } else {
+        let _ = write!(out, "{v:e}");
+    }
+}
+
+fn write_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Why [`parse`] rejected its input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the offending input.
+    pub offset: usize,
+    /// What went wrong, in one phrase.
+    pub reason: &'static str,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.reason, self.offset)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses one complete JSON value, rejecting trailing non-whitespace.
+///
+/// Never panics, whatever the input: nesting is capped at
+/// [`MAX_DEPTH`], numbers must be finite, strings must be well-formed
+/// (escapes valid, surrogates paired, no raw control bytes).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with the byte offset of the first problem.
+pub fn parse(input: &str) -> Result<Json, ParseError> {
+    let mut p = Parser {
+        b: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.b.len() {
+        return Err(p.err("trailing bytes after value"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, reason: &'static str) -> ParseError {
+        ParseError {
+            offset: self.pos,
+            reason,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8, reason: &'static str) -> Result<(), ParseError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(reason))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, ParseError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting exceeds depth limit"));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal(b"true", Json::Bool(true)),
+            Some(b'f') => self.literal(b"false", Json::Bool(false)),
+            Some(b'n') => self.literal(b"null", Json::Null),
+            Some(c) if c == b'-' || c == b'+' || c.is_ascii_digit() => self.number(),
+            Some(_) => Err(self.err("unexpected byte")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn literal(&mut self, text: &'static [u8], value: Json) -> Result<Json, ParseError> {
+        if self.b[self.pos..].starts_with(text) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, ParseError> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.b[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        match text.parse::<f64>() {
+            Ok(v) if v.is_finite() => Ok(Json::Num(v)),
+            _ => {
+                self.pos = start;
+                Err(self.err("invalid number"))
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"', "expected string")?;
+        let mut out: Vec<u8> = Vec::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    // Byte-copied spans split at ASCII quotes/backslashes
+                    // and escape expansions are valid UTF-8, so this
+                    // cannot fail for `&str` input; the error arm is
+                    // pure defense.
+                    return String::from_utf8(out).map_err(|_| self.err("invalid utf-8"));
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    self.escape(&mut out)?;
+                }
+                Some(c) if c < 0x20 => return Err(self.err("raw control byte in string")),
+                Some(c) => {
+                    out.push(c);
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    fn escape(&mut self, out: &mut Vec<u8>) -> Result<(), ParseError> {
+        let c = self.peek().ok_or_else(|| self.err("truncated escape"))?;
+        self.pos += 1;
+        let plain = match c {
+            b'"' => b'"',
+            b'\\' => b'\\',
+            b'/' => b'/',
+            b'b' => 0x08,
+            b'f' => 0x0c,
+            b'n' => b'\n',
+            b'r' => b'\r',
+            b't' => b'\t',
+            b'u' => {
+                let hi = self.hex4()?;
+                let code = if (0xD800..=0xDBFF).contains(&hi) {
+                    // High surrogate: a `\uXXXX` low surrogate must follow.
+                    if self.peek() != Some(b'\\') {
+                        return Err(self.err("unpaired surrogate"));
+                    }
+                    self.pos += 1;
+                    if self.peek() != Some(b'u') {
+                        return Err(self.err("unpaired surrogate"));
+                    }
+                    self.pos += 1;
+                    let lo = self.hex4()?;
+                    if !(0xDC00..=0xDFFF).contains(&lo) {
+                        return Err(self.err("unpaired surrogate"));
+                    }
+                    0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                } else if (0xDC00..=0xDFFF).contains(&hi) {
+                    return Err(self.err("unpaired surrogate"));
+                } else {
+                    hi
+                };
+                let ch = char::from_u32(code).ok_or_else(|| self.err("invalid code point"))?;
+                let mut buf = [0u8; 4];
+                out.extend_from_slice(ch.encode_utf8(&mut buf).as_bytes());
+                return Ok(());
+            }
+            _ => return Err(self.err("unknown escape")),
+        };
+        out.push(plain);
+        Ok(())
+    }
+
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let c = self
+                .peek()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
+            let d = (c as char)
+                .to_digit(16)
+                .ok_or_else(|| self.err("invalid hex digit"))?;
+            v = v * 16 + d;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, ParseError> {
+        self.expect(b'[', "expected array")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected , or ] in array")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, ParseError> {
+        self.expect(b'{', "expected object")?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':', "expected : after key")?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(self.err("expected , or } in object")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        for text in ["null", "true", "false", "0", "42", "-17"] {
+            let v = parse(text).unwrap();
+            assert_eq!(parse(&v.render()).unwrap(), v, "{text}");
+        }
+        assert_eq!(parse("3.5").unwrap(), Json::Num(3.5));
+        assert_eq!(parse("1e3").unwrap(), Json::Num(1000.0));
+        assert_eq!(
+            parse(r#""hi\n\"there\"""#).unwrap().as_str(),
+            Some("hi\n\"there\"")
+        );
+    }
+
+    #[test]
+    fn structures_round_trip() {
+        let text = r#"{"op":"search","id":7,"nested":[1,2,{"deep":null}],"ok":true}"#;
+        let v = parse(text).unwrap();
+        assert_eq!(v.render(), text);
+        assert_eq!(v.get("id").and_then(Json::as_u64), Some(7));
+        assert_eq!(v.get("op").and_then(Json::as_str), Some("search"));
+        assert_eq!(
+            v.get("nested").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(3)
+        );
+        assert!(v.get("missing").is_none());
+    }
+
+    #[test]
+    fn unicode_escapes_and_surrogates() {
+        assert_eq!(parse(r#""A""#).unwrap().as_str(), Some("A"));
+        assert_eq!(parse(r#""😀""#).unwrap().as_str(), Some("😀"));
+        assert!(parse(r#""\ud83d""#).is_err(), "lone high surrogate");
+        assert!(parse(r#""\ude00""#).is_err(), "lone low surrogate");
+        assert!(parse(r#""\ud83dx""#).is_err(), "unpaired high surrogate");
+    }
+
+    #[test]
+    fn depth_bomb_is_rejected_not_overflowed() {
+        let bomb = "[".repeat(10_000);
+        let err = parse(&bomb).unwrap_err();
+        assert_eq!(err.reason, "nesting exceeds depth limit");
+        // Just inside the limit parses fine.
+        let ok = format!("{}{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn malformed_inputs_fail_with_offsets() {
+        for bad in [
+            "",
+            "{",
+            "}",
+            "[1,",
+            "[1 2]",
+            "{\"a\"}",
+            "{\"a\":}",
+            "{a:1}",
+            "tru",
+            "nul",
+            "1.2.3",
+            "1e",
+            "--4",
+            "\"unterminated",
+            "\"bad \\x escape\"",
+            "\"ctl \u{1} byte\"",
+            "{} trailing",
+            "NaN",
+            "inf",
+        ] {
+            let err = parse(bad).unwrap_err();
+            assert!(err.offset <= bad.len(), "{bad:?}: offset {}", err.offset);
+        }
+    }
+
+    #[test]
+    fn integer_fidelity_and_exponent_rendering() {
+        assert_eq!(
+            Json::num_u64(9_007_199_254_740_992).render(),
+            "9007199254740992"
+        );
+        assert_eq!(Json::Num(0.5).render(), "5e-1");
+        assert_eq!(Json::Num(f64::INFINITY).render(), "null");
+        assert_eq!(parse("5e-1").unwrap().as_u64(), None);
+        assert_eq!(parse("12").unwrap().as_i64(), Some(12));
+        assert_eq!(parse("-12").unwrap().as_u64(), None);
+    }
+
+    #[test]
+    fn control_chars_render_escaped() {
+        let v = Json::str("a\u{2}b\tc");
+        assert_eq!(v.render(), "\"a\\u0002b\\tc\"");
+        assert_eq!(parse(&v.render()).unwrap(), v);
+        assert!(!Json::str("multi\nline").render().contains('\n'));
+    }
+}

@@ -1,0 +1,209 @@
+//! Service counters and the accounting invariant.
+//!
+//! Every *valid* search frame the server accepts off a socket lands in
+//! exactly one of three buckets, and the CI smoke gate enforces the sum:
+//!
+//! ```text
+//! submitted == served_clean + rejected() + quarantined_requests
+//! ```
+//!
+//! * `served_clean` — admitted, executed, and answered with a result
+//!   whose scan quarantined nothing (the response may still be
+//!   *partial* under a deadline; `partial` counts those separately).
+//! * `rejected()` — refused before execution: admission control
+//!   (`rejected_overloaded`), tenant quota (`rejected_throttled`), or
+//!   shutdown (`rejected_unavailable`).
+//! * `quarantined_requests` — executed but touched by a fault: the
+//!   response carries at least one quarantined subject, or the whole
+//!   request panicked (`request_panics` ⊆ this bucket) and was answered
+//!   with a typed `internal` error.
+//!
+//! Malformed/oversized frames are *not* submissions; they count under
+//! `protocol_errors` (and `oversized`). Delivery failures after
+//! execution (`write_failures`, client gone) do not move a request out
+//! of its bucket — accounting tracks execution, not delivery.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::json::Json;
+
+/// Live atomic counters, shared by every connection and worker thread.
+#[derive(Debug, Default)]
+pub struct Counters {
+    /// Connections accepted.
+    pub connections: AtomicU64,
+    /// Complete frames (lines) received.
+    pub frames: AtomicU64,
+    /// Frames answered with `malformed`/`oversized`/`bad_query`/
+    /// `unknown_engine` before becoming a submission.
+    pub protocol_errors: AtomicU64,
+    /// Frames that overran the line limit (also in `protocol_errors`).
+    pub oversized: AtomicU64,
+    /// Valid search frames accepted for accounting.
+    pub submitted: AtomicU64,
+    /// Searches answered with a fault-free result.
+    pub served_clean: AtomicU64,
+    /// Searches refused by the admission gate.
+    pub rejected_overloaded: AtomicU64,
+    /// Searches refused by a tenant token bucket.
+    pub rejected_throttled: AtomicU64,
+    /// Searches refused because shutdown had begun.
+    pub rejected_unavailable: AtomicU64,
+    /// Searches whose execution was touched by a fault (subject
+    /// quarantine or request panic).
+    pub quarantined_requests: AtomicU64,
+    /// Total subjects quarantined across all searches.
+    pub quarantined_subjects: AtomicU64,
+    /// Whole-request panics (a subset of `quarantined_requests`).
+    pub request_panics: AtomicU64,
+    /// Results returned with `completed == false` (deadline cut).
+    pub partial: AtomicU64,
+    /// Responses that could not be written back (client vanished).
+    pub write_failures: AtomicU64,
+}
+
+impl Counters {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to a counter (relaxed; counters are statistical, the
+    /// accounting invariant is enforced at quiescence).
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increments a counter by one.
+    pub fn inc(counter: &AtomicU64) {
+        Self::add(counter, 1);
+    }
+
+    /// A point-in-time copy of every counter.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            connections: self.connections.load(Ordering::Relaxed),
+            frames: self.frames.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            oversized: self.oversized.load(Ordering::Relaxed),
+            submitted: self.submitted.load(Ordering::Relaxed),
+            served_clean: self.served_clean.load(Ordering::Relaxed),
+            rejected_overloaded: self.rejected_overloaded.load(Ordering::Relaxed),
+            rejected_throttled: self.rejected_throttled.load(Ordering::Relaxed),
+            rejected_unavailable: self.rejected_unavailable.load(Ordering::Relaxed),
+            quarantined_requests: self.quarantined_requests.load(Ordering::Relaxed),
+            quarantined_subjects: self.quarantined_subjects.load(Ordering::Relaxed),
+            request_panics: self.request_panics.load(Ordering::Relaxed),
+            partial: self.partial.load(Ordering::Relaxed),
+            write_failures: self.write_failures.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of the service counters (plain integers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Snapshot {
+    /// See [`Counters::connections`].
+    pub connections: u64,
+    /// See [`Counters::frames`].
+    pub frames: u64,
+    /// See [`Counters::protocol_errors`].
+    pub protocol_errors: u64,
+    /// See [`Counters::oversized`].
+    pub oversized: u64,
+    /// See [`Counters::submitted`].
+    pub submitted: u64,
+    /// See [`Counters::served_clean`].
+    pub served_clean: u64,
+    /// See [`Counters::rejected_overloaded`].
+    pub rejected_overloaded: u64,
+    /// See [`Counters::rejected_throttled`].
+    pub rejected_throttled: u64,
+    /// See [`Counters::rejected_unavailable`].
+    pub rejected_unavailable: u64,
+    /// See [`Counters::quarantined_requests`].
+    pub quarantined_requests: u64,
+    /// See [`Counters::quarantined_subjects`].
+    pub quarantined_subjects: u64,
+    /// See [`Counters::request_panics`].
+    pub request_panics: u64,
+    /// See [`Counters::partial`].
+    pub partial: u64,
+    /// See [`Counters::write_failures`].
+    pub write_failures: u64,
+}
+
+impl Snapshot {
+    /// Total searches refused before execution.
+    pub fn rejected(&self) -> u64 {
+        self.rejected_overloaded + self.rejected_throttled + self.rejected_unavailable
+    }
+
+    /// Whether the accounting invariant holds:
+    /// `submitted == served_clean + rejected() + quarantined_requests`.
+    /// Only meaningful at quiescence (no requests in flight).
+    pub fn balances(&self) -> bool {
+        self.submitted == self.served_clean + self.rejected() + self.quarantined_requests
+    }
+
+    /// Renders every counter (plus the derived sums) as a JSON object,
+    /// the payload of the `stats` op and of the bench reports.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("connections", Json::num_u64(self.connections)),
+            ("frames", Json::num_u64(self.frames)),
+            ("protocol_errors", Json::num_u64(self.protocol_errors)),
+            ("oversized", Json::num_u64(self.oversized)),
+            ("submitted", Json::num_u64(self.submitted)),
+            ("served_clean", Json::num_u64(self.served_clean)),
+            (
+                "rejected_overloaded",
+                Json::num_u64(self.rejected_overloaded),
+            ),
+            ("rejected_throttled", Json::num_u64(self.rejected_throttled)),
+            (
+                "rejected_unavailable",
+                Json::num_u64(self.rejected_unavailable),
+            ),
+            ("rejected", Json::num_u64(self.rejected())),
+            (
+                "quarantined_requests",
+                Json::num_u64(self.quarantined_requests),
+            ),
+            (
+                "quarantined_subjects",
+                Json::num_u64(self.quarantined_subjects),
+            ),
+            ("request_panics", Json::num_u64(self.request_panics)),
+            ("partial", Json::num_u64(self.partial)),
+            ("write_failures", Json::num_u64(self.write_failures)),
+            ("balances", Json::Bool(self.balances())),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_balances_and_renders() {
+        let c = Counters::new();
+        Counters::add(&c.submitted, 10);
+        Counters::add(&c.served_clean, 6);
+        Counters::add(&c.rejected_overloaded, 2);
+        Counters::add(&c.rejected_throttled, 1);
+        Counters::inc(&c.quarantined_requests);
+        Counters::add(&c.quarantined_subjects, 3);
+        let s = c.snapshot();
+        assert_eq!(s.rejected(), 3);
+        assert!(s.balances());
+        let j = s.to_json();
+        assert_eq!(j.get("submitted").and_then(Json::as_u64), Some(10));
+        assert_eq!(j.get("rejected").and_then(Json::as_u64), Some(3));
+        assert_eq!(j.get("balances").and_then(Json::as_bool), Some(true));
+
+        Counters::inc(&c.submitted);
+        assert!(!c.snapshot().balances(), "an unaccounted submission trips");
+    }
+}

@@ -1,0 +1,636 @@
+//! The wire protocol: one JSON object per `\n`-terminated line.
+//!
+//! Every line a client sends is answered with exactly one line — a
+//! result, a pong, a stats snapshot, or a typed error — so request and
+//! response streams stay in lockstep even under garbled input, and the
+//! chaos suite can do exact one-to-one accounting. Requests:
+//!
+//! ```json
+//! {"op":"search","id":1,"tenant":"t0","engine":"striped","query":"MKWVTF…",
+//!  "top_k":10,"min_score":1,"deadline_cells":500000}
+//! {"op":"ping","id":2}
+//! {"op":"stats","id":3}
+//! {"op":"shutdown","id":4}
+//! ```
+//!
+//! A search answers with `{"type":"result", …}` carrying ranked hits,
+//! completion/truncation state, and quarantine indices; failures answer
+//! with `{"type":"error","id":…,"code":…,"detail":…}` where `code` is a
+//! stable [`ErrorCode`] name the load generator and tests key on.
+//!
+//! Parsing is strict about the fields it understands and tolerant of
+//! extras (unknown keys are ignored), so the protocol can grow without
+//! breaking old clients. All limits live in [`Limits`] and are enforced
+//! here, before a request costs the server anything.
+
+use std::fmt;
+use std::time::Duration;
+
+use sapa_align::engine::{Deadline, Engine, SearchResponse};
+use sapa_bioseq::{AminoAcid, Sequence};
+
+use crate::json::{self, Json};
+
+/// Hard request-shape limits, enforced at parse time.
+#[derive(Debug, Clone)]
+pub struct Limits {
+    /// Longest accepted frame, in bytes, *excluding* the newline. A
+    /// connection that exceeds this mid-line is answered with one
+    /// `oversized` error and closed (framing cannot be resynchronized).
+    pub max_line_bytes: usize,
+    /// Longest accepted query, in residues.
+    pub max_query_residues: usize,
+    /// Largest accepted `top_k` (the paper's deepest report is 500).
+    pub max_top_k: usize,
+    /// Longest accepted tenant id, in bytes.
+    pub max_tenant_len: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_line_bytes: 64 * 1024,
+            max_query_residues: 4096,
+            max_top_k: 500,
+            max_tenant_len: 64,
+        }
+    }
+}
+
+/// Stable error identifiers, the `code` field of error responses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorCode {
+    /// The frame is not a well-formed request (bad JSON, missing or
+    /// mistyped fields, unknown op).
+    Malformed,
+    /// The frame exceeded [`Limits::max_line_bytes`].
+    Oversized,
+    /// The query is empty, too long, or not valid residues; or another
+    /// search parameter is out of range.
+    BadQuery,
+    /// The `engine` name is not in the registry.
+    UnknownEngine,
+    /// Admission control rejected the request: the in-flight cell
+    /// budget or queue is full. Retry with backoff.
+    Overloaded,
+    /// The tenant's token bucket is empty. Retry after the bucket
+    /// refills.
+    Throttled,
+    /// The server is shutting down and not accepting work.
+    Unavailable,
+    /// The request was admitted but its execution panicked; it was
+    /// quarantined without affecting other requests.
+    Internal,
+}
+
+impl ErrorCode {
+    /// Every code, in declaration order.
+    pub const ALL: [ErrorCode; 8] = [
+        ErrorCode::Malformed,
+        ErrorCode::Oversized,
+        ErrorCode::BadQuery,
+        ErrorCode::UnknownEngine,
+        ErrorCode::Overloaded,
+        ErrorCode::Throttled,
+        ErrorCode::Unavailable,
+        ErrorCode::Internal,
+    ];
+
+    /// The stable wire spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorCode::Malformed => "malformed",
+            ErrorCode::Oversized => "oversized",
+            ErrorCode::BadQuery => "bad_query",
+            ErrorCode::UnknownEngine => "unknown_engine",
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::Throttled => "throttled",
+            ErrorCode::Unavailable => "unavailable",
+            ErrorCode::Internal => "internal",
+        }
+    }
+
+    /// Looks a code up by its wire spelling.
+    pub fn from_name(name: &str) -> Option<ErrorCode> {
+        ErrorCode::ALL.into_iter().find(|c| c.name() == name)
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A request the server refused, with the typed code and a
+/// human-readable detail to send back.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reject {
+    /// The request id, when the frame parsed far enough to carry one
+    /// (so clients can correlate errors with in-flight requests).
+    pub id: Option<u64>,
+    /// The typed error.
+    pub code: ErrorCode,
+    /// One-phrase explanation.
+    pub detail: String,
+}
+
+impl Reject {
+    fn new(id: Option<u64>, code: ErrorCode, detail: impl Into<String>) -> Reject {
+        Reject {
+            id,
+            code,
+            detail: detail.into(),
+        }
+    }
+
+    /// Renders this reject as the error line to send.
+    pub fn render(&self) -> String {
+        render_error(self.id, self.code, &self.detail)
+    }
+}
+
+/// One fully validated search, ready for admission pricing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchFrame {
+    /// Client-chosen request id, echoed in the response.
+    pub id: u64,
+    /// Tenant the request is billed to (fairness and quota key).
+    pub tenant: String,
+    /// Which registry engine scores the scan.
+    pub engine: Engine,
+    /// The validated query residues.
+    pub query: Vec<AminoAcid>,
+    /// Ranked hits to report.
+    pub top_k: usize,
+    /// Minimum raw score to report.
+    pub min_score: i32,
+    /// Deterministic cell budget, if the client set one.
+    pub deadline_cells: Option<u64>,
+    /// Best-effort wall deadline in milliseconds, if the client set one.
+    pub deadline_ms: Option<u64>,
+}
+
+impl SearchFrame {
+    /// The engine-layer deadline this frame asks for.
+    pub fn deadline(&self) -> Option<Deadline> {
+        match (self.deadline_cells, self.deadline_ms) {
+            (Some(cells), _) => Some(Deadline::Cells(cells)),
+            (None, Some(ms)) => Some(Deadline::Wall(Duration::from_millis(ms))),
+            (None, None) => None,
+        }
+    }
+}
+
+/// One parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// A database search.
+    Search(Box<SearchFrame>),
+    /// Liveness probe; answered with a pong.
+    Ping {
+        /// Optional id echoed back.
+        id: Option<u64>,
+    },
+    /// Counter snapshot request.
+    Stats {
+        /// Optional id echoed back.
+        id: Option<u64>,
+    },
+    /// Orderly daemon shutdown.
+    Shutdown {
+        /// Optional id echoed back.
+        id: Option<u64>,
+    },
+}
+
+/// Parses and validates one request line.
+///
+/// # Errors
+///
+/// Returns a [`Reject`] carrying the typed [`ErrorCode`] and, when the
+/// frame parsed far enough to have one, the request id.
+pub fn parse_request(line: &str, limits: &Limits) -> Result<Request, Reject> {
+    let root = json::parse(line)
+        .map_err(|e| Reject::new(None, ErrorCode::Malformed, format!("invalid json: {e}")))?;
+    if root.get("op").is_none() && !matches!(root, Json::Obj(_)) {
+        return Err(Reject::new(
+            None,
+            ErrorCode::Malformed,
+            "request must be a json object",
+        ));
+    }
+    let id = root.get("id").and_then(Json::as_u64);
+    // Duplicate top-level keys are classic parser-differential bait
+    // (two readers disagreeing on which value wins); reject them
+    // outright rather than silently taking the first.
+    if let Json::Obj(pairs) = &root {
+        for (i, (k, _)) in pairs.iter().enumerate() {
+            if pairs.iter().skip(i + 1).any(|(other, _)| other == k) {
+                return Err(Reject::new(
+                    id,
+                    ErrorCode::Malformed,
+                    format!("duplicate key '{}'", k.escape_default()),
+                ));
+            }
+        }
+    }
+    let op = root
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or_else(|| Reject::new(id, ErrorCode::Malformed, "missing string field 'op'"))?;
+    match op {
+        "ping" => Ok(Request::Ping { id }),
+        "stats" => Ok(Request::Stats { id }),
+        "shutdown" => Ok(Request::Shutdown { id }),
+        "search" => parse_search(&root, limits).map(|f| Request::Search(Box::new(f))),
+        other => Err(Reject::new(
+            id,
+            ErrorCode::Malformed,
+            format!("unknown op '{}'", other.escape_default()),
+        )),
+    }
+}
+
+fn parse_search(root: &Json, limits: &Limits) -> Result<SearchFrame, Reject> {
+    let id = root
+        .get("id")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| Reject::new(None, ErrorCode::Malformed, "search requires a numeric 'id'"))?;
+    let some_id = Some(id);
+
+    let tenant = match root.get("tenant") {
+        None => "anon".to_string(),
+        Some(v) => {
+            let t = v.as_str().ok_or_else(|| {
+                Reject::new(some_id, ErrorCode::Malformed, "'tenant' must be a string")
+            })?;
+            if t.is_empty()
+                || t.len() > limits.max_tenant_len
+                || !t
+                    .bytes()
+                    .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'-' | b'_' | b'.'))
+            {
+                return Err(Reject::new(
+                    some_id,
+                    ErrorCode::Malformed,
+                    format!(
+                        "tenant must be 1-{} chars of [A-Za-z0-9._-]",
+                        limits.max_tenant_len
+                    ),
+                ));
+            }
+            t.to_string()
+        }
+    };
+
+    let engine = match root.get("engine") {
+        None => Engine::Striped,
+        Some(v) => {
+            let name = v.as_str().ok_or_else(|| {
+                Reject::new(some_id, ErrorCode::Malformed, "'engine' must be a string")
+            })?;
+            Engine::from_name(name).ok_or_else(|| {
+                Reject::new(
+                    some_id,
+                    ErrorCode::UnknownEngine,
+                    format!(
+                        "unknown engine '{}'; valid: {}",
+                        name.escape_default(),
+                        Engine::ALL.map(Engine::name).join(", ")
+                    ),
+                )
+            })?
+        }
+    };
+
+    let query_text = root
+        .get("query")
+        .and_then(Json::as_str)
+        .ok_or_else(|| Reject::new(some_id, ErrorCode::BadQuery, "missing string field 'query'"))?;
+    if query_text.is_empty() {
+        return Err(Reject::new(some_id, ErrorCode::BadQuery, "empty query"));
+    }
+    if query_text.len() > limits.max_query_residues {
+        return Err(Reject::new(
+            some_id,
+            ErrorCode::BadQuery,
+            format!(
+                "query of {} residues exceeds the {}-residue limit",
+                query_text.len(),
+                limits.max_query_residues
+            ),
+        ));
+    }
+    let query = Sequence::from_str("query", query_text)
+        .map_err(|e| Reject::new(some_id, ErrorCode::BadQuery, format!("invalid query: {e}")))?
+        .residues()
+        .to_vec();
+
+    let top_k = match root.get("top_k") {
+        None => 10,
+        Some(v) => {
+            let k = v.as_u64().ok_or_else(|| {
+                Reject::new(
+                    some_id,
+                    ErrorCode::BadQuery,
+                    "'top_k' must be a whole number",
+                )
+            })?;
+            if k == 0 || k > limits.max_top_k as u64 {
+                return Err(Reject::new(
+                    some_id,
+                    ErrorCode::BadQuery,
+                    format!("top_k must be in 1..={}", limits.max_top_k),
+                ));
+            }
+            k as usize
+        }
+    };
+
+    let min_score = match root.get("min_score") {
+        None => 1,
+        Some(v) => v
+            .as_i64()
+            .filter(|s| i32::try_from(*s).is_ok())
+            .map(|s| s as i32)
+            .ok_or_else(|| {
+                Reject::new(some_id, ErrorCode::BadQuery, "'min_score' must fit in i32")
+            })?,
+    };
+
+    let deadline_cells = opt_u64(root, "deadline_cells", some_id)?;
+    let deadline_ms = opt_u64(root, "deadline_ms", some_id)?;
+    if deadline_cells.is_some() && deadline_ms.is_some() {
+        return Err(Reject::new(
+            some_id,
+            ErrorCode::BadQuery,
+            "set at most one of deadline_cells / deadline_ms",
+        ));
+    }
+    if deadline_cells == Some(0) || deadline_ms == Some(0) {
+        return Err(Reject::new(
+            some_id,
+            ErrorCode::BadQuery,
+            "deadlines must be at least 1",
+        ));
+    }
+
+    Ok(SearchFrame {
+        id,
+        tenant,
+        engine,
+        query,
+        top_k,
+        min_score,
+        deadline_cells,
+        deadline_ms,
+    })
+}
+
+fn opt_u64(root: &Json, key: &str, id: Option<u64>) -> Result<Option<u64>, Reject> {
+    match root.get(key) {
+        None => Ok(None),
+        Some(v) => v.as_u64().map(Some).ok_or_else(|| {
+            Reject::new(
+                id,
+                ErrorCode::BadQuery,
+                format!("'{key}' must be a whole non-negative number"),
+            )
+        }),
+    }
+}
+
+/// Renders one error line.
+pub fn render_error(id: Option<u64>, code: ErrorCode, detail: &str) -> String {
+    Json::obj(vec![
+        ("type", Json::str("error")),
+        ("id", id.map(Json::num_u64).unwrap_or(Json::Null)),
+        ("code", Json::str(code.name())),
+        ("detail", Json::str(detail)),
+    ])
+    .render()
+}
+
+/// Renders one search result line from the engine response.
+///
+/// The `quarantined` array lists database indices whose scoring
+/// panicked and was isolated; the request still succeeded over the
+/// rest. `truncated_by` is `"cells"`, `"wall"`, or `null`, mirroring
+/// [`SearchResponse::truncated_by`].
+pub fn render_result(id: u64, resp: &SearchResponse) -> String {
+    let hits: Vec<Json> = resp
+        .hits
+        .iter()
+        .map(|h| {
+            Json::obj(vec![
+                ("index", Json::num_u64(h.seq_index as u64)),
+                ("score", Json::Num(f64::from(h.score))),
+                ("bits", Json::Num(h.bits)),
+                ("evalue", Json::Num(h.evalue)),
+            ])
+        })
+        .collect();
+    let quarantined: Vec<Json> = resp
+        .stats
+        .quarantined
+        .iter()
+        .map(|q| Json::num_u64(q.index as u64))
+        .collect();
+    Json::obj(vec![
+        ("type", Json::str("result")),
+        ("id", Json::num_u64(id)),
+        ("engine", Json::str(resp.engine.name())),
+        ("completed", Json::Bool(resp.completed)),
+        (
+            "truncated_by",
+            resp.truncated_by
+                .map(|k| Json::str(k.name()))
+                .unwrap_or(Json::Null),
+        ),
+        ("coverage", Json::num_u64(resp.coverage as u64)),
+        ("rescored", Json::num_u64(resp.stats.rescored as u64)),
+        ("quarantined", Json::Arr(quarantined)),
+        ("hits", Json::Arr(hits)),
+    ])
+    .render()
+}
+
+/// Renders one pong line.
+pub fn render_pong(id: Option<u64>) -> String {
+    Json::obj(vec![
+        ("type", Json::str("pong")),
+        ("id", id.map(Json::num_u64).unwrap_or(Json::Null)),
+    ])
+    .render()
+}
+
+/// Renders one acknowledgement line (used for `shutdown`).
+pub fn render_ok(id: Option<u64>, op: &str) -> String {
+    Json::obj(vec![
+        ("type", Json::str("ok")),
+        ("id", id.map(Json::num_u64).unwrap_or(Json::Null)),
+        ("op", Json::str(op)),
+    ])
+    .render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sapa_align::engine::DeadlineKind;
+
+    fn parse_ok(line: &str) -> Request {
+        parse_request(line, &Limits::default()).unwrap()
+    }
+
+    fn parse_err(line: &str) -> Reject {
+        parse_request(line, &Limits::default()).unwrap_err()
+    }
+
+    #[test]
+    fn control_ops_parse() {
+        assert_eq!(parse_ok(r#"{"op":"ping"}"#), Request::Ping { id: None });
+        assert_eq!(
+            parse_ok(r#"{"op":"stats","id":9}"#),
+            Request::Stats { id: Some(9) }
+        );
+        assert_eq!(
+            parse_ok(r#"{"op":"shutdown","id":1}"#),
+            Request::Shutdown { id: Some(1) }
+        );
+    }
+
+    #[test]
+    fn search_defaults_and_validation() {
+        let Request::Search(f) = parse_ok(r#"{"op":"search","id":3,"query":"HEAGAWGHEE"}"#) else {
+            panic!("not a search");
+        };
+        assert_eq!(f.id, 3);
+        assert_eq!(f.tenant, "anon");
+        assert_eq!(f.engine, Engine::Striped);
+        assert_eq!(f.query.len(), 10);
+        assert_eq!(f.top_k, 10);
+        assert_eq!(f.min_score, 1);
+        assert_eq!(f.deadline(), None);
+
+        let Request::Search(f) = parse_ok(
+            r#"{"op":"search","id":4,"tenant":"team-a.1","engine":"BLAST","query":"HEAGAWGHEE","top_k":5,"min_score":20,"deadline_cells":1000}"#,
+        ) else {
+            panic!("not a search");
+        };
+        assert_eq!(f.engine, Engine::Blast);
+        assert_eq!(f.deadline(), Some(Deadline::Cells(1000)));
+        assert_eq!(f.deadline_cells, Some(1000));
+
+        let Request::Search(f) =
+            parse_ok(r#"{"op":"search","id":5,"query":"HEAGAWGHEE","deadline_ms":50}"#)
+        else {
+            panic!("not a search");
+        };
+        assert_eq!(
+            f.deadline(),
+            Some(Deadline::Wall(Duration::from_millis(50)))
+        );
+    }
+
+    #[test]
+    fn rejects_carry_typed_codes_and_ids() {
+        assert_eq!(parse_err("not json").code, ErrorCode::Malformed);
+        assert_eq!(parse_err("[1,2]").code, ErrorCode::Malformed);
+        assert_eq!(parse_err(r#"{"op":"evict"}"#).code, ErrorCode::Malformed);
+        assert_eq!(
+            parse_err(r#"{"op":"search","query":"AA"}"#).code,
+            ErrorCode::Malformed
+        );
+
+        let r = parse_err(r#"{"op":"search","id":7,"engine":"hmmer","query":"AA"}"#);
+        assert_eq!(r.code, ErrorCode::UnknownEngine);
+        assert_eq!(r.id, Some(7), "id still correlated on reject");
+        assert!(r.detail.contains("striped"), "detail lists valid engines");
+
+        assert_eq!(
+            parse_err(r#"{"op":"search","id":1,"query":""}"#).code,
+            ErrorCode::BadQuery
+        );
+        assert_eq!(
+            parse_err(r#"{"op":"search","id":1,"query":"B@D"}"#).code,
+            ErrorCode::BadQuery
+        );
+        assert_eq!(
+            parse_err(r#"{"op":"search","id":1,"query":"AA","top_k":0}"#).code,
+            ErrorCode::BadQuery
+        );
+        assert_eq!(
+            parse_err(r#"{"op":"search","id":1,"query":"AA","top_k":501}"#).code,
+            ErrorCode::BadQuery
+        );
+        assert_eq!(
+            parse_err(r#"{"op":"search","id":1,"query":"AA","deadline_cells":5,"deadline_ms":5}"#)
+                .code,
+            ErrorCode::BadQuery
+        );
+        assert_eq!(
+            parse_err(r#"{"op":"search","id":1,"tenant":"..//..","query":"AA"}"#).code,
+            ErrorCode::Malformed
+        );
+        let long = format!(r#"{{"op":"search","id":1,"query":"{}"}}"#, "A".repeat(5000));
+        assert_eq!(parse_err(&long).code, ErrorCode::BadQuery);
+    }
+
+    #[test]
+    fn error_codes_round_trip() {
+        for c in ErrorCode::ALL {
+            assert_eq!(ErrorCode::from_name(c.name()), Some(c));
+            assert_eq!(format!("{c}"), c.name());
+        }
+        assert_eq!(ErrorCode::from_name("nope"), None);
+    }
+
+    #[test]
+    fn rendered_responses_parse_back() {
+        let err = render_error(Some(4), ErrorCode::Overloaded, "budget exhausted");
+        let v = json::parse(&err).unwrap();
+        assert_eq!(v.get("type").and_then(Json::as_str), Some("error"));
+        assert_eq!(v.get("id").and_then(Json::as_u64), Some(4));
+        assert_eq!(v.get("code").and_then(Json::as_str), Some("overloaded"));
+
+        let pong = json::parse(&render_pong(None)).unwrap();
+        assert!(pong.get("id").unwrap().is_null());
+
+        use sapa_align::engine::{Quarantined, RankedHit, RunStats};
+        let resp = SearchResponse {
+            engine: Engine::Striped,
+            hits: vec![RankedHit {
+                seq_index: 12,
+                score: 523,
+                bits: 107.3,
+                evalue: 1.25e-30,
+                alignment: None,
+            }],
+            stats: RunStats {
+                subjects: 300,
+                rescored: 2,
+                threads: 1,
+                quarantined: vec![Quarantined {
+                    index: 44,
+                    cause: "injected".into(),
+                }],
+                pruned: 0,
+            },
+            completed: false,
+            truncated_by: Some(DeadlineKind::Cells),
+            coverage: 300,
+        };
+        let line = render_result(9, &resp);
+        assert!(!line.contains('\n'));
+        let v = json::parse(&line).unwrap();
+        assert_eq!(v.get("truncated_by").and_then(Json::as_str), Some("cells"));
+        assert_eq!(v.get("coverage").and_then(Json::as_u64), Some(300));
+        let hits = v.get("hits").and_then(Json::as_arr).unwrap();
+        assert_eq!(hits[0].get("index").and_then(Json::as_u64), Some(12));
+        assert_eq!(hits[0].get("evalue").and_then(Json::as_f64), Some(1.25e-30));
+        let q = v.get("quarantined").and_then(Json::as_arr).unwrap();
+        assert_eq!(q[0].as_u64(), Some(44));
+    }
+}

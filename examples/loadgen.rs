@@ -1,0 +1,558 @@
+//! Load generator for the alignment search daemon.
+//!
+//! Drives mixed engine/tenant traffic at a `sapa-service` daemon —
+//! either an in-process one it spawns itself (the default, and what CI
+//! uses) or an external `--addr` — and reports latency percentiles,
+//! throughput, and the full server counter snapshot as JSON.
+//!
+//! Traffic shape is deterministic given the flags: request `i` picks
+//! its tenant, engine, and query by simple modular schedules, and the
+//! abuse schedule (`--abuse`) reuses the suite's seeded [`FaultPlan`]
+//! sites — [`FaultSite::FrameGarble`] corrupts the outgoing frame,
+//! [`FaultSite::ClientAbort`] drops the connection mid-exchange — so a
+//! given seed replays the same hostile schedule every run.
+//!
+//! The run fails (nonzero exit) if any reply is unparseable, a reply id
+//! does not match its request, or the server's accounting invariant
+//! (`submitted == served + rejected + quarantined`) is violated at
+//! shutdown. Overload rejections are *not* failures: typed `overloaded`
+//! / `throttled` errors are the service working as designed.
+//!
+//! ```text
+//! cargo run --release -p sapa-service --example loadgen -- --smoke
+//! cargo run --release -p sapa-service --example loadgen -- \
+//!     --requests 1000 --conns 8 --tenants 4 --fault-rate 0.05 --abuse
+//! ```
+
+use std::io::Write as _;
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use sapa_bioseq::queries::QuerySet;
+use sapa_core::fault::{garble_frame, FaultPlan, FaultSite};
+use sapa_service::json::{self, Json};
+use sapa_service::{
+    quiet_injected_panics, serve, Client, QuotaConfig, SearchParams, ServiceConfig, Snapshot,
+};
+
+struct Options {
+    addr: Option<String>,
+    requests: u64,
+    conns: usize,
+    tenants: usize,
+    mode_open: bool,
+    rate: f64,
+    engines: Vec<String>,
+    top_k: usize,
+    deadline_cells: Option<u64>,
+    deadline_ms: Option<u64>,
+    fault_rate: f64,
+    fault_seed: u64,
+    abuse: bool,
+    smoke: bool,
+    json_path: Option<String>,
+    db_seqs: usize,
+    budget_cells: u64,
+    max_queued: usize,
+    quota_capacity: Option<u64>,
+    quota_refill: f64,
+    workers: usize,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            addr: None,
+            requests: 200,
+            conns: 4,
+            tenants: 3,
+            mode_open: false,
+            rate: 50.0,
+            engines: vec!["striped".into(), "blast".into(), "fasta".into()],
+            top_k: 10,
+            deadline_cells: None,
+            deadline_ms: None,
+            fault_rate: 0.0,
+            fault_seed: 2006,
+            abuse: false,
+            smoke: false,
+            json_path: None,
+            db_seqs: 400,
+            budget_cells: 256_000_000,
+            max_queued: 64,
+            quota_capacity: None,
+            quota_refill: 0.0,
+            workers: 2,
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: loadgen [options]\n\
+         \n\
+         traffic:\n\
+           --requests N         total search requests (default 200)\n\
+           --conns N            concurrent connections (default 4)\n\
+           --tenants N          distinct tenant ids (default 3)\n\
+           --mode open|closed   pacing (default closed)\n\
+           --rate R             open-loop offered rate, req/s across all conns\n\
+           --engines a,b,c      engine mix (default striped,blast,fasta)\n\
+           --top-k N            hits per request (default 10)\n\
+           --deadline-cells N   attach a deterministic cell budget to every request\n\
+           --deadline-ms N      attach a wall deadline to every request\n\
+         \n\
+         hostility:\n\
+           --fault-rate R       arm server-side fault sites at rate R (in-process only)\n\
+           --fault-seed N       fault/abuse schedule seed (default 2006)\n\
+           --abuse              garble frames + abort connections on the seeded schedule\n\
+         \n\
+         target (default: spawn an in-process daemon):\n\
+           --addr HOST:PORT     drive an external daemon instead\n\
+           --db-seqs N          in-process corpus size (default 400)\n\
+           --workers N          in-process worker threads (default 2)\n\
+           --budget-cells N     in-process admission budget\n\
+           --max-queued N       in-process queue cap\n\
+           --quota-capacity N   per-tenant quota cells (default off)\n\
+           --quota-refill R     per-tenant refill cells/s\n\
+         \n\
+         output:\n\
+           --smoke              small deterministic run; writes BENCH_service_smoke.json\n\
+           --json PATH          write the metrics JSON to PATH"
+    );
+    std::process::exit(2)
+}
+
+fn parse_options() -> Options {
+    let mut o = Options::default();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].clone();
+        let mut value = || -> String {
+            i += 1;
+            args.get(i)
+                .unwrap_or_else(|| {
+                    eprintln!("loadgen: {flag} needs a value");
+                    usage()
+                })
+                .clone()
+        };
+        fn num<T: std::str::FromStr>(name: &str, v: &str) -> T {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("loadgen: invalid value '{v}' for {name}");
+                usage()
+            })
+        }
+        match flag.as_str() {
+            "--addr" => o.addr = Some(value()),
+            "--requests" => o.requests = num("--requests", &value()),
+            "--conns" => o.conns = num("--conns", &value()),
+            "--tenants" => o.tenants = num("--tenants", &value()),
+            "--mode" => match value().as_str() {
+                "open" => o.mode_open = true,
+                "closed" => o.mode_open = false,
+                other => {
+                    eprintln!("loadgen: unknown mode '{other}'");
+                    usage()
+                }
+            },
+            "--rate" => o.rate = num("--rate", &value()),
+            "--engines" => o.engines = value().split(',').map(str::to_string).collect(),
+            "--top-k" => o.top_k = num("--top-k", &value()),
+            "--deadline-cells" => o.deadline_cells = Some(num("--deadline-cells", &value())),
+            "--deadline-ms" => o.deadline_ms = Some(num("--deadline-ms", &value())),
+            "--fault-rate" => o.fault_rate = num("--fault-rate", &value()),
+            "--fault-seed" => o.fault_seed = num("--fault-seed", &value()),
+            "--abuse" => o.abuse = true,
+            "--smoke" => o.smoke = true,
+            "--json" => o.json_path = Some(value()),
+            "--db-seqs" => o.db_seqs = num("--db-seqs", &value()),
+            "--workers" => o.workers = num("--workers", &value()),
+            "--budget-cells" => o.budget_cells = num("--budget-cells", &value()),
+            "--max-queued" => o.max_queued = num("--max-queued", &value()),
+            "--quota-capacity" => o.quota_capacity = Some(num("--quota-capacity", &value())),
+            "--quota-refill" => o.quota_refill = num("--quota-refill", &value()),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("loadgen: unknown flag '{other}'");
+                usage()
+            }
+        }
+        i += 1;
+    }
+    if o.smoke {
+        o.requests = o.requests.min(120);
+        o.db_seqs = o.db_seqs.min(120);
+        if o.json_path.is_none() {
+            o.json_path = Some("BENCH_service_smoke.json".to_string());
+        }
+    }
+    o.conns = o.conns.max(1);
+    o.tenants = o.tenants.max(1);
+    if o.engines.is_empty() {
+        o.engines = vec!["striped".into()];
+    }
+    o
+}
+
+/// Client-side tallies, shared across connection threads.
+#[derive(Default)]
+struct ClientStats {
+    sent: AtomicU64,
+    results: AtomicU64,
+    typed_errors: AtomicU64,
+    rejected: AtomicU64,
+    garbled_sent: AtomicU64,
+    aborts: AtomicU64,
+    id_mismatches: AtomicU64,
+    parse_failures: AtomicU64,
+    transport_failures: AtomicU64,
+}
+
+fn percentile(sorted_us: &[u64], p: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted_us.len() as f64 - 1.0) * p).round() as usize;
+    sorted_us[rank.min(sorted_us.len() - 1)]
+}
+
+#[allow(clippy::too_many_lines)]
+fn main() -> ExitCode {
+    let o = parse_options();
+    let abuse_plan = if o.abuse {
+        FaultPlan::new(
+            o.fault_seed,
+            if o.fault_rate > 0.0 {
+                o.fault_rate
+            } else {
+                0.05
+            },
+        )
+    } else {
+        FaultPlan::DISABLED
+    };
+
+    // Target: external daemon or in-process server.
+    let mut in_process = None;
+    let addr: SocketAddr = match &o.addr {
+        Some(a) => match a.parse() {
+            Ok(sa) => sa,
+            Err(_) => {
+                eprintln!("loadgen: invalid --addr '{a}'");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => {
+            if o.fault_rate > 0.0 {
+                quiet_injected_panics();
+            }
+            let cfg = ServiceConfig {
+                workers: o.workers,
+                budget_cells: o.budget_cells,
+                max_queued: o.max_queued,
+                quota: o.quota_capacity.map(|capacity_cells| QuotaConfig {
+                    capacity_cells,
+                    refill_cells_per_sec: o.quota_refill,
+                }),
+                fault_plan: if o.fault_rate > 0.0 {
+                    FaultPlan::new(o.fault_seed, o.fault_rate)
+                } else {
+                    FaultPlan::DISABLED
+                },
+                db_seqs: o.db_seqs,
+                ..ServiceConfig::default()
+            };
+            match serve(cfg) {
+                Ok(h) => {
+                    let a = h.addr();
+                    in_process = Some(h);
+                    a
+                }
+                Err(e) => {
+                    eprintln!("loadgen: failed to start in-process daemon: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+
+    // Deterministic query mix: the paper's query set, rendered to text.
+    let queries: Vec<String> = QuerySet::paper()
+        .queries()
+        .iter()
+        .map(|q| q.residues().iter().map(|a| a.to_char()).collect())
+        .collect();
+
+    let stats = Arc::new(ClientStats::default());
+    let latencies: Arc<std::sync::Mutex<Vec<u64>>> = Arc::new(std::sync::Mutex::new(Vec::new()));
+    let started = Instant::now();
+
+    // Requests are striped over connections; each connection thread is
+    // a closed loop, or paces sends to its slice of the offered rate.
+    let per_conn_interval = if o.mode_open && o.rate > 0.0 {
+        Some(Duration::from_secs_f64(o.conns as f64 / o.rate))
+    } else {
+        None
+    };
+    let threads: Vec<_> = (0..o.conns)
+        .map(|conn| {
+            let stats = Arc::clone(&stats);
+            let latencies = Arc::clone(&latencies);
+            let queries = queries.clone();
+            let engines = o.engines.clone();
+            let tenants = o.tenants;
+            let top_k = o.top_k;
+            let deadline_cells = o.deadline_cells;
+            let deadline_ms = o.deadline_ms;
+            let requests = o.requests;
+            let conns = o.conns as u64;
+            thread::spawn(move || {
+                let timeout = Duration::from_secs(30);
+                let mut client = match Client::connect(addr, timeout) {
+                    Ok(c) => c,
+                    Err(_) => {
+                        stats.transport_failures.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                };
+                let mut id = conn as u64;
+                while id < requests {
+                    if let Some(interval) = per_conn_interval {
+                        let due = started + interval * (id / conns) as u32;
+                        if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                            thread::sleep(wait);
+                        }
+                    }
+                    let params = SearchParams {
+                        id,
+                        tenant: &format!("t{}", id % tenants as u64),
+                        engine: &engines[(id as usize) % engines.len()],
+                        query: &queries[(id as usize) % queries.len()],
+                        top_k,
+                        min_score: 1,
+                        deadline_cells,
+                        deadline_ms,
+                    };
+                    let frame = params.render();
+
+                    // Abuse site 1: garble the frame on the seeded
+                    // schedule; the server owes exactly one typed error.
+                    if let Some(garbled) = garble_frame(frame.as_bytes(), &abuse_plan, id) {
+                        stats.garbled_sent.fetch_add(1, Ordering::Relaxed);
+                        stats.sent.fetch_add(1, Ordering::Relaxed);
+                        match client
+                            .send_frame(&garbled)
+                            .and_then(|()| client.recv_line())
+                        {
+                            Ok(Some(reply)) => match json::parse(&reply) {
+                                Ok(v) if v.get("type").and_then(Json::as_str) == Some("error") => {
+                                    stats.typed_errors.fetch_add(1, Ordering::Relaxed);
+                                }
+                                Ok(_) => {
+                                    // A mutation can still be a valid
+                                    // request; any one reply is fine.
+                                }
+                                Err(_) => {
+                                    stats.parse_failures.fetch_add(1, Ordering::Relaxed);
+                                }
+                            },
+                            // Oversized/charset mutations may close the
+                            // connection; reconnect and continue.
+                            Ok(None) | Err(_) => match Client::connect(addr, timeout) {
+                                Ok(c) => client = c,
+                                Err(_) => {
+                                    stats.transport_failures.fetch_add(1, Ordering::Relaxed);
+                                    return;
+                                }
+                            },
+                        }
+                        id += conns;
+                        continue;
+                    }
+
+                    // Abuse site 2: submit, then vanish without reading
+                    // the reply — the daemon must absorb the dead socket.
+                    if abuse_plan.triggers(FaultSite::ClientAbort, id) {
+                        stats.aborts.fetch_add(1, Ordering::Relaxed);
+                        stats.sent.fetch_add(1, Ordering::Relaxed);
+                        let _ = client.send_line(&frame);
+                        drop(client);
+                        match Client::connect(addr, timeout) {
+                            Ok(c) => client = c,
+                            Err(_) => {
+                                stats.transport_failures.fetch_add(1, Ordering::Relaxed);
+                                return;
+                            }
+                        }
+                        id += conns;
+                        continue;
+                    }
+
+                    let t0 = Instant::now();
+                    stats.sent.fetch_add(1, Ordering::Relaxed);
+                    match client.request(&frame) {
+                        Ok(reply) => match json::parse(&reply) {
+                            Ok(v) => {
+                                let kind = v.get("type").and_then(Json::as_str);
+                                let rid = v.get("id").and_then(Json::as_u64);
+                                if rid != Some(id) {
+                                    stats.id_mismatches.fetch_add(1, Ordering::Relaxed);
+                                }
+                                match kind {
+                                    Some("result") => {
+                                        let us = t0.elapsed().as_micros() as u64;
+                                        latencies.lock().unwrap().push(us);
+                                        stats.results.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                    Some("error") => {
+                                        stats.typed_errors.fetch_add(1, Ordering::Relaxed);
+                                        let code = v.get("code").and_then(Json::as_str);
+                                        if matches!(code, Some("overloaded" | "throttled")) {
+                                            stats.rejected.fetch_add(1, Ordering::Relaxed);
+                                        }
+                                    }
+                                    _ => {
+                                        stats.parse_failures.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                }
+                            }
+                            Err(_) => {
+                                stats.parse_failures.fetch_add(1, Ordering::Relaxed);
+                            }
+                        },
+                        Err(_) => {
+                            stats.transport_failures.fetch_add(1, Ordering::Relaxed);
+                            match Client::connect(addr, timeout) {
+                                Ok(c) => client = c,
+                                Err(_) => return,
+                            }
+                        }
+                    }
+                    id += conns;
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        let _ = t.join();
+    }
+    let wall = started.elapsed();
+
+    // Server-side snapshot: from the in-process handle (after an
+    // orderly shutdown) or the remote stats op.
+    let (server_json, balances) = match in_process {
+        Some(handle) => {
+            // Quiesce: workers finished when all client threads joined
+            // (closed-loop replies arrived), so the snapshot is stable.
+            let snap: Snapshot = handle.shutdown();
+            (snap.to_json(), snap.balances())
+        }
+        None => match Client::connect(addr, Duration::from_secs(5))
+            .and_then(|mut c| c.request(r#"{"op":"stats"}"#))
+        {
+            Ok(reply) => match json::parse(&reply) {
+                Ok(v) => {
+                    let ok = v.get("balances").and_then(Json::as_bool).unwrap_or(false);
+                    (v, ok)
+                }
+                Err(_) => (Json::Null, false),
+            },
+            Err(_) => (Json::Null, false),
+        },
+    };
+
+    let mut lat = latencies.lock().unwrap().clone();
+    lat.sort_unstable();
+    let results = stats.results.load(Ordering::Relaxed);
+    let report = Json::obj(vec![
+        ("bench", Json::str("service_loadgen")),
+        (
+            "mode",
+            Json::str(if o.mode_open { "open" } else { "closed" }),
+        ),
+        ("requests", Json::num_u64(o.requests)),
+        ("conns", Json::num_u64(o.conns as u64)),
+        ("tenants", Json::num_u64(o.tenants as u64)),
+        (
+            "engines",
+            Json::Arr(o.engines.iter().map(|e| Json::str(e)).collect()),
+        ),
+        ("abuse", Json::Bool(o.abuse)),
+        ("fault_rate", Json::Num(o.fault_rate)),
+        ("wall_s", Json::Num(wall.as_secs_f64())),
+        (
+            "qps",
+            Json::Num(results as f64 / wall.as_secs_f64().max(1e-9)),
+        ),
+        ("p50_us", Json::num_u64(percentile(&lat, 0.50))),
+        ("p90_us", Json::num_u64(percentile(&lat, 0.90))),
+        ("p99_us", Json::num_u64(percentile(&lat, 0.99))),
+        (
+            "client",
+            Json::obj(vec![
+                ("sent", Json::num_u64(stats.sent.load(Ordering::Relaxed))),
+                ("results", Json::num_u64(results)),
+                (
+                    "typed_errors",
+                    Json::num_u64(stats.typed_errors.load(Ordering::Relaxed)),
+                ),
+                (
+                    "rejected",
+                    Json::num_u64(stats.rejected.load(Ordering::Relaxed)),
+                ),
+                (
+                    "garbled_sent",
+                    Json::num_u64(stats.garbled_sent.load(Ordering::Relaxed)),
+                ),
+                (
+                    "aborts",
+                    Json::num_u64(stats.aborts.load(Ordering::Relaxed)),
+                ),
+                (
+                    "id_mismatches",
+                    Json::num_u64(stats.id_mismatches.load(Ordering::Relaxed)),
+                ),
+                (
+                    "parse_failures",
+                    Json::num_u64(stats.parse_failures.load(Ordering::Relaxed)),
+                ),
+                (
+                    "transport_failures",
+                    Json::num_u64(stats.transport_failures.load(Ordering::Relaxed)),
+                ),
+            ]),
+        ),
+        ("server", server_json),
+        ("accounting_balanced", Json::Bool(balances)),
+    ]);
+    let rendered = report.render();
+    println!("{rendered}");
+    if let Some(path) = &o.json_path {
+        if let Err(e) = std::fs::File::create(path).and_then(|mut f| {
+            f.write_all(rendered.as_bytes())?;
+            f.write_all(b"\n")
+        }) {
+            eprintln!("loadgen: failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("loadgen: wrote {path}");
+    }
+
+    let hard_failures =
+        stats.id_mismatches.load(Ordering::Relaxed) + stats.parse_failures.load(Ordering::Relaxed);
+    if hard_failures > 0 {
+        eprintln!("loadgen: {hard_failures} malformed/mismatched replies");
+        return ExitCode::FAILURE;
+    }
+    if !balances {
+        eprintln!("loadgen: server accounting invariant violated");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -8,7 +8,9 @@
 //! scheduling, so these assertions are exact equalities, not
 //! tolerances.
 
+use std::collections::BTreeMap;
 use std::sync::Once;
+use std::time::Duration;
 
 use sapa_core::align::engine::{
     AlignmentEngine, Deadline, Engine, Prefilter, SearchRequest, SwEngine,
@@ -26,6 +28,8 @@ use sapa_core::fault::{
 };
 use sapa_core::isa::PackedTrace;
 use sapa_core::workloads::{StandardInputs, Workload};
+use sapa_service::json::{self, Json};
+use sapa_service::{serve, Client, SearchParams, ServiceConfig, ServiceHandle};
 
 /// Silences panic backtraces for *injected* faults only, so the chaos
 /// runs don't bury real failures in hundreds of expected panic dumps.
@@ -280,6 +284,281 @@ fn sweep_batch_finishes_around_a_poisoned_job() {
             }
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Service chaos: the same discipline, one layer up. The daemon gets the
+// seeded fault plan, concurrent hostile clients, and deadline storms,
+// and must come out with exact accounting — never a restart.
+// ---------------------------------------------------------------------------
+
+const SERVICE_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Short queries keep a 1000-request debug-mode run affordable; every
+/// residue is a standard amino acid.
+const SERVICE_QUERIES: [&str; 3] = [
+    "MKWVTFISLLFLFSSAYSRGVFRRDA",
+    "HEAGAWGHEEAEHGAWGHEEFGSATW",
+    "PAWHEAEWHEAPAWHEAEKLMNPQRS",
+];
+const SERVICE_ENGINES: [&str; 3] = ["striped", "blast", "fasta"];
+
+fn service_config(fault: FaultPlan) -> ServiceConfig {
+    ServiceConfig {
+        workers: 2,
+        db_seqs: 48,
+        db_median_len: 50.0,
+        fault_plan: fault,
+        ..ServiceConfig::default()
+    }
+}
+
+fn service_params(id: u64) -> SearchParams<'static> {
+    SearchParams {
+        id,
+        tenant: ["t0", "t1", "t2", "t3"][(id % 4) as usize],
+        engine: SERVICE_ENGINES[(id % 3) as usize],
+        query: SERVICE_QUERIES[(id % 3) as usize],
+        top_k: 10,
+        min_score: 1,
+        deadline_cells: None,
+        deadline_ms: None,
+    }
+}
+
+/// The plan's worker-panic decisions are keyed on subject content, so
+/// the exact quarantine set is computable from the served corpus alone.
+fn predicted_quarantine(server: &ServiceHandle, plan: &FaultPlan) -> Vec<u64> {
+    server
+        .subjects()
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| plan.triggers(FaultSite::WorkerPanic, subject_key(s)))
+        .map(|(i, _)| i as u64)
+        .collect()
+}
+
+fn reply_quarantined(reply: &Json) -> Vec<u64> {
+    reply
+        .get("quarantined")
+        .and_then(Json::as_arr)
+        .map(|a| a.iter().filter_map(Json::as_u64).collect())
+        .unwrap_or_default()
+}
+
+/// Fires `total` requests over `conns` concurrent connections and
+/// returns every reply keyed by request id.
+fn fire(
+    addr: std::net::SocketAddr,
+    total: u64,
+    conns: u64,
+    mutate: fn(&mut SearchParams<'static>),
+) -> BTreeMap<u64, String> {
+    let threads: Vec<_> = (0..conns)
+        .map(|conn| {
+            std::thread::spawn(move || {
+                let mut client =
+                    Client::connect(addr, SERVICE_TIMEOUT).expect("chaos client connect");
+                let mut replies = Vec::new();
+                let mut id = conn;
+                while id < total {
+                    let mut params = service_params(id);
+                    mutate(&mut params);
+                    let reply = client
+                        .search(&params)
+                        .unwrap_or_else(|e| panic!("request {id} died: {e}"));
+                    replies.push((id, reply));
+                    id += conns;
+                }
+                replies
+            })
+        })
+        .collect();
+    let mut all = BTreeMap::new();
+    for t in threads {
+        for (id, reply) in t.join().expect("chaos client thread") {
+            assert!(all.insert(id, reply).is_none(), "duplicate reply id");
+        }
+    }
+    all
+}
+
+/// The acceptance scenario: a 1000-request mixed-tenant, mixed-engine
+/// run at the 5% worker-panic plan. Every reply must carry *exactly*
+/// the quarantine set predicted from subject content, the counters must
+/// balance to the request, and the daemon must still serve afterwards —
+/// all without a restart.
+#[test]
+fn service_survives_a_thousand_requests_at_five_percent_panic_rate() {
+    quiet_injected_panics();
+    let server = serve(service_config(plan())).expect("bind chaos service");
+    let addr = server.addr();
+    let predicted = predicted_quarantine(&server, &plan());
+    assert!(
+        !predicted.is_empty(),
+        "the seeded plan must fault some of the {} subjects",
+        server.db_seqs()
+    );
+
+    const TOTAL: u64 = 1000;
+    let replies = fire(addr, TOTAL, 8, |_| {});
+    assert_eq!(replies.len() as u64, TOTAL);
+    for (id, reply) in &replies {
+        let v = json::parse(reply).expect("reply parses");
+        assert_eq!(
+            v.get("type").and_then(Json::as_str),
+            Some("result"),
+            "id {id}: {reply}"
+        );
+        assert_eq!(v.get("id").and_then(Json::as_u64), Some(*id));
+        assert_eq!(v.get("completed").and_then(Json::as_bool), Some(true));
+        // Exact quarantine accounting: content-keyed decisions mean the
+        // set is identical for every engine and every request.
+        assert_eq!(
+            reply_quarantined(&v),
+            predicted,
+            "id {id} quarantine set drifted"
+        );
+    }
+
+    // Still alive, still serving — the probe rides the same daemon.
+    let mut probe = Client::connect(addr, SERVICE_TIMEOUT).unwrap();
+    let pong = probe.request(r#"{"op":"ping","id":424242}"#).unwrap();
+    assert!(pong.contains("\"pong\""), "probe after storm: {pong}");
+    drop(probe);
+
+    let snap = server.shutdown();
+    assert_eq!(snap.submitted, TOTAL);
+    assert_eq!(
+        snap.request_panics, 0,
+        "per-subject quarantine must absorb every panic"
+    );
+    assert_eq!(snap.quarantined_requests, TOTAL);
+    assert_eq!(snap.served_clean, 0);
+    assert_eq!(snap.quarantined_subjects, TOTAL * predicted.len() as u64);
+    assert_eq!(snap.rejected(), 0);
+    assert!(snap.balances(), "accounting must balance: {snap:?}");
+}
+
+/// Clients that vanish mid-response (immediate drop, or a half-close
+/// while a search is in flight) cost the daemon a failed write at most:
+/// execution buckets never move on delivery failure, and the process
+/// keeps serving.
+#[test]
+fn client_disconnects_mid_response_leave_the_daemon_serving() {
+    let server = serve(service_config(FaultPlan::DISABLED)).expect("bind service");
+    let addr = server.addr();
+
+    // Wave 1: submit and vanish without reading the reply.
+    for id in 0..10u64 {
+        let mut c = Client::connect(addr, SERVICE_TIMEOUT).unwrap();
+        c.send_line(&service_params(id).render()).unwrap();
+        drop(c);
+    }
+    // Wave 2: half-close the write side mid-request; the reply must
+    // still arrive on the read side.
+    for id in 10..15u64 {
+        let mut c = Client::connect(addr, SERVICE_TIMEOUT).unwrap();
+        c.send_line(&service_params(id).render()).unwrap();
+        c.shutdown_write().unwrap();
+        let reply = c
+            .recv_line()
+            .expect("read after half-close")
+            .expect("reply after half-close");
+        let v = json::parse(&reply).unwrap();
+        assert_eq!(v.get("id").and_then(Json::as_u64), Some(id));
+        assert_eq!(v.get("type").and_then(Json::as_str), Some("result"));
+    }
+
+    // The daemon answered (or tried to answer) every submission and
+    // still serves; dropped sockets moved no accounting buckets.
+    let mut probe = Client::connect(addr, SERVICE_TIMEOUT).unwrap();
+    let reply = probe.search(&service_params(99)).unwrap();
+    assert!(reply.contains("\"type\":\"result\""));
+    let deadline = std::time::Instant::now() + SERVICE_TIMEOUT;
+    loop {
+        // Wave-1 workers may still be finishing; wait for the counters
+        // to converge rather than racing them.
+        let snap = server.counters();
+        if snap.served_clean == 16 {
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "stuck at {snap:?}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let snap = server.shutdown();
+    assert_eq!(snap.submitted, 16);
+    assert_eq!(snap.served_clean, 16);
+    assert!(snap.balances(), "accounting must balance: {snap:?}");
+}
+
+/// A deadline storm: every request carries a cell budget far below the
+/// scan cost. Degradation must be graceful (partial results, not
+/// errors), typed (`truncated_by: "cells"`), and deterministic — the
+/// same request truncates at the same subject every time.
+#[test]
+fn deadline_storm_degrades_gracefully_and_deterministically() {
+    let server = serve(service_config(FaultPlan::DISABLED)).expect("bind service");
+    let addr = server.addr();
+    let db = server.db_seqs() as u64;
+
+    let storm = |params: &mut SearchParams<'static>| {
+        // Exact engines only: heuristic scan costs are not DP cells.
+        params.engine = ["striped", "sw"][(params.id % 2) as usize];
+        params.deadline_cells = Some(2_000);
+    };
+    const TOTAL: u64 = 100;
+    let first = fire(addr, TOTAL, 4, storm);
+    for (id, reply) in &first {
+        let v = json::parse(reply).expect("reply parses");
+        assert_eq!(
+            v.get("type").and_then(Json::as_str),
+            Some("result"),
+            "id {id}: {reply}"
+        );
+        assert_eq!(v.get("completed").and_then(Json::as_bool), Some(false));
+        assert_eq!(v.get("truncated_by").and_then(Json::as_str), Some("cells"));
+        let coverage = v.get("coverage").and_then(Json::as_u64).expect("coverage");
+        assert!(
+            coverage < db,
+            "id {id} covered the whole corpus under a tiny budget"
+        );
+    }
+    // Determinism: an identical storm produces byte-identical replies.
+    assert_eq!(fire(addr, TOTAL, 4, storm), first);
+
+    let snap = server.shutdown();
+    assert_eq!(snap.submitted, 2 * TOTAL);
+    assert_eq!(snap.partial, 2 * TOTAL);
+    assert_eq!(snap.served_clean, 2 * TOTAL);
+    assert!(snap.balances(), "accounting must balance: {snap:?}");
+}
+
+/// Concurrency must be invisible in the payload: the same request set
+/// fired serially over one connection and concurrently over eight
+/// produces byte-identical replies, id for id — with the fault plan
+/// armed, so quarantine reporting is covered too.
+#[test]
+fn concurrent_and_serial_service_runs_are_byte_identical() {
+    quiet_injected_panics();
+    let server = serve(service_config(plan())).expect("bind service");
+    let addr = server.addr();
+
+    const TOTAL: u64 = 120;
+    let serial = fire(addr, TOTAL, 1, |_| {});
+    let concurrent = fire(addr, TOTAL, 8, |_| {});
+    assert_eq!(serial.len() as u64, TOTAL);
+    for (id, reply) in &serial {
+        assert_eq!(
+            concurrent.get(id),
+            Some(reply),
+            "id {id} differs between serial and concurrent runs"
+        );
+    }
+
+    let snap = server.shutdown();
+    assert_eq!(snap.submitted, 2 * TOTAL);
+    assert!(snap.balances(), "accounting must balance: {snap:?}");
 }
 
 #[test]

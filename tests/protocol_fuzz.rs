@@ -1,0 +1,294 @@
+//! Protocol fuzz hardening (ISSUE 10, satellite 1).
+//!
+//! Feeds the live daemon a seeded corpus of malformed, truncated, and
+//! oversized frames and holds it to the connection-hardening contract:
+//! every received line is answered with exactly one typed error line
+//! (or the connection is closed cleanly, for oversized frames), the
+//! process keeps serving well-formed requests afterwards, and no
+//! hostile byte sequence ever panics the parser.
+
+use std::time::Duration;
+
+use sapa_core::fault::{garble_frame, FaultPlan};
+use sapa_service::json::{self, Json};
+use sapa_service::{serve, Client, SearchParams, ServiceConfig};
+
+const TIMEOUT: Duration = Duration::from_secs(20);
+
+fn small_server() -> sapa_service::ServiceHandle {
+    serve(ServiceConfig {
+        db_seqs: 30,
+        workers: 1,
+        ..ServiceConfig::default()
+    })
+    .expect("bind ephemeral service")
+}
+
+fn probe(addr: std::net::SocketAddr) -> String {
+    let mut c = Client::connect(addr, TIMEOUT).expect("probe connect");
+    c.search(&SearchParams {
+        id: 999_999,
+        tenant: "probe",
+        engine: "striped",
+        query: "MKWVTFISLLFLFSSAYSRGVFRRDAHKSE",
+        top_k: 3,
+        min_score: 1,
+        deadline_cells: None,
+        deadline_ms: None,
+    })
+    .expect("probe search")
+}
+
+fn assert_typed_error(reply: &str) {
+    let v = json::parse(reply).expect("error reply must itself be valid JSON");
+    assert_eq!(
+        v.get("type").and_then(Json::as_str),
+        Some("error"),
+        "reply: {reply}"
+    );
+    let code = v
+        .get("code")
+        .and_then(Json::as_str)
+        .expect("error has a code");
+    assert!(
+        sapa_service::ErrorCode::from_name(code).is_some(),
+        "unknown error code {code:?} in {reply}"
+    );
+}
+
+/// Deterministic byte-mangling PRNG for the pure-parser fuzz below.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Hand-written hostile frames: each must draw one typed error and
+/// leave the connection usable for the next line.
+#[test]
+fn handwritten_malformed_corpus_gets_typed_errors() {
+    let server = small_server();
+    let mut c = Client::connect(server.addr(), TIMEOUT).unwrap();
+    let corpus: &[&str] = &[
+        "",
+        " ",
+        "{",
+        "}",
+        "nul",
+        "nullx",
+        "[]",
+        "[1,2,",
+        "42",
+        "\"just a string\"",
+        "{\"op\":}",
+        "{\"op\" \"search\"}",
+        "{\"op\":\"search\"",                        // truncated object
+        "{\"op\":\"search\",\"query\":\"ACDEF\"}{}", // trailing bytes
+        "{\"op\":\"launch-missiles\"}",
+        "{\"op\":\"search\",\"id\":1,\"query\":\"ACDEF\",\"engine\":\"warp\"}",
+        "{\"op\":\"search\",\"id\":2,\"query\":\"not residues 123!\"}",
+        "{\"op\":\"search\",\"id\":3,\"query\":\"\"}",
+        "{\"op\":\"search\",\"id\":4,\"query\":\"ACDEF\",\"top_k\":0}",
+        "{\"op\":\"search\",\"id\":5,\"query\":\"ACDEF\",\"top_k\":1000000000}",
+        "{\"op\":\"search\",\"id\":6,\"query\":\"ACDEF\",\"min_score\":1e300}",
+        "{\"op\":\"search\",\"id\":7,\"query\":\"ACDEF\",\"tenant\":\"../../etc\"}",
+        "{\"op\":\"search\",\"id\":8,\"query\":\"ACDEF\",\"tenant\":\"\"}",
+        "{\"op\":\"search\",\"id\":9,\"query\":\"ACDEF\",\"deadline_cells\":0}",
+        "{\"op\":\"search\",\"id\":10,\"query\":\"ACDEF\",\"deadline_cells\":1,\"deadline_ms\":1}",
+        "{\"op\":\"search\",\"id\":11,\"query\":\"ACDEF\",\"id\":\"eleven\"}",
+        "{\"op\":\"search\",\"id\":-5,\"query\":\"ACDEF\"}",
+        "{\"op\":\"search\",\"id\":1.5,\"query\":\"ACDEF\"}",
+        "{\"op\":\"search\",\"id\":12,\"query\":[\"A\",\"C\"]}",
+        "{\"op\":\"search\",\"id\":13,\"query\":\"ACDEF\",\"min_score\":\"high\"}",
+        "{\"op\":\"stats\",\"extra\":\"\\ud800\"}", // lone surrogate
+        "{\"op\":\"search\",\"id\":14,\"query\":\"AC\\u0000DEF\"}",
+    ];
+    for line in corpus {
+        let reply = c
+            .request(line)
+            .unwrap_or_else(|e| panic!("no reply to {line:?}: {e}"));
+        assert_typed_error(&reply);
+    }
+    // Deeply nested arrays past MAX_DEPTH.
+    let bomb = format!("{}{}", "[".repeat(200), "]".repeat(200));
+    assert_typed_error(&c.request(&bomb).unwrap());
+
+    // The same connection still serves a clean request.
+    let reply =
+        c.request("{\"op\":\"search\",\"id\":77,\"query\":\"MKWVTFISLLFLFSSAYSRGVFRRDAHKSE\"}");
+    let v = json::parse(&reply.unwrap()).unwrap();
+    assert_eq!(v.get("type").and_then(Json::as_str), Some("result"));
+    assert_eq!(v.get("id").and_then(Json::as_u64), Some(77));
+
+    let snap = server.shutdown();
+    assert!(snap.balances(), "accounting must balance: {:?}", snap);
+    assert!(snap.protocol_errors >= corpus.len() as u64 - 2);
+}
+
+/// Raw non-UTF-8 bytes on the wire draw a typed error, not a hang or a
+/// crash.
+#[test]
+fn non_utf8_frames_get_typed_errors() {
+    let server = small_server();
+    let mut c = Client::connect(server.addr(), TIMEOUT).unwrap();
+    for frame in [
+        &[0xFFu8, 0xFE, 0x00, 0x01][..],
+        &[0xC3, 0x28][..],             // invalid 2-byte sequence
+        &[0xE2, 0x82][..],             // truncated 3-byte sequence
+        b"{\"op\":\"stats\"\xF0\x9F}", // mid-frame garbage
+    ] {
+        c.send_frame(frame).unwrap();
+        let reply = c.recv_line().unwrap().expect("reply before close");
+        assert_typed_error(&reply);
+    }
+    probe(server.addr());
+    assert!(server.shutdown().balances());
+}
+
+/// An oversized frame draws one `oversized` error and a clean close —
+/// never unbounded buffering.
+#[test]
+fn oversized_frame_rejected_and_connection_closed() {
+    let server = small_server();
+    let addr = server.addr();
+    let mut c = Client::connect(addr, TIMEOUT).unwrap();
+    let huge = "A".repeat(sapa_service::Limits::default().max_line_bytes + 1);
+    c.send_line(&huge).unwrap();
+    let reply = c.recv_line().unwrap().expect("typed error before close");
+    let v = json::parse(&reply).unwrap();
+    assert_eq!(v.get("code").and_then(Json::as_str), Some("oversized"));
+    assert_eq!(
+        c.recv_line().unwrap(),
+        None,
+        "connection must be closed after oversized"
+    );
+    // A half-finished oversized line with no newline at all also may
+    // not wedge the reader: the server cuts it off at the limit.
+    let mut c2 = Client::connect(addr, TIMEOUT).unwrap();
+    c2.send_frame(huge.as_bytes()).unwrap(); // send_frame appends \n, but limit hits first
+    let reply = c2.recv_line().unwrap().expect("typed error before close");
+    assert_eq!(
+        json::parse(&reply)
+            .unwrap()
+            .get("code")
+            .and_then(Json::as_str),
+        Some("oversized")
+    );
+    probe(addr);
+    let snap = server.shutdown();
+    assert!(snap.oversized >= 2, "oversized counter: {:?}", snap);
+    assert!(snap.balances());
+}
+
+/// Seeded garbled frames: mutate a valid request with the chaos suite's
+/// own frame corruptor and hold the one-line-in/one-line-out contract.
+#[test]
+fn seeded_garble_corpus_is_survivable() {
+    let server = small_server();
+    let addr = server.addr();
+    // Rate 1.0: every key triggers, so each iteration yields a mutant.
+    let plan = FaultPlan::new(0xF022_CAFE, 1.0);
+    let base = SearchParams {
+        id: 0,
+        tenant: "fuzz",
+        engine: "striped",
+        query: "MKWVTFISLLFLFSSAYSRGVFRRDAHKSE",
+        top_k: 5,
+        min_score: 1,
+        deadline_cells: None,
+        deadline_ms: None,
+    };
+    let mut c = Client::connect(addr, TIMEOUT).unwrap();
+    let mut replies = 0u32;
+    for key in 0..200u64 {
+        let mut p = base.clone();
+        p.id = key;
+        let frame = p.render();
+        let garbled = garble_frame(frame.as_bytes(), &plan, key)
+            .expect("rate-1.0 plan must garble every frame");
+        assert!(
+            !garbled.contains(&b'\n') && !garbled.contains(&b'\r'),
+            "garbled frame must stay a single line"
+        );
+        c.send_frame(&garbled).unwrap();
+        match c.recv_line().unwrap() {
+            Some(reply) => {
+                // Either a typed error or — if the mutation happened to
+                // keep the frame valid — an ordinary reply.
+                let v = json::parse(&reply)
+                    .unwrap_or_else(|e| panic!("unparseable reply to key {key}: {e:?}"));
+                assert!(v.get("type").and_then(Json::as_str).is_some());
+                replies += 1;
+            }
+            None => {
+                // Clean close (e.g. the mutation overran a limit);
+                // reconnect and continue the sweep.
+                c = Client::connect(addr, TIMEOUT).unwrap();
+            }
+        }
+    }
+    assert!(replies > 0, "corpus never drew a reply");
+    probe(addr);
+    assert!(server.shutdown().balances());
+}
+
+/// Pure-parser fuzz: random byte edits of valid documents must never
+/// panic `json::parse`, and anything it accepts must re-render cleanly.
+#[test]
+fn json_parser_survives_mutation_fuzz() {
+    let seeds = [
+        r#"{"op":"search","id":7,"tenant":"t0","engine":"blast","query":"ACDEFGHIKLMNPQRSTVWY","top_k":10,"min_score":1,"deadline_cells":123456}"#,
+        r#"{"type":"result","id":7,"completed":false,"truncated_by":"cells","coverage":0.25,"hits":[{"index":3,"score":41,"bits":20.5,"evalue":1.2e-4}]}"#,
+        r#"[null,true,false,0,-1,3.5e2,"\u00e9\ud83d\ude00\"\\/\b\f\n\r\t",[],{}]"#,
+    ];
+    let mut rng = SplitMix64(0x5EED_F00D);
+    for round in 0..4000u32 {
+        let seed = seeds[(round as usize) % seeds.len()];
+        let mut bytes = seed.as_bytes().to_vec();
+        for _ in 0..=(rng.next() % 4) {
+            match rng.next() % 4 {
+                0 => {
+                    // Flip one byte to an arbitrary value.
+                    let i = (rng.next() as usize) % bytes.len();
+                    bytes[i] = (rng.next() & 0xFF) as u8;
+                }
+                1 => {
+                    // Truncate.
+                    let i = (rng.next() as usize) % bytes.len();
+                    bytes.truncate(i);
+                    if bytes.is_empty() {
+                        bytes.push(b'{');
+                    }
+                }
+                2 => {
+                    // Duplicate a slice (structural confusion).
+                    let i = (rng.next() as usize) % bytes.len();
+                    let j = i + ((rng.next() as usize) % (bytes.len() - i));
+                    let slice = bytes[i..=j.min(bytes.len() - 1)].to_vec();
+                    bytes.extend_from_slice(&slice);
+                }
+                _ => {
+                    // Insert a hostile byte.
+                    let i = (rng.next() as usize) % (bytes.len() + 1);
+                    let b = [b'"', b'\\', b'{', b'[', 0x00, 0xFF, b'e', b'-']
+                        [(rng.next() % 8) as usize];
+                    bytes.insert(i, b);
+                }
+            }
+        }
+        let Ok(text) = std::str::from_utf8(&bytes) else {
+            continue;
+        };
+        if let Ok(v) = json::parse(text) {
+            let rendered = v.render();
+            json::parse(&rendered)
+                .unwrap_or_else(|e| panic!("round {round}: re-parse of own render failed: {e:?}"));
+        }
+    }
+}
